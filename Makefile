@@ -1,0 +1,49 @@
+# EdgeReasoning reproduction — workflow automation.
+#
+# Mirrors the paper artifact's Make-driven workflow: setup, run the
+# evaluation suites, regenerate every table/figure, and collect outputs.
+
+PYTHON ?= python
+OUTPUT ?= outputs
+
+.PHONY: setup test bench reproduce examples fidelity takeaways clean
+
+## Install the package in editable mode (legacy path works offline).
+setup:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+## Run the full test suite.
+test:
+	$(PYTHON) -m pytest tests/
+
+## Regenerate every paper table and figure, timed.
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+## Same, printing each artifact's rows/series.
+bench-verbose:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+## Write every artifact's text into $(OUTPUT)/.
+reproduce:
+	$(PYTHON) -m repro reproduce --output $(OUTPUT)
+
+## Run all example applications.
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/fleet_cost_analysis.py
+	$(PYTHON) examples/interactive_latency.py
+	$(PYTHON) examples/optimization_advisor.py
+	$(PYTHON) examples/token_budget_tuning.py
+	$(PYTHON) examples/assistive_robot.py
+
+## The paper-vs-repo audit and the eleven takeaway checks.
+fidelity:
+	$(PYTHON) -m repro run fidelity
+
+takeaways:
+	$(PYTHON) -m repro run takeaways
+
+clean:
+	rm -rf $(OUTPUT) .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,49 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each bench regenerates one paper artifact (table or figure), prints the
+same rows/series the paper reports, and times the run via
+pytest-benchmark.  Expensive shared inputs (the Section IV model
+characterizations, the Section V tradeoff grid) are computed once per
+session.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.experiments import prefill_latency, quantization, tradeoff_frontier
+from repro.experiments.runner import render
+
+warnings.filterwarnings("ignore", category=Warning, module="scipy")
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Time ``func`` with a single round (experiments are deterministic)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+def show(output) -> None:
+    """Print an artifact the way the paper reports it."""
+    print()
+    print(render(output))
+
+
+@pytest.fixture(scope="session")
+def characterizations():
+    """Section IV sweeps + fits for the three DSR1 models."""
+    return prefill_latency.run_characterizations()
+
+
+@pytest.fixture(scope="session")
+def quantized_characterizations():
+    """Section V-F sweeps + fits for the AWQ-W4 variants."""
+    return quantization.run_quantized_characterizations()
+
+
+@pytest.fixture(scope="session")
+def tradeoff_results():
+    """The full Section V configuration grid over MMLU-Redux (3k)."""
+    return tradeoff_frontier.run_tradeoff_grid(seed=0, size=3000)

@@ -1,0 +1,19 @@
+"""Ablation bench: batch-aware decode latency model validation."""
+
+from conftest import run_once, show
+
+from repro.experiments import batch_latency
+
+
+def test_ablation_batch_latency_model(benchmark):
+    rows = run_once(benchmark, batch_latency.run_batch_model_study, seed=0)
+    show(batch_latency.batch_model_table(rows))
+    for row in rows:
+        # Fig. 10a's band: ~2x decode latency at SF=64.
+        assert 1.5 < row.multiplier_at_64 < 2.6
+        # The interpolated surface predicts unfitted batch sizes to well
+        # under Table VI's 2% bar (the roofline is affine in batch, so
+        # the surface is near-exact by construction).
+        assert row.held_out_mape_pct < 1.0
+        # Per-sequence overheads accumulate into n(B).
+        assert row.n_at_64 > row.n_at_1

@@ -1,0 +1,19 @@
+"""Ablation bench: online deadline control vs static budgets."""
+
+from conftest import run_once, show
+
+from repro.experiments import deadline_control
+
+
+def test_ablation_deadline_control(benchmark):
+    rows = run_once(benchmark, deadline_control.run_deadline_study, seed=0)
+    show(deadline_control.deadline_table(rows))
+    by_policy = {row.policy: row for row in rows}
+    # The intro's failure mode: naive static provisioning misses deadlines.
+    assert by_policy["static @ median prompt"].miss_rate > 0.15
+    # The online controller eliminates misses at thinking parity.
+    controller = by_policy["online controller"]
+    assert controller.miss_rate == 0.0
+    assert controller.p99_latency_s <= controller.deadline_s
+    assert (controller.mean_thinking_tokens
+            > 0.9 * by_policy["static @ p95 prompt"].mean_thinking_tokens)

@@ -1,0 +1,21 @@
+"""Ablation bench: hybrid sequential x parallel scaling under budgets."""
+
+from conftest import run_once, show
+
+from repro.experiments import hybrid_scaling
+from repro.scaling.hybrid import best_under_latency, sequential_only
+
+
+def test_ablation_hybrid_scaling(benchmark):
+    surface = run_once(benchmark, hybrid_scaling.run_hybrid_surface,
+                       seed=0, size=1500)
+    show(hybrid_scaling.hybrid_table(surface))
+    # At tight wall-clock budgets the hybrid strategy (short chains, wide
+    # voting) decisively beats pure sequential scaling...
+    hybrid = best_under_latency(surface, 20.0)
+    pure = best_under_latency(sequential_only(surface), 20.0)
+    assert hybrid.accuracy > pure.accuracy + 0.05
+    assert hybrid.scale_factor > 1
+    # ...and the chosen chain length sits near the Section V-C inflection
+    # rather than at the latency-budget maximum.
+    assert hybrid.token_budget <= 256

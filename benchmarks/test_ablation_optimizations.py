@@ -1,0 +1,30 @@
+"""Ablation bench: Section VI optimization headroom projections."""
+
+from conftest import run_once, show
+
+from repro.experiments import optimizations
+
+
+def test_ablation_section6_optimizations(benchmark):
+    spec_table, offload_table, prefetch_table, fusion_table = run_once(
+        benchmark, optimizations.optimizations_report)
+    show(spec_table)
+    show(offload_table)
+    show(prefetch_table)
+    show(fusion_table)
+    # Speculative decoding is the big lever for bandwidth-bound decode.
+    assert max(spec_table.column("Speedup")) > 1.4
+    # CPU offload is modest; DLA is a no-op at batch 1 (the paper's idle
+    # engines cannot help a bandwidth-bound phase) but helps at B=512.
+    for row in offload_table.rows:
+        assert 1.0 < row[1] < 1.3
+        assert abs(row[2] - 1.0) < 0.05
+    # Prefetch: prefill-only benefit.
+    for row in prefetch_table.rows:
+        assert row[1] > 1.0
+        assert abs(row[3] - 1.0) < 0.05
+    # Fusion: deflates the quadratic prefill term (multi-x at 4K input),
+    # near-nothing for the weight-stream-bound decode.
+    for row in fusion_table.rows:
+        assert row[2] > 3.0
+        assert row[3] < 1.15

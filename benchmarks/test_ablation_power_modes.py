@@ -1,0 +1,18 @@
+"""Ablation bench: Jetson power modes vs inference latency."""
+
+from conftest import run_once, show
+
+from repro.experiments import power_modes
+
+
+def test_ablation_power_modes(benchmark):
+    points = run_once(benchmark, power_modes.run_power_mode_study)
+    show(power_modes.power_mode_table(points))
+    for name in power_modes.MODELS:
+        per_model = {p.mode: p for p in points if p.model == name}
+        # Latency is monotone in the envelope.
+        ordered = [per_model[m].query_latency_s
+                   for m in ("MAXN", "50W", "30W", "15W")]
+        assert ordered == sorted(ordered)
+        # Dropping from MAXN to 15W costs ~1.4-1.6x end-to-end.
+        assert 1.2 < ordered[-1] / ordered[0] < 2.2

@@ -1,0 +1,19 @@
+"""Ablation bench: serving cost/latency vs offered QPS (Section III-B)."""
+
+from conftest import run_once, show
+
+from repro.experiments import serving_study
+
+
+def test_ablation_serving_qps(benchmark):
+    points = run_once(benchmark, serving_study.run_serving_study,
+                      qps_levels=(0.05, 0.1, 0.2, 0.4, 0.8),
+                      num_requests=80)
+    show(serving_study.serving_table(points))
+    costs = [p.usd_per_mtok for p in points]
+    # "Edge deployment costs also benefit from batching and increased
+    # QPS": cost per token falls monotonically with offered load...
+    assert costs == sorted(costs, reverse=True)
+    assert costs[0] / costs[-1] > 5
+    # ...while the p95 latency penalty stays modest below saturation.
+    assert points[-1].p95_latency_s < 2 * points[0].p95_latency_s

@@ -1,0 +1,16 @@
+"""Bench: the machine-checkable fidelity audit (paper vs repo)."""
+
+from conftest import run_once, show
+
+from repro.experiments import fidelity
+
+
+def test_fidelity_audit(benchmark):
+    entries = run_once(benchmark, fidelity.run_fidelity_audit,
+                       seed=0, size=3000)
+    show(fidelity.fidelity_table(entries))
+    # Every audited metric stays within 10% of the paper's value; the
+    # decode coefficients within 1%.
+    assert fidelity.worst_deviation_pct(entries) < 10.0
+    decode = [e for e in entries if "decode" in e.metric]
+    assert all(abs(e.deviation_pct) < 1.0 for e in decode)

@@ -1,0 +1,22 @@
+"""Bench: Fig. 1 — the continuous planner frontier over latency budgets."""
+
+from conftest import run_once, show
+
+from repro.experiments import planner_study
+
+
+def test_fig01_planner_frontier(benchmark):
+    decisions = run_once(benchmark, planner_study.run_planner_frontier, seed=0)
+    show(planner_study.planner_table(decisions))
+    show(planner_study.figure1(decisions))
+    feasible = [d for d in decisions if d.feasible]
+    assert len(feasible) >= 8
+    # Every decision respects its budget.
+    for decision in feasible:
+        assert decision.predicted_latency_s <= decision.latency_budget_s
+    # Accuracy is monotone in the budget (more time never hurts).
+    accuracies = [d.predicted_accuracy for d in decisions]
+    assert accuracies == sorted(accuracies)
+    # The frontier spans real-time (~1 s) to deep-reasoning (~300 s)
+    # operating points, ending at the 14B's peak accuracy.
+    assert feasible[-1].predicted_accuracy > 0.78

@@ -1,0 +1,23 @@
+"""Bench: Fig. 2 + Table IV — prefill latency sweep and quadratic fit."""
+
+import pytest
+from conftest import run_once, show
+
+from repro.core.latency_model import PAPER_PREFILL_COEFFICIENTS
+from repro.experiments import prefill_latency
+
+
+def test_fig02_table04_prefill(benchmark, characterizations):
+    table = run_once(benchmark, prefill_latency.table4, characterizations)
+    show(table)
+    figure = prefill_latency.figure2(characterizations)
+    # Print a condensed view of Fig. 2 (every 8th point).
+    for series in figure.series:
+        condensed = type(series)(series.label, series.x[::8], series.y[::8])
+        print(condensed.to_text("I", "s"))
+    for name, result in characterizations.items():
+        paper = PAPER_PREFILL_COEFFICIENTS[name]
+        fitted = result.latency.prefill
+        # The fitted quadratic coefficient lands near Table IV.
+        assert fitted.a == pytest.approx(paper.a, rel=0.6)
+        assert fitted.c == pytest.approx(paper.c, rel=0.5)

@@ -1,0 +1,20 @@
+"""Bench: Fig. 3 + Table V — decode latency / TBT sweep and linear fit."""
+
+import pytest
+from conftest import run_once, show
+
+from repro.core.latency_model import PAPER_DECODE_COEFFICIENTS
+from repro.experiments import decode_latency
+
+
+def test_fig03_table05_decode(benchmark, characterizations):
+    table = run_once(benchmark, decode_latency.table5, characterizations)
+    show(table)
+    show(decode_latency.figure3a(characterizations))
+    show(decode_latency.figure3b(characterizations))
+    for name, result in characterizations.items():
+        paper = PAPER_DECODE_COEFFICIENTS[name]
+        assert result.latency.decode.n == pytest.approx(paper.n, rel=0.10)
+    # Fig. 3b: only a few percent TBT growth over 4k context.
+    increase = decode_latency.tbt_increase_with_context(characterizations)
+    assert 0.0 < increase < 0.10

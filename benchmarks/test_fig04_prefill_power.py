@@ -1,0 +1,23 @@
+"""Bench: Fig. 4 — prefill power and energy per token vs input length."""
+
+import numpy as np
+from conftest import run_once, show
+
+from repro.experiments import power_energy
+
+
+def test_fig04_prefill_power(benchmark, characterizations):
+    power_fig, energy_fig = run_once(benchmark, power_energy.figure4,
+                                     characterizations)
+    for figure in (power_fig, energy_fig):
+        for series in figure.series:
+            condensed = type(series)(series.label, series.x[::8], series.y[::8])
+            print(condensed.to_text("I", figure.y_label))
+    by_label = {s.label: s for s in power_fig.series}
+    # 8B/14B exceed 20 W at 4K input; the 1.5B stays under 10 W.
+    assert by_label["dsr1-llama-8b"].y[-1] > 18
+    assert by_label["dsr1-qwen-14b"].y[-1] > 20
+    assert max(by_label["dsr1-qwen-1.5b"].y) < 10
+    # Energy per token: smaller models consistently more efficient.
+    energy = {s.label: np.mean(s.y) for s in energy_fig.series}
+    assert energy["dsr1-qwen-1.5b"] < energy["dsr1-llama-8b"] < energy["dsr1-qwen-14b"]

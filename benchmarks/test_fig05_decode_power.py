@@ -1,0 +1,19 @@
+"""Bench: Fig. 5 — decode power and energy per token vs output length."""
+
+import numpy as np
+from conftest import run_once, show
+
+from repro.experiments import power_energy
+
+
+def test_fig05_decode_power(benchmark, characterizations):
+    power_fig, energy_fig = run_once(benchmark, power_energy.figure5,
+                                     characterizations)
+    show(power_fig)
+    show(energy_fig)
+    for series in power_fig.series:
+        # Power grows (logarithmically) with output length.
+        assert series.y[-1] > series.y[0]
+    energy = {s.label: np.mean(s.y) for s in energy_fig.series}
+    # Fig. 5: multi-x energy/token gap between the 1.5B and 14B.
+    assert energy["dsr1-qwen-14b"] / energy["dsr1-qwen-1.5b"] > 4

@@ -1,0 +1,19 @@
+"""Bench: Fig. 6 — accuracy vs average output length across controls."""
+
+from conftest import run_once, show
+
+from repro.experiments import tradeoff_frontier
+
+
+def test_fig06_accuracy_vs_tokens(benchmark, tradeoff_results):
+    figure = run_once(benchmark, tradeoff_frontier.figure6, tradeoff_results)
+    show(figure)
+    by_label = {r.label: r for r in tradeoff_results}
+    # Crossover pair from Section V-A: 8B Base (~811 tokens) beats
+    # 14B 128T (~91 tokens) — depth compensates for scale...
+    assert (by_label["DSR1-Llama-8B Base"].accuracy
+            > by_label["DSR1-Qwen-14B 128T"].accuracy)
+    # ...while 14B 256-NC (~374 tokens) beats 8B Base — scale
+    # compensates for depth.
+    assert (by_label["DSR1-Qwen-14B 256 (NC)"].accuracy
+            > by_label["DSR1-Llama-8B Base"].accuracy)

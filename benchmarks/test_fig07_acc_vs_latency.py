@@ -1,0 +1,24 @@
+"""Bench: Fig. 7 — accuracy vs latency and the operational regimes."""
+
+from conftest import run_once, show
+
+from repro.experiments import tradeoff_frontier
+
+
+def test_fig07_accuracy_vs_latency(benchmark, tradeoff_results):
+    figure = run_once(benchmark, tradeoff_frontier.figure7, tradeoff_results)
+    show(figure)
+    regimes = tradeoff_frontier.latency_regimes(tradeoff_results)
+    for regime in regimes:
+        print(f"{regime.band:>8s}: {regime.best_label} "
+              f"({regime.best_accuracy * 100:.1f}%)")
+    bands = {r.band: r for r in regimes}
+    # Sub-5s: small/direct models only; >30s: the 14B reasoning model.
+    assert "14B Base" in bands[">30s"].best_label or \
+        "14B" in bands[">30s"].best_label
+    assert bands["<5s"].best_accuracy < bands[">30s"].best_accuracy
+    by_label = {r.label: r for r in tradeoff_results}
+    # Takeaway #4: only 1.5B-class models (incl. L1) decode in ~1 s.
+    fast = [r for r in tradeoff_results if r.mean_latency_seconds < 1.5]
+    assert fast and all("1.5B" in r.display_name or "L1" in r.display_name
+                        for r in fast)

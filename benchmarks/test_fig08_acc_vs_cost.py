@@ -1,0 +1,18 @@
+"""Bench: Fig. 8 — accuracy vs cost per million tokens."""
+
+from conftest import run_once, show
+
+from repro.experiments import tradeoff_frontier
+
+
+def test_fig08_accuracy_vs_cost(benchmark, tradeoff_results):
+    figure = run_once(benchmark, tradeoff_frontier.figure8, tradeoff_results)
+    show(figure)
+    by_label = {r.label: r for r in tradeoff_results}
+    # Section V-D: below ~$0.01/1M only ultra-lightweight models; the 8B
+    # and 14B reasoning configs live beyond ~$0.1/1M.
+    cheap = [r for r in tradeoff_results if r.cost_per_million_tokens < 0.01]
+    assert cheap and all("1.5B" in r.display_name or "L1" in r.display_name
+                         for r in cheap)
+    assert by_label["DSR1-Qwen-14B Base"].cost_per_million_tokens > 0.1
+    assert by_label["DSR1-Llama-8B Base"].cost_per_million_tokens > 0.05

@@ -1,0 +1,24 @@
+"""Bench: Fig. 9 — voted accuracy vs parallel scaling factor."""
+
+from conftest import run_once, show
+
+from repro.experiments import parallel_scaling
+
+
+def test_fig09_parallel_accuracy(benchmark):
+    fig_a, fig_b = run_once(benchmark, parallel_scaling.figure9,
+                            seed=0, size=3000)
+    show(fig_a)
+    show(fig_b)
+    series_128 = {s.label: s for s in fig_a.series}
+    series_512 = {s.label: s for s in fig_b.series}
+    # Fig. 9a: 1.5-1.8x gains from 1x to 32x at the 128-token budget.
+    for name in ("dsr1-qwen-1.5b", "dsr1-qwen-14b"):
+        gain = series_128[name].y[-1] / series_128[name].y[0]
+        assert 1.4 < gain < 2.1, name
+    # Fig. 9b: gains plateau after ~4-8x at the 512-token budget.
+    y14 = series_512["dsr1-qwen-14b"].y
+    assert y14[-1] - y14[3] < 0.06
+    # L1 variants show negligible benefit from parallel scaling.
+    l1 = series_128["l1-max"].y
+    assert max(l1) - l1[0] < 0.05

@@ -1,0 +1,25 @@
+"""Bench: Fig. 10 — parallel-scaling latency, energy, power, utilization."""
+
+from conftest import run_once, show
+
+from repro.experiments import parallel_scaling
+
+
+def test_fig10_parallel_system(benchmark):
+    latency_fig, energy_fig, power_fig = run_once(
+        benchmark, parallel_scaling.figure10, seed=0, output_budget=128)
+    show(latency_fig)
+    show(energy_fig)
+    show(power_fig)
+    for series in latency_fig.series:
+        # Fig. 10a: roughly 2x latency from SF=1 to SF=64.
+        ratio = series.y[-1] / series.y[0]
+        assert 1.4 < ratio < 2.6, series.label
+    busy = {s.label: s for s in power_fig.series if "gpu_busy" in s.label}
+    for series in busy.values():
+        # Fig. 10c: GPU utilization rises (linearly) with scale factor.
+        assert series.y[-1] > series.y[0]
+    power = {s.label: s for s in power_fig.series
+             if "busy" not in s.label and "dram" not in s.label}
+    # Power rises with scaling: ~14->25 W (1.5B), ~25->35 W (8B/14B) band.
+    assert power["dsr1-qwen-1.5b"].y[-1] > power["dsr1-qwen-1.5b"].y[0] + 5

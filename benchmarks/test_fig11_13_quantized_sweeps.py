@@ -1,0 +1,28 @@
+"""Bench: Figs. 11-13 — quantized prefill/decode latency, power, energy."""
+
+import numpy as np
+from conftest import run_once, show
+
+from repro.experiments import quantization
+
+
+def test_fig11_13_quantized_sweeps(benchmark, characterizations,
+                                   quantized_characterizations):
+    prefill_fig, decode_fig = run_once(benchmark, quantization.figure11,
+                                       quantized_characterizations)
+    show(decode_fig)
+    power_pair = quantization.figure12(quantized_characterizations)
+    energy_pair = quantization.figure13(quantized_characterizations)
+    for fig in (*power_pair, *energy_pair):
+        assert len(fig.series) == 3
+    # Quantized models are faster and cheaper per token than FP16
+    # (Figs. 11-13 vs Figs. 2-5).
+    for fp16_name, awq_name in (
+            ("dsr1-qwen-1.5b", "dsr1-qwen-1.5b-awq-w4"),
+            ("dsr1-llama-8b", "dsr1-llama-8b-awq-w4"),
+            ("dsr1-qwen-14b", "dsr1-qwen-14b-awq-w4")):
+        fp16 = characterizations[fp16_name].decode_sweep
+        awq = quantized_characterizations[awq_name].decode_sweep
+        assert awq.seconds.sum() < fp16.seconds.sum()
+        assert (np.mean(awq.energy_per_token_j)
+                < np.mean(fp16.energy_per_token_j))

@@ -1,0 +1,18 @@
+"""Bench: Fig. 14 — quantized vs FP16 accuracy, tokens, latency."""
+
+from conftest import run_once, show
+
+from repro.experiments import quantization
+
+
+def test_fig14_quantized_accuracy(benchmark):
+    rows = run_once(benchmark, quantization.run_figure14, seed=0, size=3000)
+    show(quantization.figure14(rows))
+    # Takeaway #11: minor accuracy loss, 2-5x latency gains that grow
+    # with model size.
+    for row in rows:
+        assert abs(row.relative_accuracy_loss_pct) < 10.0
+        assert row.awq_tokens <= row.fp16_tokens * 1.05
+    speedups = [row.latency_speedup for row in rows]
+    assert speedups[0] < speedups[2]
+    assert all(1.2 < s < 5.5 for s in speedups)

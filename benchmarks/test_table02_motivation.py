@@ -1,0 +1,16 @@
+"""Bench: Table II — reasoning vs non-reasoning on 150 MMLU-Redux questions."""
+
+from conftest import run_once, show
+
+from repro.experiments import motivation
+
+
+def test_table02_motivation(benchmark):
+    rows = run_once(benchmark, motivation.run_table2, seed=0, questions=150)
+    show(motivation.table2(rows))
+    by_model = {r.model: r for r in rows}
+    # Shape checks mirroring Section III-A's claims.
+    assert by_model["DSR1-Qwen-14B"].accuracy_pct > \
+        by_model["Qwen2.5-7B-it"].accuracy_pct + 10
+    assert (by_model["DSR1-Llama-8B"].decode_time_s
+            > 10 * by_model["Llama3.1-8B-it"].decode_time_s)

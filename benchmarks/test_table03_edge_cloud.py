@@ -1,0 +1,15 @@
+"""Bench: Table III — edge vs cloud cost on the AIME2024 workload."""
+
+from conftest import run_once, show
+
+from repro.experiments import motivation
+
+
+def test_table03_edge_cloud(benchmark):
+    rows = run_once(benchmark, motivation.run_table3, seed=0)
+    show(motivation.table3(rows))
+    edge_single, edge_batched, cloud = rows
+    # Two-orders-of-magnitude cost advantage; batching cuts it further.
+    assert cloud.price_usd_per_mtok / edge_single.price_usd_per_mtok > 50
+    assert edge_batched.price_usd_per_mtok < edge_single.price_usd_per_mtok / 3
+    assert edge_single.accuracy_aime_pct > cloud.accuracy_aime_pct

@@ -1,0 +1,16 @@
+"""Bench: Table VI — held-out MAPE of the fitted latency models."""
+
+from conftest import run_once, show
+
+from repro.experiments import latency_validation
+
+
+def test_table06_latency_mape(benchmark, characterizations):
+    rows = run_once(benchmark, latency_validation.run_table6, characterizations)
+    show(latency_validation.table6(rows))
+    for row in rows:
+        # Paper: total MAPE under 2% across all models.
+        assert row.total_mape < 2.0
+        assert row.decode_mape < 2.0
+        # Prefill MAPE is several percent (tile-padding mismatch).
+        assert row.prefill_mape < 20.0

@@ -1,0 +1,16 @@
+"""Bench: Table VII — prefill-to-decode ratios over full MMLU-Redux."""
+
+from conftest import run_once, show
+
+from repro.experiments import pd_ratio
+
+
+def test_table07_pd_ratio(benchmark):
+    rows = run_once(benchmark, pd_ratio.run_table7, seed=0, size=3000)
+    show(pd_ratio.table7(rows))
+    for row in rows:
+        # Takeaway #2: decode dominates >99% of inference time with
+        # latency ratios in the hundreds.
+        assert row.latency_ratio > 150
+        assert row.decode_time_share > 0.99
+        assert 2.0 < row.token_ratio < 12.0

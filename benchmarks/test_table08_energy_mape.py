@@ -1,0 +1,21 @@
+"""Bench: Table VIII + Tables XX/XXI — energy model MAPE and coefficients."""
+
+from conftest import run_once, show
+
+from repro.experiments import power_energy
+
+
+def test_table08_energy_models(benchmark, characterizations):
+    rows = run_once(benchmark, power_energy.run_table8, characterizations)
+    show(power_energy.table8(rows))
+    show(power_energy.table20(characterizations))
+    show(power_energy.table21(characterizations))
+    for row in rows:
+        # Paper reports ~6% energy-model MAPE; single digits here.
+        assert row.decode_mape < 10.0
+        assert row.total_mape < 10.0
+    # Table XXI structure: decode power log slopes are positive and grow
+    # with model size.
+    slopes = [characterizations[m].decode_power.w
+              for m in ("dsr1-qwen-1.5b", "dsr1-llama-8b")]
+    assert 0 < slopes[0] < slopes[1]

@@ -1,0 +1,14 @@
+"""Bench: Table IX — HF Transformers vs vLLM vs TRT-LLM."""
+
+from conftest import run_once, show
+
+from repro.experiments import frameworks
+
+
+def test_table09_frameworks(benchmark):
+    rows = run_once(benchmark, frameworks.run_table9)
+    show(frameworks.table9(rows))
+    for row in rows:
+        # Paper: vLLM 1.11-1.13x over HFT; TRT-LLM on par with vLLM.
+        assert 1.05 < row.speedup_over("vllm") < 1.25
+        assert abs(row.latencies_s["trt-llm"] / row.latencies_s["vllm"] - 1.0) < 0.1

@@ -1,0 +1,30 @@
+"""Bench: Tables X/XI — the full MMLU-Redux configuration grid."""
+
+import pytest
+from conftest import run_once, show
+
+from repro.experiments import tradeoff_frontier
+
+#: (label, paper accuracy %, paper avg tokens) anchor rows.
+PAPER_ROWS = [
+    ("DSR1-Qwen-1.5B Base", 38.3, 740.2),
+    ("DSR1-Llama-8B Base", 61.7, 811.1),
+    ("DSR1-Qwen-14B Base", 80.6, 1317.8),
+    ("DSR1-Llama-8B 128T", 37.9, 76.3),
+    ("DSR1-Qwen-14B 256T", 58.6, 112.9),
+    ("DSR1-Qwen-1.5B NR", 41.0, 234.9),
+    ("L1-Max 128T", 16.2, 40.7),
+    ("Llama3.1-8B-it Direct", 58.3, 63.5),
+]
+
+
+def test_table10_11_mmlu_redux(benchmark, tradeoff_results):
+    table10 = run_once(benchmark, tradeoff_frontier.table10, tradeoff_results)
+    show(table10)
+    show(tradeoff_frontier.table11(tradeoff_results))
+    by_label = {r.label: r for r in tradeoff_results}
+    for label, paper_acc, paper_tokens in PAPER_ROWS:
+        result = by_label[label]
+        assert result.accuracy * 100 == pytest.approx(paper_acc, abs=3.0), label
+        assert result.mean_output_tokens == pytest.approx(
+            paper_tokens, rel=0.15), label

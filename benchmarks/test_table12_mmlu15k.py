@@ -1,0 +1,23 @@
+"""Bench: Table XII — base/budgeted/quantized DSR1 models on MMLU (15k)."""
+
+import pytest
+from conftest import run_once, show
+
+from repro.experiments import mmlu_full
+
+
+def test_table12_mmlu15k(benchmark):
+    results = run_once(benchmark, mmlu_full.run_table12, seed=0, size=15000)
+    show(mmlu_full.table12(results))
+    by_key = {(r.model, r.control.label): r for r in results}
+    # Paper anchor rows.
+    assert by_key[("dsr1-qwen-14b", "Base")].accuracy * 100 == pytest.approx(
+        86.59, abs=4.0)
+    assert by_key[("dsr1-qwen-14b", "128T")].accuracy * 100 == pytest.approx(
+        28.3, abs=2.0)
+    assert by_key[("dsr1-llama-8b-awq-w4", "256T")].accuracy * 100 == \
+        pytest.approx(43.5, abs=2.0)
+    # Quantization barely moves base MMLU accuracy (Table XII).
+    fp16 = by_key[("dsr1-qwen-14b", "Base")].accuracy
+    awq = by_key[("dsr1-qwen-14b-awq-w4", "Base")].accuracy
+    assert abs(fp16 - awq) < 0.03

@@ -1,0 +1,30 @@
+"""Bench: Tables XIII-XV — Natural-Plan planning tasks."""
+
+from conftest import run_once, show
+
+from repro.experiments import natural_plan
+
+
+def test_table13_15_natural_plan(benchmark):
+    baseline = run_once(benchmark, natural_plan.run_baseline, seed=0)
+    budgeted = natural_plan.run_budgeted(seed=0)
+    direct = natural_plan.run_direct(seed=0)
+    show(natural_plan.table13(baseline))
+    show(natural_plan.table14(budgeted))
+    show(natural_plan.table15(direct))
+    # Planning is hard: every reasoning config stays under 25%.
+    assert all(r.accuracy < 0.25 for r in baseline)
+    # Budgeting preserves most accuracy at a fraction of the latency
+    # for the larger models.
+    base_map = {(r.benchmark, r.model): r for r in baseline}
+    for result in budgeted:
+        if "14b" in result.model:
+            base = base_map[(result.benchmark, result.model)]
+            assert result.mean_latency_seconds < base.mean_latency_seconds / 2
+            assert result.accuracy > base.accuracy - 0.05
+    # Direct Qwen2.5-14B beats all reasoning configs on calendar.
+    calendar_direct = max(r.accuracy for r in direct
+                          if "calendar" in r.benchmark)
+    calendar_reasoning = max(r.accuracy for r in baseline
+                             if "calendar" in r.benchmark)
+    assert calendar_direct > calendar_reasoning

@@ -1,0 +1,16 @@
+"""Bench: Tables XVI/XVII — edge CPU vs GPU inference latency."""
+
+from conftest import run_once, show
+
+from repro.experiments import cpu_vs_gpu
+
+
+def test_table16_17_cpu_vs_gpu(benchmark):
+    prefill_rows = run_once(benchmark, cpu_vs_gpu.run_table16)
+    decode_rows = cpu_vs_gpu.run_table17()
+    show(cpu_vs_gpu.table16(prefill_rows))
+    show(cpu_vs_gpu.table17(decode_rows))
+    # Prefill: two-orders-of-magnitude GPU advantage (compute bound).
+    assert all(100 < row.speedup < 600 for row in prefill_rows)
+    # Decode: ~5x GPU advantage (CPU's share of LPDDR5 bandwidth).
+    assert all(3.5 < row.speedup < 7.0 for row in decode_rows)

@@ -1,0 +1,21 @@
+"""Bench: Tables XVIII/XIX — base vs quantized prefill/decode averages."""
+
+from conftest import run_once, show
+
+from repro.experiments import quantization
+
+
+def test_table18_19_quantized_perf(benchmark):
+    prefill_table, decode_table = run_once(benchmark, quantization.table18_19,
+                                           seed=0)
+    show(prefill_table)
+    show(decode_table)
+    decode = {row[0]: row for row in decode_table.rows}
+    # Table XIX shape: quantized throughput is 2-3x the FP16 counterpart.
+    for base_name, awq_name in (
+            ("dsr1-qwen-1.5b", "dsr1-qwen-1.5b-awq-w4"),
+            ("dsr1-llama-8b", "dsr1-llama-8b-awq-w4"),
+            ("dsr1-qwen-14b", "dsr1-qwen-14b-awq-w4")):
+        tok_per_s_base = decode[base_name][2]
+        tok_per_s_awq = decode[awq_name][2]
+        assert 1.5 < tok_per_s_awq / tok_per_s_base < 3.5

@@ -1,0 +1,18 @@
+"""Bench: Tables XXII/XXIII — fitted power/energy models (AWQ-W4)."""
+
+from conftest import run_once, show
+
+from repro.experiments import quantization
+
+
+def test_table22_23_quantized_fits(benchmark, quantized_characterizations):
+    prefill_table, decode_table = run_once(
+        benchmark, quantization.table22_23, quantized_characterizations)
+    show(prefill_table)
+    show(decode_table)
+    assert len(prefill_table.rows) == 3
+    assert len(decode_table.rows) == 3
+    # Decode power log slopes positive for every quantized model
+    # (Table XXIII's log form).
+    for row in decode_table.rows:
+        assert row[1] > 0

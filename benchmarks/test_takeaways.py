@@ -1,0 +1,14 @@
+"""Bench: machine-check all eleven paper takeaways."""
+
+from conftest import run_once, show
+
+from repro.experiments import takeaways
+
+
+def test_all_takeaways_hold(benchmark):
+    checks = run_once(benchmark, takeaways.run_takeaway_checks,
+                      seed=0, size=1500)
+    show(takeaways.takeaways_table(checks))
+    assert len(checks) == 11
+    failing = [check.number for check in checks if not check.holds]
+    assert not failing, f"takeaways failing: {failing}"

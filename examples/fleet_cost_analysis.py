@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Edge vs cloud economics for a fleet of reasoning agents (Section III-B).
+
+A company runs a fleet of autonomous agents that each issue math-heavy
+reasoning queries (AIME-difficulty). Should inference run on-board
+Jetson Orins or against a cloud reasoning API?  This example reproduces
+the paper's cost methodology — energy at $0.15/kWh plus hardware
+amortized at $0.045/hour — and shows how batching concurrent agents
+onto one device drives $/1M tokens down by another order of magnitude.
+"""
+
+import numpy as np
+
+from repro import CostModel, GenerationRequest, InferenceEngine, get_model
+from repro.core.cost import o1_preview_pricing, o4_mini_pricing
+from repro.generation import base_control
+from repro.generation.length import LengthModel
+
+QUERIES = 30          # one AIME-sized batch of reasoning jobs
+PROMPT_TOKENS = 120
+
+
+def run_edge(batch_size: int, seed: int = 0):
+    """Serve the workload on one Jetson Orin at a given concurrency."""
+    model = get_model("deepscaler-1.5b")
+    engine = InferenceEngine(model)
+    lengths = LengthModel(model, "aime2024")
+    rng = np.random.default_rng(seed)
+    naturals = lengths.sample(base_control(), rng, size=QUERIES)
+    requests = [
+        GenerationRequest(i, PROMPT_TOKENS, int(n))
+        for i, n in enumerate(np.asarray(naturals))
+    ]
+    return engine.run_batch(requests, max_batch_size=batch_size)
+
+
+def main() -> None:
+    print(f"Workload: {QUERIES} reasoning queries "
+          f"(~6.5k tokens each, DeepScaleR-1.5B)")
+    print()
+    print(f"{'deployment':<34s} {'wallclock':>10s} {'energy':>9s} "
+          f"{'tok/s':>7s} {'$ / 1M tokens':>14s}")
+    print("-" * 79)
+
+    cost_model = CostModel.single_stream()
+    for batch in (1, 4, 10, 30):
+        report = run_edge(batch)
+        cost = cost_model.cost_per_million_tokens(
+            energy_joules=report.total_energy_joules,
+            wallclock_seconds=report.wallclock_seconds,
+            tokens=report.total_tokens,
+        )
+        print(f"{'Jetson Orin, batch ' + str(batch):<34s} "
+              f"{report.wallclock_seconds:9.0f}s "
+              f"{report.total_energy_joules / 1e3:8.2f}kJ "
+              f"{report.tokens_per_second:7.1f} "
+              f"{cost:14.4f}")
+
+    for pricing in (o4_mini_pricing(), o1_preview_pricing()):
+        print(f"{pricing.name:<34s} {'-':>10s} {'-':>9s} {'-':>7s} "
+              f"{pricing.output_usd_per_mtok:14.2f}")
+
+    print()
+    edge = run_edge(30)
+    edge_cost = cost_model.cost_per_million_tokens(
+        edge.total_energy_joules, edge.wallclock_seconds, edge.total_tokens)
+    advantage = o1_preview_pricing().output_usd_per_mtok / edge_cost
+    print(f"Batched edge deployment undercuts o1-preview by ~{advantage:,.0f}x")
+    print("per output token — while DeepScaleR-1.5B *outperforms* it on")
+    print("AIME2024 (43.1% vs 40.0%) thanks to its math-focused RL tuning.")
+
+
+if __name__ == "__main__":
+    main()

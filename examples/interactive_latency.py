@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Interactive-UX latency: TTFT and TPOT across the model zoo.
+
+A voice assistant or chat UI cares about two numbers: how soon the first
+token appears (TTFT) and how fast text flows afterwards (TPOT ~ the
+paper's TBT).  This example profiles both across models and shows how a
+deadline-aware controller and speculative decoding change the
+interactive feel on the edge device.
+"""
+
+from repro import InferenceEngine, GenerationRequest, get_model
+from repro.core.characterize import characterize_model
+from repro.core.controller import DeadlineController
+from repro.engine.streaming import streaming_metrics
+from repro.extensions.speculative import best_gamma
+
+MODELS = ("qwen2.5-1.5b-it", "dsr1-qwen-1.5b", "dsr1-llama-8b",
+          "dsr1-qwen-14b")
+PROMPT_TOKENS = 300
+OUTPUT_TOKENS = 400
+
+
+def main() -> None:
+    print(f"Interactive profile ({PROMPT_TOKENS} prompt tokens, "
+          f"{OUTPUT_TOKENS} generated):")
+    print(f"{'model':<18s} {'TTFT':>8s} {'TPOT':>9s} {'full reply':>11s} "
+          f"{'reading pace':>13s}")
+    for name in MODELS:
+        engine = InferenceEngine(get_model(name))
+        metrics = streaming_metrics(engine, GenerationRequest(
+            0, PROMPT_TOKENS, OUTPUT_TOKENS))
+        words_per_minute = 60.0 / metrics.tpot_s * 0.75  # ~0.75 words/token
+        print(f"{name:<18s} {metrics.ttft_s * 1e3:7.0f}ms "
+              f"{metrics.tpot_s * 1e3:8.1f}ms {metrics.total_s:10.1f}s "
+              f"{words_per_minute:11.0f}wpm")
+    print()
+    print("Humans read at ~200-300 wpm: the 1.5B streams faster than anyone")
+    print("reads, the 8B holds a comfortable pace, the 14B trails a reader.")
+    print()
+
+    # Deadline-aware thinking for a chat with a 10-second patience budget.
+    model = get_model("dsr1-llama-8b")
+    engine = InferenceEngine(model)
+    latency = characterize_model(model).latency
+    controller = DeadlineController(latency)
+    print("Chat with a 10 s patience budget (DSR1-Llama-8B):")
+    for prompt in (100, 1000, 3000):
+        outcome = controller.run(engine, prompt, 800, deadline_s=10.0)
+        print(f"  prompt {prompt:5d} tokens -> thinks {outcome.thinking_tokens:3d} "
+              f"tokens, replies in {outcome.elapsed_s:5.2f}s "
+              f"({'cut short' if outcome.intervened else 'completed'})")
+    print()
+
+    # Speculative decoding: the one lever that changes TPOT itself.
+    draft = InferenceEngine(get_model("dsr1-qwen-1.5b"))
+    report = best_gamma(engine, draft)
+    print(f"With speculative decoding (gamma={report.config.gamma}, 1.5B "
+          f"draft): TPOT {report.baseline_tbt_s * 1e3:.0f}ms -> "
+          f"{report.effective_tbt_s * 1e3:.0f}ms "
+          f"({report.speedup:.2f}x), i.e. "
+          f"{60.0 / report.effective_tbt_s * 0.75:.0f} wpm.")
+
+
+if __name__ == "__main__":
+    main()

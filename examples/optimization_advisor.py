@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Optimization advisor: where is the headroom on this deployment?
+
+Given a model and workload shape, this example runs the Section VI
+optimization models — speculative decoding, CPU offload, DLA offload,
+weight prefetching — and a serving-load sweep, then summarizes which
+levers are worth pulling and which are dead ends on a bandwidth-bound
+edge platform.
+"""
+
+import numpy as np
+
+from repro import InferenceEngine, get_model
+from repro.engine.server import ServingSimulator
+from repro.extensions.heterogeneous import cpu_offload_speedup, dla_offload_sweep
+from repro.extensions.prefetch import prefetch_decode_report, prefetch_prefill_report
+from repro.extensions.speculative import best_gamma
+
+MODEL = "dsr1-llama-8b"
+DRAFT = "dsr1-qwen-1.5b"
+
+
+def main() -> None:
+    engine = InferenceEngine(get_model(MODEL))
+    draft = InferenceEngine(get_model(DRAFT))
+    print(f"Deployment: {engine.model.display_name} on {engine.soc.name}")
+    print(f"Baseline decode: {1.0 / engine.kernels.mean_tbt(engine.profile, 512):.1f} tok/s")
+    print()
+
+    print("== Single-stream decode levers " + "=" * 34)
+    spec = best_gamma(engine, draft)
+    print(f"speculative decoding ({DRAFT} draft, gamma={spec.config.gamma}):"
+          f"  {spec.speedup:.2f}x")
+    cpu = cpu_offload_speedup(engine)
+    print(f"CPU offload of lightweight kernels:                    "
+          f"{cpu.speedup:.2f}x")
+    decode_prefetch = prefetch_decode_report(engine)
+    print(f"weight prefetching (decode):                           "
+          f"{decode_prefetch.speedup:.2f}x  <- nothing to hide behind")
+    dla = {plan.batch: plan for plan in dla_offload_sweep(engine)}
+    print(f"DLA offload at batch 1 / 512:                          "
+          f"{dla[1].speedup:.2f}x / {dla[512].speedup:.2f}x")
+    print()
+
+    print("== Prefill levers " + "=" * 47)
+    for input_len in (512, 2048):
+        report = prefetch_prefill_report(engine, input_len)
+        print(f"weight prefetching (prefill @{input_len}):"
+              f"{'':>18s}{report.speedup:.2f}x")
+    print()
+
+    print("== Throughput lever: accept more load " + "=" * 27)
+    simulator = ServingSimulator(engine, max_batch_size=8)
+    for qps in (0.02, 0.05, 0.1):
+        rng = np.random.default_rng(0)
+        report = simulator.run_poisson(rng, qps, 30, output_tokens=256)
+        print(f"offered {qps:5.2f} qps: {report.tokens_per_second:6.1f} tok/s "
+              f"aggregate, p95 latency {report.latency_percentile(95):6.1f}s")
+    print()
+
+    print("Verdict: on a bandwidth-bound edge GPU, speculative decoding and")
+    print("request batching are the real levers; prefetching helps only the")
+    print("(already tiny) prefill phase, and the DLA engines cannot absorb a")
+    print("memory-bound decode — they only pay off at very large batch.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate reasoning-LLM inference on a Jetson AGX Orin.
+
+Runs a single reasoning query through the engine, then reproduces the
+paper's core methodology in miniature: characterize the device, fit the
+analytical latency model, and use it to answer "how many tokens can I
+afford in my latency budget?".
+"""
+
+from repro import (
+    GenerationRequest,
+    InferenceEngine,
+    characterize_model,
+    get_model,
+)
+
+
+def main() -> None:
+    model = get_model("dsr1-llama-8b")
+    engine = InferenceEngine(model)
+
+    print(f"Model:  {model.display_name} "
+          f"({model.param_count / 1e9:.1f}B params, "
+          f"{model.weight_bytes / 1e9:.1f} GB streamed per step)")
+    print(f"Device: {engine.soc.name}")
+    print()
+
+    # --- one reasoning query -------------------------------------------
+    request = GenerationRequest(
+        request_id=0,
+        prompt_tokens=150,    # an MMLU-style question
+        natural_length=800,   # a typical reasoning chain
+    )
+    result = engine.generate(request)
+    report = result.energy
+    print("One reasoning query (150 prompt tokens, 800 generated):")
+    print(f"  prefill      {result.prefill_seconds * 1e3:8.1f} ms")
+    print(f"  decode       {result.decode_seconds:8.1f} s  "
+          f"({result.tokens_per_second:.1f} tok/s)")
+    print(f"  energy       {report.total_energy_joules:8.1f} J  "
+          f"(mean {report.mean_power_w:.1f} W)")
+    print(f"  decode share {result.decode_seconds / result.total_seconds:8.1%}"
+          "  <- Takeaway #2: decode dominates")
+    print()
+
+    # --- characterize & fit (Section IV) -------------------------------
+    print("Characterizing the device and fitting the analytical models...")
+    characterization = characterize_model(model)
+    latency = characterization.latency
+    print(f"  prefill fit: L = {latency.prefill.a:.2e}*I_pad^2 + "
+          f"{latency.prefill.b:.2e}*I_pad + {latency.prefill.c:.3f}")
+    print(f"  decode fit:  TBT = {latency.decode.m:.2e}*I + "
+          f"{latency.decode.n:.4f}")
+    print()
+
+    # --- invert the model: latency budget -> token budget ---------------
+    print("Token budgets that fit a latency deadline (prompt = 150 tokens):")
+    for budget_s in (1.0, 5.0, 30.0, 120.0):
+        tokens = latency.max_output_tokens(150, budget_s)
+        print(f"  {budget_s:6.1f} s  ->  up to {tokens:5d} reasoning tokens")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""EdgeReasoning: characterizing reasoning-LLM deployment on edge GPUs.
+
+A full reproduction of the IISWC 2025 paper as a Python library: a
+Jetson-Orin-class hardware simulator, a vLLM-style inference engine, the
+paper's analytical latency/power/energy models with fitting and
+validation, token-control strategies, test-time scaling, synthetic
+benchmark suites, and the latency-budget deployment planner.
+
+Quickstart::
+
+    from repro import InferenceEngine, GenerationRequest, get_model
+
+    engine = InferenceEngine(get_model("dsr1-llama-8b"))
+    result = engine.generate(GenerationRequest(
+        request_id=0, prompt_tokens=150, natural_length=800,
+    ))
+    print(result.total_seconds, result.energy.total_energy_joules)
+
+See DESIGN.md for the system inventory and the per-experiment index.
+"""
+
+from repro.core import (
+    CostModel,
+    DecodeLatencyModel,
+    DeploymentPlanner,
+    PrefillLatencyModel,
+    TotalLatencyModel,
+    build_planner,
+    characterize_model,
+    pareto_frontier,
+)
+from repro.engine import GenerationRequest, GenerationResult, InferenceEngine
+from repro.evaluation import EvaluationResult, Evaluator
+from repro.generation import (
+    GenerationControl,
+    base_control,
+    direct_control,
+    hard_budget,
+    nr_control,
+    soft_budget,
+)
+from repro.hardware.soc import h100_like_server, jetson_orin_agx_64gb
+from repro.models import TransformerConfig, capability_profile, get_model, list_models
+from repro.workloads import get_benchmark, list_benchmarks
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostModel",
+    "DecodeLatencyModel",
+    "DeploymentPlanner",
+    "EvaluationResult",
+    "Evaluator",
+    "GenerationControl",
+    "GenerationRequest",
+    "GenerationResult",
+    "InferenceEngine",
+    "PrefillLatencyModel",
+    "TotalLatencyModel",
+    "TransformerConfig",
+    "__version__",
+    "base_control",
+    "build_planner",
+    "capability_profile",
+    "characterize_model",
+    "direct_control",
+    "get_benchmark",
+    "get_model",
+    "hard_budget",
+    "h100_like_server",
+    "jetson_orin_agx_64gb",
+    "list_benchmarks",
+    "list_models",
+    "nr_control",
+    "pareto_frontier",
+    "soft_budget",
+]

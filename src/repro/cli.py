@@ -1,0 +1,197 @@
+"""Command-line interface: simulate, characterize, plan, reproduce.
+
+Examples::
+
+    python -m repro list
+    python -m repro run table11
+    python -m repro simulate --model dsr1-llama-8b --prompt 150 --output 800
+    python -m repro plan --budget 5 --prompt 128
+    python -m repro models
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.characterize import characterize_model
+from repro.core.persistence import save_characterization
+from repro.core.planner import build_planner
+from repro.engine.engine import EngineConfig, InferenceEngine
+from repro.engine.request import GenerationRequest
+from repro.experiments.runner import list_experiments, render, run_experiment
+from repro.models.registry import get_model, list_models
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for artifact in list_experiments():
+        print(artifact)
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    for name in list_models():
+        model = get_model(name)
+        print(f"{name:26s} {model.param_count / 1e9:6.2f}B "
+              f"{model.family.value:<13s} "
+              f"{model.quantization or 'fp16'}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    output = run_experiment(args.artifact, seed=args.seed)
+    print(render(output))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    engine = InferenceEngine(model, config=EngineConfig(
+        framework=args.framework))
+    result = engine.generate(GenerationRequest(
+        request_id=0,
+        prompt_tokens=args.prompt,
+        natural_length=args.output,
+        n=args.parallel,
+    ))
+    report = result.energy
+    print(f"model     {model.display_name}")
+    print(f"framework {engine.framework.name} {engine.framework.version}")
+    print(f"prefill   {result.prefill_seconds * 1e3:.1f} ms")
+    print(f"decode    {result.decode_seconds:.2f} s "
+          f"({result.tokens_per_second:.1f} tok/s, "
+          f"batch {result.batch})")
+    print(f"total     {result.total_seconds:.2f} s")
+    print(f"energy    {report.total_energy_joules:.1f} J "
+          f"(mean {report.mean_power_w:.1f} W)")
+    return 0
+
+
+def _render_artifact(output, charts: bool) -> str:
+    """Render an artifact, optionally drawing Figures as ASCII charts."""
+    from repro.experiments.report import Figure
+
+    if isinstance(output, tuple):
+        return "\n\n".join(_render_artifact(part, charts) for part in output)
+    if charts and isinstance(output, Figure):
+        return output.to_chart()
+    return render(output)
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    selected = (args.only.split(",") if args.only
+                else list(list_experiments()))
+    out_dir = Path(args.output)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for artifact in selected:
+        print(f"[{artifact}] running...", file=sys.stderr)
+        output = run_experiment(artifact, seed=args.seed)
+        target = out_dir / f"{artifact}.txt"
+        target.write_text(_render_artifact(output, args.charts) + "\n")
+        print(f"[{artifact}] -> {target}", file=sys.stderr)
+    print(f"wrote {len(selected)} artifacts to {out_dir}")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    print(f"Characterizing {model.display_name}...", file=sys.stderr)
+    result = characterize_model(model, seed=args.seed)
+    latency = result.latency
+    print(f"prefill  L = {latency.prefill.a:.3e}*I_pad^2 + "
+          f"{latency.prefill.b:.3e}*I_pad + {latency.prefill.c:.4f}")
+    print(f"decode   TBT = {latency.decode.m:.3e}*I + {latency.decode.n:.4f}")
+    print(f"power    decode: {result.decode_power.w:.2f}*ln(O) "
+          f"{result.decode_power.x0:+.2f} (floor {result.decode_power.u:.1f} W)")
+    if args.output:
+        path = save_characterization(result, args.output)
+        print(f"saved    {path}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    print("Characterizing candidate models (one-time)...", file=sys.stderr)
+    planner = build_planner(seed=args.seed)
+    decision = planner.plan(args.budget, prompt_tokens=args.prompt)
+    if not decision.feasible:
+        print(f"No configuration fits a {args.budget:.2f}s budget.")
+        return 1
+    chosen = decision.chosen
+    print(f"budget    {args.budget:.2f} s (prompt {args.prompt} tokens)")
+    print(f"config    {chosen.label}")
+    print(f"tokens    {chosen.expected_output_tokens:.0f} expected")
+    print(f"latency   {decision.predicted_latency_s:.2f} s predicted")
+    print(f"accuracy  {decision.predicted_accuracy * 100:.1f}% predicted "
+          f"(MMLU-Redux)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EdgeReasoning reproduction: simulate, characterize, "
+                    "plan, and regenerate the paper's artifacts.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible artifacts").set_defaults(
+        func=_cmd_list)
+    sub.add_parser("models", help="list the model zoo").set_defaults(
+        func=_cmd_models)
+
+    run = sub.add_parser("run", help="regenerate one paper artifact")
+    run.add_argument("artifact", help="artifact id, e.g. table11 or fig7")
+    run.add_argument("--seed", type=int, default=0)
+    run.set_defaults(func=_cmd_run)
+
+    simulate = sub.add_parser("simulate", help="simulate one generation")
+    simulate.add_argument("--model", default="dsr1-llama-8b")
+    simulate.add_argument("--prompt", type=int, default=150)
+    simulate.add_argument("--output", type=int, default=800)
+    simulate.add_argument("--parallel", type=int, default=1)
+    simulate.add_argument("--framework", default="vllm")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="regenerate artifacts into an output directory")
+    reproduce.add_argument("--output", default="outputs")
+    reproduce.add_argument("--only", default=None,
+                           help="comma-separated artifact ids (default: all)")
+    reproduce.add_argument("--seed", type=int, default=0)
+    reproduce.add_argument("--charts", action="store_true",
+                           help="render figures as ASCII charts")
+    reproduce.set_defaults(func=_cmd_reproduce)
+
+    characterize = sub.add_parser(
+        "characterize", help="fit the analytical models for one model")
+    characterize.add_argument("--model", default="dsr1-llama-8b")
+    characterize.add_argument("--seed", type=int, default=0)
+    characterize.add_argument("--output", default=None,
+                              help="write fitted models to this JSON file")
+    characterize.set_defaults(func=_cmd_characterize)
+
+    plan = sub.add_parser("plan", help="pick a config for a latency budget")
+    plan.add_argument("--budget", type=float, required=True,
+                      help="latency budget in seconds")
+    plan.add_argument("--prompt", type=int, default=128)
+    plan.add_argument("--seed", type=int, default=0)
+    plan.set_defaults(func=_cmd_plan)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early.
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,122 @@
+"""The paper's primary contribution: analytical models and the planner.
+
+* Latency models (Eqns. 1-3) mapping token counts to Jetson latency.
+* Power (Eqns. 4/6) and energy (Eqn. 5) models.
+* Fitting + held-out validation (Tables IV-VI, VIII, XX-XXIII).
+* The $/1M-token cost model (Section III-B).
+* Pareto-frontier extraction and the latency-budget deployment planner
+  (Takeaway #6).
+"""
+
+from repro.core.controller import (
+    ControlledGeneration,
+    DeadlineController,
+    static_budget_baseline,
+)
+from repro.core.cost import CloudPricing, CostModel, o1_preview_pricing, o4_mini_pricing
+from repro.core.energy_model import (
+    LogEnergyPerTokenModel,
+    PiecewiseEnergyPerTokenModel,
+    TotalEnergyModel,
+)
+from repro.core.latency_model import (
+    PAPER_DECODE_COEFFICIENTS,
+    PAPER_PREFILL_COEFFICIENTS,
+    DecodeLatencyModel,
+    PrefillLatencyModel,
+    TotalLatencyModel,
+    pad_input_length,
+)
+from repro.core.power_model import PiecewiseLogPowerModel, constant_power
+from repro.core.fitting import (
+    FitQuality,
+    fit_decode_latency,
+    fit_energy_per_token,
+    fit_log_energy,
+    fit_piecewise_log_power,
+    fit_prefill_latency,
+)
+from repro.core.characterize import (
+    CharacterizationResult,
+    characterize_model,
+    run_decode_sweep,
+    run_prefill_sweep,
+    run_tbt_sweep,
+)
+from repro.core.validation import (
+    EnergyValidation,
+    HeldOutMeasurements,
+    LatencyValidation,
+    measure_held_out,
+    sample_held_out_shapes,
+    validate_energy_model,
+    validate_latency_model,
+)
+from repro.core.pareto import Regime, dominates, operational_regimes, pareto_frontier
+from repro.core.persistence import (
+    characterization_to_dict,
+    latency_from_dict,
+    latency_to_dict,
+    load_models,
+    save_characterization,
+)
+from repro.core.planner import (
+    BudgetAwareCandidate,
+    CandidateConfig,
+    DeploymentPlanner,
+    PlanDecision,
+    build_planner,
+)
+
+__all__ = [
+    "BudgetAwareCandidate",
+    "CandidateConfig",
+    "CharacterizationResult",
+    "CloudPricing",
+    "ControlledGeneration",
+    "CostModel",
+    "DeadlineController",
+    "DecodeLatencyModel",
+    "DeploymentPlanner",
+    "EnergyValidation",
+    "FitQuality",
+    "HeldOutMeasurements",
+    "LatencyValidation",
+    "LogEnergyPerTokenModel",
+    "PAPER_DECODE_COEFFICIENTS",
+    "PAPER_PREFILL_COEFFICIENTS",
+    "PiecewiseEnergyPerTokenModel",
+    "PiecewiseLogPowerModel",
+    "PlanDecision",
+    "PrefillLatencyModel",
+    "Regime",
+    "TotalEnergyModel",
+    "TotalLatencyModel",
+    "build_planner",
+    "characterization_to_dict",
+    "characterize_model",
+    "constant_power",
+    "dominates",
+    "fit_decode_latency",
+    "fit_energy_per_token",
+    "fit_log_energy",
+    "fit_piecewise_log_power",
+    "fit_prefill_latency",
+    "latency_from_dict",
+    "latency_to_dict",
+    "load_models",
+    "measure_held_out",
+    "save_characterization",
+    "o1_preview_pricing",
+    "o4_mini_pricing",
+    "operational_regimes",
+    "pad_input_length",
+    "pareto_frontier",
+    "run_decode_sweep",
+    "run_prefill_sweep",
+    "run_tbt_sweep",
+    "sample_held_out_shapes",
+    "static_budget_baseline",
+    "validate_energy_model",
+    "validate_latency_model",
+]

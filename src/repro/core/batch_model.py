@@ -1,0 +1,101 @@
+"""Batch-aware decode latency model: Eqn. 2 extended along Fig. 10a.
+
+The paper fits ``TBT = m*I + n`` at batch 1 and separately *measures*
+how decode latency grows with the parallel scaling factor (Fig. 10a).
+This module closes the loop: fit the (m, n) pair at each batch size in
+a sweep, then interpolate over batch — giving a single analytical
+surface ``TBT(I, B)`` the parallel planner and serving simulator can
+query without touching the substrate.
+
+Empirically (and by the roofline construction) both coefficients grow
+affinely with batch: ``n(B) = n0 + n1*B`` (per-sequence overheads and
+activations) and ``m(B) = m1*B`` (KV reads scale per sequence), with a
+compute-bound knee at very large batch that the model flags rather than
+extrapolates through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fitting import fit_decode_latency
+from repro.core.latency_model import DecodeLatencyModel
+from repro.engine.engine import InferenceEngine
+
+DEFAULT_BATCHES = (1, 2, 4, 8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class BatchedDecodeLatencyModel:
+    """``TBT(I, B)`` via per-batch (m, n) fits with affine interpolation."""
+
+    batches: tuple[int, ...]
+    models: tuple[DecodeLatencyModel, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.batches) != len(self.models):
+            raise ValueError("batches and models must align")
+        if list(self.batches) != sorted(self.batches):
+            raise ValueError("batches must be sorted ascending")
+        if len(self.batches) < 2:
+            raise ValueError("need at least two batch points")
+
+    # ------------------------------------------------------------------
+    def coefficients(self, batch: int) -> DecodeLatencyModel:
+        """(m, n) at an arbitrary batch size, interpolated/extrapolated."""
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        arr = np.asarray(self.batches, dtype=np.float64)
+        ms = np.array([model.m for model in self.models])
+        ns = np.array([model.n for model in self.models])
+        m = float(np.interp(batch, arr, ms))
+        n = float(np.interp(batch, arr, ns))
+        return DecodeLatencyModel(m=m, n=n)
+
+    def tbt(self, context_len: float, batch: int) -> float:
+        """Time between tokens at (context, batch)."""
+        return float(self.coefficients(batch).tbt(context_len))
+
+    def decode_latency(self, input_len: int, output_len: int,
+                       batch: int) -> float:
+        """Total decode time for a batch of identical-shape sequences."""
+        return float(self.coefficients(batch)(input_len, output_len))
+
+    def latency_multiplier(self, batch: int, context_len: float = 512.0,
+                           ) -> float:
+        """Decode slowdown vs batch 1 (the Fig. 10a curve)."""
+        return self.tbt(context_len, batch) / self.tbt(context_len, 1)
+
+    @property
+    def max_fitted_batch(self) -> int:
+        """Largest batch the fit covers; beyond it the compute-bound knee
+        may invalidate the affine extrapolation."""
+        return self.batches[-1]
+
+
+def fit_batched_decode_model(engine: InferenceEngine,
+                             batches: tuple[int, ...] = DEFAULT_BATCHES,
+                             rng: np.random.Generator | None = None,
+                             samples_per_batch: int = 40,
+                             ) -> BatchedDecodeLatencyModel:
+    """Fit (m, n) at every batch size from simulated decode runs."""
+    rng = rng or np.random.default_rng(0)
+    models = []
+    for batch in sorted(batches):
+        inputs = np.clip(rng.lognormal(np.log(200), 0.6, samples_per_batch),
+                         32, 4096).astype(int).astype(float)
+        outputs = np.clip(rng.lognormal(np.log(400), 0.7, samples_per_batch),
+                          16, 2048).astype(int).astype(float)
+        latencies = np.zeros(samples_per_batch)
+        for index in range(samples_per_batch):
+            steps = engine.kernels.decode_step_seconds(
+                engine.profile,
+                inputs[index] + np.arange(int(outputs[index]), dtype=float),
+                int(batch),
+            )
+            latencies[index] = float(np.sum(steps))
+        model, _ = fit_decode_latency(inputs, outputs, latencies)
+        models.append(model)
+    return BatchedDecodeLatencyModel(tuple(sorted(batches)), tuple(models))

@@ -1,0 +1,222 @@
+"""Characterization sweeps: measure the (simulated) hardware, fit models.
+
+This reproduces the paper's Section IV methodology end-to-end: run
+prefill/decode sweeps on the device, record latency/power/energy, then
+fit the analytical models of Eqns. 1-6 to the measurements.  The fitted
+models — not raw measurements — drive the fast full-benchmark analyses,
+exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.energy_model import (
+    LogEnergyPerTokenModel,
+    PiecewiseEnergyPerTokenModel,
+    TotalEnergyModel,
+)
+from repro.core.fitting import (
+    FitQuality,
+    fit_decode_latency,
+    fit_energy_per_token,
+    fit_log_energy,
+    fit_piecewise_log_power,
+    fit_prefill_latency,
+)
+from repro.core.latency_model import (
+    DecodeLatencyModel,
+    PrefillLatencyModel,
+    TotalLatencyModel,
+)
+from repro.core.power_model import PiecewiseLogPowerModel
+from repro.engine.engine import EngineConfig, InferenceEngine
+from repro.engine.request import GenerationRequest
+from repro.hardware.soc import SocSpec
+from repro.models.config import TransformerConfig
+
+#: Default input-length sweep: every multiple of 64 up to 4k, as in Fig. 2.
+DEFAULT_PREFILL_LENGTHS = tuple(range(64, 4096 + 1, 64))
+#: Default output-length sweep at fixed input 512, as in Fig. 3/5.
+DEFAULT_DECODE_LENGTHS = (64, 128, 192, 256, 384, 512, 768, 1024, 1536, 2048)
+DEFAULT_DECODE_INPUT = 512
+
+
+@dataclass(frozen=True)
+class PrefillSweep:
+    """Measured prefill latency/power/energy over input lengths."""
+
+    input_lens: np.ndarray
+    seconds: np.ndarray
+    power_w: np.ndarray
+    energy_per_token_j: np.ndarray
+
+
+@dataclass(frozen=True)
+class DecodeSweep:
+    """Measured decode latency/power/energy over output lengths."""
+
+    input_len: int
+    output_lens: np.ndarray
+    seconds: np.ndarray
+    power_w: np.ndarray
+    energy_per_token_j: np.ndarray
+
+    @property
+    def tokens_per_second(self) -> np.ndarray:
+        """Decode throughput at each output length."""
+        return self.output_lens / self.seconds
+
+
+@dataclass(frozen=True)
+class TbtSweep:
+    """Time-between-tokens versus input (context) length (Fig. 3b)."""
+
+    input_lens: np.ndarray
+    tbt_seconds: np.ndarray
+
+
+@dataclass(frozen=True)
+class CharacterizationResult:
+    """Everything Section IV produces for one model."""
+
+    model: str
+    prefill_sweep: PrefillSweep
+    decode_sweep: DecodeSweep
+    tbt_sweep: TbtSweep
+    latency: TotalLatencyModel
+    prefill_fit: FitQuality
+    decode_fit: FitQuality
+    prefill_power: PiecewiseLogPowerModel
+    decode_power: PiecewiseLogPowerModel
+    prefill_energy: PiecewiseEnergyPerTokenModel
+    decode_energy: LogEnergyPerTokenModel
+
+    @property
+    def energy(self) -> TotalEnergyModel:
+        """The combined total-energy model."""
+        return TotalEnergyModel(self.prefill_energy, self.decode_energy)
+
+
+def run_prefill_sweep(engine: InferenceEngine,
+                      input_lens: tuple[int, ...] = DEFAULT_PREFILL_LENGTHS,
+                      samples: int = 1) -> PrefillSweep:
+    """Measure prefill latency/power/energy over input lengths.
+
+    ``samples`` repeats each point (the paper uses 5 for power) and
+    averages; with power noise enabled repeats differ.
+    """
+    lens = np.asarray(input_lens, dtype=np.int64)
+    seconds = np.zeros(lens.size)
+    power = np.zeros(lens.size)
+    for index, input_len in enumerate(lens):
+        for _ in range(samples):
+            stats = engine.kernels.prefill(engine.profile, int(input_len))
+            seconds[index] += stats.seconds
+            power[index] += engine.power.prefill_power(int(input_len))
+        seconds[index] /= samples
+        power[index] /= samples
+    energy_per_token = seconds * power / lens
+    return PrefillSweep(lens, seconds, power, energy_per_token)
+
+
+def run_decode_sweep(engine: InferenceEngine,
+                     output_lens: tuple[int, ...] = DEFAULT_DECODE_LENGTHS,
+                     input_len: int = DEFAULT_DECODE_INPUT) -> DecodeSweep:
+    """Measure decode latency/power/energy over output lengths."""
+    outs = np.asarray(output_lens, dtype=np.int64)
+    seconds = np.zeros(outs.size)
+    power = np.zeros(outs.size)
+    for index, output_len in enumerate(outs):
+        request = GenerationRequest(
+            request_id=index, prompt_tokens=input_len,
+            natural_length=int(output_len),
+        )
+        result = engine.generate(request)
+        seconds[index] = result.decode_seconds
+        decode_energy = result.energy.decode_energy_joules
+        power[index] = decode_energy / result.energy.decode_seconds
+    energy_per_token = seconds * power / outs
+    return DecodeSweep(input_len, outs, seconds, power, energy_per_token)
+
+
+def run_tbt_sweep(engine: InferenceEngine,
+                  input_lens: tuple[int, ...] = (1, 64, 256, 512, 1024,
+                                                 2048, 4096),
+                  probe_tokens: int = 32) -> TbtSweep:
+    """Measure mean TBT at several context lengths (Fig. 3b)."""
+    lens = np.asarray(input_lens, dtype=np.int64)
+    tbt = np.zeros(lens.size)
+    for index, input_len in enumerate(lens):
+        steps = engine.kernels.decode_step_times(
+            engine.profile, int(input_len), probe_tokens
+        )
+        tbt[index] = float(steps.mean())
+    return TbtSweep(lens, tbt)
+
+
+def sample_decode_fit_points(engine: InferenceEngine, rng: np.random.Generator,
+                             count: int = 100,
+                             ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(I, O, decode latency) at benchmark-like random shapes.
+
+    Mirrors the paper's use of 100 MMLU-Redux data points with various
+    input and output lengths to fit Eqn. 2.
+    """
+    inputs = np.clip(rng.lognormal(np.log(150), 0.5, count), 32, 4096).astype(int)
+    outputs = np.clip(rng.lognormal(np.log(600), 0.7, count), 16, 4096).astype(int)
+    latencies = np.zeros(count)
+    for index in range(count):
+        steps = engine.kernels.decode_step_times(
+            engine.profile, int(inputs[index]), int(outputs[index])
+        )
+        latencies[index] = float(steps.sum())
+    return inputs.astype(float), outputs.astype(float), latencies
+
+
+def characterize_model(model: TransformerConfig, soc: SocSpec | None = None,
+                       seed: int = 0, power_noise_std: float = 0.02,
+                       power_samples: int = 5) -> CharacterizationResult:
+    """Run the full Section IV characterization for one model."""
+    engine = InferenceEngine(model, soc=soc, config=EngineConfig(
+        power_noise_std=power_noise_std, seed=seed,
+    ))
+    rng = np.random.default_rng(seed + 17)
+
+    prefill_sweep = run_prefill_sweep(engine, samples=power_samples)
+    decode_sweep = run_decode_sweep(engine)
+    tbt_sweep = run_tbt_sweep(engine)
+
+    prefill_model, prefill_fit = fit_prefill_latency(
+        prefill_sweep.input_lens.astype(float), prefill_sweep.seconds
+    )
+    fit_i, fit_o, fit_lat = sample_decode_fit_points(engine, rng)
+    decode_model, decode_fit = fit_decode_latency(fit_i, fit_o, fit_lat)
+
+    prefill_power, _ = fit_piecewise_log_power(
+        prefill_sweep.input_lens.astype(float), prefill_sweep.power_w
+    )
+    decode_power, _ = fit_piecewise_log_power(
+        decode_sweep.output_lens.astype(float), decode_sweep.power_w
+    )
+    prefill_energy, _ = fit_energy_per_token(
+        prefill_sweep.input_lens.astype(float), prefill_sweep.energy_per_token_j
+    )
+    decode_energy, _ = fit_log_energy(
+        decode_sweep.output_lens.astype(float), decode_sweep.energy_per_token_j
+    )
+    return CharacterizationResult(
+        model=model.name,
+        prefill_sweep=prefill_sweep,
+        decode_sweep=decode_sweep,
+        tbt_sweep=tbt_sweep,
+        latency=TotalLatencyModel(prefill_model, decode_model),
+        prefill_fit=prefill_fit,
+        decode_fit=decode_fit,
+        prefill_power=prefill_power,
+        decode_power=decode_power,
+        prefill_energy=prefill_energy,
+        decode_energy=decode_energy,
+    )

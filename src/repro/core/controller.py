@@ -1,0 +1,176 @@
+"""Online deadline-aware decoding controller.
+
+The introduction demands "(1) precise token length control to meet
+latency constraints, (2) hardware-aware functions mapping latency
+budgets to maximum decodable tokens".  The planner provides (2) offline;
+this module provides (1) *online*: a controller that rides along a
+generation, watches the clock against the fitted latency model, and
+forces the answer segment when the remaining budget can no longer cover
+further thinking plus the answer.
+
+The win over a static token budget is adaptivity: a static budget must
+be provisioned for the worst-case prompt length and TBT, while the
+controller spends whatever the *actual* request leaves available —
+longer thinking on short prompts, graceful degradation on long ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.latency_model import TotalLatencyModel
+from repro.engine.engine import InferenceEngine
+from repro.engine.request import GenerationRequest
+from repro.generation.reasoning import ANSWER_SEGMENT_TOKENS
+
+
+@dataclass(frozen=True)
+class ControlledGeneration:
+    """Outcome of one deadline-controlled generation."""
+
+    deadline_s: float
+    prompt_tokens: int
+    thinking_tokens: int
+    answer_tokens: int
+    elapsed_s: float
+    #: True when the controller cut thinking to protect the deadline.
+    intervened: bool
+
+    @property
+    def output_tokens(self) -> int:
+        """All generated tokens."""
+        return self.thinking_tokens + self.answer_tokens
+
+    @property
+    def met_deadline(self) -> bool:
+        """Whether the generation finished inside the deadline."""
+        return self.elapsed_s <= self.deadline_s + 1e-9
+
+
+class DeadlineController:
+    """Forces the answer when the budget can no longer fund thinking.
+
+    At each decode step the controller asks the fitted latency model how
+    long the *answer segment* would take from the current context; once
+    ``elapsed + answer_cost + one more step`` would exceed the deadline,
+    thinking stops and the answer is emitted.
+    """
+
+    def __init__(self, latency_model: TotalLatencyModel,
+                 answer_tokens: int = ANSWER_SEGMENT_TOKENS,
+                 safety_margin: float = 0.02):
+        if answer_tokens <= 0:
+            raise ValueError("answer_tokens must be positive")
+        if not 0.0 <= safety_margin < 0.5:
+            raise ValueError("safety_margin must be in [0, 0.5)")
+        self.latency_model = latency_model
+        self.answer_tokens = answer_tokens
+        self.safety_margin = safety_margin
+
+    # ------------------------------------------------------------------
+    def _answer_cost(self, context_len: int) -> float:
+        """Predicted time to emit the answer segment from this context."""
+        return float(self.latency_model.decode(context_len,
+                                               self.answer_tokens))
+
+    def should_stop_thinking(self, elapsed_s: float, context_len: int,
+                             deadline_s: float) -> bool:
+        """Decide, mid-generation, whether to force the answer now."""
+        budget = deadline_s * (1.0 - self.safety_margin)
+        next_step = float(self.latency_model.decode.tbt(context_len))
+        return elapsed_s + next_step + self._answer_cost(context_len) > budget
+
+    # ------------------------------------------------------------------
+    def run(self, engine: InferenceEngine, prompt_tokens: int,
+            natural_thinking_tokens: int,
+            deadline_s: float) -> ControlledGeneration:
+        """Simulate one controlled generation on the engine.
+
+        ``natural_thinking_tokens`` is where the model would stop of its
+        own accord; the controller may cut earlier.
+        """
+        if deadline_s <= 0:
+            raise ValueError("deadline must be positive")
+        prefill_s = engine.kernels.prefill(engine.profile,
+                                           prompt_tokens).seconds
+        elapsed = prefill_s
+        context = prompt_tokens
+        thinking = 0
+        intervened = False
+        # Vectorize: precompute step times for the natural thinking span.
+        step_times = engine.kernels.decode_step_times(
+            engine.profile, prompt_tokens, max(natural_thinking_tokens, 1))
+        for step in range(natural_thinking_tokens):
+            if self.should_stop_thinking(elapsed, context, deadline_s):
+                intervened = True
+                break
+            elapsed += float(step_times[step])
+            context += 1
+            thinking += 1
+        # Emit the answer segment.
+        answer_steps = engine.kernels.decode_step_times(
+            engine.profile, context, self.answer_tokens)
+        elapsed += float(answer_steps.sum())
+        return ControlledGeneration(
+            deadline_s=deadline_s,
+            prompt_tokens=prompt_tokens,
+            thinking_tokens=thinking,
+            answer_tokens=self.answer_tokens,
+            elapsed_s=elapsed,
+            intervened=intervened,
+        )
+
+    # ------------------------------------------------------------------
+    def batch_run(self, engine: InferenceEngine,
+                  prompt_tokens: np.ndarray,
+                  natural_thinking_tokens: np.ndarray,
+                  deadline_s: float) -> list[ControlledGeneration]:
+        """Run the controller over a population of requests."""
+        prompts = np.asarray(prompt_tokens)
+        naturals = np.asarray(natural_thinking_tokens)
+        if prompts.shape != naturals.shape:
+            raise ValueError("prompt and thinking arrays must align")
+        return [
+            self.run(engine, int(p), int(t), deadline_s)
+            for p, t in zip(prompts, naturals)
+        ]
+
+
+def static_budget_baseline(engine: InferenceEngine,
+                           latency_model: TotalLatencyModel,
+                           prompt_tokens: np.ndarray,
+                           natural_thinking_tokens: np.ndarray,
+                           deadline_s: float,
+                           answer_tokens: int = ANSWER_SEGMENT_TOKENS,
+                           provisioning_quantile: float = 0.95,
+                           ) -> list[ControlledGeneration]:
+    """The static alternative: one token budget provisioned offline.
+
+    The budget is the largest thinking length whose worst-case (at the
+    ``provisioning_quantile`` prompt length) still meets the deadline —
+    what a deployment without online control must do.
+    """
+    prompts = np.asarray(prompt_tokens)
+    worst_prompt = int(np.quantile(prompts, provisioning_quantile))
+    budget = latency_model.max_output_tokens(worst_prompt, deadline_s)
+    thinking_budget = max(budget - answer_tokens, 0)
+    results = []
+    for prompt, natural in zip(prompts, np.asarray(natural_thinking_tokens)):
+        thinking = int(min(natural, thinking_budget))
+        prefill_s = engine.kernels.prefill(engine.profile, int(prompt)).seconds
+        think_s = (float(engine.kernels.decode_step_times(
+            engine.profile, int(prompt), thinking).sum())
+                   if thinking > 0 else 0.0)
+        answer_s = float(engine.kernels.decode_step_times(
+            engine.profile, int(prompt) + thinking, answer_tokens).sum())
+        results.append(ControlledGeneration(
+            deadline_s=deadline_s,
+            prompt_tokens=int(prompt),
+            thinking_tokens=thinking,
+            answer_tokens=answer_tokens,
+            elapsed_s=prefill_s + think_s + answer_s,
+            intervened=thinking < natural,
+        ))
+    return results

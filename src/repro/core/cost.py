@@ -1,0 +1,87 @@
+"""Deployment cost model ($/1M tokens) and cloud price comparison.
+
+Section III-B's methodology: edge cost is energy (at $0.15/kWh) plus
+amortized hardware (Jetson AGX Orin at $0.045/hour), divided by tokens
+processed.  Batched serving amortizes both across concurrent queries —
+the paper's batch-30 AIME run drops cost from $0.302 to $0.027 per
+million tokens.  The $/1M-token figures of Tables X/XI assume a modest
+concurrent-serving factor (~10) over the single-stream latencies, which
+this model exposes as ``serving_batch``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Operating-cost parameters for an edge deployment."""
+
+    electricity_usd_per_kwh: float = 0.15
+    hardware_usd_per_hour: float = 0.045
+    #: Concurrent queries sharing the device; both device-time and energy
+    #: per query are amortized by this factor.
+    serving_batch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.serving_batch <= 0:
+            raise ValueError("serving_batch must be positive")
+
+    @classmethod
+    def single_stream(cls) -> "CostModel":
+        """Batch-1 deployment (Table III's $0.302/1M-token scenario)."""
+        return cls(serving_batch=1)
+
+    @classmethod
+    def paper_serving(cls) -> "CostModel":
+        """The concurrency assumption behind Tables X/XI's cost column."""
+        return cls(serving_batch=10)
+
+    # ------------------------------------------------------------------
+    def energy_cost_usd(self, energy_joules: float) -> float:
+        """Electricity cost of a run."""
+        return (energy_joules / 3.6e6) * self.electricity_usd_per_kwh
+
+    def hardware_cost_usd(self, wallclock_seconds: float) -> float:
+        """Amortized hardware cost of occupying the device."""
+        return (wallclock_seconds / 3600.0) * self.hardware_usd_per_hour
+
+    def cost_usd(self, energy_joules: float, wallclock_seconds: float) -> float:
+        """Total per-query-stream cost before batching amortization."""
+        return self.energy_cost_usd(energy_joules) + self.hardware_cost_usd(
+            wallclock_seconds
+        )
+
+    def cost_per_million_tokens(self, energy_joules: float,
+                                wallclock_seconds: float,
+                                tokens: float) -> float:
+        """$/1M tokens with serving-batch amortization."""
+        if tokens <= 0:
+            raise ValueError("tokens must be positive")
+        total = self.cost_usd(energy_joules, wallclock_seconds) / self.serving_batch
+        return total / tokens * 1e6
+
+
+@dataclass(frozen=True)
+class CloudPricing:
+    """Published API pricing for a cloud model ($ per 1M tokens)."""
+
+    name: str
+    input_usd_per_mtok: float
+    output_usd_per_mtok: float
+
+    def cost_usd(self, input_tokens: float, output_tokens: float) -> float:
+        """API cost of a workload."""
+        return (input_tokens * self.input_usd_per_mtok
+                + output_tokens * self.output_usd_per_mtok) / 1e6
+
+
+def o1_preview_pricing() -> CloudPricing:
+    """OpenAI o1-preview list pricing (Table III)."""
+    return CloudPricing("OpenAI o1-preview", 15.0, 60.0)
+
+
+def o4_mini_pricing() -> CloudPricing:
+    """OpenAI o4-mini list pricing (Section III-B)."""
+    return CloudPricing("OpenAI o4-mini", 1.1, 4.4)

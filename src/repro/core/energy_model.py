@@ -1,0 +1,86 @@
+"""Analytical energy models (Section IV-B, Eqn. 5 and the total model).
+
+Energy per token follows a piecewise form: exponential decay at short
+sequences (fixed overheads amortize, weight reuse improves) and a gentle
+log regime at long ones (attention-bound).  Total energy combines the
+per-phase models: ``E = E_prefill(I) + E_decode(I, O)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PiecewiseEnergyPerTokenModel:
+    """Eqn. 5: ``E/token = A*exp(-lambda*x) + C`` below ``v_e``, else
+    ``alpha*ln(x) + beta``."""
+
+    amplitude: float       # A
+    decay: float           # lambda
+    offset: float          # C
+    threshold: float       # v_e
+    log_slope: float       # alpha_e
+    log_intercept: float   # beta_e
+
+    def __call__(self, seq_len: np.ndarray | float) -> np.ndarray | float:
+        lens = np.asarray(seq_len, dtype=np.float64)
+        if np.any(lens <= 0):
+            raise ValueError("sequence lengths must be positive")
+        decay_part = self.amplitude * np.exp(-self.decay * lens) + self.offset
+        log_part = self.log_slope * np.log(lens) + self.log_intercept
+        out = np.where(lens <= self.threshold, decay_part, log_part)
+        out = np.maximum(out, 0.0)
+        if np.ndim(seq_len) == 0:
+            return float(out)
+        return out
+
+    def total_energy(self, seq_len: np.ndarray | float) -> np.ndarray | float:
+        """Phase energy: per-token energy times token count."""
+        return self(seq_len) * np.asarray(seq_len, dtype=np.float64)
+
+
+def exp_decay_energy(amplitude: float, decay: float, offset: float,
+                     ) -> PiecewiseEnergyPerTokenModel:
+    """A pure exponential-decay model (the 1.5B prefill case, Table XX)."""
+    return PiecewiseEnergyPerTokenModel(
+        amplitude=amplitude, decay=decay, offset=offset,
+        threshold=float("inf"), log_slope=0.0, log_intercept=0.0,
+    )
+
+
+@dataclass(frozen=True)
+class LogEnergyPerTokenModel:
+    """Table XXI decode form: ``E/token = alpha * ln(O) + beta``."""
+
+    alpha: float
+    beta: float
+    #: Clamp below this output length (energy/token can't go negative).
+    floor_tokens: float = 8.0
+
+    def __call__(self, output_len: np.ndarray | float) -> np.ndarray | float:
+        lens = np.maximum(np.asarray(output_len, dtype=np.float64),
+                          self.floor_tokens)
+        out = np.maximum(self.alpha * np.log(lens) + self.beta, 0.0)
+        if np.ndim(output_len) == 0:
+            return float(out)
+        return out
+
+    def total_energy(self, output_len: np.ndarray | float) -> np.ndarray | float:
+        """Decode-phase energy for a generation."""
+        return self(output_len) * np.asarray(output_len, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class TotalEnergyModel:
+    """``E = E_prefill(I) + E_decode(O)`` from the per-phase models."""
+
+    prefill: PiecewiseEnergyPerTokenModel
+    decode: LogEnergyPerTokenModel
+
+    def __call__(self, input_len: np.ndarray | float,
+                 output_len: np.ndarray | float) -> np.ndarray | float:
+        return (self.prefill.total_energy(input_len)
+                + self.decode.total_energy(output_len))

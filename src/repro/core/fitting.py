@@ -1,0 +1,229 @@
+"""Least-squares fitting of the analytical models from sweep measurements.
+
+Implements the paper's fitting protocol:
+
+* Prefill latency (Eqn. 1): fit only data points whose input length is a
+  multiple of 64, substitute the 128-padded length, ordinary least
+  squares on ``[I_pad^2, I_pad, 1]``.
+* Decode latency (Eqn. 2): least squares of measured total decode time
+  on the basis ``[O, I*O + O*(O-1)/2]`` over (input, output) pairs (the
+  paper uses 100 MMLU-Redux points).
+* Power (Eqn. 4/6): piecewise constant-then-log with the transition
+  point chosen by scanning candidate thresholds for minimum SSE.
+* Energy per token (Eqn. 5): exponential decay below the threshold
+  (scipy ``curve_fit``), log regime above.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import OptimizeWarning, curve_fit
+
+from repro.core.energy_model import (
+    LogEnergyPerTokenModel,
+    PiecewiseEnergyPerTokenModel,
+)
+from repro.core.latency_model import (
+    DecodeLatencyModel,
+    PrefillLatencyModel,
+    pad_input_length,
+)
+from repro.core.power_model import PiecewiseLogPowerModel, constant_power
+
+
+@dataclass(frozen=True)
+class FitQuality:
+    """Residual statistics of a fit."""
+
+    r_squared: float
+    rmse: float
+    points: int
+
+
+def _fit_quality(measured: np.ndarray, predicted: np.ndarray) -> FitQuality:
+    residual = measured - predicted
+    ss_res = float(np.square(residual).sum())
+    ss_tot = float(np.square(measured - measured.mean()).sum())
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return FitQuality(
+        r_squared=r_squared,
+        rmse=float(np.sqrt(np.mean(np.square(residual)))),
+        points=int(measured.size),
+    )
+
+
+# ----------------------------------------------------------------------
+# latency
+# ----------------------------------------------------------------------
+def fit_prefill_latency(input_lens: np.ndarray, latencies: np.ndarray,
+                        ) -> tuple[PrefillLatencyModel, FitQuality]:
+    """Fit Eqn. 1 using the paper's multiples-of-64 protocol."""
+    lens = np.asarray(input_lens, dtype=np.float64)
+    lat = np.asarray(latencies, dtype=np.float64)
+    if lens.shape != lat.shape:
+        raise ValueError("input_lens and latencies must align")
+    keep = (lens % 64) == 0
+    if keep.sum() < 3:
+        raise ValueError("need at least 3 multiple-of-64 points to fit")
+    padded = np.asarray(pad_input_length(lens[keep]))
+    design = np.stack([padded**2, padded, np.ones_like(padded)], axis=1)
+    coef, *_ = np.linalg.lstsq(design, lat[keep], rcond=None)
+    model = PrefillLatencyModel(a=float(coef[0]), b=float(coef[1]), c=float(coef[2]))
+    return model, _fit_quality(lat[keep], np.asarray(model(lens[keep])))
+
+
+def fit_decode_latency(input_lens: np.ndarray, output_lens: np.ndarray,
+                       latencies: np.ndarray,
+                       ) -> tuple[DecodeLatencyModel, FitQuality]:
+    """Fit Eqn. 2 over (I, O, decode-latency) samples."""
+    i = np.asarray(input_lens, dtype=np.float64)
+    o = np.asarray(output_lens, dtype=np.float64)
+    lat = np.asarray(latencies, dtype=np.float64)
+    if not (i.shape == o.shape == lat.shape):
+        raise ValueError("inputs, outputs and latencies must align")
+    if i.size < 2:
+        raise ValueError("need at least 2 samples to fit the decode model")
+    design = np.stack([i * o + o * (o - 1.0) / 2.0, o], axis=1)
+    coef, *_ = np.linalg.lstsq(design, lat, rcond=None)
+    model = DecodeLatencyModel(m=float(coef[0]), n=float(coef[1]))
+    return model, _fit_quality(lat, np.asarray(model(i, o)))
+
+
+# ----------------------------------------------------------------------
+# power
+# ----------------------------------------------------------------------
+def _candidate_thresholds(lens: np.ndarray) -> np.ndarray:
+    unique = np.unique(lens)
+    # Keep interior candidates only: both regimes need >= 3 points.
+    return unique[2:-3] if unique.size >= 6 else unique[1:-1]
+
+
+def fit_piecewise_log_power(seq_lens: np.ndarray, watts: np.ndarray,
+                            threshold: float | None = None,
+                            ) -> tuple[PiecewiseLogPowerModel, FitQuality]:
+    """Fit Eqn. 4/6's constant-then-log power form.
+
+    When ``threshold`` is None, candidate transition points are scanned
+    for minimum squared error; a pure-constant model wins when the log
+    regime does not improve the fit.
+    """
+    lens = np.asarray(seq_lens, dtype=np.float64)
+    power = np.asarray(watts, dtype=np.float64)
+    if lens.shape != power.shape:
+        raise ValueError("seq_lens and watts must align")
+    if lens.size < 4:
+        raise ValueError("need at least 4 points to fit a power model")
+
+    def fit_at(v: float) -> tuple[PiecewiseLogPowerModel, float]:
+        below = lens <= v
+        above = ~below
+        u = float(power[below].mean()) if below.any() else float(power.mean())
+        if above.sum() >= 2:
+            design = np.stack([np.log(lens[above]), np.ones(above.sum())], axis=1)
+            coef, *_ = np.linalg.lstsq(design, power[above], rcond=None)
+            model = PiecewiseLogPowerModel(u=u, v=v, w=float(coef[0]),
+                                           x0=float(coef[1]))
+        else:
+            model = constant_power(u)
+        sse = float(np.square(power - np.asarray(model(lens))).sum())
+        return model, sse
+
+    if threshold is not None:
+        model, _ = fit_at(threshold)
+        return model, _fit_quality(power, np.asarray(model(lens)))
+
+    best_model = constant_power(float(power.mean()))
+    best_sse = float(np.square(power - best_model.u).sum())
+    for v in _candidate_thresholds(lens):
+        model, sse = fit_at(float(v))
+        if sse < best_sse:
+            best_model, best_sse = model, sse
+    return best_model, _fit_quality(power, np.asarray(best_model(lens)))
+
+
+# ----------------------------------------------------------------------
+# energy
+# ----------------------------------------------------------------------
+def _fit_exp_decay(lens: np.ndarray, energy: np.ndarray,
+                   ) -> tuple[float, float, float]:
+    """Fit ``A*exp(-lambda*x) + C`` with a robust fallback."""
+    guess_c = float(energy.min())
+    guess_a = max(float(energy.max() - energy.min()), 1e-9)
+    guess_lambda = 3.0 / max(float(lens.mean()), 1.0)
+    try:
+        with warnings.catch_warnings():
+            # Near-constant data makes the covariance singular; the point
+            # estimate is still the fit we want.
+            warnings.simplefilter("ignore", OptimizeWarning)
+            coef, _ = curve_fit(
+                lambda x, a, lam, c: a * np.exp(-lam * x) + c,
+                lens, energy,
+                p0=(guess_a, guess_lambda, guess_c),
+                bounds=((0.0, 1e-8, 0.0), (np.inf, 10.0, np.inf)),
+                maxfev=20000,
+            )
+        return float(coef[0]), float(coef[1]), float(coef[2])
+    except RuntimeError:
+        return 0.0, 1e-6, float(energy.mean())
+
+
+def fit_energy_per_token(seq_lens: np.ndarray, energy_per_token: np.ndarray,
+                         threshold: float | None = None,
+                         ) -> tuple[PiecewiseEnergyPerTokenModel, FitQuality]:
+    """Fit Eqn. 5: exp decay below the transition, log above."""
+    lens = np.asarray(seq_lens, dtype=np.float64)
+    energy = np.asarray(energy_per_token, dtype=np.float64)
+    if lens.shape != energy.shape:
+        raise ValueError("seq_lens and energy_per_token must align")
+    if lens.size < 5:
+        raise ValueError("need at least 5 points to fit an energy model")
+
+    def fit_at(v: float) -> tuple[PiecewiseEnergyPerTokenModel, float]:
+        below = lens <= v
+        above = ~below
+        if below.sum() >= 3:
+            a, lam, c = _fit_exp_decay(lens[below], energy[below])
+        else:
+            a, lam, c = 0.0, 1e-6, float(energy.mean())
+        if above.sum() >= 2:
+            design = np.stack([np.log(lens[above]), np.ones(above.sum())], axis=1)
+            coef, *_ = np.linalg.lstsq(design, energy[above], rcond=None)
+            slope, intercept = float(coef[0]), float(coef[1])
+        else:
+            slope, intercept = 0.0, c
+            v = float("inf")
+        model = PiecewiseEnergyPerTokenModel(
+            amplitude=a, decay=lam, offset=c,
+            threshold=v, log_slope=slope, log_intercept=intercept,
+        )
+        sse = float(np.square(energy - np.asarray(model(lens))).sum())
+        return model, sse
+
+    if threshold is not None:
+        model, _ = fit_at(threshold)
+        return model, _fit_quality(energy, np.asarray(model(lens)))
+
+    best_model, best_sse = fit_at(float("inf"))
+    for v in _candidate_thresholds(lens):
+        model, sse = fit_at(float(v))
+        if sse < best_sse:
+            best_model, best_sse = model, sse
+    return best_model, _fit_quality(energy, np.asarray(best_model(lens)))
+
+
+def fit_log_energy(output_lens: np.ndarray, energy_per_token: np.ndarray,
+                   ) -> tuple[LogEnergyPerTokenModel, FitQuality]:
+    """Fit the Table XXI decode form ``E/token = alpha*ln(O) + beta``."""
+    lens = np.asarray(output_lens, dtype=np.float64)
+    energy = np.asarray(energy_per_token, dtype=np.float64)
+    if lens.shape != energy.shape:
+        raise ValueError("output_lens and energy_per_token must align")
+    if lens.size < 2:
+        raise ValueError("need at least 2 points")
+    design = np.stack([np.log(lens), np.ones(lens.size)], axis=1)
+    coef, *_ = np.linalg.lstsq(design, energy, rcond=None)
+    model = LogEnergyPerTokenModel(alpha=float(coef[0]), beta=float(coef[1]))
+    return model, _fit_quality(energy, np.asarray(model(lens)))

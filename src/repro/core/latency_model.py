@@ -1,0 +1,119 @@
+"""Analytical latency models (Section IV-A, Eqns. 1-3).
+
+These are the paper's primary modeling contribution: closed-form
+functions from token counts to Jetson latency, fitted once from sweep
+measurements and then used everywhere a measurement would be too slow
+(a full MMLU-Redux latency evaluation takes 8 days on hardware; the
+models answer in microseconds).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Tensor-core padding granularity used by the prefill model (Eqn. 1).
+PAD_MULTIPLE = 128
+
+
+def pad_input_length(input_len: np.ndarray | float,
+                     multiple: int = PAD_MULTIPLE) -> np.ndarray | float:
+    """``I_pad = ceil(I / 128) * 128`` (vectorized)."""
+    arr = np.asarray(input_len, dtype=np.float64)
+    padded = np.ceil(arr / multiple) * multiple
+    if np.ndim(input_len) == 0:
+        return float(padded)
+    return padded
+
+
+@dataclass(frozen=True)
+class PrefillLatencyModel:
+    """Eqn. 1: ``L_prefill(I) = a * I_pad^2 + b * I_pad + c``."""
+
+    a: float
+    b: float
+    c: float
+
+    def __call__(self, input_len: np.ndarray | float) -> np.ndarray | float:
+        padded = pad_input_length(input_len)
+        return self.a * np.square(padded) + self.b * padded + self.c
+
+
+@dataclass(frozen=True)
+class DecodeLatencyModel:
+    """Eqn. 2: summed per-token times ``TBT_i = m * I_i + n``.
+
+    ``L_decode(I, O) = n*O + m*(I*O + O*(O-1)/2)``.
+    """
+
+    m: float
+    n: float
+
+    def tbt(self, context_len: np.ndarray | float) -> np.ndarray | float:
+        """Time between tokens at a context length."""
+        return self.m * np.asarray(context_len, dtype=np.float64) + self.n
+
+    def __call__(self, input_len: np.ndarray | float,
+                 output_len: np.ndarray | float) -> np.ndarray | float:
+        i = np.asarray(input_len, dtype=np.float64)
+        o = np.asarray(output_len, dtype=np.float64)
+        return self.n * o + self.m * (i * o + o * (o - 1.0) / 2.0)
+
+
+@dataclass(frozen=True)
+class TotalLatencyModel:
+    """Eqn. 3: ``L = L_prefill + L_decode``."""
+
+    prefill: PrefillLatencyModel
+    decode: DecodeLatencyModel
+
+    def __call__(self, input_len: np.ndarray | float,
+                 output_len: np.ndarray | float) -> np.ndarray | float:
+        return self.prefill(input_len) + self.decode(input_len, output_len)
+
+    def max_output_tokens(self, input_len: float, latency_budget_s: float) -> int:
+        """Largest O with ``L(I, O) <= budget`` (Takeaway #6's inversion).
+
+        Solves the quadratic ``(m/2) O^2 + (n + m*I - m/2) O + L_p - B = 0``
+        for O; returns 0 when even one token misses the budget.
+        """
+        if latency_budget_s <= 0:
+            raise ValueError("latency budget must be positive")
+        remaining = latency_budget_s - float(self.prefill(input_len))
+        if remaining <= 0:
+            return 0
+        m, n = self.decode.m, self.decode.n
+        if abs(m) < 1e-15:
+            if n <= 0:
+                raise ValueError("degenerate decode model (n <= 0, m ~ 0)")
+            return int(remaining / n)
+        half_m = m / 2.0
+        linear = n + m * input_len - half_m
+        disc = linear * linear + 4.0 * half_m * remaining
+        if disc < 0:
+            return 0
+        root = (-linear + math.sqrt(disc)) / (2.0 * half_m)
+        budgeted = int(max(root, 0.0))
+        # Guard against floating-point overshoot at the boundary.
+        while budgeted > 0 and float(self(input_len, budgeted)) > latency_budget_s:
+            budgeted -= 1
+        return budgeted
+
+
+#: Table IV / Table V: the coefficients the paper reports for the Jetson
+#: AGX Orin, kept for reference and regression baselines.
+PAPER_PREFILL_COEFFICIENTS = {
+    "dsr1-qwen-1.5b": PrefillLatencyModel(a=1.56e-7, b=2.31e-6, c=0.046),
+    "dsr1-llama-8b": PrefillLatencyModel(a=6.65e-7, b=2.90e-4, c=0.104),
+    "dsr1-qwen-14b": PrefillLatencyModel(a=1.23e-6, b=5.30e-4, c=0.189),
+}
+
+PAPER_DECODE_COEFFICIENTS = {
+    "dsr1-qwen-1.5b": DecodeLatencyModel(m=-1.50e-7, n=0.024),
+    # Table V prints n=0.010 for the 8B, but the paper's own text and
+    # Fig. 3b give the 8B TBT as ~0.092-0.10 s; we keep the text value.
+    "dsr1-llama-8b": DecodeLatencyModel(m=6.92e-7, n=0.092),
+    "dsr1-qwen-14b": DecodeLatencyModel(m=1.13e-6, n=0.187),
+}

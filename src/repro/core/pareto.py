@@ -1,0 +1,88 @@
+"""Pareto-frontier extraction over accuracy-latency-cost configurations.
+
+Duck-typed over any objects exposing the metric attributes (the
+evaluator's results do), so it serves Figs. 7/8's frontier analysis and
+the operational-regime summary of Section V-A:
+
+* sub-5 s latency: only 1.5B models,
+* 15-30 s: non-reasoning 8B models,
+* >30 s: DSR1-Qwen-14B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def pareto_frontier(items: Sequence[T],
+                    cost: Callable[[T], float],
+                    value: Callable[[T], float]) -> list[T]:
+    """Items not dominated under (minimize cost, maximize value).
+
+    Returned sorted by ascending cost; ties on cost keep the higher
+    value.
+    """
+    if not items:
+        return []
+    costs = np.array([cost(item) for item in items], dtype=np.float64)
+    values = np.array([value(item) for item in items], dtype=np.float64)
+    order = np.lexsort((-values, costs))
+    frontier: list[T] = []
+    best = -np.inf
+    for index in order:
+        if values[index] > best:
+            frontier.append(items[index])
+            best = values[index]
+    return frontier
+
+
+@dataclass(frozen=True)
+class Regime:
+    """One operational regime: a latency band and its best configuration."""
+
+    band: str
+    min_latency_s: float
+    max_latency_s: float
+    best_label: str
+    best_accuracy: float
+
+
+def operational_regimes(items: Sequence[T],
+                        latency: Callable[[T], float],
+                        accuracy: Callable[[T], float],
+                        label: Callable[[T], str],
+                        bands: Sequence[tuple[float, float]] = (
+                            (0.0, 5.0), (5.0, 15.0), (15.0, 30.0),
+                            (30.0, float("inf")),
+                        )) -> list[Regime]:
+    """Best configuration within each latency band (Section V-A)."""
+    regimes = []
+    for lo, hi in bands:
+        in_band = [item for item in items if lo <= latency(item) < hi]
+        if not in_band:
+            continue
+        best = max(in_band, key=accuracy)
+        band_name = f"<{hi:g}s" if lo == 0 else (
+            f">{lo:g}s" if hi == float("inf") else f"{lo:g}-{hi:g}s"
+        )
+        regimes.append(Regime(
+            band=band_name,
+            min_latency_s=lo,
+            max_latency_s=hi,
+            best_label=label(best),
+            best_accuracy=accuracy(best),
+        ))
+    return regimes
+
+
+def dominates(cost_a: float, value_a: float,
+              cost_b: float, value_b: float) -> bool:
+    """Whether point A dominates point B (cheaper-or-equal and better,
+    with at least one strict)."""
+    return (cost_a <= cost_b and value_a >= value_b
+            and (cost_a < cost_b or value_a > value_b))

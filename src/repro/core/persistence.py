@@ -1,0 +1,152 @@
+"""Persist fitted analytical models to JSON and load them back.
+
+The paper's artifact keeps its fitted coefficients in
+``models/analytic.yaml`` so the latency/energy predictors run without
+re-measuring the device.  This module provides the same workflow:
+characterize once, ``save_characterization`` to JSON, and reload the
+models anywhere (including machines without the simulator's inputs).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any
+
+from repro.core.characterize import CharacterizationResult
+from repro.core.energy_model import (
+    LogEnergyPerTokenModel,
+    PiecewiseEnergyPerTokenModel,
+    TotalEnergyModel,
+)
+from repro.core.latency_model import (
+    DecodeLatencyModel,
+    PrefillLatencyModel,
+    TotalLatencyModel,
+)
+from repro.core.power_model import PiecewiseLogPowerModel
+
+#: Schema version written into every file.
+SCHEMA_VERSION = 1
+
+
+def _finite(value: float) -> float | str:
+    """JSON cannot carry inf; encode it symbolically."""
+    if math.isinf(value):
+        return "inf"
+    return value
+
+
+def _from_finite(value: float | str) -> float:
+    if value == "inf":
+        return float("inf")
+    return float(value)
+
+
+# ----------------------------------------------------------------------
+# model <-> dict
+# ----------------------------------------------------------------------
+def latency_to_dict(model: TotalLatencyModel) -> dict[str, Any]:
+    """Serialize Eqns. 1-3 coefficients."""
+    return {
+        "prefill": {"a": model.prefill.a, "b": model.prefill.b,
+                    "c": model.prefill.c},
+        "decode": {"m": model.decode.m, "n": model.decode.n},
+    }
+
+
+def latency_from_dict(data: dict[str, Any]) -> TotalLatencyModel:
+    """Rebuild a latency model from its coefficients."""
+    return TotalLatencyModel(
+        PrefillLatencyModel(**data["prefill"]),
+        DecodeLatencyModel(**data["decode"]),
+    )
+
+
+def power_to_dict(model: PiecewiseLogPowerModel) -> dict[str, Any]:
+    """Serialize an Eqn. 4/6 power model."""
+    return {"u": model.u, "v": _finite(model.v), "w": model.w,
+            "x0": model.x0}
+
+
+def power_from_dict(data: dict[str, Any]) -> PiecewiseLogPowerModel:
+    """Rebuild a power model."""
+    return PiecewiseLogPowerModel(
+        u=float(data["u"]), v=_from_finite(data["v"]),
+        w=float(data["w"]), x0=float(data["x0"]),
+    )
+
+
+def energy_to_dict(model: TotalEnergyModel) -> dict[str, Any]:
+    """Serialize the Eqn. 5 prefill model and log decode model."""
+    prefill = model.prefill
+    decode = model.decode
+    return {
+        "prefill": {
+            "amplitude": prefill.amplitude, "decay": prefill.decay,
+            "offset": prefill.offset, "threshold": _finite(prefill.threshold),
+            "log_slope": prefill.log_slope,
+            "log_intercept": prefill.log_intercept,
+        },
+        "decode": {"alpha": decode.alpha, "beta": decode.beta,
+                   "floor_tokens": decode.floor_tokens},
+    }
+
+
+def energy_from_dict(data: dict[str, Any]) -> TotalEnergyModel:
+    """Rebuild an energy model."""
+    prefill = dict(data["prefill"])
+    prefill["threshold"] = _from_finite(prefill["threshold"])
+    return TotalEnergyModel(
+        PiecewiseEnergyPerTokenModel(**prefill),
+        LogEnergyPerTokenModel(**data["decode"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# characterization <-> file
+# ----------------------------------------------------------------------
+def characterization_to_dict(result: CharacterizationResult) -> dict[str, Any]:
+    """Serialize the fitted models of a characterization (not the sweeps)."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "model": result.model,
+        "latency": latency_to_dict(result.latency),
+        "prefill_power": power_to_dict(result.prefill_power),
+        "decode_power": power_to_dict(result.decode_power),
+        "energy": energy_to_dict(result.energy),
+        "fit_quality": {
+            "prefill_r2": result.prefill_fit.r_squared,
+            "decode_r2": result.decode_fit.r_squared,
+        },
+    }
+
+
+def save_characterization(result: CharacterizationResult,
+                          path: str | Path) -> Path:
+    """Write the fitted models to a JSON file."""
+    path = Path(path)
+    path.write_text(json.dumps(characterization_to_dict(result), indent=2))
+    return path
+
+
+def load_models(path: str | Path) -> dict[str, Any]:
+    """Load fitted models from a file written by :func:`save_characterization`.
+
+    Returns ``{"model", "latency", "prefill_power", "decode_power",
+    "energy"}`` with the analytical model objects rebuilt.
+    """
+    data = json.loads(Path(path).read_text())
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema version {version!r} (expected {SCHEMA_VERSION})"
+        )
+    return {
+        "model": data["model"],
+        "latency": latency_from_dict(data["latency"]),
+        "prefill_power": power_from_dict(data["prefill_power"]),
+        "decode_power": power_from_dict(data["decode_power"]),
+        "energy": energy_from_dict(data["energy"]),
+    }

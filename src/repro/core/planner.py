@@ -1,0 +1,327 @@
+"""Latency-budget deployment planner (Takeaway #6 and Fig. 1's promise).
+
+Given a task latency budget, pick the configuration — model, token
+control, token budget — that maximizes predicted accuracy while meeting
+the budget.  Discrete candidates come from the Section V configuration
+grid; budget-aware models (L1) additionally support a *continuous* token
+budget obtained by inverting the fitted latency model
+(:meth:`TotalLatencyModel.max_output_tokens`), which is what turns the
+discrete accuracy-latency tradeoff of Fig. 1 into a continuous frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.characterize import characterize_model
+from repro.core.cost import CostModel
+from repro.core.energy_model import TotalEnergyModel
+from repro.core.latency_model import TotalLatencyModel
+from repro.generation.control import (
+    GenerationControl,
+    direct_control,
+    hard_budget,
+    standard_controls,
+)
+from repro.generation.length import LengthModel
+from repro.hardware.soc import SocSpec
+from repro.models.capability import CapabilityProfile, capability_profile, has_profile
+from repro.models.config import ModelFamily, TransformerConfig
+from repro.models.registry import get_model
+
+
+@dataclass(frozen=True)
+class CandidateConfig:
+    """One discrete deployable configuration."""
+
+    model: TransformerConfig
+    control: GenerationControl
+    expected_output_tokens: float
+    predicted_accuracy: float
+    latency: TotalLatencyModel
+    #: Fitted energy model, enabling cost-constrained planning (Fig. 8's
+    #: guidance as a constraint).  Optional: None disables cost checks.
+    energy: TotalEnergyModel | None = None
+    cost_model: CostModel | None = None
+    #: Parallel test-time scaling factor (majority-voted samples).
+    parallel: int = 1
+    #: Decode-latency multiplier at this parallel factor, measured on the
+    #: substrate (Fig. 10a: ~2x at SF=64, far less at small factors).
+    parallel_latency_multiplier: float = 1.0
+
+    @property
+    def label(self) -> str:
+        """Display label, e.g. 'DSR1-Llama-8B 128T' or '... 128T x8'."""
+        base = f"{self.model.display_name} {self.control.label}"
+        if self.parallel > 1:
+            return f"{base} x{self.parallel}"
+        return base
+
+    def predicted_latency(self, prompt_tokens: int) -> float:
+        """Latency predicted by the fitted analytical model."""
+        tokens = max(int(round(self.expected_output_tokens)), 1)
+        prefill = float(self.latency.prefill(prompt_tokens))
+        decode = float(self.latency.decode(prompt_tokens, tokens))
+        return prefill + decode * self.parallel_latency_multiplier
+
+    def predicted_energy_j(self, prompt_tokens: int) -> float | None:
+        """Per-query energy predicted by the fitted energy model."""
+        if self.energy is None:
+            return None
+        tokens = max(int(round(self.expected_output_tokens)), 1)
+        return float(self.energy(prompt_tokens, tokens)) * self.parallel
+
+    def predicted_cost_per_mtok(self, prompt_tokens: int) -> float | None:
+        """$/1M tokens predicted from the fitted energy/latency models."""
+        if self.energy is None:
+            return None
+        cost_model = self.cost_model or CostModel.paper_serving()
+        tokens = max(int(round(self.expected_output_tokens)), 1)
+        energy_j = float(self.energy(prompt_tokens, tokens)) * self.parallel
+        seconds = self.predicted_latency(prompt_tokens)
+        return cost_model.cost_per_million_tokens(
+            energy_j, seconds, prompt_tokens + tokens * self.parallel)
+
+
+@dataclass(frozen=True)
+class BudgetAwareCandidate:
+    """A budget-aware (L1-style) model with continuous budget control."""
+
+    model: TransformerConfig
+    capability: CapabilityProfile
+    lengths: LengthModel
+    latency: TotalLatencyModel
+
+    def best_under_budget(self, latency_budget_s: float,
+                          prompt_tokens: int) -> CandidateConfig | None:
+        """Largest feasible token budget, via latency-model inversion."""
+        max_tokens = self.latency.max_output_tokens(prompt_tokens,
+                                                    latency_budget_s)
+        if max_tokens < 8:
+            return None
+        control = hard_budget(int(max_tokens))
+        expected = self.lengths.mean_tokens(control)
+        accuracy = float(self.capability.hard(expected))
+        return CandidateConfig(
+            model=self.model,
+            control=control,
+            expected_output_tokens=expected,
+            predicted_accuracy=accuracy,
+            latency=self.latency,
+        )
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """The planner's answer for one latency budget."""
+
+    latency_budget_s: float
+    prompt_tokens: int
+    chosen: CandidateConfig | None
+    predicted_latency_s: float
+    predicted_accuracy: float
+
+    @property
+    def feasible(self) -> bool:
+        """Whether any configuration met the budget."""
+        return self.chosen is not None
+
+
+class DeploymentPlanner:
+    """Selects the accuracy-optimal configuration under a latency budget."""
+
+    def __init__(self, candidates: list[CandidateConfig],
+                 budget_aware: list[BudgetAwareCandidate] | None = None):
+        if not candidates and not budget_aware:
+            raise ValueError("planner needs at least one candidate")
+        self.candidates = candidates
+        self.budget_aware = budget_aware or []
+
+    def plan(self, latency_budget_s: float,
+             prompt_tokens: int = 128,
+             max_cost_per_mtok: float | None = None,
+             max_energy_j: float | None = None) -> PlanDecision:
+        """Pick the best configuration within the latency budget.
+
+        ``max_cost_per_mtok`` additionally enforces Section V-D's cost
+        guidance; ``max_energy_j`` caps per-query energy (the binding
+        constraint on battery-powered platforms).  Candidates without an
+        energy model pass both checks.
+        """
+        if latency_budget_s <= 0:
+            raise ValueError("latency budget must be positive")
+        if max_cost_per_mtok is not None and max_cost_per_mtok <= 0:
+            raise ValueError("max_cost_per_mtok must be positive")
+        if max_energy_j is not None and max_energy_j <= 0:
+            raise ValueError("max_energy_j must be positive")
+
+        def cost_ok(candidate: CandidateConfig) -> bool:
+            if max_cost_per_mtok is not None:
+                cost = candidate.predicted_cost_per_mtok(prompt_tokens)
+                if cost is not None and cost > max_cost_per_mtok:
+                    return False
+            if max_energy_j is not None:
+                energy = candidate.predicted_energy_j(prompt_tokens)
+                if energy is not None and energy > max_energy_j:
+                    return False
+            return True
+
+        options: list[tuple[CandidateConfig, float]] = []
+        for candidate in self.candidates:
+            predicted = candidate.predicted_latency(prompt_tokens)
+            if predicted <= latency_budget_s and cost_ok(candidate):
+                options.append((candidate, predicted))
+        for aware in self.budget_aware:
+            candidate = aware.best_under_budget(latency_budget_s, prompt_tokens)
+            if candidate is None:
+                continue
+            predicted = candidate.predicted_latency(prompt_tokens)
+            if predicted <= latency_budget_s and cost_ok(candidate):
+                options.append((candidate, predicted))
+        if not options:
+            return PlanDecision(latency_budget_s, prompt_tokens, None,
+                                float("inf"), 0.0)
+        best, best_latency = max(
+            options, key=lambda pair: (pair[0].predicted_accuracy, -pair[1])
+        )
+        return PlanDecision(
+            latency_budget_s=latency_budget_s,
+            prompt_tokens=prompt_tokens,
+            chosen=best,
+            predicted_latency_s=best_latency,
+            predicted_accuracy=best.predicted_accuracy,
+        )
+
+    def frontier(self, latency_budgets: np.ndarray | list[float],
+                 prompt_tokens: int = 128) -> list[PlanDecision]:
+        """Plan across a sweep of budgets (the continuous frontier)."""
+        return [self.plan(float(budget), prompt_tokens)
+                for budget in latency_budgets]
+
+
+#: The default candidate pool for MMLU-Redux-style planning.
+DEFAULT_PLANNER_MODELS = (
+    "dsr1-qwen-1.5b", "dsr1-llama-8b", "dsr1-qwen-14b",
+    "qwen2.5-7b-it", "llama3.1-8b-it", "qwen2.5-1.5b-it", "qwen2.5-14b-it",
+)
+
+
+def _voted_accuracy(model: TransformerConfig, capability, lengths,
+                    control: GenerationControl, parallel: int,
+                    seed: int) -> float:
+    """Predicted majority-voting accuracy for a parallel candidate.
+
+    Uses the same per-question statistics as the evaluator: a synthetic
+    difficulty population, mean-preserving success probabilities, and
+    the distractor / parse-failure / determinism structure of Fig. 9.
+    """
+    import numpy as np
+
+    from repro.models.capability import (
+        distractor_shares,
+        question_success_probability,
+    )
+    from repro.scaling.voting import voting_accuracy
+
+    rng = np.random.default_rng(seed + 31)
+    difficulties = rng.beta(2.4, 2.2, size=1200)
+    tokens = (float(control.budget) if control.enforces_budget
+              else lengths.mean_tokens(control))
+    mean_accuracy = capability.accuracy_for_mode(control.capability_mode,
+                                                 tokens)
+    p = question_success_probability(mean_accuracy, difficulties,
+                                     capability.difficulty_beta)
+    w = distractor_shares(capability, difficulties)
+    truncation = lengths.truncation_probability(control)
+    garbage = min(0.9, 0.06 + capability.parse_failure_severity * truncation)
+    determinism = min(0.95,
+                      capability.determinism_base + 1.75 * (1.0 - truncation))
+    return voting_accuracy(p, w, capability.num_choices, parallel, rng,
+                           trials=2, garbage_share=garbage,
+                           determinism=determinism)
+
+
+def build_planner(model_names: tuple[str, ...] = DEFAULT_PLANNER_MODELS,
+                  benchmark: str = "mmlu-redux",
+                  budget_aware_model: str | None = "l1-max",
+                  soc: SocSpec | None = None,
+                  parallel_factors: tuple[int, ...] = (),
+                  seed: int = 0) -> DeploymentPlanner:
+    """Characterize models on the SoC and assemble a planner.
+
+    For each model this runs the Section IV sweeps, fits the latency
+    models, and enumerates the Section V control grid with capability-
+    predicted accuracies; the budget-aware model becomes a continuous
+    candidate.  ``parallel_factors`` additionally adds majority-voted
+    parallel variants of the hard-budget configurations (latency-aware
+    test-time scaling), with decode-latency multipliers measured on the
+    substrate.
+    """
+    from repro.engine.engine import InferenceEngine
+
+    candidates: list[CandidateConfig] = []
+    for name in model_names:
+        model = get_model(name)
+        if not has_profile(model.name, benchmark):
+            continue
+        characterization = characterize_model(model, soc=soc, seed=seed)
+        capability = capability_profile(model.name, benchmark)
+        lengths = LengthModel(model, benchmark)
+        if model.family is ModelFamily.DIRECT:
+            controls: tuple[GenerationControl, ...] = (direct_control(),)
+        else:
+            controls = standard_controls()
+        engine = (InferenceEngine(model, soc=soc)
+                  if parallel_factors else None)
+        for control in controls:
+            try:
+                expected = lengths.mean_tokens(control)
+                accuracy = capability.accuracy_for_mode(
+                    control.capability_mode,
+                    control.budget if control.enforces_budget else expected,
+                )
+            except (KeyError, ValueError):
+                continue
+            candidates.append(CandidateConfig(
+                model=model,
+                control=control,
+                expected_output_tokens=expected,
+                predicted_accuracy=accuracy,
+                latency=characterization.latency,
+                energy=characterization.energy,
+            ))
+            if not (parallel_factors and control.enforces_budget
+                    and model.family is ModelFamily.REASONING):
+                continue
+            base_step = float(engine.kernels.decode_step_seconds(
+                engine.profile, 512, 1))
+            for factor in parallel_factors:
+                if factor <= 1:
+                    continue
+                multiplier = float(engine.kernels.decode_step_seconds(
+                    engine.profile, 512, factor)) / base_step
+                candidates.append(CandidateConfig(
+                    model=model,
+                    control=control,
+                    expected_output_tokens=expected,
+                    predicted_accuracy=_voted_accuracy(
+                        model, capability, lengths, control, factor, seed),
+                    latency=characterization.latency,
+                    energy=characterization.energy,
+                    parallel=factor,
+                    parallel_latency_multiplier=multiplier,
+                ))
+    budget_aware: list[BudgetAwareCandidate] = []
+    if budget_aware_model is not None:
+        model = get_model(budget_aware_model)
+        if has_profile(model.name, benchmark):
+            characterization = characterize_model(model, soc=soc, seed=seed)
+            budget_aware.append(BudgetAwareCandidate(
+                model=model,
+                capability=capability_profile(model.name, benchmark),
+                lengths=LengthModel(model, benchmark),
+                latency=characterization.latency,
+            ))
+    return DeploymentPlanner(candidates, budget_aware)

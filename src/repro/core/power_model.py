@@ -1,0 +1,51 @@
+"""Analytical power models (Section IV-B, Eqns. 4 and 6).
+
+Both prefill and decode power follow the same piecewise form: constant
+at low sequence lengths (low GPU utilization), logarithmic growth above a
+model-specific threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PiecewiseLogPowerModel:
+    """``P(x) = u`` for ``x <= v``; ``w * ln(x) + x0`` for ``x > v``."""
+
+    #: Constant power (W) in the low-utilization region (Eqn. 4's ``u``).
+    u: float
+    #: Transition sequence length (Eqn. 4's ``v``).
+    v: float
+    #: Log slope (Eqn. 4's ``w``; Table XXI's ``alpha``).
+    w: float
+    #: Log intercept (Eqn. 4's ``x``; Table XXI's ``beta``).
+    x0: float
+
+    def __call__(self, seq_len: np.ndarray | float) -> np.ndarray | float:
+        lens = np.asarray(seq_len, dtype=np.float64)
+        if np.any(lens <= 0):
+            raise ValueError("sequence lengths must be positive")
+        log_part = self.w * np.log(lens) + self.x0
+        out = np.where(lens <= self.v, self.u, log_part)
+        if np.ndim(seq_len) == 0:
+            return float(out)
+        return out
+
+    @property
+    def is_constant(self) -> bool:
+        """Whether the model never leaves the constant regime."""
+        return self.w == 0.0
+
+
+def constant_power(u: float) -> PiecewiseLogPowerModel:
+    """A purely constant power model (the 1.5B prefill case, Table XX)."""
+    return PiecewiseLogPowerModel(u=u, v=float("inf"), w=0.0, x0=u)
+
+
+#: Eqn. 6's universal decode plateau: ~5.9 W below 64 output tokens.
+DECODE_PLATEAU_W = 5.9
+DECODE_PLATEAU_TOKENS = 64

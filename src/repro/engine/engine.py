@@ -1,0 +1,301 @@
+"""The inference engine: prefill/decode execution over the hardware model.
+
+``InferenceEngine`` is the simulator's equivalent of a vLLM
+``LLMEngine``: construct it for a model on a SoC, submit
+:class:`~repro.engine.request.GenerationRequest` objects, and get back
+latency / power / energy / utilization per request.  It follows the
+paper's measurement setup:
+
+* prefill runs at batch size 1 (also for parallel scaling, matching
+  Section V-E's protocol);
+* decode runs the full batch, shrinking as sequences hit their stop
+  lengths;
+* power is sampled every decode step and integrated into energy
+  (``E = Σ P_i · t_i``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.frameworks import FrameworkProfile, framework_profile
+from repro.engine.kv_cache import KVCacheConfig, PagedKVCache
+from repro.engine.request import GenerationRequest, GenerationResult, SequenceResult
+from repro.engine.sampler import active_sequences_per_step
+from repro.engine.scheduler import BatchScheduler, ScheduledBatch
+from repro.hardware.calibration import calibration_for_model
+from repro.hardware.kernels import KernelEngine
+from repro.hardware.memory import MemorySpec, MemorySystem
+from repro.hardware.power import PowerModel
+from repro.hardware.soc import SocSpec, jetson_orin_agx_64gb
+from repro.hardware.telemetry import TelemetryRecorder, UtilizationSample, CPU_BUSY_DURING_INFERENCE
+from repro.models.config import TransformerConfig
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine construction options."""
+
+    framework: str = "vllm"
+    #: Std-dev of multiplicative power measurement noise (0 = noiseless).
+    power_noise_std: float = 0.0
+    seed: int = 0
+    #: Fraction of post-weights DRAM reserved for KV cache (vLLM's
+    #: ``gpu_memory_utilization`` analogue).
+    kv_cache_fraction: float = 0.6
+
+
+@dataclass
+class BatchRunReport:
+    """Aggregate outcome of a multi-request run (Table III workloads)."""
+
+    results: list[GenerationResult]
+    wallclock_seconds: float
+    total_energy_joules: float
+
+    @property
+    def total_tokens(self) -> int:
+        """Prompt + generated tokens across all requests."""
+        return sum(
+            r.prompt_tokens + r.total_output_tokens for r in self.results
+        )
+
+    @property
+    def total_output_tokens(self) -> int:
+        """Generated tokens across all requests."""
+        return sum(r.total_output_tokens for r in self.results)
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Aggregate decode throughput over wallclock."""
+        if self.wallclock_seconds <= 0:
+            return 0.0
+        return self.total_output_tokens / self.wallclock_seconds
+
+
+class InferenceEngine:
+    """Simulated serving engine for one model on one SoC."""
+
+    def __init__(self, model: TransformerConfig, soc: SocSpec | None = None,
+                 config: EngineConfig | None = None):
+        self.model = model
+        self.soc = soc or jetson_orin_agx_64gb()
+        self.config = config or EngineConfig()
+        self.framework: FrameworkProfile = framework_profile(self.config.framework)
+
+        self.profile = model.execution_profile()
+        self.calibration = calibration_for_model(
+            self.profile.calibration_key, self.profile.param_count
+        )
+        self.memory = MemorySystem(MemorySpec(
+            peak_bandwidth=self.soc.dram_bandwidth,
+            l2_capacity=self.soc.l2_cache,
+        ))
+        self.kernels = KernelEngine(self.soc, self.memory, self.calibration,
+                                    seed=self.config.seed)
+        self.power = PowerModel(self.soc, self.calibration.power,
+                                noise_std=self.config.power_noise_std,
+                                seed=self.config.seed)
+        if model.resident_bytes > self.soc.dram_capacity:
+            raise MemoryError(
+                f"{model.name} weights ({model.resident_bytes / 1e9:.1f} GB) "
+                f"exceed SoC DRAM ({self.soc.dram_capacity / 1e9:.1f} GB)"
+            )
+        free = self.soc.dram_capacity - model.resident_bytes
+        self.kv_cache = PagedKVCache(KVCacheConfig(
+            bytes_per_token=model.kv_bytes_per_token,
+            capacity_bytes=free * self.config.kv_cache_fraction,
+        ))
+        self._next_seq_id = 0
+
+    # ------------------------------------------------------------------
+    # single-request path
+    # ------------------------------------------------------------------
+    def generate(self, request: GenerationRequest) -> GenerationResult:
+        """Run one request (all its parallel samples) to completion."""
+        stop_lengths = request.stop_lengths()
+        worst_context = request.prompt_tokens + max(stop_lengths)
+        if worst_context > self.model.max_context_tokens:
+            raise ValueError(
+                f"request needs {worst_context} context tokens but "
+                f"{self.model.name} supports {self.model.max_context_tokens}"
+            )
+        num_steps = max(stop_lengths)
+        telemetry = TelemetryRecorder()
+
+        seq_ids = self._allocate_kv(request, stop_lengths)
+        try:
+            prefill_seconds = self._run_prefill(request, telemetry)
+            decode_seconds, util = self._run_decode(
+                request.prompt_tokens, np.asarray(stop_lengths), telemetry
+            )
+        finally:
+            for seq_id in seq_ids:
+                self.kv_cache.release_sequence(seq_id)
+
+        naturals = request.sample_natural_lengths or (request.natural_length,) * request.n
+        sequences = tuple(
+            SequenceResult(output_tokens=stop, truncated=stop < natural)
+            for stop, natural in zip(stop_lengths, naturals)
+        )
+        return GenerationResult(
+            request_id=request.request_id,
+            prompt_tokens=request.prompt_tokens,
+            sequences=sequences,
+            prefill_seconds=prefill_seconds,
+            decode_seconds=decode_seconds + self.framework.fixed_overhead_s,
+            energy=telemetry.report(),
+            batch=request.n,
+            gpu_busy=util.gpu_busy,
+            dram_read_util=util.dram_read,
+            dram_write_util=util.dram_write,
+        )
+
+    # ------------------------------------------------------------------
+    # multi-request path (continuous batching)
+    # ------------------------------------------------------------------
+    def run_batch(self, requests: list[GenerationRequest],
+                  max_batch_size: int = 1) -> BatchRunReport:
+        """Serve many requests with batching; batches run back-to-back."""
+        scheduler = BatchScheduler(max_batch_size=max_batch_size,
+                                   kv_cache=self.kv_cache)
+        scheduler.submit_all(requests)
+        results: list[GenerationResult] = []
+        wallclock = 0.0
+        energy = 0.0
+        for batch in scheduler.drain():
+            batch_results, batch_seconds, batch_energy = self._run_scheduled(batch)
+            results.extend(batch_results)
+            wallclock += batch_seconds
+            energy += batch_energy
+        return BatchRunReport(results=results, wallclock_seconds=wallclock,
+                              total_energy_joules=energy)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _allocate_kv(self, request: GenerationRequest,
+                     stop_lengths: tuple[int, ...]) -> list[int]:
+        seq_ids = []
+        for stop in stop_lengths:
+            seq_id = self._next_seq_id
+            self._next_seq_id += 1
+            self.kv_cache.allocate_sequence(seq_id, request.prompt_tokens)
+            self.kv_cache.extend(seq_id, stop)
+            seq_ids.append(seq_id)
+        return seq_ids
+
+    def _run_prefill(self, request: GenerationRequest,
+                     telemetry: TelemetryRecorder) -> float:
+        stats = self.kernels.prefill(self.profile, request.prompt_tokens, batch=1)
+        seconds = stats.seconds * self.framework.prefill_multiplier
+        power = self.power.prefill_power(request.prompt_tokens)
+        telemetry.record_phase("prefill", seconds, power,
+                               tokens=request.prompt_tokens)
+        return seconds
+
+    def _run_decode(self, prompt_tokens: int, stop_lengths: np.ndarray,
+                    telemetry: TelemetryRecorder) -> tuple[float, UtilizationSample]:
+        num_steps = int(stop_lengths.max())
+        active = active_sequences_per_step(stop_lengths, num_steps)
+        contexts = prompt_tokens + np.arange(num_steps, dtype=np.float64)
+        step_seconds = self.kernels.decode_step_seconds(
+            self.profile, contexts, active
+        )
+        step_seconds = step_seconds + self.framework.decode_step_overhead(
+            int(active.max(initial=1))
+        )
+        generated = np.arange(1, num_steps + 1, dtype=np.float64)
+        step_power = np.asarray(self.power.decode_power(generated, active))
+
+        total_tokens = int(stop_lengths.sum())
+        peak_batch = int(active.max(initial=1))
+        utilization = UtilizationSample(
+            gpu_busy=self.power.gpu_busy_fraction(peak_batch),
+            dram_read=self.kernels.decode_bandwidth_utilization(
+                self.profile, prompt_tokens + num_steps // 2, peak_batch
+            ),
+            dram_write=self._decode_write_utilization(step_seconds, peak_batch),
+            cpu_busy=CPU_BUSY_DURING_INFERENCE,
+        )
+        telemetry.record_phase("decode", step_seconds, step_power,
+                               tokens=total_tokens, utilization=utilization)
+        return float(step_seconds.sum()), utilization
+
+    def _decode_write_utilization(self, step_seconds: np.ndarray,
+                                  batch: int) -> float:
+        """KV write-back + logits commit traffic (stays below ~10%)."""
+        if step_seconds.size == 0:
+            return 0.0
+        mean_step = float(step_seconds.mean())
+        write_bytes = (self.model.kv_bytes_per_token
+                       + self.model.d_model * 2.0) * batch
+        return min(1.0, write_bytes / (mean_step * self.soc.dram_bandwidth))
+
+    def _run_scheduled(self, batch: ScheduledBatch
+                       ) -> tuple[list[GenerationResult], float, float]:
+        """Execute one scheduled batch of (possibly multi-sample) requests."""
+        flat_stops: list[int] = []
+        flat_prompts: list[int] = []
+        for request in batch.requests:
+            for stop in request.stop_lengths():
+                flat_stops.append(stop)
+                flat_prompts.append(request.prompt_tokens)
+        stops = np.asarray(flat_stops)
+        prompts = np.asarray(flat_prompts, dtype=np.float64)
+
+        telemetry = TelemetryRecorder()
+        prefill_seconds = 0.0
+        for request in batch.requests:
+            prefill_seconds += self._run_prefill(request, telemetry)
+
+        num_steps = int(stops.max())
+        active = active_sequences_per_step(stops, num_steps)
+        # Mean context across live sequences per step: prompts differ, so
+        # the KV term uses the average live prompt plus the step index.
+        steps = np.arange(num_steps, dtype=np.float64)
+        live_prompt_sum = np.zeros(num_steps)
+        for prompt, stop in zip(prompts, stops):
+            live_prompt_sum[:stop] += prompt
+        with np.errstate(invalid="ignore", divide="ignore"):
+            mean_prompt = np.where(active > 0, live_prompt_sum / np.maximum(active, 1), 0.0)
+        contexts = mean_prompt + steps
+        step_seconds = self.kernels.decode_step_seconds(self.profile, contexts, active)
+        step_seconds = step_seconds + self.framework.decode_step_overhead(
+            int(active.max(initial=1))
+        )
+        generated = np.arange(1, num_steps + 1, dtype=np.float64)
+        step_power = np.asarray(self.power.decode_power(generated, active))
+        telemetry.record_phase("decode", step_seconds, step_power,
+                               tokens=int(stops.sum()))
+        decode_seconds = float(step_seconds.sum())
+
+        # Attribute per-request completion latency: a request finishes when
+        # its last sequence finishes.
+        cumulative = np.concatenate([[0.0], np.cumsum(step_seconds)])
+        results = []
+        index = 0
+        report = telemetry.report()
+        for request in batch.requests:
+            request_stops = request.stop_lengths()
+            naturals = (request.sample_natural_lengths
+                        or (request.natural_length,) * request.n)
+            sequences = tuple(
+                SequenceResult(output_tokens=stop, truncated=stop < natural)
+                for stop, natural in zip(request_stops, naturals)
+            )
+            finish_step = max(request_stops)
+            results.append(GenerationResult(
+                request_id=request.request_id,
+                prompt_tokens=request.prompt_tokens,
+                sequences=sequences,
+                prefill_seconds=prefill_seconds,
+                decode_seconds=float(cumulative[finish_step]),
+                energy=report,
+                batch=batch.num_sequences,
+            ))
+            index += request.n
+        total_energy = report.total_energy_joules
+        return results, prefill_seconds + decode_seconds, total_energy

@@ -1,0 +1,73 @@
+"""Inference-framework overhead profiles (Section V-G, Table IX).
+
+The paper compares HuggingFace Transformers, vLLM, and TensorRT-LLM on
+the DSR1-Llama-8B model and finds vLLM ~1.11-1.13x faster than HFT and on
+par with TRT-LLM.  The difference is host-side per-step overhead (Python
+dispatch, unfused sampling) plus a fixed startup cost; kernel time is the
+same hardware either way.  Calibration: HFT's per-step penalty is
+``(14.23 - 12.73) / 128 ≈ 11.7 ms`` at the 16/128 configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FrameworkProfile:
+    """Host-side overheads an inference framework adds to kernel time."""
+
+    name: str
+    version: str
+    #: Constant per-request overhead (scheduling, tokenization glue).
+    fixed_overhead_s: float
+    #: Extra host time per decode step per batch.
+    decode_overhead_per_step_s: float
+    #: Multiplier on prefill kernel time (graph capture/fusion quality).
+    prefill_multiplier: float = 1.0
+
+    def decode_step_overhead(self, batch: int) -> float:
+        """Per-step host overhead; batching amortizes Python dispatch."""
+        return self.decode_overhead_per_step_s * (1.0 + 0.1 * (batch - 1))
+
+
+_PROFILES = {
+    # The baseline the whole study runs on.
+    "vllm": FrameworkProfile(
+        name="vLLM", version="0.8.6",
+        fixed_overhead_s=0.05,
+        decode_overhead_per_step_s=0.0,
+    ),
+    # Eager-mode Python dispatch: ~11.7 ms/step slower than vLLM.
+    "hft": FrameworkProfile(
+        name="HuggingFace Transformers", version="4.46.2",
+        fixed_overhead_s=0.20,
+        decode_overhead_per_step_s=0.0117,
+        prefill_multiplier=1.05,
+    ),
+    # Compiled engine: on par with vLLM (±1%), slightly cheaper prefill.
+    "trt-llm": FrameworkProfile(
+        name="TensorRT-LLM", version="0.12",
+        fixed_overhead_s=0.08,
+        decode_overhead_per_step_s=0.0005,
+        prefill_multiplier=0.95,
+    ),
+}
+
+
+def framework_profile(name: str) -> FrameworkProfile:
+    """Look up a framework profile by name (``vllm``, ``hft``, ``trt-llm``)."""
+    key = name.lower()
+    aliases = {"huggingface": "hft", "transformers": "hft", "trt": "trt-llm",
+               "tensorrt-llm": "trt-llm"}
+    key = aliases.get(key, key)
+    try:
+        return _PROFILES[key]
+    except KeyError:
+        known = ", ".join(sorted(_PROFILES))
+        raise KeyError(f"unknown framework {name!r}; known: {known}") from None
+
+
+def available_frameworks() -> tuple[str, ...]:
+    """Names of the supported framework profiles."""
+    return tuple(sorted(_PROFILES))

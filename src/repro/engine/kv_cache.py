@@ -1,0 +1,132 @@
+"""Paged KV-cache with block-level allocation (PagedAttention-style).
+
+vLLM's core memory innovation is allocating KV cache in fixed-size token
+blocks instead of contiguous max-length buffers.  The simulator keeps the
+same accounting so that capacity questions — how many parallel sequences
+fit at a given context length on 64GB — are answered the way the real
+serving stack answers them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KVCacheConfig:
+    """Paged-cache geometry."""
+
+    #: Bytes appended per token position (model-dependent; see
+    #: :attr:`repro.models.TransformerConfig.kv_bytes_per_token`).
+    bytes_per_token: float
+    #: Total DRAM budget for the cache in bytes.
+    capacity_bytes: float
+    #: Tokens per block (vLLM default 16).
+    block_tokens: int = 16
+
+    @property
+    def bytes_per_block(self) -> float:
+        """DRAM footprint of one block."""
+        return self.bytes_per_token * self.block_tokens
+
+    @property
+    def total_blocks(self) -> int:
+        """Number of allocatable blocks."""
+        return int(self.capacity_bytes // self.bytes_per_block)
+
+
+class KVCacheExhausted(MemoryError):
+    """Raised when a sequence cannot get another cache block."""
+
+
+class PagedKVCache:
+    """Block allocator for sequence KV state."""
+
+    def __init__(self, config: KVCacheConfig):
+        if config.block_tokens <= 0:
+            raise ValueError("block_tokens must be positive")
+        if config.bytes_per_token <= 0:
+            raise ValueError("bytes_per_token must be positive")
+        self.config = config
+        self._free_blocks = config.total_blocks
+        self._sequences: dict[int, int] = {}  # seq id -> allocated tokens
+
+    # ------------------------------------------------------------------
+    @property
+    def free_blocks(self) -> int:
+        """Blocks currently unallocated."""
+        return self._free_blocks
+
+    @property
+    def used_blocks(self) -> int:
+        """Blocks currently held by live sequences."""
+        return self.config.total_blocks - self._free_blocks
+
+    @property
+    def used_bytes(self) -> float:
+        """DRAM bytes occupied by allocated blocks."""
+        return self.used_blocks * self.config.bytes_per_block
+
+    def blocks_for(self, tokens: int) -> int:
+        """Blocks needed to hold ``tokens`` positions."""
+        if tokens <= 0:
+            return 0
+        block = self.config.block_tokens
+        return (tokens + block - 1) // block
+
+    # ------------------------------------------------------------------
+    def allocate_sequence(self, seq_id: int, tokens: int) -> None:
+        """Register a sequence with an initial context (the prompt)."""
+        if seq_id in self._sequences:
+            raise ValueError(f"sequence {seq_id} already allocated")
+        needed = self.blocks_for(tokens)
+        if needed > self._free_blocks:
+            raise KVCacheExhausted(
+                f"sequence {seq_id} needs {needed} blocks, {self._free_blocks} free"
+            )
+        self._free_blocks -= needed
+        self._sequences[seq_id] = tokens
+
+    def append_token(self, seq_id: int) -> None:
+        """Extend a sequence by one decoded token, growing block-by-block."""
+        if seq_id not in self._sequences:
+            raise KeyError(f"unknown sequence {seq_id}")
+        tokens = self._sequences[seq_id]
+        if self.blocks_for(tokens + 1) > self.blocks_for(tokens):
+            if self._free_blocks == 0:
+                raise KVCacheExhausted(f"no free block for sequence {seq_id}")
+            self._free_blocks -= 1
+        self._sequences[seq_id] = tokens + 1
+
+    def extend(self, seq_id: int, new_tokens: int) -> None:
+        """Extend a sequence by many tokens at once (bulk accounting)."""
+        if new_tokens < 0:
+            raise ValueError("new_tokens must be non-negative")
+        if seq_id not in self._sequences:
+            raise KeyError(f"unknown sequence {seq_id}")
+        tokens = self._sequences[seq_id]
+        extra = self.blocks_for(tokens + new_tokens) - self.blocks_for(tokens)
+        if extra > self._free_blocks:
+            raise KVCacheExhausted(
+                f"sequence {seq_id} needs {extra} more blocks, "
+                f"{self._free_blocks} free"
+            )
+        self._free_blocks -= extra
+        self._sequences[seq_id] = tokens + new_tokens
+
+    def release_sequence(self, seq_id: int) -> None:
+        """Free all blocks of a finished sequence."""
+        tokens = self._sequences.pop(seq_id, None)
+        if tokens is not None:
+            self._free_blocks += self.blocks_for(tokens)
+
+    def sequence_tokens(self, seq_id: int) -> int:
+        """Context length currently held for a sequence."""
+        return self._sequences[seq_id]
+
+    def max_sequences(self, context_len: int) -> int:
+        """How many sequences of a given context length fit at once."""
+        blocks_each = self.blocks_for(context_len)
+        if blocks_each == 0:
+            return self.config.total_blocks
+        return self.config.total_blocks // blocks_each

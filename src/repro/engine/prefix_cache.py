@@ -1,0 +1,141 @@
+"""Prefix caching: reuse the KV state of shared prompt prefixes.
+
+Few-shot workloads — Natural-Plan's ~1.5-2.5k-token prompts share their
+in-context examples across every question — re-prefill the same prefix
+thousands of times.  vLLM-style prefix caching keeps the prefix's KV
+blocks resident and prefills only the unshared suffix; on the Orin this
+converts most of the (already small) prefill cost into nothing, and its
+real cost is KV-cache residency, which this module accounts.
+
+Kernel cost of a suffix prefill: the weight stream is unchanged (every
+layer still runs), the linear terms scale with the *suffix* length, and
+attention scores the suffix queries against the *full* context.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.engine.engine import InferenceEngine
+from repro.hardware.kernels import KernelStats, pad_to_tile
+
+
+@dataclass(frozen=True)
+class PrefixEntry:
+    """One cached prefix."""
+
+    key: str
+    token_count: int
+    kv_bytes: float
+
+
+class PrefixCache:
+    """LRU prefix registry bounded by a KV-byte budget."""
+
+    def __init__(self, capacity_bytes: float, kv_bytes_per_token: float):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if kv_bytes_per_token <= 0:
+            raise ValueError("kv_bytes_per_token must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.kv_bytes_per_token = kv_bytes_per_token
+        self._entries: OrderedDict[str, PrefixEntry] = OrderedDict()
+
+    @property
+    def used_bytes(self) -> float:
+        """KV bytes held by cached prefixes."""
+        return sum(entry.kv_bytes for entry in self._entries.values())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def lookup(self, key: str) -> PrefixEntry | None:
+        """Get a cached prefix (refreshing recency), or None."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def insert(self, key: str, token_count: int) -> PrefixEntry:
+        """Cache a prefix, evicting least-recently-used entries to fit."""
+        if token_count <= 0:
+            raise ValueError("token_count must be positive")
+        kv_bytes = token_count * self.kv_bytes_per_token
+        if kv_bytes > self.capacity_bytes:
+            raise ValueError(
+                f"prefix of {token_count} tokens ({kv_bytes:.0f} B) exceeds "
+                f"the cache capacity ({self.capacity_bytes:.0f} B)"
+            )
+        while self.used_bytes + kv_bytes > self.capacity_bytes:
+            self._entries.popitem(last=False)
+        entry = PrefixEntry(key=key, token_count=token_count,
+                            kv_bytes=kv_bytes)
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        return entry
+
+    def evict(self, key: str) -> None:
+        """Drop one prefix."""
+        self._entries.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def prefill_with_prefix(engine: InferenceEngine, total_len: int,
+                        cached_len: int) -> KernelStats:
+    """Time a prefill where the first ``cached_len`` tokens are cached.
+
+    Only the suffix runs: linear FLOPs on the padded suffix, attention
+    scoring suffix queries against the full context, activation traffic
+    for the suffix.  The weight stream is unchanged (every layer still
+    executes once).
+    """
+    if not 0 <= cached_len < total_len:
+        raise ValueError("cached_len must be in [0, total_len)")
+    if cached_len == 0:
+        return engine.kernels.prefill(engine.profile, total_len)
+    profile = engine.profile
+    calib = engine.calibration
+    soc = engine.soc
+    suffix = total_len - cached_len
+    padded_suffix = pad_to_tile(suffix)
+    padded_total = pad_to_tile(total_len)
+
+    bw = soc.dram_bandwidth
+    weight_time = profile.weight_bytes / (
+        bw * calib.prefill_weight_stream_efficiency
+        * soc.stream_efficiency_scale)
+    peak = (soc.peak_int8_ops if profile.compute_dtype == "int8"
+            else soc.peak_fp16_flops)
+    linear_flops = profile.linear_flops_per_token * padded_suffix
+    linear_time = linear_flops / (peak * calib.gemm_efficiency)
+    # Suffix queries attend over the full (padded) context.
+    attn_flops = (profile.attention_flops_per_sq_token
+                  * padded_suffix * padded_total)
+    attn_time = attn_flops / (peak * calib.attention_efficiency)
+    activation_time = (profile.activation_bytes_per_token * suffix
+                       / (bw * engine.memory.spec.streaming_efficiency))
+    seconds = (calib.prefill_overhead_s * soc.host_overhead_scale
+               + weight_time + linear_time + attn_time + activation_time)
+    read_bytes = profile.weight_bytes + profile.activation_bytes_per_token * suffix
+    write_bytes = profile.kv_bytes_per_token * suffix
+    return KernelStats(
+        seconds=seconds,
+        flops=linear_flops + attn_flops,
+        dram_read_bytes=read_bytes,
+        dram_write_bytes=write_bytes,
+        compute_utilization=min(1.0, (linear_flops + attn_flops)
+                                / (seconds * peak)),
+        bandwidth_utilization=min(1.0, (read_bytes + write_bytes)
+                                  / (seconds * bw)),
+    )
+
+
+def prefix_caching_speedup(engine: InferenceEngine, total_len: int,
+                           cached_len: int) -> float:
+    """Prefill speedup from a warm prefix of ``cached_len`` tokens."""
+    baseline = engine.kernels.prefill(engine.profile, total_len).seconds
+    warm = prefill_with_prefix(engine, total_len, cached_len).seconds
+    return baseline / warm

@@ -1,0 +1,48 @@
+"""Sampling parameters and stop-condition bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SamplingParams:
+    """Decoding-time sampling configuration.
+
+    In the simulator these do not change token *content* (there is none),
+    but they are part of the engine contract: ``n`` drives parallel
+    scaling, ``max_tokens`` enforces hard budgets, and ``temperature`` is
+    carried so strategies can request diverse parallel samples.
+    """
+
+    temperature: float = 0.6
+    top_p: float = 0.95
+    max_tokens: int | None = None
+    n: int = 1
+
+    def __post_init__(self) -> None:
+        if self.temperature < 0:
+            raise ValueError("temperature must be non-negative")
+        if not 0 < self.top_p <= 1:
+            raise ValueError("top_p must be in (0, 1]")
+        if self.max_tokens is not None and self.max_tokens <= 0:
+            raise ValueError("max_tokens must be positive when set")
+        if self.n <= 0:
+            raise ValueError("n must be positive")
+
+
+def active_sequences_per_step(stop_steps: np.ndarray, num_steps: int) -> np.ndarray:
+    """Batch occupancy at each decode step.
+
+    ``stop_steps[j]`` is the step index at which sequence ``j`` emits its
+    final token; the returned array gives, for each step, how many
+    sequences are still decoding — the effective batch size used for
+    kernel timing as a parallel batch drains.
+    """
+    stop_steps = np.asarray(stop_steps, dtype=np.int64)
+    if num_steps <= 0:
+        return np.zeros(0, dtype=np.int64)
+    steps = np.arange(num_steps)
+    return (stop_steps[None, :] > steps[:, None]).sum(axis=1)

@@ -1,0 +1,98 @@
+"""Batch scheduler: static batching and a continuous-batching queue.
+
+The paper's single-stream studies use batch size 1; the parallel-scaling
+study decodes N samples of one request together; and the cost study
+(Table III) runs the whole AIME workload at batch 30.  The scheduler
+covers all three: it groups queued requests into decode batches subject
+to a batch-size cap and KV-cache capacity, refilling slots as sequences
+finish (continuous batching) when enabled.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.engine.kv_cache import PagedKVCache
+from repro.engine.request import GenerationRequest
+
+
+@dataclass(frozen=True)
+class ScheduledBatch:
+    """One decode batch: the requests served together."""
+
+    requests: tuple[GenerationRequest, ...]
+
+    @property
+    def num_sequences(self) -> int:
+        """Total sequences (samples) in the batch."""
+        return sum(request.n for request in self.requests)
+
+
+class BatchScheduler:
+    """Forms decode batches from a request queue."""
+
+    def __init__(self, max_batch_size: int = 1,
+                 kv_cache: PagedKVCache | None = None,
+                 continuous: bool = True):
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        self.max_batch_size = max_batch_size
+        self.kv_cache = kv_cache
+        self.continuous = continuous
+        self._queue: deque[GenerationRequest] = deque()
+
+    def submit(self, request: GenerationRequest) -> None:
+        """Enqueue a request."""
+        self._queue.append(request)
+
+    def submit_all(self, requests: list[GenerationRequest]) -> None:
+        """Enqueue many requests preserving order."""
+        self._queue.extend(requests)
+
+    @property
+    def pending(self) -> int:
+        """Requests waiting to be scheduled."""
+        return len(self._queue)
+
+    def _fits_cache(self, request: GenerationRequest, extra_sequences: int) -> bool:
+        if self.kv_cache is None:
+            return True
+        worst_len = request.prompt_tokens + max(request.stop_lengths())
+        needed = self.kv_cache.blocks_for(worst_len) * request.n
+        reserved = self.kv_cache.blocks_for(worst_len) * extra_sequences
+        return needed + reserved <= self.kv_cache.free_blocks
+
+    def next_batch(self) -> ScheduledBatch | None:
+        """Pop the next batch, or ``None`` when the queue is empty."""
+        if not self._queue:
+            return None
+        picked: list[GenerationRequest] = []
+        sequences = 0
+        while self._queue:
+            request = self._queue[0]
+            if picked and sequences + request.n > self.max_batch_size:
+                break
+            if not picked and request.n > self.max_batch_size:
+                # A single request larger than the cap still runs alone.
+                picked.append(self._queue.popleft())
+                sequences += request.n
+                break
+            if not self._fits_cache(request, sequences):
+                break
+            picked.append(self._queue.popleft())
+            sequences += request.n
+        if not picked:
+            # Nothing fits right now; force the head request through alone
+            # rather than deadlocking (mirrors vLLM's preemption fallback).
+            picked.append(self._queue.popleft())
+        return ScheduledBatch(tuple(picked))
+
+    def drain(self) -> list[ScheduledBatch]:
+        """Schedule everything queued into consecutive batches."""
+        batches: list[ScheduledBatch] = []
+        while True:
+            batch = self.next_batch()
+            if batch is None:
+                return batches
+            batches.append(batch)

@@ -1,0 +1,271 @@
+"""Event-driven serving simulator: arrivals, continuous batching, QPS.
+
+Section III-B observes that *"edge deployment costs also benefit from
+batching and increased queries per second"*.  This module quantifies
+that: a :class:`ServingSimulator` drives the engine with a request
+arrival process and continuous batching — new requests join the running
+decode batch at step boundaries, finished sequences free their slots —
+and reports the throughput / latency-percentile / energy / cost surface
+as a function of offered load.
+
+The simulation advances in decode-step *epochs*: at each epoch boundary
+the scheduler admits queued requests (up to the batch cap and KV-cache
+capacity), the kernel model prices the step for the current batch and
+context profile, and the power model integrates energy.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.engine.engine import InferenceEngine
+from repro.engine.request import GenerationRequest
+
+
+@dataclass(frozen=True)
+class ServedRequest:
+    """Latency accounting of one request through the server."""
+
+    request_id: int
+    arrival_s: float
+    start_s: float
+    finish_s: float
+    prompt_tokens: int
+    output_tokens: int
+    deadline_s: float | None = None
+
+    @property
+    def queue_delay_s(self) -> float:
+        """Time spent waiting for a decode slot."""
+        return self.start_s - self.arrival_s
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency including queueing."""
+        return self.finish_s - self.arrival_s
+
+    @property
+    def met_deadline(self) -> bool | None:
+        """Whether the request finished inside its deadline (None if
+        it had none)."""
+        if self.deadline_s is None:
+            return None
+        return self.latency_s <= self.deadline_s
+
+
+@dataclass
+class ServingReport:
+    """Aggregate outcome of a serving run."""
+
+    served: list[ServedRequest]
+    wallclock_s: float
+    energy_joules: float
+    offered_qps: float
+
+    @property
+    def completed(self) -> int:
+        """Requests fully served."""
+        return len(self.served)
+
+    @property
+    def achieved_qps(self) -> float:
+        """Completed requests per second of wallclock."""
+        if self.wallclock_s <= 0:
+            return 0.0
+        return self.completed / self.wallclock_s
+
+    @property
+    def total_output_tokens(self) -> int:
+        """Generated tokens across all served requests."""
+        return sum(r.output_tokens for r in self.served)
+
+    @property
+    def total_tokens(self) -> int:
+        """Prompt + generated tokens."""
+        return sum(r.prompt_tokens + r.output_tokens for r in self.served)
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Aggregate decode throughput."""
+        if self.wallclock_s <= 0:
+            return 0.0
+        return self.total_output_tokens / self.wallclock_s
+
+    def latency_percentile(self, q: float) -> float:
+        """End-to-end latency percentile (q in [0, 100])."""
+        if not self.served:
+            return 0.0
+        return float(np.percentile([r.latency_s for r in self.served], q))
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        """Fraction of deadline-carrying requests served on time."""
+        with_deadlines = [r for r in self.served if r.deadline_s is not None]
+        if not with_deadlines:
+            return 1.0
+        return float(np.mean([r.met_deadline for r in with_deadlines]))
+
+    @property
+    def mean_batch_occupancy(self) -> float:
+        """Average concurrent sequences, weighted by request service time."""
+        if self.wallclock_s <= 0:
+            return 0.0
+        busy = sum(r.finish_s - r.start_s for r in self.served)
+        return busy / self.wallclock_s
+
+
+@dataclass
+class _LiveSequence:
+    request_id: int
+    arrival_s: float
+    start_s: float
+    prompt_tokens: int
+    remaining: int
+    context: int
+    deadline_s: float | None = None
+
+
+#: Admission policies: first-come-first-served or earliest-deadline-first.
+SCHEDULING_POLICIES = ("fcfs", "edf")
+
+
+class ServingSimulator:
+    """Continuous-batching server over one engine."""
+
+    def __init__(self, engine: InferenceEngine, max_batch_size: int = 8,
+                 policy: str = "fcfs"):
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if policy not in SCHEDULING_POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; choose from {SCHEDULING_POLICIES}")
+        self.engine = engine
+        self.max_batch_size = max_batch_size
+        self.policy = policy
+
+    # ------------------------------------------------------------------
+    def run(self, requests: list[GenerationRequest],
+            arrival_times: np.ndarray,
+            deadlines: np.ndarray | None = None) -> ServingReport:
+        """Serve ``requests`` arriving at ``arrival_times`` (seconds).
+
+        ``deadlines`` (seconds after each arrival) enables the EDF policy
+        and the report's deadline hit rate.
+        """
+        if len(requests) != len(arrival_times):
+            raise ValueError("requests and arrival_times must align")
+        if deadlines is not None and len(deadlines) != len(requests):
+            raise ValueError("deadlines must align with requests")
+        if self.policy == "edf" and deadlines is None:
+            raise ValueError("the edf policy requires deadlines")
+        order = np.argsort(arrival_times, kind="stable")
+        queue: list[tuple[float, int]] = [
+            (float(arrival_times[i]), int(i)) for i in order
+        ]
+        heapq.heapify(queue)
+
+        engine = self.engine
+        now = 0.0
+        energy = 0.0
+        live: list[_LiveSequence] = []
+        served: list[ServedRequest] = []
+        offered_span = float(arrival_times.max()) if len(requests) else 0.0
+        offered_qps = (len(requests) / offered_span) if offered_span > 0 else float("inf")
+
+        def pop_next(now_s: float) -> int | None:
+            """Pick the next eligible request per the scheduling policy."""
+            eligible = [item for item in queue if item[0] <= now_s]
+            if not eligible:
+                return None
+            if self.policy == "edf":
+                chosen = min(
+                    eligible,
+                    key=lambda item: item[0] + float(deadlines[item[1]]),
+                )
+            else:
+                chosen = min(eligible)  # FCFS: earliest arrival
+            queue.remove(chosen)
+            heapq.heapify(queue)
+            return chosen[1]
+
+        while queue or live:
+            # Admit arrivals whose time has come, up to the batch cap.
+            while queue and len(live) < self.max_batch_size:
+                index = pop_next(now)
+                if index is None:
+                    break
+                request = requests[index]
+                prefill = engine.kernels.prefill(engine.profile,
+                                                 request.prompt_tokens)
+                energy += prefill.seconds * engine.power.prefill_power(
+                    request.prompt_tokens)
+                now += prefill.seconds
+                live.append(_LiveSequence(
+                    request_id=request.request_id,
+                    arrival_s=float(arrival_times[index]),
+                    start_s=now,
+                    prompt_tokens=request.prompt_tokens,
+                    remaining=max(request.stop_lengths()),
+                    context=request.prompt_tokens,
+                    deadline_s=(float(deadlines[index])
+                                if deadlines is not None else None),
+                ))
+            if not live:
+                # Idle until the next arrival.
+                now = max(now, queue[0][0])
+                continue
+
+            # One decode step for the whole live batch.
+            batch = len(live)
+            mean_context = float(np.mean([seq.context for seq in live]))
+            step_seconds = float(engine.kernels.decode_step_seconds(
+                engine.profile, mean_context, batch))
+            mean_generated = float(np.mean(
+                [seq.context - seq.prompt_tokens + 1 for seq in live]))
+            step_power = float(engine.power.decode_power(
+                max(mean_generated, 1.0), batch))
+            now += step_seconds
+            energy += step_seconds * step_power
+
+            finished: list[_LiveSequence] = []
+            for seq in live:
+                seq.remaining -= 1
+                seq.context += 1
+                if seq.remaining <= 0:
+                    finished.append(seq)
+            for seq in finished:
+                live.remove(seq)
+                served.append(ServedRequest(
+                    request_id=seq.request_id,
+                    arrival_s=seq.arrival_s,
+                    start_s=seq.start_s,
+                    finish_s=now,
+                    prompt_tokens=seq.prompt_tokens,
+                    output_tokens=seq.context - seq.prompt_tokens,
+                    deadline_s=seq.deadline_s,
+                ))
+
+        return ServingReport(
+            served=sorted(served, key=lambda r: r.request_id),
+            wallclock_s=now,
+            energy_joules=energy,
+            offered_qps=offered_qps,
+        )
+
+    # ------------------------------------------------------------------
+    def run_poisson(self, rng: np.random.Generator, qps: float,
+                    num_requests: int, prompt_tokens: int = 150,
+                    output_tokens: int = 256) -> ServingReport:
+        """Serve a Poisson arrival stream at ``qps`` offered load."""
+        if qps <= 0:
+            raise ValueError("qps must be positive")
+        gaps = rng.exponential(1.0 / qps, size=num_requests)
+        arrivals = np.cumsum(gaps)
+        requests = [
+            GenerationRequest(i, prompt_tokens, output_tokens)
+            for i in range(num_requests)
+        ]
+        return self.run(requests, arrivals)

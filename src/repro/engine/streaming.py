@@ -1,0 +1,85 @@
+"""Streaming generation: per-token timestamps, TTFT and TPOT.
+
+Interactive edge deployments care about *time to first token* (the user
+sees the model start responding) and *time per output token* (the
+reading pace) — the serving-side decomposition of the paper's prefill /
+TBT analysis.  :func:`stream` yields one event per generated token with
+its wall-clock offset; :func:`streaming_metrics` summarizes a request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.engine.engine import InferenceEngine
+from repro.engine.request import GenerationRequest
+
+
+@dataclass(frozen=True)
+class TokenEvent:
+    """One generated token in a streamed response."""
+
+    #: 0-based index of the token within the generation.
+    index: int
+    #: Seconds since the request was submitted.
+    time_s: float
+    #: Whether this token completes the generation.
+    final: bool
+
+
+@dataclass(frozen=True)
+class StreamingMetrics:
+    """Serving-facing latency decomposition of one request."""
+
+    ttft_s: float        # time to first token (prefill + first step)
+    tpot_s: float        # mean time per output token after the first
+    total_s: float       # end-to-end
+    output_tokens: int
+
+    @property
+    def decode_seconds(self) -> float:
+        """Time spent after the first token."""
+        return self.total_s - self.ttft_s
+
+
+def stream(engine: InferenceEngine,
+           request: GenerationRequest) -> Iterator[TokenEvent]:
+    """Yield per-token events for a single-sample request.
+
+    Timing matches :meth:`InferenceEngine.generate` for ``n == 1`` —
+    prefill, then one event per decode step.
+    """
+    if request.n != 1:
+        raise ValueError("streaming supports single-sample requests")
+    stop = request.stop_lengths()[0]
+    prefill = engine.kernels.prefill(engine.profile, request.prompt_tokens)
+    prefill_s = prefill.seconds * engine.framework.prefill_multiplier
+    step_seconds = engine.kernels.decode_step_times(
+        engine.profile, request.prompt_tokens, stop)
+    step_seconds = step_seconds + engine.framework.decode_step_overhead(1)
+    clock = prefill_s
+    for index in range(stop):
+        clock += float(step_seconds[index])
+        yield TokenEvent(index=index, time_s=clock, final=index == stop - 1)
+
+
+def streaming_metrics(engine: InferenceEngine,
+                      request: GenerationRequest) -> StreamingMetrics:
+    """TTFT / TPOT / total for one request."""
+    events = list(stream(engine, request))
+    if not events:
+        raise ValueError("request generated no tokens")
+    ttft = events[0].time_s
+    total = events[-1].time_s
+    output_tokens = len(events)
+    tpot = ((total - ttft) / (output_tokens - 1)
+            if output_tokens > 1 else 0.0)
+    return StreamingMetrics(
+        ttft_s=ttft,
+        tpot_s=tpot,
+        total_s=total,
+        output_tokens=output_tokens,
+    )

@@ -1,0 +1,34 @@
+"""Benchmark evaluation: runs (model, control) configs over workloads.
+
+The :class:`Evaluator` combines the capability profiles (accuracy), the
+length model (tokens), and the inference engine / hardware substrate
+(latency, power, energy) into the per-configuration outcomes that every
+figure and table of the paper's Section V is built from.
+"""
+
+from repro.evaluation.evaluator import EvaluationResult, Evaluator
+from repro.evaluation.export import (
+    read_questions_csv,
+    result_summary,
+    write_questions_csv,
+    write_summary_json,
+)
+from repro.evaluation.metrics import (
+    bootstrap_confidence_interval,
+    mape,
+    mean_absolute_percentage_error,
+    pareto_front_mask,
+)
+
+__all__ = [
+    "EvaluationResult",
+    "Evaluator",
+    "bootstrap_confidence_interval",
+    "mape",
+    "mean_absolute_percentage_error",
+    "pareto_front_mask",
+    "read_questions_csv",
+    "result_summary",
+    "write_questions_csv",
+    "write_summary_json",
+]

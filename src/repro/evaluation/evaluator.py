@@ -1,0 +1,357 @@
+"""The evaluator: one (model, control) configuration over one benchmark.
+
+Pipeline per configuration (fully vectorized over questions):
+
+1. Sample each question's natural generation length from the length
+   model, with a Gaussian copula correlating length with question
+   difficulty (harder questions elicit longer traces).
+2. Apply the control's serving-side cap (hard budgets truncate).
+3. Score: per-question success probabilities around the capability
+   curve's mean, difficulty-adjusted and mean-preserving.
+4. Time: prefill per prompt + decode via a cumulative step-time/energy
+   table from the kernel and power models (the closed-form equivalent of
+   running the engine per question), plus a per-question context
+   correction for prompt-length differences.
+5. Cost: $/1M tokens from energy plus amortized hardware at the paper's
+   serving batch assumption.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.stats import norm
+
+from repro.core.cost import CostModel
+from repro.engine.engine import EngineConfig, InferenceEngine
+from repro.generation.control import ControlMode, GenerationControl
+from repro.generation.length import LengthModel
+from repro.generation.reasoning import prompt_overhead_tokens
+from repro.models.capability import (
+    CapabilityProfile,
+    capability_profile,
+    distractor_shares,
+    question_success_probability,
+    solve_mean_offset,
+)
+from repro.models.config import ModelFamily, TransformerConfig
+from repro.hardware.soc import SocSpec
+from repro.workloads.question import Benchmark
+
+#: Rank correlation between question difficulty and trace length.
+DIFFICULTY_LENGTH_RHO = 0.35
+
+
+@dataclass(frozen=True)
+class PerQuestionData:
+    """Per-question vectors underlying one configuration's aggregates."""
+
+    output_tokens: np.ndarray
+    prompt_tokens: np.ndarray
+    latency_seconds: np.ndarray
+    energy_joules: np.ndarray
+    success_probability: np.ndarray
+    difficulty: np.ndarray
+    truncated: np.ndarray
+    subjects: tuple[str, ...] = ()
+
+    def sampled_correctness(self, rng: np.random.Generator) -> np.ndarray:
+        """One Bernoulli draw per question (a single benchmark run)."""
+        return rng.random(self.success_probability.shape) < self.success_probability
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Aggregate outcome of one (model, control, benchmark) configuration."""
+
+    model: str
+    display_name: str
+    benchmark: str
+    control: GenerationControl
+    accuracy: float
+    mean_output_tokens: float
+    mean_prompt_tokens: float
+    mean_latency_seconds: float
+    mean_prefill_seconds: float
+    mean_decode_seconds: float
+    mean_energy_joules: float
+    cost_per_million_tokens: float
+    per_question: PerQuestionData
+
+    @property
+    def label(self) -> str:
+        """'<model> <control>' display label."""
+        return f"{self.display_name} {self.control.label}"
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Mean decode throughput."""
+        if self.mean_decode_seconds <= 0:
+            return 0.0
+        return self.mean_output_tokens / self.mean_decode_seconds
+
+    @property
+    def mean_power_w(self) -> float:
+        """Mean power over the full inference."""
+        if self.mean_latency_seconds <= 0:
+            return 0.0
+        return self.mean_energy_joules / self.mean_latency_seconds
+
+    @property
+    def energy_per_question(self) -> float:
+        """Alias matching the paper's Energy/Q column."""
+        return self.mean_energy_joules
+
+    def accuracy_by_subject(self) -> dict[str, float]:
+        """MMLU-style per-subject accuracy breakdown."""
+        data = self.per_question
+        if not data.subjects:
+            return {}
+        totals: dict[str, list[float]] = {}
+        for subject, probability in zip(data.subjects,
+                                        data.success_probability):
+            totals.setdefault(subject, []).append(float(probability))
+        return {subject: float(np.mean(values))
+                for subject, values in sorted(totals.items())}
+
+    @property
+    def accuracy_stderr(self) -> float:
+        """Standard error of the benchmark accuracy.
+
+        Combines per-question Bernoulli variance with the spread of the
+        success probabilities: ``sqrt(mean(p*(1-p)) / n)`` for a single
+        sampled run of the suite.
+        """
+        p = self.per_question.success_probability
+        if p.size == 0:
+            return 0.0
+        return float(np.sqrt(np.mean(p * (1.0 - p)) / p.size))
+
+    def sampled_accuracy(self, seed: int = 0) -> float:
+        """Accuracy of one Bernoulli-sampled benchmark run."""
+        rng = np.random.default_rng(seed)
+        return float(self.per_question.sampled_correctness(rng).mean())
+
+    @property
+    def prefill_to_decode_latency_ratio(self) -> float:
+        """Decode seconds per prefill second (Table VII)."""
+        if self.mean_prefill_seconds <= 0:
+            return float("inf")
+        return self.mean_decode_seconds / self.mean_prefill_seconds
+
+
+def _config_seed(base_seed: int, model: str, benchmark: str, label: str) -> int:
+    """Stable per-configuration RNG seed."""
+    token = f"{model}|{benchmark}|{label}".encode()
+    return base_seed * 1_000_003 + zlib.crc32(token)
+
+
+class Evaluator:
+    """Evaluates configurations over one benchmark on one SoC."""
+
+    def __init__(self, benchmark: Benchmark, soc: SocSpec | None = None,
+                 seed: int = 0, cost_model: CostModel | None = None,
+                 engine_config: EngineConfig | None = None):
+        self.benchmark = benchmark
+        self.soc = soc
+        self.seed = seed
+        self.cost_model = cost_model or CostModel.paper_serving()
+        self.engine_config = engine_config or EngineConfig()
+        self._engines: dict[str, InferenceEngine] = {}
+
+    # ------------------------------------------------------------------
+    def engine_for(self, model: TransformerConfig) -> InferenceEngine:
+        """Get (and cache) the inference engine for a model."""
+        if model.name not in self._engines:
+            self._engines[model.name] = InferenceEngine(
+                model, soc=self.soc, config=self.engine_config
+            )
+        return self._engines[model.name]
+
+    def _profile(self, model: TransformerConfig) -> CapabilityProfile:
+        return capability_profile(model.name, self.benchmark.capability_key)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, model: TransformerConfig, control: GenerationControl,
+                 parallel: int = 1) -> EvaluationResult:
+        """Run one configuration over the whole benchmark."""
+        rng = np.random.default_rng(_config_seed(
+            self.seed, model.name, self.benchmark.key, control.label
+        ))
+        capability = self._profile(model)
+        lengths = LengthModel(model, self.benchmark.capability_key)
+
+        difficulties = self.benchmark.difficulties
+        prompts = self.benchmark.prompt_tokens + prompt_overhead_tokens(control)
+        n = len(self.benchmark)
+
+        # 1-2. lengths: difficulty-correlated log-normal, then the cap.
+        z_difficulty = norm.ppf(np.clip(difficulties, 1e-4, 1 - 1e-4))
+        latent = (DIFFICULTY_LENGTH_RHO * z_difficulty
+                  + np.sqrt(1 - DIFFICULTY_LENGTH_RHO**2) * rng.standard_normal(n))
+        naturals = lengths.sample_with_latent(control, latent)
+        cap = lengths.max_new_tokens(control)
+        applied = np.minimum(naturals, cap)
+        truncated = naturals > cap
+
+        # 3. success probabilities.
+        probability = self._success_probabilities(
+            capability, control, applied, difficulties,
+            budget_aware=model.family is ModelFamily.BUDGET_AWARE,
+        )
+        accuracy = float(probability.mean())
+
+        # 4. latency and energy (vectorized through the engine's models).
+        latency, prefill_s, decode_s, energy = self._system_metrics(
+            model, prompts, applied, parallel
+        )
+
+        # 5. cost.
+        total_tokens = float(prompts.sum() + applied.sum() * parallel)
+        cost = self.cost_model.cost_per_million_tokens(
+            energy_joules=float(energy.sum()),
+            wallclock_seconds=float(latency.sum()),
+            tokens=total_tokens,
+        )
+        return EvaluationResult(
+            model=model.name,
+            display_name=model.display_name,
+            benchmark=self.benchmark.key,
+            control=control,
+            accuracy=accuracy,
+            mean_output_tokens=float(applied.mean()),
+            mean_prompt_tokens=float(prompts.mean()),
+            mean_latency_seconds=float(latency.mean()),
+            mean_prefill_seconds=float(prefill_s.mean()),
+            mean_decode_seconds=float(decode_s.mean()),
+            mean_energy_joules=float(energy.mean()),
+            cost_per_million_tokens=cost,
+            per_question=PerQuestionData(
+                subjects=tuple(q.subject for q in self.benchmark.questions),
+                output_tokens=applied,
+                prompt_tokens=prompts,
+                latency_seconds=latency,
+                energy_joules=energy,
+                success_probability=probability,
+                difficulty=difficulties,
+                truncated=truncated,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def question_statistics(self, model: TransformerConfig,
+                            control: GenerationControl,
+                            ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                       np.ndarray]:
+        """(p_correct, distractor_share, garbage_share, determinism).
+
+        The single-sample statistics behind the parallel-voting studies:
+        success probability, modal-distractor concentration, the fraction
+        of wrong outputs that are unparseable garbage (unique votes) —
+        which grows with the model's parse-failure severity and the
+        chance the budget truncates a needed chain — and the probability
+        a question's outcome repeats across parallel samples (high when
+        chains complete within the budget).
+        """
+        capability = self._profile(model)
+        difficulties = self.benchmark.difficulties
+        tokens = self._mode_tokens(model, control)
+        mean_accuracy = capability.accuracy_for_mode(
+            control.capability_mode, tokens
+        )
+        probability = question_success_probability(
+            mean_accuracy, difficulties, capability.difficulty_beta
+        )
+        lengths = LengthModel(model, self.benchmark.capability_key)
+        truncation = lengths.truncation_probability(control)
+        garbage = np.clip(
+            0.06 + capability.parse_failure_severity * truncation, 0.0, 0.9
+        ) * np.ones_like(difficulties)
+        determinism = np.clip(
+            capability.determinism_base + 1.75 * (1.0 - truncation), 0.0, 0.95
+        ) * np.ones_like(difficulties)
+        return (probability, distractor_shares(capability, difficulties),
+                garbage, determinism)
+
+    def _mode_tokens(self, model: TransformerConfig,
+                     control: GenerationControl) -> float:
+        if (control.mode is ControlMode.HARD_BUDGET
+                and model.family is not ModelFamily.BUDGET_AWARE):
+            return float(control.budget)
+        return LengthModel(model, self.benchmark.capability_key).mean_tokens(control)
+
+    # ------------------------------------------------------------------
+    def _success_probabilities(self, capability: CapabilityProfile,
+                               control: GenerationControl,
+                               applied_tokens: np.ndarray,
+                               difficulties: np.ndarray,
+                               budget_aware: bool = False) -> np.ndarray:
+        mode = control.capability_mode
+        if mode == "completed":
+            base = np.atleast_1d(capability.completed(applied_tokens.astype(float)))
+        elif mode == "hard":
+            if budget_aware:
+                # Budget-aware (L1) models adhere to the budget, so their
+                # hard curve is anchored on *generated* tokens, and their
+                # accuracy tracks what they actually emit.
+                base = np.atleast_1d(capability.hard(applied_tokens.astype(float)))
+            else:
+                base = np.full(applied_tokens.shape,
+                               capability.hard(float(control.budget)))
+        elif mode == "nr":
+            if capability.nr is None:
+                raise ValueError(
+                    f"{capability.model} has no NR anchor on {capability.benchmark}"
+                )
+            base = np.full(applied_tokens.shape, capability.nr.accuracy)
+        else:
+            if capability.direct is None:
+                raise ValueError(
+                    f"{capability.model} has no direct anchor on {capability.benchmark}"
+                )
+            base = np.full(applied_tokens.shape, capability.direct.accuracy)
+
+        beta = capability.difficulty_beta
+        target = float(base.mean())
+        if target <= 0.0:
+            return np.zeros_like(base)
+        delta = solve_mean_offset(target, difficulties, beta)
+        logits = (np.log(np.clip(base, 1e-6, 1 - 1e-6) /
+                         (1 - np.clip(base, 1e-6, 1 - 1e-6)))
+                  + beta * (0.5 - difficulties) + delta)
+        return 1.0 / (1.0 + np.exp(-logits))
+
+    # ------------------------------------------------------------------
+    def _system_metrics(self, model: TransformerConfig, prompts: np.ndarray,
+                        outputs: np.ndarray, parallel: int,
+                        ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        engine = self.engine_for(model)
+        kernels = engine.kernels
+        power = engine.power
+        profile = engine.profile
+
+        prefill_seconds = kernels.prefill_seconds_vector(profile, prompts)
+        prefill_power = power.prefill_power_vector(prompts)
+        prefill_energy = prefill_seconds * prefill_power
+
+        reference_prompt = float(np.median(prompts))
+        max_output = int(outputs.max())
+        contexts = reference_prompt + np.arange(max_output, dtype=np.float64)
+        step_seconds = kernels.decode_step_seconds(profile, contexts, parallel)
+        step_power = np.asarray(power.decode_power(
+            np.arange(1, max_output + 1, dtype=np.float64), parallel
+        ))
+        cum_seconds = np.concatenate([[0.0], np.cumsum(step_seconds)])
+        cum_energy = np.concatenate([[0.0], np.cumsum(step_seconds * step_power)])
+
+        slope = kernels.decode_context_slope(profile, parallel)
+        context_correction = slope * (prompts - reference_prompt) * outputs
+        decode_seconds = cum_seconds[outputs] + context_correction
+        power_at_stop = step_power[np.maximum(outputs - 1, 0)]
+        decode_energy = cum_energy[outputs] + context_correction * power_at_stop
+
+        latency = prefill_seconds + decode_seconds + engine.framework.fixed_overhead_s
+        energy = prefill_energy + decode_energy
+        return latency, prefill_seconds, decode_seconds, energy

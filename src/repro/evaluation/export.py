@@ -1,0 +1,92 @@
+"""Export evaluation results to CSV/JSON (artifact-style raw outputs).
+
+The paper's artifact ships raw per-question logs that its plotting
+scripts aggregate; these helpers provide the same separation — run the
+evaluator once, persist the per-question records, post-process anywhere.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.evaluation.evaluator import EvaluationResult
+
+#: Columns of the per-question CSV, in order.
+QUESTION_COLUMNS = (
+    "qid", "subject", "difficulty", "prompt_tokens", "output_tokens",
+    "truncated", "success_probability", "latency_seconds", "energy_joules",
+)
+
+
+def result_summary(result: EvaluationResult) -> dict:
+    """The aggregate row as a plain dict (JSON-ready)."""
+    return {
+        "model": result.model,
+        "display_name": result.display_name,
+        "benchmark": result.benchmark,
+        "config": result.control.label,
+        "accuracy": result.accuracy,
+        "mean_output_tokens": result.mean_output_tokens,
+        "mean_prompt_tokens": result.mean_prompt_tokens,
+        "mean_latency_seconds": result.mean_latency_seconds,
+        "mean_prefill_seconds": result.mean_prefill_seconds,
+        "mean_decode_seconds": result.mean_decode_seconds,
+        "mean_energy_joules": result.mean_energy_joules,
+        "cost_per_million_tokens": result.cost_per_million_tokens,
+        "tokens_per_second": result.tokens_per_second,
+        "accuracy_by_subject": result.accuracy_by_subject(),
+    }
+
+
+def write_summary_json(results: list[EvaluationResult],
+                       path: str | Path) -> Path:
+    """Write one JSON document summarizing many configurations."""
+    path = Path(path)
+    payload = [result_summary(result) for result in results]
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def write_questions_csv(result: EvaluationResult, path: str | Path) -> Path:
+    """Write the per-question records of one configuration as CSV."""
+    path = Path(path)
+    data = result.per_question
+    subjects = data.subjects or ("",) * len(data.output_tokens)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(QUESTION_COLUMNS)
+        for qid in range(len(data.output_tokens)):
+            writer.writerow([
+                qid,
+                subjects[qid],
+                float(data.difficulty[qid]),
+                int(data.prompt_tokens[qid]),
+                int(data.output_tokens[qid]),
+                bool(data.truncated[qid]),
+                float(data.success_probability[qid]),
+                float(data.latency_seconds[qid]),
+                float(data.energy_joules[qid]),
+            ])
+    return path
+
+
+def read_questions_csv(path: str | Path) -> list[dict]:
+    """Load a per-question CSV back into typed records."""
+    path = Path(path)
+    records = []
+    with path.open(newline="") as handle:
+        for row in csv.DictReader(handle):
+            records.append({
+                "qid": int(row["qid"]),
+                "subject": row["subject"],
+                "difficulty": float(row["difficulty"]),
+                "prompt_tokens": int(row["prompt_tokens"]),
+                "output_tokens": int(row["output_tokens"]),
+                "truncated": row["truncated"] == "True",
+                "success_probability": float(row["success_probability"]),
+                "latency_seconds": float(row["latency_seconds"]),
+                "energy_joules": float(row["energy_joules"]),
+            })
+    return records

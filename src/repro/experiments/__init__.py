@@ -1,0 +1,9 @@
+"""One module per paper artifact (tables and figures).
+
+See DESIGN.md's experiment index for the id -> module mapping, and
+:mod:`repro.experiments.runner` for the run-anything entry point.
+"""
+
+from repro.experiments.report import Figure, Series, Table
+
+__all__ = ["Figure", "Series", "Table"]

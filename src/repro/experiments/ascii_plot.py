@@ -1,0 +1,109 @@
+"""ASCII line charts for Figure artifacts.
+
+The paper's figures need to be reviewable from a terminal transcript;
+:func:`render_figure` draws every series of a
+:class:`~repro.experiments.report.Figure` onto one character grid with a
+per-series glyph, log-scaling axes whose data spans decades.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.experiments.report import Figure, Series
+
+#: Glyphs assigned to series in order.
+GLYPHS = "ox+*#@%&"
+
+
+def _scale(values: np.ndarray, log: bool) -> np.ndarray:
+    return np.log10(values) if log else values
+
+
+def _axis_should_log(values: np.ndarray) -> bool:
+    positive = values[values > 0]
+    if positive.size < 2:
+        return False
+    return positive.max() / positive.min() > 50.0
+
+
+def render_figure(figure: Figure, width: int = 64, height: int = 16) -> str:
+    """Render all series of a figure as an ASCII chart."""
+    if width < 16 or height < 4:
+        raise ValueError("chart must be at least 16x4 characters")
+    if not figure.series:
+        return f"{figure.title}\n(no series)"
+
+    all_x = np.concatenate([np.asarray(s.x, dtype=float) for s in figure.series])
+    all_y = np.concatenate([np.asarray(s.y, dtype=float) for s in figure.series])
+    log_x = _axis_should_log(all_x)
+    log_y = _axis_should_log(all_y)
+    if log_x:
+        all_x = all_x[all_x > 0]
+    if log_y:
+        all_y = all_y[all_y > 0]
+    if all_x.size == 0 or all_y.size == 0:
+        return f"{figure.title}\n(no plottable points)"
+
+    x_lo, x_hi = float(_scale(all_x, log_x).min()), float(_scale(all_x, log_x).max())
+    y_lo, y_hi = float(_scale(all_y, log_y).min()), float(_scale(all_y, log_y).max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for index, series in enumerate(figure.series):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        legend.append(f"  {glyph} {series.label}")
+        xs = np.asarray(series.x, dtype=float)
+        ys = np.asarray(series.y, dtype=float)
+        keep = np.ones(xs.shape, dtype=bool)
+        if log_x:
+            keep &= xs > 0
+        if log_y:
+            keep &= ys > 0
+        for x, y in zip(xs[keep], ys[keep]):
+            col = int(round((float(_scale(np.array([x]), log_x)[0]) - x_lo)
+                            / x_span * (width - 1)))
+            row = int(round((float(_scale(np.array([y]), log_y)[0]) - y_lo)
+                            / y_span * (height - 1)))
+            grid[height - 1 - row][col] = glyph
+
+    def _fmt(value: float) -> str:
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.01:
+            return f"{value:.2g}"
+        return f"{value:.3g}"
+
+    y_hi_label = _fmt(10**y_hi if log_y else y_hi)
+    y_lo_label = _fmt(10**y_lo if log_y else y_lo)
+    pad = max(len(y_hi_label), len(y_lo_label))
+    lines = [figure.title]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = y_hi_label.rjust(pad)
+        elif row_index == height - 1:
+            label = y_lo_label.rjust(pad)
+        else:
+            label = " " * pad
+        lines.append(f"{label} |{''.join(row)}")
+    x_lo_label = _fmt(10**x_lo if log_x else x_lo)
+    x_hi_label = _fmt(10**x_hi if log_x else x_hi)
+    axis = f"{' ' * pad} +{'-' * width}"
+    ticks = (f"{' ' * pad}  {x_lo_label}"
+             f"{' ' * max(1, width - len(x_lo_label) - len(x_hi_label))}"
+             f"{x_hi_label}")
+    scale_note = []
+    if log_x:
+        scale_note.append("log-x")
+    if log_y:
+        scale_note.append("log-y")
+    lines.append(axis)
+    lines.append(ticks + (f"   [{', '.join(scale_note)}]" if scale_note else ""))
+    lines.append(f"  x: {figure.x_label}, y: {figure.y_label}")
+    lines.extend(legend)
+    return "\n".join(lines)

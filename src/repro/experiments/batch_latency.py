@@ -1,0 +1,81 @@
+"""Ablation: the batch-aware analytical latency model's accuracy.
+
+Extends the paper's Eqn. 2 along the parallel-scaling axis of Fig. 10a
+and validates it the way the paper validates Eqn. 2 (held-out MAPE,
+Table VI style): fit `(m, n)` per batch size, interpolate, and score
+predictions at batch sizes *between* the fitted grid points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.batch_model import BatchedDecodeLatencyModel, fit_batched_decode_model
+from repro.engine.engine import InferenceEngine
+from repro.evaluation.metrics import mape
+from repro.experiments.report import Table
+from repro.models.registry import get_model
+
+MODELS = ("dsr1-qwen-1.5b", "dsr1-llama-8b", "dsr1-qwen-14b")
+FIT_BATCHES = (1, 4, 16, 64)
+HELD_OUT_BATCHES = (2, 8, 32)
+
+
+@dataclass(frozen=True)
+class BatchModelRow:
+    """Validation of the batched model for one LLM."""
+
+    model: str
+    n_at_1: float
+    n_at_64: float
+    multiplier_at_64: float
+    held_out_mape_pct: float
+
+
+def run_batch_model_study(seed: int = 0) -> list[BatchModelRow]:
+    """Fit and validate the batched decode model per DSR1 model."""
+    rows = []
+    for name in MODELS:
+        engine = InferenceEngine(get_model(name))
+        rng = np.random.default_rng(seed + 19)
+        fitted = fit_batched_decode_model(engine, FIT_BATCHES, rng)
+        # Held-out shapes at unfitted batch sizes.
+        eval_rng = np.random.default_rng(seed + 23)
+        inputs = np.clip(eval_rng.lognormal(np.log(200), 0.5, 30),
+                         32, 2048).astype(int)
+        outputs = np.clip(eval_rng.lognormal(np.log(300), 0.6, 30),
+                          16, 1024).astype(int)
+        predicted, measured = [], []
+        for batch in HELD_OUT_BATCHES:
+            for i, o in zip(inputs, outputs):
+                predicted.append(fitted.decode_latency(int(i), int(o), batch))
+                steps = engine.kernels.decode_step_seconds(
+                    engine.profile, int(i) + np.arange(int(o), dtype=float),
+                    batch)
+                measured.append(float(steps.sum()))
+        rows.append(BatchModelRow(
+            model=name,
+            n_at_1=fitted.coefficients(1).n,
+            n_at_64=fitted.coefficients(64).n,
+            multiplier_at_64=fitted.latency_multiplier(64),
+            held_out_mape_pct=mape(np.asarray(predicted),
+                                   np.asarray(measured)),
+        ))
+    return rows
+
+
+def batch_model_table(rows: list[BatchModelRow] | None = None,
+                      seed: int = 0) -> Table:
+    """Format the batched-model validation."""
+    rows = rows if rows is not None else run_batch_model_study(seed=seed)
+    table = Table(
+        "Batch-aware decode model: Eqn. 2 extended over scaling factors",
+        ["Model", "n @B=1 (s)", "n @B=64 (s)", "Latency mult @B=64",
+         "Held-out MAPE (%)"],
+    )
+    for row in rows:
+        table.add_row(row.model, row.n_at_1, row.n_at_64,
+                      row.multiplier_at_64, row.held_out_mape_pct)
+    return table

@@ -1,0 +1,92 @@
+"""Tables XVI-XVII (Appendix C): edge CPU vs GPU inference latency."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.engine import InferenceEngine
+from repro.experiments.report import Table
+from repro.hardware.cpu import ArmCpuCluster
+from repro.models.registry import get_model
+
+PREFILL_LENGTHS = (128, 256, 512, 1024)
+DECODE_LENGTHS = (64, 128, 256, 1024)
+PREFILL_MODELS = ("dsr1-qwen-1.5b", "dsr1-llama-8b", "dsr1-qwen-14b")
+DECODE_MODELS = ("dsr1-llama-8b", "dsr1-qwen-14b")
+DECODE_INPUT = 512
+
+
+@dataclass(frozen=True)
+class CpuGpuRow:
+    """CPU vs GPU latency at one sweep point for one model."""
+
+    model: str
+    length: int
+    cpu_seconds: float
+    gpu_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """How much faster the GPU is."""
+        return self.cpu_seconds / self.gpu_seconds
+
+
+def run_table16(seed: int = 0) -> list[CpuGpuRow]:
+    """Prefill latency: CPU vs GPU over input lengths."""
+    cpu = ArmCpuCluster()
+    rows = []
+    for name in PREFILL_MODELS:
+        model = get_model(name)
+        engine = InferenceEngine(model)
+        profile = engine.profile
+        for length in PREFILL_LENGTHS:
+            rows.append(CpuGpuRow(
+                model=name,
+                length=length,
+                cpu_seconds=cpu.prefill_seconds(profile, length),
+                gpu_seconds=engine.kernels.prefill(profile, length).seconds,
+            ))
+    return rows
+
+
+def run_table17(seed: int = 0) -> list[CpuGpuRow]:
+    """Decode latency: CPU vs GPU over output lengths (I=512)."""
+    cpu = ArmCpuCluster()
+    rows = []
+    for name in DECODE_MODELS:
+        model = get_model(name)
+        engine = InferenceEngine(model)
+        profile = engine.profile
+        for length in DECODE_LENGTHS:
+            gpu_seconds = float(engine.kernels.decode(
+                profile, DECODE_INPUT, length
+            ).seconds)
+            rows.append(CpuGpuRow(
+                model=name,
+                length=length,
+                cpu_seconds=cpu.decode_seconds(profile, DECODE_INPUT, length),
+                gpu_seconds=gpu_seconds,
+            ))
+    return rows
+
+
+def table16(rows: list[CpuGpuRow] | None = None, seed: int = 0) -> Table:
+    """Format Table XVI."""
+    rows = rows if rows is not None else run_table16(seed)
+    table = Table("Table XVI: Prefill latency, CPU vs GPU",
+                  ["Model", "Input len", "CPU (s)", "GPU (s)", "Speedup"])
+    for row in rows:
+        table.add_row(row.model, row.length, row.cpu_seconds,
+                      row.gpu_seconds, row.speedup)
+    return table
+
+
+def table17(rows: list[CpuGpuRow] | None = None, seed: int = 0) -> Table:
+    """Format Table XVII."""
+    rows = rows if rows is not None else run_table17(seed)
+    table = Table("Table XVII: Decode latency, CPU vs GPU (I=512)",
+                  ["Model", "Output len", "CPU (s)", "GPU (s)", "Speedup"])
+    for row in rows:
+        table.add_row(row.model, row.length, row.cpu_seconds,
+                      row.gpu_seconds, row.speedup)
+    return table

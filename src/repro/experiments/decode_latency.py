@@ -1,0 +1,74 @@
+"""Fig. 3 and Table V: decode latency / TBT characterization and fit."""
+
+from __future__ import annotations
+
+from repro.core.characterize import CharacterizationResult
+from repro.core.latency_model import PAPER_DECODE_COEFFICIENTS
+from repro.experiments.prefill_latency import run_characterizations
+from repro.experiments.report import Figure, Series, Table
+
+
+def figure3a(characterizations: dict[str, CharacterizationResult] | None = None,
+             seed: int = 0) -> Figure:
+    """Fig. 3a: decode latency vs output length at fixed input 512."""
+    characterizations = characterizations or run_characterizations(seed=seed)
+    figure = Figure("Fig. 3a: Decode latency vs. output length (I=512)",
+                    "output_tokens", "latency_s")
+    for name, result in characterizations.items():
+        sweep = result.decode_sweep
+        figure.add(Series(
+            label=f"{name} measured",
+            x=tuple(float(v) for v in sweep.output_lens),
+            y=tuple(float(v) for v in sweep.seconds),
+        ))
+        fitted = result.latency.decode(
+            float(sweep.input_len), sweep.output_lens.astype(float)
+        )
+        figure.add(Series(
+            label=f"{name} fitted",
+            x=tuple(float(v) for v in sweep.output_lens),
+            y=tuple(float(v) for v in fitted),
+        ))
+    return figure
+
+
+def figure3b(characterizations: dict[str, CharacterizationResult] | None = None,
+             seed: int = 0) -> Figure:
+    """Fig. 3b: time-between-tokens vs input (context) length."""
+    characterizations = characterizations or run_characterizations(seed=seed)
+    figure = Figure("Fig. 3b: TBT vs. input length", "input_tokens", "tbt_s")
+    for name, result in characterizations.items():
+        sweep = result.tbt_sweep
+        figure.add(Series(
+            label=name,
+            x=tuple(float(v) for v in sweep.input_lens),
+            y=tuple(float(v) for v in sweep.tbt_seconds),
+        ))
+    return figure
+
+
+def table5(characterizations: dict[str, CharacterizationResult] | None = None,
+           seed: int = 0) -> Table:
+    """Table V: fitted decode coefficients, with the paper's values."""
+    characterizations = characterizations or run_characterizations(seed=seed)
+    table = Table(
+        "Table V: Fitted coefficients for decode latency model",
+        ["Model", "m", "n", "paper m", "paper n"],
+    )
+    for name, result in characterizations.items():
+        fitted = result.latency.decode
+        paper = PAPER_DECODE_COEFFICIENTS.get(name)
+        table.add_row(
+            name, fitted.m, fitted.n,
+            paper.m if paper else "-", paper.n if paper else "-",
+        )
+    return table
+
+
+def tbt_increase_with_context(
+        characterizations: dict[str, CharacterizationResult] | None = None,
+        model: str = "dsr1-llama-8b", seed: int = 0) -> float:
+    """Fractional TBT increase from context 1 to 4k (paper: ~3.1% for 8B)."""
+    characterizations = characterizations or run_characterizations(seed=seed)
+    sweep = characterizations[model].tbt_sweep
+    return float(sweep.tbt_seconds[-1] / sweep.tbt_seconds[0] - 1.0)

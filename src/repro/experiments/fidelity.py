@@ -1,0 +1,139 @@
+"""Fidelity report: paper-reported vs repo-measured, in one table.
+
+A reproduction's first artifact should be the audit of itself.  This
+module holds the paper's key reported values as structured references,
+re-measures each on the simulator, and reports the deviation — the
+machine-checkable core of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.characterize import CharacterizationResult, characterize_model
+from repro.evaluation.evaluator import Evaluator
+from repro.experiments.report import Table
+from repro.generation.control import base_control, direct_control, hard_budget, nr_control
+from repro.models.registry import get_model
+from repro.workloads.mmlu_redux import mmlu_redux
+
+
+@dataclass(frozen=True)
+class FidelityEntry:
+    """One audited metric."""
+
+    metric: str
+    source: str          # the paper table/figure
+    paper_value: float
+    repo_value: float
+
+    @property
+    def deviation_pct(self) -> float:
+        """Signed deviation of the repo value from the paper's."""
+        if self.paper_value == 0:
+            return float("inf")
+        return (self.repo_value / self.paper_value - 1.0) * 100.0
+
+
+@dataclass
+class _Context:
+    """Lazily computed shared inputs for the audit."""
+
+    seed: int
+    size: int
+    _characterizations: dict[str, CharacterizationResult] | None = None
+    _evaluator: Evaluator | None = None
+
+    def characterization(self, model: str) -> CharacterizationResult:
+        if self._characterizations is None:
+            self._characterizations = {}
+        if model not in self._characterizations:
+            self._characterizations[model] = characterize_model(
+                get_model(model), seed=self.seed)
+        return self._characterizations[model]
+
+    @property
+    def evaluator(self) -> Evaluator:
+        if self._evaluator is None:
+            self._evaluator = Evaluator(mmlu_redux(self.seed, self.size),
+                                        seed=self.seed)
+        return self._evaluator
+
+
+def _accuracy(model: str, control) -> Callable[[_Context], float]:
+    def measure(ctx: _Context) -> float:
+        return ctx.evaluator.evaluate(get_model(model), control).accuracy * 100
+    return measure
+
+
+def _tokens(model: str, control) -> Callable[[_Context], float]:
+    def measure(ctx: _Context) -> float:
+        return ctx.evaluator.evaluate(get_model(model),
+                                      control).mean_output_tokens
+    return measure
+
+
+#: (metric, source, paper value, measure function).
+_AUDIT: tuple[tuple[str, str, float, Callable[[_Context], float]], ...] = (
+    # Fitted latency coefficients (Tables IV/V).
+    ("8B decode n (s/token)", "Table V", 0.092,
+     lambda ctx: ctx.characterization("dsr1-llama-8b").latency.decode.n),
+    ("8B decode m (s/token/ctx)", "Table V", 6.92e-7,
+     lambda ctx: ctx.characterization("dsr1-llama-8b").latency.decode.m),
+    ("14B decode n (s/token)", "Table V", 0.187,
+     lambda ctx: ctx.characterization("dsr1-qwen-14b").latency.decode.n),
+    ("8B prefill a (s/token^2)", "Table IV", 6.65e-7,
+     lambda ctx: ctx.characterization("dsr1-llama-8b").latency.prefill.a),
+    ("14B prefill a (s/token^2)", "Table IV", 1.23e-6,
+     lambda ctx: ctx.characterization("dsr1-qwen-14b").latency.prefill.a),
+    # Accuracy anchors (Tables X/XI).
+    ("1.5B Base accuracy (%)", "Table X", 38.3,
+     _accuracy("dsr1-qwen-1.5b", base_control())),
+    ("8B Base accuracy (%)", "Table X", 61.7,
+     _accuracy("dsr1-llama-8b", base_control())),
+    ("14B Base accuracy (%)", "Table X", 80.6,
+     _accuracy("dsr1-qwen-14b", base_control())),
+    ("8B 128T accuracy (%)", "Table XI", 37.9,
+     _accuracy("dsr1-llama-8b", hard_budget(128))),
+    ("14B 256T accuracy (%)", "Table XI", 58.6,
+     _accuracy("dsr1-qwen-14b", hard_budget(256))),
+    ("1.5B NR accuracy (%)", "Table XI", 41.0,
+     _accuracy("dsr1-qwen-1.5b", nr_control())),
+    ("8B-it Direct accuracy (%)", "Table X", 58.3,
+     _accuracy("llama3.1-8b-it", direct_control())),
+    # Token counts (Tables X/XI).
+    ("8B Base tokens/question", "Table X", 811.1,
+     _tokens("dsr1-llama-8b", base_control())),
+    ("14B 128T tokens/question", "Table XI", 78.2,
+     _tokens("dsr1-qwen-14b", hard_budget(128))),
+)
+
+
+def run_fidelity_audit(seed: int = 0, size: int = 1000) -> list[FidelityEntry]:
+    """Re-measure every audited metric."""
+    ctx = _Context(seed=seed, size=size)
+    return [
+        FidelityEntry(metric=metric, source=source, paper_value=paper,
+                      repo_value=float(measure(ctx)))
+        for metric, source, paper, measure in _AUDIT
+    ]
+
+
+def fidelity_table(entries: list[FidelityEntry] | None = None,
+                   seed: int = 0) -> Table:
+    """Format the audit."""
+    entries = entries if entries is not None else run_fidelity_audit(seed=seed)
+    table = Table(
+        "Fidelity audit: paper-reported vs repo-measured",
+        ["Metric", "Source", "Paper", "Repo", "Deviation (%)"],
+    )
+    for entry in entries:
+        table.add_row(entry.metric, entry.source, entry.paper_value,
+                      entry.repo_value, entry.deviation_pct)
+    return table
+
+
+def worst_deviation_pct(entries: list[FidelityEntry]) -> float:
+    """Largest absolute deviation across the audit."""
+    return max(abs(entry.deviation_pct) for entry in entries)

@@ -1,0 +1,69 @@
+"""Table IX: inference-framework comparison (HFT vs vLLM vs TRT-LLM)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.engine import EngineConfig, InferenceEngine
+from repro.engine.frameworks import available_frameworks
+from repro.engine.request import GenerationRequest
+from repro.experiments.report import Table
+from repro.models.registry import get_model
+
+#: The paper's three (input, output) shape combinations.
+SHAPES = ((16, 128), (64, 128), (128, 128))
+FRAMEWORK_ORDER = ("hft", "vllm", "trt-llm")
+
+
+@dataclass(frozen=True)
+class FrameworkRow:
+    """End-to-end latency of every framework at one shape."""
+
+    input_len: int
+    output_len: int
+    latencies_s: dict[str, float]
+
+    def speedup_over(self, framework: str, baseline: str = "hft") -> float:
+        """Latency ratio baseline/framework."""
+        return self.latencies_s[baseline] / self.latencies_s[framework]
+
+
+def run_table9(model_name: str = "dsr1-llama-8b",
+               seed: int = 0) -> list[FrameworkRow]:
+    """Measure DSR1-Llama-8B end-to-end latency per framework and shape."""
+    rows = []
+    engines = {
+        framework: InferenceEngine(
+            get_model(model_name),
+            config=EngineConfig(framework=framework, seed=seed),
+        )
+        for framework in FRAMEWORK_ORDER
+    }
+    for input_len, output_len in SHAPES:
+        latencies = {}
+        for framework, engine in engines.items():
+            result = engine.generate(GenerationRequest(
+                request_id=0, prompt_tokens=input_len,
+                natural_length=output_len,
+            ))
+            latencies[framework] = result.total_seconds
+        rows.append(FrameworkRow(input_len, output_len, latencies))
+    return rows
+
+
+def table9(rows: list[FrameworkRow] | None = None, seed: int = 0) -> Table:
+    """Format Table IX."""
+    rows = rows if rows is not None else run_table9(seed=seed)
+    table = Table(
+        "Table IX: Inference engine comparison on DSR1-Llama-8B",
+        ["Input", "Output", "HF (s)", "vLLM (s)", "vLLM speedup",
+         "TRT-LLM (s)", "TRT speedup"],
+    )
+    for row in rows:
+        table.add_row(
+            row.input_len, row.output_len,
+            row.latencies_s["hft"], row.latencies_s["vllm"],
+            row.speedup_over("vllm"),
+            row.latencies_s["trt-llm"], row.speedup_over("trt-llm"),
+        )
+    return table

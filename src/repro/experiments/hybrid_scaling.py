@@ -1,0 +1,85 @@
+"""Hybrid sequential x parallel scaling under a latency budget.
+
+Section V-C locates the token counts where sequential scaling's returns
+diminish and suggests parallel scaling takes over; Section V-E shows
+parallel samples are nearly latency-free at small factors.  This study
+searches the joint (token budget, scaling factor) grid and reports, per
+wall-clock budget, the best hybrid strategy — typically: lengthen chains
+up to the inflection, then widen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation.evaluator import Evaluator
+from repro.experiments.report import Table
+from repro.generation.control import hard_budget
+from repro.models.registry import get_model
+from repro.scaling.hybrid import (
+    HybridPoint,
+    best_under_latency,
+    hybrid_scaling_surface,
+    sequential_only,
+)
+from repro.workloads.mmlu_redux import mmlu_redux
+
+TOKEN_BUDGETS = (64, 128, 256, 512, 1024)
+SCALE_FACTORS = (1, 2, 4, 8, 16)
+LATENCY_BUDGETS = (5.0, 10.0, 20.0, 40.0, 80.0)
+
+
+def run_hybrid_surface(model_name: str = "dsr1-llama-8b",
+                       seed: int = 0, size: int = 1500) -> list[HybridPoint]:
+    """Evaluate the (budget, width) grid for one model on MMLU-Redux."""
+    benchmark = mmlu_redux(seed, size)
+    evaluator = Evaluator(benchmark, seed=seed)
+    model = get_model(model_name)
+    engine = evaluator.engine_for(model)
+    prompt = int(np.median(benchmark.prompt_tokens))
+    rng = np.random.default_rng(seed + 13)
+
+    def stats_fn(budget: int):
+        return evaluator.question_statistics(model, hard_budget(budget))
+
+    def latency_fn(budget: int, scale_factor: int) -> float:
+        prefill = engine.kernels.prefill_seconds_vector(
+            engine.profile, np.array([prompt]))[0]
+        steps = engine.kernels.decode_step_seconds(
+            engine.profile, prompt + np.arange(budget, dtype=float),
+            scale_factor,
+        )
+        return float(prefill + steps.sum())
+
+    return hybrid_scaling_surface(
+        stats_fn, latency_fn, benchmark.num_choices,
+        TOKEN_BUDGETS, SCALE_FACTORS, rng,
+    )
+
+
+def hybrid_table(surface: list[HybridPoint] | None = None,
+                 seed: int = 0) -> Table:
+    """Best hybrid vs best pure-sequential config per latency budget."""
+    surface = surface if surface is not None else run_hybrid_surface(seed=seed)
+    sequential = sequential_only(surface)
+    table = Table(
+        "Hybrid test-time scaling under latency budgets (DSR1-Llama-8B)",
+        ["Latency budget (s)", "Best hybrid (tokens x SF)", "Hybrid acc (%)",
+         "Best sequential (tokens)", "Sequential acc (%)", "Hybrid gain (pts)"],
+    )
+    for budget in LATENCY_BUDGETS:
+        hybrid = best_under_latency(surface, budget)
+        pure = best_under_latency(sequential, budget)
+        if hybrid is None:
+            table.add_row(budget, "(infeasible)", 0.0, "-", 0.0, 0.0)
+            continue
+        pure_acc = pure.accuracy if pure else 0.0
+        table.add_row(
+            budget,
+            f"{hybrid.token_budget} x {hybrid.scale_factor}",
+            hybrid.accuracy * 100.0,
+            pure.token_budget if pure else "-",
+            pure_acc * 100.0,
+            (hybrid.accuracy - pure_acc) * 100.0,
+        )
+    return table

@@ -1,0 +1,46 @@
+"""Table VI: MAPE of the fitted latency models on 50 held-out questions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.characterize import CharacterizationResult
+from repro.core.validation import (
+    LatencyValidation,
+    measure_held_out,
+    sample_held_out_shapes,
+    validate_latency_model,
+)
+from repro.engine.engine import EngineConfig, InferenceEngine
+from repro.experiments.prefill_latency import run_characterizations
+from repro.experiments.report import Table
+from repro.models.registry import get_model
+
+
+def run_table6(characterizations: dict[str, CharacterizationResult] | None = None,
+               seed: int = 0, held_out: int = 50) -> list[LatencyValidation]:
+    """Validate each model's fitted latency model on held-out shapes."""
+    characterizations = characterizations or run_characterizations(seed=seed)
+    rows = []
+    for name, result in characterizations.items():
+        rng = np.random.default_rng(seed + 23)
+        inputs, outputs = sample_held_out_shapes(rng, held_out)
+        engine = InferenceEngine(get_model(name),
+                                 config=EngineConfig(seed=seed + 1))
+        measured = measure_held_out(engine, inputs, outputs,
+                                     seed=seed + len(name))
+        rows.append(validate_latency_model(name, result.latency, measured))
+    return rows
+
+
+def table6(rows: list[LatencyValidation] | None = None, seed: int = 0) -> Table:
+    """Format Table VI."""
+    rows = rows if rows is not None else run_table6(seed=seed)
+    table = Table(
+        "Table VI: MAPE of latency model (50 held-out questions)",
+        ["Model", "Prefill (%)", "Decode (%)", "Total (%)"],
+    )
+    for row in rows:
+        table.add_row(row.model, row.prefill_mape, row.decode_mape,
+                      row.total_mape)
+    return table

@@ -1,0 +1,44 @@
+"""Table XII: base / budgeted / quantized DSR1 models on full MMLU (15k)."""
+
+from __future__ import annotations
+
+from repro.evaluation.evaluator import EvaluationResult, Evaluator
+from repro.experiments.report import Table
+from repro.generation.control import base_control, hard_budget
+from repro.models.registry import get_model
+from repro.workloads.mmlu import mmlu
+
+MODELS = ("dsr1-qwen-1.5b", "dsr1-llama-8b", "dsr1-qwen-14b",
+          "dsr1-qwen-1.5b-awq-w4", "dsr1-llama-8b-awq-w4",
+          "dsr1-qwen-14b-awq-w4")
+CONTROLS = (base_control(), hard_budget(128), hard_budget(256))
+
+
+def run_table12(seed: int = 0, size: int = 15000) -> list[EvaluationResult]:
+    """Evaluate every Table XII configuration on the 15k-question MMLU."""
+    benchmark = mmlu(seed, size)
+    evaluator = Evaluator(benchmark, seed=seed)
+    results = []
+    for name in MODELS:
+        model = get_model(name)
+        for control in CONTROLS:
+            results.append(evaluator.evaluate(model, control))
+    return results
+
+
+def table12(results: list[EvaluationResult] | None = None,
+            seed: int = 0, size: int = 15000) -> Table:
+    """Format Table XII."""
+    results = results if results is not None else run_table12(seed, size)
+    table = Table(
+        "Table XII: MMLU (15k) accuracy for base, quantized, and budgeted",
+        ["Model", "Config", "Accuracy (%)", "Avg toks/q"],
+    )
+    for result in results:
+        config = ("Base" if result.control.label == "Base"
+                  else f"Budget {result.control.label}")
+        if "awq" in result.model:
+            config = f"LLMC-AWQ-W4 {config}".replace(" Base", "")
+        table.add_row(result.display_name, config, result.accuracy * 100.0,
+                      result.mean_output_tokens)
+    return table

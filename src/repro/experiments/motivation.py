@@ -1,0 +1,153 @@
+"""Section III motivation studies: Tables II and III.
+
+Table II compares reasoning vs. non-reasoning models on 150 MMLU-Redux
+questions (accuracy, decode time, TPS, perf/W, energy per question).
+Table III compares edge deployment of DeepScaleR-1.5B against the
+OpenAI o1-preview API on cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cost import CostModel, o1_preview_pricing
+from repro.engine.engine import InferenceEngine
+from repro.engine.request import GenerationRequest
+from repro.evaluation.evaluator import EvaluationResult, Evaluator
+from repro.experiments.report import Table
+from repro.generation.control import base_control, direct_control
+from repro.generation.length import LengthModel
+from repro.models.capability import capability_profile
+from repro.models.config import ModelFamily
+from repro.models.registry import get_model
+from repro.workloads.mmlu_redux import mmlu_redux
+
+#: The six models of Table II, in its row order.
+TABLE2_MODELS = (
+    "gemma-7b-it", "llama3.1-8b-it", "qwen2.5-7b-it",
+    "dsr1-qwen-1.5b", "dsr1-llama-8b", "dsr1-qwen-14b",
+)
+
+
+@dataclass(frozen=True)
+class MotivationRow:
+    """One Table II row."""
+
+    model: str
+    accuracy_pct: float
+    decode_time_s: float
+    tokens_per_second: float
+    perf_per_watt: float
+    energy_per_question_j: float
+
+
+def run_table2(seed: int = 0, questions: int = 150) -> list[MotivationRow]:
+    """Reasoning vs non-reasoning comparison on an MMLU-Redux subset."""
+    benchmark = mmlu_redux(seed).subset(questions, seed=seed)
+    evaluator = Evaluator(benchmark, seed=seed)
+    rows = []
+    for name in TABLE2_MODELS:
+        model = get_model(name)
+        control = (direct_control() if model.family is ModelFamily.DIRECT
+                   else base_control())
+        result = evaluator.evaluate(model, control)
+        tps = result.tokens_per_second
+        rows.append(MotivationRow(
+            model=model.display_name,
+            accuracy_pct=result.accuracy * 100.0,
+            decode_time_s=result.mean_decode_seconds,
+            tokens_per_second=tps,
+            perf_per_watt=tps / result.mean_power_w if result.mean_power_w else 0.0,
+            energy_per_question_j=result.mean_energy_joules,
+        ))
+    return rows
+
+
+def table2(rows: list[MotivationRow] | None = None, seed: int = 0) -> Table:
+    """Format Table II."""
+    rows = rows if rows is not None else run_table2(seed)
+    table = Table(
+        "Table II: Lightweight Reasoning vs Non-Reasoning Models "
+        "(150 MMLU-Redux questions)",
+        ["Model", "Acc. (%)", "Time (s)", "TPS", "TPS/W", "Energy/Q (J)"],
+    )
+    for row in rows:
+        table.add_row(row.model, row.accuracy_pct, row.decode_time_s,
+                      row.tokens_per_second, row.perf_per_watt,
+                      row.energy_per_question_j)
+    return table
+
+
+@dataclass(frozen=True)
+class EdgeCloudRow:
+    """One Table III deployment column."""
+
+    deployment: str
+    accuracy_aime_pct: float
+    accuracy_math500_pct: float
+    batch_size: int | None
+    user_tps: float
+    price_usd_per_mtok: float
+
+
+def run_table3(seed: int = 0) -> list[EdgeCloudRow]:
+    """Edge (batch 1 and 30) vs cloud cost comparison on AIME2024."""
+    model = get_model("deepscaler-1.5b")
+    engine = InferenceEngine(model)
+    lengths = LengthModel(model, "aime2024")
+    capability_aime = capability_profile(model.name, "aime2024")
+    capability_math = capability_profile(model.name, "math500")
+    base_tokens = lengths.base_mean()
+    acc_aime = float(capability_aime.completed(base_tokens)) * 100.0
+    acc_math = float(capability_math.completed(3800.0)) * 100.0
+
+    import numpy as np
+    rng = np.random.default_rng(seed)
+    naturals = lengths.sample(base_control(), rng, size=30)
+    requests = [
+        GenerationRequest(i, prompt_tokens=120, natural_length=int(n))
+        for i, n in enumerate(np.asarray(naturals))
+    ]
+    rows = []
+    for batch in (1, 30):
+        report = engine.run_batch(requests, max_batch_size=batch)
+        cost = CostModel.single_stream().cost_per_million_tokens(
+            energy_joules=report.total_energy_joules,
+            wallclock_seconds=report.wallclock_seconds,
+            tokens=report.total_tokens,
+        )
+        per_user_tps = report.tokens_per_second / min(batch, len(requests))
+        rows.append(EdgeCloudRow(
+            deployment=f"DeepScaleR-1.5B on Orin (batch {batch})",
+            accuracy_aime_pct=acc_aime,
+            accuracy_math500_pct=acc_math,
+            batch_size=batch,
+            user_tps=per_user_tps if batch > 1 else report.tokens_per_second,
+            price_usd_per_mtok=cost,
+        ))
+    cloud = o1_preview_pricing()
+    rows.append(EdgeCloudRow(
+        deployment=cloud.name,
+        accuracy_aime_pct=40.0,   # published o1-preview AIME2024
+        accuracy_math500_pct=81.4,  # published o1-preview MATH500
+        batch_size=None,
+        user_tps=89.7,            # OpenRouter-reported throughput
+        price_usd_per_mtok=cloud.output_usd_per_mtok,
+    ))
+    return rows
+
+
+def table3(rows: list[EdgeCloudRow] | None = None, seed: int = 0) -> Table:
+    """Format Table III."""
+    rows = rows if rows is not None else run_table3(seed)
+    table = Table(
+        "Table III: Costs Comparison of Reasoning LLM Deployments (AIME2024)",
+        ["Deployment", "AIME Acc (%)", "MATH500 Acc (%)", "Batch",
+         "User TPS", "$ / 1M output tokens"],
+    )
+    for row in rows:
+        table.add_row(row.deployment, row.accuracy_aime_pct,
+                      row.accuracy_math500_pct,
+                      row.batch_size if row.batch_size is not None else "-",
+                      row.user_tps, row.price_usd_per_mtok)
+    return table

@@ -1,0 +1,90 @@
+"""Tables XIII-XV: Natural-Plan planning tasks (server-side runs).
+
+The paper's Natural-Plan evaluations run on x86 servers (artifact
+appendix), so these experiments use the H100-class SoC spec; the story
+is the accuracy-vs-budget behaviour: reasoning models score <20% even
+with thousands of tokens, NR+512 budgeting retains most of that accuracy
+at ~10x less latency, and direct Qwen models beat reasoning models on
+calendar-style tasks outright.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation.evaluator import EvaluationResult, Evaluator
+from repro.experiments.report import Table
+from repro.generation.control import base_control, direct_control, nr_control
+from repro.hardware.soc import h100_like_server
+from repro.models.registry import get_model
+from repro.workloads.natural_plan import natural_plan
+
+TASKS = ("calendar", "meeting", "trip")
+REASONING = ("dsr1-qwen-1.5b", "dsr1-llama-8b", "dsr1-qwen-14b")
+DIRECT = ("qwen2.5-1.5b-it", "qwen2.5-14b-it")
+
+
+def _evaluators(seed: int) -> dict[str, Evaluator]:
+    return {
+        task: Evaluator(natural_plan(task, seed), soc=h100_like_server(),
+                        seed=seed)
+        for task in TASKS
+    }
+
+
+def run_baseline(seed: int = 0) -> list[EvaluationResult]:
+    """Table XIII: unconstrained reasoning models per task."""
+    evaluators = _evaluators(seed)
+    return [
+        evaluators[task].evaluate(get_model(name), base_control())
+        for task in TASKS for name in REASONING
+    ]
+
+
+def run_budgeted(seed: int = 0) -> list[EvaluationResult]:
+    """Table XIV: the NR + 512-token budgeting configuration."""
+    evaluators = _evaluators(seed)
+    return [
+        evaluators[task].evaluate(get_model(name), nr_control())
+        for task in TASKS for name in REASONING
+    ]
+
+
+def run_direct(seed: int = 0) -> list[EvaluationResult]:
+    """Table XV: direct Qwen2.5 models per task."""
+    evaluators = _evaluators(seed)
+    return [
+        evaluators[task].evaluate(get_model(name), direct_control())
+        for task in TASKS for name in DIRECT
+    ]
+
+
+def _format(title: str, results: list[EvaluationResult]) -> Table:
+    table = Table(title, ["Task", "Model", "Acc. (%)", "Avg out toks/Q",
+                          "Lat. (s)"])
+    for result in results:
+        task = result.benchmark.replace("naturalplan-", "")
+        table.add_row(task, result.display_name, result.accuracy * 100.0,
+                      result.mean_output_tokens, result.mean_latency_seconds)
+    return table
+
+
+def table13(results: list[EvaluationResult] | None = None,
+            seed: int = 0) -> Table:
+    """Format Table XIII."""
+    results = results if results is not None else run_baseline(seed)
+    return _format("Table XIII: Natural-Plan baseline (reasoning models)",
+                   results)
+
+
+def table14(results: list[EvaluationResult] | None = None,
+            seed: int = 0) -> Table:
+    """Format Table XIV."""
+    results = results if results is not None else run_budgeted(seed)
+    return _format("Table XIV: Natural-Plan budgeting (NR + 512-token cap)",
+                   results)
+
+
+def table15(results: list[EvaluationResult] | None = None,
+            seed: int = 0) -> Table:
+    """Format Table XV."""
+    results = results if results is not None else run_direct(seed)
+    return _format("Table XV: Natural-Plan direct models (Qwen2.5)", results)

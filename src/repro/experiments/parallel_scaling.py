@@ -1,0 +1,104 @@
+"""Figs. 9-10: parallel test-time scaling on the full MMLU-Redux suite.
+
+Fig. 9: voted accuracy vs scaling factor at 128- and 512-token budgets.
+Fig. 10: decode latency, energy per question, and power / GPU
+utilization vs scaling factor (128-token budget).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.engine import InferenceEngine
+from repro.evaluation.evaluator import Evaluator
+from repro.experiments.report import Figure, Series
+from repro.generation.control import hard_budget
+from repro.models.registry import get_model
+from repro.scaling.parallel import ParallelScalingPoint, parallel_scaling_curve
+from repro.workloads.mmlu_redux import mmlu_redux
+
+SCALE_FACTORS = (1, 2, 4, 8, 16, 32)
+SYSTEM_SCALE_FACTORS = (1, 2, 4, 8, 16, 32, 64)
+FIG9_MODELS = ("dsr1-qwen-1.5b", "dsr1-qwen-14b", "l1-max")
+FIG10_MODELS = ("dsr1-qwen-1.5b", "dsr1-llama-8b", "dsr1-qwen-14b")
+
+
+def run_scaling_study(model_names: tuple[str, ...], output_budget: int,
+                      scale_factors: tuple[int, ...] = SCALE_FACTORS,
+                      seed: int = 0, size: int = 3000,
+                      ) -> dict[str, list[ParallelScalingPoint]]:
+    """Parallel-scaling sweep for several models at one output budget."""
+    benchmark = mmlu_redux(seed, size)
+    evaluator = Evaluator(benchmark, seed=seed)
+    prompt_tokens = int(np.median(benchmark.prompt_tokens))
+    curves: dict[str, list[ParallelScalingPoint]] = {}
+    for name in model_names:
+        model = get_model(name)
+        engine = evaluator.engine_for(model)
+        control = hard_budget(output_budget)
+        p_correct, distractor, garbage, determinism = (
+            evaluator.question_statistics(model, control)
+        )
+        rng = np.random.default_rng(seed + 7)
+        curves[name] = parallel_scaling_curve(
+            engine, p_correct, distractor, benchmark.num_choices,
+            scale_factors, output_budget, prompt_tokens, rng,
+            garbage_share=garbage, determinism=determinism,
+        )
+    return curves
+
+
+def figure9(seed: int = 0, size: int = 3000,
+            budgets: tuple[int, int] = (128, 512)) -> tuple[Figure, Figure]:
+    """Fig. 9: accuracy vs scaling factor at the two output budgets."""
+    figures = []
+    for budget in budgets:
+        curves = run_scaling_study(FIG9_MODELS, budget, seed=seed, size=size)
+        figure = Figure(
+            f"Fig. 9: Accuracy vs parallel scaling factor (O={budget})",
+            "scale_factor", "accuracy",
+        )
+        for name, points in curves.items():
+            figure.add(Series(
+                label=name,
+                x=tuple(float(p.scale_factor) for p in points),
+                y=tuple(p.accuracy for p in points),
+            ))
+        figures.append(figure)
+    return figures[0], figures[1]
+
+
+def figure10(seed: int = 0, output_budget: int = 128,
+             ) -> tuple[Figure, Figure, Figure]:
+    """Fig. 10: decode latency, energy/question, and power/utilization."""
+    curves = run_scaling_study(FIG10_MODELS, output_budget,
+                               scale_factors=SYSTEM_SCALE_FACTORS,
+                               seed=seed, size=256)
+    latency_fig = Figure("Fig. 10a: Decode latency vs scaling factor",
+                         "scale_factor", "decode_s")
+    energy_fig = Figure("Fig. 10b: Energy per question vs scaling factor",
+                        "scale_factor", "energy_j")
+    power_fig = Figure("Fig. 10c: Power and GPU utilization vs scaling factor",
+                       "scale_factor", "power_w")
+    for name, points in curves.items():
+        x = tuple(float(p.scale_factor) for p in points)
+        latency_fig.add(Series(name, x, tuple(p.decode_seconds for p in points)))
+        energy_fig.add(Series(
+            name, x, tuple(p.energy_per_question_j for p in points)
+        ))
+        power_fig.add(Series(name, x, tuple(p.mean_power_w for p in points)))
+        power_fig.add(Series(
+            f"{name} gpu_busy", x, tuple(p.gpu_busy for p in points)
+        ))
+        power_fig.add(Series(
+            f"{name} dram_read", x, tuple(p.dram_read_util for p in points)
+        ))
+    return latency_fig, energy_fig, power_fig
+
+
+def accuracy_gain(points: list[ParallelScalingPoint]) -> float:
+    """Accuracy at the largest scaling factor relative to SF=1."""
+    base = points[0].accuracy
+    if base <= 0:
+        return float("inf")
+    return points[-1].accuracy / base

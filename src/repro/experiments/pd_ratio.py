@@ -1,0 +1,61 @@
+"""Table VII: prefill-to-decode token and latency ratios on MMLU-Redux.
+
+Takeaway #2: decode dominates >99.5% of reasoning inference time on the
+edge GPU even though it generates only 2-7x more tokens than prefill
+consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evaluation.evaluator import Evaluator
+from repro.experiments.report import Table
+from repro.generation.control import base_control
+from repro.models.registry import get_model
+from repro.workloads.mmlu_redux import mmlu_redux
+
+DSR1_MODELS = ("dsr1-qwen-1.5b", "dsr1-llama-8b", "dsr1-qwen-14b")
+
+
+@dataclass(frozen=True)
+class PdRatioRow:
+    """One Table VII row."""
+
+    model: str
+    token_ratio: float       # decode tokens per prefill token
+    latency_ratio: float     # decode seconds per prefill second
+    decode_time_share: float
+
+
+def run_table7(seed: int = 0, size: int = 3000) -> list[PdRatioRow]:
+    """Compute the ratios over the full MMLU-Redux run."""
+    benchmark = mmlu_redux(seed, size)
+    evaluator = Evaluator(benchmark, seed=seed)
+    rows = []
+    for name in DSR1_MODELS:
+        result = evaluator.evaluate(get_model(name), base_control())
+        token_ratio = result.mean_output_tokens / result.mean_prompt_tokens
+        latency_ratio = result.prefill_to_decode_latency_ratio
+        rows.append(PdRatioRow(
+            model=result.display_name,
+            token_ratio=token_ratio,
+            latency_ratio=latency_ratio,
+            decode_time_share=result.mean_decode_seconds
+            / result.mean_latency_seconds,
+        ))
+    return rows
+
+
+def table7(rows: list[PdRatioRow] | None = None, seed: int = 0) -> Table:
+    """Format Table VII."""
+    rows = rows if rows is not None else run_table7(seed=seed)
+    table = Table(
+        "Table VII: Prefill-to-decode ratios for full MMLU-Redux",
+        ["Model", "P-to-D tokens", "P-to-D latency", "Decode share (%)"],
+    )
+    for row in rows:
+        table.add_row(row.model, f"1:{row.token_ratio:.1f}",
+                      f"1:{row.latency_ratio:.0f}",
+                      row.decode_time_share * 100.0)
+    return table

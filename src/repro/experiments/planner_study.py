@@ -1,0 +1,60 @@
+"""Fig. 1's promise made concrete: the continuous latency-budget planner.
+
+Discrete model choices give a staircase accuracy-latency tradeoff;
+combining the fitted latency models with a budget-aware model (L1) fills
+the staircase into a continuous frontier, letting an autonomous system
+pick the best configuration for *any* task deadline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.planner import DeploymentPlanner, PlanDecision, build_planner
+from repro.experiments.report import Figure, Series, Table
+
+DEFAULT_BUDGETS = (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 60.0, 120.0, 300.0)
+
+
+def run_planner_frontier(budgets: tuple[float, ...] = DEFAULT_BUDGETS,
+                         prompt_tokens: int = 128,
+                         seed: int = 0,
+                         planner: DeploymentPlanner | None = None,
+                         ) -> list[PlanDecision]:
+    """Plan the best configuration at each latency budget."""
+    planner = planner or build_planner(seed=seed)
+    return planner.frontier(list(budgets), prompt_tokens)
+
+
+def figure1(decisions: list[PlanDecision] | None = None,
+            seed: int = 0) -> Figure:
+    """The continuous accuracy-latency frontier the planner achieves."""
+    decisions = decisions if decisions is not None else run_planner_frontier(seed=seed)
+    feasible = [d for d in decisions if d.feasible]
+    figure = Figure("Fig. 1: Planner frontier — accuracy vs latency budget",
+                    "latency_budget_s", "accuracy")
+    figure.add(Series(
+        label="planner",
+        x=tuple(d.latency_budget_s for d in feasible),
+        y=tuple(d.predicted_accuracy for d in feasible),
+    ))
+    return figure
+
+
+def planner_table(decisions: list[PlanDecision] | None = None,
+                  seed: int = 0) -> Table:
+    """The per-budget decisions as a table."""
+    decisions = decisions if decisions is not None else run_planner_frontier(seed=seed)
+    table = Table(
+        "Planner decisions per latency budget",
+        ["Budget (s)", "Chosen config", "Pred. latency (s)",
+         "Pred. accuracy (%)"],
+    )
+    for decision in decisions:
+        table.add_row(
+            decision.latency_budget_s,
+            decision.chosen.label if decision.chosen else "(infeasible)",
+            decision.predicted_latency_s if decision.feasible else float("nan"),
+            decision.predicted_accuracy * 100.0,
+        )
+    return table

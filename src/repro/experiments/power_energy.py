@@ -1,0 +1,123 @@
+"""Figs. 4-5 and Tables VIII, XX, XXI: power/energy characterization.
+
+Fig. 4: prefill power and energy/token vs input length.
+Fig. 5: decode power and energy/token vs output length.
+Table VIII: MAPE of the fitted energy models.
+Tables XX/XXI: the fitted power/energy coefficients themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.characterize import CharacterizationResult
+from repro.core.validation import (
+    EnergyValidation,
+    measure_held_out,
+    sample_held_out_shapes,
+    validate_energy_model,
+)
+from repro.engine.engine import EngineConfig, InferenceEngine
+from repro.experiments.prefill_latency import run_characterizations
+from repro.experiments.report import Figure, Series, Table
+from repro.models.registry import get_model
+
+
+def figure4(characterizations: dict[str, CharacterizationResult] | None = None,
+            seed: int = 0) -> tuple[Figure, Figure]:
+    """Fig. 4: prefill power (left) and energy/token (right)."""
+    characterizations = characterizations or run_characterizations(seed=seed)
+    power_fig = Figure("Fig. 4a: Prefill power vs input length",
+                       "input_tokens", "power_w")
+    energy_fig = Figure("Fig. 4b: Prefill energy per token vs input length",
+                        "input_tokens", "energy_per_token_j")
+    for name, result in characterizations.items():
+        sweep = result.prefill_sweep
+        x = tuple(float(v) for v in sweep.input_lens)
+        power_fig.add(Series(name, x, tuple(float(v) for v in sweep.power_w)))
+        energy_fig.add(Series(
+            name, x, tuple(float(v) for v in sweep.energy_per_token_j)
+        ))
+    return power_fig, energy_fig
+
+
+def figure5(characterizations: dict[str, CharacterizationResult] | None = None,
+            seed: int = 0) -> tuple[Figure, Figure]:
+    """Fig. 5: decode power (left) and energy/token (right)."""
+    characterizations = characterizations or run_characterizations(seed=seed)
+    power_fig = Figure("Fig. 5a: Decode power vs output length (I=512)",
+                       "output_tokens", "power_w")
+    energy_fig = Figure("Fig. 5b: Decode energy per token vs output length",
+                        "output_tokens", "energy_per_token_j")
+    for name, result in characterizations.items():
+        sweep = result.decode_sweep
+        x = tuple(float(v) for v in sweep.output_lens)
+        power_fig.add(Series(name, x, tuple(float(v) for v in sweep.power_w)))
+        energy_fig.add(Series(
+            name, x, tuple(float(v) for v in sweep.energy_per_token_j)
+        ))
+    return power_fig, energy_fig
+
+
+def run_table8(characterizations: dict[str, CharacterizationResult] | None = None,
+               seed: int = 0, held_out: int = 50) -> list[EnergyValidation]:
+    """Table VIII: held-out MAPE of the fitted energy models."""
+    characterizations = characterizations or run_characterizations(seed=seed)
+    rows = []
+    for name, result in characterizations.items():
+        rng = np.random.default_rng(seed + 29)
+        inputs, outputs = sample_held_out_shapes(rng, held_out)
+        engine = InferenceEngine(get_model(name), config=EngineConfig(
+            power_noise_std=0.02, seed=seed + 3,
+        ))
+        measured = measure_held_out(engine, inputs, outputs,
+                                     seed=seed + len(name))
+        rows.append(validate_energy_model(name, result.energy, measured))
+    return rows
+
+
+def table8(rows: list[EnergyValidation] | None = None, seed: int = 0) -> Table:
+    """Format Table VIII."""
+    rows = rows if rows is not None else run_table8(seed=seed)
+    table = Table(
+        "Table VIII: MAPE of energy model",
+        ["Model", "Decode (%)", "Total (%)"],
+    )
+    for row in rows:
+        table.add_row(row.model, row.decode_mape, row.total_mape)
+    return table
+
+
+def table20(characterizations: dict[str, CharacterizationResult] | None = None,
+            seed: int = 0) -> Table:
+    """Table XX: fitted prefill power/energy parameters."""
+    characterizations = characterizations or run_characterizations(seed=seed)
+    table = Table(
+        "Table XX: Fitted prefill power and energy models",
+        ["Model", "P u (W)", "P v", "P w", "E A", "E lambda", "E C",
+         "E threshold", "E alpha", "E beta"],
+    )
+    for name, result in characterizations.items():
+        power = result.prefill_power
+        energy = result.prefill_energy
+        table.add_row(name, power.u, power.v, power.w,
+                      energy.amplitude, energy.decay, energy.offset,
+                      energy.threshold, energy.log_slope, energy.log_intercept)
+    return table
+
+
+def table21(characterizations: dict[str, CharacterizationResult] | None = None,
+            seed: int = 0) -> Table:
+    """Table XXI: fitted decode power/energy parameters."""
+    characterizations = characterizations or run_characterizations(seed=seed)
+    table = Table(
+        "Table XXI: Fitted decode power and energy models",
+        ["Model", "P u (W)", "P v", "P alpha", "P beta",
+         "E alpha", "E beta"],
+    )
+    for name, result in characterizations.items():
+        power = result.decode_power
+        energy = result.decode_energy
+        table.add_row(name, power.u, power.v, power.w, power.x0,
+                      energy.alpha, energy.beta)
+    return table

@@ -1,0 +1,63 @@
+"""Fig. 2 and Table IV: prefill latency characterization and fit."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.characterize import CharacterizationResult, characterize_model
+from repro.core.latency_model import PAPER_PREFILL_COEFFICIENTS
+from repro.experiments.report import Figure, Series, Table
+from repro.models.registry import get_model, reasoning_models
+
+DSR1_MODELS = ("dsr1-qwen-1.5b", "dsr1-llama-8b", "dsr1-qwen-14b")
+
+
+def run_characterizations(model_names: tuple[str, ...] = DSR1_MODELS,
+                          seed: int = 0,
+                          ) -> dict[str, CharacterizationResult]:
+    """Characterize the DSR1 models (shared by Figs. 2-5, Tables IV-VIII)."""
+    return {
+        name: characterize_model(get_model(name), seed=seed)
+        for name in model_names
+    }
+
+
+def figure2(characterizations: dict[str, CharacterizationResult] | None = None,
+            seed: int = 0) -> Figure:
+    """Fig. 2: measured prefill latency vs input length, plus the fits."""
+    characterizations = characterizations or run_characterizations(seed=seed)
+    figure = Figure("Fig. 2: Prefill latency vs. input sequence length",
+                    "input_tokens", "latency_s")
+    for name, result in characterizations.items():
+        sweep = result.prefill_sweep
+        figure.add(Series(
+            label=f"{name} measured",
+            x=tuple(float(v) for v in sweep.input_lens),
+            y=tuple(float(v) for v in sweep.seconds),
+        ))
+        fitted = result.latency.prefill(sweep.input_lens.astype(float))
+        figure.add(Series(
+            label=f"{name} fitted",
+            x=tuple(float(v) for v in sweep.input_lens),
+            y=tuple(float(v) for v in fitted),
+        ))
+    return figure
+
+
+def table4(characterizations: dict[str, CharacterizationResult] | None = None,
+           seed: int = 0) -> Table:
+    """Table IV: fitted prefill coefficients, with the paper's values."""
+    characterizations = characterizations or run_characterizations(seed=seed)
+    table = Table(
+        "Table IV: Fitted coefficients for prefill latency model",
+        ["Model", "a", "b", "c", "paper a", "paper b", "paper c"],
+    )
+    for name, result in characterizations.items():
+        fitted = result.latency.prefill
+        paper = PAPER_PREFILL_COEFFICIENTS.get(name)
+        table.add_row(
+            name, fitted.a, fitted.b, fitted.c,
+            paper.a if paper else "-", paper.b if paper else "-",
+            paper.c if paper else "-",
+        )
+    return table

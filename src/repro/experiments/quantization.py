@@ -1,0 +1,214 @@
+"""Section V-F: quantization studies.
+
+Figs. 11-13: prefill/decode latency, power, energy/token sweeps for the
+AWQ-W4 models.  Fig. 14: quantized vs FP16 accuracy / tokens / latency.
+Tables XVIII/XIX: averaged base-vs-quantized performance.  Tables
+XXII/XXIII: fitted power/energy coefficients for the quantized models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.characterize import CharacterizationResult
+from repro.evaluation.evaluator import EvaluationResult, Evaluator
+from repro.experiments.prefill_latency import run_characterizations
+from repro.experiments.report import Figure, Series, Table
+from repro.generation.control import base_control
+from repro.models.registry import get_model
+from repro.workloads.mmlu_redux import mmlu_redux
+
+FP16_MODELS = ("dsr1-qwen-1.5b", "dsr1-llama-8b", "dsr1-qwen-14b")
+AWQ_MODELS = ("dsr1-qwen-1.5b-awq-w4", "dsr1-llama-8b-awq-w4",
+              "dsr1-qwen-14b-awq-w4")
+
+
+def run_quantized_characterizations(seed: int = 0,
+                                    ) -> dict[str, CharacterizationResult]:
+    """Characterize the AWQ-W4 variants (shared by Figs. 11-13)."""
+    return run_characterizations(AWQ_MODELS, seed=seed)
+
+
+def figure11(characterizations: dict[str, CharacterizationResult] | None = None,
+             seed: int = 0) -> tuple[Figure, Figure]:
+    """Fig. 11: quantized prefill (left) and decode (right) latency."""
+    characterizations = characterizations or run_quantized_characterizations(seed)
+    prefill_fig = Figure("Fig. 11a: Quantized prefill latency",
+                         "input_tokens", "latency_s")
+    decode_fig = Figure("Fig. 11b: Quantized decode latency (I=512)",
+                        "output_tokens", "latency_s")
+    for name, result in characterizations.items():
+        prefill = result.prefill_sweep
+        decode = result.decode_sweep
+        prefill_fig.add(Series(
+            name, tuple(float(v) for v in prefill.input_lens),
+            tuple(float(v) for v in prefill.seconds),
+        ))
+        decode_fig.add(Series(
+            name, tuple(float(v) for v in decode.output_lens),
+            tuple(float(v) for v in decode.seconds),
+        ))
+    return prefill_fig, decode_fig
+
+
+def figure12(characterizations: dict[str, CharacterizationResult] | None = None,
+             seed: int = 0) -> tuple[Figure, Figure]:
+    """Fig. 12: quantized prefill power and energy/token."""
+    characterizations = characterizations or run_quantized_characterizations(seed)
+    power_fig = Figure("Fig. 12a: Quantized prefill power",
+                       "input_tokens", "power_w")
+    energy_fig = Figure("Fig. 12b: Quantized prefill energy/token",
+                        "input_tokens", "energy_per_token_j")
+    for name, result in characterizations.items():
+        sweep = result.prefill_sweep
+        x = tuple(float(v) for v in sweep.input_lens)
+        power_fig.add(Series(name, x, tuple(float(v) for v in sweep.power_w)))
+        energy_fig.add(Series(
+            name, x, tuple(float(v) for v in sweep.energy_per_token_j)
+        ))
+    return power_fig, energy_fig
+
+
+def figure13(characterizations: dict[str, CharacterizationResult] | None = None,
+             seed: int = 0) -> tuple[Figure, Figure]:
+    """Fig. 13: quantized decode power and energy/token (I=512)."""
+    characterizations = characterizations or run_quantized_characterizations(seed)
+    power_fig = Figure("Fig. 13a: Quantized decode power",
+                       "output_tokens", "power_w")
+    energy_fig = Figure("Fig. 13b: Quantized decode energy/token",
+                        "output_tokens", "energy_per_token_j")
+    for name, result in characterizations.items():
+        sweep = result.decode_sweep
+        x = tuple(float(v) for v in sweep.output_lens)
+        power_fig.add(Series(name, x, tuple(float(v) for v in sweep.power_w)))
+        energy_fig.add(Series(
+            name, x, tuple(float(v) for v in sweep.energy_per_token_j)
+        ))
+    return power_fig, energy_fig
+
+
+@dataclass(frozen=True)
+class QuantComparisonRow:
+    """One Fig. 14 grouping: FP16 vs AWQ for the same backbone."""
+
+    backbone: str
+    fp16_accuracy: float
+    awq_accuracy: float
+    fp16_tokens: float
+    awq_tokens: float
+    fp16_latency_s: float
+    awq_latency_s: float
+
+    @property
+    def relative_accuracy_loss_pct(self) -> float:
+        """AWQ relative accuracy loss in percent (Fig. 14)."""
+        return (1.0 - self.awq_accuracy / self.fp16_accuracy) * 100.0
+
+    @property
+    def latency_speedup(self) -> float:
+        """FP16 latency over AWQ latency."""
+        return self.fp16_latency_s / self.awq_latency_s
+
+
+def run_figure14(seed: int = 0, size: int = 3000) -> list[QuantComparisonRow]:
+    """Fig. 14's quantized-vs-FP16 comparison on MMLU-Redux."""
+    benchmark = mmlu_redux(seed, size)
+    evaluator = Evaluator(benchmark, seed=seed)
+    rows = []
+    for fp16_name, awq_name in zip(FP16_MODELS, AWQ_MODELS):
+        fp16 = evaluator.evaluate(get_model(fp16_name), base_control())
+        awq = evaluator.evaluate(get_model(awq_name), base_control())
+        rows.append(QuantComparisonRow(
+            backbone=fp16.display_name,
+            fp16_accuracy=fp16.accuracy,
+            awq_accuracy=awq.accuracy,
+            fp16_tokens=fp16.mean_output_tokens,
+            awq_tokens=awq.mean_output_tokens,
+            fp16_latency_s=fp16.mean_latency_seconds,
+            awq_latency_s=awq.mean_latency_seconds,
+        ))
+    return rows
+
+
+def figure14(rows: list[QuantComparisonRow] | None = None,
+             seed: int = 0) -> Table:
+    """Fig. 14 rendered as a comparison table."""
+    rows = rows if rows is not None else run_figure14(seed)
+    table = Table(
+        "Fig. 14: Quantized vs FP16 on MMLU-Redux",
+        ["Backbone", "FP16 acc (%)", "AWQ acc (%)", "Rel. loss (%)",
+         "FP16 toks", "AWQ toks", "FP16 lat (s)", "AWQ lat (s)", "Speedup"],
+    )
+    for row in rows:
+        table.add_row(row.backbone, row.fp16_accuracy * 100.0,
+                      row.awq_accuracy * 100.0,
+                      row.relative_accuracy_loss_pct,
+                      row.fp16_tokens, row.awq_tokens,
+                      row.fp16_latency_s, row.awq_latency_s,
+                      row.latency_speedup)
+    return table
+
+
+def _sweep_averages(result: CharacterizationResult) -> tuple[float, float, float,
+                                                             float, float, float]:
+    prefill = result.prefill_sweep
+    decode = result.decode_sweep
+    prefill_time = float(prefill.seconds.mean())
+    prefill_ktps = float((prefill.input_lens / prefill.seconds).mean()) / 1000.0
+    prefill_power = float(prefill.power_w.mean())
+    decode_time = float(decode.seconds.mean())
+    decode_tps = float((decode.output_lens / decode.seconds).mean())
+    decode_power = float(decode.power_w.mean())
+    return (prefill_time, prefill_ktps, prefill_power,
+            decode_time, decode_tps, decode_power)
+
+
+def table18_19(seed: int = 0) -> tuple[Table, Table]:
+    """Tables XVIII/XIX: base vs quantized prefill/decode averages."""
+    base = run_characterizations(FP16_MODELS, seed=seed)
+    quant = run_quantized_characterizations(seed)
+    prefill_table = Table(
+        "Table XVIII: Prefill performance, base vs quantized "
+        "(averaged over the input sweep)",
+        ["Model", "Time (s)", "kTok/s", "Power (W)"],
+    )
+    decode_table = Table(
+        "Table XIX: Decode performance, base vs quantized "
+        "(I=512, output sweep)",
+        ["Model", "Time (s)", "Tok/s", "Power (W)"],
+    )
+    for group in (base, quant):
+        for name, result in group.items():
+            (p_time, p_ktps, p_power,
+             d_time, d_tps, d_power) = _sweep_averages(result)
+            prefill_table.add_row(name, p_time, p_ktps, p_power)
+            decode_table.add_row(name, d_time, d_tps, d_power)
+    return prefill_table, decode_table
+
+
+def table22_23(characterizations: dict[str, CharacterizationResult] | None = None,
+               seed: int = 0) -> tuple[Table, Table]:
+    """Tables XXII/XXIII: fitted power/energy models of the AWQ variants."""
+    characterizations = characterizations or run_quantized_characterizations(seed)
+    prefill_table = Table(
+        "Table XXII: Fitted prefill power/energy (quantized W4)",
+        ["Model", "P u (W)", "P v", "P w", "E A", "E lambda", "E C",
+         "E alpha", "E beta"],
+    )
+    decode_table = Table(
+        "Table XXIII: Fitted decode power/energy (quantized W4)",
+        ["Model", "P alpha", "P beta", "E alpha", "E beta"],
+    )
+    for name, result in characterizations.items():
+        power = result.prefill_power
+        energy = result.prefill_energy
+        prefill_table.add_row(name, power.u, power.v, power.w,
+                              energy.amplitude, energy.decay, energy.offset,
+                              energy.log_slope, energy.log_intercept)
+        decode_table.add_row(name, result.decode_power.w,
+                             result.decode_power.x0,
+                             result.decode_energy.alpha,
+                             result.decode_energy.beta)
+    return prefill_table, decode_table

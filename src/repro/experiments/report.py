@@ -1,0 +1,107 @@
+"""Table/series containers for experiment outputs.
+
+Each experiment returns typed rows plus a :class:`Table` (for the
+paper's tables) or :class:`Series` list (for its figures), so benches can
+print the same rows/series the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+@dataclass
+class Table:
+    """A formatted experiment table."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        """Append a row (must match the header count)."""
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column by header name."""
+        index = self.headers.index(name)
+        return [row[index] for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render as an aligned plain-text table."""
+        cells = [[_fmt(value) for value in row] for row in self.rows]
+        widths = [
+            max(len(self.headers[i]), *(len(row[i]) for row in cells))
+            if cells else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+        lines = [self.title]
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in cells:
+            lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3g}"
+        if magnitude < 1:
+            return f"{value:.4f}".rstrip("0").rstrip(".")
+        return f"{value:.2f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Series:
+    """One figure series: (x, y) points with a label."""
+
+    label: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError("x and y must have equal length")
+
+    def to_text(self, x_name: str = "x", y_name: str = "y") -> str:
+        """Render the series as aligned columns."""
+        lines = [f"series: {self.label}"]
+        for xv, yv in zip(self.x, self.y):
+            lines.append(f"  {x_name}={_fmt(float(xv)):>10s}  {y_name}={_fmt(float(yv))}")
+        return "\n".join(lines)
+
+
+@dataclass
+class Figure:
+    """A figure: several series over a shared axis pair."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+
+    def add(self, series: Series) -> None:
+        """Append a series."""
+        self.series.append(series)
+
+    def to_text(self) -> str:
+        """Render all series."""
+        parts = [f"{self.title}  [{self.x_label} vs {self.y_label}]"]
+        parts.extend(s.to_text(self.x_label, self.y_label) for s in self.series)
+        return "\n".join(parts)
+
+    def to_chart(self, width: int = 64, height: int = 16) -> str:
+        """Render as an ASCII chart (see repro.experiments.ascii_plot)."""
+        from repro.experiments.ascii_plot import render_figure
+
+        return render_figure(self, width=width, height=height)

@@ -1,0 +1,162 @@
+"""Figs. 6-8 and Tables X-XI: the accuracy/latency/cost tradeoff grid.
+
+Runs the full Section V configuration grid over MMLU-Redux: the three
+DSR1 reasoning models and L1 under Base / 128T / 256T / 128-NC / 256-NC /
+NR, the direct baselines, and the AWQ-quantized variants — then slices
+the results into the paper's figures (accuracy vs tokens, latency, cost)
+and appendix tables.
+"""
+
+from __future__ import annotations
+
+from repro.core.pareto import Regime, operational_regimes, pareto_frontier
+from repro.evaluation.evaluator import EvaluationResult, Evaluator
+from repro.experiments.report import Figure, Series, Table
+from repro.generation.control import (
+    ControlMode,
+    base_control,
+    direct_control,
+    standard_controls,
+)
+from repro.models.config import ModelFamily
+from repro.models.registry import get_model
+from repro.workloads.mmlu_redux import mmlu_redux
+
+REASONING_MODELS = ("dsr1-qwen-1.5b", "dsr1-llama-8b", "dsr1-qwen-14b", "l1-max")
+DIRECT_MODELS = ("qwen2.5-7b-it", "gemma-7b-it", "llama3.1-8b-it",
+                 "qwen2.5-1.5b-it", "qwen2.5-14b-it")
+QUANTIZED_MODELS = ("dsr1-qwen-1.5b-awq-w4", "dsr1-llama-8b-awq-w4",
+                    "dsr1-qwen-14b-awq-w4")
+
+
+def run_tradeoff_grid(seed: int = 0, size: int = 3000,
+                      include_quantized: bool = True,
+                      ) -> list[EvaluationResult]:
+    """Evaluate every Section V configuration over MMLU-Redux."""
+    benchmark = mmlu_redux(seed, size)
+    evaluator = Evaluator(benchmark, seed=seed)
+    results: list[EvaluationResult] = []
+    for name in REASONING_MODELS:
+        model = get_model(name)
+        for control in standard_controls():
+            if control.mode is ControlMode.NO_REASONING and name == "l1-max":
+                continue  # the paper reports no NR config for L1
+            results.append(evaluator.evaluate(model, control))
+    for name in DIRECT_MODELS:
+        results.append(evaluator.evaluate(get_model(name), direct_control()))
+    if include_quantized:
+        for name in QUANTIZED_MODELS:
+            results.append(evaluator.evaluate(get_model(name), base_control()))
+    return results
+
+
+def _accuracy_figure(results: list[EvaluationResult], title: str,
+                     x_label: str, metric: str) -> Figure:
+    figure = Figure(title, x_label, "accuracy")
+    by_model: dict[str, list[EvaluationResult]] = {}
+    for result in results:
+        by_model.setdefault(result.display_name, []).append(result)
+    for display_name, group in sorted(by_model.items()):
+        group = sorted(group, key=lambda r: getattr(r, metric))
+        figure.add(Series(
+            label=display_name,
+            x=tuple(getattr(r, metric) for r in group),
+            y=tuple(r.accuracy for r in group),
+        ))
+    return figure
+
+
+def figure6(results: list[EvaluationResult] | None = None,
+            seed: int = 0) -> Figure:
+    """Fig. 6: accuracy vs average output length."""
+    results = results if results is not None else run_tradeoff_grid(seed)
+    return _accuracy_figure(
+        results, "Fig. 6: Accuracy vs average output length",
+        "output_tokens", "mean_output_tokens",
+    )
+
+
+def figure7(results: list[EvaluationResult] | None = None,
+            seed: int = 0) -> Figure:
+    """Fig. 7: accuracy vs latency."""
+    results = results if results is not None else run_tradeoff_grid(seed)
+    return _accuracy_figure(
+        results, "Fig. 7: Accuracy vs latency",
+        "latency_s", "mean_latency_seconds",
+    )
+
+
+def figure8(results: list[EvaluationResult] | None = None,
+            seed: int = 0) -> Figure:
+    """Fig. 8: accuracy vs cost per million tokens."""
+    results = results if results is not None else run_tradeoff_grid(seed)
+    return _accuracy_figure(
+        results, "Fig. 8: Accuracy vs cost",
+        "usd_per_mtok", "cost_per_million_tokens",
+    )
+
+
+def latency_regimes(results: list[EvaluationResult] | None = None,
+                    seed: int = 0) -> list[Regime]:
+    """Section V-A's operational regimes along the latency frontier."""
+    results = results if results is not None else run_tradeoff_grid(seed)
+    frontier = pareto_frontier(
+        results,
+        cost=lambda r: r.mean_latency_seconds,
+        value=lambda r: r.accuracy,
+    )
+    return operational_regimes(
+        frontier,
+        latency=lambda r: r.mean_latency_seconds,
+        accuracy=lambda r: r.accuracy,
+        label=lambda r: r.label,
+    )
+
+
+def table10(results: list[EvaluationResult] | None = None,
+            seed: int = 0) -> Table:
+    """Table X: Base, Quantized, and Direct configurations."""
+    results = results if results is not None else run_tradeoff_grid(seed)
+    table = Table(
+        "Table X: MMLU-Redux — Base, Quantized (AWQ-W4), and Direct",
+        ["Family", "Model", "Config", "Acc. (%)", "Avg toks/q",
+         "Avg latency (s)", "Cost ($/1M toks)"],
+    )
+    for result in results:
+        if result.control.mode is ControlMode.BASE:
+            family = "Quantized" if "awq" in result.model else "Base"
+            config = "LLMC-AWQ-W4" if "awq" in result.model else "Distilled"
+        elif result.control.mode is ControlMode.DIRECT:
+            family, config = "Direct", "Direct"
+        else:
+            continue
+        table.add_row(family, result.display_name, config,
+                      result.accuracy * 100.0, result.mean_output_tokens,
+                      result.mean_latency_seconds,
+                      result.cost_per_million_tokens)
+    return table
+
+
+def table11(results: list[EvaluationResult] | None = None,
+            seed: int = 0) -> Table:
+    """Table XI: budgeted decoding (hard / soft / NR) configurations."""
+    results = results if results is not None else run_tradeoff_grid(seed)
+    budget_modes = {
+        ControlMode.SOFT_BUDGET: "Soft",
+        ControlMode.HARD_BUDGET: "Hard",
+        ControlMode.NO_REASONING: "NR",
+    }
+    table = Table(
+        "Table XI: MMLU-Redux — Budgeted decoding (T=hard, NC=soft)",
+        ["Model", "BudgetType", "Config", "Acc. (%)", "Avg toks/q",
+         "Avg latency (s)", "Cost ($/1M toks)"],
+    )
+    for result in results:
+        budget_type = budget_modes.get(result.control.mode)
+        if budget_type is None:
+            continue
+        table.add_row(result.display_name, budget_type, result.control.label,
+                      result.accuracy * 100.0, result.mean_output_tokens,
+                      result.mean_latency_seconds,
+                      result.cost_per_million_tokens)
+    return table

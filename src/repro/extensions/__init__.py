@@ -1,0 +1,51 @@
+"""Section VI optimization studies, built on the same substrate.
+
+The paper's discussion names four optimization directions for
+reasoning-LLM inference on the Orin — speculative decoding, kernel
+fusion / heterogeneous offload, prefetching, and deeper quantization —
+and notes the idle CPU/DLA engines.  This package models each on the
+hardware substrate so their headroom can be quantified:
+
+* :mod:`repro.extensions.speculative` — draft-model speculative decoding
+  (Leviathan et al.) raising decode's arithmetic intensity.
+* :mod:`repro.extensions.heterogeneous` — offloading lightweight kernels
+  to the idle ARM cores and FFN blocks to the DLA.
+* :mod:`repro.extensions.prefetch` — overlapping weight streaming with
+  compute (helps the compute-bound prefill, not the bandwidth-bound
+  decode — which is itself a finding).
+"""
+
+from repro.extensions.fusion import (
+    FusionReport,
+    fused_decode_report,
+    fused_prefill_report,
+    fusion_sweep,
+)
+from repro.extensions.heterogeneous import (
+    CpuOffloadPlan,
+    DlaOffloadPlan,
+    cpu_offload_speedup,
+    dla_offload_speedup,
+)
+from repro.extensions.prefetch import PrefetchReport, prefetch_prefill_report
+from repro.extensions.speculative import (
+    SpeculativeConfig,
+    SpeculativeReport,
+    simulate_speculative_decoding,
+)
+
+__all__ = [
+    "CpuOffloadPlan",
+    "DlaOffloadPlan",
+    "FusionReport",
+    "fused_decode_report",
+    "fused_prefill_report",
+    "fusion_sweep",
+    "PrefetchReport",
+    "SpeculativeConfig",
+    "SpeculativeReport",
+    "cpu_offload_speedup",
+    "dla_offload_speedup",
+    "prefetch_prefill_report",
+    "simulate_speculative_decoding",
+]

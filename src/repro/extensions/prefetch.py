@@ -1,0 +1,108 @@
+"""Weight prefetching: overlap memory transfers with compute (Section VI).
+
+The paper cites PRESERVE-style prefetching as a way to hide weight
+transfers behind computation.  On the Orin the effect is asymmetric,
+and quantifying that asymmetry is the point of this module:
+
+* **Prefill** is compute-bound at realistic lengths, so the constant
+  weight-stream term (Table IV's ``c``) can be hidden almost entirely:
+  latency drops from ``stream + compute`` to ``max(stream, compute)``.
+* **Decode** is bandwidth-bound — compute per step is a tiny fraction of
+  the weight stream — so there is nothing to hide behind and prefetching
+  buys roughly nothing.  (This is the flip side of Takeaway #2.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.engine import InferenceEngine
+
+
+@dataclass(frozen=True)
+class PrefetchReport:
+    """Prefetching benefit for one phase at one shape."""
+
+    phase: str
+    seq_len: int
+    baseline_s: float
+    prefetched_s: float
+
+    @property
+    def speedup(self) -> float:
+        """Latency improvement from overlap."""
+        return self.baseline_s / self.prefetched_s
+
+
+def prefetch_prefill_report(engine: InferenceEngine,
+                            input_len: int) -> PrefetchReport:
+    """Prefill latency with weight streaming overlapped with compute."""
+    if input_len <= 0:
+        raise ValueError("input_len must be positive")
+    calib = engine.calibration
+    profile = engine.profile
+    baseline = engine.kernels.prefill(profile, input_len).seconds
+
+    from repro.hardware.kernels import pad_to_tile
+    padded = pad_to_tile(input_len)
+    bw = engine.soc.dram_bandwidth
+    stream_s = profile.weight_bytes / (
+        bw * calib.prefill_weight_stream_efficiency
+        * engine.soc.stream_efficiency_scale)
+    peak = (engine.soc.peak_int8_ops if profile.compute_dtype == "int8"
+            else engine.soc.peak_fp16_flops)
+    compute_s = (profile.linear_flops_per_token * padded
+                 / (peak * calib.gemm_efficiency)
+                 + profile.attention_flops_per_sq_token * padded**2
+                 / (peak * calib.attention_efficiency))
+    activation_s = (profile.activation_bytes_per_token * input_len
+                    / (bw * engine.memory.spec.streaming_efficiency))
+    overhead = calib.prefill_overhead_s * engine.soc.host_overhead_scale
+    prefetched = overhead + max(stream_s, compute_s) + activation_s
+    return PrefetchReport(
+        phase="prefill",
+        seq_len=input_len,
+        baseline_s=baseline,
+        prefetched_s=min(prefetched, baseline),
+    )
+
+
+def prefetch_decode_report(engine: InferenceEngine,
+                           context_len: int = 512) -> PrefetchReport:
+    """Decode TBT with compute overlapped into the weight stream.
+
+    Expected outcome: ~1.0x — decode compute is negligible next to the
+    stream, so prefetching cannot help the dominant phase.
+    """
+    profile = engine.profile
+    calib = engine.calibration
+    baseline = float(engine.kernels.decode_step_seconds(profile, context_len))
+    bw = engine.soc.dram_bandwidth * engine.soc.stream_efficiency_scale
+    stream_s = (profile.weight_bytes / (bw * calib.decode_weight_stream_efficiency)
+                + profile.kv_bytes_per_token * context_len
+                / (bw * calib.kv_stream_efficiency))
+    peak = (engine.soc.peak_int8_ops if profile.compute_dtype == "int8"
+            else engine.soc.peak_fp16_flops)
+    compute_s = (profile.linear_flops_per_token * 16  # one padded tile
+                 / (peak * calib.decode_gemm_efficiency))
+    activation_s = (profile.activation_bytes_per_token
+                    / (engine.soc.dram_bandwidth
+                       * engine.memory.spec.streaming_efficiency))
+    overhead = (calib.per_step_overhead_s + calib.per_sequence_overhead_s
+                ) * engine.soc.host_overhead_scale
+    prefetched = overhead + max(stream_s, compute_s) + activation_s
+    return PrefetchReport(
+        phase="decode",
+        seq_len=context_len,
+        baseline_s=baseline,
+        prefetched_s=min(prefetched, baseline),
+    )
+
+
+def prefetch_sweep(engine: InferenceEngine,
+                   input_lens: tuple[int, ...] = (128, 512, 1024, 2048, 4096),
+                   ) -> list[PrefetchReport]:
+    """Prefill prefetch benefit across input lengths."""
+    return [prefetch_prefill_report(engine, n) for n in input_lens]

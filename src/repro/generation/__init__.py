@@ -1,0 +1,43 @@
+"""Reasoning-token behaviour: control strategies and length models.
+
+The paper's Section V studies how output-token control reshapes the
+latency-accuracy tradeoff.  This package models:
+
+* :mod:`repro.generation.control` — the control strategies: Base
+  (unconstrained), hard budgets (``[n]T``), soft prompt-only budgets
+  (``[n]-NC``), the NR thinking-bypass, direct generation, and L1-style
+  budget-aware decoding.
+* :mod:`repro.generation.length` — output-length distributions per
+  (model, benchmark, control), anchored to the paper's measured token
+  counts.
+* :mod:`repro.generation.reasoning` — chain-of-thought trace structure
+  and the prompt templates each control strategy injects.
+"""
+
+from repro.generation.control import (
+    ControlMode,
+    GenerationControl,
+    base_control,
+    direct_control,
+    hard_budget,
+    nr_control,
+    soft_budget,
+    standard_controls,
+)
+from repro.generation.length import LengthModel
+from repro.generation.reasoning import TraceStructure, prompt_overhead_tokens, split_trace
+
+__all__ = [
+    "ControlMode",
+    "GenerationControl",
+    "LengthModel",
+    "TraceStructure",
+    "base_control",
+    "direct_control",
+    "hard_budget",
+    "nr_control",
+    "prompt_overhead_tokens",
+    "soft_budget",
+    "split_trace",
+    "standard_controls",
+]

@@ -1,0 +1,114 @@
+"""Token-control strategies (Section V's configuration axes).
+
+Each strategy is a :class:`GenerationControl`: a mode plus an optional
+token budget.  The evaluator maps controls onto capability-curve modes
+and the length model maps them onto output-length distributions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ControlMode(enum.Enum):
+    """How generation length is (or isn't) controlled."""
+
+    #: Unconstrained autoregressive reasoning (the "Base" config, o).
+    BASE = "base"
+    #: Prompted length instruction *with* strict enforcement ("[n]T", ◇/△).
+    HARD_BUDGET = "hard"
+    #: Prompted length instruction *without* enforcement ("[n]-NC", □/▽).
+    SOFT_BUDGET = "soft"
+    #: Thinking bypassed by injecting a finished-thinking block ("NR", ★).
+    NO_REASONING = "nr"
+    #: Direct answer from a non-reasoning model ("Direct", +).
+    DIRECT = "direct"
+
+
+@dataclass(frozen=True)
+class GenerationControl:
+    """One point in the control-strategy space."""
+
+    mode: ControlMode
+    budget: int | None = None
+
+    def __post_init__(self) -> None:
+        needs_budget = self.mode in (ControlMode.HARD_BUDGET, ControlMode.SOFT_BUDGET)
+        if needs_budget and (self.budget is None or self.budget <= 0):
+            raise ValueError(f"{self.mode.value} control requires a positive budget")
+        if not needs_budget and self.budget is not None:
+            raise ValueError(f"{self.mode.value} control takes no budget")
+
+    @property
+    def label(self) -> str:
+        """Display label matching the paper's figures ("128T", "256 (NC)")."""
+        if self.mode is ControlMode.BASE:
+            return "Base"
+        if self.mode is ControlMode.HARD_BUDGET:
+            return f"{self.budget}T"
+        if self.mode is ControlMode.SOFT_BUDGET:
+            return f"{self.budget} (NC)"
+        if self.mode is ControlMode.NO_REASONING:
+            return "NR"
+        return "Direct"
+
+    @property
+    def capability_mode(self) -> str:
+        """Which capability curve scores this control."""
+        if self.mode in (ControlMode.BASE, ControlMode.SOFT_BUDGET):
+            return "completed"
+        if self.mode is ControlMode.HARD_BUDGET:
+            return "hard"
+        if self.mode is ControlMode.NO_REASONING:
+            return "nr"
+        return "direct"
+
+    @property
+    def enforces_budget(self) -> bool:
+        """Whether the serving layer truncates at the budget."""
+        return self.mode is ControlMode.HARD_BUDGET
+
+
+def base_control() -> GenerationControl:
+    """Unconstrained reasoning."""
+    return GenerationControl(ControlMode.BASE)
+
+
+def hard_budget(tokens: int) -> GenerationControl:
+    """Length instruction with strict serving-side enforcement."""
+    return GenerationControl(ControlMode.HARD_BUDGET, tokens)
+
+
+def soft_budget(tokens: int) -> GenerationControl:
+    """Length instruction the model is free to overshoot."""
+    return GenerationControl(ControlMode.SOFT_BUDGET, tokens)
+
+
+def nr_control() -> GenerationControl:
+    """No-reasoning: inject a pre-finished thinking block."""
+    return GenerationControl(ControlMode.NO_REASONING)
+
+
+def direct_control() -> GenerationControl:
+    """Direct generation by a non-reasoning model."""
+    return GenerationControl(ControlMode.DIRECT)
+
+
+def standard_controls(include_direct: bool = False) -> tuple[GenerationControl, ...]:
+    """The configuration grid of Figs. 6-8.
+
+    Base, 128T, 256T, 128-NC, 256-NC, NR (plus Direct for non-reasoning
+    baselines).
+    """
+    controls = (
+        base_control(),
+        hard_budget(128),
+        hard_budget(256),
+        soft_budget(128),
+        soft_budget(256),
+        nr_control(),
+    )
+    if include_direct:
+        controls += (direct_control(),)
+    return controls

@@ -1,0 +1,256 @@
+"""Output-length distributions per (model, benchmark, control).
+
+How many tokens a model generates under each control strategy is an
+empirical property of its weights; the paper measures it (the "Avg
+toks/question" columns of Tables X-XV).  This module anchors log-normal
+length distributions to those measurements and supplies documented
+fallback rules for configurations the paper did not measure (needed by
+the budget planner, which sweeps arbitrary budgets):
+
+* ``hard b``  → ``min(base_mean, 0.6 * b + 10)`` — models under a hard
+  instruction aim below the budget (measured ratios 0.44-0.71).
+* ``hard b`` for budget-aware (L1) models → ``min(base, 30 + 0.075 * b)``
+  — L1 adheres but is excessively conservative (40.7 @ 128, 48.9 @ 256).
+* ``soft b`` → interpolate between measured soft anchors, else
+  ``base * clip(3.5 * b / base, 0.25, 1.3)`` — soft limits are followed
+  only loosely (the paper observes ~4x overshoot).
+* ``nr``     → ``0.28 * base`` when unmeasured.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.generation.control import ControlMode, GenerationControl
+from repro.generation.reasoning import ANSWER_SEGMENT_TOKENS
+from repro.models.config import ModelFamily, TransformerConfig
+
+#: Log-normal shape parameter per control mode: completed reasoning
+#: traces vary widely; enforced budgets compress the distribution.
+_SIGMA = {
+    ControlMode.BASE: 0.70,
+    ControlMode.SOFT_BUDGET: 0.70,
+    ControlMode.HARD_BUDGET: 0.35,
+    ControlMode.NO_REASONING: 0.50,
+    ControlMode.DIRECT: 0.40,
+}
+
+#: Serving-side context cap applied to unconstrained generations.
+DEFAULT_MAX_TOKENS = 8192
+
+# ----------------------------------------------------------------------
+# measured mean output tokens (paper Tables X-XV)
+# ----------------------------------------------------------------------
+_MEANS: dict[tuple[str, str], dict[str, float]] = {
+    # ---------------- MMLU-Redux (Tables X, XI) ----------------
+    ("dsr1-qwen-1.5b", "mmlu-redux"): {
+        "base": 740.2, "soft-128": 1474.0, "soft-256": 734.8,
+        "hard-128": 91.5, "hard-256": 144.1, "nr": 234.9,
+    },
+    ("dsr1-llama-8b", "mmlu-redux"): {
+        "base": 811.1, "soft-128": 437.0, "soft-256": 933.0,
+        "hard-128": 76.3, "hard-256": 143.6, "nr": 182.9,
+    },
+    ("dsr1-qwen-14b", "mmlu-redux"): {
+        "base": 1317.8, "soft-128": 599.0, "soft-256": 374.2,
+        "hard-128": 78.2, "hard-256": 112.9, "nr": 180.7,
+    },
+    ("l1-max", "mmlu-redux"): {
+        "base": 312.6, "soft-128": 54.3, "soft-256": 62.3,
+        "hard-128": 40.7, "hard-256": 48.9,
+    },
+    ("deepscaler-1.5b", "mmlu-redux"): {"base": 740.0},
+    ("qwen2.5-7b-it", "mmlu-redux"): {"direct": 40.2},
+    ("gemma-7b-it", "mmlu-redux"): {"direct": 44.7},
+    ("llama3.1-8b-it", "mmlu-redux"): {"direct": 63.5},
+    ("qwen2.5-1.5b-it", "mmlu-redux"): {"direct": 25.0},
+    ("qwen2.5-14b-it", "mmlu-redux"): {"direct": 45.0},
+    ("dsr1-qwen-1.5b-awq-w4", "mmlu-redux"): {"base": 698.5},
+    ("dsr1-llama-8b-awq-w4", "mmlu-redux"): {"base": 549.1},
+    ("dsr1-qwen-14b-awq-w4", "mmlu-redux"): {"base": 1235.8},
+    # ---------------- MMLU 15k (Table XII) ----------------
+    ("dsr1-qwen-1.5b", "mmlu"): {
+        "base": 1141.6, "hard-128": 88.7, "hard-256": 113.7,
+    },
+    ("dsr1-llama-8b", "mmlu"): {
+        "base": 345.6, "hard-128": 101.5, "hard-256": 169.3,
+    },
+    ("dsr1-qwen-14b", "mmlu"): {
+        "base": 1145.4, "hard-128": 193.4, "hard-256": 185.7,
+    },
+    ("dsr1-qwen-1.5b-awq-w4", "mmlu"): {
+        "base": 984.4, "hard-128": 86.9, "hard-256": 120.4,
+    },
+    ("dsr1-llama-8b-awq-w4", "mmlu"): {
+        "base": 455.4, "hard-128": 97.7, "hard-256": 157.1,
+    },
+    ("dsr1-qwen-14b-awq-w4", "mmlu"): {
+        "base": 1148.4, "hard-128": 109.6, "hard-256": 162.0,
+    },
+    # ---------------- AIME2024 / MATH500 (Table III) ----------------
+    ("deepscaler-1.5b", "aime2024"): {"base": 6520.0},
+    ("deepscaler-1.5b", "math500"): {"base": 3800.0},
+    ("dsr1-qwen-1.5b", "aime2024"): {"base": 6800.0},
+    # ---------------- Natural-Plan (Tables XIII-XV) ----------------
+    ("dsr1-qwen-1.5b", "naturalplan-calendar"): {"base": 2792.0, "nr": 511.0},
+    ("dsr1-qwen-1.5b", "naturalplan-meeting"): {"base": 3880.0, "nr": 425.0},
+    ("dsr1-qwen-1.5b", "naturalplan-trip"): {"base": 2490.0, "nr": 507.0},
+    ("dsr1-llama-8b", "naturalplan-calendar"): {"base": 2798.0, "nr": 67.0},
+    ("dsr1-llama-8b", "naturalplan-meeting"): {"base": 2866.0, "nr": 284.0},
+    ("dsr1-llama-8b", "naturalplan-trip"): {"base": 2251.0, "nr": 398.0},
+    ("dsr1-qwen-14b", "naturalplan-calendar"): {"base": 2297.0, "nr": 40.0},
+    ("dsr1-qwen-14b", "naturalplan-meeting"): {"base": 1494.0, "nr": 341.0},
+    ("dsr1-qwen-14b", "naturalplan-trip"): {"base": 2340.0, "nr": 380.0},
+    ("qwen2.5-1.5b-it", "naturalplan-calendar"): {"direct": 22.0},
+    ("qwen2.5-1.5b-it", "naturalplan-meeting"): {"direct": 271.0},
+    ("qwen2.5-1.5b-it", "naturalplan-trip"): {"direct": 242.0},
+    ("qwen2.5-14b-it", "naturalplan-calendar"): {"direct": 28.0},
+    ("qwen2.5-14b-it", "naturalplan-meeting"): {"direct": 283.0},
+    ("qwen2.5-14b-it", "naturalplan-trip"): {"direct": 259.0},
+}
+
+
+def _control_key(control: GenerationControl) -> str:
+    if control.mode is ControlMode.BASE:
+        return "base"
+    if control.mode is ControlMode.HARD_BUDGET:
+        return f"hard-{control.budget}"
+    if control.mode is ControlMode.SOFT_BUDGET:
+        return f"soft-{control.budget}"
+    if control.mode is ControlMode.NO_REASONING:
+        return "nr"
+    return "direct"
+
+
+@dataclass(frozen=True)
+class LengthPlan:
+    """Sampled natural lengths plus the serving-side cap for a control."""
+
+    natural_lengths: np.ndarray
+    max_new_tokens: int
+
+
+class LengthModel:
+    """Samples output lengths for one model on one benchmark."""
+
+    def __init__(self, model: TransformerConfig, benchmark: str):
+        self.model = model
+        self.benchmark = benchmark.lower()
+        self._table = _MEANS.get((model.name, self.benchmark), {})
+
+    # ------------------------------------------------------------------
+    def base_mean(self) -> float:
+        """Mean unconstrained generation length."""
+        if "base" in self._table:
+            return self._table["base"]
+        if "direct" in self._table:
+            return self._table["direct"]
+        raise KeyError(
+            f"no measured lengths for {self.model.name} on {self.benchmark}"
+        )
+
+    def mean_tokens(self, control: GenerationControl) -> float:
+        """Expected generated tokens under a control strategy."""
+        key = _control_key(control)
+        if key in self._table:
+            return self._table[key]
+        return self._fallback_mean(control)
+
+    def _fallback_mean(self, control: GenerationControl) -> float:
+        base = self.base_mean()
+        budget = control.budget or 0
+        if control.mode is ControlMode.BASE:
+            return base
+        if control.mode is ControlMode.DIRECT:
+            return self._table.get("direct", 0.08 * base + 20.0)
+        if control.mode is ControlMode.NO_REASONING:
+            return max(ANSWER_SEGMENT_TOKENS, 0.28 * base)
+        if control.mode is ControlMode.HARD_BUDGET:
+            if self.model.family is ModelFamily.BUDGET_AWARE:
+                # L1 adheres strictly and is conservative: ~40 tokens at a
+                # 128 budget, ~49 at 256; never exceeds the budget itself.
+                return min(base, float(budget), 30.0 + 0.075 * budget)
+            return min(base, 0.6 * budget + 10.0)
+        # Soft budget: interpolate between measured soft anchors when two
+        # or more exist; otherwise the loose-adherence heuristic.
+        anchors = sorted(
+            (int(key.split("-")[1]), mean)
+            for key, mean in self._table.items() if key.startswith("soft-")
+        )
+        if len(anchors) >= 2:
+            budgets = np.log([b for b, _ in anchors])
+            means = [m for _, m in anchors]
+            return float(np.interp(math.log(max(budget, 1)), budgets, means))
+        if self.model.family is ModelFamily.BUDGET_AWARE:
+            return min(base, 40.0 + 0.09 * budget)
+        return base * float(np.clip(3.5 * budget / base, 0.25, 1.3))
+
+    # ------------------------------------------------------------------
+    def max_new_tokens(self, control: GenerationControl) -> int:
+        """Serving-side token cap for a control strategy."""
+        if control.enforces_budget and control.budget is not None:
+            return control.budget + ANSWER_SEGMENT_TOKENS
+        return DEFAULT_MAX_TOKENS
+
+    def sample(self, control: GenerationControl, rng: np.random.Generator,
+               size: int | None = None) -> np.ndarray | int:
+        """Sample natural lengths (before serving-side truncation)."""
+        mean = self.mean_tokens(control)
+        sigma = _SIGMA[control.mode]
+        n = 1 if size is None else size
+        mu = math.log(max(mean, 4.0)) - 0.5 * sigma * sigma
+        draws = rng.lognormal(mu, sigma, size=n)
+        lengths = np.maximum(draws.round().astype(int), 4)
+        if size is None:
+            return int(lengths[0])
+        return lengths
+
+    def sample_with_latent(self, control: GenerationControl,
+                           latent: np.ndarray) -> np.ndarray:
+        """Transform standard-normal latents into natural lengths.
+
+        The evaluator correlates these latents with question difficulty
+        (harder questions elicit longer reasoning traces) via a Gaussian
+        copula before calling this.
+        """
+        mean = self.mean_tokens(control)
+        sigma = _SIGMA[control.mode]
+        mu = math.log(max(mean, 4.0)) - 0.5 * sigma * sigma
+        draws = np.exp(mu + sigma * np.asarray(latent, dtype=np.float64))
+        return np.maximum(draws.round().astype(int), 4)
+
+    def plan(self, control: GenerationControl, rng: np.random.Generator,
+             size: int) -> LengthPlan:
+        """Sample lengths and pair them with the control's token cap."""
+        naturals = self.sample(control, rng, size)
+        return LengthPlan(
+            natural_lengths=np.asarray(naturals),
+            max_new_tokens=self.max_new_tokens(control),
+        )
+
+    def truncation_probability(self, control: GenerationControl) -> float:
+        """Chance the control cuts a chain the model *needed* to finish.
+
+        For hard budgets the reasoning the model would naturally produce
+        follows the Base distribution, so this is ``P(base length >
+        budget)`` — near 1 for small budgets on verbose models.  Other
+        controls effectively never hit the serving cap.
+        """
+        cap = self.max_new_tokens(control)
+        if control.enforces_budget:
+            mean = self.base_mean()
+            sigma = _SIGMA[ControlMode.BASE]
+        else:
+            mean = self.mean_tokens(control)
+            sigma = _SIGMA[control.mode]
+        mu = math.log(max(mean, 4.0)) - 0.5 * sigma * sigma
+        z = (math.log(cap) - mu) / sigma
+        # Survival function of the underlying normal.
+        return float(0.5 * math.erfc(z / math.sqrt(2.0)))
+
+    def has_measurement(self, control: GenerationControl) -> bool:
+        """Whether this configuration's mean came from the paper."""
+        return _control_key(control) in self._table

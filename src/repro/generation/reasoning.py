@@ -1,0 +1,86 @@
+"""Chain-of-thought trace structure and control-prompt templates.
+
+A reasoning generation is a *thinking segment* between special delimiters
+followed by a short *answer segment*.  Control strategies act on the
+thinking segment: hard/soft budgets instruct the model to bound it, and
+the NR strategy (Ma et al., "Reasoning models can be effective without
+thinking") replaces it outright with a pre-finished block:
+
+    <|beginning of thinking|>
+    Okay, I think I have finished thinking.
+    <|end of thinking|>
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.generation.control import ControlMode, GenerationControl
+
+#: The injected thinking block used by the NR strategy (paper Sec. V).
+NR_THINKING_BLOCK = (
+    "<|beginning of thinking|>\n"
+    "Okay, I think I have finished thinking.\n"
+    "<|end of thinking|>"
+)
+
+#: Token cost of the injected NR block.
+NR_BLOCK_TOKENS = 20
+
+#: Token cost of a length instruction like "Answer in 128 words."
+LENGTH_INSTRUCTION_TOKENS = 12
+
+#: Typical answer-segment length for a multiple-choice question.
+ANSWER_SEGMENT_TOKENS = 12
+
+
+@dataclass(frozen=True)
+class TraceStructure:
+    """Decomposition of one generation into thinking and answer tokens."""
+
+    think_tokens: int
+    answer_tokens: int
+    #: True when the budget cut generation before the answer segment.
+    answer_complete: bool
+
+    @property
+    def total_tokens(self) -> int:
+        """All generated tokens."""
+        return self.think_tokens + self.answer_tokens
+
+
+def length_instruction(budget: int) -> str:
+    """The in-prompt length instruction for budgeted configs."""
+    return f"Think step by step, but answer in at most {budget} tokens."
+
+
+def prompt_overhead_tokens(control: GenerationControl) -> int:
+    """Extra prompt tokens a control strategy injects.
+
+    Budget instructions add ~12 tokens; the NR block adds ~20; Base and
+    Direct add nothing.
+    """
+    if control.mode in (ControlMode.HARD_BUDGET, ControlMode.SOFT_BUDGET):
+        return LENGTH_INSTRUCTION_TOKENS
+    if control.mode is ControlMode.NO_REASONING:
+        return NR_BLOCK_TOKENS
+    return 0
+
+
+def split_trace(total_tokens: int, control: GenerationControl,
+                truncated: bool = False) -> TraceStructure:
+    """Split a generation into thinking and answer segments.
+
+    Completed reasoning traces end with a short answer segment; a
+    hard-truncated trace was cut mid-thought, so the answer must be
+    extracted from incomplete thinking (the mechanism behind the
+    below-random hard-budget accuracies of small models).
+    """
+    if total_tokens <= 0:
+        raise ValueError("total_tokens must be positive")
+    if control.mode is ControlMode.DIRECT:
+        return TraceStructure(0, total_tokens, answer_complete=True)
+    if truncated and control.enforces_budget:
+        return TraceStructure(total_tokens, 0, answer_complete=False)
+    answer = min(ANSWER_SEGMENT_TOKENS, total_tokens)
+    return TraceStructure(total_tokens - answer, answer, answer_complete=True)

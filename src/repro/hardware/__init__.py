@@ -1,0 +1,40 @@
+"""Edge SoC hardware substrate.
+
+This package simulates an NVIDIA Jetson AGX Orin class system-on-chip:
+roofline kernel timing with tensor-core tile padding, an LPDDR5 memory
+model, a utilization-driven power-state machine, tegrastats-style
+telemetry, and an ARM CPU execution model.
+
+The simulator is deterministic given a seed and is calibrated (see
+:mod:`repro.hardware.calibration`) so that analytical models fitted to its
+output land near the coefficients reported in the EdgeReasoning paper.
+"""
+
+from repro.hardware.calibration import KernelCalibration, calibration_for_model
+from repro.hardware.cpu import ArmCpuCluster, CpuSpec
+from repro.hardware.kernels import KernelEngine, KernelStats, pad_to_tile
+from repro.hardware.memory import MemorySystem, MemorySpec
+from repro.hardware.power import PowerModel, PowerSample, PowerState
+from repro.hardware.soc import JetsonOrinSpec, PowerMode, SocSpec
+from repro.hardware.telemetry import EnergyReport, TelemetryRecorder, UtilizationSample
+
+__all__ = [
+    "ArmCpuCluster",
+    "CpuSpec",
+    "EnergyReport",
+    "JetsonOrinSpec",
+    "KernelCalibration",
+    "KernelEngine",
+    "KernelStats",
+    "MemorySpec",
+    "MemorySystem",
+    "PowerMode",
+    "PowerModel",
+    "PowerSample",
+    "PowerState",
+    "SocSpec",
+    "TelemetryRecorder",
+    "UtilizationSample",
+    "calibration_for_model",
+    "pad_to_tile",
+]

@@ -1,0 +1,239 @@
+"""Per-model kernel and power calibration constants.
+
+The hardware simulator computes kernel time from first principles
+(FLOPs, bytes, roofline) but real kernels achieve only a fraction of peak
+throughput.  This module centralizes those efficiency fractions, chosen so
+that analytical models fitted to *simulated* sweeps land near the
+coefficients the paper reports:
+
+* Table IV (prefill latency ``a``, ``b``, ``c``) pins the GEMM and
+  attention compute efficiencies and the weight-stream efficiency.
+* Table V (decode ``m``, ``n``) pins the decode weight-stream and
+  KV-stream efficiencies (e.g. 8B: ``m = 6.92e-7`` implies ~0.9 of peak
+  bandwidth on KV reads; ``n ~ 0.092 s`` implies ~0.89 on weight reads).
+* Tables XVIII/XIX pin the quantized (AWQ-W4) efficiencies — dequant
+  overhead lowers stream efficiency to ~0.6-0.7, which reproduces the
+  observed 2-3x decode speedup rather than the naive 4x.
+* Tables XVIII-XXI and Fig. 10c pin the power-state parameters.
+
+Every constant cites the table it reproduces.  Calibrations are keyed by
+a ``calibration_key`` carried on each model config; unknown keys fall back
+to a parameter-count bucket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class PowerCalibration:
+    """Semi-empirical power parameters for one model on the Orin GPU.
+
+    The power model (see :mod:`repro.hardware.power`) is piecewise
+    constant-then-logarithmic in sequence length, following Eqns. 4 and 6
+    of the paper, with a saturating batch term for parallel scaling
+    (Fig. 10c).
+    """
+
+    #: Power (W) in the low-utilization plateau (short sequences).
+    floor_w: float
+    #: Sequence length at which the prefill log regime begins (Eqn. 4 `v`).
+    prefill_threshold: int
+    #: Prefill power (W) at the 1024-token reference point (Table XVIII).
+    prefill_base_w: float
+    #: Log slope of prefill power above the threshold.
+    prefill_log_slope: float
+    #: Output length at which the decode log regime begins (Eqn. 6: 64).
+    decode_threshold: int
+    #: Decode power (W) at the O=512 reference point (Table XIX).
+    decode_base_w: float
+    #: Log slope of decode power above the threshold (Table XXI `y`).
+    decode_log_slope: float
+    #: Additional watts unlocked by parallel scaling at saturation
+    #: (Fig. 10c: ~11W for 1.5B, ~10W for 8B/14B).
+    batch_headroom_w: float
+    #: Batch factor at which ~63% of the headroom is consumed.
+    batch_tau: float = 8.0
+    #: Quantization step of the discrete GPU power states (W).
+    state_step_w: float = 2.5
+    #: GPU busy fraction contributed by one decode stream (Fig. 10c:
+    #: utilization rises linearly with the parallel scale factor).
+    gpu_busy_per_seq: float = 0.05
+
+
+@dataclass(frozen=True)
+class KernelCalibration:
+    """Achieved-fraction-of-peak factors for one model's kernels."""
+
+    #: Fraction of peak DRAM bandwidth when streaming weights in prefill.
+    #: Pins Table IV `c` (= weight-read time + launch overhead).
+    prefill_weight_stream_efficiency: float
+    #: Fraction of peak tensor-core FLOPs on large prefill GEMMs.
+    #: Pins Table IV `b` (~0.8 for the 8B/14B models).
+    gemm_efficiency: float
+    #: Fraction of peak FLOPs in unfused attention kernels.  Pins the
+    #: quadratic Table IV `a` (~0.0116 across models).
+    attention_efficiency: float
+    #: Fraction of peak DRAM bandwidth streaming weights per decode step.
+    #: Pins Table V `n` (0.766 / 0.844 / 0.756 for 1.5B / 8B / 14B).
+    decode_weight_stream_efficiency: float
+    #: Fraction of peak DRAM bandwidth on decode KV-cache reads.
+    #: Pins Table V `m` (~0.9).
+    kv_stream_efficiency: float
+    #: Fraction of peak FLOPs on batched decode GEMMs (matters only at
+    #: large parallel scaling factors where decode turns compute bound).
+    decode_gemm_efficiency: float
+    #: Constant per-decode-step overhead (kernel launches, sampling,
+    #: detokenization) in seconds.
+    per_step_overhead_s: float
+    #: Additional per-sequence scheduler/sampler overhead per decode step
+    #: (drives the mild latency growth with parallel scaling, Fig. 10a).
+    per_sequence_overhead_s: float
+    #: Constant prefill overhead (tokenization, launch) in seconds.
+    prefill_overhead_s: float
+    #: Deterministic jitter amplitude for kernel-variant selection
+    #: ("additional performance variations" around Fig. 2's trend).
+    variant_jitter: float
+    power: PowerCalibration
+
+
+def _fp16_1p5b() -> KernelCalibration:
+    return KernelCalibration(
+        prefill_weight_stream_efficiency=0.44,
+        gemm_efficiency=0.80,
+        attention_efficiency=0.0116,
+        decode_weight_stream_efficiency=0.766,
+        kv_stream_efficiency=0.90,
+        decode_gemm_efficiency=0.30,
+        per_step_overhead_s=0.004,
+        per_sequence_overhead_s=3.0e-4,
+        prefill_overhead_s=0.012,
+        variant_jitter=0.03,
+        power=PowerCalibration(
+            floor_w=5.6,  # Table XX: constant 5.636 W prefill power
+            prefill_threshold=10**9,  # 1.5B prefill power stays constant
+            prefill_base_w=5.6,
+            prefill_log_slope=0.0,
+            decode_threshold=64,
+            decode_base_w=9.0,
+            decode_log_slope=1.5,  # Table XXI shape, clipped to envelope
+            batch_headroom_w=11.0,  # Fig. 10c: 14 W -> 25 W over SF sweep
+            gpu_busy_per_seq=0.031,
+        ),
+    )
+
+
+def _fp16_8b() -> KernelCalibration:
+    return KernelCalibration(
+        prefill_weight_stream_efficiency=0.823,
+        gemm_efficiency=0.806,  # Table IV b = 2.90e-4
+        attention_efficiency=0.0115,  # Table IV a = 6.65e-7
+        decode_weight_stream_efficiency=0.844,  # Table V n ~ 0.092 s
+        kv_stream_efficiency=0.925,  # Table V m = 6.92e-7
+        decode_gemm_efficiency=0.30,
+        per_step_overhead_s=0.004,
+        per_sequence_overhead_s=1.2e-3,
+        prefill_overhead_s=0.015,
+        variant_jitter=0.03,
+        power=PowerCalibration(
+            floor_w=5.9,  # Eqn. 6 plateau
+            prefill_threshold=800,  # Table XX: log regime above I=800
+            prefill_base_w=17.0,  # Table XVIII
+            prefill_log_slope=3.2,
+            decode_threshold=64,
+            decode_base_w=24.0,  # Table XIX
+            decode_log_slope=8.8,  # Table XXI y
+            batch_headroom_w=10.0,  # Fig. 10c: ~25 W -> ~35 W
+            gpu_busy_per_seq=0.06,
+        ),
+    )
+
+
+def _fp16_14b() -> KernelCalibration:
+    return KernelCalibration(
+        prefill_weight_stream_efficiency=0.80,
+        gemm_efficiency=0.81,  # Table IV b = 5.3e-4
+        attention_efficiency=0.0116,  # Table IV a = 1.23e-6
+        decode_weight_stream_efficiency=0.756,  # Table V n ~ 0.187 s
+        kv_stream_efficiency=0.85,  # Table V m = 1.13e-6
+        decode_gemm_efficiency=0.30,
+        per_step_overhead_s=0.004,
+        per_sequence_overhead_s=2.2e-3,
+        prefill_overhead_s=0.018,
+        variant_jitter=0.03,
+        power=PowerCalibration(
+            floor_w=5.9,
+            prefill_threshold=384,  # Table XX
+            prefill_base_w=23.5,  # Table XVIII
+            prefill_log_slope=3.6,
+            decode_threshold=64,
+            decode_base_w=26.5,  # Table XIX
+            decode_log_slope=8.0,
+            batch_headroom_w=10.0,
+            gpu_busy_per_seq=0.09,
+        ),
+    )
+
+
+def _awq_variant(base: KernelCalibration, decode_eff: float, prefill_power_w: float,
+                 decode_power_w: float) -> KernelCalibration:
+    """Derive an AWQ-W4 calibration from the FP16 one.
+
+    Dequantization lowers stream efficiency (Table XIX implies 0.61 /
+    0.70 / 0.70 for 1.5B / 8B / 14B), which reproduces the observed 2-3x
+    decode speedup instead of a naive 4x.  Quantized kernels draw slightly
+    less prefill power and slightly more decode power (Tables XVIII/XIX).
+    """
+    return replace(
+        base,
+        decode_weight_stream_efficiency=decode_eff,
+        prefill_weight_stream_efficiency=base.prefill_weight_stream_efficiency * 0.85,
+        gemm_efficiency=base.gemm_efficiency * 0.80,
+        power=replace(
+            base.power,
+            prefill_base_w=prefill_power_w,
+            decode_base_w=decode_power_w,
+        ),
+    )
+
+
+_CALIBRATIONS: dict[str, KernelCalibration] = {
+    "fp16-1.5b": _fp16_1p5b(),
+    "fp16-8b": _fp16_8b(),
+    "fp16-14b": _fp16_14b(),
+    # Table XVIII/XIX quantized columns.
+    # Table XIX's power ratio (16.2 W quantized vs 19.6 W FP16) applied
+    # to our 1.5B decode base keeps quantization energy-per-token lower.
+    "awq-1.5b": _awq_variant(_fp16_1p5b(), decode_eff=0.61,
+                             prefill_power_w=4.8, decode_power_w=7.4),
+    "awq-8b": _awq_variant(_fp16_8b(), decode_eff=0.696,
+                           prefill_power_w=13.6, decode_power_w=25.4),
+    "awq-14b": _awq_variant(_fp16_14b(), decode_eff=0.697,
+                            prefill_power_w=20.5, decode_power_w=28.5),
+}
+
+
+def calibration_for_model(key: str, param_count: float | None = None) -> KernelCalibration:
+    """Look up the calibration for a model.
+
+    ``key`` is the model config's ``calibration_key``.  Unknown keys fall
+    back to the nearest parameter-count bucket so that user-defined models
+    still simulate sensibly.
+    """
+    if key in _CALIBRATIONS:
+        return _CALIBRATIONS[key]
+    if param_count is None:
+        raise KeyError(f"unknown calibration key {key!r} and no param count given")
+    quantized = key.startswith("awq")
+    prefix = "awq" if quantized else "fp16"
+    if param_count < 4e9:
+        return _CALIBRATIONS[f"{prefix}-1.5b"]
+    if param_count < 11e9:
+        return _CALIBRATIONS[f"{prefix}-8b"]
+    return _CALIBRATIONS[f"{prefix}-14b"]
+
+
+def available_calibrations() -> tuple[str, ...]:
+    """Names of all built-in calibration entries."""
+    return tuple(sorted(_CALIBRATIONS))

@@ -1,0 +1,96 @@
+"""ARM CPU execution model (Appendix C: edge CPU as inference platform).
+
+The Orin's 12-core Cortex-A78AE can run LLM inference, but Appendix C
+shows it is ~50-500x slower than the GPU for prefill (compute bound on
+NEON) and ~5x slower for decode (bound by the CPU's share of LPDDR5
+bandwidth).  Calibration from Tables XVI/XVII:
+
+* CPU prefill throughput works out to ~45 GFLOPS effective across the
+  three models (e.g. 8B @ I=128: ``2*8e9*128 FLOPs / 46.5 s``).
+* CPU decode streams weights at ~33 GB/s effective (8B TBT ~0.5 s,
+  14B ~0.89 s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.kernels import ModelExecutionProfile
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Static description of an edge CPU cluster."""
+
+    name: str
+    cores: int
+    clock_hz: float
+    #: Peak NEON FP16 FLOP/s across all cores.
+    peak_flops: float
+    #: Sustained DRAM bandwidth available to the CPU cluster (bytes/s).
+    memory_bandwidth: float
+    #: Achieved fraction of peak FLOPs in GEMM inner loops.
+    compute_efficiency: float
+    #: Achieved fraction of the CPU bandwidth share when streaming.
+    bandwidth_efficiency: float
+    #: Active power draw under full inference load (W).
+    active_power_w: float = 14.0
+
+
+def cortex_a78ae_cluster() -> CpuSpec:
+    """The Orin's 12-core Cortex-A78AE cluster.
+
+    Peak = 12 cores * 2.2 GHz * 8 fp16 lanes * 2 FMA pipes * 2 ops;
+    effective prefill throughput calibrated to ~45 GFLOPS (Table XVI) and
+    decode streaming to ~33 GB/s (Table XVII).
+    """
+    peak = 12 * 2.2e9 * 8 * 2 * 2
+    return CpuSpec(
+        name="ARM Cortex-A78AE x12",
+        cores=12,
+        clock_hz=2.2e9,
+        peak_flops=peak,
+        memory_bandwidth=40e9,
+        compute_efficiency=45e9 / peak,
+        bandwidth_efficiency=33e9 / 40e9,
+    )
+
+
+class ArmCpuCluster:
+    """Times LLM inference phases on the edge CPU."""
+
+    def __init__(self, spec: CpuSpec | None = None):
+        self.spec = spec or cortex_a78ae_cluster()
+
+    def prefill_seconds(self, profile: ModelExecutionProfile, input_len: int) -> float:
+        """CPU prefill latency: compute bound on NEON GEMMs."""
+        if input_len <= 0:
+            raise ValueError("input_len must be positive")
+        linear_flops = profile.linear_flops_per_token * input_len
+        attn_flops = profile.attention_flops_per_sq_token * input_len**2
+        effective = self.spec.peak_flops * self.spec.compute_efficiency
+        return (linear_flops + attn_flops) / effective
+
+    def decode_step_seconds(self, profile: ModelExecutionProfile,
+                            context_len: np.ndarray | int) -> np.ndarray:
+        """CPU time-between-tokens: bound by the CPU's DRAM share."""
+        ctx = np.asarray(context_len, dtype=np.float64)
+        effective_bw = self.spec.memory_bandwidth * self.spec.bandwidth_efficiency
+        weight_time = profile.weight_bytes / effective_bw
+        kv_time = profile.kv_bytes_per_token * ctx / effective_bw
+        return weight_time + kv_time
+
+    def decode_seconds(self, profile: ModelExecutionProfile, input_len: int,
+                       output_len: int) -> float:
+        """Full CPU decode latency for ``output_len`` tokens."""
+        if output_len <= 0:
+            raise ValueError("output_len must be positive")
+        contexts = input_len + np.arange(output_len, dtype=np.float64)
+        return float(self.decode_step_seconds(profile, contexts).sum())
+
+    def decode_energy_joules(self, profile: ModelExecutionProfile, input_len: int,
+                             output_len: int) -> float:
+        """Energy of a CPU decode at the cluster's active power draw."""
+        return self.decode_seconds(profile, input_len, output_len) * self.spec.active_power_w

@@ -1,0 +1,316 @@
+"""Roofline kernel-timing engine with tensor-core tile effects.
+
+This module turns a model's execution profile (FLOPs and bytes per phase)
+into simulated kernel latencies on an edge SoC.  The structure mirrors the
+paper's Section IV analysis:
+
+* **Prefill** is a sum of a constant weight-stream term (every weight is
+  read once), a linear projection/FFN compute term, and a quadratic
+  attention term — computed on the *tile-padded* input length
+  ``I_pad = ceil(I / 128) * 128`` to reproduce the stepped latency of
+  Fig. 2.  Activation DRAM traffic grows with the true ``I``, which gives
+  the linear-within-segment behaviour at short lengths.
+* **Decode** steps are memory-bound: each step streams all weights plus
+  the per-sequence KV cache, whose size grows by one position per step —
+  yielding exactly the ``TBT_i = m * I_i + n`` structure of Eqn. 2.
+* **Batch** (parallel scaling) shares the weight stream across sequences
+  while KV reads, activations, and scheduler overheads scale per
+  sequence; compute is tile-padded in the batch dimension and only
+  dominates at large scaling factors (Fig. 10a).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.calibration import KernelCalibration
+from repro.hardware.memory import MemorySystem
+from repro.hardware.soc import SocSpec
+
+#: Tensor-core tile granularity on the sequence dimension (tokens).
+SEQUENCE_TILE = 128
+#: Tensor-core tile granularity on the batch dimension during decode.
+BATCH_TILE = 16
+
+
+def pad_to_tile(n: int, tile: int = SEQUENCE_TILE) -> int:
+    """Round ``n`` up to the next multiple of ``tile`` (Eqn. for I_pad)."""
+    if n <= 0:
+        return 0
+    return ((n + tile - 1) // tile) * tile
+
+
+def pad_array_to_tile(n: np.ndarray, tile: int) -> np.ndarray:
+    """Vectorized :func:`pad_to_tile` for per-step batch sizes."""
+    arr = np.asarray(n, dtype=np.int64)
+    return np.where(arr <= 0, 0, ((arr + tile - 1) // tile) * tile)
+
+
+@dataclass(frozen=True)
+class ModelExecutionProfile:
+    """Hardware-facing view of a transformer: FLOPs and bytes per phase.
+
+    Produced by :meth:`repro.models.TransformerConfig.execution_profile`;
+    everything the kernel engine needs and nothing else.
+    """
+
+    name: str
+    #: Total weight bytes streamed from DRAM per full forward pass.
+    weight_bytes: float
+    #: Projection + FFN FLOPs per token (≈ 2 * parameters).
+    linear_flops_per_token: float
+    #: Attention FLOPs per (sequence length)^2, i.e. 4 * layers * d_model.
+    attention_flops_per_sq_token: float
+    #: KV-cache bytes appended per token position (both K and V).
+    kv_bytes_per_token: float
+    #: Activation bytes moved to/from DRAM per token.
+    activation_bytes_per_token: float
+    #: "fp16" or "int8" — selects the tensor-core peak rate.
+    compute_dtype: str = "fp16"
+    #: Key into the calibration table.
+    calibration_key: str = "fp16-8b"
+    #: Parameter count, used for calibration fallback bucketing.
+    param_count: float = 8e9
+
+
+@dataclass(frozen=True)
+class KernelStats:
+    """Timing and traffic of one simulated kernel phase."""
+
+    seconds: float
+    flops: float
+    dram_read_bytes: float
+    dram_write_bytes: float
+    compute_utilization: float
+    bandwidth_utilization: float
+
+
+class KernelEngine:
+    """Times prefill and decode kernels for a model on a SoC."""
+
+    def __init__(self, soc: SocSpec, memory: MemorySystem,
+                 calibration: KernelCalibration, seed: int = 0):
+        self.soc = soc
+        self.memory = memory
+        self.calibration = calibration
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _peak_flops(self, profile: ModelExecutionProfile) -> float:
+        if profile.compute_dtype == "int8":
+            return self.soc.peak_int8_ops
+        return self.soc.peak_fp16_flops
+
+    def _variant_jitter(self, profile: ModelExecutionProfile, padded_len: int) -> float:
+        """Deterministic multiplicative jitter for CUTLASS variant choice.
+
+        Different GEMM shapes select different kernel variants with
+        slightly different efficiency; we reproduce this as a stable hash
+        of (model, padded shape, seed) mapped into ±jitter.
+        """
+        amplitude = self.calibration.variant_jitter
+        if amplitude <= 0:
+            return 1.0
+        token = f"{profile.name}:{padded_len}:{self.seed}".encode()
+        digest = hashlib.sha256(token).digest()
+        unit = int.from_bytes(digest[:8], "little") / 2**64
+        return 1.0 + amplitude * (2.0 * unit - 1.0)
+
+    # ------------------------------------------------------------------
+    # prefill
+    # ------------------------------------------------------------------
+    def prefill(self, profile: ModelExecutionProfile, input_len: int,
+                batch: int = 1) -> KernelStats:
+        """Time a prefill of ``input_len`` tokens (per sequence).
+
+        Latency structure (Section IV-A): constant weight stream +
+        linear tile-padded GEMM compute + quadratic attention compute +
+        activation traffic on the true length.
+        """
+        if input_len <= 0:
+            raise ValueError("input_len must be positive")
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        calib = self.calibration
+        padded = pad_to_tile(input_len)
+        peak_flops = self._peak_flops(profile)
+        bw = self.soc.dram_bandwidth
+        stream_scale = self.soc.stream_efficiency_scale
+
+        weight_time = profile.weight_bytes / (
+            bw * calib.prefill_weight_stream_efficiency * stream_scale
+        )
+
+        linear_flops = profile.linear_flops_per_token * padded * batch
+        linear_time = linear_flops / (peak_flops * calib.gemm_efficiency)
+
+        attn_flops = profile.attention_flops_per_sq_token * padded**2 * batch
+        attn_time = attn_flops / (peak_flops * calib.attention_efficiency)
+
+        activation_bytes = profile.activation_bytes_per_token * input_len * batch
+        activation_time = activation_bytes / (bw * self.memory.spec.streaming_efficiency)
+
+        kv_write_bytes = profile.kv_bytes_per_token * input_len * batch
+
+        jitter = self._variant_jitter(profile, padded)
+        seconds = (
+            calib.prefill_overhead_s * self.soc.host_overhead_scale
+            + weight_time
+            + (linear_time + attn_time) * jitter
+            + activation_time
+        )
+        flops = linear_flops + attn_flops
+        read_bytes = profile.weight_bytes + activation_bytes
+        self.memory.total_read_bytes += int(read_bytes)
+        self.memory.total_write_bytes += int(kv_write_bytes)
+        return KernelStats(
+            seconds=seconds,
+            flops=flops,
+            dram_read_bytes=read_bytes,
+            dram_write_bytes=kv_write_bytes,
+            compute_utilization=min(1.0, flops / (seconds * peak_flops)),
+            bandwidth_utilization=min(1.0, (read_bytes + kv_write_bytes) / (seconds * bw)),
+        )
+
+    def prefill_seconds_vector(self, profile: ModelExecutionProfile,
+                               input_lens: np.ndarray) -> np.ndarray:
+        """Vectorized prefill latency (no traffic accounting, no jitter).
+
+        Used by the evaluator to time thousands of benchmark prompts in
+        one call; matches :meth:`prefill` up to the deterministic
+        kernel-variant jitter.
+        """
+        calib = self.calibration
+        lens = np.asarray(input_lens, dtype=np.float64)
+        if np.any(lens <= 0):
+            raise ValueError("input lengths must be positive")
+        padded = pad_array_to_tile(lens.astype(np.int64), SEQUENCE_TILE).astype(np.float64)
+        peak_flops = self._peak_flops(profile)
+        bw = self.soc.dram_bandwidth
+        weight_time = profile.weight_bytes / (
+            bw * calib.prefill_weight_stream_efficiency * self.soc.stream_efficiency_scale
+        )
+        linear_time = profile.linear_flops_per_token * padded / (
+            peak_flops * calib.gemm_efficiency
+        )
+        attn_time = profile.attention_flops_per_sq_token * padded**2 / (
+            peak_flops * calib.attention_efficiency
+        )
+        activation_time = profile.activation_bytes_per_token * lens / (
+            bw * self.memory.spec.streaming_efficiency
+        )
+        return (calib.prefill_overhead_s * self.soc.host_overhead_scale
+                + weight_time + linear_time + attn_time + activation_time)
+
+    def decode_context_slope(self, profile: ModelExecutionProfile,
+                             batch: int = 1) -> float:
+        """d(TBT)/d(context): the ``m`` of Eqn. 2 as the simulator sees it."""
+        lo = self.decode_step_seconds(profile, 1000, batch)
+        hi = self.decode_step_seconds(profile, 1001, batch)
+        return float(hi - lo)
+
+    # ------------------------------------------------------------------
+    # decode
+    # ------------------------------------------------------------------
+    def decode_step_seconds(self, profile: ModelExecutionProfile,
+                            context_len: np.ndarray | int,
+                            batch: np.ndarray | int = 1) -> np.ndarray:
+        """Time-between-tokens at the given context length(s).
+
+        Vectorized over ``context_len`` (and, for draining batches, over a
+        per-step ``batch`` array) so a whole generation's steps are timed
+        in one call.  The returned TBT has the ``m * I + n`` form of
+        Eqn. 2: a constant memory/overhead term plus a KV-read term linear
+        in context length.
+        """
+        batch_arr = np.asarray(batch, dtype=np.float64)
+        if np.any(batch_arr <= 0):
+            raise ValueError("batch must be positive")
+        calib = self.calibration
+        bw = self.soc.dram_bandwidth
+        stream_scale = self.soc.stream_efficiency_scale
+        ctx = np.asarray(context_len, dtype=np.float64)
+
+        weight_time = profile.weight_bytes / (
+            bw * calib.decode_weight_stream_efficiency * stream_scale
+        )
+        kv_time = (profile.kv_bytes_per_token * ctx * batch_arr) / (
+            bw * calib.kv_stream_efficiency * stream_scale
+        )
+        activation_time = (profile.activation_bytes_per_token * batch_arr) / (
+            bw * self.memory.spec.streaming_efficiency
+        )
+        memory_time = weight_time + kv_time + activation_time
+
+        padded_batch = pad_array_to_tile(np.ceil(batch_arr).astype(np.int64), BATCH_TILE)
+        compute_flops = profile.linear_flops_per_token * padded_batch
+        peak = self._peak_flops(profile)
+        compute_time = compute_flops / (peak * calib.decode_gemm_efficiency)
+
+        roofline = np.maximum(memory_time, compute_time)
+        overhead = (calib.per_step_overhead_s
+                    + calib.per_sequence_overhead_s * batch_arr
+                    ) * self.soc.host_overhead_scale
+        return roofline + overhead
+
+    def decode(self, profile: ModelExecutionProfile, input_len: int,
+               output_len: int, batch: int = 1) -> KernelStats:
+        """Time a full autoregressive decode of ``output_len`` tokens.
+
+        Total latency is the sum of per-step TBTs with the context growing
+        by one each step (the discrete sum behind Eqn. 2).
+        """
+        if output_len <= 0:
+            raise ValueError("output_len must be positive")
+        step_times = self.decode_step_times(profile, input_len, output_len, batch)
+        seconds = float(step_times.sum())
+
+        read_per_step = profile.weight_bytes + profile.activation_bytes_per_token * batch
+        kv_reads = profile.kv_bytes_per_token * batch * (
+            input_len * output_len + output_len * (output_len - 1) / 2.0
+        )
+        read_bytes = read_per_step * output_len + kv_reads
+        write_bytes = profile.kv_bytes_per_token * batch * output_len
+        flops = profile.linear_flops_per_token * batch * output_len
+        bw = self.soc.dram_bandwidth
+        self.memory.total_read_bytes += int(read_bytes)
+        self.memory.total_write_bytes += int(write_bytes)
+        return KernelStats(
+            seconds=seconds,
+            flops=flops,
+            dram_read_bytes=read_bytes,
+            dram_write_bytes=write_bytes,
+            compute_utilization=min(1.0, flops / (seconds * self._peak_flops(profile))),
+            bandwidth_utilization=min(1.0, (read_bytes + write_bytes) / (seconds * bw)),
+        )
+
+    def decode_step_times(self, profile: ModelExecutionProfile, input_len: int,
+                          output_len: int, batch: int = 1) -> np.ndarray:
+        """Per-step TBT array for a generation (used by telemetry)."""
+        contexts = input_len + np.arange(output_len, dtype=np.float64)
+        return self.decode_step_seconds(profile, contexts, batch)
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    def mean_tbt(self, profile: ModelExecutionProfile, input_len: int = 512,
+                 batch: int = 1) -> float:
+        """Average time-between-tokens at a reference context length."""
+        return float(self.decode_step_seconds(profile, input_len, batch))
+
+    def decode_bandwidth_utilization(self, profile: ModelExecutionProfile,
+                                     context_len: int, batch: int = 1) -> float:
+        """Fraction of peak DRAM bandwidth consumed during decode."""
+        tbt = float(self.decode_step_seconds(profile, context_len, batch))
+        bytes_per_step = (
+            profile.weight_bytes
+            + profile.kv_bytes_per_token * context_len * batch
+            + profile.activation_bytes_per_token * batch
+        )
+        return min(1.0, bytes_per_step / (tbt * self.soc.dram_bandwidth))

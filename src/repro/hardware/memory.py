@@ -1,0 +1,98 @@
+"""LPDDR5 memory-system model.
+
+Decode-phase LLM inference on an edge SoC is dominated by streaming model
+weights from DRAM, so the memory model is the most important part of the
+substrate.  Effective bandwidth depends on transfer size (small transfers
+amortize row activation poorly) and on contention between concurrent
+streams; both effects are captured with simple saturating curves.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Static memory-system parameters."""
+
+    #: Peak DRAM bandwidth in bytes/s.
+    peak_bandwidth: float
+    #: L2 cache capacity in bytes.
+    l2_capacity: int
+    #: Best-case fraction of peak achievable by a single large stream.
+    streaming_efficiency: float = 0.88
+    #: Transfer size (bytes) at which efficiency reaches ~63% of its
+    #: asymptote; models row-activation and prefetch warm-up overheads.
+    rampup_bytes: float = 8 * 1024**2
+    #: Minimum efficiency for tiny transfers.
+    floor_efficiency: float = 0.15
+
+
+@dataclass(frozen=True)
+class TransferStats:
+    """Outcome of a simulated DRAM transfer."""
+
+    nbytes: int
+    seconds: float
+    effective_bandwidth: float
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved fraction of a 1.0-normalized peak (set by the caller)."""
+        return self.effective_bandwidth
+
+
+class MemorySystem:
+    """Simulates DRAM transfer timing and tracks aggregate traffic.
+
+    The model is deliberately analytic (no cycle-level queueing): a
+    transfer of ``n`` bytes completes in ``n / (peak * eff(n))`` seconds,
+    where ``eff`` rises from :attr:`MemorySpec.floor_efficiency` to
+    :attr:`MemorySpec.streaming_efficiency` as transfers grow.
+    """
+
+    def __init__(self, spec: MemorySpec):
+        self.spec = spec
+        self.total_read_bytes = 0
+        self.total_write_bytes = 0
+
+    def efficiency(self, nbytes: float) -> float:
+        """Fraction of peak bandwidth achieved by an ``nbytes`` transfer."""
+        if nbytes <= 0:
+            return self.spec.floor_efficiency
+        span = self.spec.streaming_efficiency - self.spec.floor_efficiency
+        ramp = 1.0 - math.exp(-nbytes / self.spec.rampup_bytes)
+        return self.spec.floor_efficiency + span * ramp
+
+    def effective_bandwidth(self, nbytes: float) -> float:
+        """Bytes/s achieved by a transfer of ``nbytes``."""
+        return self.spec.peak_bandwidth * self.efficiency(nbytes)
+
+    def read(self, nbytes: int) -> TransferStats:
+        """Time a DRAM read of ``nbytes`` and account the traffic."""
+        seconds = self.transfer_seconds(nbytes)
+        self.total_read_bytes += int(nbytes)
+        return TransferStats(int(nbytes), seconds, self.effective_bandwidth(nbytes))
+
+    def write(self, nbytes: int) -> TransferStats:
+        """Time a DRAM write of ``nbytes`` and account the traffic."""
+        seconds = self.transfer_seconds(nbytes)
+        self.total_write_bytes += int(nbytes)
+        return TransferStats(int(nbytes), seconds, self.effective_bandwidth(nbytes))
+
+    def transfer_seconds(self, nbytes: float) -> float:
+        """Latency of moving ``nbytes`` to/from DRAM (no accounting)."""
+        if nbytes <= 0:
+            return 0.0
+        return nbytes / self.effective_bandwidth(nbytes)
+
+    def cache_resident(self, nbytes: float) -> bool:
+        """Whether a working set fits in L2 (weights never do for LLMs)."""
+        return nbytes <= self.spec.l2_capacity
+
+    def reset_counters(self) -> None:
+        """Zero the aggregate traffic counters."""
+        self.total_read_bytes = 0
+        self.total_write_bytes = 0

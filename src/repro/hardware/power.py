@@ -1,0 +1,150 @@
+"""Utilization-driven GPU power model.
+
+Reproduces the power behaviour the paper characterizes in Section IV-B:
+
+* Prefill power is constant below a model-specific input-length threshold
+  and grows logarithmically above it (Eqn. 4, Table XX).
+* Decode power sits at a ~5.9 W plateau for short outputs and grows
+  logarithmically with output length (Eqn. 6, Table XXI).
+* Parallel scaling adds a saturating batch term and steps the GPU through
+  discrete power states (Fig. 10c).
+
+Power values are quantized to the SoC's discrete power states and can be
+perturbed with multiplicative measurement noise so that fitted energy
+models show realistic MAPE (Table VIII reports ~6%).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.calibration import PowerCalibration
+from repro.hardware.soc import SocSpec
+
+
+@dataclass(frozen=True)
+class PowerState:
+    """One discrete GPU power state."""
+
+    index: int
+    watts: float
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """A single (time, power) telemetry sample."""
+
+    t: float
+    watts: float
+
+
+class PowerModel:
+    """Computes instantaneous SoC power for inference phases."""
+
+    def __init__(self, soc: SocSpec, calibration: PowerCalibration,
+                 noise_std: float = 0.0, seed: int = 0):
+        self.soc = soc
+        self.calibration = calibration
+        self.noise_std = noise_std
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    # analytic curves (Eqns. 4 and 6)
+    # ------------------------------------------------------------------
+    def prefill_power(self, input_len: int, batch: int = 1) -> float:
+        """Average power during a prefill of ``input_len`` tokens."""
+        calib = self.calibration
+        if calib.prefill_log_slope <= 0:
+            raw = calib.prefill_base_w
+        else:
+            effective = max(input_len, 1) * max(batch, 1)
+            threshold = calib.prefill_threshold
+            clamped = max(effective, threshold)
+            raw = calib.prefill_base_w + calib.prefill_log_slope * math.log(clamped / 1024.0)
+        return self._finalize(raw)
+
+    def prefill_power_vector(self, input_lens: np.ndarray,
+                             batch: int = 1) -> np.ndarray:
+        """Vectorized :meth:`prefill_power` over many prompt lengths."""
+        calib = self.calibration
+        lens = np.maximum(np.asarray(input_lens, dtype=np.float64), 1.0) * max(batch, 1)
+        if calib.prefill_log_slope <= 0:
+            raw = np.full_like(lens, calib.prefill_base_w)
+        else:
+            clamped = np.maximum(lens, calib.prefill_threshold)
+            raw = calib.prefill_base_w + calib.prefill_log_slope * np.log(clamped / 1024.0)
+        return self._finalize_array(raw)
+
+    def decode_power(self, generated: np.ndarray | float,
+                     batch: np.ndarray | int = 1) -> np.ndarray | float:
+        """Instantaneous power while emitting the ``generated``-th token.
+
+        Vectorized over ``generated`` (the number of tokens produced so
+        far) and optionally over a per-step ``batch`` array; follows the
+        plateau-then-log shape of Eqn. 6 plus the saturating
+        parallel-scaling term of Fig. 10c.
+        """
+        calib = self.calibration
+        out = np.asarray(generated, dtype=np.float64)
+        clamped = np.maximum(out, calib.decode_threshold)
+        raw = calib.decode_base_w + calib.decode_log_slope * np.log(clamped / 512.0)
+        raw = np.maximum(raw, calib.floor_w)
+        raw = raw + self._batch_headroom(batch)
+        finalized = self._finalize_array(np.asarray(raw))
+        if np.ndim(generated) == 0 and np.ndim(batch) == 0:
+            return float(finalized)
+        return finalized
+
+    def idle_power(self) -> float:
+        """Quiescent SoC power."""
+        return self.soc.idle_power_w
+
+    def gpu_busy_fraction(self, batch: int = 1) -> float:
+        """GPU busy percentage during decode (Fig. 10c: linear in SF)."""
+        return min(1.0, self.calibration.gpu_busy_per_seq * max(batch, 1))
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _batch_headroom(self, batch: np.ndarray | int) -> np.ndarray | float:
+        calib = self.calibration
+        b = np.asarray(batch, dtype=np.float64)
+        headroom = calib.batch_headroom_w * (1.0 - np.exp(-(b - 1) / calib.batch_tau))
+        headroom = np.where(b <= 1, 0.0, headroom)
+        if np.ndim(batch) == 0:
+            return float(headroom)
+        return headroom
+
+    def _quantize(self, watts: np.ndarray) -> np.ndarray:
+        """Snap power to discrete GPU power states (Fig. 10c steps)."""
+        step = self.calibration.state_step_w
+        if step <= 0:
+            return watts
+        return np.round(watts / step) * step
+
+    def _noise(self, shape: tuple[int, ...] | None = None) -> np.ndarray | float:
+        if self.noise_std <= 0:
+            return 1.0 if shape is None else np.ones(shape)
+        if shape is None:
+            return float(self._rng.normal(1.0, self.noise_std))
+        return self._rng.normal(1.0, self.noise_std, size=shape)
+
+    def _finalize(self, raw: float) -> float:
+        watts = float(self._quantize(np.asarray(raw)))
+        watts *= self._noise() if self.noise_std > 0 else 1.0
+        return float(np.clip(watts, self.soc.idle_power_w, self.soc.power_cap_w))
+
+    def _finalize_array(self, raw: np.ndarray) -> np.ndarray:
+        watts = self._quantize(raw)
+        if self.noise_std > 0:
+            watts = watts * self._noise(watts.shape)
+        return np.clip(watts, self.soc.idle_power_w, self.soc.power_cap_w)
+
+    def power_states(self) -> list[PowerState]:
+        """Enumerate the discrete power states up to the envelope cap."""
+        step = self.calibration.state_step_w
+        levels = np.arange(self.soc.idle_power_w, self.soc.power_cap_w + step, step)
+        return [PowerState(i, float(w)) for i, w in enumerate(levels)]

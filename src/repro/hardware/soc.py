@@ -1,0 +1,245 @@
+"""System-on-chip specifications for edge AI platforms.
+
+The reference platform is the NVIDIA Jetson AGX Orin 64GB (Table I of the
+paper): an Ampere-architecture GPU with 2048 CUDA cores and 64 Tensor
+Cores, 64GB of LPDDR5 at 204.8 GB/s, a 12-core ARM Cortex-A78AE CPU, and a
+configurable 15-60W power envelope.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class PowerMode(enum.Enum):
+    """Configurable Jetson power modes.
+
+    Each mode caps peak clocks across GPU/CPU/DLA/PVA.  All paper
+    experiments run in MAXN; the other modes scale peak throughput and
+    bandwidth down.
+    """
+
+    MODE_15W = "15W"
+    MODE_30W = "30W"
+    MODE_50W = "50W"
+    MAXN = "MAXN"
+
+
+#: Fraction of MAXN peak compute/bandwidth available in each power mode.
+#: Derived from the published Orin clock tables (GPU 420MHz-1.3GHz,
+#: EMC 2133-3200MHz); approximate but monotone.
+_MODE_COMPUTE_SCALE = {
+    PowerMode.MODE_15W: 0.32,
+    PowerMode.MODE_30W: 0.48,
+    PowerMode.MODE_50W: 0.70,
+    PowerMode.MAXN: 1.0,
+}
+
+_MODE_BANDWIDTH_SCALE = {
+    PowerMode.MODE_15W: 0.65,
+    PowerMode.MODE_30W: 0.80,
+    PowerMode.MODE_50W: 0.95,
+    PowerMode.MAXN: 1.0,
+}
+
+_MODE_POWER_CAP_W = {
+    PowerMode.MODE_15W: 15.0,
+    PowerMode.MODE_30W: 30.0,
+    PowerMode.MODE_50W: 50.0,
+    PowerMode.MAXN: 60.0,
+}
+
+
+@dataclass(frozen=True)
+class SocSpec:
+    """Static description of an edge SoC.
+
+    Throughput figures are peak (MAXN) values; :meth:`at_mode` derives the
+    spec for a reduced power mode.
+    """
+
+    name: str
+    cuda_cores: int
+    tensor_cores: int
+    #: Peak dense FP16 tensor-core throughput in FLOP/s.
+    peak_fp16_flops: float
+    #: Peak dense INT8 tensor-core throughput in OP/s.
+    peak_int8_ops: float
+    #: Peak FP32 CUDA-core throughput in FLOP/s.
+    peak_fp32_flops: float
+    #: Peak DRAM bandwidth in bytes/s.
+    dram_bandwidth: float
+    #: DRAM capacity in bytes.
+    dram_capacity: int
+    #: GPU L2 cache in bytes.
+    l2_cache: int
+    #: Aggregate GPU L1 cache in bytes.
+    l1_cache: int
+    #: Number of streaming multiprocessors.
+    sm_count: int
+    #: SoC idle power draw in watts (GPU rails quiescent).
+    idle_power_w: float
+    #: Power envelope cap in watts for the active mode.
+    power_cap_w: float = 60.0
+    power_mode: PowerMode = PowerMode.MAXN
+    #: Machine-class multiplier on the per-model stream efficiencies
+    #: (server GPUs at batch 1 sit further from peak bandwidth).
+    stream_efficiency_scale: float = 1.0
+    #: Machine-class multiplier on host-side per-step overheads (server
+    #: stacks overlap scheduling with compute far better than Jetson).
+    host_overhead_scale: float = 1.0
+
+    def at_mode(self, mode: PowerMode) -> "SocSpec":
+        """Return a copy of this spec scaled to ``mode`` peak clocks."""
+        compute = _MODE_COMPUTE_SCALE[mode]
+        bandwidth = _MODE_BANDWIDTH_SCALE[mode]
+        return SocSpec(
+            name=self.name,
+            cuda_cores=self.cuda_cores,
+            tensor_cores=self.tensor_cores,
+            peak_fp16_flops=self.peak_fp16_flops * compute,
+            peak_int8_ops=self.peak_int8_ops * compute,
+            peak_fp32_flops=self.peak_fp32_flops * compute,
+            dram_bandwidth=self.dram_bandwidth * bandwidth,
+            dram_capacity=self.dram_capacity,
+            l2_cache=self.l2_cache,
+            l1_cache=self.l1_cache,
+            sm_count=self.sm_count,
+            idle_power_w=self.idle_power_w,
+            power_cap_w=_MODE_POWER_CAP_W[mode],
+            power_mode=mode,
+        )
+
+    @property
+    def flops_to_bytes_ratio(self) -> float:
+        """Operational-intensity balance point of the machine (FLOP/byte).
+
+        The paper quotes ~1375 for fp16 tensor operations on Orin;
+        workloads below this ratio are memory-bandwidth bound.
+        """
+        return self.peak_fp16_flops / self.dram_bandwidth
+
+
+def jetson_orin_agx_64gb() -> SocSpec:
+    """The NVIDIA Jetson AGX Orin 64GB spec used throughout the paper.
+
+    Peak figures follow Table I: 5.3 TFLOPs FP32, 275 sparse INT8 TOPS
+    (~137.5 dense INT8 TOPS, ~68.75 dense FP16 TFLOPS), 204.8 GB/s LPDDR5.
+    """
+    sparse_int8 = 275e12
+    dense_int8 = sparse_int8 / 2.0
+    dense_fp16 = dense_int8 / 2.0
+    return SocSpec(
+        name="NVIDIA Jetson AGX Orin 64GB",
+        cuda_cores=2048,
+        tensor_cores=64,
+        peak_fp16_flops=dense_fp16,
+        peak_int8_ops=dense_int8,
+        peak_fp32_flops=5.3e12,
+        dram_bandwidth=204.8e9,
+        dram_capacity=64 * 1024**3,
+        l2_cache=4 * 1024**2,
+        l1_cache=3 * 1024**2,
+        sm_count=16,
+        idle_power_w=4.5,
+    )
+
+
+# Backwards-friendly alias used across the package and docs.
+JetsonOrinSpec = SocSpec
+
+
+def h100_like_server() -> SocSpec:
+    """A datacenter GPU spec for the server-side runs.
+
+    The paper's Natural-Plan and accuracy sweeps execute on x86 servers
+    (H100 / RTX A6000, per the artifact appendix); its decode rates imply
+    ~1-2 TB/s effective bandwidth, i.e. an H100 running single-stream at
+    ~0.55-0.65 of peak with much smaller host overheads than Jetson.
+    """
+    return SocSpec(
+        name="H100-class server GPU",
+        cuda_cores=16896,
+        tensor_cores=528,
+        peak_fp16_flops=989e12,
+        peak_int8_ops=1979e12,
+        peak_fp32_flops=67e12,
+        dram_bandwidth=3.35e12,
+        dram_capacity=80 * 1024**3,
+        l2_cache=50 * 1024**2,
+        l1_cache=33 * 1024**2,
+        sm_count=132,
+        idle_power_w=60.0,
+        power_cap_w=700.0,
+        stream_efficiency_scale=0.65,
+        host_overhead_scale=0.2,
+    )
+
+
+@dataclass(frozen=True)
+class ServerGpuSpec:
+    """Minimal server GPU description for edge-vs-cloud comparisons."""
+
+    name: str
+    peak_fp16_flops: float
+    dram_bandwidth: float
+    dram_capacity: int
+    tdp_w: float
+
+
+def nvidia_h100_sxm() -> ServerGpuSpec:
+    """H100 SXM reference point (used only for cloud cost contrast)."""
+    return ServerGpuSpec(
+        name="NVIDIA H100 SXM",
+        peak_fp16_flops=989e12,
+        dram_bandwidth=3.35e12,
+        dram_capacity=80 * 1024**3,
+        tdp_w=700.0,
+    )
+
+
+@dataclass(frozen=True)
+class PlatformEconomics:
+    """Operating-cost parameters for a deployment platform.
+
+    Matches Section III-B: electricity at $0.15/kWh and the Orin board
+    amortized at $0.045/hour.
+    """
+
+    electricity_usd_per_kwh: float = 0.15
+    hardware_usd_per_hour: float = 0.045
+
+    def cost_usd(self, energy_joules: float, wallclock_seconds: float) -> float:
+        """Total operating cost of a run: energy plus amortized hardware."""
+        energy_kwh = energy_joules / 3.6e6
+        hours = wallclock_seconds / 3600.0
+        return (
+            energy_kwh * self.electricity_usd_per_kwh
+            + hours * self.hardware_usd_per_hour
+        )
+
+
+@dataclass
+class SocState:
+    """Mutable runtime state of a simulated SoC."""
+
+    spec: SocSpec
+    allocated_dram: int = 0
+    resident_models: list[str] = field(default_factory=list)
+
+    def allocate(self, nbytes: int, label: str) -> None:
+        """Reserve DRAM for model weights / KV cache; raises when OOM."""
+        if self.allocated_dram + nbytes > self.spec.dram_capacity:
+            raise MemoryError(
+                f"cannot allocate {nbytes} bytes for {label!r}: "
+                f"{self.allocated_dram} of {self.spec.dram_capacity} in use"
+            )
+        self.allocated_dram += nbytes
+        self.resident_models.append(label)
+
+    def free(self, nbytes: int, label: str) -> None:
+        """Release a prior allocation."""
+        if label in self.resident_models:
+            self.resident_models.remove(label)
+        self.allocated_dram = max(0, self.allocated_dram - nbytes)

@@ -1,0 +1,136 @@
+"""Tegrastats-style telemetry: power sampling, energy integration, utilization.
+
+The paper measures energy as the time integral of sampled power
+(``E = ∫ P dt``).  :class:`TelemetryRecorder` reproduces that pipeline:
+inference phases report their per-step durations and instantaneous power,
+and the recorder accumulates energy, wall-clock, and utilization counters
+that the experiment harness later aggregates into the paper's metrics
+(energy per question, energy per token, average power, GPU/DRAM/CPU
+utilization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class UtilizationSample:
+    """Utilization counters for one phase (Fig. 10c quantities)."""
+
+    gpu_busy: float
+    dram_read: float
+    dram_write: float
+    cpu_busy: float
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """Energy/latency record for one inference phase."""
+
+    phase: str
+    seconds: float
+    energy_joules: float
+    mean_power_w: float
+    tokens: int
+    utilization: UtilizationSample | None = None
+
+
+@dataclass
+class EnergyReport:
+    """Aggregated telemetry over a whole run."""
+
+    total_seconds: float = 0.0
+    total_energy_joules: float = 0.0
+    prefill_seconds: float = 0.0
+    prefill_energy_joules: float = 0.0
+    decode_seconds: float = 0.0
+    decode_energy_joules: float = 0.0
+    prefill_tokens: int = 0
+    decode_tokens: int = 0
+
+    @property
+    def mean_power_w(self) -> float:
+        """Run-average power draw."""
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.total_energy_joules / self.total_seconds
+
+    @property
+    def energy_per_decode_token(self) -> float:
+        """Joules per generated token."""
+        if self.decode_tokens <= 0:
+            return 0.0
+        return self.decode_energy_joules / self.decode_tokens
+
+    @property
+    def energy_per_prefill_token(self) -> float:
+        """Joules per prompt token processed."""
+        if self.prefill_tokens <= 0:
+            return 0.0
+        return self.prefill_energy_joules / self.prefill_tokens
+
+
+#: Host CPU busy fraction during GPU inference — the paper observes it
+#: holds steady at or below ~20% regardless of scale factor.
+CPU_BUSY_DURING_INFERENCE = 0.15
+
+
+class TelemetryRecorder:
+    """Collects per-phase power/energy/utilization records."""
+
+    def __init__(self) -> None:
+        self.records: list[PhaseRecord] = []
+
+    def record_phase(self, phase: str, step_seconds: np.ndarray | float,
+                     step_power_w: np.ndarray | float, tokens: int,
+                     utilization: UtilizationSample | None = None) -> PhaseRecord:
+        """Integrate a phase's sampled power into an energy record.
+
+        ``step_seconds`` and ``step_power_w`` are parallel arrays (or
+        scalars for single-kernel phases); energy is ``sum(p_i * t_i)``.
+        """
+        seconds_arr = np.atleast_1d(np.asarray(step_seconds, dtype=np.float64))
+        power_arr = np.atleast_1d(np.asarray(step_power_w, dtype=np.float64))
+        if power_arr.size == 1 and seconds_arr.size > 1:
+            power_arr = np.full_like(seconds_arr, float(power_arr[0]))
+        if seconds_arr.shape != power_arr.shape:
+            raise ValueError(
+                f"step_seconds {seconds_arr.shape} and step_power_w "
+                f"{power_arr.shape} must align"
+            )
+        seconds = float(seconds_arr.sum())
+        energy = float((seconds_arr * power_arr).sum())
+        mean_power = energy / seconds if seconds > 0 else 0.0
+        record = PhaseRecord(
+            phase=phase,
+            seconds=seconds,
+            energy_joules=energy,
+            mean_power_w=mean_power,
+            tokens=tokens,
+            utilization=utilization,
+        )
+        self.records.append(record)
+        return record
+
+    def report(self) -> EnergyReport:
+        """Aggregate all recorded phases."""
+        report = EnergyReport()
+        for record in self.records:
+            report.total_seconds += record.seconds
+            report.total_energy_joules += record.energy_joules
+            if record.phase == "prefill":
+                report.prefill_seconds += record.seconds
+                report.prefill_energy_joules += record.energy_joules
+                report.prefill_tokens += record.tokens
+            elif record.phase == "decode":
+                report.decode_seconds += record.seconds
+                report.decode_energy_joules += record.energy_joules
+                report.decode_tokens += record.tokens
+        return report
+
+    def clear(self) -> None:
+        """Drop all records."""
+        self.records.clear()

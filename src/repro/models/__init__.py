@@ -1,0 +1,39 @@
+"""LLM architecture definitions and behaviour profiles.
+
+This package holds everything the simulator knows about a model:
+
+* :mod:`repro.models.config` — transformer architecture shape and the
+  FLOP/byte accounting that drives the hardware substrate.
+* :mod:`repro.models.registry` — the model zoo used in the paper
+  (DeepSeek-R1 distillations, L1, and the direct/non-reasoning baselines)
+  plus their AWQ-W4 quantized variants.
+* :mod:`repro.models.quantization` — the W4A16 AWQ transform.
+* :mod:`repro.models.capability` — per-(model, benchmark) accuracy
+  profiles encoding the paper's measured accuracy-vs-token behaviour.
+"""
+
+from repro.models.capability import (
+    AccuracyCurve,
+    AnchorPoint,
+    CapabilityProfile,
+    capability_profile,
+    question_success_probability,
+)
+from repro.models.config import ModelFamily, TransformerConfig
+from repro.models.quantization import awq_w4_quantize
+from repro.models.registry import get_model, list_models, reasoning_models, direct_models
+
+__all__ = [
+    "AccuracyCurve",
+    "AnchorPoint",
+    "CapabilityProfile",
+    "ModelFamily",
+    "TransformerConfig",
+    "awq_w4_quantize",
+    "capability_profile",
+    "direct_models",
+    "get_model",
+    "list_models",
+    "question_success_probability",
+    "reasoning_models",
+]

@@ -1,0 +1,200 @@
+"""Transformer architecture configuration and FLOP/byte accounting.
+
+Latency and energy on an edge GPU depend only on the *shape* of a model
+(layers, widths, head counts, vocabulary) and its weight precision — all
+public information.  :class:`TransformerConfig` captures that shape and
+derives the quantities the hardware substrate needs: parameter counts,
+streamed weight bytes, per-token linear FLOPs, per-token^2 attention
+FLOPs, and KV-cache bytes per position.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.hardware.kernels import ModelExecutionProfile
+
+
+class ModelFamily(enum.Enum):
+    """The three model categories evaluated in Section V."""
+
+    #: Distilled reasoning models (DeepSeek-R1 family) — generate long
+    #: chains of thought before answering.
+    REASONING = "reasoning"
+    #: Standard instruction-tuned models answering directly.
+    DIRECT = "direct"
+    #: Reasoning models RL-fine-tuned for token-budget adherence (L1).
+    BUDGET_AWARE = "budget_aware"
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Architecture shape of a decoder-only transformer."""
+
+    name: str
+    display_name: str
+    family: ModelFamily
+    num_layers: int
+    d_model: int
+    num_heads: int
+    num_kv_heads: int
+    head_dim: int
+    ffn_dim: int
+    vocab_size: int
+    tied_embeddings: bool = False
+    #: Bytes per weight element as stored/streamed (2.0 for FP16; the AWQ
+    #: transform lowers this to ~0.53 for 4-bit weights + scales).
+    weight_bytes_per_param: float = 2.0
+    #: Bytes per KV-cache element (KV stays FP16 even under W4A16).
+    kv_bytes_per_element: float = 2.0
+    #: Tensor-core datapath ("fp16" or "int8" for the W4A16 fallback).
+    compute_dtype: str = "fp16"
+    #: Calibration table key (see repro.hardware.calibration).
+    calibration_key: str = "fp16-8b"
+    #: Whether attention projections carry biases (Qwen does, Llama not).
+    attention_bias: bool = False
+    #: Maximum context window (prompt + generation) in tokens.
+    max_context_tokens: int = 32768
+    quantization: str | None = None
+    #: Extra metadata (e.g. distillation teacher).
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_heads % self.num_kv_heads != 0:
+            raise ValueError(
+                f"{self.name}: num_heads ({self.num_heads}) must be a "
+                f"multiple of num_kv_heads ({self.num_kv_heads})"
+            )
+        for attr in ("num_layers", "d_model", "num_heads", "num_kv_heads",
+                     "head_dim", "ffn_dim", "vocab_size",
+                     "max_context_tokens"):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{self.name}: {attr} must be positive")
+
+    # ------------------------------------------------------------------
+    # parameter accounting
+    # ------------------------------------------------------------------
+    @property
+    def q_dim(self) -> int:
+        """Width of the query projection output."""
+        return self.num_heads * self.head_dim
+
+    @property
+    def kv_dim(self) -> int:
+        """Width of each of the key/value projection outputs."""
+        return self.num_kv_heads * self.head_dim
+
+    @property
+    def params_per_layer(self) -> int:
+        """Weights in one decoder layer (SwiGLU FFN, RMSNorm)."""
+        attn = (
+            self.d_model * self.q_dim          # W_q
+            + 2 * self.d_model * self.kv_dim   # W_k, W_v
+            + self.q_dim * self.d_model        # W_o
+        )
+        if self.attention_bias:
+            attn += self.q_dim + 2 * self.kv_dim
+        ffn = 3 * self.d_model * self.ffn_dim  # gate, up, down
+        norms = 2 * self.d_model
+        return attn + ffn + norms
+
+    @property
+    def embedding_params(self) -> int:
+        """Input embedding table size."""
+        return self.vocab_size * self.d_model
+
+    @property
+    def lm_head_params(self) -> int:
+        """Output projection size (0 extra when tied to the embedding)."""
+        return 0 if self.tied_embeddings else self.vocab_size * self.d_model
+
+    @property
+    def param_count(self) -> int:
+        """Total parameters, embeddings included."""
+        return (
+            self.embedding_params
+            + self.num_layers * self.params_per_layer
+            + self.lm_head_params
+            + self.d_model  # final norm
+        )
+
+    # ------------------------------------------------------------------
+    # bytes and FLOPs seen by the hardware
+    # ------------------------------------------------------------------
+    @property
+    def streamed_params(self) -> int:
+        """Weights read from DRAM per forward pass.
+
+        The embedding lookup reads a single row per token, so the table
+        itself is not streamed; the LM head matmul streams the full
+        projection (the embedding table again, when tied).
+        """
+        return (
+            self.num_layers * self.params_per_layer
+            + self.vocab_size * self.d_model  # lm head (tied or not)
+            + self.d_model
+        )
+
+    @property
+    def weight_bytes(self) -> float:
+        """Bytes streamed from DRAM per forward pass."""
+        return self.streamed_params * self.weight_bytes_per_param
+
+    @property
+    def resident_bytes(self) -> float:
+        """DRAM footprint of all weights."""
+        return self.param_count * self.weight_bytes_per_param
+
+    @property
+    def linear_flops_per_token(self) -> float:
+        """Projection + FFN + LM-head FLOPs per token (≈ 2 × params)."""
+        return 2.0 * self.streamed_params
+
+    @property
+    def attention_flops_per_sq_token(self) -> float:
+        """Attention-score FLOPs per (sequence length)^2.
+
+        QK^T and A·V each cost ``2 * q_dim`` FLOPs per query-key pair per
+        layer, hence the coefficient ``4 * layers * q_dim`` of the
+        quadratic prefill term (Table IV ``a``).
+        """
+        return 4.0 * self.num_layers * self.q_dim
+
+    @property
+    def kv_bytes_per_token(self) -> float:
+        """KV-cache bytes appended per token position.
+
+        ``2 (K and V) * layers * kv_dim * element size`` — e.g. 131072
+        bytes for the 8B model, which together with ~0.9 effective
+        bandwidth reproduces the paper's decode slope ``m = 6.92e-7``.
+        """
+        return 2.0 * self.num_layers * self.kv_dim * self.kv_bytes_per_element
+
+    @property
+    def activation_bytes_per_token(self) -> float:
+        """Activation DRAM traffic per token (spilled tensors only)."""
+        return self.num_layers * 4.0 * self.d_model * 2.0
+
+    def kv_cache_bytes(self, context_len: int, batch: int = 1) -> float:
+        """Total KV-cache footprint for a context."""
+        return self.kv_bytes_per_token * context_len * batch
+
+    @property
+    def is_reasoning(self) -> bool:
+        """Whether the model emits chains of thought by default."""
+        return self.family in (ModelFamily.REASONING, ModelFamily.BUDGET_AWARE)
+
+    def execution_profile(self) -> ModelExecutionProfile:
+        """The hardware-facing view consumed by the kernel engine."""
+        return ModelExecutionProfile(
+            name=self.name,
+            weight_bytes=self.weight_bytes,
+            linear_flops_per_token=self.linear_flops_per_token,
+            attention_flops_per_sq_token=self.attention_flops_per_sq_token,
+            kv_bytes_per_token=self.kv_bytes_per_token,
+            activation_bytes_per_token=self.activation_bytes_per_token,
+            compute_dtype=self.compute_dtype,
+            calibration_key=self.calibration_key,
+            param_count=float(self.param_count),
+        )

@@ -1,0 +1,176 @@
+"""The model zoo evaluated in the paper.
+
+Reasoning models are DeepSeek-R1 distillations (DSR1-Qwen-1.5B,
+DSR1-Llama-8B, DSR1-Qwen-14B) plus the budget-aware L1-Max and the
+RL-tuned DeepScaleR-1.5B; direct baselines are Qwen2.5-1.5B/7B/14B-it,
+Llama3.1-8B-it, and Gemma-7B-it.  Architecture shapes follow the public
+model cards of the underlying base models.
+"""
+
+from __future__ import annotations
+
+from repro.models.config import ModelFamily, TransformerConfig
+from repro.models.quantization import awq_w4_quantize
+
+
+def _qwen25_1p5b(name: str, display: str, family: ModelFamily) -> TransformerConfig:
+    """Qwen2.5-1.5B backbone (shared by DSR1-1.5B, L1, DeepScaleR)."""
+    return TransformerConfig(
+        name=name,
+        display_name=display,
+        family=family,
+        num_layers=28,
+        d_model=1536,
+        num_heads=12,
+        num_kv_heads=2,
+        head_dim=128,
+        ffn_dim=8960,
+        vocab_size=151936,
+        tied_embeddings=True,
+        attention_bias=True,
+        calibration_key="fp16-1.5b",
+    )
+
+
+def _llama31_8b(name: str, display: str, family: ModelFamily) -> TransformerConfig:
+    """Llama-3.1-8B backbone."""
+    return TransformerConfig(
+        name=name,
+        display_name=display,
+        family=family,
+        num_layers=32,
+        d_model=4096,
+        num_heads=32,
+        num_kv_heads=8,
+        head_dim=128,
+        ffn_dim=14336,
+        vocab_size=128256,
+        tied_embeddings=False,
+        max_context_tokens=131072,
+        calibration_key="fp16-8b",
+    )
+
+
+def _qwen25_14b(name: str, display: str, family: ModelFamily) -> TransformerConfig:
+    """Qwen2.5-14B backbone."""
+    return TransformerConfig(
+        name=name,
+        display_name=display,
+        family=family,
+        num_layers=48,
+        d_model=5120,
+        num_heads=40,
+        num_kv_heads=8,
+        head_dim=128,
+        ffn_dim=13824,
+        vocab_size=152064,
+        tied_embeddings=False,
+        attention_bias=True,
+        calibration_key="fp16-14b",
+    )
+
+
+def _qwen25_7b(name: str, display: str) -> TransformerConfig:
+    """Qwen2.5-7B backbone."""
+    return TransformerConfig(
+        name=name,
+        display_name=display,
+        family=ModelFamily.DIRECT,
+        num_layers=28,
+        d_model=3584,
+        num_heads=28,
+        num_kv_heads=4,
+        head_dim=128,
+        ffn_dim=18944,
+        vocab_size=152064,
+        tied_embeddings=False,
+        attention_bias=True,
+        calibration_key="fp16-8b",
+    )
+
+
+def _gemma_7b(name: str, display: str) -> TransformerConfig:
+    """Gemma-7B backbone (wide MQA-ish heads, huge vocabulary)."""
+    return TransformerConfig(
+        name=name,
+        display_name=display,
+        family=ModelFamily.DIRECT,
+        num_layers=28,
+        d_model=3072,
+        num_heads=16,
+        num_kv_heads=16,
+        head_dim=256,
+        ffn_dim=24576,
+        vocab_size=256000,
+        tied_embeddings=True,
+        calibration_key="fp16-8b",
+    )
+
+
+def _build_registry() -> dict[str, TransformerConfig]:
+    reasoning = ModelFamily.REASONING
+    budget = ModelFamily.BUDGET_AWARE
+    direct = ModelFamily.DIRECT
+    base_models = [
+        _qwen25_1p5b("dsr1-qwen-1.5b", "DSR1-Qwen-1.5B", reasoning),
+        _llama31_8b("dsr1-llama-8b", "DSR1-Llama-8B", reasoning),
+        _qwen25_14b("dsr1-qwen-14b", "DSR1-Qwen-14B", reasoning),
+        _qwen25_1p5b("l1-max", "L1-Max", budget),
+        _qwen25_1p5b("deepscaler-1.5b", "DeepScaleR-1.5B", reasoning),
+        _qwen25_1p5b("qwen2.5-1.5b-it", "Qwen2.5-1.5B-it", direct),
+        _qwen25_7b("qwen2.5-7b-it", "Qwen2.5-7B-it"),
+        _llama31_8b("llama3.1-8b-it", "Llama3.1-8B-it", direct),
+        _qwen25_14b("qwen2.5-14b-it", "Qwen2.5-14B-it", direct),
+        _gemma_7b("gemma-7b-it", "Gemma-7B-it"),
+    ]
+    registry = {config.name: config for config in base_models}
+    # AWQ-W4 quantized variants of the reasoning models (Section V-F).
+    for base_name in ("dsr1-qwen-1.5b", "dsr1-llama-8b", "dsr1-qwen-14b"):
+        quantized = awq_w4_quantize(registry[base_name])
+        registry[quantized.name] = quantized
+    return registry
+
+
+_REGISTRY = _build_registry()
+
+#: Aliases accepted by :func:`get_model`.
+_ALIASES = {
+    "1.5b": "dsr1-qwen-1.5b",
+    "8b": "dsr1-llama-8b",
+    "14b": "dsr1-qwen-14b",
+    "l1": "l1-max",
+    "deepscaler": "deepscaler-1.5b",
+}
+
+
+def get_model(name: str) -> TransformerConfig:
+    """Look up a model by registry name or alias (case-insensitive)."""
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown model {name!r}; known models: {known}") from None
+
+
+def list_models() -> tuple[str, ...]:
+    """All registered model names."""
+    return tuple(sorted(_REGISTRY))
+
+
+def reasoning_models() -> tuple[TransformerConfig, ...]:
+    """The three DSR1 distillations, smallest to largest."""
+    return (
+        _REGISTRY["dsr1-qwen-1.5b"],
+        _REGISTRY["dsr1-llama-8b"],
+        _REGISTRY["dsr1-qwen-14b"],
+    )
+
+
+def direct_models() -> tuple[TransformerConfig, ...]:
+    """The non-reasoning baselines used in Section V."""
+    return tuple(
+        config for config in _REGISTRY.values()
+        if config.family is ModelFamily.DIRECT
+    )

@@ -1,0 +1,42 @@
+"""Test-time scaling: sequential budget scaling and parallel voting.
+
+Sequential scaling spends latency on longer chains (Section V-C);
+parallel scaling decodes N chains in one batch and aggregates by
+majority vote (Section V-E), buying accuracy with utilization instead of
+wall-clock.
+"""
+
+from repro.scaling.hybrid import (
+    HybridPoint,
+    best_under_latency,
+    crossover_budget,
+    hybrid_scaling_surface,
+)
+from repro.scaling.parallel import ParallelScalingPoint, parallel_scaling_curve
+from repro.scaling.sequential import (
+    SequentialScalingPoint,
+    marginal_gain_per_token,
+    sequential_scaling_curve,
+)
+from repro.scaling.voting import (
+    majority_vote,
+    sample_answer_matrix,
+    voting_accuracy,
+    asymptotic_voting_accuracy,
+)
+
+__all__ = [
+    "HybridPoint",
+    "ParallelScalingPoint",
+    "best_under_latency",
+    "crossover_budget",
+    "hybrid_scaling_surface",
+    "SequentialScalingPoint",
+    "asymptotic_voting_accuracy",
+    "majority_vote",
+    "marginal_gain_per_token",
+    "parallel_scaling_curve",
+    "sample_answer_matrix",
+    "sequential_scaling_curve",
+    "voting_accuracy",
+]

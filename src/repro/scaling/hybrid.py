@@ -1,0 +1,112 @@
+"""Hybrid test-time scaling: jointly choosing chain length and width.
+
+Section II-B notes that sophisticated inference strategies integrate
+sequential and parallel scaling.  Given a wall-clock budget, an edge
+deployment can spend it on *longer* chains (sequential), *more* chains
+(parallel, nearly latency-free on an underutilized GPU), or both.  This
+module searches that two-dimensional space: for each (token budget,
+scaling factor) cell it combines a latency estimate with a voted
+accuracy estimate and returns the budget-feasible accuracy maximizer.
+
+The inputs are plain callables/arrays so the module stays decoupled
+from the evaluator; :mod:`repro.experiments.hybrid_scaling` wires it up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.scaling.voting import voting_accuracy
+
+
+@dataclass(frozen=True)
+class HybridPoint:
+    """One (sequential budget, parallel width) configuration."""
+
+    token_budget: int
+    scale_factor: int
+    accuracy: float
+    latency_s: float
+
+    @property
+    def total_compute_tokens(self) -> int:
+        """Tokens generated across all parallel chains."""
+        return self.token_budget * self.scale_factor
+
+
+#: Per-question statistics provider: budget -> (p, distractor, garbage,
+#: determinism) arrays.
+StatsFn = Callable[[int], tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]
+#: Latency estimator: (token budget, scale factor) -> seconds.
+LatencyFn = Callable[[int, int], float]
+
+
+def hybrid_scaling_surface(stats_fn: StatsFn, latency_fn: LatencyFn,
+                           num_choices: int,
+                           token_budgets: Sequence[int],
+                           scale_factors: Sequence[int],
+                           rng: np.random.Generator,
+                           vote_trials: int = 2) -> list[HybridPoint]:
+    """Evaluate the full (budget, width) grid."""
+    points = []
+    for budget in token_budgets:
+        if budget <= 0:
+            raise ValueError("token budgets must be positive")
+        p, w, g, det = stats_fn(int(budget))
+        for scale_factor in scale_factors:
+            if scale_factor <= 0:
+                raise ValueError("scale factors must be positive")
+            accuracy = voting_accuracy(
+                p, w, num_choices, int(scale_factor), rng,
+                trials=vote_trials, garbage_share=g, determinism=det,
+            )
+            points.append(HybridPoint(
+                token_budget=int(budget),
+                scale_factor=int(scale_factor),
+                accuracy=accuracy,
+                latency_s=float(latency_fn(int(budget), int(scale_factor))),
+            ))
+    return points
+
+
+def best_under_latency(surface: Sequence[HybridPoint],
+                       latency_budget_s: float) -> HybridPoint | None:
+    """The accuracy-optimal feasible cell (ties: fewer compute tokens)."""
+    feasible = [pt for pt in surface if pt.latency_s <= latency_budget_s]
+    if not feasible:
+        return None
+    return max(feasible,
+               key=lambda pt: (pt.accuracy, -pt.total_compute_tokens))
+
+
+def sequential_only(surface: Sequence[HybridPoint]) -> list[HybridPoint]:
+    """The SF=1 slice of a surface (the pure sequential strategy)."""
+    return [pt for pt in surface if pt.scale_factor == 1]
+
+
+def crossover_budget(surface: Sequence[HybridPoint]) -> int | None:
+    """Smallest token budget where widening beats lengthening.
+
+    Section V-C predicts parallel scaling overtakes sequential scaling
+    past the diminishing-returns inflection (~300-400 tokens): compare
+    each cell (b, k>1) against the pure-sequential cell of equal latency
+    class (b * k tokens, SF=1) and report where the parallel cell first
+    wins.
+    """
+    by_key = {(pt.token_budget, pt.scale_factor): pt for pt in surface}
+    budgets = sorted({pt.token_budget for pt in surface})
+    factors = sorted({pt.scale_factor for pt in surface})
+    for budget in budgets:
+        for factor in factors:
+            if factor == 1:
+                continue
+            wide = by_key.get((budget, factor))
+            long = by_key.get((budget * factor, 1))
+            if wide is None or long is None:
+                continue
+            if wide.accuracy > long.accuracy and wide.latency_s < long.latency_s:
+                return budget
+    return None

@@ -1,0 +1,79 @@
+"""Parallel test-time scaling: N-way batched decode plus majority voting.
+
+Follows the paper's Section V-E protocol: the prefill runs once at batch
+size 1; the decode batch equals the scaling factor; every sample uses the
+same fixed output budget; answers are aggregated by majority vote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.engine.engine import InferenceEngine
+from repro.engine.request import GenerationRequest
+from repro.scaling.voting import voting_accuracy
+
+
+@dataclass(frozen=True)
+class ParallelScalingPoint:
+    """System + accuracy metrics at one parallel scaling factor."""
+
+    scale_factor: int
+    accuracy: float
+    decode_seconds: float
+    energy_per_question_j: float
+    mean_power_w: float
+    gpu_busy: float
+    dram_read_util: float
+    dram_write_util: float
+
+
+def parallel_scaling_curve(engine: InferenceEngine,
+                           p_correct: np.ndarray,
+                           distractor_share: np.ndarray,
+                           num_choices: int,
+                           scale_factors: Iterable[int],
+                           output_budget: int,
+                           prompt_tokens: int,
+                           rng: np.random.Generator,
+                           vote_trials: int = 3,
+                           garbage_share: np.ndarray | float = 0.0,
+                           determinism: np.ndarray | float = 0.0,
+                           ) -> list[ParallelScalingPoint]:
+    """Sweep scaling factors, measuring system cost and voted accuracy.
+
+    ``p_correct`` / ``distractor_share`` are the per-question single-
+    sample statistics at the given output budget (from the evaluator);
+    system metrics come from one engine run per scaling factor.
+    """
+    points = []
+    for scale_factor in scale_factors:
+        if scale_factor <= 0:
+            raise ValueError("scale factors must be positive")
+        request = GenerationRequest(
+            request_id=0,
+            prompt_tokens=prompt_tokens,
+            natural_length=output_budget,
+            max_new_tokens=output_budget,
+            n=scale_factor,
+        )
+        result = engine.generate(request)
+        accuracy = voting_accuracy(
+            p_correct, distractor_share, num_choices,
+            k=scale_factor, rng=rng, trials=vote_trials,
+            garbage_share=garbage_share, determinism=determinism,
+        )
+        points.append(ParallelScalingPoint(
+            scale_factor=scale_factor,
+            accuracy=accuracy,
+            decode_seconds=result.decode_seconds,
+            energy_per_question_j=result.energy.total_energy_joules,
+            mean_power_w=result.energy.mean_power_w,
+            gpu_busy=result.gpu_busy,
+            dram_read_util=result.dram_read_util,
+            dram_write_util=result.dram_write_util,
+        ))
+    return points

@@ -1,0 +1,72 @@
+"""Sequential test-time scaling: accuracy vs. token budget along one chain.
+
+Section V-C: accuracy rises with generation length but with diminishing
+returns past model-specific inflection points (~300 tokens for the 1.5B,
+~400 for 8B/14B) — the points where parallel scaling starts to beat
+spending more sequential tokens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.models.capability import AccuracyCurve
+
+
+@dataclass(frozen=True)
+class SequentialScalingPoint:
+    """One point on an accuracy-vs-budget sweep."""
+
+    budget: int
+    accuracy: float
+    latency_seconds: float
+
+
+def sequential_scaling_curve(curve: AccuracyCurve, budgets: Iterable[int],
+                             latency_fn: Callable[[int], float],
+                             ) -> list[SequentialScalingPoint]:
+    """Sweep token budgets along a capability curve.
+
+    ``latency_fn`` maps a token count to end-to-end latency (typically a
+    fitted :class:`repro.core.latency_model.TotalLatencyModel`).
+    """
+    points = []
+    for budget in budgets:
+        if budget <= 0:
+            raise ValueError("budgets must be positive")
+        points.append(SequentialScalingPoint(
+            budget=int(budget),
+            accuracy=float(curve(budget)),
+            latency_seconds=float(latency_fn(int(budget))),
+        ))
+    return points
+
+
+def marginal_gain_per_token(curve: AccuracyCurve, tokens: float,
+                            delta: float = 8.0) -> float:
+    """Numerical accuracy gain per additional reasoning token."""
+    if tokens <= delta:
+        raise ValueError("tokens must exceed the finite-difference step")
+    lo = float(curve(tokens - delta))
+    hi = float(curve(tokens + delta))
+    return (hi - lo) / (2.0 * delta)
+
+
+def diminishing_returns_threshold(curve: AccuracyCurve,
+                                  gain_floor: float = 2e-5) -> float:
+    """Token count past which each extra token buys < ``gain_floor``.
+
+    Locates the paper's sequential-scaling inflection point.
+    """
+    lo = curve.anchors[0].tokens + 16
+    hi = curve.anchors[-1].tokens
+    if hi <= lo:
+        return hi
+    grid = np.geomspace(lo, hi, 256)
+    for tokens in grid:
+        if marginal_gain_per_token(curve, float(tokens)) < gain_floor:
+            return float(tokens)
+    return float(hi)

@@ -1,0 +1,61 @@
+"""Synthetic benchmark suites mirroring the paper's evaluation datasets.
+
+Each builder returns a seeded, reproducible :class:`Benchmark` whose
+questions carry latent difficulty, prompt-length, and answer-format
+structure — the statistical skeleton of the real dataset.
+"""
+
+from repro.workloads.aime import aime2024
+from repro.workloads.math500 import math500
+from repro.workloads.mmlu import mmlu
+from repro.workloads.mmlu_redux import mmlu_redux
+from repro.workloads.natural_plan import natural_plan
+from repro.workloads.question import Benchmark, Question
+from repro.workloads.traces import (
+    ArrivalTrace,
+    bursty_trace,
+    diurnal_trace,
+    poisson_trace,
+)
+
+_BUILDERS = {
+    "mmlu-redux": mmlu_redux,
+    "mmlu": mmlu,
+    "aime2024": aime2024,
+    "math500": math500,
+    "naturalplan-calendar": lambda seed=0: natural_plan("calendar", seed),
+    "naturalplan-meeting": lambda seed=0: natural_plan("meeting", seed),
+    "naturalplan-trip": lambda seed=0: natural_plan("trip", seed),
+}
+
+
+def get_benchmark(key: str, seed: int = 0) -> Benchmark:
+    """Build a benchmark by key."""
+    try:
+        builder = _BUILDERS[key.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_BUILDERS))
+        raise KeyError(f"unknown benchmark {key!r}; known: {known}") from None
+    return builder(seed=seed)
+
+
+def list_benchmarks() -> tuple[str, ...]:
+    """All benchmark keys."""
+    return tuple(sorted(_BUILDERS))
+
+
+__all__ = [
+    "ArrivalTrace",
+    "Benchmark",
+    "Question",
+    "bursty_trace",
+    "diurnal_trace",
+    "poisson_trace",
+    "aime2024",
+    "get_benchmark",
+    "list_benchmarks",
+    "math500",
+    "mmlu",
+    "mmlu_redux",
+    "natural_plan",
+]

@@ -1,0 +1,32 @@
+"""Synthetic AIME 2024 suite (30 hard free-form math problems).
+
+Used by the edge-vs-cloud cost study (Table III): DeepScaleR-1.5B
+generates ~6.5k reasoning tokens per problem, so the 30-question set
+totals ~195k tokens — the workload behind the paper's $/1M-token
+calculation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.question import Benchmark, make_questions
+
+SIZE = 30
+
+
+def aime2024(seed: int = 0, size: int = SIZE) -> Benchmark:
+    """Build the synthetic AIME2024 benchmark."""
+    rng = np.random.default_rng(seed + 307)
+    questions = make_questions(
+        rng, size,
+        subjects={"competition-math": (5.0, 2.0)},  # skews very hard
+        prompt_mean=120.0,
+        prompt_sigma=0.35,
+        num_choices=0,  # integer answers, exact match
+    )
+    return Benchmark(
+        key="aime2024",
+        display_name="AIME 2024",
+        questions=questions,
+    )

@@ -1,0 +1,35 @@
+"""Synthetic MATH500 suite (500 free-form math problems).
+
+The second accuracy benchmark of the edge-vs-cloud comparison
+(Table III); easier than AIME, where DeepScaleR-1.5B reaches 87.8%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.question import Benchmark, make_questions
+
+SIZE = 500
+
+
+def math500(seed: int = 0, size: int = SIZE) -> Benchmark:
+    """Build the synthetic MATH500 benchmark."""
+    rng = np.random.default_rng(seed + 401)
+    questions = make_questions(
+        rng, size,
+        subjects={
+            "algebra": (2.2, 2.4),
+            "geometry": (2.6, 2.2),
+            "number-theory": (2.8, 2.0),
+            "precalculus": (2.6, 2.1),
+        },
+        prompt_mean=90.0,
+        prompt_sigma=0.40,
+        num_choices=0,
+    )
+    return Benchmark(
+        key="math500",
+        display_name="MATH500",
+        questions=questions,
+    )

@@ -1,0 +1,40 @@
+"""Synthetic MMLU suite (15k questions, Table XII's benchmark).
+
+The full MMLU test split (Hendrycks et al., 2021) covers 57 subjects;
+the synthetic version keeps the four domain groupings with a slightly
+easier overall mix than MMLU-Redux (the Redux re-annotation removed many
+trivially wrong items, concentrating difficulty).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.question import Benchmark, make_questions
+
+SUBJECTS = {
+    "humanities": (2.0, 2.8),
+    "social-sciences": (2.0, 2.6),
+    "stem": (2.6, 2.0),
+    "professional": (2.4, 2.0),
+    "other": (2.0, 2.5),
+}
+
+SIZE = 15000
+
+
+def mmlu(seed: int = 0, size: int = SIZE) -> Benchmark:
+    """Build the synthetic full-MMLU benchmark."""
+    rng = np.random.default_rng(seed + 211)
+    questions = make_questions(
+        rng, size,
+        subjects=SUBJECTS,
+        prompt_mean=140.0,
+        prompt_sigma=0.55,
+        num_choices=4,
+    )
+    return Benchmark(
+        key="mmlu",
+        display_name="MMLU (15k)",
+        questions=questions,
+    )

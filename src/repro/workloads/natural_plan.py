@@ -1,0 +1,46 @@
+"""Synthetic Natural-Plan suites (calendar / meeting / trip planning).
+
+Natural Plan (Zheng et al., 2024) benchmarks few-shot natural-language
+planning; prompts are long (multi-example, ~1.5-2.5k tokens) and answers
+are free-form plans scored by exact constraint satisfaction, which is why
+even 14B reasoning models score below 20% (Tables XIII-XV).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.question import Benchmark, make_questions
+
+#: Task name -> (difficulty alpha/beta, prompt mean tokens, size).
+TASKS = {
+    "calendar": ((5.5, 1.6), 1600.0, 1000),
+    "meeting": ((5.0, 1.8), 2200.0, 1000),
+    "trip": ((5.5, 1.5), 1900.0, 1600),
+}
+
+
+def natural_plan(task: str, seed: int = 0, size: int | None = None) -> Benchmark:
+    """Build one synthetic Natural-Plan task suite."""
+    key = task.lower()
+    if key not in TASKS:
+        raise KeyError(f"unknown Natural-Plan task {task!r}; choose from {sorted(TASKS)}")
+    (alpha, beta), prompt_mean, default_size = TASKS[key]
+    rng = np.random.default_rng(seed + 503 + len(key))
+    questions = make_questions(
+        rng, size or default_size,
+        subjects={f"planning-{key}": (alpha, beta)},
+        prompt_mean=prompt_mean,
+        prompt_sigma=0.25,
+        num_choices=0,
+    )
+    return Benchmark(
+        key=f"naturalplan-{key}",
+        display_name=f"Natural-Plan {key.capitalize()}",
+        questions=questions,
+    )
+
+
+def all_tasks(seed: int = 0) -> tuple[Benchmark, ...]:
+    """All three Natural-Plan task suites."""
+    return tuple(natural_plan(task, seed) for task in sorted(TASKS))

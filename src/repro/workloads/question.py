@@ -1,0 +1,134 @@
+"""Question and benchmark abstractions for synthetic evaluation suites.
+
+The real benchmarks' *text* is irrelevant to a systems study; what
+matters is their statistical structure — per-question difficulty, subject
+mix, prompt-length distribution, and answer format.  A synthetic
+:class:`Benchmark` carries exactly that, seeded and reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Question:
+    """One synthetic benchmark question."""
+
+    qid: int
+    subject: str
+    #: Latent difficulty in [0, 1]; higher is harder.
+    difficulty: float
+    #: Prompt length in tokens (question + choices + template).
+    prompt_tokens: int
+    #: Number of answer choices (0 = free-form, exact-match scoring).
+    num_choices: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.difficulty <= 1.0:
+            raise ValueError(f"difficulty must be in [0, 1], got {self.difficulty}")
+        if self.prompt_tokens <= 0:
+            raise ValueError("prompt_tokens must be positive")
+        if self.num_choices < 0:
+            raise ValueError("num_choices must be non-negative")
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """A synthetic evaluation suite."""
+
+    key: str
+    display_name: str
+    questions: tuple[Question, ...]
+    #: Capability-profile key (usually == ``key``).
+    capability_key: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.questions:
+            raise ValueError(f"benchmark {self.key} has no questions")
+        if not self.capability_key:
+            object.__setattr__(self, "capability_key", self.key)
+
+    def __len__(self) -> int:
+        return len(self.questions)
+
+    @property
+    def difficulties(self) -> np.ndarray:
+        """Per-question difficulty vector."""
+        return np.array([q.difficulty for q in self.questions])
+
+    @property
+    def prompt_tokens(self) -> np.ndarray:
+        """Per-question prompt lengths."""
+        return np.array([q.prompt_tokens for q in self.questions])
+
+    @property
+    def num_choices(self) -> int:
+        """Answer-choice count shared by the suite (0 = free-form)."""
+        return self.questions[0].num_choices
+
+    @property
+    def subjects(self) -> tuple[str, ...]:
+        """Distinct subjects, sorted."""
+        return tuple(sorted({q.subject for q in self.questions}))
+
+    def subset(self, size: int, seed: int = 0) -> "Benchmark":
+        """A reproducible random subset (e.g. Table II's 150 questions)."""
+        if size > len(self.questions):
+            raise ValueError(
+                f"subset size {size} exceeds benchmark size {len(self.questions)}"
+            )
+        rng = np.random.default_rng(seed)
+        picked = rng.choice(len(self.questions), size=size, replace=False)
+        picked.sort()
+        return Benchmark(
+            key=self.key,
+            display_name=f"{self.display_name} (subset {size})",
+            questions=tuple(self.questions[i] for i in picked),
+            capability_key=self.capability_key,
+        )
+
+    def split(self, head: int) -> tuple["Benchmark", "Benchmark"]:
+        """Split into (first ``head`` questions, the rest) — used for the
+        fit-vs-held-out validation protocol of Table VI."""
+        if not 0 < head < len(self.questions):
+            raise ValueError("head must split the benchmark into two parts")
+        first = Benchmark(self.key, f"{self.display_name} (fit)",
+                          self.questions[:head], self.capability_key)
+        rest = Benchmark(self.key, f"{self.display_name} (held out)",
+                         self.questions[head:], self.capability_key)
+        return first, rest
+
+
+def make_questions(rng: np.random.Generator, size: int,
+                   subjects: dict[str, tuple[float, float]],
+                   prompt_mean: float, prompt_sigma: float,
+                   num_choices: int,
+                   prompt_min: int = 24, prompt_max: int = 4096) -> tuple[Question, ...]:
+    """Generate questions with per-subject Beta difficulty distributions.
+
+    ``subjects`` maps a subject name to the (alpha, beta) parameters of
+    its difficulty distribution; subjects are sampled uniformly.
+    """
+    names = sorted(subjects)
+    chosen = rng.integers(0, len(names), size=size)
+    prompt_mu = np.log(prompt_mean) - 0.5 * prompt_sigma**2
+    prompts = np.clip(
+        rng.lognormal(prompt_mu, prompt_sigma, size=size).round().astype(int),
+        prompt_min, prompt_max,
+    )
+    questions = []
+    for qid in range(size):
+        subject = names[chosen[qid]]
+        alpha, beta = subjects[subject]
+        difficulty = float(rng.beta(alpha, beta))
+        questions.append(Question(
+            qid=qid,
+            subject=subject,
+            difficulty=difficulty,
+            prompt_tokens=int(prompts[qid]),
+            num_choices=num_choices,
+        ))
+    return tuple(questions)

@@ -1,0 +1,84 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.engine.engine import EngineConfig, InferenceEngine
+from repro.hardware.calibration import calibration_for_model
+from repro.hardware.kernels import KernelEngine
+from repro.hardware.memory import MemorySpec, MemorySystem
+from repro.hardware.power import PowerModel
+from repro.hardware.soc import jetson_orin_agx_64gb
+from repro.models.registry import get_model
+from repro.workloads.mmlu_redux import mmlu_redux
+
+warnings.filterwarnings("ignore", category=Warning, module="scipy")
+
+
+@pytest.fixture(scope="session")
+def orin():
+    """The Jetson AGX Orin spec."""
+    return jetson_orin_agx_64gb()
+
+
+@pytest.fixture(scope="session")
+def model_1p5b():
+    return get_model("dsr1-qwen-1.5b")
+
+
+@pytest.fixture(scope="session")
+def model_8b():
+    return get_model("dsr1-llama-8b")
+
+
+@pytest.fixture(scope="session")
+def model_14b():
+    return get_model("dsr1-qwen-14b")
+
+
+@pytest.fixture(scope="session")
+def dsr1_models(model_1p5b, model_8b, model_14b):
+    return (model_1p5b, model_8b, model_14b)
+
+
+@pytest.fixture()
+def memory(orin):
+    return MemorySystem(MemorySpec(orin.dram_bandwidth, orin.l2_cache))
+
+
+@pytest.fixture()
+def kernels_8b(orin, memory, model_8b):
+    profile = model_8b.execution_profile()
+    calib = calibration_for_model(profile.calibration_key)
+    return KernelEngine(orin, memory, calib), profile
+
+
+@pytest.fixture()
+def power_8b(orin, model_8b):
+    calib = calibration_for_model(model_8b.calibration_key)
+    return PowerModel(orin, calib.power)
+
+
+@pytest.fixture(scope="session")
+def engine_1p5b(model_1p5b):
+    return InferenceEngine(model_1p5b)
+
+
+@pytest.fixture(scope="session")
+def engine_8b(model_8b):
+    return InferenceEngine(model_8b)
+
+
+@pytest.fixture(scope="session")
+def small_benchmark():
+    """A small MMLU-Redux subset for fast evaluator tests."""
+    return mmlu_redux(seed=0, size=300)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

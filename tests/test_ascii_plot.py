@@ -1,0 +1,64 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.experiments.ascii_plot import GLYPHS, render_figure
+from repro.experiments.report import Figure, Series
+
+
+def _figure():
+    figure = Figure("F", "tokens", "seconds")
+    figure.add(Series("a", (1.0, 2.0, 3.0), (1.0, 2.0, 3.0)))
+    figure.add(Series("b", (1.0, 2.0, 3.0), (3.0, 2.0, 1.0)))
+    return figure
+
+
+class TestRenderFigure:
+    def test_contains_title_axes_legend(self):
+        text = render_figure(_figure())
+        assert "F" in text
+        assert "x: tokens, y: seconds" in text
+        assert "a" in text and "b" in text
+
+    def test_distinct_glyphs_per_series(self):
+        text = render_figure(_figure())
+        assert GLYPHS[0] in text and GLYPHS[1] in text
+
+    def test_dimensions_respected(self):
+        text = render_figure(_figure(), width=40, height=8)
+        plot_lines = [line for line in text.splitlines() if "|" in line]
+        assert len(plot_lines) == 8
+        assert all(len(line.split("|", 1)[1]) == 40 for line in plot_lines)
+
+    def test_log_scale_detected_for_wide_ranges(self):
+        figure = Figure("L", "x", "y")
+        figure.add(Series("s", (1.0, 10.0, 1000.0), (0.01, 1.0, 100.0)))
+        text = render_figure(figure)
+        assert "log-x" in text and "log-y" in text
+
+    def test_linear_scale_for_narrow_ranges(self):
+        text = render_figure(_figure())
+        assert "log-" not in text
+
+    def test_empty_figure(self):
+        assert "(no series)" in render_figure(Figure("E", "x", "y"))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            render_figure(_figure(), width=4, height=2)
+
+    def test_real_experiment_figure_renders(self, engine_8b):
+        # End-to-end: a real Fig. 3a renders without error.
+        from repro.core.characterize import run_decode_sweep
+        from repro.experiments.report import Figure, Series
+        sweep = run_decode_sweep(engine_8b, output_lens=(64, 256, 1024))
+        figure = Figure("Fig3a", "output_tokens", "latency_s")
+        figure.add(Series("8b", tuple(float(v) for v in sweep.output_lens),
+                          tuple(float(v) for v in sweep.seconds)))
+        text = render_figure(figure)
+        assert "Fig3a" in text
+
+    def test_single_point_series(self):
+        figure = Figure("P", "x", "y")
+        figure.add(Series("s", (5.0,), (1.0,)))
+        assert "P" in render_figure(figure)

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.model == "dsr1-llama-8b"
+        assert args.parallel == 1
+
+    def test_plan_requires_budget(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table11" in out and "fig7" in out
+
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "dsr1-llama-8b" in out
+        assert "llmc-awq-w4" in out
+
+    def test_simulate(self, capsys):
+        code = main(["simulate", "--model", "dsr1-qwen-1.5b",
+                     "--prompt", "100", "--output", "64"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "decode" in out and "energy" in out
+
+    def test_simulate_parallel(self, capsys):
+        assert main(["simulate", "--model", "dsr1-qwen-1.5b",
+                     "--output", "64", "--parallel", "8"]) == 0
+        assert "batch 8" in capsys.readouterr().out
+
+    def test_run_artifact(self, capsys):
+        assert main(["run", "table9"]) == 0
+        assert "Table IX" in capsys.readouterr().out
+
+    def test_run_unknown_artifact(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig99"])
+
+    def test_reproduce_writes_artifacts(self, capsys, tmp_path):
+        code = main(["reproduce", "--output", str(tmp_path),
+                     "--only", "table9"])
+        assert code == 0
+        assert (tmp_path / "table9.txt").exists()
+        assert "Table IX" in (tmp_path / "table9.txt").read_text()
+
+    def test_reproduce_charts_mode(self, capsys, tmp_path):
+        code = main(["reproduce", "--output", str(tmp_path),
+                     "--only", "fig3b", "--charts"])
+        assert code == 0
+        text = (tmp_path / "fig3b.txt").read_text()
+        assert "|" in text  # chart grid, not point listings
+
+    def test_characterize_writes_json(self, capsys, tmp_path):
+        out = tmp_path / "models.json"
+        code = main(["characterize", "--model", "dsr1-qwen-1.5b",
+                     "--output", str(out)])
+        assert code == 0
+        assert out.exists()
+        from repro.core.persistence import load_models
+        assert load_models(out)["model"] == "dsr1-qwen-1.5b"

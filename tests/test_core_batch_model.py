@@ -1,0 +1,77 @@
+"""Tests for the batch-aware decode latency model."""
+
+import numpy as np
+import pytest
+
+from repro.core.batch_model import (
+    BatchedDecodeLatencyModel,
+    fit_batched_decode_model,
+)
+from repro.core.latency_model import DecodeLatencyModel
+
+
+@pytest.fixture(scope="module")
+def batched_model(engine_8b):
+    return fit_batched_decode_model(engine_8b, batches=(1, 4, 16, 64))
+
+
+class TestFit:
+    def test_batch1_matches_table5(self, batched_model):
+        single = batched_model.coefficients(1)
+        assert single.n == pytest.approx(0.092, rel=0.06)
+        assert single.m == pytest.approx(6.92e-7, rel=0.10)
+
+    def test_n_grows_with_batch(self, batched_model):
+        ns = [batched_model.coefficients(b).n for b in (1, 4, 16, 64)]
+        assert ns == sorted(ns)
+
+    def test_m_scales_roughly_linearly(self, batched_model):
+        # KV reads scale per sequence.
+        m1 = batched_model.coefficients(1).m
+        m16 = batched_model.coefficients(16).m
+        assert 10 < m16 / m1 < 22
+
+    def test_fig10a_multiplier_band(self, batched_model):
+        # ~2x decode latency by SF=64 (Fig. 10a).
+        assert 1.4 < batched_model.latency_multiplier(64) < 2.6
+        assert batched_model.latency_multiplier(1) == pytest.approx(1.0)
+
+    def test_multiplier_monotone(self, batched_model):
+        multipliers = [batched_model.latency_multiplier(b)
+                       for b in (1, 2, 4, 8, 16, 32, 64)]
+        assert multipliers == sorted(multipliers)
+
+
+class TestSurfacePredictions:
+    def test_interpolated_batch_matches_substrate(self, batched_model,
+                                                  engine_8b):
+        # Batch 8 was NOT in the fit grid; interpolation must still track
+        # the kernel engine.
+        predicted = batched_model.decode_latency(512, 256, 8)
+        steps = engine_8b.kernels.decode_step_seconds(
+            engine_8b.profile, 512 + np.arange(256, dtype=float), 8)
+        assert predicted == pytest.approx(float(steps.sum()), rel=0.03)
+
+    def test_extrapolation_clamps_at_grid_edge(self, batched_model):
+        edge = batched_model.coefficients(batched_model.max_fitted_batch)
+        beyond = batched_model.coefficients(1000)
+        assert beyond.n == pytest.approx(edge.n)
+
+    def test_rejects_bad_batch(self, batched_model):
+        with pytest.raises(ValueError):
+            batched_model.coefficients(0)
+
+
+class TestConstruction:
+    def test_requires_sorted_batches(self):
+        models = (DecodeLatencyModel(0, 0.1), DecodeLatencyModel(0, 0.2))
+        with pytest.raises(ValueError):
+            BatchedDecodeLatencyModel((4, 1), models)
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            BatchedDecodeLatencyModel((1,), (DecodeLatencyModel(0, 0.1),))
+
+    def test_requires_alignment(self):
+        with pytest.raises(ValueError):
+            BatchedDecodeLatencyModel((1, 2), (DecodeLatencyModel(0, 0.1),))

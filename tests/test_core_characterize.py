@@ -1,0 +1,97 @@
+"""Tests for characterization: simulate -> fit -> paper coefficients."""
+
+import numpy as np
+import pytest
+
+from repro.core.characterize import (
+    characterize_model,
+    run_decode_sweep,
+    run_prefill_sweep,
+    run_tbt_sweep,
+    sample_decode_fit_points,
+)
+from repro.core.latency_model import (
+    PAPER_DECODE_COEFFICIENTS,
+    PAPER_PREFILL_COEFFICIENTS,
+)
+from repro.engine.engine import InferenceEngine
+
+
+@pytest.fixture(scope="module")
+def characterization_8b():
+    from repro.models.registry import get_model
+    return characterize_model(get_model("dsr1-llama-8b"), power_samples=1)
+
+
+class TestSweeps:
+    def test_prefill_sweep_shapes(self, engine_8b):
+        sweep = run_prefill_sweep(engine_8b, input_lens=(64, 128, 256))
+        assert sweep.input_lens.shape == (3,)
+        assert (sweep.seconds > 0).all()
+        assert (sweep.power_w > 0).all()
+        assert (sweep.energy_per_token_j > 0).all()
+
+    def test_decode_sweep_monotone_latency(self, engine_8b):
+        sweep = run_decode_sweep(engine_8b, output_lens=(64, 256, 1024))
+        assert list(sweep.seconds) == sorted(sweep.seconds)
+
+    def test_decode_throughput_stable(self, engine_8b):
+        sweep = run_decode_sweep(engine_8b, output_lens=(128, 1024))
+        tps = sweep.tokens_per_second
+        assert tps[0] == pytest.approx(tps[1], rel=0.15)
+
+    def test_tbt_sweep_slight_rise_with_context(self, engine_8b):
+        # Fig. 3b: only ~3% TBT increase from context 1 to 4k.
+        sweep = run_tbt_sweep(engine_8b, input_lens=(1, 4096))
+        increase = sweep.tbt_seconds[1] / sweep.tbt_seconds[0] - 1.0
+        assert 0.0 < increase < 0.10
+
+    def test_fit_points_in_benchmark_range(self, engine_8b, rng):
+        inputs, outputs, latencies = sample_decode_fit_points(engine_8b, rng, 50)
+        assert inputs.min() >= 32
+        assert outputs.max() <= 4096
+        assert (latencies > 0).all()
+
+
+class TestFittedCoefficients:
+    """The simulate->fit loop must land near the paper's Tables IV/V."""
+
+    def test_prefill_a_matches_paper(self, characterization_8b):
+        paper = PAPER_PREFILL_COEFFICIENTS["dsr1-llama-8b"]
+        assert characterization_8b.latency.prefill.a == pytest.approx(
+            paper.a, rel=0.15)
+
+    def test_prefill_b_matches_paper(self, characterization_8b):
+        paper = PAPER_PREFILL_COEFFICIENTS["dsr1-llama-8b"]
+        assert characterization_8b.latency.prefill.b == pytest.approx(
+            paper.b, rel=0.30)
+
+    def test_prefill_c_matches_paper(self, characterization_8b):
+        paper = PAPER_PREFILL_COEFFICIENTS["dsr1-llama-8b"]
+        assert characterization_8b.latency.prefill.c == pytest.approx(
+            paper.c, rel=0.30)
+
+    def test_decode_m_matches_paper(self, characterization_8b):
+        paper = PAPER_DECODE_COEFFICIENTS["dsr1-llama-8b"]
+        assert characterization_8b.latency.decode.m == pytest.approx(
+            paper.m, rel=0.10)
+
+    def test_decode_n_matches_paper(self, characterization_8b):
+        paper = PAPER_DECODE_COEFFICIENTS["dsr1-llama-8b"]
+        assert characterization_8b.latency.decode.n == pytest.approx(
+            paper.n, rel=0.05)
+
+    def test_fit_quality_reported(self, characterization_8b):
+        assert characterization_8b.prefill_fit.r_squared > 0.95
+        assert characterization_8b.decode_fit.r_squared > 0.99
+
+    def test_decode_power_log_slope_positive(self, characterization_8b):
+        assert characterization_8b.decode_power.w > 0
+
+    def test_energy_model_composes(self, characterization_8b):
+        energy = characterization_8b.energy
+        total = float(energy(512, 512))
+        assert total > 0
+        assert total == pytest.approx(
+            float(energy.prefill.total_energy(512))
+            + float(energy.decode.total_energy(512)))

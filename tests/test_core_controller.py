@@ -1,0 +1,107 @@
+"""Tests for the online deadline-aware decoding controller."""
+
+import numpy as np
+import pytest
+
+from repro.core.characterize import characterize_model
+from repro.core.controller import DeadlineController, static_budget_baseline
+from repro.models.registry import get_model
+
+
+@pytest.fixture(scope="module")
+def setup(engine_8b):
+    latency = characterize_model(get_model("dsr1-llama-8b"),
+                                 power_samples=1).latency
+    controller = DeadlineController(latency)
+    return controller, engine_8b, latency
+
+
+class TestSingleGeneration:
+    def test_meets_deadline(self, setup):
+        controller, engine, _ = setup
+        for deadline in (2.0, 10.0, 60.0):
+            result = controller.run(engine, prompt_tokens=150,
+                                    natural_thinking_tokens=800,
+                                    deadline_s=deadline)
+            assert result.met_deadline, deadline
+
+    def test_no_intervention_with_generous_deadline(self, setup):
+        controller, engine, _ = setup
+        result = controller.run(engine, 150, 200, deadline_s=600.0)
+        assert not result.intervened
+        assert result.thinking_tokens == 200
+
+    def test_intervenes_under_tight_deadline(self, setup):
+        controller, engine, _ = setup
+        result = controller.run(engine, 150, 800, deadline_s=10.0)
+        assert result.intervened
+        assert result.thinking_tokens < 800
+
+    def test_more_deadline_more_thinking(self, setup):
+        controller, engine, _ = setup
+        short = controller.run(engine, 150, 800, deadline_s=10.0)
+        long = controller.run(engine, 150, 800, deadline_s=40.0)
+        assert long.thinking_tokens > short.thinking_tokens
+
+    def test_answer_always_emitted(self, setup):
+        controller, engine, _ = setup
+        result = controller.run(engine, 150, 800, deadline_s=2.0)
+        assert result.answer_tokens == controller.answer_tokens
+
+    def test_rejects_bad_deadline(self, setup):
+        controller, engine, _ = setup
+        with pytest.raises(ValueError):
+            controller.run(engine, 150, 100, deadline_s=0.0)
+
+    def test_constructor_validation(self, setup):
+        _, _, latency = setup
+        with pytest.raises(ValueError):
+            DeadlineController(latency, answer_tokens=0)
+        with pytest.raises(ValueError):
+            DeadlineController(latency, safety_margin=0.9)
+
+
+class TestAdaptivityVsStaticBudget:
+    """The controller's value: deadline *guarantees* under prompt-length
+    variation, at thinking parity with offline-provisioned budgets."""
+
+    @pytest.fixture(scope="class")
+    def population(self):
+        rng = np.random.default_rng(11)
+        prompts = np.clip(rng.lognormal(np.log(300), 0.9, 100),
+                          32, 4096).astype(int)
+        naturals = np.clip(rng.lognormal(np.log(700), 0.7, 100),
+                           32, 4096).astype(int)
+        return prompts, naturals
+
+    def test_controller_never_misses(self, setup, population):
+        controller, engine, _ = setup
+        controlled = controller.batch_run(engine, *population, 30.0)
+        assert all(r.met_deadline for r in controlled)
+
+    def test_static_median_provisioning_misses_the_tail(self, setup,
+                                                        population):
+        # A budget provisioned at the median prompt misses deadlines on
+        # long-prompt requests — the failure mode the intro warns about.
+        _, engine, latency = setup
+        static = static_budget_baseline(engine, latency, *population, 30.0,
+                                        provisioning_quantile=0.5)
+        misses = sum(not r.met_deadline for r in static)
+        assert misses > 0.2 * len(static)
+
+    def test_controller_matches_static_thinking(self, setup, population):
+        # Zero misses does not cost thinking depth: the controller stays
+        # within a few percent of the p95-provisioned static budget.
+        controller, engine, latency = setup
+        controlled = controller.batch_run(engine, *population, 30.0)
+        static = static_budget_baseline(engine, latency, *population, 30.0,
+                                        provisioning_quantile=0.95)
+        mean_controlled = np.mean([r.thinking_tokens for r in controlled])
+        mean_static = np.mean([r.thinking_tokens for r in static])
+        assert mean_controlled > 0.9 * mean_static
+
+    def test_batch_run_validates_shapes(self, setup):
+        controller, engine, _ = setup
+        with pytest.raises(ValueError):
+            controller.batch_run(engine, np.array([100]),
+                                 np.array([100, 200]), 10.0)

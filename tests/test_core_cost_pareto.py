@@ -1,0 +1,149 @@
+"""Tests for the cost model and Pareto utilities."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.core.cost import (
+    CloudPricing,
+    CostModel,
+    o1_preview_pricing,
+    o4_mini_pricing,
+)
+from repro.core.pareto import dominates, operational_regimes, pareto_frontier
+
+
+class TestCostModel:
+    def test_energy_cost(self):
+        model = CostModel()
+        assert model.energy_cost_usd(3.6e6) == pytest.approx(0.15)
+
+    def test_hardware_cost(self):
+        model = CostModel()
+        assert model.hardware_cost_usd(7200.0) == pytest.approx(0.09)
+
+    def test_table3_batch1_scenario(self):
+        # 195,624 tokens, 4358 s, 0.0317 kWh -> ~$0.302 / 1M tokens.
+        model = CostModel.single_stream()
+        cost = model.cost_per_million_tokens(
+            energy_joules=0.0317 * 3.6e6,
+            wallclock_seconds=4358.0,
+            tokens=195_624,
+        )
+        assert cost == pytest.approx(0.302, rel=0.05)
+
+    def test_batching_amortizes_cost(self):
+        single = CostModel(serving_batch=1)
+        batched = CostModel(serving_batch=30)
+        args = dict(energy_joules=1e5, wallclock_seconds=400.0, tokens=1e5)
+        assert (batched.cost_per_million_tokens(**args)
+                == pytest.approx(single.cost_per_million_tokens(**args) / 30))
+
+    def test_paper_serving_default(self):
+        assert CostModel.paper_serving().serving_batch == 10
+
+    def test_zero_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel().cost_per_million_tokens(1.0, 1.0, 0)
+
+    def test_bad_batch_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(serving_batch=0)
+
+
+class TestCloudPricing:
+    def test_o1_preview_rates(self):
+        pricing = o1_preview_pricing()
+        assert pricing.input_usd_per_mtok == 15.0
+        assert pricing.output_usd_per_mtok == 60.0
+
+    def test_o4_mini_cheaper(self):
+        assert (o4_mini_pricing().output_usd_per_mtok
+                < o1_preview_pricing().output_usd_per_mtok)
+
+    def test_workload_cost(self):
+        pricing = CloudPricing("x", 10.0, 20.0)
+        assert pricing.cost_usd(1e6, 2e6) == pytest.approx(50.0)
+
+    def test_cloud_vs_edge_gap_is_orders_of_magnitude(self):
+        # Section III-B: edge runs at ~$0.30/1M vs $60/1M for o1-preview.
+        edge = CostModel.single_stream().cost_per_million_tokens(
+            0.0317 * 3.6e6, 4358.0, 195_624)
+        assert o1_preview_pricing().output_usd_per_mtok / edge > 100
+
+
+@dataclass(frozen=True)
+class _Point:
+    name: str
+    latency: float
+    accuracy: float
+
+
+class TestParetoFrontier:
+    def _points(self):
+        return [
+            _Point("a", 1.0, 0.3),
+            _Point("b", 2.0, 0.2),   # dominated by a
+            _Point("c", 3.0, 0.5),
+            _Point("d", 10.0, 0.5),  # dominated by c
+            _Point("e", 20.0, 0.8),
+        ]
+
+    def test_frontier_members(self):
+        frontier = pareto_frontier(self._points(),
+                                   cost=lambda p: p.latency,
+                                   value=lambda p: p.accuracy)
+        assert [p.name for p in frontier] == ["a", "c", "e"]
+
+    def test_frontier_sorted_by_cost(self):
+        frontier = pareto_frontier(self._points(),
+                                   cost=lambda p: p.latency,
+                                   value=lambda p: p.accuracy)
+        latencies = [p.latency for p in frontier]
+        assert latencies == sorted(latencies)
+
+    def test_empty_input(self):
+        assert pareto_frontier([], cost=lambda p: 0, value=lambda p: 0) == []
+
+    def test_equal_cost_keeps_best(self):
+        points = [_Point("a", 1.0, 0.3), _Point("b", 1.0, 0.6)]
+        frontier = pareto_frontier(points, cost=lambda p: p.latency,
+                                   value=lambda p: p.accuracy)
+        assert [p.name for p in frontier] == ["b"]
+
+    def test_no_frontier_member_dominated(self, rng):
+        points = [_Point(str(i), float(c), float(v))
+                  for i, (c, v) in enumerate(zip(rng.random(50), rng.random(50)))]
+        frontier = pareto_frontier(points, cost=lambda p: p.latency,
+                                   value=lambda p: p.accuracy)
+        for member in frontier:
+            for other in points:
+                assert not dominates(other.latency, other.accuracy,
+                                     member.latency, member.accuracy)
+
+    def test_dominates_semantics(self):
+        assert dominates(1.0, 0.5, 2.0, 0.4)
+        assert not dominates(1.0, 0.5, 1.0, 0.5)  # equal: no strict edge
+        assert not dominates(2.0, 0.6, 1.0, 0.5)  # costlier
+
+
+class TestRegimes:
+    def test_bands_pick_best(self):
+        points = [_Point("fast", 2.0, 0.4), _Point("faster", 3.0, 0.45),
+                  _Point("slow", 40.0, 0.8)]
+        regimes = operational_regimes(points,
+                                      latency=lambda p: p.latency,
+                                      accuracy=lambda p: p.accuracy,
+                                      label=lambda p: p.name)
+        bands = {r.band: r.best_label for r in regimes}
+        assert bands["<5s"] == "faster"
+        assert bands[">30s"] == "slow"
+
+    def test_empty_bands_skipped(self):
+        points = [_Point("only", 2.0, 0.4)]
+        regimes = operational_regimes(points,
+                                      latency=lambda p: p.latency,
+                                      accuracy=lambda p: p.accuracy,
+                                      label=lambda p: p.name)
+        assert len(regimes) == 1

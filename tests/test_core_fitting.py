@@ -1,0 +1,129 @@
+"""Tests for model fitting: known coefficients must be recovered."""
+
+import numpy as np
+import pytest
+
+from repro.core.energy_model import PiecewiseEnergyPerTokenModel
+from repro.core.fitting import (
+    fit_decode_latency,
+    fit_energy_per_token,
+    fit_log_energy,
+    fit_piecewise_log_power,
+    fit_prefill_latency,
+)
+from repro.core.latency_model import (
+    DecodeLatencyModel,
+    PrefillLatencyModel,
+    pad_input_length,
+)
+from repro.core.power_model import PiecewiseLogPowerModel
+
+
+class TestPrefillFit:
+    def test_recovers_synthetic_coefficients(self):
+        truth = PrefillLatencyModel(a=6.65e-7, b=2.9e-4, c=0.104)
+        lens = np.arange(64, 4097, 64, dtype=float)
+        fitted, quality = fit_prefill_latency(lens, np.asarray(truth(lens)))
+        assert fitted.a == pytest.approx(truth.a, rel=1e-6)
+        assert fitted.b == pytest.approx(truth.b, rel=1e-6)
+        assert fitted.c == pytest.approx(truth.c, rel=1e-6)
+        assert quality.r_squared > 0.999
+
+    def test_non_multiples_of_64_ignored(self):
+        truth = PrefillLatencyModel(a=1e-6, b=1e-4, c=0.05)
+        lens = np.concatenate([np.arange(64, 2049, 64, dtype=float),
+                               np.array([100.0, 300.0])])
+        values = np.asarray(truth(lens))
+        values[-2:] += 100.0  # corrupt the off-grid points
+        fitted, _ = fit_prefill_latency(lens, values)
+        assert fitted.c == pytest.approx(truth.c, rel=1e-6)
+
+    def test_robust_to_noise(self, rng):
+        truth = PrefillLatencyModel(a=6.65e-7, b=2.9e-4, c=0.104)
+        lens = np.arange(64, 4097, 64, dtype=float)
+        noisy = np.asarray(truth(lens)) * rng.normal(1.0, 0.02, lens.size)
+        fitted, _ = fit_prefill_latency(lens, noisy)
+        assert fitted.a == pytest.approx(truth.a, rel=0.15)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            fit_prefill_latency(np.array([64.0, 128.0]), np.array([1.0, 2.0]))
+
+    def test_misaligned_rejected(self):
+        with pytest.raises(ValueError):
+            fit_prefill_latency(np.zeros(3), np.zeros(4))
+
+
+class TestDecodeFit:
+    def test_recovers_synthetic_coefficients(self, rng):
+        truth = DecodeLatencyModel(m=6.92e-7, n=0.092)
+        inputs = rng.integers(32, 2000, 100).astype(float)
+        outputs = rng.integers(32, 2000, 100).astype(float)
+        fitted, quality = fit_decode_latency(
+            inputs, outputs, np.asarray(truth(inputs, outputs)))
+        assert fitted.m == pytest.approx(truth.m, rel=1e-6)
+        assert fitted.n == pytest.approx(truth.n, rel=1e-6)
+        assert quality.r_squared > 0.999
+
+    def test_small_m_near_zero_for_gqa_models(self, rng):
+        truth = DecodeLatencyModel(m=0.0, n=0.024)
+        inputs = rng.integers(32, 2000, 50).astype(float)
+        outputs = rng.integers(32, 2000, 50).astype(float)
+        fitted, _ = fit_decode_latency(
+            inputs, outputs, np.asarray(truth(inputs, outputs)))
+        assert abs(fitted.m) < 1e-9
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_decode_latency(np.array([1.0]), np.array([1.0]), np.array([1.0]))
+
+
+class TestPowerFit:
+    def test_recovers_piecewise_log(self):
+        truth = PiecewiseLogPowerModel(u=5.9, v=500, w=8.8, x0=-30.0)
+        lens = np.arange(64, 4097, 64, dtype=float)
+        fitted, _ = fit_piecewise_log_power(lens, np.asarray(truth(lens)))
+        assert fitted.w == pytest.approx(truth.w, rel=0.05)
+
+    def test_constant_data_yields_constant_model(self):
+        lens = np.arange(64, 2048, 64, dtype=float)
+        fitted, quality = fit_piecewise_log_power(lens, np.full(lens.size, 5.6))
+        assert np.allclose(np.asarray(fitted(lens)), 5.6)
+        assert quality.rmse == pytest.approx(0.0, abs=1e-9)
+
+    def test_explicit_threshold_respected(self):
+        truth = PiecewiseLogPowerModel(u=6.0, v=800, w=3.0, x0=-10.0)
+        lens = np.arange(64, 4097, 64, dtype=float)
+        fitted, _ = fit_piecewise_log_power(lens, np.asarray(truth(lens)),
+                                            threshold=800)
+        assert fitted.v == 800
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_piecewise_log_power(np.array([1.0, 2.0]), np.array([1.0, 2.0]))
+
+
+class TestEnergyFit:
+    def test_recovers_exp_decay(self):
+        truth = PiecewiseEnergyPerTokenModel(
+            amplitude=0.159, decay=0.0324, offset=0.0055,
+            threshold=640, log_slope=0.0123, log_intercept=-0.0735,
+        )
+        lens = np.arange(16, 4097, 32, dtype=float)
+        fitted, quality = fit_energy_per_token(lens, np.asarray(truth(lens)))
+        grid = np.geomspace(16, 4096, 50)
+        assert np.allclose(np.asarray(fitted(grid)), np.asarray(truth(grid)),
+                           rtol=0.15, atol=5e-3)
+
+    def test_log_energy_fit(self):
+        lens = np.array([64, 128, 256, 512, 1024, 2048], dtype=float)
+        truth = 0.555 * np.log(lens) + 0.324
+        fitted, quality = fit_log_energy(lens, truth)
+        assert fitted.alpha == pytest.approx(0.555, rel=1e-6)
+        assert fitted.beta == pytest.approx(0.324, rel=1e-4)
+        assert quality.r_squared > 0.999
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_energy_per_token(np.arange(3, dtype=float) + 1,
+                                 np.ones(3))

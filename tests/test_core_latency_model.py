@@ -1,0 +1,109 @@
+"""Tests for the analytical latency models (Eqns. 1-3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.latency_model import (
+    PAPER_DECODE_COEFFICIENTS,
+    PAPER_PREFILL_COEFFICIENTS,
+    DecodeLatencyModel,
+    PrefillLatencyModel,
+    TotalLatencyModel,
+    pad_input_length,
+)
+
+
+class TestPadding:
+    @pytest.mark.parametrize("raw,padded", [(1, 128), (128, 128), (129, 256),
+                                            (1000, 1024)])
+    def test_scalar(self, raw, padded):
+        assert pad_input_length(raw) == padded
+
+    def test_vector(self):
+        out = pad_input_length(np.array([1, 200, 256]))
+        assert list(out) == [128, 256, 256]
+
+
+class TestPrefillModel:
+    def test_quadratic_on_padded_length(self):
+        model = PrefillLatencyModel(a=1e-6, b=1e-4, c=0.1)
+        expected = 1e-6 * 256**2 + 1e-4 * 256 + 0.1
+        assert model(200) == pytest.approx(expected)
+
+    def test_constant_within_tile(self):
+        model = PrefillLatencyModel(a=1e-6, b=1e-4, c=0.1)
+        assert model(129) == model(256)
+
+    def test_paper_coefficients_present(self):
+        assert set(PAPER_PREFILL_COEFFICIENTS) == {
+            "dsr1-qwen-1.5b", "dsr1-llama-8b", "dsr1-qwen-14b"}
+
+
+class TestDecodeModel:
+    def test_closed_form_equals_step_sum(self):
+        model = DecodeLatencyModel(m=7e-7, n=0.09)
+        input_len, output_len = 512, 333
+        steps = model.tbt(input_len + np.arange(output_len))
+        assert model(input_len, output_len) == pytest.approx(float(steps.sum()))
+
+    def test_tbt_at_context(self):
+        model = DecodeLatencyModel(m=1e-6, n=0.1)
+        assert model.tbt(1000) == pytest.approx(0.101)
+
+    def test_vectorized_outputs(self):
+        model = DecodeLatencyModel(m=7e-7, n=0.09)
+        out = model(512, np.array([10, 100, 1000]))
+        assert out.shape == (3,)
+        assert (np.diff(out) > 0).all()
+
+    def test_paper_8b_base_latency(self):
+        # 811 tokens at the 8B coefficients lands near Table X's 87 s.
+        model = PAPER_DECODE_COEFFICIENTS["dsr1-llama-8b"]
+        assert float(model(150, 811)) == pytest.approx(75, rel=0.1)
+
+
+class TestTotalModelInversion:
+    @pytest.fixture()
+    def total(self):
+        return TotalLatencyModel(
+            PrefillLatencyModel(a=6.65e-7, b=2.9e-4, c=0.104),
+            DecodeLatencyModel(m=6.92e-7, n=0.092),
+        )
+
+    def test_inversion_is_tight(self, total):
+        budget = 30.0
+        max_tokens = total.max_output_tokens(150, budget)
+        assert float(total(150, max_tokens)) <= budget
+        assert float(total(150, max_tokens + 1)) > budget
+
+    @pytest.mark.parametrize("budget", [1.0, 5.0, 60.0, 600.0])
+    def test_inversion_various_budgets(self, total, budget):
+        max_tokens = total.max_output_tokens(150, budget)
+        if max_tokens > 0:
+            assert float(total(150, max_tokens)) <= budget
+
+    def test_budget_below_prefill_gives_zero(self, total):
+        assert total.max_output_tokens(4096, 0.5) == 0
+
+    def test_zero_m_linear_inversion(self):
+        total = TotalLatencyModel(
+            PrefillLatencyModel(0.0, 0.0, 0.1),
+            DecodeLatencyModel(m=0.0, n=0.1),
+        )
+        assert total.max_output_tokens(100, 10.1) == 100
+
+    def test_rejects_non_positive_budget(self, total):
+        with pytest.raises(ValueError):
+            total.max_output_tokens(100, 0.0)
+
+    def test_degenerate_model_rejected(self):
+        total = TotalLatencyModel(
+            PrefillLatencyModel(0.0, 0.0, 0.0),
+            DecodeLatencyModel(m=0.0, n=0.0),
+        )
+        with pytest.raises(ValueError):
+            total.max_output_tokens(100, 1.0)
+
+    def test_total_is_sum_of_phases(self, total):
+        assert float(total(512, 100)) == pytest.approx(
+            float(total.prefill(512)) + float(total.decode(512, 100)))

@@ -1,0 +1,102 @@
+"""Tests for fitted-model persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.characterize import characterize_model
+from repro.core.persistence import (
+    SCHEMA_VERSION,
+    characterization_to_dict,
+    energy_from_dict,
+    energy_to_dict,
+    latency_from_dict,
+    latency_to_dict,
+    load_models,
+    power_from_dict,
+    power_to_dict,
+    save_characterization,
+)
+from repro.core.energy_model import (
+    LogEnergyPerTokenModel,
+    PiecewiseEnergyPerTokenModel,
+    TotalEnergyModel,
+)
+from repro.core.latency_model import (
+    DecodeLatencyModel,
+    PrefillLatencyModel,
+    TotalLatencyModel,
+)
+from repro.core.power_model import PiecewiseLogPowerModel, constant_power
+from repro.models.registry import get_model
+
+
+@pytest.fixture(scope="module")
+def characterization():
+    return characterize_model(get_model("dsr1-qwen-1.5b"), power_samples=1)
+
+
+class TestRoundTrips:
+    def test_latency_round_trip(self):
+        model = TotalLatencyModel(
+            PrefillLatencyModel(6.65e-7, 2.9e-4, 0.104),
+            DecodeLatencyModel(6.92e-7, 0.092),
+        )
+        rebuilt = latency_from_dict(latency_to_dict(model))
+        assert rebuilt == model
+
+    def test_power_round_trip(self):
+        model = PiecewiseLogPowerModel(5.9, 64, 8.8, -30.0)
+        assert power_from_dict(power_to_dict(model)) == model
+
+    def test_constant_power_infinite_threshold(self):
+        model = constant_power(5.6)
+        rebuilt = power_from_dict(power_to_dict(model))
+        assert rebuilt.v == float("inf")
+        assert rebuilt(10**9) == pytest.approx(5.6)
+
+    def test_energy_round_trip(self):
+        model = TotalEnergyModel(
+            PiecewiseEnergyPerTokenModel(0.159, 0.032, 0.0055, 640,
+                                         0.0123, -0.0735),
+            LogEnergyPerTokenModel(0.555, 0.324),
+        )
+        rebuilt = energy_from_dict(energy_to_dict(model))
+        assert float(rebuilt(512, 512)) == pytest.approx(float(model(512, 512)))
+
+
+class TestFiles:
+    def test_save_and_load(self, characterization, tmp_path):
+        path = save_characterization(characterization, tmp_path / "m.json")
+        models = load_models(path)
+        assert models["model"] == "dsr1-qwen-1.5b"
+        grid_i = np.array([64.0, 512.0, 2048.0])
+        assert np.allclose(
+            np.asarray(models["latency"].prefill(grid_i)),
+            np.asarray(characterization.latency.prefill(grid_i)))
+
+    def test_predictions_survive_round_trip(self, characterization, tmp_path):
+        path = save_characterization(characterization, tmp_path / "m.json")
+        loaded = load_models(path)["latency"]
+        assert float(loaded(150, 800)) == pytest.approx(
+            float(characterization.latency(150, 800)))
+
+    def test_schema_version_written(self, characterization, tmp_path):
+        path = save_characterization(characterization, tmp_path / "m.json")
+        data = json.loads(path.read_text())
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert "fit_quality" in data
+
+    def test_unknown_schema_rejected(self, characterization, tmp_path):
+        path = tmp_path / "bad.json"
+        data = characterization_to_dict(characterization)
+        data["schema_version"] = 99
+        path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="schema"):
+            load_models(path)
+
+    def test_json_is_plain_numbers(self, characterization, tmp_path):
+        path = save_characterization(characterization, tmp_path / "m.json")
+        # File must be loadable by any JSON consumer.
+        json.loads(path.read_text())

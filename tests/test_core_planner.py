@@ -1,0 +1,204 @@
+"""Tests for the deployment planner."""
+
+import pytest
+
+from repro.core.characterize import characterize_model
+from repro.core.latency_model import (
+    DecodeLatencyModel,
+    PrefillLatencyModel,
+    TotalLatencyModel,
+)
+from repro.core.planner import (
+    BudgetAwareCandidate,
+    CandidateConfig,
+    DeploymentPlanner,
+    build_planner,
+)
+from repro.generation.control import base_control, direct_control, hard_budget
+from repro.generation.length import LengthModel
+from repro.models.capability import capability_profile
+from repro.models.registry import get_model
+
+
+def _latency_model(tbt=0.1, prefill=0.1):
+    return TotalLatencyModel(
+        PrefillLatencyModel(0.0, 0.0, prefill),
+        DecodeLatencyModel(0.0, tbt),
+    )
+
+
+def _candidate(name="m", accuracy=0.5, tokens=100, tbt=0.1):
+    return CandidateConfig(
+        model=get_model("dsr1-qwen-1.5b"),
+        control=base_control(),
+        expected_output_tokens=tokens,
+        predicted_accuracy=accuracy,
+        latency=_latency_model(tbt),
+    )
+
+
+class TestPlannerSelection:
+    def test_picks_highest_accuracy_feasible(self):
+        fast_weak = _candidate(accuracy=0.3, tokens=10)      # ~1.1 s
+        slow_strong = _candidate(accuracy=0.8, tokens=500)   # ~50 s
+        planner = DeploymentPlanner([fast_weak, slow_strong])
+        assert planner.plan(5.0).chosen.predicted_accuracy == 0.3
+        assert planner.plan(100.0).chosen.predicted_accuracy == 0.8
+
+    def test_infeasible_budget(self):
+        planner = DeploymentPlanner([_candidate(tokens=1000)])
+        decision = planner.plan(0.05)
+        assert not decision.feasible
+        assert decision.predicted_accuracy == 0.0
+
+    def test_accuracy_monotone_in_budget(self):
+        candidates = [_candidate(accuracy=a, tokens=t)
+                      for a, t in ((0.2, 5), (0.5, 100), (0.9, 1000))]
+        planner = DeploymentPlanner(candidates)
+        accs = [planner.plan(b).predicted_accuracy for b in (1, 15, 150)]
+        assert accs == sorted(accs)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DeploymentPlanner([])
+
+    def test_rejects_non_positive_budget(self):
+        planner = DeploymentPlanner([_candidate()])
+        with pytest.raises(ValueError):
+            planner.plan(0.0)
+
+    def test_frontier_length(self):
+        planner = DeploymentPlanner([_candidate()])
+        decisions = planner.frontier([1.0, 10.0, 100.0])
+        assert len(decisions) == 3
+
+    def test_ties_prefer_lower_latency(self):
+        fast = _candidate(accuracy=0.5, tokens=10)
+        slow = _candidate(accuracy=0.5, tokens=100)
+        planner = DeploymentPlanner([fast, slow])
+        assert planner.plan(100.0).chosen.expected_output_tokens == 10
+
+
+class TestBudgetAwareCandidate:
+    @pytest.fixture(scope="class")
+    def l1_candidate(self):
+        model = get_model("l1-max")
+        return BudgetAwareCandidate(
+            model=model,
+            capability=capability_profile("l1-max", "mmlu-redux"),
+            lengths=LengthModel(model, "mmlu-redux"),
+            latency=characterize_model(model, power_samples=1).latency,
+        )
+
+    def test_respects_latency_budget(self, l1_candidate):
+        for budget in (0.5, 1.0, 3.0, 10.0):
+            chosen = l1_candidate.best_under_budget(budget, 128)
+            if chosen is not None:
+                assert chosen.predicted_latency(128) <= budget * 1.05
+
+    def test_larger_budget_more_tokens(self, l1_candidate):
+        small = l1_candidate.best_under_budget(1.0, 128)
+        large = l1_candidate.best_under_budget(20.0, 128)
+        assert large.control.budget > small.control.budget
+
+    def test_impossible_budget_returns_none(self, l1_candidate):
+        assert l1_candidate.best_under_budget(0.01, 4096) is None
+
+
+class TestBuildPlanner:
+    @pytest.fixture(scope="class")
+    def planner(self):
+        return build_planner(
+            model_names=("dsr1-qwen-1.5b", "qwen2.5-14b-it"),
+            budget_aware_model="l1-max",
+        )
+
+    def test_includes_direct_and_reasoning(self, planner):
+        labels = {c.label for c in planner.candidates}
+        assert any("Direct" in label for label in labels)
+        assert any("Base" in label for label in labels)
+
+    def test_budget_aware_present(self, planner):
+        assert len(planner.budget_aware) == 1
+
+    def test_frontier_is_monotone(self, planner):
+        decisions = planner.frontier([0.5, 2.0, 10.0, 60.0, 300.0])
+        accuracies = [d.predicted_accuracy for d in decisions]
+        assert accuracies == sorted(accuracies)
+
+    def test_all_decisions_respect_budget(self, planner):
+        for decision in planner.frontier([1.0, 5.0, 30.0, 120.0]):
+            if decision.feasible:
+                assert decision.predicted_latency_s <= decision.latency_budget_s
+
+    def test_cost_cap_shifts_choice(self, planner):
+        # Section V-D: tight $/1M-token caps force smaller / direct
+        # models even when the latency budget is generous.
+        unconstrained = planner.plan(300.0)
+        capped = planner.plan(300.0, max_cost_per_mtok=0.02)
+        if capped.feasible:
+            cost = capped.chosen.predicted_cost_per_mtok(128)
+            assert cost is None or cost <= 0.02
+            assert capped.predicted_accuracy <= unconstrained.predicted_accuracy
+
+    def test_bad_cost_cap_rejected(self, planner):
+        with pytest.raises(ValueError):
+            planner.plan(10.0, max_cost_per_mtok=0.0)
+
+    def test_candidates_expose_cost(self, planner):
+        costs = [c.predicted_cost_per_mtok(128) for c in planner.candidates]
+        assert any(cost is not None and cost > 0 for cost in costs)
+
+    def test_parallel_candidates_extend_frontier(self):
+        # Latency-aware test-time scaling: voted parallel configs beat
+        # the best sequential config at mid-range budgets.
+        sequential = build_planner(model_names=("dsr1-qwen-14b",),
+                                   budget_aware_model=None)
+        parallel = build_planner(model_names=("dsr1-qwen-14b",),
+                                 budget_aware_model=None,
+                                 parallel_factors=(8, 16))
+        budget = 20.0
+        seq_acc = sequential.plan(budget).predicted_accuracy
+        par_decision = parallel.plan(budget)
+        assert par_decision.predicted_accuracy > seq_acc + 0.1
+        assert par_decision.chosen.parallel > 1
+        assert "x" in par_decision.chosen.label
+
+    def test_parallel_latency_multiplier_applied(self):
+        planner = build_planner(model_names=("dsr1-qwen-14b",),
+                                budget_aware_model=None,
+                                parallel_factors=(16,))
+        wide = [c for c in planner.candidates if c.parallel == 16]
+        narrow = [c for c in planner.candidates if c.parallel == 1
+                  and c.control.enforces_budget]
+        assert wide and narrow
+        by_label = {c.control.label: c for c in narrow}
+        for candidate in wide:
+            base = by_label[candidate.control.label]
+            assert (candidate.predicted_latency(128)
+                    > base.predicted_latency(128))
+            assert candidate.parallel_latency_multiplier > 1.0
+
+    def test_energy_cap_cascades_to_smaller_configs(self):
+        planner = build_planner(
+            model_names=("dsr1-qwen-1.5b", "dsr1-qwen-14b"),
+            budget_aware_model=None)
+        unconstrained = planner.plan(300.0)
+        tight = planner.plan(300.0, max_energy_j=100.0)
+        assert tight.feasible
+        energy = tight.chosen.predicted_energy_j(128)
+        assert energy is not None and energy <= 100.0
+        assert tight.predicted_accuracy < unconstrained.predicted_accuracy
+
+    def test_bad_energy_cap_rejected(self, planner):
+        with pytest.raises(ValueError):
+            planner.plan(10.0, max_energy_j=-1.0)
+
+    def test_models_without_profile_skipped(self):
+        # deepscaler has no naturalplan profile; builder must not crash.
+        planner = build_planner(
+            model_names=("dsr1-qwen-14b", "deepscaler-1.5b"),
+            benchmark="naturalplan-calendar",
+            budget_aware_model=None,
+        )
+        assert all("DeepScaleR" not in c.label for c in planner.candidates)

@@ -1,0 +1,112 @@
+"""Tests for the analytical power and energy model forms."""
+
+import numpy as np
+import pytest
+
+from repro.core.energy_model import (
+    LogEnergyPerTokenModel,
+    PiecewiseEnergyPerTokenModel,
+    TotalEnergyModel,
+    exp_decay_energy,
+)
+from repro.core.power_model import (
+    DECODE_PLATEAU_TOKENS,
+    DECODE_PLATEAU_W,
+    PiecewiseLogPowerModel,
+    constant_power,
+)
+
+
+class TestPiecewiseLogPower:
+    def test_constant_below_threshold(self):
+        model = PiecewiseLogPowerModel(u=5.9, v=64, w=8.8, x0=-30.0)
+        assert model(10) == model(64) == 5.9
+
+    def test_log_above_threshold(self):
+        model = PiecewiseLogPowerModel(u=5.9, v=64, w=8.8, x0=-30.0)
+        assert model(512) == pytest.approx(8.8 * np.log(512) - 30.0)
+
+    def test_vectorized(self):
+        model = PiecewiseLogPowerModel(u=5.9, v=64, w=8.8, x0=-30.0)
+        out = model(np.array([10.0, 1000.0]))
+        assert out.shape == (2,)
+
+    def test_rejects_non_positive_lengths(self):
+        model = constant_power(5.0)
+        with pytest.raises(ValueError):
+            model(0)
+
+    def test_constant_model_flag(self):
+        assert constant_power(5.6).is_constant
+        assert not PiecewiseLogPowerModel(5.9, 64, 8.8, -30.0).is_constant
+
+    def test_paper_plateau_constants(self):
+        assert DECODE_PLATEAU_W == 5.9
+        assert DECODE_PLATEAU_TOKENS == 64
+
+
+class TestPiecewiseEnergy:
+    @pytest.fixture()
+    def table20_8b(self):
+        # Table XX, 8B row.
+        return PiecewiseEnergyPerTokenModel(
+            amplitude=0.15871, decay=0.03240, offset=0.00553,
+            threshold=640, log_slope=0.01233, log_intercept=-0.07349,
+        )
+
+    def test_decays_at_short_lengths(self, table20_8b):
+        assert table20_8b(16) > table20_8b(300)
+
+    def test_log_regime_beyond_threshold(self, table20_8b):
+        assert table20_8b(4096) > table20_8b(700)
+
+    def test_never_negative(self, table20_8b):
+        grid = np.geomspace(1, 8192, 100)
+        assert (np.asarray(table20_8b(grid)) >= 0).all()
+
+    def test_total_energy_scales_with_tokens(self, table20_8b):
+        assert table20_8b.total_energy(1000) > table20_8b.total_energy(100)
+
+    def test_pure_exp_decay_constructor(self):
+        model = exp_decay_energy(0.073, 0.032, 0.0009)
+        assert model(50) > model(5000)
+        assert model(5000) == pytest.approx(0.0009, rel=0.01)
+
+    def test_rejects_non_positive(self, table20_8b):
+        with pytest.raises(ValueError):
+            table20_8b(0)
+
+
+class TestLogEnergy:
+    def test_log_shape(self):
+        model = LogEnergyPerTokenModel(alpha=0.555, beta=0.324)
+        assert model(1024) > model(128)
+
+    def test_floor_prevents_negative(self):
+        model = LogEnergyPerTokenModel(alpha=1.0, beta=-10.0)
+        assert model(1) == 0.0
+
+    def test_total_energy(self):
+        model = LogEnergyPerTokenModel(alpha=0.0, beta=2.0)
+        assert float(model.total_energy(100)) == pytest.approx(200.0)
+
+
+class TestTotalEnergy:
+    def test_composition(self):
+        total = TotalEnergyModel(
+            exp_decay_energy(0.1, 0.01, 0.01),
+            LogEnergyPerTokenModel(alpha=0.5, beta=0.3),
+        )
+        value = float(total(512, 512))
+        assert value == pytest.approx(
+            float(total.prefill.total_energy(512))
+            + float(total.decode.total_energy(512)))
+
+    def test_decode_dominates_for_reasoning_shapes(self):
+        total = TotalEnergyModel(
+            exp_decay_energy(0.1, 0.01, 0.01),
+            LogEnergyPerTokenModel(alpha=0.5, beta=0.3),
+        )
+        prefill = float(total.prefill.total_energy(150))
+        decode = float(total.decode.total_energy(800))
+        assert decode > 10 * prefill

@@ -1,0 +1,87 @@
+"""Tests for held-out model validation (Tables VI and VIII protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.core.characterize import characterize_model
+from repro.core.validation import (
+    measure_held_out,
+    sample_held_out_shapes,
+    validate_energy_model,
+    validate_latency_model,
+)
+from repro.engine.engine import EngineConfig, InferenceEngine
+from repro.models.registry import get_model
+
+
+@pytest.fixture(scope="module")
+def characterization():
+    return characterize_model(get_model("dsr1-llama-8b"), power_samples=1)
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    rng = np.random.default_rng(7)
+    inputs, outputs = sample_held_out_shapes(rng, 40)
+    engine = InferenceEngine(get_model("dsr1-llama-8b"))
+    return measure_held_out(engine, inputs, outputs)
+
+
+class TestHeldOutMeasurement:
+    def test_shapes(self, measurements):
+        assert measurements.input_lens.shape == (40,)
+        assert measurements.decode_seconds.shape == (40,)
+
+    def test_totals_compose(self, measurements):
+        assert np.allclose(
+            measurements.total_seconds,
+            measurements.prefill_seconds + measurements.decode_seconds)
+        assert np.allclose(
+            measurements.total_energy_j,
+            measurements.prefill_energy_j + measurements.decode_energy_j)
+
+    def test_misaligned_rejected(self):
+        engine = InferenceEngine(get_model("dsr1-qwen-1.5b"))
+        with pytest.raises(ValueError):
+            measure_held_out(engine, np.array([10]), np.array([10, 20]))
+
+    def test_noise_free_mode(self):
+        engine = InferenceEngine(get_model("dsr1-qwen-1.5b"))
+        a = measure_held_out(engine, np.array([100]), np.array([100]),
+                             timing_noise_std=0.0)
+        b = measure_held_out(engine, np.array([100]), np.array([100]),
+                             timing_noise_std=0.0, seed=99)
+        assert a.decode_seconds[0] == b.decode_seconds[0]
+
+    def test_shapes_sampler_ranges(self, rng):
+        inputs, outputs = sample_held_out_shapes(rng, 50)
+        assert inputs.min() >= 32 and inputs.max() <= 4096
+        assert outputs.min() >= 32 and outputs.max() <= 4096
+
+
+class TestValidationReports:
+    def test_latency_mape_under_2pct_total(self, characterization, measurements):
+        # Table VI: total MAPE under 2% across all models.
+        report = validate_latency_model("8b", characterization.latency,
+                                        measurements)
+        assert report.total_mape < 2.0
+        assert report.decode_mape < 2.0
+
+    def test_prefill_mape_larger_due_to_padding(self, characterization,
+                                                measurements):
+        # Table VI: prefill MAPE is several percent (padding mismatch).
+        report = validate_latency_model("8b", characterization.latency,
+                                        measurements)
+        assert report.prefill_mape > report.decode_mape
+
+    def test_energy_mape_moderate(self, characterization, measurements):
+        # Table VIII: ~6% in the paper; single-digit here.
+        report = validate_energy_model("8b", characterization.energy,
+                                       measurements)
+        assert report.decode_mape < 10.0
+        assert report.total_mape < 10.0
+
+    def test_model_name_carried(self, characterization, measurements):
+        report = validate_latency_model("my-model", characterization.latency,
+                                        measurements)
+        assert report.model == "my-model"

@@ -1,0 +1,165 @@
+"""Integration tests for the inference engine over the hardware model."""
+
+import numpy as np
+import pytest
+
+from repro.engine.engine import EngineConfig, InferenceEngine
+from repro.engine.frameworks import available_frameworks, framework_profile
+from repro.engine.request import GenerationRequest
+from repro.models.registry import get_model
+
+
+class TestSingleRequest:
+    def test_deterministic(self, engine_8b):
+        request = GenerationRequest(0, 100, 300)
+        a = engine_8b.generate(request)
+        b = engine_8b.generate(request)
+        assert a.total_seconds == b.total_seconds
+        assert a.energy.total_energy_joules == b.energy.total_energy_joules
+
+    def test_tbt_matches_paper(self, engine_8b):
+        result = engine_8b.generate(GenerationRequest(0, 512, 256))
+        tbt = result.energy.decode_seconds / 256
+        assert tbt == pytest.approx(0.092, rel=0.06)
+
+    def test_decode_dominates_latency(self, engine_8b):
+        # Takeaway #2: decode is >99% of reasoning inference time.
+        result = engine_8b.generate(GenerationRequest(0, 150, 800))
+        assert result.decode_seconds / result.total_seconds > 0.99
+
+    def test_truncation_flag(self, engine_8b):
+        result = engine_8b.generate(
+            GenerationRequest(0, 100, 500, max_new_tokens=128))
+        assert result.truncated
+        assert result.output_tokens == 128
+
+    def test_natural_stop_not_truncated(self, engine_8b):
+        result = engine_8b.generate(
+            GenerationRequest(0, 100, 100, max_new_tokens=128))
+        assert not result.truncated
+        assert result.output_tokens == 100
+
+    def test_energy_positive_and_consistent(self, engine_8b):
+        result = engine_8b.generate(GenerationRequest(0, 100, 200))
+        report = result.energy
+        assert report.total_energy_joules > 0
+        assert report.total_energy_joules == pytest.approx(
+            report.prefill_energy_joules + report.decode_energy_joules)
+
+    def test_mean_power_within_envelope(self, engine_8b):
+        result = engine_8b.generate(GenerationRequest(0, 100, 400))
+        assert 0 < result.energy.mean_power_w <= engine_8b.soc.power_cap_w
+
+    def test_longer_output_longer_latency(self, engine_8b):
+        short = engine_8b.generate(GenerationRequest(0, 100, 100))
+        long = engine_8b.generate(GenerationRequest(0, 100, 400))
+        assert long.decode_seconds > short.decode_seconds
+
+    def test_kv_cache_released_after_generate(self, engine_8b):
+        used_before = engine_8b.kv_cache.used_blocks
+        engine_8b.generate(GenerationRequest(0, 100, 200))
+        assert engine_8b.kv_cache.used_blocks == used_before
+
+
+class TestParallelScalingBehaviour:
+    def test_prefill_runs_once(self, engine_1p5b):
+        single = engine_1p5b.generate(GenerationRequest(0, 200, 128, n=1))
+        parallel = engine_1p5b.generate(GenerationRequest(0, 200, 128, n=16))
+        assert parallel.prefill_seconds == pytest.approx(single.prefill_seconds)
+
+    def test_latency_grows_slowly_with_sf(self, engine_1p5b):
+        # Fig. 10a: ~2x decode latency from SF=1 to SF=64.
+        single = engine_1p5b.generate(GenerationRequest(0, 200, 128, n=1))
+        sf64 = engine_1p5b.generate(GenerationRequest(0, 200, 128, n=64))
+        ratio = sf64.decode_seconds / single.decode_seconds
+        assert 1.4 < ratio < 2.6
+
+    def test_energy_grows_with_sf(self, engine_1p5b):
+        single = engine_1p5b.generate(GenerationRequest(0, 200, 128, n=1))
+        sf16 = engine_1p5b.generate(GenerationRequest(0, 200, 128, n=16))
+        assert sf16.energy.total_energy_joules > single.energy.total_energy_joules
+
+    def test_gpu_busy_rises_with_sf(self, engine_1p5b):
+        single = engine_1p5b.generate(GenerationRequest(0, 200, 128, n=1))
+        sf16 = engine_1p5b.generate(GenerationRequest(0, 200, 128, n=16))
+        assert sf16.gpu_busy > single.gpu_busy
+
+    def test_dram_write_util_below_10pct(self, engine_1p5b):
+        # The paper observes write bandwidth stays below ~10%.
+        result = engine_1p5b.generate(GenerationRequest(0, 200, 128, n=16))
+        assert result.dram_write_util < 0.10
+
+    def test_staggered_sample_lengths(self, engine_1p5b):
+        result = engine_1p5b.generate(GenerationRequest(
+            0, 200, 128, n=3, sample_natural_lengths=(64, 96, 128)))
+        assert result.total_output_tokens == 64 + 96 + 128
+
+
+class TestBatchRuns:
+    def test_token_conservation(self, engine_1p5b):
+        requests = [GenerationRequest(i, 100, 200) for i in range(6)]
+        report = engine_1p5b.run_batch(requests, max_batch_size=3)
+        assert report.total_output_tokens == 6 * 200
+        assert report.total_tokens == 6 * 300
+
+    def test_batching_reduces_wallclock(self, engine_1p5b):
+        requests = [GenerationRequest(i, 100, 200) for i in range(8)]
+        serial = engine_1p5b.run_batch(requests, max_batch_size=1)
+        batched = engine_1p5b.run_batch(requests, max_batch_size=8)
+        assert batched.wallclock_seconds < serial.wallclock_seconds / 2
+
+    def test_results_returned_per_request(self, engine_1p5b):
+        requests = [GenerationRequest(i, 100, 100 + 10 * i) for i in range(4)]
+        report = engine_1p5b.run_batch(requests, max_batch_size=4)
+        assert len(report.results) == 4
+        assert [r.request_id for r in report.results] == [0, 1, 2, 3]
+
+    def test_earlier_finishers_have_lower_latency(self, engine_1p5b):
+        requests = [GenerationRequest(0, 100, 64), GenerationRequest(1, 100, 256)]
+        report = engine_1p5b.run_batch(requests, max_batch_size=2)
+        short, long = report.results
+        assert short.decode_seconds < long.decode_seconds
+
+    def test_throughput_positive(self, engine_1p5b):
+        requests = [GenerationRequest(i, 100, 100) for i in range(3)]
+        report = engine_1p5b.run_batch(requests, max_batch_size=3)
+        assert report.tokens_per_second > 0
+
+
+class TestEngineConstruction:
+    def test_oom_model_rejected(self, orin):
+        from dataclasses import replace
+        giant = replace(get_model("dsr1-qwen-14b"), name="giant",
+                        num_layers=300)
+        with pytest.raises(MemoryError):
+            InferenceEngine(giant, soc=orin)
+
+    def test_context_window_enforced(self, model_8b):
+        from dataclasses import replace
+        tiny = replace(get_model("dsr1-qwen-1.5b"), name="tiny-ctx",
+                       max_context_tokens=256)
+        engine = InferenceEngine(tiny)
+        with pytest.raises(ValueError, match="context"):
+            engine.generate(GenerationRequest(0, 200, 200))
+        # Within the window is fine.
+        engine.generate(GenerationRequest(0, 100, 100))
+
+    def test_framework_profiles_exist(self):
+        assert set(available_frameworks()) == {"hft", "trt-llm", "vllm"}
+
+    def test_framework_aliases(self):
+        assert framework_profile("transformers").name.startswith("HuggingFace")
+        assert framework_profile("trt").version == "0.12"
+
+    def test_unknown_framework(self):
+        with pytest.raises(KeyError):
+            framework_profile("sglang")
+
+    def test_hft_slower_than_vllm(self, model_8b):
+        vllm = InferenceEngine(model_8b, config=EngineConfig(framework="vllm"))
+        hft = InferenceEngine(model_8b, config=EngineConfig(framework="hft"))
+        request = GenerationRequest(0, 16, 128)
+        ratio = (hft.generate(request).total_seconds
+                 / vllm.generate(request).total_seconds)
+        # Table IX: 1.11-1.13x.
+        assert 1.05 < ratio < 1.25

@@ -1,0 +1,115 @@
+"""Tests for the paged KV cache."""
+
+import pytest
+
+from repro.engine.kv_cache import KVCacheConfig, KVCacheExhausted, PagedKVCache
+
+
+@pytest.fixture()
+def cache():
+    # 100 blocks of 16 tokens at 1000 bytes/token.
+    return PagedKVCache(KVCacheConfig(
+        bytes_per_token=1000.0, capacity_bytes=100 * 16 * 1000.0,
+    ))
+
+
+class TestGeometry:
+    def test_total_blocks(self, cache):
+        assert cache.config.total_blocks == 100
+
+    def test_blocks_for(self, cache):
+        assert cache.blocks_for(0) == 0
+        assert cache.blocks_for(1) == 1
+        assert cache.blocks_for(16) == 1
+        assert cache.blocks_for(17) == 2
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            PagedKVCache(KVCacheConfig(bytes_per_token=0, capacity_bytes=100))
+        with pytest.raises(ValueError):
+            PagedKVCache(KVCacheConfig(bytes_per_token=1, capacity_bytes=100,
+                                       block_tokens=0))
+
+
+class TestAllocation:
+    def test_allocate_and_release(self, cache):
+        cache.allocate_sequence(1, 100)
+        assert cache.used_blocks == cache.blocks_for(100)
+        cache.release_sequence(1)
+        assert cache.used_blocks == 0
+
+    def test_duplicate_sequence_rejected(self, cache):
+        cache.allocate_sequence(1, 10)
+        with pytest.raises(ValueError):
+            cache.allocate_sequence(1, 10)
+
+    def test_exhaustion(self, cache):
+        cache.allocate_sequence(1, 100 * 16)
+        with pytest.raises(KVCacheExhausted):
+            cache.allocate_sequence(2, 16)
+
+    def test_release_unknown_is_noop(self, cache):
+        cache.release_sequence(99)
+        assert cache.used_blocks == 0
+
+    def test_used_bytes(self, cache):
+        cache.allocate_sequence(1, 32)
+        assert cache.used_bytes == pytest.approx(2 * 16 * 1000.0)
+
+
+class TestGrowth:
+    def test_append_within_block_is_free(self, cache):
+        cache.allocate_sequence(1, 10)
+        before = cache.used_blocks
+        cache.append_token(1)
+        assert cache.used_blocks == before
+
+    def test_append_across_block_boundary(self, cache):
+        cache.allocate_sequence(1, 16)
+        before = cache.used_blocks
+        cache.append_token(1)
+        assert cache.used_blocks == before + 1
+
+    def test_append_unknown_raises(self, cache):
+        with pytest.raises(KeyError):
+            cache.append_token(7)
+
+    def test_bulk_extend_matches_appends(self, cache):
+        cache.allocate_sequence(1, 10)
+        cache.allocate_sequence(2, 10)
+        cache.extend(1, 100)
+        for _ in range(100):
+            cache.append_token(2)
+        assert cache.blocks_for(cache.sequence_tokens(1)) == cache.blocks_for(
+            cache.sequence_tokens(2))
+
+    def test_extend_exhaustion(self, cache):
+        cache.allocate_sequence(1, 16)
+        with pytest.raises(KVCacheExhausted):
+            cache.extend(1, 101 * 16)
+
+    def test_extend_negative_rejected(self, cache):
+        cache.allocate_sequence(1, 16)
+        with pytest.raises(ValueError):
+            cache.extend(1, -1)
+
+    def test_append_when_full_raises(self, cache):
+        cache.allocate_sequence(1, 100 * 16)
+        with pytest.raises(KVCacheExhausted):
+            cache.append_token(1)
+
+
+class TestCapacityPlanning:
+    def test_max_sequences(self, cache):
+        # 100 blocks, each 640-token sequence needs 40 blocks -> 2 fit.
+        assert cache.max_sequences(640) == 2
+
+    def test_max_sequences_tiny_context(self, cache):
+        assert cache.max_sequences(1) == 100
+
+    def test_release_returns_capacity(self, cache):
+        cache.allocate_sequence(1, 640)
+        cache.allocate_sequence(2, 640)
+        cache.release_sequence(1)
+        cache.allocate_sequence(3, 640)  # must not raise
+        assert cache.used_blocks == 80

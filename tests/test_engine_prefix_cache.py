@@ -1,0 +1,90 @@
+"""Tests for prefix caching."""
+
+import pytest
+
+from repro.engine.prefix_cache import (
+    PrefixCache,
+    prefill_with_prefix,
+    prefix_caching_speedup,
+)
+
+
+@pytest.fixture()
+def cache():
+    # Room for ~1000 cached tokens at 1 kB/token.
+    return PrefixCache(capacity_bytes=1_000_000, kv_bytes_per_token=1000.0)
+
+
+class TestPrefixCacheLru:
+    def test_insert_and_lookup(self, cache):
+        cache.insert("few-shot-v1", 500)
+        entry = cache.lookup("few-shot-v1")
+        assert entry is not None
+        assert entry.token_count == 500
+
+    def test_miss_returns_none(self, cache):
+        assert cache.lookup("nope") is None
+
+    def test_eviction_order_is_lru(self, cache):
+        cache.insert("a", 400)
+        cache.insert("b", 400)
+        cache.lookup("a")          # refresh a
+        cache.insert("c", 400)     # evicts b
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+
+    def test_used_bytes(self, cache):
+        cache.insert("a", 300)
+        assert cache.used_bytes == pytest.approx(300_000)
+
+    def test_oversized_prefix_rejected(self, cache):
+        with pytest.raises(ValueError):
+            cache.insert("huge", 2000)
+
+    def test_explicit_evict(self, cache):
+        cache.insert("a", 100)
+        cache.evict("a")
+        assert len(cache) == 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            PrefixCache(0, 1000.0)
+        with pytest.raises(ValueError):
+            PrefixCache(1000.0, 0)
+
+
+class TestSuffixPrefill:
+    def test_warm_prefix_is_faster(self, engine_8b):
+        cold = engine_8b.kernels.prefill(engine_8b.profile, 2048).seconds
+        warm = prefill_with_prefix(engine_8b, 2048, 1792).seconds
+        assert warm < cold
+
+    def test_speedup_grows_with_cached_share(self, engine_8b):
+        small = prefix_caching_speedup(engine_8b, 2048, 512)
+        large = prefix_caching_speedup(engine_8b, 2048, 1920)
+        assert large > small > 1.0
+
+    def test_natural_plan_shape_benefit(self, engine_8b):
+        # ~1.8k-token few-shot prompt with ~1.6k shared: multi-x prefill win.
+        assert prefix_caching_speedup(engine_8b, 1800, 1600) > 1.5
+
+    def test_zero_cache_equals_baseline(self, engine_8b):
+        cold = engine_8b.kernels.prefill(engine_8b.profile, 1024).seconds
+        assert prefill_with_prefix(engine_8b, 1024, 0).seconds == pytest.approx(
+            cold)
+
+    def test_weight_stream_floor(self, engine_8b):
+        # Even a fully warm prefix still streams the weights once.
+        calib = engine_8b.calibration
+        stream_s = engine_8b.profile.weight_bytes / (
+            engine_8b.soc.dram_bandwidth
+            * calib.prefill_weight_stream_efficiency)
+        warm = prefill_with_prefix(engine_8b, 2048, 2047).seconds
+        assert warm > stream_s
+
+    def test_bounds_checked(self, engine_8b):
+        with pytest.raises(ValueError):
+            prefill_with_prefix(engine_8b, 100, 100)
+        with pytest.raises(ValueError):
+            prefill_with_prefix(engine_8b, 100, -1)

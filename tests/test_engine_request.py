@@ -1,0 +1,69 @@
+"""Tests for request and result types."""
+
+import pytest
+
+from repro.engine.request import GenerationRequest, GenerationResult, SequenceResult
+from repro.hardware.telemetry import EnergyReport
+
+
+class TestGenerationRequest:
+    def test_stop_at_natural_length_without_budget(self):
+        request = GenerationRequest(0, prompt_tokens=10, natural_length=200)
+        assert request.stop_lengths() == (200,)
+
+    def test_budget_truncates(self):
+        request = GenerationRequest(0, 10, 200, max_new_tokens=128)
+        assert request.stop_lengths() == (128,)
+
+    def test_budget_not_reached(self):
+        request = GenerationRequest(0, 10, 50, max_new_tokens=128)
+        assert request.stop_lengths() == (50,)
+
+    def test_parallel_samples_default_same_length(self):
+        request = GenerationRequest(0, 10, 100, n=4)
+        assert request.stop_lengths() == (100,) * 4
+
+    def test_parallel_samples_custom_lengths(self):
+        request = GenerationRequest(0, 10, 100, n=3,
+                                    sample_natural_lengths=(80, 100, 120),
+                                    max_new_tokens=110)
+        assert request.stop_lengths() == (80, 100, 110)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(prompt_tokens=0, natural_length=10),
+        dict(prompt_tokens=10, natural_length=0),
+        dict(prompt_tokens=10, natural_length=10, max_new_tokens=0),
+        dict(prompt_tokens=10, natural_length=10, n=0),
+        dict(prompt_tokens=10, natural_length=10, n=2,
+             sample_natural_lengths=(5,)),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            GenerationRequest(0, **kwargs)
+
+
+class TestGenerationResult:
+    def _result(self):
+        return GenerationResult(
+            request_id=0,
+            prompt_tokens=100,
+            sequences=(SequenceResult(128, True), SequenceResult(64, False)),
+            prefill_seconds=0.2,
+            decode_seconds=10.0,
+            energy=EnergyReport(total_seconds=10.2, total_energy_joules=240.0),
+            batch=2,
+        )
+
+    def test_total_seconds(self):
+        assert self._result().total_seconds == pytest.approx(10.2)
+
+    def test_primary_sequence(self):
+        result = self._result()
+        assert result.output_tokens == 128
+        assert result.truncated
+
+    def test_total_output_tokens(self):
+        assert self._result().total_output_tokens == 192
+
+    def test_tokens_per_second(self):
+        assert self._result().tokens_per_second == pytest.approx(12.8)

@@ -1,0 +1,102 @@
+"""Tests for the batch scheduler and sampler helpers."""
+
+import numpy as np
+import pytest
+
+from repro.engine.kv_cache import KVCacheConfig, PagedKVCache
+from repro.engine.request import GenerationRequest
+from repro.engine.sampler import SamplingParams, active_sequences_per_step
+from repro.engine.scheduler import BatchScheduler
+
+
+def _request(request_id, n=1, prompt=50, natural=100):
+    return GenerationRequest(request_id, prompt, natural, n=n)
+
+
+class TestBatchScheduler:
+    def test_single_request_single_batch(self):
+        scheduler = BatchScheduler(max_batch_size=4)
+        scheduler.submit(_request(0))
+        batch = scheduler.next_batch()
+        assert batch.num_sequences == 1
+        assert scheduler.next_batch() is None
+
+    def test_packs_up_to_cap(self):
+        scheduler = BatchScheduler(max_batch_size=3)
+        scheduler.submit_all([_request(i) for i in range(5)])
+        batches = scheduler.drain()
+        assert [b.num_sequences for b in batches] == [3, 2]
+
+    def test_preserves_order(self):
+        scheduler = BatchScheduler(max_batch_size=2)
+        scheduler.submit_all([_request(i) for i in range(4)])
+        batches = scheduler.drain()
+        ids = [r.request_id for b in batches for r in b.requests]
+        assert ids == [0, 1, 2, 3]
+
+    def test_oversize_request_runs_alone(self):
+        scheduler = BatchScheduler(max_batch_size=2)
+        scheduler.submit(_request(0, n=8))
+        batch = scheduler.next_batch()
+        assert batch.num_sequences == 8
+
+    def test_multi_sample_requests_counted(self):
+        scheduler = BatchScheduler(max_batch_size=4)
+        scheduler.submit_all([_request(0, n=3), _request(1, n=3)])
+        batches = scheduler.drain()
+        assert [b.num_sequences for b in batches] == [3, 3]
+
+    def test_kv_cache_limits_batch(self):
+        # Cache fits exactly one 150-token sequence at a time.
+        cache = PagedKVCache(KVCacheConfig(
+            bytes_per_token=1000.0, capacity_bytes=160 * 1000.0,
+        ))
+        scheduler = BatchScheduler(max_batch_size=8, kv_cache=cache)
+        scheduler.submit_all([_request(i) for i in range(3)])
+        batches = scheduler.drain()
+        assert [b.num_sequences for b in batches] == [1, 1, 1]
+
+    def test_pending_count(self):
+        scheduler = BatchScheduler(max_batch_size=1)
+        scheduler.submit_all([_request(i) for i in range(3)])
+        assert scheduler.pending == 3
+        scheduler.next_batch()
+        assert scheduler.pending == 2
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            BatchScheduler(max_batch_size=0)
+
+
+class TestSamplingParams:
+    def test_defaults_valid(self):
+        params = SamplingParams()
+        assert params.n == 1
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(temperature=-1.0),
+        dict(top_p=0.0),
+        dict(top_p=1.5),
+        dict(max_tokens=0),
+        dict(n=0),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SamplingParams(**kwargs)
+
+
+class TestActiveSequences:
+    def test_uniform_stops(self):
+        active = active_sequences_per_step(np.array([4, 4, 4]), 4)
+        assert list(active) == [3, 3, 3, 3]
+
+    def test_staggered_stops(self):
+        active = active_sequences_per_step(np.array([1, 2, 4]), 4)
+        assert list(active) == [3, 2, 1, 1]
+
+    def test_zero_steps(self):
+        assert active_sequences_per_step(np.array([1]), 0).size == 0
+
+    def test_batch_drains_to_zero_beyond_last_stop(self):
+        active = active_sequences_per_step(np.array([2]), 3)
+        assert list(active) == [1, 1, 0]

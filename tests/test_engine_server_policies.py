@@ -1,0 +1,84 @@
+"""Tests for deadline-aware serving policies (FCFS vs EDF)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.engine import InferenceEngine
+from repro.engine.request import GenerationRequest
+from repro.engine.server import SCHEDULING_POLICIES, ServingSimulator
+from repro.models.registry import get_model
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return InferenceEngine(get_model("dsr1-qwen-1.5b"))
+
+
+def _burst(count, output=200):
+    """A simultaneous burst with mixed deadlines."""
+    requests = [GenerationRequest(i, 100, output) for i in range(count)]
+    arrivals = np.zeros(count)
+    # Alternating urgent (short) and relaxed (long) deadlines.
+    deadlines = np.where(np.arange(count) % 2 == 0, 8.0, 120.0)
+    return requests, arrivals, deadlines
+
+
+class TestPolicies:
+    def test_known_policies(self):
+        assert SCHEDULING_POLICIES == ("fcfs", "edf")
+
+    def test_unknown_policy_rejected(self, engine):
+        with pytest.raises(ValueError):
+            ServingSimulator(engine, policy="lifo")
+
+    def test_edf_requires_deadlines(self, engine):
+        simulator = ServingSimulator(engine, max_batch_size=2, policy="edf")
+        requests, arrivals, _ = _burst(4)
+        with pytest.raises(ValueError):
+            simulator.run(requests, arrivals)
+
+    def test_deadline_alignment_checked(self, engine):
+        simulator = ServingSimulator(engine, max_batch_size=2)
+        requests, arrivals, _ = _burst(4)
+        with pytest.raises(ValueError):
+            simulator.run(requests, arrivals, deadlines=np.zeros(3))
+
+
+class TestEdfBehaviour:
+    def test_edf_serves_urgent_requests_first(self, engine):
+        requests, arrivals, deadlines = _burst(8)
+        simulator = ServingSimulator(engine, max_batch_size=2, policy="edf")
+        report = simulator.run(requests, arrivals, deadlines)
+        urgent = [r for r in report.served if r.deadline_s == 8.0]
+        relaxed = [r for r in report.served if r.deadline_s == 120.0]
+        assert (np.mean([r.start_s for r in urgent])
+                < np.mean([r.start_s for r in relaxed]))
+
+    def test_edf_beats_fcfs_on_hit_rate(self, engine):
+        requests, arrivals, deadlines = _burst(10)
+        fcfs = ServingSimulator(engine, max_batch_size=2, policy="fcfs").run(
+            requests, arrivals, deadlines)
+        edf = ServingSimulator(engine, max_batch_size=2, policy="edf").run(
+            requests, arrivals, deadlines)
+        assert edf.deadline_hit_rate > fcfs.deadline_hit_rate
+
+    def test_both_policies_serve_everyone(self, engine):
+        requests, arrivals, deadlines = _burst(6)
+        for policy in SCHEDULING_POLICIES:
+            simulator = ServingSimulator(engine, max_batch_size=2,
+                                         policy=policy)
+            report = simulator.run(requests, arrivals, deadlines)
+            assert report.completed == 6
+
+    def test_hit_rate_without_deadlines_is_one(self, engine):
+        requests, arrivals, _ = _burst(4)
+        simulator = ServingSimulator(engine, max_batch_size=4)
+        report = simulator.run(requests, arrivals)
+        assert report.deadline_hit_rate == 1.0
+
+    def test_met_deadline_field(self, engine):
+        requests, arrivals, deadlines = _burst(4, output=64)
+        simulator = ServingSimulator(engine, max_batch_size=4, policy="edf")
+        report = simulator.run(requests, arrivals, deadlines)
+        for request in report.served:
+            assert request.met_deadline is not None

@@ -1,0 +1,68 @@
+"""Tests for streaming generation metrics (TTFT / TPOT)."""
+
+import pytest
+
+from repro.engine.request import GenerationRequest
+from repro.engine.streaming import stream, streaming_metrics
+
+
+class TestStream:
+    def test_one_event_per_token(self, engine_8b):
+        events = list(stream(engine_8b, GenerationRequest(0, 100, 32)))
+        assert len(events) == 32
+        assert [e.index for e in events] == list(range(32))
+
+    def test_timestamps_strictly_increase(self, engine_8b):
+        events = list(stream(engine_8b, GenerationRequest(0, 100, 32)))
+        times = [e.time_s for e in events]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_only_last_event_final(self, engine_8b):
+        events = list(stream(engine_8b, GenerationRequest(0, 100, 16)))
+        assert not any(e.final for e in events[:-1])
+        assert events[-1].final
+
+    def test_budget_respected(self, engine_8b):
+        events = list(stream(engine_8b, GenerationRequest(
+            0, 100, 500, max_new_tokens=64)))
+        assert len(events) == 64
+
+    def test_parallel_requests_rejected(self, engine_8b):
+        with pytest.raises(ValueError):
+            list(stream(engine_8b, GenerationRequest(0, 100, 32, n=2)))
+
+
+class TestStreamingMetrics:
+    def test_ttft_includes_prefill_and_first_step(self, engine_8b):
+        metrics = streaming_metrics(engine_8b, GenerationRequest(0, 512, 64))
+        prefill = engine_8b.kernels.prefill(engine_8b.profile, 512).seconds
+        assert metrics.ttft_s > prefill
+        assert metrics.ttft_s < prefill + 0.2
+
+    def test_tpot_matches_tbt(self, engine_8b):
+        # Steady-state TPOT equals the paper's TBT (~0.092 s for the 8B).
+        metrics = streaming_metrics(engine_8b, GenerationRequest(0, 512, 128))
+        assert metrics.tpot_s == pytest.approx(0.092, rel=0.06)
+
+    def test_total_consistent_with_generate(self, engine_8b):
+        request = GenerationRequest(0, 150, 100)
+        metrics = streaming_metrics(engine_8b, request)
+        result = engine_8b.generate(request)
+        # Streaming excludes the framework's fixed overhead; within it.
+        assert metrics.total_s == pytest.approx(
+            result.total_seconds, abs=engine_8b.framework.fixed_overhead_s + 0.01)
+
+    def test_single_token_request(self, engine_8b):
+        metrics = streaming_metrics(engine_8b, GenerationRequest(0, 100, 1))
+        assert metrics.output_tokens == 1
+        assert metrics.tpot_s == 0.0
+
+    def test_decode_seconds_decomposition(self, engine_8b):
+        metrics = streaming_metrics(engine_8b, GenerationRequest(0, 100, 64))
+        assert metrics.decode_seconds == pytest.approx(
+            metrics.total_s - metrics.ttft_s)
+
+    def test_ttft_dominated_by_prefill_for_long_prompts(self, engine_8b):
+        short = streaming_metrics(engine_8b, GenerationRequest(0, 64, 16))
+        long = streaming_metrics(engine_8b, GenerationRequest(0, 4096, 16))
+        assert long.ttft_s > 3 * short.ttft_s

@@ -1,0 +1,103 @@
+"""Tests for Chrome-trace export and the new evaluator reporting."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.engine.request import GenerationRequest
+from repro.engine.trace import build_trace, save_trace
+from repro.evaluation.evaluator import Evaluator
+from repro.evaluation.metrics import bootstrap_confidence_interval
+from repro.generation.control import base_control
+from repro.models.registry import get_model
+
+
+class TestTraceExport:
+    def test_events_cover_all_phases(self, engine_8b):
+        events = build_trace(engine_8b, GenerationRequest(0, 200, 48))
+        spans = [e for e in events if e["ph"] == "X"]
+        counters = [e for e in events if e["ph"] == "C"]
+        assert spans[0]["name"] == "prefill"
+        assert any(e["name"].startswith("decode") for e in spans)
+        assert counters
+
+    def test_spans_are_contiguous(self, engine_8b):
+        events = build_trace(engine_8b, GenerationRequest(0, 200, 64))
+        spans = [e for e in events if e["ph"] == "X"]
+        for earlier, later in zip(spans, spans[1:]):
+            assert later["ts"] == pytest.approx(
+                earlier["ts"] + earlier["dur"], rel=1e-9)
+
+    def test_total_duration_matches_streaming(self, engine_8b):
+        from repro.engine.streaming import streaming_metrics
+        request = GenerationRequest(0, 200, 64)
+        events = build_trace(engine_8b, request)
+        spans = [e for e in events if e["ph"] == "X"]
+        total_us = spans[-1]["ts"] + spans[-1]["dur"]
+        metrics = streaming_metrics(engine_8b, request)
+        assert total_us / 1e6 == pytest.approx(metrics.total_s, rel=1e-6)
+
+    def test_save_trace_is_valid_json(self, engine_8b, tmp_path):
+        path = save_trace(engine_8b, GenerationRequest(0, 100, 32),
+                          tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"]
+        assert payload["otherData"]["model"] == "DSR1-Llama-8B"
+
+    def test_parallel_rejected(self, engine_8b):
+        with pytest.raises(ValueError):
+            build_trace(engine_8b, GenerationRequest(0, 100, 32, n=2))
+
+
+class TestSubjectBreakdown:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.workloads.mmlu_redux import mmlu_redux
+        evaluator = Evaluator(mmlu_redux(seed=0, size=400), seed=0)
+        return evaluator.evaluate(get_model("dsr1-llama-8b"), base_control())
+
+    def test_covers_all_subjects(self, result):
+        breakdown = result.accuracy_by_subject()
+        assert set(breakdown) == {"humanities", "social-sciences", "stem",
+                                  "professional"}
+
+    def test_subject_mean_matches_overall(self, result):
+        data = result.per_question
+        weighted = sum(
+            result.accuracy_by_subject()[s] * list(data.subjects).count(s)
+            for s in set(data.subjects)
+        ) / len(data.subjects)
+        assert weighted == pytest.approx(result.accuracy, abs=1e-9)
+
+    def test_stem_harder_than_humanities(self, result):
+        # The difficulty mix skews STEM hard (workloads.mmlu_redux).
+        breakdown = result.accuracy_by_subject()
+        assert breakdown["stem"] < breakdown["humanities"]
+
+    def test_sampled_accuracy_near_exact(self, result):
+        sampled = result.sampled_accuracy(seed=7)
+        assert sampled == pytest.approx(result.accuracy, abs=0.06)
+
+    def test_sampled_accuracy_deterministic(self, result):
+        assert result.sampled_accuracy(seed=3) == result.sampled_accuracy(seed=3)
+
+
+class TestBootstrapCi:
+    def test_contains_true_mean(self, rng):
+        values = rng.random(2000)
+        lo, hi = bootstrap_confidence_interval(values, seed=1)
+        assert lo < values.mean() < hi
+
+    def test_width_shrinks_with_n(self, rng):
+        small = rng.random(100)
+        large = rng.random(10_000)
+        lo_s, hi_s = bootstrap_confidence_interval(small, seed=1)
+        lo_l, hi_l = bootstrap_confidence_interval(large, seed=1)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval(np.array([]))
+        with pytest.raises(ValueError):
+            bootstrap_confidence_interval(np.ones(5), confidence=1.5)

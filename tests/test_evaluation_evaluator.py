@@ -1,0 +1,152 @@
+"""Tests for the benchmark evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.core.cost import CostModel
+from repro.evaluation.evaluator import Evaluator
+from repro.evaluation.metrics import mape, pareto_front_mask
+from repro.generation.control import (
+    base_control,
+    direct_control,
+    hard_budget,
+    nr_control,
+    soft_budget,
+)
+from repro.models.registry import get_model
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    from repro.workloads.mmlu_redux import mmlu_redux
+    return Evaluator(mmlu_redux(seed=0, size=600), seed=0)
+
+
+class TestAccuracyAnchors:
+    """Evaluated accuracies must land near the paper's Table X/XI rows."""
+
+    @pytest.mark.parametrize("model,control,expected,tol", [
+        ("dsr1-qwen-1.5b", base_control(), 0.383, 0.03),
+        ("dsr1-llama-8b", base_control(), 0.617, 0.03),
+        ("dsr1-qwen-14b", base_control(), 0.806, 0.04),
+        ("dsr1-llama-8b", hard_budget(128), 0.379, 0.02),
+        ("dsr1-qwen-14b", hard_budget(256), 0.586, 0.02),
+        ("dsr1-qwen-1.5b", nr_control(), 0.410, 0.02),
+        ("l1-max", hard_budget(128), 0.162, 0.03),
+        ("llama3.1-8b-it", direct_control(), 0.583, 0.02),
+    ])
+    def test_table_rows(self, evaluator, model, control, expected, tol):
+        result = evaluator.evaluate(get_model(model), control)
+        assert result.accuracy == pytest.approx(expected, abs=tol)
+
+    def test_token_means_match(self, evaluator):
+        result = evaluator.evaluate(get_model("dsr1-llama-8b"), base_control())
+        assert result.mean_output_tokens == pytest.approx(811.1, rel=0.10)
+
+    def test_hard_budget_truncates_tokens(self, evaluator):
+        result = evaluator.evaluate(get_model("dsr1-llama-8b"), hard_budget(128))
+        assert result.per_question.output_tokens.max() <= 140
+
+    def test_soft_budget_overshoots(self, evaluator):
+        result = evaluator.evaluate(get_model("dsr1-qwen-14b"), soft_budget(128))
+        # Paper: NC-128 on the 14B emits ~4.7x the nominal budget.
+        assert result.mean_output_tokens > 3 * 128
+
+
+class TestSystemMetrics:
+    def test_base_latency_matches_table_x(self, evaluator):
+        result = evaluator.evaluate(get_model("dsr1-llama-8b"), base_control())
+        assert result.mean_latency_seconds == pytest.approx(87.16, rel=0.25)
+
+    def test_latency_positive_per_question(self, evaluator):
+        result = evaluator.evaluate(get_model("dsr1-qwen-1.5b"), base_control())
+        assert (result.per_question.latency_seconds > 0).all()
+
+    def test_energy_positive_per_question(self, evaluator):
+        result = evaluator.evaluate(get_model("dsr1-qwen-1.5b"), base_control())
+        assert (result.per_question.energy_joules > 0).all()
+
+    def test_decode_dominates(self, evaluator):
+        result = evaluator.evaluate(get_model("dsr1-qwen-14b"), base_control())
+        assert result.prefill_to_decode_latency_ratio > 100
+
+    def test_cost_in_paper_band(self, evaluator):
+        result = evaluator.evaluate(get_model("dsr1-llama-8b"), base_control())
+        # Table X: $0.111 / 1M tokens.
+        assert result.cost_per_million_tokens == pytest.approx(0.111, rel=0.3)
+
+    def test_bigger_model_costs_more(self, evaluator):
+        small = evaluator.evaluate(get_model("dsr1-qwen-1.5b"), base_control())
+        large = evaluator.evaluate(get_model("dsr1-qwen-14b"), base_control())
+        assert large.cost_per_million_tokens > small.cost_per_million_tokens
+
+    def test_label_and_tps(self, evaluator):
+        result = evaluator.evaluate(get_model("dsr1-llama-8b"), base_control())
+        assert result.label == "DSR1-Llama-8B Base"
+        assert result.tokens_per_second == pytest.approx(10.0, rel=0.2)
+
+    def test_custom_cost_model(self):
+        from repro.workloads.mmlu_redux import mmlu_redux
+        bench = mmlu_redux(seed=0, size=100)
+        single = Evaluator(bench, cost_model=CostModel.single_stream())
+        batched = Evaluator(bench, cost_model=CostModel(serving_batch=30))
+        model = get_model("dsr1-qwen-1.5b")
+        assert (single.evaluate(model, base_control()).cost_per_million_tokens
+                > batched.evaluate(model, base_control()).cost_per_million_tokens)
+
+
+class TestDeterminismAndCaching:
+    def test_same_seed_same_result(self):
+        from repro.workloads.mmlu_redux import mmlu_redux
+        bench = mmlu_redux(seed=0, size=100)
+        a = Evaluator(bench, seed=5).evaluate(get_model("dsr1-llama-8b"),
+                                              base_control())
+        b = Evaluator(bench, seed=5).evaluate(get_model("dsr1-llama-8b"),
+                                              base_control())
+        assert a.accuracy == b.accuracy
+        assert a.mean_latency_seconds == b.mean_latency_seconds
+
+    def test_engine_cached_per_model(self, evaluator):
+        model = get_model("dsr1-llama-8b")
+        assert evaluator.engine_for(model) is evaluator.engine_for(model)
+
+
+class TestQuestionStatistics:
+    def test_shapes_and_ranges(self, evaluator):
+        p, w, g, det = evaluator.question_statistics(
+            get_model("dsr1-qwen-14b"), hard_budget(128))
+        n = len(evaluator.benchmark)
+        for arr in (p, w, g, det):
+            assert arr.shape == (n,)
+            assert (arr >= 0).all() and (arr <= 1).all()
+
+    def test_mean_p_matches_hard_curve(self, evaluator):
+        p, *_ = evaluator.question_statistics(
+            get_model("dsr1-qwen-14b"), hard_budget(128))
+        assert p.mean() == pytest.approx(0.461, abs=0.01)
+
+    def test_generous_budget_more_deterministic(self, evaluator):
+        *_, det_small = evaluator.question_statistics(
+            get_model("dsr1-qwen-1.5b"), hard_budget(128))
+        *_, det_large = evaluator.question_statistics(
+            get_model("dsr1-qwen-1.5b"), hard_budget(2048))
+        assert det_large.mean() > det_small.mean()
+
+
+class TestMetrics:
+    def test_mape_basic(self):
+        assert mape(np.array([1.1, 0.9]), np.array([1.0, 1.0])) == pytest.approx(10.0)
+
+    def test_mape_zero_measured_rejected(self):
+        with pytest.raises(ValueError):
+            mape(np.array([1.0]), np.array([0.0]))
+
+    def test_mape_misaligned(self):
+        with pytest.raises(ValueError):
+            mape(np.ones(2), np.ones(3))
+
+    def test_pareto_front_mask(self):
+        costs = np.array([1.0, 2.0, 3.0])
+        values = np.array([0.5, 0.4, 0.9])
+        mask = pareto_front_mask(costs, values)
+        assert list(mask) == [True, False, True]

@@ -1,0 +1,90 @@
+"""Tests for evaluation result export and registry cross-consistency."""
+
+import json
+
+import pytest
+
+from repro.evaluation.evaluator import Evaluator
+from repro.evaluation.export import (
+    QUESTION_COLUMNS,
+    read_questions_csv,
+    result_summary,
+    write_questions_csv,
+    write_summary_json,
+)
+from repro.generation.control import base_control, direct_control, standard_controls
+from repro.generation.length import LengthModel
+from repro.models.capability import has_profile, profiles_for_benchmark
+from repro.models.registry import get_model
+from repro.workloads.mmlu_redux import mmlu_redux
+
+
+@pytest.fixture(scope="module")
+def result():
+    evaluator = Evaluator(mmlu_redux(seed=0, size=120), seed=0)
+    return evaluator.evaluate(get_model("dsr1-llama-8b"), base_control())
+
+
+class TestExport:
+    def test_summary_fields(self, result):
+        summary = result_summary(result)
+        assert summary["config"] == "Base"
+        assert summary["accuracy"] == pytest.approx(result.accuracy)
+        assert "stem" in summary["accuracy_by_subject"]
+
+    def test_summary_json_round_trip(self, result, tmp_path):
+        path = write_summary_json([result], tmp_path / "summary.json")
+        loaded = json.loads(path.read_text())
+        assert len(loaded) == 1
+        assert loaded[0]["model"] == "dsr1-llama-8b"
+
+    def test_questions_csv_round_trip(self, result, tmp_path):
+        path = write_questions_csv(result, tmp_path / "questions.csv")
+        records = read_questions_csv(path)
+        assert len(records) == 120
+        assert records[0]["qid"] == 0
+        total_latency = sum(r["latency_seconds"] for r in records)
+        assert total_latency == pytest.approx(
+            float(result.per_question.latency_seconds.sum()), rel=1e-6)
+
+    def test_csv_has_documented_columns(self, result, tmp_path):
+        path = write_questions_csv(result, tmp_path / "questions.csv")
+        header = path.read_text().splitlines()[0].split(",")
+        assert tuple(header) == QUESTION_COLUMNS
+
+    def test_csv_types_preserved(self, result, tmp_path):
+        path = write_questions_csv(result, tmp_path / "questions.csv")
+        record = read_questions_csv(path)[0]
+        assert isinstance(record["truncated"], bool)
+        assert isinstance(record["output_tokens"], int)
+        assert 0.0 <= record["success_probability"] <= 1.0
+
+
+class TestRegistryConsistency:
+    """Capability profiles, length tables, and the evaluator must agree."""
+
+    def test_every_mmlu_redux_profile_has_lengths(self):
+        for profile in profiles_for_benchmark("mmlu-redux"):
+            model = get_model(profile.model)
+            lengths = LengthModel(model, "mmlu-redux")
+            # base_mean() must resolve for every profiled model.
+            assert lengths.base_mean() > 0
+
+    def test_standard_grid_evaluable_for_dsr1_models(self):
+        evaluator = Evaluator(mmlu_redux(seed=0, size=50), seed=0)
+        for name in ("dsr1-qwen-1.5b", "dsr1-llama-8b", "dsr1-qwen-14b"):
+            for control in standard_controls():
+                outcome = evaluator.evaluate(get_model(name), control)
+                assert 0.0 < outcome.accuracy < 1.0
+
+    def test_direct_models_evaluable(self):
+        evaluator = Evaluator(mmlu_redux(seed=0, size=50), seed=0)
+        for name in ("qwen2.5-7b-it", "gemma-7b-it", "llama3.1-8b-it",
+                     "qwen2.5-1.5b-it", "qwen2.5-14b-it"):
+            outcome = evaluator.evaluate(get_model(name), direct_control())
+            assert outcome.accuracy > 0.2
+
+    def test_all_mmlu_profiles_cover_awq_and_fp16(self):
+        for base in ("dsr1-qwen-1.5b", "dsr1-llama-8b", "dsr1-qwen-14b"):
+            assert has_profile(base, "mmlu")
+            assert has_profile(f"{base}-awq-w4", "mmlu")

@@ -1,0 +1,82 @@
+"""Evaluator tests on the non-MMLU workloads (math, planning)."""
+
+import pytest
+
+from repro.evaluation.evaluator import Evaluator
+from repro.generation.control import base_control, direct_control, nr_control
+from repro.hardware.soc import h100_like_server
+from repro.models.registry import get_model
+from repro.workloads.aime import aime2024
+from repro.workloads.math500 import math500
+from repro.workloads.natural_plan import natural_plan
+
+
+class TestMathBenchmarks:
+    def test_deepscaler_aime_accuracy(self):
+        evaluator = Evaluator(aime2024(seed=0), seed=0)
+        result = evaluator.evaluate(get_model("deepscaler-1.5b"),
+                                    base_control())
+        # Table III: 43.1% on AIME2024.
+        assert result.accuracy == pytest.approx(0.431, abs=0.08)
+
+    def test_aime_generations_are_long(self):
+        evaluator = Evaluator(aime2024(seed=0), seed=0)
+        result = evaluator.evaluate(get_model("deepscaler-1.5b"),
+                                    base_control())
+        assert result.mean_output_tokens > 4000
+
+    def test_aime_single_stream_cost_band(self):
+        # Section III-B: the whole 30-question AIME run at batch 1 costs
+        # ~$0.30/1M tokens; the evaluator's serving-batch default is 10.
+        from repro.core.cost import CostModel
+        evaluator = Evaluator(aime2024(seed=0), seed=0,
+                              cost_model=CostModel.single_stream())
+        result = evaluator.evaluate(get_model("deepscaler-1.5b"),
+                                    base_control())
+        assert result.cost_per_million_tokens == pytest.approx(0.30, rel=0.3)
+
+    def test_math500_easier_than_aime(self):
+        model = get_model("deepscaler-1.5b")
+        aime = Evaluator(aime2024(seed=0), seed=0).evaluate(
+            model, base_control())
+        math = Evaluator(math500(seed=0), seed=0).evaluate(
+            model, base_control())
+        assert math.accuracy > aime.accuracy + 0.3
+
+
+class TestNaturalPlan:
+    @pytest.fixture(scope="class")
+    def evaluator(self):
+        return Evaluator(natural_plan("meeting", seed=0, size=600),
+                         soc=h100_like_server(), seed=0)
+
+    def test_reasoning_accuracy_low(self, evaluator):
+        result = evaluator.evaluate(get_model("dsr1-qwen-14b"), base_control())
+        # Table XIII: 19.3% on meeting.
+        assert result.accuracy == pytest.approx(0.193, abs=0.03)
+
+    def test_nr_mode_matches_table14(self, evaluator):
+        result = evaluator.evaluate(get_model("dsr1-qwen-14b"), nr_control())
+        assert result.accuracy == pytest.approx(0.19, abs=0.03)
+        assert result.mean_output_tokens < 500
+
+    def test_direct_14b_table15(self, evaluator):
+        result = evaluator.evaluate(get_model("qwen2.5-14b-it"),
+                                    direct_control())
+        assert result.accuracy == pytest.approx(0.272, abs=0.03)
+
+    def test_server_latency_much_lower_than_edge(self):
+        bench = natural_plan("meeting", seed=0, size=200)
+        model = get_model("dsr1-qwen-14b")
+        server = Evaluator(bench, soc=h100_like_server(), seed=0).evaluate(
+            model, base_control())
+        edge = Evaluator(bench, seed=0).evaluate(model, base_control())
+        assert edge.mean_latency_seconds > 5 * server.mean_latency_seconds
+
+    def test_prompts_are_long_fewshot(self, evaluator):
+        result = evaluator.evaluate(get_model("dsr1-qwen-14b"), base_control())
+        assert result.mean_prompt_tokens > 1200
+
+    def test_missing_profile_raises(self, evaluator):
+        with pytest.raises(KeyError):
+            evaluator.evaluate(get_model("gemma-7b-it"), direct_control())

@@ -1,0 +1,67 @@
+"""Cross-check: the evaluator's closed-form metrics vs the step-loop engine.
+
+The evaluator prices thousands of questions through cumulative tables
+plus a context-slope correction; the engine walks every decode step.
+Both must agree, or every Section V number silently drifts from the
+Section IV substrate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.request import GenerationRequest
+from repro.evaluation.evaluator import Evaluator
+from repro.generation.control import base_control
+from repro.models.registry import get_model
+from repro.workloads.mmlu_redux import mmlu_redux
+
+
+@pytest.fixture(scope="module")
+def evaluated():
+    benchmark = mmlu_redux(seed=0, size=60)
+    evaluator = Evaluator(benchmark, seed=0)
+    model = get_model("dsr1-llama-8b")
+    result = evaluator.evaluate(model, base_control())
+    return evaluator, model, result
+
+
+class TestLatencyConsistency:
+    def test_per_question_latency_matches_engine(self, evaluated):
+        evaluator, model, result = evaluated
+        engine = evaluator.engine_for(model)
+        data = result.per_question
+        for index in range(0, len(data.output_tokens), 7):
+            request = GenerationRequest(
+                request_id=index,
+                prompt_tokens=int(data.prompt_tokens[index]),
+                natural_length=int(data.output_tokens[index]),
+            )
+            exact = engine.generate(request)
+            assert data.latency_seconds[index] == pytest.approx(
+                exact.total_seconds, rel=0.02), index
+
+    def test_per_question_energy_matches_engine(self, evaluated):
+        evaluator, model, result = evaluated
+        engine = evaluator.engine_for(model)
+        data = result.per_question
+        for index in range(0, len(data.output_tokens), 7):
+            request = GenerationRequest(
+                request_id=index,
+                prompt_tokens=int(data.prompt_tokens[index]),
+                natural_length=int(data.output_tokens[index]),
+            )
+            exact = engine.generate(request)
+            assert data.energy_joules[index] == pytest.approx(
+                exact.energy.total_energy_joules, rel=0.05), index
+
+    def test_decode_share_matches(self, evaluated):
+        evaluator, model, result = evaluated
+        engine = evaluator.engine_for(model)
+        data = result.per_question
+        index = int(np.argmax(data.output_tokens))
+        exact = engine.generate(GenerationRequest(
+            0, int(data.prompt_tokens[index]),
+            int(data.output_tokens[index])))
+        closed_form_share = 1 - result.mean_prefill_seconds / result.mean_latency_seconds
+        exact_share = exact.decode_seconds / exact.total_seconds
+        assert closed_form_share == pytest.approx(exact_share, abs=0.02)

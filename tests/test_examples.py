@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs end-to-end.
+
+Each example's ``main()`` is imported and executed; the assertions check
+the narrative-carrying lines appear so a broken example cannot silently
+print garbage.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = _run_example("quickstart", capsys)
+        assert "decode share" in out
+        assert "reasoning tokens" in out
+
+    def test_fleet_cost_analysis(self, capsys):
+        out = _run_example("fleet_cost_analysis", capsys)
+        assert "Jetson Orin, batch 30" in out
+        assert "o1-preview" in out
+
+    def test_optimization_advisor(self, capsys):
+        out = _run_example("optimization_advisor", capsys)
+        assert "speculative decoding" in out
+        assert "Verdict" in out
+
+    def test_interactive_latency(self, capsys):
+        out = _run_example("interactive_latency", capsys)
+        assert "TTFT" in out
+        assert "speculative decoding" in out
+
+    @pytest.mark.slow
+    def test_token_budget_tuning(self, capsys):
+        out = _run_example("token_budget_tuning", capsys)
+        assert "Best sequential config" in out
+        assert "Parallel champion" in out
+
+    @pytest.mark.slow
+    def test_assistive_robot(self, capsys):
+        out = _run_example("assistive_robot", capsys)
+        assert "Plan my weekly schedule" in out
+        assert "configuration" in out

@@ -1,0 +1,165 @@
+"""Integration tests for the extension/ablation experiments."""
+
+import pytest
+
+from repro.experiments import hybrid_scaling, optimizations, power_modes, serving_study
+from repro.experiments.runner import render, run_experiment
+
+
+class TestServingStudy:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return serving_study.run_serving_study(
+            qps_levels=(0.05, 0.2, 0.8), num_requests=40)
+
+    def test_cost_falls_with_load(self, points):
+        costs = [p.usd_per_mtok for p in points]
+        assert costs == sorted(costs, reverse=True)
+        assert costs[0] / costs[-1] > 3
+
+    def test_latency_rises_with_load(self, points):
+        p95 = [p.p95_latency_s for p in points]
+        assert p95[-1] > p95[0]
+
+    def test_occupancy_rises_with_load(self, points):
+        occ = [p.mean_occupancy for p in points]
+        assert occ == sorted(occ)
+
+    def test_table_renders(self, points):
+        assert "Serving ablation" in serving_study.serving_table(points).to_text()
+
+
+class TestOptimizationTables:
+    def test_speculative_table(self):
+        table = optimizations.speculative_table()
+        assert len(table.rows) == 12  # 2 targets x 6 gammas
+        speedups = table.column("Speedup")
+        assert max(speedups) > 1.3
+
+    def test_offload_table(self):
+        table = optimizations.offload_table()
+        # DLA @B=1 ~ 1.0x everywhere; @512 helps.
+        for row in table.rows:
+            assert row[2] == pytest.approx(1.0, abs=0.05)
+            assert row[3] >= 1.0
+
+    def test_prefetch_table(self):
+        table = optimizations.prefetch_table()
+        for row in table.rows:
+            assert row[1] >= 1.0       # prefill helped
+            assert row[3] == pytest.approx(1.0, abs=0.05)  # decode not
+
+
+class TestPowerModes:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return power_modes.run_power_mode_study()
+
+    def test_all_combinations_present(self, points):
+        assert len(points) == 12
+
+    def test_maxn_fastest(self, points):
+        for name in power_modes.MODELS:
+            per_model = {p.mode: p for p in points if p.model == name}
+            assert per_model["MAXN"].query_latency_s == min(
+                p.query_latency_s for p in per_model.values())
+
+    def test_15w_pays_meaningful_slowdown(self, points):
+        for name in power_modes.MODELS:
+            per_model = {p.mode: p for p in points if p.model == name}
+            ratio = (per_model["15W"].query_latency_s
+                     / per_model["MAXN"].query_latency_s)
+            assert 1.2 < ratio < 2.2
+
+    def test_table_renders(self, points):
+        assert "Power-mode" in power_modes.power_mode_table(points).to_text()
+
+
+class TestHybridScaling:
+    @pytest.fixture(scope="class")
+    def surface(self):
+        return hybrid_scaling.run_hybrid_surface(size=600)
+
+    def test_grid_size(self, surface):
+        assert len(surface) == len(hybrid_scaling.TOKEN_BUDGETS) * len(
+            hybrid_scaling.SCALE_FACTORS)
+
+    def test_hybrid_beats_sequential_at_tight_budgets(self, surface):
+        from repro.scaling.hybrid import best_under_latency, sequential_only
+        hybrid = best_under_latency(surface, 20.0)
+        pure = best_under_latency(sequential_only(surface), 20.0)
+        assert hybrid.accuracy > pure.accuracy + 0.05
+
+    def test_table_renders(self, surface):
+        assert "Hybrid" in hybrid_scaling.hybrid_table(surface).to_text()
+
+
+class TestFidelityAudit:
+    @pytest.fixture(scope="class")
+    def entries(self):
+        from repro.experiments import fidelity
+        return fidelity.run_fidelity_audit(size=800)
+
+    def test_all_metrics_within_10pct(self, entries):
+        from repro.experiments.fidelity import worst_deviation_pct
+        assert worst_deviation_pct(entries) < 10.0
+
+    def test_decode_coefficients_sub_percent(self, entries):
+        decode = [e for e in entries if "decode" in e.metric]
+        assert decode
+        assert all(abs(e.deviation_pct) < 1.0 for e in decode)
+
+    def test_table_renders(self, entries):
+        from repro.experiments import fidelity
+        assert "Fidelity" in fidelity.fidelity_table(entries).to_text()
+
+
+class TestDeadlineControl:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        from repro.experiments import deadline_control
+        return deadline_control.run_deadline_study(population=80)
+
+    def test_three_policies(self, rows):
+        assert len(rows) == 3
+
+    def test_controller_zero_misses(self, rows):
+        controller = next(r for r in rows if "controller" in r.policy)
+        assert controller.miss_rate == 0.0
+
+    def test_naive_static_misses(self, rows):
+        naive = next(r for r in rows if "median" in r.policy)
+        assert naive.miss_rate > 0.1
+
+    def test_table_renders(self, rows):
+        from repro.experiments import deadline_control
+        assert "Deadline" in deadline_control.deadline_table(rows).to_text()
+
+
+class TestTakeaways:
+    @pytest.fixture(scope="class")
+    def checks(self):
+        from repro.experiments import takeaways
+        return takeaways.run_takeaway_checks(size=600)
+
+    def test_eleven_checks(self, checks):
+        assert [c.number for c in checks] == list(range(1, 12))
+
+    def test_all_hold(self, checks):
+        assert all(c.holds for c in checks), [
+            c.number for c in checks if not c.holds]
+
+    def test_evidence_strings_populated(self, checks):
+        assert all(c.evidence for c in checks)
+
+    def test_table_renders(self, checks):
+        from repro.experiments import takeaways
+        text = takeaways.takeaways_table(checks).to_text()
+        assert "PASS" in text
+
+
+class TestRegistryIntegration:
+    @pytest.mark.parametrize("artifact", ["serving", "power-modes",
+                                          "deadline-control"])
+    def test_extension_artifacts_run(self, artifact):
+        assert render(run_experiment(artifact))

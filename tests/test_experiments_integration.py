@@ -1,0 +1,307 @@
+"""Integration tests: each paper artifact runs and shows the paper's shape.
+
+These assert the *qualitative* findings (who wins, by roughly what
+factor, where crossovers fall) rather than exact numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    cpu_vs_gpu,
+    decode_latency,
+    frameworks,
+    latency_validation,
+    mmlu_full,
+    motivation,
+    natural_plan,
+    parallel_scaling,
+    pd_ratio,
+    power_energy,
+    prefill_latency,
+    quantization,
+    tradeoff_frontier,
+)
+from repro.experiments.runner import list_experiments, render, run_experiment
+
+
+@pytest.fixture(scope="module")
+def characterizations():
+    return prefill_latency.run_characterizations()
+
+
+@pytest.fixture(scope="module")
+def tradeoff_results():
+    return tradeoff_frontier.run_tradeoff_grid(seed=0, size=1000)
+
+
+class TestMotivation:
+    @pytest.fixture(scope="class")
+    def table2_rows(self):
+        return motivation.run_table2(questions=150)
+
+    def test_reasoning_models_more_accurate_at_scale(self, table2_rows):
+        by_model = {r.model: r for r in table2_rows}
+        # Table II: DSR1-14B beats every non-reasoning baseline.
+        assert by_model["DSR1-Qwen-14B"].accuracy_pct > 70
+        assert by_model["DSR1-Qwen-14B"].accuracy_pct > \
+            by_model["Qwen2.5-7B-it"].accuracy_pct
+
+    def test_reasoning_latency_overhead_over_10x(self, table2_rows):
+        by_model = {r.model: r for r in table2_rows}
+        ratio = (by_model["DSR1-Llama-8B"].decode_time_s
+                 / by_model["Llama3.1-8B-it"].decode_time_s)
+        assert ratio > 10
+
+    def test_reasoning_energy_overhead(self, table2_rows):
+        by_model = {r.model: r for r in table2_rows}
+        assert (by_model["DSR1-Llama-8B"].energy_per_question_j
+                > 20 * by_model["Llama3.1-8B-it"].energy_per_question_j)
+
+    def test_table3_edge_orders_of_magnitude_cheaper(self):
+        rows = motivation.run_table3()
+        edge_batch1 = rows[0]
+        cloud = rows[-1]
+        assert cloud.price_usd_per_mtok / edge_batch1.price_usd_per_mtok > 50
+        # DeepScaleR beats o1-preview on AIME (Table III).
+        assert edge_batch1.accuracy_aime_pct > cloud.accuracy_aime_pct
+
+    def test_table3_batching_cuts_cost(self):
+        rows = motivation.run_table3()
+        assert rows[1].price_usd_per_mtok < rows[0].price_usd_per_mtok / 3
+
+    def test_tables_render(self):
+        assert "Table II" in motivation.table2(motivation.run_table2(questions=50)).to_text()
+
+
+class TestLatencyCharacterization:
+    def test_table4_coefficients_near_paper(self, characterizations):
+        table = prefill_latency.table4(characterizations)
+        assert len(table.rows) == 3
+
+    def test_fig2_has_measured_and_fitted_series(self, characterizations):
+        figure = prefill_latency.figure2(characterizations)
+        assert len(figure.series) == 6
+
+    def test_fig3_series(self, characterizations):
+        assert len(decode_latency.figure3a(characterizations).series) == 6
+        assert len(decode_latency.figure3b(characterizations).series) == 3
+
+    def test_tbt_increase_small(self, characterizations):
+        # Fig. 3b: ~3% TBT rise from context 1 to 4k for the 8B model.
+        increase = decode_latency.tbt_increase_with_context(characterizations)
+        assert 0.0 < increase < 0.10
+
+    def test_table6_total_mape_under_2pct(self, characterizations):
+        rows = latency_validation.run_table6(characterizations)
+        for row in rows:
+            assert row.total_mape < 2.0
+
+    def test_table8_energy_mape_single_digit(self, characterizations):
+        for row in power_energy.run_table8(characterizations):
+            assert row.decode_mape < 10.0
+
+    def test_fig4_smaller_models_more_efficient(self, characterizations):
+        _, energy_fig = power_energy.figure4(characterizations)
+        by_label = {s.label: s for s in energy_fig.series}
+        small = np.mean(by_label["dsr1-qwen-1.5b"].y)
+        large = np.mean(by_label["dsr1-qwen-14b"].y)
+        assert small < large
+
+    def test_fig5_energy_per_token_gap(self, characterizations):
+        # Fig. 5: multi-x energy/token advantage for the 1.5B vs 14B.
+        _, energy_fig = power_energy.figure5(characterizations)
+        by_label = {s.label: s for s in energy_fig.series}
+        ratio = np.mean(by_label["dsr1-qwen-14b"].y) / np.mean(
+            by_label["dsr1-qwen-1.5b"].y)
+        assert ratio > 4
+
+    def test_tables_20_21_render(self, characterizations):
+        assert power_energy.table20(characterizations).rows
+        assert power_energy.table21(characterizations).rows
+
+
+class TestPdRatio:
+    def test_takeaway2_decode_dominates(self):
+        rows = pd_ratio.run_table7(size=400)
+        for row in rows:
+            assert row.latency_ratio > 100
+            assert row.decode_time_share > 0.99
+
+
+class TestTradeoffGrid:
+    def test_grid_covers_all_configs(self, tradeoff_results):
+        assert len(tradeoff_results) == 31
+
+    def test_takeaway5_prompt_control_reduces_tokens(self, tradeoff_results):
+        by_label = {r.label: r for r in tradeoff_results}
+        assert (by_label["DSR1-Llama-8B 128T"].mean_output_tokens
+                < 0.15 * by_label["DSR1-Llama-8B Base"].mean_output_tokens)
+
+    def test_crossover_14b_256t_beats_8b_base_latency(self, tradeoff_results):
+        # Section V-A: 14B 256T reaches comparable accuracy to 8B Base at
+        # ~4x lower latency.
+        by_label = {r.label: r for r in tradeoff_results}
+        fast = by_label["DSR1-Qwen-14B 256T"]
+        slow = by_label["DSR1-Llama-8B Base"]
+        assert fast.mean_latency_seconds < slow.mean_latency_seconds / 3
+        assert abs(fast.accuracy - slow.accuracy) < 0.08
+
+    def test_takeaway8_direct_beats_reasoning_at_low_latency(self, tradeoff_results):
+        by_label = {r.label: r for r in tradeoff_results}
+        direct = by_label["Llama3.1-8B-it Direct"]
+        constrained = by_label["DSR1-Llama-8B 128T"]
+        assert direct.accuracy > constrained.accuracy
+        assert direct.mean_latency_seconds < 10
+
+    def test_nr_beats_base_only_for_1p5b(self, tradeoff_results):
+        by_label = {r.label: r for r in tradeoff_results}
+        assert (by_label["DSR1-Qwen-1.5B NR"].accuracy
+                > by_label["DSR1-Qwen-1.5B Base"].accuracy)
+        assert (by_label["DSR1-Qwen-14B NR"].accuracy
+                < by_label["DSR1-Qwen-14B Base"].accuracy)
+
+    def test_figures_render(self, tradeoff_results):
+        for builder in (tradeoff_frontier.figure6, tradeoff_frontier.figure7,
+                        tradeoff_frontier.figure8):
+            figure = builder(tradeoff_results)
+            assert figure.series
+
+    def test_regimes_small_models_fast_band(self, tradeoff_results):
+        regimes = tradeoff_frontier.latency_regimes(tradeoff_results)
+        bands = {r.band: r for r in regimes}
+        # Sub-5s band served by small/direct models; >30s by the 14B.
+        assert "1.5B" in bands["<5s"].best_label or "7B" in bands["<5s"].best_label
+        assert "14B" in bands[">30s"].best_label
+
+    def test_tables_10_11_shapes(self, tradeoff_results):
+        assert len(tradeoff_frontier.table10(tradeoff_results).rows) == 12
+        assert len(tradeoff_frontier.table11(tradeoff_results).rows) == 19
+
+
+class TestParallelScaling:
+    @pytest.fixture(scope="class")
+    def curves_128(self):
+        return parallel_scaling.run_scaling_study(
+            parallel_scaling.FIG9_MODELS, 128, size=800)
+
+    def test_takeaway9_gains_at_128_budget(self, curves_128):
+        # Fig. 9a: 1.5-1.8x accuracy from 1x -> 32x for DSR1 models.
+        for name in ("dsr1-qwen-1.5b", "dsr1-qwen-14b"):
+            gain = parallel_scaling.accuracy_gain(curves_128[name])
+            assert 1.4 < gain < 2.1
+
+    def test_l1_negligible_gain(self, curves_128):
+        gain = parallel_scaling.accuracy_gain(curves_128["l1-max"])
+        assert 0.85 < gain < 1.2
+
+    def test_plateau_at_512_budget(self):
+        curves = parallel_scaling.run_scaling_study(("dsr1-qwen-14b",), 512,
+                                                    size=800)
+        points = curves["dsr1-qwen-14b"]
+        acc = {p.scale_factor: p.accuracy for p in points}
+        # Gains past 4x-8x are marginal (Fig. 9b).
+        assert acc[32] - acc[8] < 0.05
+
+    def test_fig10_outputs(self):
+        latency_fig, energy_fig, power_fig = parallel_scaling.figure10(
+            output_budget=128)
+        for figure in (latency_fig, energy_fig):
+            assert len(figure.series) == 3
+        for series in latency_fig.series:
+            assert list(series.y) == sorted(series.y)
+
+
+class TestQuantization:
+    @pytest.fixture(scope="class")
+    def quant_chars(self):
+        return quantization.run_quantized_characterizations()
+
+    def test_takeaway11_speedup_grows_with_size(self):
+        rows = quantization.run_figure14(size=800)
+        speedups = [row.latency_speedup for row in rows]
+        assert speedups[0] < speedups[2]
+        assert all(1.2 < s < 5.5 for s in speedups)
+
+    def test_takeaway11_small_accuracy_loss(self):
+        rows = quantization.run_figure14(size=800)
+        for row in rows:
+            assert abs(row.relative_accuracy_loss_pct) < 10.0
+
+    def test_figures_11_to_13_render(self, quant_chars):
+        for builder in (quantization.figure11, quantization.figure12,
+                        quantization.figure13):
+            pair = builder(quant_chars)
+            assert all(fig.series for fig in pair)
+
+    def test_tables_22_23(self, quant_chars):
+        prefill_table, decode_table = quantization.table22_23(quant_chars)
+        assert len(prefill_table.rows) == 3
+        assert len(decode_table.rows) == 3
+
+
+class TestFrameworks:
+    def test_table9_vllm_speedup_band(self):
+        rows = frameworks.run_table9()
+        for row in rows:
+            assert 1.05 < row.speedup_over("vllm") < 1.25
+            assert 0.95 < row.speedup_over("trt-llm") < 1.25
+
+
+class TestMmluFull:
+    def test_table12_budget_hurts_accuracy(self):
+        results = mmlu_full.run_table12(size=2000)
+        by_key = {(r.model, r.control.label): r for r in results}
+        base = by_key[("dsr1-qwen-14b", "Base")]
+        budgeted = by_key[("dsr1-qwen-14b", "128T")]
+        # Table XII: 14B drops from ~86.6% to ~28.3% at a 128 budget.
+        assert base.accuracy > 0.8
+        assert budgeted.accuracy < 0.35
+
+
+class TestNaturalPlan:
+    def test_baseline_accuracy_low(self):
+        results = natural_plan.run_baseline()
+        assert all(r.accuracy < 0.25 for r in results)
+
+    def test_budgeting_keeps_accuracy_at_fraction_of_latency(self):
+        baseline = {(r.benchmark, r.model): r for r in natural_plan.run_baseline()}
+        budgeted = natural_plan.run_budgeted()
+        for result in budgeted:
+            base = baseline[(result.benchmark, result.model)]
+            if "14b" in result.model:
+                assert result.mean_latency_seconds < base.mean_latency_seconds / 2
+                assert result.accuracy > base.accuracy - 0.05
+
+    def test_direct_14b_wins_calendar(self):
+        # Table XV: Qwen2.5-14B-it direct scores ~32% on calendar,
+        # beating every reasoning configuration.
+        direct = natural_plan.run_direct()
+        calendar = [r for r in direct if "calendar" in r.benchmark
+                    and "14B" in r.display_name][0]
+        assert calendar.accuracy > 0.25
+
+
+class TestCpuVsGpu:
+    def test_prefill_speedups_two_orders(self):
+        rows = cpu_vs_gpu.run_table16()
+        assert all(100 < row.speedup < 600 for row in rows)
+
+    def test_decode_speedup_near_5x(self):
+        rows = cpu_vs_gpu.run_table17()
+        assert all(3.5 < row.speedup < 7.0 for row in rows)
+
+
+class TestRunnerRegistry:
+    def test_all_artifacts_listed(self):
+        ids = list_experiments()
+        assert len(ids) >= 30
+        assert "fig7" in ids and "table11" in ids
+
+    def test_unknown_artifact(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_render_handles_tuples(self):
+        out = run_experiment("table9")
+        assert "Table IX" in render(out)

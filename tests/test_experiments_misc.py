@@ -1,0 +1,109 @@
+"""Unit tests for the remaining experiment modules and the runner."""
+
+import pytest
+
+from repro.core.latency_model import (
+    DecodeLatencyModel,
+    PrefillLatencyModel,
+    TotalLatencyModel,
+)
+from repro.core.planner import CandidateConfig, DeploymentPlanner
+from repro.experiments import planner_study, prefix_caching, serving_study
+from repro.experiments.report import Figure, Series, Table
+from repro.experiments.runner import list_experiments, render
+from repro.generation.control import base_control
+from repro.models.registry import get_model
+
+
+def _tiny_planner():
+    latency = TotalLatencyModel(PrefillLatencyModel(0, 0, 0.05),
+                                DecodeLatencyModel(0, 0.05))
+    candidates = [
+        CandidateConfig(get_model("dsr1-qwen-1.5b"), base_control(),
+                        expected_output_tokens=tokens,
+                        predicted_accuracy=accuracy, latency=latency)
+        for tokens, accuracy in ((20, 0.3), (200, 0.5), (2000, 0.8))
+    ]
+    return DeploymentPlanner(candidates)
+
+
+class TestPlannerStudy:
+    def test_frontier_with_injected_planner(self):
+        decisions = planner_study.run_planner_frontier(
+            budgets=(1.5, 20.0, 200.0), planner=_tiny_planner())
+        accuracies = [d.predicted_accuracy for d in decisions]
+        assert accuracies == [0.3, 0.5, 0.8]
+
+    def test_figure1_only_feasible_points(self):
+        decisions = planner_study.run_planner_frontier(
+            budgets=(0.01, 5.0), planner=_tiny_planner())
+        figure = planner_study.figure1(decisions)
+        assert len(figure.series[0].x) == 1  # 0.01 s is infeasible
+
+    def test_table_marks_infeasible(self):
+        decisions = planner_study.run_planner_frontier(
+            budgets=(0.01,), planner=_tiny_planner())
+        text = planner_study.planner_table(decisions).to_text()
+        assert "(infeasible)" in text
+
+
+class TestPrefixCachingStudy:
+    def test_rows_cover_all_tasks(self):
+        rows = prefix_caching.run_prefix_caching_study()
+        assert {row.task for row in rows} == {"calendar", "meeting", "trip"}
+
+    def test_speedups_computed(self):
+        rows = prefix_caching.run_prefix_caching_study()
+        for row in rows:
+            assert row.prefill_speedup > 1.0
+            assert 1.0 <= row.end_to_end_speedup < row.prefill_speedup
+
+
+class TestServingStudyDetails:
+    def test_custom_levels_respected(self):
+        points = serving_study.run_serving_study(
+            qps_levels=(0.1,), num_requests=20)
+        assert len(points) == 1
+        assert points[0].offered_qps == 0.1
+
+    def test_table_columns(self):
+        points = serving_study.run_serving_study(
+            qps_levels=(0.1,), num_requests=20)
+        table = serving_study.serving_table(points)
+        assert "p95 (s)" in table.headers
+
+
+class TestRunner:
+    def test_render_table(self):
+        table = Table("T", ["a"])
+        table.add_row(1)
+        assert "T" in render(table)
+
+    def test_render_figure(self):
+        figure = Figure("F", "x", "y")
+        figure.add(Series("s", (1.0,), (2.0,)))
+        assert "F" in render(figure)
+
+    def test_render_tuple(self):
+        table = Table("T", ["a"])
+        assert render((table, table)).count("T") == 2
+
+    def test_render_fallback_str(self):
+        assert render(42) == "42"
+
+    def test_registry_covers_every_paper_artifact(self):
+        ids = set(list_experiments())
+        expected_tables = {f"table{n}" for n in
+                           (2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15,
+                            16, 17, 20, 21)} | {"table18_19", "table22_23"}
+        expected_figures = {"fig1", "fig2", "fig3a", "fig3b", "fig4", "fig5",
+                            "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+                            "fig12", "fig13", "fig14"}
+        assert expected_tables <= ids
+        assert expected_figures <= ids
+
+    def test_extension_artifacts_registered(self):
+        ids = set(list_experiments())
+        assert {"serving", "optimizations", "power-modes", "hybrid-scaling",
+                "prefix-caching", "deadline-control", "batch-latency-model",
+                "takeaways", "fidelity"} <= ids

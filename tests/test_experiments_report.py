@@ -1,0 +1,65 @@
+"""Tests for the Table/Series/Figure report containers."""
+
+import pytest
+
+from repro.experiments.report import Figure, Series, Table
+
+
+class TestTable:
+    def test_add_and_render(self):
+        table = Table("T", ["a", "b"])
+        table.add_row(1, 2.5)
+        text = table.to_text()
+        assert "T" in text
+        assert "a" in text and "b" in text
+        assert "2.5" in text
+
+    def test_row_width_checked(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_extraction(self):
+        table = Table("T", ["a", "b"])
+        table.add_row(1, 2)
+        table.add_row(3, 4)
+        assert table.column("b") == [2, 4]
+
+    def test_unknown_column(self):
+        with pytest.raises(ValueError):
+            Table("T", ["a"]).column("z")
+
+    def test_empty_table_renders(self):
+        assert "T" in Table("T", ["a"]).to_text()
+
+    def test_float_formatting(self):
+        table = Table("T", ["x"])
+        table.add_row(0.000123)
+        table.add_row(1234567.0)
+        text = table.to_text()
+        assert "0.000123" in text
+
+
+class TestSeries:
+    def test_length_checked(self):
+        with pytest.raises(ValueError):
+            Series("s", (1.0, 2.0), (1.0,))
+
+    def test_render(self):
+        series = Series("s", (1.0, 2.0), (3.0, 4.0))
+        text = series.to_text("x", "y")
+        assert "s" in text and "x=" in text
+
+
+class TestFigure:
+    def test_add_and_render(self):
+        figure = Figure("F", "x", "y")
+        figure.add(Series("s1", (1.0,), (2.0,)))
+        text = figure.to_text()
+        assert "F" in text and "s1" in text
+
+    def test_to_chart_delegates(self):
+        figure = Figure("F", "x", "y")
+        figure.add(Series("s1", (1.0, 2.0), (2.0, 4.0)))
+        chart = figure.to_chart(width=20, height=6)
+        assert "F" in chart and "|" in chart

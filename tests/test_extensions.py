@@ -1,0 +1,146 @@
+"""Tests for the Section VI optimization extensions."""
+
+import pytest
+
+from repro.engine.engine import InferenceEngine
+from repro.extensions.heterogeneous import (
+    cpu_offload_speedup,
+    dla_offload_speedup,
+    dla_offload_sweep,
+)
+from repro.extensions.prefetch import (
+    prefetch_decode_report,
+    prefetch_prefill_report,
+    prefetch_sweep,
+)
+from repro.extensions.speculative import (
+    SpeculativeConfig,
+    best_gamma,
+    gamma_sweep,
+    simulate_speculative_decoding,
+)
+from repro.models.registry import get_model
+
+
+@pytest.fixture(scope="module")
+def target():
+    return InferenceEngine(get_model("dsr1-llama-8b"))
+
+
+@pytest.fixture(scope="module")
+def draft():
+    return InferenceEngine(get_model("dsr1-qwen-1.5b"))
+
+
+class TestSpeculativeDecoding:
+    def test_expected_tokens_formula(self):
+        config = SpeculativeConfig(gamma=4, acceptance_rate=0.75)
+        expected = (1 - 0.75 ** 5) / (1 - 0.75)
+        assert config.expected_tokens_per_pass == pytest.approx(expected)
+
+    def test_speedup_in_plausible_band(self, target, draft):
+        report = simulate_speculative_decoding(target, draft)
+        assert 1.2 < report.speedup < 2.5
+
+    def test_effective_tbt_below_baseline(self, target, draft):
+        report = simulate_speculative_decoding(target, draft)
+        assert report.effective_tbt_s < report.baseline_tbt_s
+
+    def test_low_acceptance_kills_the_win(self, target, draft):
+        bad = simulate_speculative_decoding(
+            target, draft, SpeculativeConfig(gamma=4, acceptance_rate=0.15))
+        good = simulate_speculative_decoding(
+            target, draft, SpeculativeConfig(gamma=4, acceptance_rate=0.85))
+        assert bad.speedup < good.speedup
+        assert bad.speedup < 1.0  # drafting overhead dominates
+
+    def test_self_drafting_never_helps(self, target):
+        # Using the target as its own draft can't beat 1x meaningfully.
+        report = simulate_speculative_decoding(target, target)
+        assert report.speedup < 1.05
+
+    def test_gamma_sweep_and_best(self, target, draft):
+        reports = gamma_sweep(target, draft)
+        best = best_gamma(target, draft)
+        assert best.speedup == max(r.speedup for r in reports)
+
+    def test_bigger_target_bigger_win(self, draft):
+        # Speculation pays more when the target is more expensive.
+        target_14b = InferenceEngine(get_model("dsr1-qwen-14b"))
+        target_8b = InferenceEngine(get_model("dsr1-llama-8b"))
+        assert (best_gamma(target_14b, draft).speedup
+                > best_gamma(target_8b, draft).speedup)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(gamma=0), dict(acceptance_rate=0.0), dict(acceptance_rate=1.0),
+    ])
+    def test_config_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            SpeculativeConfig(**kwargs)
+
+
+class TestCpuOffload:
+    def test_modest_but_real_speedup(self, target):
+        plan = cpu_offload_speedup(target)
+        assert 1.01 < plan.speedup < 1.25
+
+    def test_offloadable_fraction_small(self, target):
+        # Lightweight kernels are a minor share of a memory-bound step.
+        plan = cpu_offload_speedup(target)
+        assert plan.offloadable_fraction < 0.25
+
+    def test_batching_grows_offloadable_share(self, target):
+        single = cpu_offload_speedup(target, batch=1)
+        batched = cpu_offload_speedup(target, batch=32)
+        assert batched.offloadable_s > single.offloadable_s
+
+
+class TestDlaOffload:
+    def test_useless_when_bandwidth_bound(self, target):
+        # The paper's observation made quantitative: decode at batch 1 is
+        # bandwidth-bound, so the DLA cannot help.
+        plan = dla_offload_speedup(target, batch=1)
+        assert plan.speedup == pytest.approx(1.0, abs=0.02)
+
+    def test_helps_when_compute_bound(self, target):
+        plan = dla_offload_speedup(target, batch=512)
+        assert plan.speedup > 1.05
+
+    def test_sweep_monotone_tail(self, target):
+        plans = dla_offload_sweep(target, batches=(1, 64, 512))
+        speedups = [p.speedup for p in plans]
+        assert speedups[-1] >= speedups[0]
+
+    def test_never_slower(self, target):
+        for plan in dla_offload_sweep(target):
+            assert plan.speedup >= 1.0
+
+    def test_bad_share_rejected(self, target):
+        with pytest.raises(ValueError):
+            dla_offload_speedup(target, batch=1, ffn_share=0.0)
+
+
+class TestPrefetch:
+    def test_prefill_benefits(self, target):
+        report = prefetch_prefill_report(target, 1024)
+        assert report.speedup > 1.03
+
+    def test_decode_does_not(self, target):
+        # Takeaway #2's flip side: nothing to hide the stream behind.
+        report = prefetch_decode_report(target)
+        assert report.speedup == pytest.approx(1.0, abs=0.05)
+
+    def test_prefill_gain_fades_at_long_inputs(self, target):
+        # At long inputs compute dominates even the un-overlapped stream,
+        # so the relative win shrinks.
+        reports = {r.seq_len: r for r in prefetch_sweep(
+            target, input_lens=(512, 4096))}
+        assert reports[512].speedup >= reports[4096].speedup
+
+    def test_never_slower(self, target):
+        for report in prefetch_sweep(target):
+            assert report.speedup >= 1.0
+
+    def test_rejects_bad_input(self, target):
+        with pytest.raises(ValueError):
+            prefetch_prefill_report(target, 0)

@@ -1,0 +1,67 @@
+"""Tests for the kernel-fusion extension and accuracy uncertainty."""
+
+import pytest
+
+from repro.extensions.fusion import (
+    FUSED_ATTENTION_EFFICIENCY,
+    fused_decode_report,
+    fused_prefill_report,
+    fusion_sweep,
+)
+
+
+class TestFusion:
+    def test_prefill_speedup_grows_with_length(self, engine_8b):
+        # The quadratic attention term dominates at long inputs, so the
+        # fused-attention win grows with I.
+        reports = {r.seq_len: r for r in fusion_sweep(engine_8b)}
+        assert (reports[256].speedup < reports[1024].speedup
+                < reports[4096].speedup)
+
+    def test_multi_x_at_long_inputs(self, engine_8b):
+        assert fused_prefill_report(engine_8b, 4096).speedup > 3.0
+
+    def test_decode_barely_moves(self, engine_8b):
+        # Weight streaming dominates decode; fusion trims overheads only.
+        report = fused_decode_report(engine_8b)
+        assert 1.0 <= report.speedup < 1.15
+
+    def test_never_slower(self, engine_8b):
+        for report in fusion_sweep(engine_8b):
+            assert report.speedup >= 1.0
+        assert fused_decode_report(engine_8b).speedup >= 1.0
+
+    def test_fused_efficiency_far_above_baseline(self, engine_8b):
+        assert FUSED_ATTENTION_EFFICIENCY > 10 * engine_8b.calibration.attention_efficiency
+
+    def test_rejects_bad_input(self, engine_8b):
+        with pytest.raises(ValueError):
+            fused_prefill_report(engine_8b, 0)
+
+
+class TestAccuracyUncertainty:
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro.evaluation.evaluator import Evaluator
+        from repro.generation.control import base_control
+        from repro.models.registry import get_model
+        from repro.workloads.mmlu_redux import mmlu_redux
+        small = Evaluator(mmlu_redux(seed=0, size=200), seed=0).evaluate(
+            get_model("dsr1-llama-8b"), base_control())
+        large = Evaluator(mmlu_redux(seed=0, size=2000), seed=0).evaluate(
+            get_model("dsr1-llama-8b"), base_control())
+        return small, large
+
+    def test_stderr_positive_and_small(self, results):
+        small, _ = results
+        assert 0.0 < small.accuracy_stderr < 0.1
+
+    def test_stderr_shrinks_with_suite_size(self, results):
+        small, large = results
+        assert large.accuracy_stderr < small.accuracy_stderr
+
+    def test_sampled_accuracy_within_3_sigma(self, results):
+        _, large = results
+        for seed in range(5):
+            sampled = large.sampled_accuracy(seed=seed)
+            assert abs(sampled - large.accuracy) < 4 * large.accuracy_stderr

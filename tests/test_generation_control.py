@@ -1,0 +1,116 @@
+"""Tests for token-control strategies."""
+
+import pytest
+
+from repro.generation.control import (
+    ControlMode,
+    GenerationControl,
+    base_control,
+    direct_control,
+    hard_budget,
+    nr_control,
+    soft_budget,
+    standard_controls,
+)
+from repro.generation.reasoning import (
+    NR_THINKING_BLOCK,
+    TraceStructure,
+    length_instruction,
+    prompt_overhead_tokens,
+    split_trace,
+)
+
+
+class TestControlValidation:
+    def test_budget_modes_require_budget(self):
+        with pytest.raises(ValueError):
+            GenerationControl(ControlMode.HARD_BUDGET)
+        with pytest.raises(ValueError):
+            GenerationControl(ControlMode.SOFT_BUDGET, budget=0)
+
+    def test_non_budget_modes_reject_budget(self):
+        with pytest.raises(ValueError):
+            GenerationControl(ControlMode.BASE, budget=128)
+        with pytest.raises(ValueError):
+            GenerationControl(ControlMode.NO_REASONING, budget=128)
+
+
+class TestLabels:
+    @pytest.mark.parametrize("control,label", [
+        (base_control(), "Base"),
+        (hard_budget(128), "128T"),
+        (hard_budget(256), "256T"),
+        (soft_budget(128), "128 (NC)"),
+        (nr_control(), "NR"),
+        (direct_control(), "Direct"),
+    ])
+    def test_paper_labels(self, control, label):
+        assert control.label == label
+
+
+class TestCapabilityModeMapping:
+    def test_base_and_soft_use_completed(self):
+        assert base_control().capability_mode == "completed"
+        assert soft_budget(128).capability_mode == "completed"
+
+    def test_hard_uses_hard(self):
+        assert hard_budget(128).capability_mode == "hard"
+
+    def test_nr_and_direct(self):
+        assert nr_control().capability_mode == "nr"
+        assert direct_control().capability_mode == "direct"
+
+    def test_only_hard_enforces(self):
+        assert hard_budget(128).enforces_budget
+        assert not soft_budget(128).enforces_budget
+        assert not base_control().enforces_budget
+
+
+class TestStandardGrid:
+    def test_six_configurations(self):
+        controls = standard_controls()
+        assert len(controls) == 6
+        assert {c.label for c in controls} == {
+            "Base", "128T", "256T", "128 (NC)", "256 (NC)", "NR"}
+
+    def test_direct_included_on_request(self):
+        assert any(c.mode is ControlMode.DIRECT
+                   for c in standard_controls(include_direct=True))
+
+
+class TestReasoningTraces:
+    def test_nr_block_matches_paper(self):
+        assert "Okay, I think I have finished thinking." in NR_THINKING_BLOCK
+        assert NR_THINKING_BLOCK.startswith("<|beginning of thinking|>")
+
+    def test_prompt_overhead(self):
+        assert prompt_overhead_tokens(base_control()) == 0
+        assert prompt_overhead_tokens(direct_control()) == 0
+        assert prompt_overhead_tokens(hard_budget(128)) > 0
+        assert prompt_overhead_tokens(nr_control()) > 0
+
+    def test_length_instruction_mentions_budget(self):
+        assert "128" in length_instruction(128)
+
+    def test_split_completed_trace(self):
+        trace = split_trace(500, base_control())
+        assert trace.answer_complete
+        assert trace.think_tokens + trace.answer_tokens == 500
+        assert trace.answer_tokens > 0
+
+    def test_split_truncated_hard_trace(self):
+        trace = split_trace(128, hard_budget(128), truncated=True)
+        assert not trace.answer_complete
+        assert trace.answer_tokens == 0
+
+    def test_split_direct_trace_has_no_thinking(self):
+        trace = split_trace(40, direct_control())
+        assert trace.think_tokens == 0
+        assert trace.answer_tokens == 40
+
+    def test_split_rejects_empty(self):
+        with pytest.raises(ValueError):
+            split_trace(0, base_control())
+
+    def test_trace_total(self):
+        assert TraceStructure(10, 5, True).total_tokens == 15

@@ -1,0 +1,127 @@
+"""Tests for the output-length model."""
+
+import numpy as np
+import pytest
+
+from repro.generation.control import (
+    base_control,
+    direct_control,
+    hard_budget,
+    nr_control,
+    soft_budget,
+)
+from repro.generation.length import DEFAULT_MAX_TOKENS, LengthModel
+from repro.models.registry import get_model
+
+
+@pytest.fixture()
+def lengths_8b(model_8b):
+    return LengthModel(model_8b, "mmlu-redux")
+
+
+@pytest.fixture()
+def lengths_l1():
+    return LengthModel(get_model("l1-max"), "mmlu-redux")
+
+
+class TestMeasuredMeans:
+    """Means must match the paper's Avg toks/question columns."""
+
+    @pytest.mark.parametrize("control,expected", [
+        (base_control(), 811.1),
+        (hard_budget(128), 76.3),
+        (hard_budget(256), 143.6),
+        (soft_budget(128), 437.0),
+        (soft_budget(256), 933.0),
+        (nr_control(), 182.9),
+    ])
+    def test_8b_table11_means(self, lengths_8b, control, expected):
+        assert lengths_8b.mean_tokens(control) == expected
+        assert lengths_8b.has_measurement(control)
+
+    def test_direct_mean(self):
+        lengths = LengthModel(get_model("llama3.1-8b-it"), "mmlu-redux")
+        assert lengths.mean_tokens(direct_control()) == 63.5
+
+    def test_soft_128_overshoots_for_1p5b(self, model_1p5b):
+        # The paper's oddity: the NC-128 prompt makes the 1.5B ramble to
+        # ~1474 tokens — twice its Base length.
+        lengths = LengthModel(model_1p5b, "mmlu-redux")
+        assert lengths.mean_tokens(soft_budget(128)) > lengths.base_mean()
+
+    def test_unknown_pair_raises(self, model_8b):
+        with pytest.raises(KeyError):
+            LengthModel(model_8b, "math500").base_mean()
+
+
+class TestFallbackRules:
+    def test_hard_fallback_below_budget(self, lengths_8b):
+        mean = lengths_8b.mean_tokens(hard_budget(512))
+        assert mean < 512
+        assert not lengths_8b.has_measurement(hard_budget(512))
+
+    def test_hard_fallback_capped_by_base(self, lengths_8b):
+        mean = lengths_8b.mean_tokens(hard_budget(10_000))
+        assert mean == lengths_8b.base_mean()
+
+    def test_l1_conservatism(self, lengths_l1):
+        # L1 massively under-uses its budget (paper: <50 tokens at 256).
+        mean = lengths_l1.mean_tokens(hard_budget(512))
+        assert mean < 0.2 * 512
+
+    def test_l1_never_exceeds_tiny_budget(self, lengths_l1):
+        assert lengths_l1.mean_tokens(hard_budget(16)) <= 16
+
+    def test_soft_fallback_interpolates(self, lengths_8b):
+        mean = lengths_8b.mean_tokens(soft_budget(192))
+        low = lengths_8b.mean_tokens(soft_budget(128))
+        high = lengths_8b.mean_tokens(soft_budget(256))
+        assert min(low, high) <= mean <= max(low, high)
+
+    def test_nr_fallback(self):
+        lengths = LengthModel(get_model("deepscaler-1.5b"), "mmlu-redux")
+        mean = lengths.mean_tokens(nr_control())
+        assert mean == pytest.approx(0.28 * lengths.base_mean())
+
+
+class TestSampling:
+    def test_sample_mean_tracks_target(self, lengths_8b, rng):
+        samples = lengths_8b.sample(base_control(), rng, size=20_000)
+        assert samples.mean() == pytest.approx(811.1, rel=0.03)
+
+    def test_samples_are_positive_ints(self, lengths_8b, rng):
+        samples = lengths_8b.sample(hard_budget(128), rng, size=100)
+        assert samples.dtype.kind == "i"
+        assert (samples >= 4).all()
+
+    def test_scalar_sample(self, lengths_8b, rng):
+        assert isinstance(lengths_8b.sample(base_control(), rng), int)
+
+    def test_latent_transform_monotone(self, lengths_8b):
+        lengths = lengths_8b.sample_with_latent(
+            base_control(), np.array([-1.0, 0.0, 1.0]))
+        assert lengths[0] < lengths[1] < lengths[2]
+
+    def test_plan_caps_hard_budgets(self, lengths_8b, rng):
+        plan = lengths_8b.plan(hard_budget(128), rng, size=10)
+        assert plan.max_new_tokens == 128 + 12
+
+    def test_plan_uses_default_cap_otherwise(self, lengths_8b, rng):
+        plan = lengths_8b.plan(base_control(), rng, size=10)
+        assert plan.max_new_tokens == DEFAULT_MAX_TOKENS
+
+
+class TestTruncationProbability:
+    def test_hard_small_budget_almost_always_truncates(self, lengths_8b):
+        assert lengths_8b.truncation_probability(hard_budget(128)) > 0.95
+
+    def test_hard_generous_budget_rarely_truncates(self, lengths_8b):
+        assert lengths_8b.truncation_probability(hard_budget(4096)) < 0.05
+
+    def test_base_never_truncates(self, lengths_8b):
+        assert lengths_8b.truncation_probability(base_control()) < 0.01
+
+    def test_monotone_in_budget(self, lengths_8b):
+        probs = [lengths_8b.truncation_probability(hard_budget(b))
+                 for b in (64, 128, 256, 512, 1024)]
+        assert probs == sorted(probs, reverse=True)

@@ -1,0 +1,77 @@
+"""Tests for the calibration registry itself."""
+
+import pytest
+
+from repro.hardware.calibration import (
+    available_calibrations,
+    calibration_for_model,
+)
+
+
+class TestRegistry:
+    def test_six_entries(self):
+        names = available_calibrations()
+        assert len(names) == 6
+        assert {"fp16-1.5b", "fp16-8b", "fp16-14b",
+                "awq-1.5b", "awq-8b", "awq-14b"} == set(names)
+
+    def test_known_key_lookup(self):
+        calib = calibration_for_model("fp16-8b")
+        assert calib.decode_weight_stream_efficiency == pytest.approx(0.844)
+
+    def test_unknown_key_without_params_raises(self):
+        with pytest.raises(KeyError):
+            calibration_for_model("fp16-70b")
+
+    @pytest.mark.parametrize("params,expected", [
+        (1.0e9, "fp16-1.5b"), (7.0e9, "fp16-8b"), (30e9, "fp16-14b"),
+    ])
+    def test_fallback_bucketing(self, params, expected):
+        assert calibration_for_model("fp16-unknown", params) == \
+            calibration_for_model(expected)
+
+    def test_awq_fallback_bucketing(self):
+        assert calibration_for_model("awq-unknown", 7e9) == \
+            calibration_for_model("awq-8b")
+
+
+class TestPhysicalSanity:
+    @pytest.mark.parametrize("key", ["fp16-1.5b", "fp16-8b", "fp16-14b",
+                                     "awq-1.5b", "awq-8b", "awq-14b"])
+    def test_efficiencies_are_fractions(self, key):
+        calib = calibration_for_model(key)
+        for value in (calib.prefill_weight_stream_efficiency,
+                      calib.gemm_efficiency,
+                      calib.attention_efficiency,
+                      calib.decode_weight_stream_efficiency,
+                      calib.kv_stream_efficiency,
+                      calib.decode_gemm_efficiency):
+            assert 0.0 < value <= 1.0
+
+    def test_attention_far_below_gemm_efficiency(self):
+        # Unfused attention at ~1% of peak vs ~80% GEMMs is what makes
+        # Table IV's quadratic coefficient 60x larger than FLOP counting.
+        for key in ("fp16-1.5b", "fp16-8b", "fp16-14b"):
+            calib = calibration_for_model(key)
+            assert calib.attention_efficiency < 0.05 * calib.gemm_efficiency
+
+    def test_awq_streams_less_efficiently(self):
+        # Dequantization overhead: AWQ decode stream efficiency sits
+        # below the FP16 counterpart's.
+        for size in ("1.5b", "8b", "14b"):
+            fp16 = calibration_for_model(f"fp16-{size}")
+            awq = calibration_for_model(f"awq-{size}")
+            assert (awq.decode_weight_stream_efficiency
+                    < fp16.decode_weight_stream_efficiency)
+
+    def test_power_floors_below_bases(self):
+        for key in ("fp16-8b", "fp16-14b"):
+            power = calibration_for_model(key).power
+            assert power.floor_w < power.decode_base_w
+            assert power.floor_w <= power.prefill_base_w
+
+    def test_overheads_grow_with_model_size(self):
+        small = calibration_for_model("fp16-1.5b")
+        large = calibration_for_model("fp16-14b")
+        assert (small.per_sequence_overhead_s
+                < large.per_sequence_overhead_s)

@@ -1,0 +1,73 @@
+"""Tests for the ARM CPU execution model (Appendix C)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.cpu import ArmCpuCluster, cortex_a78ae_cluster
+
+
+@pytest.fixture()
+def cpu():
+    return ArmCpuCluster()
+
+
+class TestSpec:
+    def test_twelve_cores(self):
+        assert cortex_a78ae_cluster().cores == 12
+
+    def test_effective_prefill_throughput(self):
+        # Calibrated to ~45 GFLOPS (Table XVI).
+        spec = cortex_a78ae_cluster()
+        assert spec.peak_flops * spec.compute_efficiency == pytest.approx(45e9)
+
+    def test_effective_stream_bandwidth(self):
+        # Calibrated to ~33 GB/s (Table XVII).
+        spec = cortex_a78ae_cluster()
+        assert spec.memory_bandwidth * spec.bandwidth_efficiency == pytest.approx(33e9)
+
+
+class TestPrefill:
+    def test_table16_8b_at_128(self, cpu, model_8b):
+        # Table XVI: 8B CPU prefill at I=128 is ~46.5 s.
+        seconds = cpu.prefill_seconds(model_8b.execution_profile(), 128)
+        assert seconds == pytest.approx(46.5, rel=0.15)
+
+    def test_roughly_linear_in_input(self, cpu, model_8b):
+        profile = model_8b.execution_profile()
+        t128 = cpu.prefill_seconds(profile, 128)
+        t1024 = cpu.prefill_seconds(profile, 1024)
+        assert t1024 == pytest.approx(8 * t128, rel=0.15)
+
+    def test_rejects_bad_input(self, cpu, model_8b):
+        with pytest.raises(ValueError):
+            cpu.prefill_seconds(model_8b.execution_profile(), 0)
+
+
+class TestDecode:
+    def test_table17_8b_tbt(self, cpu, model_8b):
+        # Table XVII implies ~0.5 s/token for the 8B model on the CPU.
+        tbt = float(cpu.decode_step_seconds(model_8b.execution_profile(), 512))
+        assert tbt == pytest.approx(0.5, rel=0.2)
+
+    def test_decode_seconds_sums_steps(self, cpu, model_8b):
+        profile = model_8b.execution_profile()
+        total = cpu.decode_seconds(profile, 512, 16)
+        steps = cpu.decode_step_seconds(profile, 512 + np.arange(16))
+        assert total == pytest.approx(float(steps.sum()))
+
+    def test_gpu_speedup_near_5x(self, cpu, engine_8b, model_8b):
+        # Appendix C: CPU decode is ~5x slower than the GPU.
+        profile = model_8b.execution_profile()
+        cpu_seconds = cpu.decode_seconds(profile, 512, 128)
+        gpu_seconds = engine_8b.kernels.decode(profile, 512, 128).seconds
+        assert 3.5 < cpu_seconds / gpu_seconds < 7.0
+
+    def test_energy_uses_active_power(self, cpu, model_8b):
+        profile = model_8b.execution_profile()
+        energy = cpu.decode_energy_joules(profile, 512, 16)
+        seconds = cpu.decode_seconds(profile, 512, 16)
+        assert energy == pytest.approx(seconds * cpu.spec.active_power_w)
+
+    def test_rejects_bad_output(self, cpu, model_8b):
+        with pytest.raises(ValueError):
+            cpu.decode_seconds(model_8b.execution_profile(), 512, 0)

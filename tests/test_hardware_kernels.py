@@ -1,0 +1,177 @@
+"""Tests for the roofline kernel-timing engine."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.calibration import calibration_for_model
+from repro.hardware.kernels import (
+    BATCH_TILE,
+    KernelEngine,
+    SEQUENCE_TILE,
+    pad_array_to_tile,
+    pad_to_tile,
+)
+from repro.hardware.memory import MemorySpec, MemorySystem
+from repro.hardware.soc import h100_like_server
+
+
+class TestTilePadding:
+    @pytest.mark.parametrize("n,expected", [
+        (1, 128), (127, 128), (128, 128), (129, 256), (256, 256), (300, 384),
+    ])
+    def test_pad_to_128(self, n, expected):
+        assert pad_to_tile(n) == expected
+
+    def test_pad_zero(self):
+        assert pad_to_tile(0) == 0
+
+    def test_pad_custom_tile(self):
+        assert pad_to_tile(17, 16) == 32
+
+    def test_pad_array(self):
+        result = pad_array_to_tile(np.array([1, 16, 17, 0]), 16)
+        assert list(result) == [16, 16, 32, 0]
+
+
+class TestPrefill:
+    def test_paper_tbt_8b_prefill_at_128(self, kernels_8b):
+        engine, profile = kernels_8b
+        # Table XVI: 8B GPU prefill at I=128 is ~0.148 s.
+        assert engine.prefill(profile, 128).seconds == pytest.approx(0.148, rel=0.10)
+
+    def test_stepped_pattern_within_tile(self, kernels_8b):
+        engine, profile = kernels_8b
+        # Within one 128-token tile, compute terms are constant; latency
+        # differences come only from (small) activation traffic.
+        low = engine.prefill(profile, 129).seconds
+        high = engine.prefill(profile, 256).seconds
+        next_tile = engine.prefill(profile, 257).seconds
+        assert high - low < next_tile - high
+
+    def test_monotone_across_tiles(self, kernels_8b):
+        engine, profile = kernels_8b
+        seconds = [engine.prefill(profile, n).seconds
+                   for n in (128, 512, 1024, 2048, 4096)]
+        assert seconds == sorted(seconds)
+
+    def test_quadratic_growth_at_long_inputs(self, kernels_8b):
+        engine, profile = kernels_8b
+        # Attention's quadratic term makes 4096 cost far more than
+        # 4x the 1024 latency minus constants.
+        t1k = engine.prefill(profile, 1024).seconds
+        t4k = engine.prefill(profile, 4096).seconds
+        assert t4k > 3.0 * t1k
+
+    def test_rejects_non_positive(self, kernels_8b):
+        engine, profile = kernels_8b
+        with pytest.raises(ValueError):
+            engine.prefill(profile, 0)
+        with pytest.raises(ValueError):
+            engine.prefill(profile, 128, batch=0)
+
+    def test_jitter_deterministic(self, kernels_8b):
+        engine, profile = kernels_8b
+        assert (engine.prefill(profile, 333).seconds
+                == engine.prefill(profile, 333).seconds)
+
+    def test_vector_matches_scalar_structure(self, kernels_8b):
+        engine, profile = kernels_8b
+        lens = np.array([128, 512, 1024])
+        vector = engine.prefill_seconds_vector(profile, lens)
+        scalars = np.array([engine.prefill(profile, int(n)).seconds for n in lens])
+        # Vector path omits the deterministic jitter; within its amplitude.
+        assert np.allclose(vector, scalars, rtol=0.05)
+
+    def test_utilization_fields_bounded(self, kernels_8b):
+        engine, profile = kernels_8b
+        stats = engine.prefill(profile, 1024)
+        assert 0 <= stats.compute_utilization <= 1
+        assert 0 <= stats.bandwidth_utilization <= 1
+
+
+class TestDecode:
+    def test_tbt_matches_paper_8b(self, kernels_8b):
+        engine, profile = kernels_8b
+        # Fig. 3b / Table V: 8B TBT ~0.092 s.
+        assert engine.mean_tbt(profile, 512) == pytest.approx(0.092, rel=0.05)
+
+    def test_tbt_linear_in_context(self, kernels_8b):
+        engine, profile = kernels_8b
+        t = engine.decode_step_seconds(profile, np.array([100.0, 1100.0, 2100.0]))
+        assert t[1] - t[0] == pytest.approx(t[2] - t[1], rel=1e-6)
+
+    def test_context_slope_matches_paper_m(self, kernels_8b):
+        engine, profile = kernels_8b
+        # Table V: m = 6.92e-7 for the 8B model.
+        assert engine.decode_context_slope(profile) == pytest.approx(6.92e-7,
+                                                                     rel=0.05)
+
+    def test_decode_total_is_step_sum(self, kernels_8b):
+        engine, profile = kernels_8b
+        steps = engine.decode_step_times(profile, 512, 64)
+        total = engine.decode(profile, 512, 64)
+        assert total.seconds == pytest.approx(float(steps.sum()))
+
+    def test_decode_latency_grows_with_output(self, kernels_8b):
+        engine, profile = kernels_8b
+        t64 = engine.decode(profile, 512, 64).seconds
+        t128 = engine.decode(profile, 512, 128).seconds
+        assert t128 > t64 * 1.9
+
+    def test_batch_shares_weight_stream(self, kernels_8b):
+        engine, profile = kernels_8b
+        single = float(engine.decode_step_seconds(profile, 512, 1))
+        batched = float(engine.decode_step_seconds(profile, 512, 8))
+        # Eight sequences cost much less than eight single streams.
+        assert batched < 8 * single
+        assert batched > single
+
+    def test_fig10a_latency_doubles_by_sf64(self, kernels_8b):
+        engine, profile = kernels_8b
+        single = float(engine.decode_step_seconds(profile, 512, 1))
+        sf64 = float(engine.decode_step_seconds(profile, 512, 64))
+        assert 1.5 < sf64 / single < 2.6
+
+    def test_compute_bound_at_huge_batch(self, kernels_8b):
+        engine, profile = kernels_8b
+        # At very large batch the tile-padded GEMM term dominates and the
+        # per-sequence roofline cost stops falling.
+        per_seq_256 = float(engine.decode_step_seconds(profile, 512, 256)) / 256
+        per_seq_1024 = float(engine.decode_step_seconds(profile, 512, 1024)) / 1024
+        assert per_seq_1024 == pytest.approx(per_seq_256, rel=0.5)
+
+    def test_rejects_bad_batch(self, kernels_8b):
+        engine, profile = kernels_8b
+        with pytest.raises(ValueError):
+            engine.decode_step_seconds(profile, 512, 0)
+
+    def test_rejects_bad_output_len(self, kernels_8b):
+        engine, profile = kernels_8b
+        with pytest.raises(ValueError):
+            engine.decode(profile, 512, 0)
+
+    def test_bandwidth_utilization_high_during_decode(self, kernels_8b):
+        engine, profile = kernels_8b
+        util = engine.decode_bandwidth_utilization(profile, 512, 1)
+        # Decode is memory-bound: most of peak bandwidth is consumed.
+        assert util > 0.5
+
+
+class TestMachineScaling:
+    def test_server_decodes_faster(self, model_8b):
+        profile = model_8b.execution_profile()
+        calib = calibration_for_model(profile.calibration_key)
+        server = h100_like_server()
+        mem = MemorySystem(MemorySpec(server.dram_bandwidth, server.l2_cache))
+        engine = KernelEngine(server, mem, calib)
+        assert engine.mean_tbt(profile, 512) < 0.02
+
+    def test_int8_path_uses_int8_peak(self, orin, memory, model_8b):
+        from dataclasses import replace
+        profile = model_8b.execution_profile()
+        calib = calibration_for_model(profile.calibration_key)
+        engine = KernelEngine(orin, memory, calib)
+        int8_profile = replace(profile, compute_dtype="int8")
+        fp16_prefill = engine.prefill(profile, 2048).seconds
+        int8_prefill = engine.prefill(int8_profile, 2048).seconds
+        assert int8_prefill < fp16_prefill

@@ -1,0 +1,74 @@
+"""Tests for the LPDDR5 memory-system model."""
+
+import pytest
+
+from repro.hardware.memory import MemorySpec, MemorySystem
+
+
+@pytest.fixture()
+def mem():
+    return MemorySystem(MemorySpec(peak_bandwidth=200e9, l2_capacity=4 * 1024**2))
+
+
+class TestEfficiency:
+    def test_floor_for_tiny_transfers(self, mem):
+        assert mem.efficiency(1) == pytest.approx(mem.spec.floor_efficiency,
+                                                  rel=0.01)
+
+    def test_asymptote_for_huge_transfers(self, mem):
+        assert mem.efficiency(10e9) == pytest.approx(
+            mem.spec.streaming_efficiency, rel=1e-3)
+
+    def test_monotone_in_size(self, mem):
+        sizes = [1e3, 1e5, 1e7, 1e9]
+        effs = [mem.efficiency(s) for s in sizes]
+        assert effs == sorted(effs)
+
+    def test_zero_bytes_returns_floor(self, mem):
+        assert mem.efficiency(0) == mem.spec.floor_efficiency
+
+    def test_never_exceeds_one(self, mem):
+        assert mem.efficiency(1e12) <= 1.0
+
+
+class TestTransfers:
+    def test_read_accounts_traffic(self, mem):
+        mem.read(1000)
+        assert mem.total_read_bytes == 1000
+        assert mem.total_write_bytes == 0
+
+    def test_write_accounts_traffic(self, mem):
+        mem.write(500)
+        assert mem.total_write_bytes == 500
+
+    def test_transfer_time_positive(self, mem):
+        assert mem.transfer_seconds(1e6) > 0
+
+    def test_transfer_time_zero_for_empty(self, mem):
+        assert mem.transfer_seconds(0) == 0.0
+
+    def test_large_transfer_near_peak(self, mem):
+        seconds = mem.transfer_seconds(20e9)
+        ideal = 20e9 / (200e9 * mem.spec.streaming_efficiency)
+        assert seconds == pytest.approx(ideal, rel=0.01)
+
+    def test_stats_fields(self, mem):
+        stats = mem.read(1 << 20)
+        assert stats.nbytes == 1 << 20
+        assert stats.seconds > 0
+        assert stats.effective_bandwidth > 0
+
+    def test_reset_counters(self, mem):
+        mem.read(100)
+        mem.write(100)
+        mem.reset_counters()
+        assert mem.total_read_bytes == 0
+        assert mem.total_write_bytes == 0
+
+
+class TestCacheResidency:
+    def test_small_working_set_fits(self, mem):
+        assert mem.cache_resident(1024)
+
+    def test_llm_weights_never_fit(self, mem):
+        assert not mem.cache_resident(3e9)

@@ -1,0 +1,131 @@
+"""Tests for the power model (Eqns. 4 and 6 behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.calibration import calibration_for_model
+from repro.hardware.power import PowerModel
+
+
+@pytest.fixture()
+def power_1p5b(orin):
+    calib = calibration_for_model("fp16-1.5b")
+    return PowerModel(orin, calib.power)
+
+
+@pytest.fixture()
+def power_14b(orin):
+    calib = calibration_for_model("fp16-14b")
+    return PowerModel(orin, calib.power)
+
+
+class TestPrefillPower:
+    def test_1p5b_constant_regardless_of_length(self, power_1p5b):
+        # Table XX: the 1.5B prefill power is constant (~5.6 W).
+        p_small = power_1p5b.prefill_power(64)
+        p_large = power_1p5b.prefill_power(4096)
+        assert p_small == pytest.approx(p_large)
+        assert 4.0 < p_small < 7.5
+
+    def test_8b_grows_logarithmically_above_threshold(self, power_8b):
+        below = power_8b.prefill_power(512)
+        above = power_8b.prefill_power(4096)
+        assert above > below
+
+    def test_8b_constant_below_threshold(self, power_8b):
+        # Table XX: log regime above I=800 for the 8B model.
+        assert power_8b.prefill_power(100) == pytest.approx(
+            power_8b.prefill_power(700))
+
+    def test_8b_exceeds_20w_at_4k(self, power_8b):
+        # Fig. 4a: 8B/14B reach over 20 W at 4K input length.
+        assert power_8b.prefill_power(4096) > 20.0
+
+    def test_never_exceeds_envelope(self, power_14b, orin):
+        assert power_14b.prefill_power(10**6) <= orin.power_cap_w
+
+    def test_vector_matches_scalar(self, power_8b):
+        lens = np.array([64, 512, 1024, 4096])
+        vector = power_8b.prefill_power_vector(lens)
+        scalars = [power_8b.prefill_power(int(n)) for n in lens]
+        assert np.allclose(vector, scalars)
+
+
+class TestDecodePower:
+    def test_plateau_below_64_tokens(self, power_8b):
+        # Eqn. 6: ~5.9 W for O < 64.
+        plateau = power_8b.decode_power(16.0)
+        assert plateau == pytest.approx(power_8b.decode_power(63.0))
+        assert 4.0 < plateau < 8.0
+
+    def test_log_growth_above_plateau(self, power_8b):
+        p128 = power_8b.decode_power(128.0)
+        p512 = power_8b.decode_power(512.0)
+        p2048 = power_8b.decode_power(2048.0)
+        assert p128 < p512 < p2048
+        # Log shape: equal multiplicative steps give similar increments.
+        assert (p512 - p128) == pytest.approx(p2048 - p512, rel=0.5)
+
+    def test_8b_base_point(self, power_8b):
+        # Table XIX: ~24 W at the O=512 reference.
+        assert power_8b.decode_power(512.0) == pytest.approx(24.0, abs=2.0)
+
+    def test_batch_increases_power(self, power_8b):
+        single = power_8b.decode_power(128.0, batch=1)
+        batched = power_8b.decode_power(128.0, batch=32)
+        assert batched > single
+
+    def test_batch_headroom_saturates(self, power_8b):
+        p32 = power_8b.decode_power(128.0, batch=32)
+        p64 = power_8b.decode_power(128.0, batch=64)
+        p2 = power_8b.decode_power(128.0, batch=2)
+        assert p64 - p32 < p32 - p2
+
+    def test_fig10c_power_band(self, power_1p5b, power_14b):
+        # Fig. 10c: 1.5B rises toward ~25 W, larger models toward ~35 W.
+        assert power_1p5b.decode_power(128.0, batch=32) < 30.0
+        assert power_14b.decode_power(128.0, batch=32) >= 25.0
+
+    def test_vectorized_over_steps(self, power_8b):
+        generated = np.arange(1, 300, dtype=float)
+        powers = np.asarray(power_8b.decode_power(generated))
+        assert powers.shape == generated.shape
+        assert (powers > 0).all()
+
+    def test_quantized_to_power_states(self, power_8b):
+        step = power_8b.calibration.state_step_w
+        value = power_8b.decode_power(512.0)
+        assert value % step == pytest.approx(0.0, abs=1e-9)
+
+
+class TestNoiseAndStates:
+    def test_noise_is_reproducible(self, orin):
+        calib = calibration_for_model("fp16-8b")
+        a = PowerModel(orin, calib.power, noise_std=0.02, seed=42)
+        b = PowerModel(orin, calib.power, noise_std=0.02, seed=42)
+        assert a.prefill_power(1024) == b.prefill_power(1024)
+
+    def test_noise_varies_between_calls(self, orin):
+        calib = calibration_for_model("fp16-8b")
+        model = PowerModel(orin, calib.power, noise_std=0.05, seed=0)
+        values = {model.prefill_power(1024) for _ in range(8)}
+        assert len(values) > 1
+
+    def test_power_states_enumeration(self, power_8b, orin):
+        states = power_8b.power_states()
+        assert states[0].watts == pytest.approx(orin.idle_power_w)
+        assert states[-1].watts <= orin.power_cap_w + power_8b.calibration.state_step_w
+        watts = [s.watts for s in states]
+        assert watts == sorted(watts)
+
+    def test_gpu_busy_linear_in_batch(self, power_8b):
+        # Fig. 10c: utilization rises linearly with scale factor.
+        b1 = power_8b.gpu_busy_fraction(1)
+        b4 = power_8b.gpu_busy_fraction(4)
+        assert b4 == pytest.approx(4 * b1)
+
+    def test_gpu_busy_saturates_at_one(self, power_8b):
+        assert power_8b.gpu_busy_fraction(10_000) == 1.0
+
+    def test_idle_power(self, power_8b, orin):
+        assert power_8b.idle_power() == orin.idle_power_w

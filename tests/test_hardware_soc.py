@@ -1,0 +1,129 @@
+"""Tests for the SoC specifications and power modes."""
+
+import pytest
+
+from repro.hardware.soc import (
+    PlatformEconomics,
+    PowerMode,
+    SocState,
+    h100_like_server,
+    jetson_orin_agx_64gb,
+    nvidia_h100_sxm,
+)
+
+
+class TestJetsonOrinSpec:
+    def test_table1_cuda_cores(self, orin):
+        assert orin.cuda_cores == 2048
+
+    def test_table1_tensor_cores(self, orin):
+        assert orin.tensor_cores == 64
+
+    def test_table1_memory_capacity(self, orin):
+        assert orin.dram_capacity == 64 * 1024**3
+
+    def test_table1_bandwidth(self, orin):
+        assert orin.dram_bandwidth == pytest.approx(204.8e9)
+
+    def test_table1_fp32_throughput(self, orin):
+        assert orin.peak_fp32_flops == pytest.approx(5.3e12)
+
+    def test_dense_int8_half_of_sparse(self, orin):
+        assert orin.peak_int8_ops == pytest.approx(275e12 / 2)
+
+    def test_fp16_half_of_int8(self, orin):
+        assert orin.peak_fp16_flops == pytest.approx(orin.peak_int8_ops / 2)
+
+    def test_sm_count_and_l1(self, orin):
+        # 192KB x 16 SMs of aggregate L1 per the paper.
+        assert orin.sm_count == 16
+        assert orin.l1_cache == 3 * 1024**2
+
+    def test_flops_to_bytes_ratio_memory_bound_decode(self, orin):
+        # Decode GEMV intensity (~1 FLOP/byte) sits far below the balance
+        # point, confirming the bandwidth-bound claim of Section VI.
+        assert orin.flops_to_bytes_ratio > 100
+
+
+class TestPowerModes:
+    def test_maxn_is_identity(self, orin):
+        scaled = orin.at_mode(PowerMode.MAXN)
+        assert scaled.peak_fp16_flops == orin.peak_fp16_flops
+        assert scaled.dram_bandwidth == orin.dram_bandwidth
+
+    @pytest.mark.parametrize("mode", [PowerMode.MODE_15W, PowerMode.MODE_30W,
+                                      PowerMode.MODE_50W])
+    def test_reduced_modes_scale_down(self, orin, mode):
+        scaled = orin.at_mode(mode)
+        assert scaled.peak_fp16_flops < orin.peak_fp16_flops
+        assert scaled.dram_bandwidth < orin.dram_bandwidth
+        assert scaled.power_cap_w < orin.power_cap_w
+
+    def test_modes_are_monotone(self, orin):
+        ordered = [orin.at_mode(m).peak_fp16_flops for m in (
+            PowerMode.MODE_15W, PowerMode.MODE_30W, PowerMode.MODE_50W,
+            PowerMode.MAXN)]
+        assert ordered == sorted(ordered)
+
+    def test_mode_preserves_capacity(self, orin):
+        assert orin.at_mode(PowerMode.MODE_15W).dram_capacity == orin.dram_capacity
+
+
+class TestServerSpecs:
+    def test_h100_like_is_much_faster(self, orin):
+        server = h100_like_server()
+        assert server.dram_bandwidth > 10 * orin.dram_bandwidth
+        assert server.peak_fp16_flops > 10 * orin.peak_fp16_flops
+
+    def test_h100_has_smaller_host_overheads(self):
+        assert h100_like_server().host_overhead_scale < 1.0
+
+    def test_h100_sxm_reference(self):
+        spec = nvidia_h100_sxm()
+        assert spec.dram_capacity == 80 * 1024**3
+        assert spec.tdp_w == 700.0
+
+
+class TestPlatformEconomics:
+    def test_paper_rates(self):
+        econ = PlatformEconomics()
+        assert econ.electricity_usd_per_kwh == 0.15
+        assert econ.hardware_usd_per_hour == 0.045
+
+    def test_energy_only_cost(self):
+        econ = PlatformEconomics()
+        # 1 kWh of energy, no time.
+        assert econ.cost_usd(3.6e6, 0.0) == pytest.approx(0.15)
+
+    def test_hardware_only_cost(self):
+        econ = PlatformEconomics()
+        assert econ.cost_usd(0.0, 3600.0) == pytest.approx(0.045)
+
+    def test_table3_single_batch_scenario(self):
+        # 4358 s, 0.0317 kWh -> ~$0.302 per 1M tokens over 195,624 tokens.
+        econ = PlatformEconomics()
+        cost = econ.cost_usd(0.0317 * 3.6e6, 4358.0)
+        per_mtok = cost / 195_624 * 1e6
+        assert per_mtok == pytest.approx(0.302, rel=0.05)
+
+
+class TestSocState:
+    def test_allocate_and_free(self, orin):
+        state = SocState(orin)
+        state.allocate(10 * 1024**3, "weights")
+        assert state.allocated_dram == 10 * 1024**3
+        assert "weights" in state.resident_models
+        state.free(10 * 1024**3, "weights")
+        assert state.allocated_dram == 0
+        assert "weights" not in state.resident_models
+
+    def test_allocate_beyond_capacity_raises(self, orin):
+        state = SocState(orin)
+        with pytest.raises(MemoryError):
+            state.allocate(orin.dram_capacity + 1, "too big")
+
+    def test_multiple_allocations_accumulate(self, orin):
+        state = SocState(orin)
+        state.allocate(1024, "a")
+        state.allocate(2048, "b")
+        assert state.allocated_dram == 3072

@@ -1,0 +1,89 @@
+"""Tests for telemetry recording and energy integration."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.telemetry import (
+    EnergyReport,
+    TelemetryRecorder,
+    UtilizationSample,
+)
+
+
+class TestRecordPhase:
+    def test_energy_is_power_time_integral(self):
+        recorder = TelemetryRecorder()
+        seconds = np.array([0.1, 0.2, 0.3])
+        watts = np.array([10.0, 20.0, 30.0])
+        record = recorder.record_phase("decode", seconds, watts, tokens=3)
+        assert record.energy_joules == pytest.approx(0.1 * 10 + 0.2 * 20 + 0.3 * 30)
+
+    def test_mean_power(self):
+        recorder = TelemetryRecorder()
+        record = recorder.record_phase("decode", np.array([1.0, 1.0]),
+                                       np.array([10.0, 30.0]), tokens=2)
+        assert record.mean_power_w == pytest.approx(20.0)
+
+    def test_scalar_inputs(self):
+        recorder = TelemetryRecorder()
+        record = recorder.record_phase("prefill", 0.5, 12.0, tokens=100)
+        assert record.energy_joules == pytest.approx(6.0)
+
+    def test_scalar_power_broadcast(self):
+        recorder = TelemetryRecorder()
+        record = recorder.record_phase("decode", np.array([1.0, 2.0]), 10.0,
+                                       tokens=2)
+        assert record.energy_joules == pytest.approx(30.0)
+
+    def test_shape_mismatch_raises(self):
+        recorder = TelemetryRecorder()
+        with pytest.raises(ValueError):
+            recorder.record_phase("decode", np.ones(3), np.ones(2), tokens=1)
+
+    def test_utilization_attached(self):
+        recorder = TelemetryRecorder()
+        util = UtilizationSample(0.5, 0.6, 0.05, 0.15)
+        record = recorder.record_phase("decode", 1.0, 10.0, tokens=1,
+                                       utilization=util)
+        assert record.utilization is util
+
+
+class TestReport:
+    def _recorder_with_phases(self):
+        recorder = TelemetryRecorder()
+        recorder.record_phase("prefill", 0.1, 10.0, tokens=100)
+        recorder.record_phase("decode", np.array([0.5, 0.5]),
+                              np.array([20.0, 20.0]), tokens=2)
+        return recorder
+
+    def test_totals(self):
+        report = self._recorder_with_phases().report()
+        assert report.total_seconds == pytest.approx(1.1)
+        assert report.total_energy_joules == pytest.approx(1.0 + 20.0)
+
+    def test_phase_split(self):
+        report = self._recorder_with_phases().report()
+        assert report.prefill_seconds == pytest.approx(0.1)
+        assert report.decode_seconds == pytest.approx(1.0)
+        assert report.prefill_tokens == 100
+        assert report.decode_tokens == 2
+
+    def test_energy_per_token(self):
+        report = self._recorder_with_phases().report()
+        assert report.energy_per_decode_token == pytest.approx(10.0)
+        assert report.energy_per_prefill_token == pytest.approx(0.01)
+
+    def test_mean_power(self):
+        report = self._recorder_with_phases().report()
+        assert report.mean_power_w == pytest.approx(21.0 / 1.1)
+
+    def test_empty_report_is_zero(self):
+        report = EnergyReport()
+        assert report.mean_power_w == 0.0
+        assert report.energy_per_decode_token == 0.0
+        assert report.energy_per_prefill_token == 0.0
+
+    def test_clear(self):
+        recorder = self._recorder_with_phases()
+        recorder.clear()
+        assert recorder.report().total_seconds == 0.0

@@ -1,0 +1,108 @@
+"""Tests for transformer architecture configs and FLOP/byte accounting."""
+
+import pytest
+
+from repro.models.config import ModelFamily, TransformerConfig
+
+
+class TestParameterCounts:
+    """Parameter counts must match the public model cards."""
+
+    def test_dsr1_qwen_1p5b(self, model_1p5b):
+        assert model_1p5b.param_count == pytest.approx(1.54e9, rel=0.03)
+
+    def test_dsr1_llama_8b(self, model_8b):
+        assert model_8b.param_count == pytest.approx(8.03e9, rel=0.02)
+
+    def test_dsr1_qwen_14b(self, model_14b):
+        assert model_14b.param_count == pytest.approx(14.8e9, rel=0.02)
+
+    def test_qwen_7b(self):
+        from repro.models.registry import get_model
+        assert get_model("qwen2.5-7b-it").param_count == pytest.approx(
+            7.6e9, rel=0.03)
+
+    def test_tied_embeddings_reduce_params(self, model_1p5b):
+        # Qwen2.5-1.5B ties its LM head to the embedding table.
+        assert model_1p5b.lm_head_params == 0
+        assert model_1p5b.tied_embeddings
+
+    def test_untied_lm_head(self, model_8b):
+        assert model_8b.lm_head_params == model_8b.vocab_size * model_8b.d_model
+
+
+class TestByteAccounting:
+    def test_streamed_excludes_input_embedding(self, model_8b):
+        assert model_8b.streamed_params < model_8b.param_count
+
+    def test_weight_bytes_fp16(self, model_8b):
+        assert model_8b.weight_bytes == pytest.approx(
+            model_8b.streamed_params * 2.0)
+
+    def test_kv_bytes_8b(self, model_8b):
+        # 2 (K,V) * 32 layers * 8 kv-heads * 128 head-dim * 2 bytes.
+        assert model_8b.kv_bytes_per_token == 131072
+
+    def test_kv_bytes_1p5b_gqa(self, model_1p5b):
+        # Aggressive GQA: only 2 kv-heads.
+        assert model_1p5b.kv_bytes_per_token == 2 * 28 * 2 * 128 * 2
+
+    def test_kv_cache_scales_with_context_and_batch(self, model_8b):
+        single = model_8b.kv_cache_bytes(100, 1)
+        assert model_8b.kv_cache_bytes(200, 1) == pytest.approx(2 * single)
+        assert model_8b.kv_cache_bytes(100, 4) == pytest.approx(4 * single)
+
+    def test_linear_flops_about_twice_params(self, model_8b):
+        ratio = model_8b.linear_flops_per_token / model_8b.streamed_params
+        assert ratio == pytest.approx(2.0)
+
+    def test_attention_flops_coefficient(self, model_8b):
+        # 4 * layers * q_dim = 4 * 32 * 4096.
+        assert model_8b.attention_flops_per_sq_token == 4 * 32 * 4096
+
+    def test_resident_at_least_streamed(self, dsr1_models):
+        for model in dsr1_models:
+            assert model.resident_bytes >= model.weight_bytes
+
+
+class TestValidation:
+    def _base_kwargs(self):
+        return dict(
+            name="m", display_name="M", family=ModelFamily.REASONING,
+            num_layers=2, d_model=64, num_heads=4, num_kv_heads=2,
+            head_dim=16, ffn_dim=128, vocab_size=1000,
+        )
+
+    def test_heads_must_divide(self):
+        kwargs = self._base_kwargs()
+        kwargs["num_kv_heads"] = 3
+        with pytest.raises(ValueError, match="multiple"):
+            TransformerConfig(**kwargs)
+
+    @pytest.mark.parametrize("field", ["num_layers", "d_model", "vocab_size"])
+    def test_positive_dimensions_required(self, field):
+        kwargs = self._base_kwargs()
+        kwargs[field] = 0
+        with pytest.raises(ValueError):
+            TransformerConfig(**kwargs)
+
+    def test_is_reasoning_flag(self, model_8b):
+        assert model_8b.is_reasoning
+        from repro.models.registry import get_model
+        assert not get_model("llama3.1-8b-it").is_reasoning
+        assert get_model("l1-max").is_reasoning
+
+
+class TestExecutionProfile:
+    def test_fields_transfer(self, model_8b):
+        profile = model_8b.execution_profile()
+        assert profile.name == model_8b.name
+        assert profile.weight_bytes == model_8b.weight_bytes
+        assert profile.kv_bytes_per_token == model_8b.kv_bytes_per_token
+        assert profile.calibration_key == model_8b.calibration_key
+        assert profile.compute_dtype == "fp16"
+
+    def test_quantized_profile_dtype(self):
+        from repro.models.registry import get_model
+        profile = get_model("dsr1-llama-8b-awq-w4").execution_profile()
+        assert profile.compute_dtype == "int8"

@@ -1,0 +1,74 @@
+"""Tests for the W4A16 AWQ quantization transform."""
+
+import pytest
+
+from repro.models.quantization import AWQ_BITS_PER_WEIGHT, awq_w4_quantize, compression_ratio
+from repro.models.registry import get_model
+
+
+class TestAwqTransform:
+    def test_name_and_label(self, model_8b):
+        quantized = awq_w4_quantize(model_8b)
+        assert quantized.name == "dsr1-llama-8b-awq-w4"
+        assert "AWQ-W4" in quantized.display_name
+
+    def test_compression_below_4x(self, model_8b):
+        # The FP16 LM head and scales keep compression below the naive 4x.
+        quantized = awq_w4_quantize(model_8b)
+        ratio = compression_ratio(quantized)
+        assert 2.5 < ratio < 4.0
+
+    def test_weight_bytes_shrink(self, model_8b):
+        quantized = awq_w4_quantize(model_8b)
+        assert quantized.weight_bytes < model_8b.weight_bytes / 2.5
+
+    def test_kv_cache_unchanged(self, model_8b):
+        # W4A16 leaves activations (and KV) in 16-bit.
+        quantized = awq_w4_quantize(model_8b)
+        assert quantized.kv_bytes_per_token == model_8b.kv_bytes_per_token
+
+    def test_int8_compute_fallback(self, model_8b):
+        # Ampere has no INT4 tensor cores; compute falls back to INT8.
+        assert awq_w4_quantize(model_8b).compute_dtype == "int8"
+
+    def test_param_count_unchanged(self, model_8b):
+        assert awq_w4_quantize(model_8b).param_count == model_8b.param_count
+
+    def test_calibration_key_switches(self, model_8b):
+        assert awq_w4_quantize(model_8b).calibration_key == "awq-8b"
+
+    def test_double_quantize_rejected(self, model_8b):
+        quantized = awq_w4_quantize(model_8b)
+        with pytest.raises(ValueError, match="already quantized"):
+            awq_w4_quantize(quantized)
+
+    def test_compression_ratio_requires_quantized(self, model_8b):
+        with pytest.raises(ValueError):
+            compression_ratio(model_8b)
+
+    def test_bits_per_weight_includes_scales(self):
+        assert AWQ_BITS_PER_WEIGHT > 4.0
+
+    def test_tied_model_keeps_fp16_head_share(self, model_1p5b):
+        # The 1.5B's tied (large) vocab head stays FP16, so its blended
+        # byte rate is higher than the 8B's.
+        q_small = awq_w4_quantize(model_1p5b)
+        q_large = awq_w4_quantize(get_model("dsr1-qwen-14b"))
+        assert q_small.weight_bytes_per_param > q_large.weight_bytes_per_param
+
+
+class TestRegistryAwqVariants:
+    def test_registry_variant_matches_transform(self, model_8b):
+        registered = get_model("dsr1-llama-8b-awq-w4")
+        rebuilt = awq_w4_quantize(model_8b)
+        assert registered.weight_bytes == pytest.approx(rebuilt.weight_bytes)
+        assert registered.calibration_key == rebuilt.calibration_key
+
+    def test_quantized_decode_speedup_2_to_3x(self):
+        # Table XIX: quantization speeds decode 2-3x, not the naive 4x.
+        from repro.engine.engine import InferenceEngine
+        fp16 = InferenceEngine(get_model("dsr1-llama-8b"))
+        awq = InferenceEngine(get_model("dsr1-llama-8b-awq-w4"))
+        tbt_fp16 = fp16.kernels.mean_tbt(fp16.profile, 512)
+        tbt_awq = awq.kernels.mean_tbt(awq.profile, 512)
+        assert 2.0 < tbt_fp16 / tbt_awq < 3.5

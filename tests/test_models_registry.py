@@ -1,0 +1,67 @@
+"""Tests for the model registry."""
+
+import pytest
+
+from repro.models.config import ModelFamily
+from repro.models.registry import (
+    direct_models,
+    get_model,
+    list_models,
+    reasoning_models,
+)
+
+
+class TestLookup:
+    def test_canonical_names(self):
+        assert get_model("dsr1-llama-8b").display_name == "DSR1-Llama-8B"
+
+    def test_case_insensitive(self):
+        assert get_model("DSR1-Llama-8B").name == "dsr1-llama-8b"
+
+    @pytest.mark.parametrize("alias,name", [
+        ("1.5b", "dsr1-qwen-1.5b"),
+        ("8b", "dsr1-llama-8b"),
+        ("14b", "dsr1-qwen-14b"),
+        ("l1", "l1-max"),
+        ("deepscaler", "deepscaler-1.5b"),
+    ])
+    def test_aliases(self, alias, name):
+        assert get_model(alias).name == name
+
+    def test_unknown_model_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="known models"):
+            get_model("gpt-17")
+
+
+class TestZooComposition:
+    def test_paper_models_present(self):
+        names = list_models()
+        for expected in ("dsr1-qwen-1.5b", "dsr1-llama-8b", "dsr1-qwen-14b",
+                         "l1-max", "deepscaler-1.5b", "qwen2.5-7b-it",
+                         "llama3.1-8b-it", "gemma-7b-it"):
+            assert expected in names
+
+    def test_awq_variants_registered(self):
+        names = list_models()
+        for expected in ("dsr1-qwen-1.5b-awq-w4", "dsr1-llama-8b-awq-w4",
+                         "dsr1-qwen-14b-awq-w4"):
+            assert expected in names
+
+    def test_reasoning_models_ordered_by_size(self):
+        models = reasoning_models()
+        sizes = [m.param_count for m in models]
+        assert sizes == sorted(sizes)
+        assert len(models) == 3
+
+    def test_direct_models_family(self):
+        for model in direct_models():
+            assert model.family is ModelFamily.DIRECT
+
+    def test_l1_is_budget_aware(self):
+        assert get_model("l1-max").family is ModelFamily.BUDGET_AWARE
+
+    def test_l1_shares_1p5b_backbone(self):
+        l1 = get_model("l1-max")
+        base = get_model("dsr1-qwen-1.5b")
+        assert l1.param_count == base.param_count
+        assert l1.kv_bytes_per_token == base.kv_bytes_per_token

@@ -1,0 +1,148 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.latency_model import (
+    DecodeLatencyModel,
+    PrefillLatencyModel,
+    TotalLatencyModel,
+    pad_input_length,
+)
+from repro.engine.kv_cache import KVCacheConfig, PagedKVCache
+from repro.hardware.kernels import pad_to_tile
+from repro.hardware.telemetry import TelemetryRecorder
+from repro.models.capability import question_success_probability
+from repro.scaling.voting import sample_answer_matrix, majority_vote
+
+
+class TestPaddingProperties:
+    @given(st.integers(min_value=1, max_value=100_000))
+    def test_pad_is_multiple_and_minimal(self, n):
+        padded = pad_to_tile(n)
+        assert padded % 128 == 0
+        assert padded >= n
+        assert padded - n < 128
+
+    @given(st.integers(min_value=1, max_value=100_000),
+           st.integers(min_value=1, max_value=512))
+    def test_pad_idempotent(self, n, tile):
+        once = pad_to_tile(n, tile)
+        assert pad_to_tile(once, tile) == once
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    def test_model_padding_agrees_with_kernel_padding(self, n):
+        assert pad_input_length(n) == pad_to_tile(n)
+
+
+class TestLatencyModelProperties:
+    @given(st.integers(min_value=1, max_value=4096),
+           st.integers(min_value=1, max_value=4096),
+           st.integers(min_value=1, max_value=512))
+    def test_decode_latency_monotone_in_output(self, input_len, output_len,
+                                               extra):
+        model = DecodeLatencyModel(m=6.92e-7, n=0.092)
+        assert model(input_len, output_len + extra) > model(input_len,
+                                                            output_len)
+
+    @given(st.integers(min_value=1, max_value=4096),
+           st.integers(min_value=1, max_value=4096),
+           st.integers(min_value=1, max_value=2048))
+    def test_decode_latency_monotone_in_input(self, input_len, output_len,
+                                              extra):
+        model = DecodeLatencyModel(m=6.92e-7, n=0.092)
+        assert model(input_len + extra, output_len) >= model(input_len,
+                                                             output_len)
+
+    @given(st.integers(min_value=1, max_value=4096),
+           st.floats(min_value=0.5, max_value=600.0))
+    def test_max_output_tokens_inverse(self, input_len, budget):
+        model = TotalLatencyModel(
+            PrefillLatencyModel(a=6.65e-7, b=2.9e-4, c=0.104),
+            DecodeLatencyModel(m=6.92e-7, n=0.092),
+        )
+        tokens = model.max_output_tokens(input_len, budget)
+        if tokens > 0:
+            assert float(model(input_len, tokens)) <= budget + 1e-9
+            assert float(model(input_len, tokens + 1)) > budget
+
+    @given(st.integers(min_value=1, max_value=8192))
+    def test_prefill_latency_positive(self, input_len):
+        model = PrefillLatencyModel(a=6.65e-7, b=2.9e-4, c=0.104)
+        assert float(model(input_len)) > 0
+
+
+class TestKVCacheProperties:
+    @given(st.lists(st.tuples(st.integers(min_value=1, max_value=500),
+                              st.integers(min_value=0, max_value=500)),
+                    min_size=1, max_size=20))
+    def test_alloc_free_roundtrip_conserves_blocks(self, sequences):
+        cache = PagedKVCache(KVCacheConfig(
+            bytes_per_token=100.0, capacity_bytes=100.0 * 16 * 100_000,
+        ))
+        total = cache.free_blocks
+        for seq_id, (prompt, extra) in enumerate(sequences):
+            cache.allocate_sequence(seq_id, prompt)
+            cache.extend(seq_id, extra)
+        for seq_id in range(len(sequences)):
+            cache.release_sequence(seq_id)
+        assert cache.free_blocks == total
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_blocks_cover_tokens(self, tokens):
+        cache = PagedKVCache(KVCacheConfig(
+            bytes_per_token=100.0, capacity_bytes=1e12,
+        ))
+        blocks = cache.blocks_for(tokens)
+        assert blocks * cache.config.block_tokens >= tokens
+        assert (blocks - 1) * cache.config.block_tokens < tokens
+
+
+class TestTelemetryProperties:
+    @given(st.lists(st.tuples(st.floats(min_value=1e-4, max_value=10.0),
+                              st.floats(min_value=1.0, max_value=60.0)),
+                    min_size=1, max_size=50))
+    def test_energy_bounded_by_power_envelope(self, steps):
+        recorder = TelemetryRecorder()
+        seconds = np.array([s for s, _ in steps])
+        watts = np.array([w for _, w in steps])
+        record = recorder.record_phase("decode", seconds, watts, tokens=1)
+        assert record.energy_joules <= float(seconds.sum()) * watts.max() + 1e-9
+        assert record.energy_joules >= float(seconds.sum()) * watts.min() - 1e-9
+
+
+class TestProbabilityProperties:
+    @given(st.floats(min_value=0.05, max_value=0.95),
+           st.floats(min_value=0.0, max_value=6.0),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_mean_preservation(self, target, beta, seed):
+        rng = np.random.default_rng(seed)
+        difficulties = rng.beta(2.0, 2.0, size=3000)
+        p = question_success_probability(target, difficulties, beta)
+        assert (p >= 0).all() and (p <= 1).all()
+        assert abs(float(p.mean()) - target) < 0.02
+
+
+class TestVotingProperties:
+    @given(st.integers(min_value=0, max_value=2**31 - 1),
+           st.integers(min_value=1, max_value=33))
+    @settings(max_examples=25, deadline=None)
+    def test_vote_winner_always_among_answers(self, seed, k):
+        rng = np.random.default_rng(seed)
+        p = rng.random(50)
+        w = rng.random(50) * 0.9
+        answers = sample_answer_matrix(p, w, 4, k, rng)
+        winners = majority_vote(answers, rng)
+        for row, winner in zip(answers, winners):
+            assert winner in row
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_answer_matrix_correct_rate_tracks_p(self, seed):
+        rng = np.random.default_rng(seed)
+        p = np.full(400, rng.random())
+        answers = sample_answer_matrix(p, np.full(400, 0.4), 4, 16, rng)
+        rate = float((answers == 0).mean())
+        assert abs(rate - p[0]) < 0.08

@@ -1,0 +1,125 @@
+"""Second batch of property-based tests: lengths, caching, serving."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.batch_model import BatchedDecodeLatencyModel
+from repro.core.latency_model import DecodeLatencyModel
+from repro.core.controller import DeadlineController
+from repro.core.latency_model import PrefillLatencyModel, TotalLatencyModel
+from repro.engine.engine import InferenceEngine
+from repro.engine.prefix_cache import PrefixCache
+from repro.engine.sampler import active_sequences_per_step
+from repro.generation.control import hard_budget
+from repro.generation.length import LengthModel
+from repro.models.registry import get_model
+
+_ENGINE_8B = InferenceEngine(get_model("dsr1-llama-8b"))
+
+
+class TestLengthModelProperties:
+    @given(st.integers(min_value=8, max_value=4096))
+    @settings(max_examples=40, deadline=None)
+    def test_hard_mean_never_exceeds_base(self, budget):
+        lengths = LengthModel(get_model("dsr1-llama-8b"), "mmlu-redux")
+        assert lengths.mean_tokens(hard_budget(budget)) <= lengths.base_mean() + 1e-9
+
+    @given(st.integers(min_value=8, max_value=4096))
+    @settings(max_examples=40, deadline=None)
+    def test_l1_never_exceeds_budget(self, budget):
+        lengths = LengthModel(get_model("l1-max"), "mmlu-redux")
+        # Measured table entries (128/256) are themselves under budget;
+        # the fallback rule must hold everywhere else.
+        assert lengths.mean_tokens(hard_budget(budget)) <= budget + 1e-9
+
+    @given(st.integers(min_value=8, max_value=4096),
+           st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_samples_positive(self, budget, seed):
+        lengths = LengthModel(get_model("dsr1-qwen-14b"), "mmlu-redux")
+        rng = np.random.default_rng(seed)
+        samples = lengths.sample(hard_budget(budget), rng, size=32)
+        assert (samples >= 4).all()
+
+    @given(st.integers(min_value=16, max_value=2048),
+           st.integers(min_value=1, max_value=2048))
+    @settings(max_examples=40, deadline=None)
+    def test_truncation_probability_monotone(self, budget, extra):
+        lengths = LengthModel(get_model("dsr1-llama-8b"), "mmlu-redux")
+        assert (lengths.truncation_probability(hard_budget(budget + extra))
+                <= lengths.truncation_probability(hard_budget(budget)) + 1e-12)
+
+
+class TestPrefixCacheProperties:
+    @given(st.lists(st.tuples(st.text(alphabet="abcdef", min_size=1,
+                                      max_size=4),
+                              st.integers(min_value=1, max_value=500)),
+                    min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_capacity_never_exceeded(self, inserts):
+        cache = PrefixCache(capacity_bytes=500_000, kv_bytes_per_token=1000.0)
+        for key, tokens in inserts:
+            cache.insert(key, tokens)
+            assert cache.used_bytes <= cache.capacity_bytes
+
+    @given(st.lists(st.integers(min_value=1, max_value=400),
+                    min_size=2, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_most_recent_insert_always_present(self, sizes):
+        cache = PrefixCache(capacity_bytes=400_000, kv_bytes_per_token=1000.0)
+        for index, tokens in enumerate(sizes):
+            cache.insert(f"k{index}", tokens)
+            assert f"k{index}" in cache
+
+
+class TestSchedulingProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=200),
+                    min_size=1, max_size=30),
+           st.integers(min_value=1, max_value=240))
+    @settings(max_examples=40, deadline=None)
+    def test_active_counts_conserve_token_mass(self, stops, num_steps):
+        stops_arr = np.asarray(stops)
+        active = active_sequences_per_step(stops_arr, num_steps)
+        # Total active-slots equals total tokens actually generated in
+        # the window.
+        generated = np.minimum(stops_arr, num_steps).sum()
+        assert active.sum() == generated
+
+
+class TestControllerProperties:
+    @given(st.integers(min_value=32, max_value=2048),
+           st.integers(min_value=16, max_value=2048),
+           st.floats(min_value=2.0, max_value=120.0))
+    @settings(max_examples=25, deadline=None)
+    def test_controller_always_meets_feasible_deadlines(self, prompt,
+                                                        thinking, deadline):
+        latency = TotalLatencyModel(
+            PrefillLatencyModel(6.42e-7, 3.3e-4, 0.081),
+            DecodeLatencyModel(6.92e-7, 0.092),
+        )
+        controller = DeadlineController(latency)
+        engine = _ENGINE_8B
+        # A deadline is feasible when prefill + the answer fits.
+        floor = (engine.kernels.prefill(engine.profile, prompt).seconds
+                 + float(latency.decode(prompt, controller.answer_tokens))
+                 + 0.5)
+        if deadline < floor:
+            return
+        outcome = controller.run(engine, prompt, thinking, deadline)
+        assert outcome.met_deadline
+
+
+class TestBatchedModelProperties:
+    @given(st.integers(min_value=1, max_value=128),
+           st.integers(min_value=1, max_value=128))
+    @settings(max_examples=40, deadline=None)
+    def test_interpolation_monotone_in_batch(self, b1, b2):
+        model = BatchedDecodeLatencyModel(
+            (1, 16, 64),
+            (DecodeLatencyModel(1e-7, 0.09),
+             DecodeLatencyModel(1.6e-6, 0.11),
+             DecodeLatencyModel(6.4e-6, 0.17)),
+        )
+        lo, hi = sorted((b1, b2))
+        assert model.tbt(512, lo) <= model.tbt(512, hi) + 1e-12

@@ -1,0 +1,100 @@
+"""Tests for hybrid sequential x parallel scaling."""
+
+import numpy as np
+import pytest
+
+from repro.scaling.hybrid import (
+    HybridPoint,
+    best_under_latency,
+    crossover_budget,
+    hybrid_scaling_surface,
+    sequential_only,
+)
+
+
+def _stats_fn(budget):
+    """Accuracy saturates by ~128 tokens (the Sec. V-C inflection shape);
+    moderate distractors; low determinism, so voting has headroom."""
+    n = 400
+    mean = min(0.2 + budget / 300.0, 0.45)
+    p = np.clip(np.full(n, mean) + np.linspace(-0.15, 0.15, n), 0.01, 0.99)
+    w = np.full(n, 0.3)
+    g = np.full(n, 0.2)
+    det = np.full(n, 0.1)
+    return p, w, g, det
+
+
+def _latency_fn(budget, scale_factor):
+    """Width is cheap (batch shares weights); length is linear."""
+    return 0.05 * budget * (1.0 + 0.05 * (scale_factor - 1))
+
+
+@pytest.fixture(scope="module")
+def surface():
+    rng = np.random.default_rng(0)
+    return hybrid_scaling_surface(
+        _stats_fn, _latency_fn, 4,
+        token_budgets=(64, 128, 256, 512),
+        scale_factors=(1, 2, 4, 8),
+        rng=rng,
+    )
+
+
+class TestSurface:
+    def test_full_grid(self, surface):
+        assert len(surface) == 16
+
+    def test_accuracy_in_unit_interval(self, surface):
+        assert all(0.0 <= pt.accuracy <= 1.0 for pt in surface)
+
+    def test_latency_grows_with_both_axes(self, surface):
+        by_key = {(pt.token_budget, pt.scale_factor): pt for pt in surface}
+        assert by_key[(128, 1)].latency_s < by_key[(256, 1)].latency_s
+        assert by_key[(128, 1)].latency_s < by_key[(128, 8)].latency_s
+
+    def test_widening_helps_with_these_stats(self, surface):
+        by_key = {(pt.token_budget, pt.scale_factor): pt for pt in surface}
+        assert by_key[(128, 8)].accuracy > by_key[(128, 1)].accuracy
+
+    def test_compute_tokens(self):
+        point = HybridPoint(128, 4, 0.5, 10.0)
+        assert point.total_compute_tokens == 512
+
+    def test_input_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            hybrid_scaling_surface(_stats_fn, _latency_fn, 4, (0,), (1,), rng)
+        with pytest.raises(ValueError):
+            hybrid_scaling_surface(_stats_fn, _latency_fn, 4, (64,), (0,), rng)
+
+
+class TestSelection:
+    def test_best_respects_budget(self, surface):
+        best = best_under_latency(surface, 10.0)
+        assert best is not None
+        assert best.latency_s <= 10.0
+
+    def test_infeasible_returns_none(self, surface):
+        assert best_under_latency(surface, 0.01) is None
+
+    def test_larger_budget_never_worse(self, surface):
+        small = best_under_latency(surface, 5.0)
+        large = best_under_latency(surface, 40.0)
+        assert large.accuracy >= small.accuracy
+
+    def test_sequential_slice(self, surface):
+        assert all(pt.scale_factor == 1 for pt in sequential_only(surface))
+        assert len(sequential_only(surface)) == 4
+
+    def test_hybrid_beats_pure_sequential_here(self, surface):
+        budget = 10.0
+        hybrid = best_under_latency(surface, budget)
+        pure = best_under_latency(sequential_only(surface), budget)
+        assert hybrid.accuracy >= pure.accuracy
+
+    def test_crossover_found_for_saturating_stats(self, surface):
+        # Once the per-budget accuracy saturates, widening beats
+        # lengthening at equal compute.
+        crossover = crossover_budget(surface)
+        assert crossover is not None
+        assert crossover <= 256

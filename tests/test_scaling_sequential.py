@@ -1,0 +1,90 @@
+"""Tests for sequential scaling and the parallel-scaling curve."""
+
+import numpy as np
+import pytest
+
+from repro.models.capability import AccuracyCurve, AnchorPoint, capability_profile
+from repro.scaling.parallel import parallel_scaling_curve
+from repro.scaling.sequential import (
+    diminishing_returns_threshold,
+    marginal_gain_per_token,
+    sequential_scaling_curve,
+)
+
+
+@pytest.fixture()
+def saturating_curve():
+    return AccuracyCurve([
+        AnchorPoint(32, 0.25), AnchorPoint(128, 0.45), AnchorPoint(400, 0.60),
+        AnchorPoint(1600, 0.62),
+    ])
+
+
+class TestSequentialCurve:
+    def test_points_follow_curve(self, saturating_curve):
+        points = sequential_scaling_curve(
+            saturating_curve, [64, 256, 1024], latency_fn=lambda o: 0.1 * o)
+        assert [p.budget for p in points] == [64, 256, 1024]
+        assert points[0].accuracy < points[1].accuracy < points[2].accuracy
+        assert points[2].latency_seconds == pytest.approx(102.4)
+
+    def test_rejects_bad_budget(self, saturating_curve):
+        with pytest.raises(ValueError):
+            sequential_scaling_curve(saturating_curve, [0],
+                                     latency_fn=lambda o: o)
+
+    def test_marginal_gain_decreases(self, saturating_curve):
+        early = marginal_gain_per_token(saturating_curve, 100)
+        late = marginal_gain_per_token(saturating_curve, 1200)
+        assert early > late
+
+    def test_marginal_gain_rejects_tiny_tokens(self, saturating_curve):
+        with pytest.raises(ValueError):
+            marginal_gain_per_token(saturating_curve, 4)
+
+    def test_diminishing_returns_threshold_in_range(self, saturating_curve):
+        threshold = diminishing_returns_threshold(saturating_curve)
+        assert 32 < threshold <= 1600
+
+    def test_paper_inflection_points(self):
+        # Section V-C: diminishing returns around a few hundred tokens.
+        profile = capability_profile("dsr1-qwen-14b", "mmlu-redux")
+        threshold = diminishing_returns_threshold(profile.completed)
+        assert 150 < threshold < 1400
+
+
+class TestParallelScalingCurve:
+    def test_points_per_scale_factor(self, engine_1p5b, rng):
+        p = np.full(200, 0.4)
+        w = np.full(200, 0.3)
+        points = parallel_scaling_curve(
+            engine_1p5b, p, w, 4, scale_factors=(1, 4, 16),
+            output_budget=128, prompt_tokens=150, rng=rng,
+        )
+        assert [pt.scale_factor for pt in points] == [1, 4, 16]
+
+    def test_latency_monotone_in_sf(self, engine_1p5b, rng):
+        points = parallel_scaling_curve(
+            engine_1p5b, np.full(100, 0.4), np.full(100, 0.3), 4,
+            scale_factors=(1, 8, 64), output_budget=128,
+            prompt_tokens=150, rng=rng,
+        )
+        latencies = [pt.decode_seconds for pt in points]
+        assert latencies == sorted(latencies)
+
+    def test_energy_monotone_in_sf(self, engine_1p5b, rng):
+        points = parallel_scaling_curve(
+            engine_1p5b, np.full(100, 0.4), np.full(100, 0.3), 4,
+            scale_factors=(1, 8, 64), output_budget=128,
+            prompt_tokens=150, rng=rng,
+        )
+        energies = [pt.energy_per_question_j for pt in points]
+        assert energies == sorted(energies)
+
+    def test_rejects_bad_scale_factor(self, engine_1p5b, rng):
+        with pytest.raises(ValueError):
+            parallel_scaling_curve(
+                engine_1p5b, np.full(10, 0.4), np.full(10, 0.3), 4,
+                scale_factors=(0,), output_budget=128,
+                prompt_tokens=150, rng=rng,
+            )

@@ -1,0 +1,152 @@
+"""Tests for majority voting and its scaling behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.scaling.voting import (
+    asymptotic_voting_accuracy,
+    majority_vote,
+    sample_answer_matrix,
+    voting_accuracy,
+)
+
+
+class TestSampleMatrix:
+    def test_shape(self, rng):
+        answers = sample_answer_matrix(np.full(10, 0.5), np.full(10, 0.4),
+                                       4, 7, rng)
+        assert answers.shape == (10, 7)
+
+    def test_p_one_always_correct(self, rng):
+        answers = sample_answer_matrix(np.ones(5), np.full(5, 0.4), 4, 8, rng)
+        assert (answers == 0).all()
+
+    def test_p_zero_never_correct(self, rng):
+        answers = sample_answer_matrix(np.zeros(5), np.full(5, 0.4), 4, 8, rng)
+        assert (answers != 0).all()
+
+    def test_free_form_wrong_answers_unique(self, rng):
+        answers = sample_answer_matrix(np.zeros(3), np.full(3, 0.4), 0, 16, rng)
+        flat = answers.ravel()
+        assert len(set(flat.tolist())) == flat.size
+
+    def test_garbage_answers_unique(self, rng):
+        answers = sample_answer_matrix(np.zeros(3), np.zeros(3), 4, 16, rng,
+                                       garbage_share=np.ones(3))
+        flat = answers.ravel()
+        assert len(set(flat.tolist())) == flat.size
+
+    def test_full_distractor_concentration(self, rng):
+        answers = sample_answer_matrix(np.zeros(3), np.ones(3), 4, 16, rng)
+        assert (answers == 1).all()
+
+    def test_determinism_makes_rows_constant(self, rng):
+        answers = sample_answer_matrix(np.full(50, 0.5), np.full(50, 0.4),
+                                       4, 16, rng, determinism=np.ones(50))
+        assert (answers == answers[:, :1]).all()
+
+    def test_answer_ids_within_choices(self, rng):
+        answers = sample_answer_matrix(np.full(20, 0.3), np.full(20, 0.3),
+                                       4, 32, rng)
+        assert answers.max() <= 3
+
+    @pytest.mark.parametrize("bad", [
+        dict(p=np.array([1.5]), w=np.array([0.4])),
+        dict(p=np.array([0.5]), w=np.array([0.4]), g=np.array([2.0])),
+        dict(p=np.array([0.5]), w=np.array([0.4]), det=np.array([-0.1])),
+    ])
+    def test_validation(self, rng, bad):
+        with pytest.raises(ValueError):
+            sample_answer_matrix(bad["p"], bad["w"], 4, 4, rng,
+                                 garbage_share=bad.get("g", 0.0),
+                                 determinism=bad.get("det", 0.0))
+
+    def test_misaligned_shapes(self, rng):
+        with pytest.raises(ValueError):
+            sample_answer_matrix(np.ones(3), np.ones(2), 4, 4, rng)
+
+    def test_two_choice_suite(self, rng):
+        answers = sample_answer_matrix(np.full(10, 0.5), np.full(10, 0.5),
+                                       2, 8, rng)
+        assert set(np.unique(answers)).issubset({0, 1})
+
+
+class TestMajorityVote:
+    def test_clear_majority(self, rng):
+        answers = np.array([[0, 0, 1], [2, 2, 0]])
+        winners = majority_vote(answers, rng)
+        assert list(winners) == [0, 2]
+
+    def test_tie_broken_randomly(self):
+        answers = np.array([[0, 1]] * 400)
+        rng = np.random.default_rng(0)
+        winners = majority_vote(answers, rng)
+        share = (winners == 0).mean()
+        assert 0.4 < share < 0.6
+
+    def test_requires_2d(self, rng):
+        with pytest.raises(ValueError):
+            majority_vote(np.array([0, 1, 2]), rng)
+
+
+class TestVotingAccuracy:
+    def test_k1_equals_mean_p(self, rng):
+        p = np.full(4000, 0.37)
+        acc = voting_accuracy(p, np.full(4000, 0.4), 4, 1, rng, trials=3)
+        assert acc == pytest.approx(0.37, abs=0.03)
+
+    def test_high_p_amplified(self, rng):
+        p = np.full(2000, 0.6)
+        acc = voting_accuracy(p, np.full(2000, 0.3), 4, 31, rng)
+        assert acc > 0.9
+
+    def test_strong_distractor_converges_wrong(self, rng):
+        # Paper: voting degrades small models whose modal wrong answer
+        # beats their correct-answer probability.
+        p = np.full(2000, 0.2)
+        w = np.full(2000, 0.9)
+        acc_1 = voting_accuracy(p, w, 4, 1, rng, trials=2)
+        acc_31 = voting_accuracy(p, w, 4, 31, rng, trials=2)
+        assert acc_31 < acc_1
+
+    def test_determinism_blocks_gains(self, rng):
+        p = np.full(2000, 0.6)
+        acc = voting_accuracy(p, np.full(2000, 0.3), 4, 31, rng,
+                              determinism=np.ones(2000))
+        assert acc == pytest.approx(0.6, abs=0.04)
+
+    def test_free_form_self_consistency(self, rng):
+        # Wrong free-form answers never agree, so any p > 0 wins at large k.
+        p = np.full(1000, 0.3)
+        acc = voting_accuracy(p, np.zeros(1000), 0, 63, rng)
+        assert acc > 0.95
+
+    def test_k_must_be_positive(self, rng):
+        with pytest.raises(ValueError):
+            voting_accuracy(np.ones(2), np.ones(2), 4, 0, rng)
+
+    def test_accuracy_in_unit_interval(self, rng):
+        p = rng.random(200)
+        acc = voting_accuracy(p, rng.random(200) * 0.9, 4, 8, rng)
+        assert 0.0 <= acc <= 1.0
+
+
+class TestAsymptote:
+    def test_matches_monte_carlo_at_large_k(self, rng):
+        p = np.clip(rng.random(1500), 0.02, 0.98)
+        w = rng.random(1500) * 0.9
+        limit = asymptotic_voting_accuracy(p, w, 4)
+        mc = voting_accuracy(p, w, 4, 301, rng)
+        assert mc == pytest.approx(limit, abs=0.05)
+
+    def test_free_form_limit(self):
+        p = np.array([0.0, 0.1, 0.9])
+        assert asymptotic_voting_accuracy(p, np.zeros(3), 0) == pytest.approx(2 / 3)
+
+    def test_determinism_interpolates(self):
+        p = np.full(100, 0.4)
+        w = np.full(100, 0.1)
+        full_det = asymptotic_voting_accuracy(p, w, 4, determinism=1.0)
+        no_det = asymptotic_voting_accuracy(p, w, 4, determinism=0.0)
+        assert full_det == pytest.approx(0.4)
+        assert no_det == pytest.approx(1.0)

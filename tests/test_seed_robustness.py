@@ -1,0 +1,65 @@
+"""Seed robustness: the paper's qualitative findings must not depend on
+the synthetic benchmark's random draw."""
+
+import pytest
+
+from repro.evaluation.evaluator import Evaluator
+from repro.generation.control import base_control, direct_control, hard_budget, nr_control
+from repro.models.registry import get_model
+from repro.workloads.mmlu_redux import mmlu_redux
+
+SEEDS = (0, 7, 42)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def evaluator(request):
+    return Evaluator(mmlu_redux(seed=request.param, size=600),
+                     seed=request.param)
+
+
+class TestOrderingsAcrossSeeds:
+    def test_model_size_accuracy_ordering(self, evaluator):
+        accuracies = [
+            evaluator.evaluate(get_model(name), base_control()).accuracy
+            for name in ("dsr1-qwen-1.5b", "dsr1-llama-8b", "dsr1-qwen-14b")
+        ]
+        assert accuracies == sorted(accuracies)
+
+    def test_model_size_latency_ordering(self, evaluator):
+        latencies = [
+            evaluator.evaluate(get_model(name),
+                               base_control()).mean_latency_seconds
+            for name in ("dsr1-qwen-1.5b", "dsr1-llama-8b", "dsr1-qwen-14b")
+        ]
+        assert latencies == sorted(latencies)
+
+    def test_hard_budget_ordering(self, evaluator):
+        model = get_model("dsr1-qwen-14b")
+        accuracies = [evaluator.evaluate(model, hard_budget(b)).accuracy
+                      for b in (128, 256)]
+        assert accuracies[0] < accuracies[1]
+
+    def test_takeaway8_direct_wins_low_budget(self, evaluator):
+        direct = evaluator.evaluate(get_model("llama3.1-8b-it"),
+                                    direct_control())
+        constrained = evaluator.evaluate(get_model("dsr1-llama-8b"),
+                                         hard_budget(128))
+        assert direct.accuracy > constrained.accuracy
+
+    def test_nr_beats_base_only_on_smallest(self, evaluator):
+        small_nr = evaluator.evaluate(get_model("dsr1-qwen-1.5b"),
+                                      nr_control())
+        small_base = evaluator.evaluate(get_model("dsr1-qwen-1.5b"),
+                                        base_control())
+        big_nr = evaluator.evaluate(get_model("dsr1-qwen-14b"), nr_control())
+        big_base = evaluator.evaluate(get_model("dsr1-qwen-14b"),
+                                      base_control())
+        assert small_nr.accuracy > small_base.accuracy
+        assert big_nr.accuracy < big_base.accuracy
+
+    def test_quantization_speedup_holds(self, evaluator):
+        fp16 = evaluator.evaluate(get_model("dsr1-qwen-14b"), base_control())
+        awq = evaluator.evaluate(get_model("dsr1-qwen-14b-awq-w4"),
+                                 base_control())
+        assert fp16.mean_latency_seconds > 1.8 * awq.mean_latency_seconds
+        assert abs(fp16.accuracy - awq.accuracy) < 0.05

@@ -1,0 +1,79 @@
+"""Tests for arrival-trace generators and their effect on serving."""
+
+import numpy as np
+import pytest
+
+from repro.engine.engine import InferenceEngine
+from repro.engine.request import GenerationRequest
+from repro.engine.server import ServingSimulator
+from repro.models.registry import get_model
+from repro.workloads.traces import (
+    ArrivalTrace,
+    bursty_trace,
+    diurnal_trace,
+    poisson_trace,
+)
+
+
+class TestGenerators:
+    def test_poisson_mean_rate(self, rng):
+        trace = poisson_trace(rng, qps=2.0, count=2000)
+        assert trace.mean_qps == pytest.approx(2.0, rel=0.1)
+
+    def test_poisson_sorted(self, rng):
+        trace = poisson_trace(rng, qps=1.0, count=100)
+        assert (np.diff(trace.arrival_s) >= 0).all()
+
+    def test_bursty_mean_matches_but_peak_exceeds(self, rng):
+        steady = poisson_trace(rng, qps=0.5, count=400)
+        bursty = bursty_trace(rng, qps=0.5, count=400, burst_size=8)
+        assert bursty.mean_qps == pytest.approx(steady.mean_qps, rel=0.4)
+        assert bursty.peak_qps(window_s=2.0) > 2 * steady.peak_qps(window_s=2.0)
+
+    def test_diurnal_rate_varies(self, rng):
+        trace = diurnal_trace(rng, base_qps=1.0, count=1500, period_s=200.0)
+        # Rate in peak windows well above trough windows.
+        arr = trace.arrival_s
+        counts, _ = np.histogram(arr, bins=int(trace.span_s // 25))
+        assert counts.max() > 2 * max(counts.min(), 1)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            poisson_trace(rng, qps=0.0, count=10)
+        with pytest.raises(ValueError):
+            bursty_trace(rng, qps=1.0, count=10, burst_size=0)
+        with pytest.raises(ValueError):
+            diurnal_trace(rng, base_qps=1.0, count=10, peak_ratio=0.5)
+        with pytest.raises(ValueError):
+            ArrivalTrace("bad", np.array([2.0, 1.0]))
+
+    def test_trace_len(self, rng):
+        assert len(poisson_trace(rng, 1.0, 50)) == 50
+
+
+class TestServingUnderTraces:
+    @pytest.fixture(scope="class")
+    def simulator(self):
+        return ServingSimulator(InferenceEngine(get_model("dsr1-qwen-1.5b")),
+                                max_batch_size=4)
+
+    def test_bursty_load_has_worse_tail(self, simulator):
+        rng = np.random.default_rng(5)
+        count = 48
+        requests = [GenerationRequest(i, 100, 128) for i in range(count)]
+        steady = poisson_trace(rng, qps=0.3, count=count)
+        burst = bursty_trace(np.random.default_rng(5), qps=0.3, count=count,
+                             burst_size=12)
+        steady_report = simulator.run(requests, steady.arrival_s)
+        burst_report = simulator.run(requests, burst.arrival_s)
+        assert (burst_report.latency_percentile(95)
+                > steady_report.latency_percentile(95))
+
+    def test_all_served_under_every_trace(self, simulator, rng):
+        count = 30
+        requests = [GenerationRequest(i, 100, 64) for i in range(count)]
+        for trace in (poisson_trace(rng, 0.5, count),
+                      bursty_trace(rng, 0.5, count),
+                      diurnal_trace(rng, 0.5, count)):
+            report = simulator.run(requests, trace.arrival_s)
+            assert report.completed == count

@@ -1,0 +1,138 @@
+"""Tests for the synthetic benchmark suites."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import get_benchmark, list_benchmarks
+from repro.workloads.aime import aime2024
+from repro.workloads.math500 import math500
+from repro.workloads.mmlu import mmlu
+from repro.workloads.mmlu_redux import mmlu_redux
+from repro.workloads.natural_plan import all_tasks, natural_plan
+from repro.workloads.question import Benchmark, Question, make_questions
+
+
+class TestSuiteSizes:
+    def test_mmlu_redux_3k(self):
+        assert len(mmlu_redux()) == 3000
+
+    def test_mmlu_15k(self):
+        assert len(mmlu(size=15000)) == 15000
+
+    def test_aime_30(self):
+        assert len(aime2024()) == 30
+
+    def test_math500(self):
+        assert len(math500()) == 500
+
+    def test_natural_plan_tasks(self):
+        tasks = all_tasks()
+        assert {t.key for t in tasks} == {
+            "naturalplan-calendar", "naturalplan-meeting", "naturalplan-trip"}
+
+
+class TestDeterminism:
+    def test_same_seed_same_questions(self):
+        a = mmlu_redux(seed=3, size=100)
+        b = mmlu_redux(seed=3, size=100)
+        assert a.difficulties.tolist() == b.difficulties.tolist()
+        assert a.prompt_tokens.tolist() == b.prompt_tokens.tolist()
+
+    def test_different_seed_differs(self):
+        a = mmlu_redux(seed=1, size=100)
+        b = mmlu_redux(seed=2, size=100)
+        assert a.difficulties.tolist() != b.difficulties.tolist()
+
+
+class TestQuestionStructure:
+    def test_difficulties_in_unit_interval(self):
+        bench = mmlu_redux(size=500)
+        assert (bench.difficulties >= 0).all()
+        assert (bench.difficulties <= 1).all()
+
+    def test_prompt_lengths_positive(self):
+        bench = mmlu_redux(size=500)
+        assert (bench.prompt_tokens > 0).all()
+
+    def test_mmlu_is_four_choice(self):
+        assert mmlu_redux(size=10).num_choices == 4
+
+    def test_math_suites_free_form(self):
+        assert aime2024().num_choices == 0
+        assert math500().num_choices == 0
+
+    def test_aime_skews_hard(self):
+        assert aime2024(size=30).difficulties.mean() > 0.6
+
+    def test_natural_plan_prompts_are_long(self):
+        # Few-shot planning prompts run ~1.5-2.5k tokens.
+        bench = natural_plan("meeting", size=200)
+        assert bench.prompt_tokens.mean() > 1200
+
+    def test_subject_mix(self):
+        bench = mmlu_redux(size=1000)
+        assert set(bench.subjects) == {
+            "humanities", "social-sciences", "stem", "professional"}
+
+    def test_question_validation(self):
+        with pytest.raises(ValueError):
+            Question(0, "s", difficulty=1.5, prompt_tokens=10)
+        with pytest.raises(ValueError):
+            Question(0, "s", difficulty=0.5, prompt_tokens=0)
+
+
+class TestBenchmarkOperations:
+    def test_subset_is_reproducible(self):
+        bench = mmlu_redux(size=500)
+        a = bench.subset(150, seed=1)
+        b = bench.subset(150, seed=1)
+        assert [q.qid for q in a.questions] == [q.qid for q in b.questions]
+
+    def test_subset_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            mmlu_redux(size=10).subset(11)
+
+    def test_split(self):
+        bench = mmlu_redux(size=100)
+        head, tail = bench.split(30)
+        assert len(head) == 30
+        assert len(tail) == 70
+
+    def test_split_bounds(self):
+        with pytest.raises(ValueError):
+            mmlu_redux(size=10).split(10)
+
+    def test_empty_benchmark_rejected(self):
+        with pytest.raises(ValueError):
+            Benchmark(key="x", display_name="X", questions=())
+
+    def test_capability_key_defaults_to_key(self):
+        bench = mmlu_redux(size=10)
+        assert bench.capability_key == "mmlu-redux"
+
+
+class TestRegistry:
+    def test_all_benchmarks_buildable(self):
+        for key in list_benchmarks():
+            bench = get_benchmark(key)
+            assert len(bench) > 0
+            assert bench.key == key
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            get_benchmark("gsm8k")
+
+    def test_unknown_natural_plan_task(self):
+        with pytest.raises(KeyError):
+            natural_plan("picnic")
+
+
+class TestMakeQuestions:
+    def test_prompt_bounds_respected(self, rng):
+        questions = make_questions(
+            rng, 200, {"s": (2.0, 2.0)}, prompt_mean=100, prompt_sigma=1.0,
+            num_choices=4, prompt_min=50, prompt_max=150,
+        )
+        prompts = np.array([q.prompt_tokens for q in questions])
+        assert prompts.min() >= 50
+        assert prompts.max() <= 150
