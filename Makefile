@@ -6,7 +6,7 @@
 PYTHON ?= python
 OUTPUT ?= outputs
 
-.PHONY: setup test bench reproduce examples fidelity takeaways clean
+.PHONY: setup test bench chaos reproduce examples fidelity takeaways clean
 
 ## Install the package in editable mode (legacy path works offline).
 setup:
@@ -23,6 +23,14 @@ bench:
 ## Same, printing each artifact's rows/series.
 bench-verbose:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+## Fault-injection suite: resilience tests + the seeded chaos sweep.
+chaos:
+	$(PYTHON) -m pytest tests/test_faults_injector.py \
+	    tests/test_hardware_thermal.py \
+	    tests/test_engine_server_resilience.py \
+	    tests/test_engine_server_overload.py
+	$(PYTHON) -m repro chaos --seed 0
 
 ## Write every artifact's text into $(OUTPUT)/.
 reproduce:

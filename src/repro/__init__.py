@@ -31,6 +31,12 @@ from repro.core import (
 )
 from repro.engine import GenerationRequest, GenerationResult, InferenceEngine
 from repro.evaluation import EvaluationResult, Evaluator
+from repro.faults import (
+    DegradationPolicy,
+    FaultInjector,
+    FaultScheduleConfig,
+    ResilienceReport,
+)
 from repro.generation import (
     GenerationControl,
     base_control,
@@ -48,14 +54,18 @@ __version__ = "1.0.0"
 __all__ = [
     "CostModel",
     "DecodeLatencyModel",
+    "DegradationPolicy",
     "DeploymentPlanner",
     "EvaluationResult",
     "Evaluator",
+    "FaultInjector",
+    "FaultScheduleConfig",
     "GenerationControl",
     "GenerationRequest",
     "GenerationResult",
     "InferenceEngine",
     "PrefillLatencyModel",
+    "ResilienceReport",
     "TotalLatencyModel",
     "TransformerConfig",
     "__version__",

@@ -111,6 +111,28 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.resilience import resilience_table, run_chaos_study
+
+    points = run_chaos_study(
+        model_name=args.model,
+        qps=args.qps,
+        num_requests=args.requests,
+        deadline_s=args.deadline,
+        seed=args.seed,
+    )
+    print(resilience_table(points).to_text())
+    off, on = points[0].report, points[1].report
+    print()
+    print(f"throttle residency  {on.throttle_residency_s:.1f} s "
+          f"({on.throttle_residency_frac * 100:.0f}% of wallclock)")
+    print(f"preempt/resume      {on.preemptions}/{on.resumes}")
+    print(f"retries recovered   {on.successful_retries}/{on.retries}")
+    print(f"hit rate            {off.deadline_hit_rate * 100:.1f}% -> "
+          f"{on.deadline_hit_rate * 100:.1f}% with degradation")
+    return 0 if on.deadline_hit_rate >= off.deadline_hit_rate else 1
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     print("Characterizing candidate models (one-time)...", file=sys.stderr)
     planner = build_planner(seed=args.seed)
@@ -172,6 +194,16 @@ def build_parser() -> argparse.ArgumentParser:
     characterize.add_argument("--output", default=None,
                               help="write fitted models to this JSON file")
     characterize.set_defaults(func=_cmd_characterize)
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection sweep of the serving path")
+    chaos.add_argument("--model", default="dsr1-qwen-1.5b")
+    chaos.add_argument("--qps", type=float, default=4.0)
+    chaos.add_argument("--requests", type=int, default=50)
+    chaos.add_argument("--deadline", type=float, default=40.0,
+                       help="per-request deadline in seconds")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.set_defaults(func=_cmd_chaos)
 
     plan = sub.add_parser("plan", help="pick a config for a latency budget")
     plan.add_argument("--budget", type=float, required=True,

@@ -15,7 +15,12 @@ from repro.engine.request import GenerationRequest, GenerationResult, SequenceRe
 from repro.engine.sampler import SamplingParams
 from repro.engine.scheduler import BatchScheduler, ScheduledBatch
 from repro.engine.prefix_cache import PrefixCache, prefill_with_prefix, prefix_caching_speedup
-from repro.engine.server import ServedRequest, ServingReport, ServingSimulator
+from repro.engine.server import (
+    ResilienceReport,
+    ServedRequest,
+    ServingReport,
+    ServingSimulator,
+)
 from repro.engine.streaming import StreamingMetrics, TokenEvent, stream, streaming_metrics
 
 __all__ = [
@@ -28,6 +33,7 @@ __all__ = [
     "KVCacheConfig",
     "PagedKVCache",
     "SamplingParams",
+    "ResilienceReport",
     "ScheduledBatch",
     "PrefixCache",
     "SequenceResult",

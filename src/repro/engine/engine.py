@@ -111,6 +111,13 @@ class InferenceEngine:
         self._next_seq_id = 0
 
     # ------------------------------------------------------------------
+    def new_sequence_id(self) -> int:
+        """Allocate a fresh KV-cache sequence id (engine-wide unique)."""
+        seq_id = self._next_seq_id
+        self._next_seq_id += 1
+        return seq_id
+
+    # ------------------------------------------------------------------
     # single-request path
     # ------------------------------------------------------------------
     def generate(self, request: GenerationRequest) -> GenerationResult:
@@ -180,8 +187,7 @@ class InferenceEngine:
                      stop_lengths: tuple[int, ...]) -> list[int]:
         seq_ids = []
         for stop in stop_lengths:
-            seq_id = self._next_seq_id
-            self._next_seq_id += 1
+            seq_id = self.new_sequence_id()
             self.kv_cache.allocate_sequence(seq_id, request.prompt_tokens)
             self.kv_cache.extend(seq_id, stop)
             seq_ids.append(seq_id)

@@ -49,6 +49,7 @@ class PagedKVCache:
             raise ValueError("bytes_per_token must be positive")
         self.config = config
         self._free_blocks = config.total_blocks
+        self._reserved_blocks = 0
         self._sequences: dict[int, int] = {}  # seq id -> allocated tokens
 
     # ------------------------------------------------------------------
@@ -73,6 +74,34 @@ class PagedKVCache:
             return 0
         block = self.config.block_tokens
         return (tokens + block - 1) // block
+
+    # ------------------------------------------------------------------
+    @property
+    def reserved_blocks(self) -> int:
+        """Blocks withheld from the free pool (memory-pressure model)."""
+        return self._reserved_blocks
+
+    def reserve_blocks(self, blocks: int) -> int:
+        """Withhold up to ``blocks`` free blocks from allocation.
+
+        Models external memory pressure (another tenant, a fault-injected
+        spike): reserved blocks are unavailable to sequences until
+        :meth:`release_reserved` returns them.  Returns how many blocks
+        were actually taken (bounded by the free pool).
+        """
+        taken = min(max(blocks, 0), self._free_blocks)
+        self._free_blocks -= taken
+        self._reserved_blocks += taken
+        return taken
+
+    def release_reserved(self, blocks: int | None = None) -> int:
+        """Return reserved blocks to the free pool (all by default)."""
+        if blocks is None:
+            blocks = self._reserved_blocks
+        freed = min(max(blocks, 0), self._reserved_blocks)
+        self._reserved_blocks -= freed
+        self._free_blocks += freed
+        return freed
 
     # ------------------------------------------------------------------
     def allocate_sequence(self, seq_id: int, tokens: int) -> None:

@@ -1,4 +1,4 @@
-"""Event-driven serving simulator: arrivals, continuous batching, QPS.
+"""Event-driven serving simulator: arrivals, continuous batching, faults.
 
 Section III-B observes that *"edge deployment costs also benefit from
 batching and increased queries per second"*.  This module quantifies
@@ -9,20 +9,44 @@ and reports the throughput / latency-percentile / energy / cost surface
 as a function of offered load.
 
 The simulation advances in decode-step *epochs*: at each epoch boundary
-the scheduler admits queued requests (up to the batch cap and KV-cache
-capacity), the kernel model prices the step for the current batch and
-context profile, and the power model integrates energy.
+the scheduler admits queued requests (up to the batch cap and paged
+KV-cache capacity), the kernel model prices the step for the current
+batch and context profile, and the power model integrates energy.
+
+Prefill follows the paper's batch-1 protocol: an admission prefills
+alone, stalling the live decode batch for the prefill's duration.  That
+stall is *attributed explicitly* — each request records its own
+``prefill_s`` and the report accumulates ``prefill_stall_s``, the decode
+seconds lost to other requests' prefills — so queue-delay percentiles
+measure pure queueing, not hidden head-of-line blocking.
+
+The serving path is fault-aware (see :mod:`repro.faults`): a seeded
+:class:`~repro.faults.FaultInjector` derates clocks and pressures the KV
+cache, a :class:`~repro.hardware.thermal.ThermalModel` throttles on
+temperature, and a :class:`~repro.faults.DegradationPolicy` adds
+timeouts, bounded retries with exponential backoff, KV preemption with
+recompute-on-resume, and an admission controller that sheds or shrinks
+work under overload.  Every run returns a :class:`ResilienceReport`
+(a :class:`ServingReport` with fault/degradation counters); with no
+faults configured the extra counters are simply zero.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.engine.engine import InferenceEngine
+from repro.engine.kv_cache import KVCacheExhausted, PagedKVCache
 from repro.engine.request import GenerationRequest
+
+if TYPE_CHECKING:  # imported lazily to keep repro.faults decoupled
+    from repro.faults.degradation import DegradationPolicy
+    from repro.faults.injector import FaultInjector
+    from repro.hardware.thermal import ThermalConfig
 
 
 @dataclass(frozen=True)
@@ -31,21 +55,33 @@ class ServedRequest:
 
     request_id: int
     arrival_s: float
+    #: When the (final) attempt was admitted — prefill starts here.
     start_s: float
     finish_s: float
     prompt_tokens: int
     output_tokens: int
     deadline_s: float | None = None
+    #: Batch-1 prefill duration of the final attempt.
+    prefill_s: float = 0.0
+    #: Admission attempts consumed (1 = no retries).
+    attempts: int = 1
+    #: Whether the admission controller shrank this request's budget.
+    degraded: bool = False
 
     @property
     def queue_delay_s(self) -> float:
-        """Time spent waiting for a decode slot."""
+        """Time spent waiting for a decode slot (excludes own prefill)."""
         return self.start_s - self.arrival_s
 
     @property
     def latency_s(self) -> float:
-        """End-to-end latency including queueing."""
+        """End-to-end latency including queueing, retries, preemptions."""
         return self.finish_s - self.arrival_s
+
+    @property
+    def service_s(self) -> float:
+        """Prefill + decode time of the completing attempt."""
+        return self.finish_s - self.start_s
 
     @property
     def met_deadline(self) -> bool | None:
@@ -64,6 +100,9 @@ class ServingReport:
     wallclock_s: float
     energy_joules: float
     offered_qps: float
+    #: Decode-batch seconds stalled by other requests' batch-1 prefills
+    #: (the paper's prefill protocol, attributed instead of hidden).
+    prefill_stall_s: float = 0.0
 
     @property
     def completed(self) -> int:
@@ -118,14 +157,114 @@ class ServingReport:
 
 
 @dataclass
+class ResilienceReport(ServingReport):
+    """Serving report extended with fault and degradation accounting.
+
+    ``deadline_hit_rate`` is redefined over the *offered* population:
+    requests lost to aborts, sheds, or exhausted retries count as
+    misses.  That makes the metric honest under faults — a server cannot
+    improve it by dropping hard requests.
+    """
+
+    #: Requests offered to the server (served + shed + failed).
+    offered: int = 0
+    #: Wallclock spent with derated clocks (thermal, DVFS, or injected).
+    throttle_residency_s: float = 0.0
+    #: Times the thermal state machine tripped into THROTTLED.
+    thermal_throttle_events: int = 0
+    #: Extra wallclock added by derated clocks versus nominal.
+    fault_slowdown_s: float = 0.0
+    #: Sequences evicted from the KV cache (recompute-on-resume).
+    preemptions: int = 0
+    #: Previously preempted requests re-admitted.
+    resumes: int = 0
+    #: Retry attempts scheduled (transient aborts, opted-in timeouts).
+    retries: int = 0
+    #: Requests that completed after at least one retry.
+    successful_retries: int = 0
+    #: Attempts aborted by the degradation watchdog.
+    timeouts: int = 0
+    #: Transient aborts injected by the fault schedule.
+    injected_aborts: int = 0
+    #: Requests permanently failed (abort with no retry budget left).
+    failed: int = 0
+    #: Requests rejected or dropped by the admission controller.
+    shed: int = 0
+    #: Requests admitted with a shrunken token budget.
+    degraded_requests: int = 0
+    #: Decode tokens saved by degraded-mode budget shrinking.
+    tokens_saved: int = 0
+    #: Deadline-carrying requests that were never served.
+    unserved_with_deadline: int = 0
+
+    @property
+    def throttle_residency_frac(self) -> float:
+        """Fraction of wallclock spent throttled."""
+        if self.wallclock_s <= 0:
+            return 0.0
+        return self.throttle_residency_s / self.wallclock_s
+
+    @property
+    def deadline_hit_rate(self) -> float:
+        """On-time completions over all offered deadline-carrying requests."""
+        with_deadlines = [r for r in self.served if r.deadline_s is not None]
+        denominator = len(with_deadlines) + self.unserved_with_deadline
+        if denominator == 0:
+            return 1.0
+        hits = sum(bool(r.met_deadline) for r in with_deadlines)
+        return hits / denominator
+
+
+@dataclass(eq=False)
 class _LiveSequence:
+    """One sequence currently holding a decode slot."""
+
     request_id: int
+    index: int
     arrival_s: float
     start_s: float
+    prefill_s: float
     prompt_tokens: int
     remaining: int
     context: int
-    deadline_s: float | None = None
+    deadline_s: float | None
+    kv_seq_id: int | None
+    attempt: int
+
+
+@dataclass
+class _RequestState:
+    """Cross-attempt bookkeeping for one offered request."""
+
+    index: int
+    first_arrival_s: float
+    deadline_s: float | None
+    attempts: int = 0
+    #: Sticky degraded token cap (set once by the admission controller).
+    budget_tokens: int | None = None
+    degraded: bool = False
+    preempted: bool = False
+    #: A retry (not a preemption resume) was scheduled for this request.
+    retried: bool = False
+
+
+@dataclass
+class _Counters:
+    """Mutable fault/degradation tallies for one run."""
+
+    throttle_residency_s: float = 0.0
+    fault_slowdown_s: float = 0.0
+    preemptions: int = 0
+    resumes: int = 0
+    retries: int = 0
+    successful_retries: int = 0
+    timeouts: int = 0
+    injected_aborts: int = 0
+    failed: int = 0
+    shed: int = 0
+    degraded_requests: int = 0
+    tokens_saved: int = 0
+    unserved_with_deadline: int = 0
 
 
 #: Admission policies: first-come-first-served or earliest-deadline-first.
@@ -133,10 +272,22 @@ SCHEDULING_POLICIES = ("fcfs", "edf")
 
 
 class ServingSimulator:
-    """Continuous-batching server over one engine."""
+    """Continuous-batching server over one engine.
+
+    ``faults``, ``thermal``, and ``degradation`` are all optional; a bare
+    simulator behaves as the fault-free server the ablation studies use.
+    ``kv_cache`` overrides the engine's paged cache (e.g. a deliberately
+    small one to study memory pressure); admissions and per-token appends
+    are accounted against it, and exhaustion triggers preemption with
+    recompute-on-resume, mirroring vLLM's fallback.
+    """
 
     def __init__(self, engine: InferenceEngine, max_batch_size: int = 8,
-                 policy: str = "fcfs"):
+                 policy: str = "fcfs", *,
+                 faults: "FaultInjector | None" = None,
+                 thermal: "ThermalConfig | None" = None,
+                 degradation: "DegradationPolicy | None" = None,
+                 kv_cache: PagedKVCache | None = None):
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
         if policy not in SCHEDULING_POLICIES:
@@ -145,15 +296,21 @@ class ServingSimulator:
         self.engine = engine
         self.max_batch_size = max_batch_size
         self.policy = policy
+        self.faults = faults
+        self.thermal_config = thermal
+        self.degradation = degradation
+        self.kv_cache = kv_cache if kv_cache is not None else engine.kv_cache
 
     # ------------------------------------------------------------------
     def run(self, requests: list[GenerationRequest],
             arrival_times: np.ndarray,
-            deadlines: np.ndarray | None = None) -> ServingReport:
+            deadlines: np.ndarray | None = None) -> ResilienceReport:
         """Serve ``requests`` arriving at ``arrival_times`` (seconds).
 
         ``deadlines`` (seconds after each arrival) enables the EDF policy
-        and the report's deadline hit rate.
+        and the report's deadline hit rate.  The run is deterministic:
+        the same inputs, seed, and fault schedule reproduce the report
+        exactly.
         """
         if len(requests) != len(arrival_times):
             raise ValueError("requests and arrival_times must align")
@@ -161,105 +318,20 @@ class ServingSimulator:
             raise ValueError("deadlines must align with requests")
         if self.policy == "edf" and deadlines is None:
             raise ValueError("the edf policy requires deadlines")
-        order = np.argsort(arrival_times, kind="stable")
-        queue: list[tuple[float, int]] = [
-            (float(arrival_times[i]), int(i)) for i in order
-        ]
-        heapq.heapify(queue)
-
-        engine = self.engine
-        now = 0.0
-        energy = 0.0
-        live: list[_LiveSequence] = []
-        served: list[ServedRequest] = []
-        offered_span = float(arrival_times.max()) if len(requests) else 0.0
-        offered_qps = (len(requests) / offered_span) if offered_span > 0 else float("inf")
-
-        def pop_next(now_s: float) -> int | None:
-            """Pick the next eligible request per the scheduling policy."""
-            eligible = [item for item in queue if item[0] <= now_s]
-            if not eligible:
-                return None
-            if self.policy == "edf":
-                chosen = min(
-                    eligible,
-                    key=lambda item: item[0] + float(deadlines[item[1]]),
-                )
-            else:
-                chosen = min(eligible)  # FCFS: earliest arrival
-            queue.remove(chosen)
-            heapq.heapify(queue)
-            return chosen[1]
-
-        while queue or live:
-            # Admit arrivals whose time has come, up to the batch cap.
-            while queue and len(live) < self.max_batch_size:
-                index = pop_next(now)
-                if index is None:
-                    break
-                request = requests[index]
-                prefill = engine.kernels.prefill(engine.profile,
-                                                 request.prompt_tokens)
-                energy += prefill.seconds * engine.power.prefill_power(
-                    request.prompt_tokens)
-                now += prefill.seconds
-                live.append(_LiveSequence(
-                    request_id=request.request_id,
-                    arrival_s=float(arrival_times[index]),
-                    start_s=now,
-                    prompt_tokens=request.prompt_tokens,
-                    remaining=max(request.stop_lengths()),
-                    context=request.prompt_tokens,
-                    deadline_s=(float(deadlines[index])
-                                if deadlines is not None else None),
-                ))
-            if not live:
-                # Idle until the next arrival.
-                now = max(now, queue[0][0])
-                continue
-
-            # One decode step for the whole live batch.
-            batch = len(live)
-            mean_context = float(np.mean([seq.context for seq in live]))
-            step_seconds = float(engine.kernels.decode_step_seconds(
-                engine.profile, mean_context, batch))
-            mean_generated = float(np.mean(
-                [seq.context - seq.prompt_tokens + 1 for seq in live]))
-            step_power = float(engine.power.decode_power(
-                max(mean_generated, 1.0), batch))
-            now += step_seconds
-            energy += step_seconds * step_power
-
-            finished: list[_LiveSequence] = []
-            for seq in live:
-                seq.remaining -= 1
-                seq.context += 1
-                if seq.remaining <= 0:
-                    finished.append(seq)
-            for seq in finished:
-                live.remove(seq)
-                served.append(ServedRequest(
-                    request_id=seq.request_id,
-                    arrival_s=seq.arrival_s,
-                    start_s=seq.start_s,
-                    finish_s=now,
-                    prompt_tokens=seq.prompt_tokens,
-                    output_tokens=seq.context - seq.prompt_tokens,
-                    deadline_s=seq.deadline_s,
-                ))
-
-        return ServingReport(
-            served=sorted(served, key=lambda r: r.request_id),
-            wallclock_s=now,
-            energy_joules=energy,
-            offered_qps=offered_qps,
-        )
+        return _ServingRun(self, requests,
+                           np.asarray(arrival_times, dtype=np.float64),
+                           deadlines).execute()
 
     # ------------------------------------------------------------------
     def run_poisson(self, rng: np.random.Generator, qps: float,
                     num_requests: int, prompt_tokens: int = 150,
-                    output_tokens: int = 256) -> ServingReport:
-        """Serve a Poisson arrival stream at ``qps`` offered load."""
+                    output_tokens: int = 256,
+                    deadline_s: float | None = None) -> ResilienceReport:
+        """Serve a Poisson arrival stream at ``qps`` offered load.
+
+        ``deadline_s`` attaches a uniform per-request deadline, enabling
+        deadline metrics (and the EDF policy) on synthetic streams.
+        """
         if qps <= 0:
             raise ValueError("qps must be positive")
         gaps = rng.exponential(1.0 / qps, size=num_requests)
@@ -268,4 +340,429 @@ class ServingSimulator:
             GenerationRequest(i, prompt_tokens, output_tokens)
             for i in range(num_requests)
         ]
-        return self.run(requests, arrivals)
+        deadlines = (np.full(num_requests, float(deadline_s))
+                     if deadline_s is not None else None)
+        return self.run(requests, arrivals, deadlines)
+
+
+class _ServingRun:
+    """State and event loop of one serving run.
+
+    Scheduling uses two heaps (the O(n log n) replacement for the old
+    linear-scan-plus-reheapify admission):
+
+    * ``pending`` — min-heap on ready time: requests not yet arrived
+      (or backing off before a retry);
+    * ``ready`` — min-heap on the policy key: eligible requests, keyed
+      by first arrival (FCFS) or absolute deadline (EDF).
+
+    Requests are promoted from ``pending`` to ``ready`` lazily as the
+    clock passes their ready time.
+    """
+
+    def __init__(self, sim: ServingSimulator,
+                 requests: list[GenerationRequest],
+                 arrival_times: np.ndarray,
+                 deadlines: np.ndarray | None):
+        self.sim = sim
+        self.engine = sim.engine
+        self.kv = sim.kv_cache
+        self.faults = sim.faults
+        self.degradation = sim.degradation
+        self.requests = requests
+        self.arrivals = arrival_times
+        self.deadlines = deadlines
+        if sim.thermal_config is not None:
+            from repro.hardware.thermal import ThermalModel
+            self.thermal: "ThermalModel | None" = ThermalModel(sim.thermal_config)
+        else:
+            self.thermal = None
+
+        self.now = 0.0
+        self.energy = 0.0
+        self.prefill_stall_s = 0.0
+        self.live: list[_LiveSequence] = []
+        self.served: list[ServedRequest] = []
+        self.counters = _Counters()
+        self.states = {
+            i: _RequestState(
+                index=i,
+                first_arrival_s=float(arrival_times[i]),
+                deadline_s=(float(deadlines[i]) if deadlines is not None
+                            else None),
+            )
+            for i in range(len(requests))
+        }
+        self._push_seq = 0
+        self.pending: list[tuple[float, int, int]] = []
+        self.ready: list[tuple[float, int, int]] = []
+        for i in range(len(requests)):
+            self._push_pending(float(arrival_times[i]), i)
+        self._pressure_blocks = 0
+        self._my_kv_ids: set[int] = set()
+
+    # -- scheduling ----------------------------------------------------
+    def _push_pending(self, ready_s: float, index: int) -> None:
+        self._push_seq += 1
+        heapq.heappush(self.pending, (ready_s, self._push_seq, index))
+
+    def _ready_key(self, index: int) -> float:
+        state = self.states[index]
+        if self.sim.policy == "edf":
+            return state.first_arrival_s + float(state.deadline_s)
+        return state.first_arrival_s
+
+    def _push_ready(self, index: int) -> None:
+        self._push_seq += 1
+        heapq.heappush(self.ready, (self._ready_key(index), self._push_seq, index))
+
+    def _promote(self) -> None:
+        while self.pending and self.pending[0][0] <= self.now:
+            _, _, index = heapq.heappop(self.pending)
+            self._push_ready(index)
+
+    def _pop_ready(self) -> int | None:
+        if not self.ready:
+            return None
+        return heapq.heappop(self.ready)[2]
+
+    # -- fault plumbing ------------------------------------------------
+    def _speed(self) -> float:
+        speed = 1.0
+        if self.faults is not None:
+            speed *= self.faults.speed_factor(self.now)
+        if self.thermal is not None:
+            speed *= self.thermal.speed_factor()
+        return max(speed, 0.05)
+
+    def _power_scale(self) -> float:
+        return self.thermal.power_scale() if self.thermal is not None else 1.0
+
+    def _spend(self, base_seconds: float, power_w: float) -> float:
+        """Advance the clock by a derated phase; integrate energy/heat."""
+        speed = self._speed()
+        effective = base_seconds / speed
+        watts = power_w * self._power_scale()
+        self.now += effective
+        self.energy += effective * watts
+        if speed < 1.0:
+            self.counters.throttle_residency_s += effective
+        self.counters.fault_slowdown_s += effective - base_seconds
+        if self.thermal is not None:
+            self.thermal.advance(effective, watts)
+        return effective
+
+    def _apply_kv_pressure(self) -> None:
+        if self.faults is None:
+            return
+        fraction = self.faults.kv_pressure_fraction(self.now)
+        target = int(fraction * self.kv.config.total_blocks)
+        if target > self._pressure_blocks:
+            self._pressure_blocks += self.kv.reserve_blocks(
+                target - self._pressure_blocks)
+        elif target < self._pressure_blocks:
+            self.kv.release_reserved(self._pressure_blocks - target)
+            self._pressure_blocks = target
+
+    # -- request lifecycle ---------------------------------------------
+    def _record_unserved(self, state: _RequestState) -> None:
+        if state.deadline_s is not None:
+            self.counters.unserved_with_deadline += 1
+
+    def _retry_or_fail(self, state: _RequestState, *, allow_retry: bool) -> None:
+        policy = self.degradation
+        if (policy is not None and allow_retry
+                and state.attempts <= policy.max_retries):
+            self.counters.retries += 1
+            state.retried = True
+            self._push_pending(self.now + policy.backoff_s(state.attempts),
+                               state.index)
+        else:
+            self.counters.failed += 1
+            self._record_unserved(state)
+
+    def _release_kv(self, seq: _LiveSequence) -> None:
+        if seq.kv_seq_id is not None:
+            self.kv.release_sequence(seq.kv_seq_id)
+            self._my_kv_ids.discard(seq.kv_seq_id)
+
+    def _preempt(self, seq: _LiveSequence) -> None:
+        """Evict a live sequence; it re-queues for recompute-on-resume."""
+        self.live.remove(seq)
+        self._release_kv(seq)
+        self.counters.preemptions += 1
+        state = self.states[seq.index]
+        state.preempted = True
+        self._push_pending(self.now, seq.index)
+
+    def _pick_victim(self, exclude: _LiveSequence) -> _LiveSequence | None:
+        candidates = [s for s in self.live if s is not exclude]
+        if not candidates:
+            return None
+        if self.sim.policy == "edf":
+            # Latest absolute deadline loses its slot first.
+            return max(candidates,
+                       key=lambda s: (s.arrival_s + (s.deadline_s or np.inf),
+                                      s.start_s))
+        # FCFS preempts the most recently admitted (vLLM-style LIFO).
+        return max(candidates, key=lambda s: s.start_s)
+
+    def _finish(self, seq: _LiveSequence) -> None:
+        self.live.remove(seq)
+        self._release_kv(seq)
+        state = self.states[seq.index]
+        if state.retried:
+            self.counters.successful_retries += 1
+        self.served.append(ServedRequest(
+            request_id=seq.request_id,
+            arrival_s=seq.arrival_s,
+            start_s=seq.start_s,
+            finish_s=self.now,
+            prompt_tokens=seq.prompt_tokens,
+            output_tokens=seq.context - seq.prompt_tokens,
+            deadline_s=seq.deadline_s,
+            prefill_s=seq.prefill_s,
+            attempts=state.attempts,
+            degraded=state.degraded,
+        ))
+
+    # -- admission -----------------------------------------------------
+    def _admission_budget(self, request: GenerationRequest,
+                          state: _RequestState) -> int:
+        """Stop length after any degraded-mode budget shrink."""
+        stop = max(request.stop_lengths())
+        policy = self.degradation
+        if state.budget_tokens is not None:
+            return min(stop, state.budget_tokens)
+        if policy is None or not policy.sheds_load:
+            return stop
+        backlog = len(self.ready) + len(self.pending)
+        if backlog <= policy.shed_queue_depth:
+            return stop
+        budget = policy.degraded_budget()
+        if budget is None or budget >= stop:
+            return stop
+        state.budget_tokens = budget
+        state.degraded = True
+        self.counters.degraded_requests += 1
+        self.counters.tokens_saved += stop - budget
+        return budget
+
+    def _try_admit_one(self) -> bool:
+        """Admit the next eligible request; False when admission stalls."""
+        self._promote()
+        index = self._pop_ready()
+        if index is None:
+            return False
+        request = self.requests[index]
+        state = self.states[index]
+        policy = self.degradation
+
+        # Drop queued requests whose deadline already passed.
+        if (policy is not None and policy.drop_expired
+                and state.deadline_s is not None
+                and self.now > state.first_arrival_s + state.deadline_s):
+            self.counters.shed += 1
+            self._record_unserved(state)
+            return True
+
+        # Admission controller: reject outright under overload.
+        if (policy is not None and policy.sheds_load
+                and policy.shed_mode == "reject"
+                and len(self.ready) + len(self.pending) > policy.shed_queue_depth):
+            self.counters.shed += 1
+            self._record_unserved(state)
+            return True
+
+        stop = self._admission_budget(request, state)
+
+        # Reserve prompt KV blocks; on exhaustion the head request waits.
+        kv_id = self.engine.new_sequence_id()
+        try:
+            self.kv.allocate_sequence(kv_id, request.prompt_tokens)
+        except KVCacheExhausted:
+            self._push_ready(index)
+            return False
+        self._my_kv_ids.add(kv_id)
+
+        state.attempts += 1
+        if state.preempted:
+            state.preempted = False
+            self.counters.resumes += 1
+
+        # Batch-1 prefill: stalls the live decode batch (attributed).
+        stats = self.engine.kernels.prefill(self.engine.profile,
+                                            request.prompt_tokens)
+        power = self.engine.power.prefill_power(request.prompt_tokens)
+        start_s = self.now
+        effective = self._spend(stats.seconds, power)
+        self.prefill_stall_s += effective * len(self.live)
+
+        # Transient engine failure on this attempt (fault schedule).
+        if (self.faults is not None
+                and self.faults.should_abort(request.request_id, state.attempts)):
+            self.counters.injected_aborts += 1
+            self.kv.release_sequence(kv_id)
+            self._my_kv_ids.discard(kv_id)
+            self._retry_or_fail(state, allow_retry=True)
+            return True
+
+        self.live.append(_LiveSequence(
+            request_id=request.request_id,
+            index=index,
+            arrival_s=state.first_arrival_s,
+            start_s=start_s,
+            prefill_s=effective,
+            prompt_tokens=request.prompt_tokens,
+            remaining=stop,
+            context=request.prompt_tokens,
+            deadline_s=state.deadline_s,
+            kv_seq_id=kv_id,
+            attempt=state.attempts,
+        ))
+        return True
+
+    # -- epochs --------------------------------------------------------
+    def _sweep_timeouts(self) -> None:
+        policy = self.degradation
+        if policy is None or policy.timeout_s is None:
+            return
+        for seq in [s for s in self.live
+                    if self.now - s.start_s > policy.timeout_s]:
+            self.live.remove(seq)
+            self._release_kv(seq)
+            self.counters.timeouts += 1
+            self._retry_or_fail(self.states[seq.index],
+                                allow_retry=policy.retry_on_timeout)
+
+    def _decode_epoch(self) -> None:
+        batch = len(self.live)
+        mean_context = float(np.mean([seq.context for seq in self.live]))
+        base = float(self.engine.kernels.decode_step_seconds(
+            self.engine.profile, mean_context, batch))
+        mean_generated = float(np.mean(
+            [seq.context - seq.prompt_tokens + 1 for seq in self.live]))
+        power = float(self.engine.power.decode_power(
+            max(mean_generated, 1.0), batch))
+        self._spend(base, power)
+
+        for seq in list(self.live):
+            if seq not in self.live:
+                continue  # preempted as a victim earlier in this sweep
+            if not self._append_with_preemption(seq):
+                continue  # could not fit even after evictions; requeued
+            seq.remaining -= 1
+            seq.context += 1
+            if seq.remaining <= 0:
+                self._finish(seq)
+
+    def _append_with_preemption(self, seq: _LiveSequence) -> bool:
+        """Grow a sequence's KV by one token, evicting victims if needed."""
+        while True:
+            try:
+                self.kv.append_token(seq.kv_seq_id)
+                return True
+            except KVCacheExhausted:
+                victim = self._pick_victim(exclude=seq)
+                if victim is None:
+                    if (self.kv.reserved_blocks == 0
+                            and self.kv.blocks_for(seq.context + 1)
+                            > self.kv.config.total_blocks):
+                        # The whole cache cannot hold it: fail, don't spin.
+                        self.live.remove(seq)
+                        self._release_kv(seq)
+                        self.counters.failed += 1
+                        self._record_unserved(self.states[seq.index])
+                        return False
+                    self._preempt(seq)
+                    return False
+                self._preempt(victim)
+
+    def _advance_idle(self) -> bool:
+        """No live batch: jump to the next arrival or fault boundary.
+
+        Returns False when nothing can ever unblock the head request, in
+        which case the caller must shed it to guarantee progress.
+        """
+        targets = []
+        if self.pending:
+            targets.append(self.pending[0][0])
+        if self.ready and self.faults is not None:
+            boundary = self.faults.next_boundary_after(self.now)
+            if boundary is not None:
+                targets.append(boundary)
+        if targets:
+            self.now = max(self.now, min(targets))
+            return True
+        return not self.ready
+
+    def _shed_unservable_head(self) -> None:
+        """Drop a request that cannot fit the KV cache even when idle."""
+        index = self._pop_ready()
+        if index is None:
+            return
+        self.counters.failed += 1
+        self._record_unserved(self.states[index])
+
+    # -- main loop -----------------------------------------------------
+    def execute(self) -> ResilienceReport:
+        try:
+            while self.pending or self.ready or self.live:
+                self._apply_kv_pressure()
+                self._promote()
+                while (len(self.live) < self.sim.max_batch_size
+                       and self._try_admit_one()):
+                    pass
+                if not self.live:
+                    if self.pending or self.ready:
+                        if not self._advance_idle():
+                            self._shed_unservable_head()
+                    continue
+                self._sweep_timeouts()
+                if not self.live:
+                    continue
+                self._decode_epoch()
+            return self._report()
+        finally:
+            # A shared engine cache must come back clean, even on error.
+            for kv_id in list(self._my_kv_ids):
+                self.kv.release_sequence(kv_id)
+            self._my_kv_ids.clear()
+            if self._pressure_blocks:
+                self.kv.release_reserved(self._pressure_blocks)
+                self._pressure_blocks = 0
+
+    def _report(self) -> ResilienceReport:
+        n = len(self.requests)
+        span = float(self.arrivals.max()) if n else 0.0
+        if span > 0:
+            offered_qps = n / span
+        elif self.now > 0:
+            # Simultaneous burst (or single request): rate over the run
+            # instead of the old 1/0 = inf that poisoned cost math.
+            offered_qps = n / self.now
+        else:
+            offered_qps = 0.0
+        return ResilienceReport(
+            served=sorted(self.served, key=lambda r: r.request_id),
+            wallclock_s=self.now,
+            energy_joules=self.energy,
+            offered_qps=offered_qps,
+            prefill_stall_s=self.prefill_stall_s,
+            offered=n,
+            throttle_residency_s=self.counters.throttle_residency_s,
+            thermal_throttle_events=(self.thermal.throttle_events
+                                     if self.thermal is not None else 0),
+            fault_slowdown_s=self.counters.fault_slowdown_s,
+            preemptions=self.counters.preemptions,
+            resumes=self.counters.resumes,
+            retries=self.counters.retries,
+            successful_retries=self.counters.successful_retries,
+            timeouts=self.counters.timeouts,
+            injected_aborts=self.counters.injected_aborts,
+            failed=self.counters.failed,
+            shed=self.counters.shed,
+            degraded_requests=self.counters.degraded_requests,
+            tokens_saved=self.counters.tokens_saved,
+            unserved_with_deadline=self.counters.unserved_with_deadline,
+        )

@@ -31,6 +31,7 @@ from repro.experiments import (
     power_modes,
     prefill_latency,
     quantization,
+    resilience,
     serving_study,
     takeaways,
     tradeoff_frontier,
@@ -82,6 +83,7 @@ _REGISTRY: dict[str, Callable[..., Any]] = {
     "deadline-control": deadline_control.deadline_table,
     "takeaways": takeaways.takeaways_table,
     "batch-latency-model": batch_latency.batch_model_table,
+    "resilience": resilience.resilience_table,
 }
 
 

@@ -1,0 +1,40 @@
+"""Fault injection and graceful degradation for the edge serving stack.
+
+Edge GPUs throttle, lose power headroom, run out of KV-cache memory, and
+drop requests; a serving characterization that ignores those hazards
+overstates what the platform delivers.  This package supplies the three
+pieces the resilient serving path composes:
+
+* :class:`FaultInjector` — a deterministic, seeded schedule of
+  thermal-throttle episodes, DVFS power-mode drops, transient kernel
+  slowdowns, KV-cache pressure spikes, and request aborts;
+* :class:`DegradationPolicy` — timeouts, bounded retries with
+  exponential backoff, and an admission controller that sheds load or
+  shrinks token budgets (reusing the paper's token controls);
+* :class:`ResilienceReport` — the serving report extended with throttle
+  residency, preemption/retry/abort counts, and degraded-mode savings.
+
+The endogenous thermal state machine lives with the rest of the hardware
+substrate in :mod:`repro.hardware.thermal`.
+"""
+
+from repro.engine.server import ResilienceReport
+from repro.faults.degradation import SHED_MODES, DegradationPolicy
+from repro.faults.injector import (
+    MIN_SPEED_FACTOR,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultScheduleConfig,
+)
+
+__all__ = [
+    "DegradationPolicy",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultScheduleConfig",
+    "MIN_SPEED_FACTOR",
+    "ResilienceReport",
+    "SHED_MODES",
+]

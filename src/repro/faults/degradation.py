@@ -1,0 +1,88 @@
+"""Graceful-degradation policy for the serving path.
+
+Under overload or faults an edge server has three levers short of
+failing: retry transient losses (with bounded, exponentially backed-off
+budgets), shed or shrink work at admission to protect the deadline hit
+rate, and watchdog-abort attempts that have run past their useful life.
+:class:`DegradationPolicy` bundles those knobs; the serving simulator
+consults it at admission and at every decode epoch.
+
+Token shrinking reuses the paper's token-control machinery
+(:mod:`repro.generation.control`): the degraded budget is expressed as a
+hard-budget :class:`~repro.generation.control.GenerationControl`, the
+same "[n]T" enforcement Section V characterizes, applied only while the
+backlog exceeds ``shed_queue_depth``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.generation.control import GenerationControl
+
+#: Admission-controller responses to overload.
+SHED_MODES = ("degrade", "reject")
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Knobs for graceful degradation under faults and overload.
+
+    All knobs default off, so ``DegradationPolicy()`` is inert; enable
+    individual levers per experiment.
+    """
+
+    #: Watchdog: abort an attempt whose service time (since admission)
+    #: exceeds this many seconds.  ``None`` disables the watchdog.
+    timeout_s: float | None = None
+    #: Re-attempts allowed after the first try (0 = never retry).
+    max_retries: int = 2
+    #: Base backoff before a retry; doubles per subsequent attempt.
+    retry_backoff_s: float = 0.5
+    #: Whether a watchdog timeout consumes a retry (off by default: a
+    #: timed-out attempt has already blown its deadline, so retrying it
+    #: usually just steals capacity from healthy requests).
+    retry_on_timeout: bool = False
+    #: Backlog depth above which the admission controller engages.
+    #: ``None`` disables admission control.
+    shed_queue_depth: int | None = None
+    #: Overload response: "degrade" shrinks token budgets via
+    #: ``degraded_control``; "reject" sheds the request outright.
+    shed_mode: str = "degrade"
+    #: Hard-budget token control applied to admissions under overload
+    #: (e.g. ``hard_budget(128)``).  Ignored unless it enforces a budget.
+    degraded_control: GenerationControl | None = None
+    #: Shed queued requests whose deadline already passed (they cannot
+    #: be served on time; dropping them protects the rest).
+    drop_expired: bool = False
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive when set")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.retry_backoff_s <= 0:
+            raise ValueError("retry_backoff_s must be positive")
+        if self.shed_mode not in SHED_MODES:
+            raise ValueError(
+                f"unknown shed_mode {self.shed_mode!r}; choose from {SHED_MODES}")
+        if (self.shed_queue_depth is not None
+                and self.shed_queue_depth < 0):
+            raise ValueError("shed_queue_depth must be non-negative")
+
+    # ------------------------------------------------------------------
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before re-attempt number ``attempt`` (exponential)."""
+        return self.retry_backoff_s * 2.0 ** max(attempt - 1, 0)
+
+    def degraded_budget(self) -> int | None:
+        """Token cap applied under overload, or None when not shrinking."""
+        control = self.degraded_control
+        if control is not None and control.enforces_budget:
+            return control.budget
+        return None
+
+    @property
+    def sheds_load(self) -> bool:
+        """Whether the admission controller is armed."""
+        return self.shed_queue_depth is not None

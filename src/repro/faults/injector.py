@@ -1,0 +1,193 @@
+"""Deterministic, seeded fault-event scheduler.
+
+Edge deployments are not fault-free: thermally limited Jetsons derate
+clocks, DVFS governors drop power modes under battery or cap pressure,
+co-resident workloads steal memory bandwidth and DRAM, and requests are
+lost to transient engine failures.  :class:`FaultInjector` turns those
+hazards into a *deterministic* schedule — generated once from a seed at
+construction and read-only afterwards — so chaos experiments reproduce
+bit-for-bit across runs.
+
+Four fault kinds are scheduled as timed episodes:
+
+* ``THERMAL`` — an exogenous thermal-throttle episode (heat soak,
+  blocked airflow): clocks derate to ``magnitude`` of nominal.
+* ``DVFS`` — a power-mode drop (battery saver, envelope cap): clocks
+  derate to the mode's compute scale (see
+  :data:`repro.hardware.soc._MODE_COMPUTE_SCALE` for realistic values).
+* ``TRANSIENT`` — a short kernel slowdown (paging, contention).
+* ``KV_PRESSURE`` — a co-tenant grabs ``magnitude`` of the paged
+  KV-cache blocks for the episode, forcing preemptions.
+
+Request aborts are not episodes: :meth:`should_abort` decides per
+(request, attempt) via a stable hash, mirroring the deterministic
+kernel-variant jitter in :mod:`repro.hardware.kernels`.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Slowest the composed derating is allowed to make the machine.
+MIN_SPEED_FACTOR = 0.05
+
+
+class FaultKind(enum.Enum):
+    """Category of an injected fault episode."""
+
+    THERMAL = "thermal"
+    DVFS = "dvfs"
+    TRANSIENT = "transient"
+    KV_PRESSURE = "kv_pressure"
+
+
+#: Kinds whose magnitude is a clock-speed multiplier.
+SLOWDOWN_KINDS = (FaultKind.THERMAL, FaultKind.DVFS, FaultKind.TRANSIENT)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault episode."""
+
+    kind: FaultKind
+    start_s: float
+    duration_s: float
+    #: Speed multiplier in (0, 1] for slowdown kinds; fraction of total
+    #: KV blocks withheld for ``KV_PRESSURE``.
+    magnitude: float
+
+    @property
+    def end_s(self) -> float:
+        """When the episode clears."""
+        return self.start_s + self.duration_s
+
+    def active_at(self, t: float) -> bool:
+        """Whether the episode covers time ``t``."""
+        return self.start_s <= t < self.end_s
+
+
+@dataclass(frozen=True)
+class FaultScheduleConfig:
+    """Episode counts, magnitudes, and durations for one schedule.
+
+    Episode start times are drawn uniformly over ``[0, horizon_s)`` and
+    durations uniformly over each kind's range.  Setting a count to zero
+    disables that kind; ``abort_rate`` is the per-request probability of
+    a transient abort on the first attempt.
+    """
+
+    horizon_s: float = 600.0
+    thermal_episodes: int = 2
+    thermal_speed: float = 0.6
+    thermal_duration_s: tuple[float, float] = (20.0, 60.0)
+    dvfs_drops: int = 1
+    dvfs_speed: float = 0.48
+    dvfs_duration_s: tuple[float, float] = (15.0, 45.0)
+    transient_slowdowns: int = 3
+    transient_speed: float = 0.8
+    transient_duration_s: tuple[float, float] = (2.0, 8.0)
+    kv_pressure_spikes: int = 1
+    kv_pressure_fraction: float = 0.5
+    kv_pressure_duration_s: tuple[float, float] = (10.0, 30.0)
+    abort_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        for name in ("thermal_speed", "dvfs_speed", "transient_speed"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1]")
+        if not 0.0 <= self.kv_pressure_fraction <= 1.0:
+            raise ValueError("kv_pressure_fraction must be in [0, 1]")
+        if not 0.0 <= self.abort_rate <= 1.0:
+            raise ValueError("abort_rate must be in [0, 1]")
+
+
+class FaultInjector:
+    """Seeded fault schedule: query-only after construction.
+
+    All methods are pure reads, so one injector can drive many serving
+    runs and every run sees the identical schedule.
+    """
+
+    def __init__(self, config: FaultScheduleConfig | None = None,
+                 seed: int = 0):
+        self.config = config or FaultScheduleConfig()
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        cfg = self.config
+        events: list[FaultEvent] = []
+        for kind, count, magnitude, span in (
+            (FaultKind.THERMAL, cfg.thermal_episodes, cfg.thermal_speed,
+             cfg.thermal_duration_s),
+            (FaultKind.DVFS, cfg.dvfs_drops, cfg.dvfs_speed,
+             cfg.dvfs_duration_s),
+            (FaultKind.TRANSIENT, cfg.transient_slowdowns,
+             cfg.transient_speed, cfg.transient_duration_s),
+            (FaultKind.KV_PRESSURE, cfg.kv_pressure_spikes,
+             cfg.kv_pressure_fraction, cfg.kv_pressure_duration_s),
+        ):
+            for _ in range(count):
+                start = float(rng.uniform(0.0, cfg.horizon_s))
+                duration = float(rng.uniform(*span))
+                events.append(FaultEvent(kind, start, duration, magnitude))
+        self.events: tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.start_s, e.kind.value)))
+        boundaries = sorted({e.start_s for e in self.events}
+                            | {e.end_s for e in self.events})
+        self._boundaries: tuple[float, ...] = tuple(boundaries)
+
+    # ------------------------------------------------------------------
+    def active(self, t: float) -> tuple[FaultEvent, ...]:
+        """Episodes covering time ``t``."""
+        return tuple(e for e in self.events if e.active_at(t))
+
+    def speed_factor(self, t: float) -> float:
+        """Composed clock-speed multiplier at time ``t``.
+
+        Overlapping slowdown episodes multiply (a DVFS drop during a
+        thermal soak is slower than either), floored at
+        :data:`MIN_SPEED_FACTOR`.
+        """
+        speed = 1.0
+        for event in self.events:
+            if event.kind in SLOWDOWN_KINDS and event.active_at(t):
+                speed *= event.magnitude
+        return max(speed, MIN_SPEED_FACTOR)
+
+    def kv_pressure_fraction(self, t: float) -> float:
+        """Fraction of KV blocks withheld by pressure spikes at ``t``."""
+        fractions = [e.magnitude for e in self.events
+                     if e.kind is FaultKind.KV_PRESSURE and e.active_at(t)]
+        return min(max(fractions, default=0.0), 1.0)
+
+    def should_abort(self, request_id: int, attempt: int) -> bool:
+        """Whether this (request, attempt) hits a transient abort.
+
+        Aborts are transient: only the first attempt can fail, so a
+        retry under a degradation policy always recovers.  The decision
+        is a stable hash of (seed, request id), not RNG state, so it is
+        identical across runs and unaffected by query order.
+        """
+        if attempt != 1 or self.config.abort_rate <= 0:
+            return False
+        token = f"{self.seed}:abort:{request_id}".encode()
+        digest = hashlib.sha256(token).digest()
+        unit = int.from_bytes(digest[:8], "little") / 2**64
+        return unit < self.config.abort_rate
+
+    def next_boundary_after(self, t: float) -> float | None:
+        """Next episode start/end strictly after ``t`` (None when past all).
+
+        Lets an idle server fast-forward to the moment a blocking episode
+        (e.g. KV pressure) clears.
+        """
+        for boundary in self._boundaries:
+            if boundary > t:
+                return boundary
+        return None

@@ -17,6 +17,7 @@ from repro.hardware.memory import MemorySystem, MemorySpec
 from repro.hardware.power import PowerModel, PowerSample, PowerState
 from repro.hardware.soc import JetsonOrinSpec, PowerMode, SocSpec
 from repro.hardware.telemetry import EnergyReport, TelemetryRecorder, UtilizationSample
+from repro.hardware.thermal import ThermalConfig, ThermalModel, ThermalState
 
 __all__ = [
     "ArmCpuCluster",
@@ -34,6 +35,9 @@ __all__ = [
     "PowerState",
     "SocSpec",
     "TelemetryRecorder",
+    "ThermalConfig",
+    "ThermalModel",
+    "ThermalState",
     "UtilizationSample",
     "calibration_for_model",
     "pad_to_tile",

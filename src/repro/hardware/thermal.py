@@ -1,0 +1,128 @@
+"""Lumped thermal model with a throttle state machine.
+
+Edge SoCs are thermally limited: related characterizations (Arya &
+Simmhan; Islam et al.) observe Jetsons hitting thermal caps under
+sustained inference, at which point the firmware derates clocks until the
+junction cools.  The paper's power-mode study (Section VI) only captures
+*static* caps; this module adds the *dynamic* side: a single-node RC
+thermal model driven by the integrated power draw the power model already
+reports, plus a two-state NOMINAL/THROTTLED machine with hysteresis.
+
+The model composes with the discrete power-state machine in
+:mod:`repro.hardware.power`: power output by :class:`PowerModel` is fed
+into :meth:`ThermalModel.advance`, and the resulting
+:meth:`speed_factor` / :meth:`power_scale` derate the kernel engine's
+step times and the board power while throttled.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+
+class ThermalState(enum.Enum):
+    """Throttle state of the SoC."""
+
+    NOMINAL = "nominal"
+    THROTTLED = "throttled"
+
+
+@dataclass(frozen=True)
+class ThermalConfig:
+    """Single-node RC thermal parameters and throttle thresholds.
+
+    The defaults approximate a passively assisted Orin devkit: a board
+    thermal mass of tens of J/°C and a heatsink conductance well under
+    1 W/°C, so sustained 15-30 W inference soaks toward the trip point
+    over minutes rather than milliseconds.
+    """
+
+    #: Enclosure ambient temperature (°C).
+    ambient_c: float = 35.0
+    #: Lumped heat capacity of die + board (J/°C).
+    heat_capacity_j_per_c: float = 40.0
+    #: Heatsink-to-ambient conductance (W/°C).
+    conductance_w_per_c: float = 0.45
+    #: Junction temperature that trips throttling (°C).
+    throttle_trip_c: float = 85.0
+    #: Temperature at which nominal clocks resume (°C, hysteresis).
+    resume_c: float = 76.0
+    #: Clock speed multiplier while throttled (step times divide by this).
+    throttle_derate: float = 0.6
+    #: Board power multiplier while throttled (derated clocks draw less).
+    throttle_power_scale: float = 0.7
+
+    def __post_init__(self) -> None:
+        if self.heat_capacity_j_per_c <= 0:
+            raise ValueError("heat_capacity_j_per_c must be positive")
+        if self.conductance_w_per_c <= 0:
+            raise ValueError("conductance_w_per_c must be positive")
+        if not self.resume_c < self.throttle_trip_c:
+            raise ValueError("resume_c must sit below throttle_trip_c")
+        if not 0.0 < self.throttle_derate <= 1.0:
+            raise ValueError("throttle_derate must be in (0, 1]")
+        if not 0.0 < self.throttle_power_scale <= 1.0:
+            raise ValueError("throttle_power_scale must be in (0, 1]")
+
+    def equilibrium_c(self, power_w: float) -> float:
+        """Steady-state temperature under a constant power draw."""
+        return self.ambient_c + power_w / self.conductance_w_per_c
+
+
+class ThermalModel:
+    """Integrates power into temperature and drives the throttle machine."""
+
+    def __init__(self, config: ThermalConfig | None = None):
+        self.config = config or ThermalConfig()
+        self.temperature_c = self.config.ambient_c
+        self.state = ThermalState.NOMINAL
+        self.throttle_residency_s = 0.0
+        self.throttle_events = 0
+        self.elapsed_s = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def throttled(self) -> bool:
+        """Whether clocks are currently derated."""
+        return self.state is ThermalState.THROTTLED
+
+    def speed_factor(self) -> float:
+        """Multiplier on clock speed (1.0 nominal, <1 throttled)."""
+        return self.config.throttle_derate if self.throttled else 1.0
+
+    def power_scale(self) -> float:
+        """Multiplier on board power (derated clocks draw less)."""
+        return self.config.throttle_power_scale if self.throttled else 1.0
+
+    # ------------------------------------------------------------------
+    def advance(self, dt_s: float, power_w: float) -> None:
+        """Integrate ``dt_s`` seconds at ``power_w`` and update the state.
+
+        Uses the exact solution of the single-node RC equation over the
+        interval, so large decode-epoch steps stay stable.
+        """
+        if dt_s <= 0:
+            return
+        cfg = self.config
+        equilibrium = cfg.equilibrium_c(max(power_w, 0.0))
+        tau = cfg.heat_capacity_j_per_c / cfg.conductance_w_per_c
+        decay = math.exp(-dt_s / tau)
+        self.temperature_c = equilibrium + (self.temperature_c - equilibrium) * decay
+        self.elapsed_s += dt_s
+        if self.throttled:
+            self.throttle_residency_s += dt_s
+            if self.temperature_c <= cfg.resume_c:
+                self.state = ThermalState.NOMINAL
+        elif self.temperature_c >= cfg.throttle_trip_c:
+            self.state = ThermalState.THROTTLED
+            self.throttle_events += 1
+
+    def reset(self) -> None:
+        """Return to ambient, nominal clocks, zeroed counters."""
+        self.temperature_c = self.config.ambient_c
+        self.state = ThermalState.NOMINAL
+        self.throttle_residency_s = 0.0
+        self.throttle_events = 0
+        self.elapsed_s = 0.0

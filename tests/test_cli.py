@@ -19,6 +19,12 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["plan"])
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.model == "dsr1-qwen-1.5b"
+        assert args.seed == 0
+        assert args.deadline == 40.0
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -65,6 +71,17 @@ class TestCommands:
         assert code == 0
         text = (tmp_path / "fig3b.txt").read_text()
         assert "|" in text  # chart grid, not point listings
+
+    def test_chaos(self, capsys):
+        # Small stream keeps the chaos sweep fast; exit 0 certifies the
+        # degradation-on run matched or beat the baseline hit rate.
+        code = main(["chaos", "--requests", "12", "--qps", "3",
+                     "--seed", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Resilience ablation" in out
+        assert "degradation on" in out
+        assert "hit rate" in out
 
     def test_characterize_writes_json(self, capsys, tmp_path):
         out = tmp_path / "models.json"

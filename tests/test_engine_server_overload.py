@@ -1,0 +1,154 @@
+"""Scheduling-policy and accounting tests under overload."""
+
+import numpy as np
+import pytest
+
+from repro.engine.engine import InferenceEngine
+from repro.engine.request import GenerationRequest
+from repro.engine.server import ServingSimulator
+from repro.models.registry import get_model
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return InferenceEngine(get_model("dsr1-qwen-1.5b"))
+
+
+def _requests(count, output=64, prompt=100):
+    return [GenerationRequest(i, prompt, output) for i in range(count)]
+
+
+def _overload(engine, policy, deadlines):
+    """Serve a 16-request burst through a batch-2 server."""
+    sim = ServingSimulator(engine, max_batch_size=2, policy=policy)
+    n = len(deadlines)
+    return sim.run(_requests(n, output=96), np.zeros(n), np.array(deadlines))
+
+
+class TestEdfVsFcfs:
+    def test_edf_beats_fcfs_on_tight_deadlines(self, engine):
+        # Half the burst has tight deadlines, half loose.  FCFS serves in
+        # arrival order and blows the tight ones queued late; EDF pulls
+        # them forward.
+        deadlines = [200.0, 15.0] * 8
+        fcfs = _overload(engine, "fcfs", deadlines)
+        edf = _overload(engine, "edf", deadlines)
+        assert edf.deadline_hit_rate > fcfs.deadline_hit_rate
+
+    def test_edf_orders_by_deadline(self, engine):
+        deadlines = [80.0, 60.0, 40.0, 20.0]
+        report = _overload(engine, "edf", deadlines)
+        starts = {r.request_id: r.start_s for r in report.served}
+        # Tightest deadline admitted no later than the loosest.
+        assert starts[3] <= starts[0]
+
+    def test_fcfs_preserves_arrival_order(self, engine):
+        sim = ServingSimulator(engine, max_batch_size=1, policy="fcfs")
+        arrivals = np.array([0.0, 1.0, 2.0, 3.0])
+        report = sim.run(_requests(4), arrivals)
+        starts = [r.start_s for r in sorted(report.served,
+                                            key=lambda r: r.request_id)]
+        assert starts == sorted(starts)
+
+    def test_unknown_policy_rejected(self, engine):
+        with pytest.raises(ValueError):
+            ServingSimulator(engine, policy="sjf")
+
+    def test_policies_complete_same_work(self, engine):
+        deadlines = [50.0] * 8
+        fcfs = _overload(engine, "fcfs", deadlines)
+        edf = _overload(engine, "edf", deadlines)
+        assert fcfs.completed == edf.completed == 8
+        assert fcfs.total_output_tokens == edf.total_output_tokens
+
+
+class TestOfferedQps:
+    def test_single_request_offered_qps_finite(self, engine):
+        sim = ServingSimulator(engine, max_batch_size=2)
+        report = sim.run(_requests(1), np.zeros(1))
+        assert np.isfinite(report.offered_qps)
+        assert report.offered_qps > 0
+
+    def test_simultaneous_burst_offered_qps_finite(self, engine):
+        sim = ServingSimulator(engine, max_batch_size=4)
+        report = sim.run(_requests(4), np.zeros(4))
+        assert np.isfinite(report.offered_qps)
+
+    def test_empty_run_offered_qps_zero(self, engine):
+        sim = ServingSimulator(engine, max_batch_size=2)
+        report = sim.run([], np.zeros(0))
+        assert report.offered_qps == 0.0
+
+    def test_spread_arrivals_match_rate(self, engine):
+        sim = ServingSimulator(engine, max_batch_size=4)
+        arrivals = np.arange(10) * 2.0          # 0.5 req/s over 18 s
+        report = sim.run(_requests(10), arrivals)
+        assert report.offered_qps == pytest.approx(10 / 18.0)
+
+
+class TestPrefillStall:
+    def test_burst_attributes_stall(self, engine):
+        # Batch-1 prefill: each admission stalls every already-live
+        # decode stream, so a simultaneous burst must report a stall.
+        sim = ServingSimulator(engine, max_batch_size=4)
+        report = sim.run(_requests(4), np.zeros(4))
+        assert report.prefill_stall_s > 0
+
+    def test_lone_request_has_no_stall(self, engine):
+        sim = ServingSimulator(engine, max_batch_size=4)
+        report = sim.run(_requests(1), np.zeros(1))
+        assert report.prefill_stall_s == 0.0
+
+    def test_serial_arrivals_have_no_stall(self, engine):
+        # Arrivals spaced beyond each request's full service time never
+        # overlap, so no decode stream is ever stalled by a prefill.
+        sim = ServingSimulator(engine, max_batch_size=4)
+        report = sim.run(_requests(3, output=16), np.arange(3) * 100.0)
+        assert report.prefill_stall_s == 0.0
+
+    def test_stall_scales_with_live_batch(self, engine):
+        small = ServingSimulator(engine, max_batch_size=2)
+        large = ServingSimulator(engine, max_batch_size=8)
+        a = small.run(_requests(8, output=128), np.zeros(8))
+        b = large.run(_requests(8, output=128), np.zeros(8))
+        assert b.prefill_stall_s > a.prefill_stall_s
+
+    def test_queue_delay_excludes_own_prefill(self, engine):
+        sim = ServingSimulator(engine, max_batch_size=2)
+        report = sim.run(_requests(1), np.zeros(1))
+        served = report.served[0]
+        assert served.queue_delay_s == pytest.approx(0.0, abs=1e-9)
+        assert served.prefill_s > 0
+        assert served.service_s == pytest.approx(
+            served.finish_s - served.start_s)
+
+
+class TestHeapScheduler:
+    def test_large_burst_served_completely(self, engine):
+        # The two-heap scheduler must drain a large backlog without
+        # losing or duplicating requests.
+        sim = ServingSimulator(engine, max_batch_size=8)
+        report = sim.run(_requests(64, output=16), np.zeros(64))
+        assert report.completed == 64
+        assert sorted(r.request_id for r in report.served) == list(range(64))
+
+    def test_out_of_order_arrivals_normalized(self, engine):
+        # Arrival arrays need not be sorted; the pending heap orders them.
+        sim = ServingSimulator(engine, max_batch_size=1)
+        arrivals = np.array([3.0, 0.0, 2.0, 1.0])
+        report = sim.run(_requests(4, output=16), arrivals)
+        starts = {r.request_id: r.start_s for r in report.served}
+        assert starts[1] < starts[3] < starts[2] < starts[0]
+
+    def test_deadline_hit_rate_counts_failures(self, engine):
+        # ResilienceReport scores the offered population: a request that
+        # never completes still counts against the hit rate.
+        from repro.faults.injector import FaultInjector, FaultScheduleConfig
+        faults = FaultInjector(FaultScheduleConfig(
+            horizon_s=100.0, thermal_episodes=0, dvfs_drops=0,
+            transient_slowdowns=0, kv_pressure_spikes=0, abort_rate=1.0),
+            seed=0)
+        sim = ServingSimulator(engine, max_batch_size=2, faults=faults)
+        report = sim.run(_requests(2), np.zeros(2), np.array([60.0, 60.0]))
+        assert report.completed == 0
+        assert report.deadline_hit_rate == 0.0

@@ -1,0 +1,135 @@
+"""Tests for the seeded fault-event scheduler."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults.injector import (
+    MIN_SPEED_FACTOR,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultScheduleConfig,
+)
+
+
+def _config(**overrides) -> FaultScheduleConfig:
+    base = dict(horizon_s=100.0, thermal_episodes=2, dvfs_drops=1,
+                transient_slowdowns=3, kv_pressure_spikes=1,
+                abort_rate=0.2)
+    base.update(overrides)
+    return FaultScheduleConfig(**base)
+
+
+class TestFaultEvent:
+    def test_interval_semantics(self):
+        event = FaultEvent(FaultKind.THERMAL, 10.0, 5.0, 0.6)
+        assert event.end_s == 15.0
+        assert event.active_at(10.0)          # closed at the start
+        assert event.active_at(14.999)
+        assert not event.active_at(15.0)      # open at the end
+        assert not event.active_at(9.999)
+
+
+class TestScheduleConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"horizon_s": 0.0},
+        {"thermal_speed": 0.0},
+        {"dvfs_speed": 1.5},
+        {"kv_pressure_fraction": -0.1},
+        {"abort_rate": 1.2},
+    ])
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            _config(**kwargs)
+
+
+class TestFaultInjector:
+    def test_schedule_matches_config_counts(self):
+        injector = FaultInjector(_config(), seed=3)
+        by_kind = {}
+        for event in injector.events:
+            by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+        assert by_kind[FaultKind.THERMAL] == 2
+        assert by_kind[FaultKind.DVFS] == 1
+        assert by_kind[FaultKind.TRANSIENT] == 3
+        assert by_kind[FaultKind.KV_PRESSURE] == 1
+
+    def test_events_start_inside_horizon_sorted(self):
+        injector = FaultInjector(_config(), seed=5)
+        starts = [e.start_s for e in injector.events]
+        assert starts == sorted(starts)
+        assert all(0.0 <= s < 100.0 for s in starts)
+
+    def test_same_seed_same_schedule(self):
+        a = FaultInjector(_config(), seed=11)
+        b = FaultInjector(_config(), seed=11)
+        assert a.events == b.events
+
+    def test_different_seed_different_schedule(self):
+        a = FaultInjector(_config(), seed=0)
+        b = FaultInjector(_config(), seed=1)
+        assert a.events != b.events
+
+    def test_zero_counts_disable_kinds(self):
+        injector = FaultInjector(_config(
+            thermal_episodes=0, dvfs_drops=0, transient_slowdowns=0,
+            kv_pressure_spikes=0, abort_rate=0.0), seed=0)
+        assert injector.events == ()
+        assert injector.speed_factor(5.0) == 1.0
+        assert injector.kv_pressure_fraction(5.0) == 0.0
+        assert injector.next_boundary_after(0.0) is None
+
+    def test_speed_factor_composes_overlaps(self):
+        injector = FaultInjector(_config(
+            thermal_episodes=0, dvfs_drops=0, transient_slowdowns=0,
+            kv_pressure_spikes=0), seed=0)
+        # Inject a hand-built overlapping schedule.
+        injector.events = (
+            FaultEvent(FaultKind.THERMAL, 0.0, 10.0, 0.5),
+            FaultEvent(FaultKind.DVFS, 5.0, 10.0, 0.5),
+            FaultEvent(FaultKind.KV_PRESSURE, 0.0, 20.0, 0.9),
+        )
+        assert injector.speed_factor(2.0) == pytest.approx(0.5)
+        assert injector.speed_factor(7.0) == pytest.approx(0.25)
+        assert injector.speed_factor(12.0) == pytest.approx(0.5)
+        assert injector.speed_factor(25.0) == 1.0
+        # KV pressure never slows clocks.
+        assert injector.kv_pressure_fraction(2.0) == pytest.approx(0.9)
+
+    def test_speed_factor_floor(self):
+        injector = FaultInjector(_config(
+            thermal_episodes=0, dvfs_drops=0, transient_slowdowns=0,
+            kv_pressure_spikes=0), seed=0)
+        injector.events = tuple(
+            FaultEvent(FaultKind.TRANSIENT, 0.0, 10.0, 0.1)
+            for _ in range(5))
+        assert injector.speed_factor(1.0) == MIN_SPEED_FACTOR
+
+    def test_abort_deterministic_and_first_attempt_only(self):
+        injector = FaultInjector(_config(abort_rate=0.3), seed=7)
+        decisions = [injector.should_abort(i, 1) for i in range(200)]
+        assert decisions == [injector.should_abort(i, 1) for i in range(200)]
+        assert any(decisions)
+        assert not all(decisions)
+        aborted = decisions.index(True)
+        assert not injector.should_abort(aborted, 2)   # retry recovers
+
+    def test_abort_rate_zero_never_aborts(self):
+        injector = FaultInjector(_config(abort_rate=0.0), seed=7)
+        assert not any(injector.should_abort(i, 1) for i in range(100))
+
+    def test_abort_rate_tracks_probability(self):
+        injector = FaultInjector(_config(abort_rate=0.25), seed=13)
+        hits = sum(injector.should_abort(i, 1) for i in range(4000))
+        assert 0.2 < hits / 4000 < 0.3
+
+    def test_next_boundary_walks_schedule(self):
+        injector = FaultInjector(_config(), seed=2)
+        t, seen = -1.0, 0
+        while (boundary := injector.next_boundary_after(t)) is not None:
+            assert boundary > t
+            t, seen = boundary, seen + 1
+        # Every event contributes a start and an end (some may coincide).
+        assert seen >= len(injector.events)
+        assert t == pytest.approx(max(e.end_s for e in injector.events))

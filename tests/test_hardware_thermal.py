@@ -1,0 +1,134 @@
+"""Tests for the RC thermal state machine."""
+
+import math
+
+import pytest
+
+from repro.hardware.thermal import ThermalConfig, ThermalModel, ThermalState
+
+
+def _hot() -> ThermalConfig:
+    """A config that trips quickly under tens-of-watts draw."""
+    return ThermalConfig(
+        ambient_c=35.0,
+        heat_capacity_j_per_c=10.0,
+        conductance_w_per_c=0.5,
+        throttle_trip_c=60.0,
+        resume_c=50.0,
+        throttle_derate=0.6,
+        throttle_power_scale=0.7,
+    )
+
+
+class TestThermalConfig:
+    def test_equilibrium(self):
+        config = _hot()
+        # Steady state: T_eq = ambient + P/G.
+        assert config.equilibrium_c(25.0) == pytest.approx(35.0 + 25.0 / 0.5)
+
+    def test_zero_power_equilibrium_is_ambient(self):
+        assert _hot().equilibrium_c(0.0) == pytest.approx(35.0)
+
+    @pytest.mark.parametrize("field,value", [
+        ("heat_capacity_j_per_c", 0.0),
+        ("conductance_w_per_c", -1.0),
+        ("throttle_derate", 0.0),
+        ("throttle_derate", 1.5),
+        ("throttle_power_scale", 0.0),
+    ])
+    def test_bad_values_rejected(self, field, value):
+        import dataclasses
+        with pytest.raises(ValueError):
+            dataclasses.replace(_hot(), **{field: value})
+
+    def test_resume_must_be_below_trip(self):
+        import dataclasses
+        with pytest.raises(ValueError):
+            dataclasses.replace(_hot(), resume_c=60.0)
+
+
+class TestThermalModel:
+    def test_starts_nominal_at_ambient(self):
+        model = ThermalModel(_hot())
+        assert model.state is ThermalState.NOMINAL
+        assert model.temperature_c == pytest.approx(35.0)
+        assert model.speed_factor() == 1.0
+        assert model.power_scale() == 1.0
+
+    def test_exact_rc_step(self):
+        config = _hot()
+        model = ThermalModel(config)
+        model.advance(2.0, 30.0)
+        tau = config.heat_capacity_j_per_c / config.conductance_w_per_c
+        t_eq = config.equilibrium_c(30.0)
+        expected = t_eq + (35.0 - t_eq) * math.exp(-2.0 / tau)
+        assert model.temperature_c == pytest.approx(expected)
+
+    def test_one_big_step_equals_many_small(self):
+        a = ThermalModel(_hot())
+        b = ThermalModel(_hot())
+        a.advance(10.0, 20.0)
+        for _ in range(1000):
+            b.advance(0.01, 20.0)
+        assert a.temperature_c == pytest.approx(b.temperature_c, rel=1e-9)
+
+    def test_converges_to_equilibrium(self):
+        config = _hot()
+        model = ThermalModel(config)
+        model.advance(1e6, 8.0)
+        assert model.temperature_c == pytest.approx(
+            config.equilibrium_c(8.0), abs=1e-6)
+
+    def test_trips_then_resumes_with_hysteresis(self):
+        model = ThermalModel(_hot())
+        # 30 W equilibrium is 95C: well above the 60C trip point.
+        while model.state is ThermalState.NOMINAL:
+            model.advance(0.5, 30.0)
+        assert model.throttled
+        assert model.speed_factor() == pytest.approx(0.6)
+        assert model.power_scale() == pytest.approx(0.7)
+        assert model.throttle_events == 1
+        # Must cool past resume_c (50C), not just below trip (60C).
+        while model.temperature_c > 55.0:
+            model.advance(0.5, 0.0)
+        assert model.throttled            # still inside the hysteresis band
+        while model.state is ThermalState.THROTTLED:
+            model.advance(0.5, 0.0)
+        assert model.temperature_c <= 50.0 + 1e-9
+        assert model.speed_factor() == 1.0
+
+    def test_residency_accumulates_only_while_throttled(self):
+        model = ThermalModel(_hot())
+        model.advance(1.0, 0.0)
+        assert model.throttle_residency_s == 0.0
+        while model.state is ThermalState.NOMINAL:
+            model.advance(0.5, 30.0)
+        base = model.throttle_residency_s
+        model.advance(2.0, 30.0)
+        assert model.throttle_residency_s == pytest.approx(base + 2.0)
+
+    def test_negative_power_clamped(self):
+        model = ThermalModel(_hot())
+        model.advance(100.0, -5.0)
+        assert model.temperature_c >= 35.0 - 1e-9
+
+    def test_zero_dt_is_noop(self):
+        model = ThermalModel(_hot())
+        model.advance(0.0, 50.0)
+        assert model.temperature_c == pytest.approx(35.0)
+
+    def test_reset(self):
+        model = ThermalModel(_hot())
+        while model.state is ThermalState.NOMINAL:
+            model.advance(0.5, 30.0)
+        model.reset()
+        assert model.state is ThermalState.NOMINAL
+        assert model.temperature_c == pytest.approx(35.0)
+        assert model.throttle_residency_s == 0.0
+        assert model.throttle_events == 0
+
+    def test_default_config_never_throttles_at_modest_power(self):
+        # The stock Orin-class config has equilibrium below trip at ~20 W.
+        model = ThermalModel()
+        model.advance(1e6, 20.0)
+        assert model.state is ThermalState.NOMINAL
