@@ -426,6 +426,29 @@ class _ServingRun:
             return None
         return heapq.heappop(self.ready)[2]
 
+    def _backlog(self) -> int:
+        """Arrived-and-waiting queue depth.
+
+        Future arrivals still sitting in ``pending`` are not load; only
+        requests whose arrival (or retry backoff) time has passed count
+        toward admission-control decisions.
+        """
+        self._promote()
+        return len(self.ready)
+
+    def _shed_worst_ready(self) -> None:
+        """Reject the least-urgent ready request.
+
+        Admission control sheds from the tail of the queue — the latest
+        deadline under EDF, the newest arrival under FCFS — never the
+        head the policy is about to serve.
+        """
+        worst = max(self.ready)
+        self.ready.remove(worst)
+        heapq.heapify(self.ready)
+        self.counters.shed += 1
+        self._record_unserved(self.states[worst[2]])
+
     # -- fault plumbing ------------------------------------------------
     def _speed(self) -> float:
         speed = 1.0
@@ -500,9 +523,11 @@ class _ServingRun:
         if not candidates:
             return None
         if self.sim.policy == "edf":
-            # Latest absolute deadline loses its slot first.
+            # Latest absolute deadline loses its slot first.  A deadline
+            # of 0.0 is real and maximally urgent; only None means none.
             return max(candidates,
-                       key=lambda s: (s.arrival_s + (s.deadline_s or np.inf),
+                       key=lambda s: (s.arrival_s + (np.inf if s.deadline_s
+                                                     is None else s.deadline_s),
                                       s.start_s))
         # FCFS preempts the most recently admitted (vLLM-style LIFO).
         return max(candidates, key=lambda s: s.start_s)
@@ -536,8 +561,7 @@ class _ServingRun:
             return min(stop, state.budget_tokens)
         if policy is None or not policy.sheds_load:
             return stop
-        backlog = len(self.ready) + len(self.pending)
-        if backlog <= policy.shed_queue_depth:
+        if self._backlog() <= policy.shed_queue_depth:
             return stop
         budget = policy.degraded_budget()
         if budget is None or budget >= stop:
@@ -566,13 +590,12 @@ class _ServingRun:
             self._record_unserved(state)
             return True
 
-        # Admission controller: reject outright under overload.
+        # Admission controller: under overload, reject the least-urgent
+        # queued work (queue tail), never the head being admitted.
         if (policy is not None and policy.sheds_load
-                and policy.shed_mode == "reject"
-                and len(self.ready) + len(self.pending) > policy.shed_queue_depth):
-            self.counters.shed += 1
-            self._record_unserved(state)
-            return True
+                and policy.shed_mode == "reject"):
+            while self._backlog() > policy.shed_queue_depth:
+                self._shed_worst_ready()
 
         stop = self._admission_budget(request, state)
 

@@ -200,6 +200,40 @@ class TestAdmissionControl:
         assert report.completed == 6
         assert report.tokens_saved == report.degraded_requests * (64 - 16)
 
+    def test_light_load_never_degrades(self, engine):
+        # Regression: future arrivals still in ``pending`` are not
+        # backlog.  Widely spaced requests (queue always empty) must go
+        # through untouched even with an aggressive shed threshold.
+        policy = DegradationPolicy(shed_queue_depth=0, shed_mode="degrade",
+                                   degraded_control=hard_budget(16))
+        sim = ServingSimulator(engine, max_batch_size=2, degradation=policy)
+        arrivals = np.arange(20, dtype=np.float64) * 1000.0
+        report = sim.run(_requests(20, output=64), arrivals)
+        assert report.completed == 20
+        assert report.degraded_requests == 0
+        assert report.tokens_saved == 0
+
+    def test_light_load_never_rejects(self, engine):
+        policy = DegradationPolicy(shed_queue_depth=0, shed_mode="reject")
+        sim = ServingSimulator(engine, max_batch_size=2, degradation=policy)
+        arrivals = np.arange(20, dtype=np.float64) * 1000.0
+        report = sim.run(_requests(20), arrivals)
+        assert report.completed == 20
+        assert report.shed == 0
+
+    def test_reject_mode_sheds_tail_not_head(self, engine):
+        # Under EDF overload the controller must reject the requests
+        # with the *latest* deadlines, keeping the most urgent ones.
+        policy = DegradationPolicy(shed_queue_depth=2, shed_mode="reject")
+        sim = ServingSimulator(engine, max_batch_size=1, policy="edf",
+                               degradation=policy)
+        deadlines = np.array([10.0, 20.0, 30.0, 40.0, 50.0, 60.0])
+        report = sim.run(_requests(6, output=8), np.zeros(6), deadlines)
+        assert report.shed > 0
+        served_ids = {r.request_id for r in report.served}
+        # The tightest deadlines (earliest request ids) survive.
+        assert served_ids == set(range(report.completed))
+
     def test_drop_expired_shed_counts_as_miss(self, engine):
         policy = DegradationPolicy(drop_expired=True)
         sim = ServingSimulator(engine, max_batch_size=1, degradation=policy)
