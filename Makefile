@@ -6,7 +6,7 @@
 PYTHON ?= python
 OUTPUT ?= outputs
 
-.PHONY: setup test bench chaos reproduce examples fidelity takeaways clean
+.PHONY: setup test bench chaos reproduce reproduce-fast examples fidelity takeaways clean
 
 ## Install the package in editable mode (legacy path works offline).
 setup:
@@ -35,6 +35,12 @@ chaos:
 ## Write every artifact's text into $(OUTPUT)/.
 reproduce:
 	$(PYTHON) -m repro reproduce --output $(OUTPUT)
+
+## Smoke-tier sweep of every artifact through the memoizing pipeline:
+## small producer sizes, 4 parallel jobs, shared intermediates computed
+## exactly once, per-artifact timing printed at the end.
+reproduce-fast:
+	PYTHONPATH=src $(PYTHON) -m repro run --all --jobs 4 --smoke --timing
 
 ## Run all example applications.
 examples:

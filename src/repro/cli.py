@@ -4,14 +4,20 @@ Examples::
 
     python -m repro list
     python -m repro run table11
+    python -m repro run --all --jobs 4 --timing
     python -m repro simulate --model dsr1-llama-8b --prompt 150 --output 800
     python -m repro plan --budget 5 --prompt 128
     python -m repro models
+
+The artifact pipeline caches expensive intermediates in memory for the
+duration of a command; set ``--cache-dir`` (or the ``REPRO_CACHE_DIR``
+environment variable) to also persist them on disk across invocations.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.core.characterize import characterize_model
@@ -19,8 +25,14 @@ from repro.core.persistence import save_characterization
 from repro.core.planner import build_planner
 from repro.engine.engine import EngineConfig, InferenceEngine
 from repro.engine.request import GenerationRequest
-from repro.experiments.runner import list_experiments, render, run_experiment
+from repro.experiments.runner import (
+    list_experiments,
+    render,
+    run_all_timed,
+    run_experiment,
+)
 from repro.models.registry import get_model, list_models
+from repro.pipeline.store import ArtifactStore
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -38,8 +50,58 @@ def _cmd_models(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_store(args: argparse.Namespace) -> ArtifactStore:
+    """One shared store per CLI invocation (disk tier when configured)."""
+    cache_dir = getattr(args, "cache_dir", None) or os.environ.get(
+        "REPRO_CACHE_DIR")
+    return ArtifactStore(cache_dir=cache_dir)
+
+
+def _print_timing(report) -> None:
+    """Human-readable timing/cache summary of a pipeline run."""
+    from repro.experiments.report import Table
+
+    table = Table(
+        f"Pipeline timing (jobs={report.jobs}, seed={report.seed}"
+        f"{', smoke' if report.smoke else ''})",
+        ["Artifact", "Seconds", "Producers"],
+    )
+    for timing in sorted(report.timings, key=lambda t: -t.seconds):
+        table.add_row(timing.artifact, timing.seconds,
+                      ", ".join(timing.producers) or "-")
+    print(table.to_text())
+    stats = report.store_stats
+    print(f"\nwall time    {report.wall_seconds:.2f} s")
+    print(f"cache        {stats.hits} hits / {stats.misses} misses "
+          f"({stats.disk_hits} from disk)")
+    slowest = sorted(stats.compute_seconds.items(), key=lambda kv: -kv[1])
+    for producer, seconds in slowest[:5]:
+        print(f"producer     {producer:28s} {seconds:7.2f} s "
+              f"(computed {stats.misses_by_producer.get(producer, 0)}x)")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    output = run_experiment(args.artifact, seed=args.seed)
+    if not args.all and args.artifact is None:
+        print("error: provide an artifact id or --all", file=sys.stderr)
+        return 2
+    store = _make_store(args)
+    if args.all:
+        outputs, report = run_all_timed(seed=args.seed, jobs=args.jobs,
+                                        store=store, smoke=args.smoke)
+        for artifact, output in outputs.items():
+            print(f"=== {artifact} ===")
+            print(render(output))
+            print()
+        if args.timing:
+            _print_timing(report)
+        if args.timing_json:
+            from repro.evaluation.export import write_timing_json
+
+            path = write_timing_json(report, args.timing_json)
+            print(f"timing records -> {path}", file=sys.stderr)
+        return 0
+    output = run_experiment(args.artifact, seed=args.seed, store=store,
+                            smoke=args.smoke)
     print(render(output))
     return 0
 
@@ -81,16 +143,21 @@ def _render_artifact(output, charts: bool) -> str:
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    selected = (args.only.split(",") if args.only
-                else list(list_experiments()))
+    from repro.pipeline.runner import run_pipeline
+
+    selected = (tuple(args.only.split(",")) if args.only
+                else tuple(list_experiments()))
     out_dir = Path(args.output)
     out_dir.mkdir(parents=True, exist_ok=True)
-    for artifact in selected:
-        print(f"[{artifact}] running...", file=sys.stderr)
-        output = run_experiment(artifact, seed=args.seed)
+    store = _make_store(args)
+    result = run_pipeline(selected, seed=args.seed, jobs=args.jobs,
+                          store=store, smoke=args.smoke)
+    for artifact, output in result.outputs.items():
         target = out_dir / f"{artifact}.txt"
         target.write_text(_render_artifact(output, args.charts) + "\n")
         print(f"[{artifact}] -> {target}", file=sys.stderr)
+    if args.timing:
+        _print_timing(result.report)
     print(f"wrote {len(selected)} artifacts to {out_dir}")
     return 0
 
@@ -164,8 +231,22 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("models", help="list the model zoo").set_defaults(
         func=_cmd_models)
 
-    run = sub.add_parser("run", help="regenerate one paper artifact")
-    run.add_argument("artifact", help="artifact id, e.g. table11 or fig7")
+    run = sub.add_parser(
+        "run", help="regenerate paper artifacts through the pipeline")
+    run.add_argument("artifact", nargs="?", default=None,
+                     help="artifact id, e.g. table11 or fig7")
+    run.add_argument("--all", action="store_true",
+                     help="run every registered artifact")
+    run.add_argument("--jobs", type=int, default=1,
+                     help="parallel artifact jobs for --all (default 1)")
+    run.add_argument("--timing", action="store_true",
+                     help="print per-artifact wall time and cache stats")
+    run.add_argument("--timing-json", default=None, metavar="FILE",
+                     help="write machine-readable timing records to FILE")
+    run.add_argument("--smoke", action="store_true",
+                     help="small-size producer params (fast CI profile)")
+    run.add_argument("--cache-dir", default=None,
+                     help="on-disk artifact cache (default: $REPRO_CACHE_DIR)")
     run.add_argument("--seed", type=int, default=0)
     run.set_defaults(func=_cmd_run)
 
@@ -185,6 +266,15 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--seed", type=int, default=0)
     reproduce.add_argument("--charts", action="store_true",
                            help="render figures as ASCII charts")
+    reproduce.add_argument("--jobs", type=int, default=1,
+                           help="parallel artifact jobs (default 1)")
+    reproduce.add_argument("--timing", action="store_true",
+                           help="print per-artifact wall time and cache stats")
+    reproduce.add_argument("--smoke", action="store_true",
+                           help="small-size producer params (fast profile)")
+    reproduce.add_argument("--cache-dir", default=None,
+                           help="on-disk artifact cache "
+                                "(default: $REPRO_CACHE_DIR)")
     reproduce.set_defaults(func=_cmd_reproduce)
 
     characterize = sub.add_parser(

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import json
 import math
+import pickle
+import re
 from pathlib import Path
 from typing import Any
 
@@ -29,6 +31,9 @@ from repro.core.power_model import PiecewiseLogPowerModel
 
 #: Schema version written into every file.
 SCHEMA_VERSION = 1
+
+#: Schema version of the generic artifact-cache envelope (pipeline tier).
+ARTIFACT_CACHE_VERSION = 1
 
 
 def _finite(value: float) -> float | str:
@@ -150,3 +155,58 @@ def load_models(path: str | Path) -> dict[str, Any]:
         "decode_power": power_from_dict(data["decode_power"]),
         "energy": energy_from_dict(data["energy"]),
     }
+
+
+# ----------------------------------------------------------------------
+# generic artifact cache (disk tier of repro.pipeline.ArtifactStore)
+# ----------------------------------------------------------------------
+def artifact_cache_path(cache_dir: str | Path, producer_id: str,
+                        seed: int, params_hash: str) -> Path:
+    """The on-disk location of one memoized producer result."""
+    safe_id = re.sub(r"[^A-Za-z0-9._-]", "_", producer_id)
+    return Path(cache_dir) / f"{safe_id}-s{seed}-{params_hash[:16]}.pkl"
+
+
+def save_cached_artifact(cache_dir: str | Path, producer_id: str, seed: int,
+                         params_hash: str, payload: Any) -> Path:
+    """Persist one producer result; returns the written path."""
+    path = artifact_cache_path(cache_dir, producer_id, seed, params_hash)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    envelope = {
+        "schema_version": ARTIFACT_CACHE_VERSION,
+        "producer": producer_id,
+        "seed": seed,
+        "params_hash": params_hash,
+        "payload": payload,
+    }
+    tmp = path.with_suffix(".pkl.tmp")
+    with tmp.open("wb") as handle:
+        pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    tmp.replace(path)  # atomic publish: parallel jobs never see half a file
+    return path
+
+
+def load_cached_artifact(cache_dir: str | Path, producer_id: str, seed: int,
+                         params_hash: str) -> Any | None:
+    """Load a cached producer result, or ``None`` on miss/corruption.
+
+    A stale schema version, a key mismatch, or an unreadable file all
+    degrade to a miss — the caller recomputes and overwrites.
+    """
+    path = artifact_cache_path(cache_dir, producer_id, seed, params_hash)
+    if not path.is_file():
+        return None
+    try:
+        with path.open("rb") as handle:
+            envelope = pickle.load(handle)
+    except Exception:
+        return None
+    if not isinstance(envelope, dict):
+        return None
+    if envelope.get("schema_version") != ARTIFACT_CACHE_VERSION:
+        return None
+    if (envelope.get("producer") != producer_id
+            or envelope.get("seed") != seed
+            or envelope.get("params_hash") != params_hash):
+        return None
+    return envelope.get("payload")

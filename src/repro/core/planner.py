@@ -12,6 +12,7 @@ discrete accuracy-latency tradeoff of Fig. 1 into a continuous frontier.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -248,7 +249,9 @@ def build_planner(model_names: tuple[str, ...] = DEFAULT_PLANNER_MODELS,
                   budget_aware_model: str | None = "l1-max",
                   soc: SocSpec | None = None,
                   parallel_factors: tuple[int, ...] = (),
-                  seed: int = 0) -> DeploymentPlanner:
+                  seed: int = 0,
+                  characterizations: Mapping[str, Any] | None = None,
+                  ) -> DeploymentPlanner:
     """Characterize models on the SoC and assemble a planner.
 
     For each model this runs the Section IV sweeps, fits the latency
@@ -258,15 +261,25 @@ def build_planner(model_names: tuple[str, ...] = DEFAULT_PLANNER_MODELS,
     parallel variants of the hard-budget configurations (latency-aware
     test-time scaling), with decode-latency multipliers measured on the
     substrate.
+
+    ``characterizations`` supplies precomputed
+    :class:`~repro.core.characterize.CharacterizationResult` objects by
+    model name (e.g. from the artifact pipeline's shared store); models
+    not present are characterized here.  Only honoured for the default
+    Orin SoC — a custom ``soc`` always re-characterizes.
     """
     from repro.engine.engine import InferenceEngine
+
+    precomputed: Mapping[str, Any] = (
+        characterizations if characterizations and soc is None else {})
 
     candidates: list[CandidateConfig] = []
     for name in model_names:
         model = get_model(name)
         if not has_profile(model.name, benchmark):
             continue
-        characterization = characterize_model(model, soc=soc, seed=seed)
+        characterization = (precomputed.get(name)
+                            or characterize_model(model, soc=soc, seed=seed))
         capability = capability_profile(model.name, benchmark)
         lengths = LengthModel(model, benchmark)
         if model.family is ModelFamily.DIRECT:
@@ -317,7 +330,9 @@ def build_planner(model_names: tuple[str, ...] = DEFAULT_PLANNER_MODELS,
     if budget_aware_model is not None:
         model = get_model(budget_aware_model)
         if has_profile(model.name, benchmark):
-            characterization = characterize_model(model, soc=soc, seed=seed)
+            characterization = (
+                precomputed.get(model.name)
+                or characterize_model(model, soc=soc, seed=seed))
             budget_aware.append(BudgetAwareCandidate(
                 model=model,
                 capability=capability_profile(model.name, benchmark),

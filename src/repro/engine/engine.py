@@ -129,7 +129,6 @@ class InferenceEngine:
                 f"request needs {worst_context} context tokens but "
                 f"{self.model.name} supports {self.model.max_context_tokens}"
             )
-        num_steps = max(stop_lengths)
         telemetry = TelemetryRecorder()
 
         seq_ids = self._allocate_kv(request, stop_lengths)
@@ -282,7 +281,6 @@ class InferenceEngine:
         # its last sequence finishes.
         cumulative = np.concatenate([[0.0], np.cumsum(step_seconds)])
         results = []
-        index = 0
         report = telemetry.report()
         for request in batch.requests:
             request_stops = request.stop_lengths()
@@ -302,6 +300,5 @@ class InferenceEngine:
                 energy=report,
                 batch=batch.num_sequences,
             ))
-            index += request.n
         total_energy = report.total_energy_joules
         return results, prefill_seconds + decode_seconds, total_energy

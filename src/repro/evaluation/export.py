@@ -72,6 +72,25 @@ def write_questions_csv(result: EvaluationResult, path: str | Path) -> Path:
     return path
 
 
+def write_timing_json(report, path: str | Path) -> Path:
+    """Write a pipeline run's timing/cache records as JSON.
+
+    ``report`` is anything exposing ``to_records() -> list[dict]`` —
+    in practice a :class:`repro.pipeline.runner.PipelineReport` (duck-
+    typed here to keep the evaluation layer free of pipeline imports).
+    Records carry per-artifact wall seconds, per-producer cache
+    hit/miss/compute-time counters, and the run summary.
+    """
+    path = Path(path)
+    path.write_text(json.dumps(report.to_records(), indent=2))
+    return path
+
+
+def read_timing_json(path: str | Path) -> list[dict]:
+    """Load timing records written by :func:`write_timing_json`."""
+    return json.loads(Path(path).read_text())
+
+
 def read_questions_csv(path: str | Path) -> list[dict]:
     """Load a per-question CSV back into typed records."""
     path = Path(path)

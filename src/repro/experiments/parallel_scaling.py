@@ -48,12 +48,34 @@ def run_scaling_study(model_names: tuple[str, ...], output_budget: int,
     return curves
 
 
-def figure9(seed: int = 0, size: int = 3000,
+def run_figure9_curves(seed: int = 0, size: int = 3000,
+                       budgets: tuple[int, ...] = (128, 512),
+                       ) -> dict[int, dict[str, list[ParallelScalingPoint]]]:
+    """Fig. 9's scaling curves, one sweep per output budget."""
+    return {
+        budget: run_scaling_study(FIG9_MODELS, budget, seed=seed, size=size)
+        for budget in budgets
+    }
+
+
+def run_figure10_curves(seed: int = 0, output_budget: int = 128,
+                        size: int = 256,
+                        ) -> dict[str, list[ParallelScalingPoint]]:
+    """Fig. 10's system-metric sweep (wider scale factors, small subset)."""
+    return run_scaling_study(FIG10_MODELS, output_budget,
+                             scale_factors=SYSTEM_SCALE_FACTORS,
+                             seed=seed, size=size)
+
+
+def figure9(curves_by_budget: dict[int, dict[str, list[ParallelScalingPoint]]]
+            | None = None, seed: int = 0, size: int = 3000,
             budgets: tuple[int, int] = (128, 512)) -> tuple[Figure, Figure]:
     """Fig. 9: accuracy vs scaling factor at the two output budgets."""
+    if curves_by_budget is None:
+        curves_by_budget = run_figure9_curves(seed=seed, size=size,
+                                              budgets=budgets)
     figures = []
-    for budget in budgets:
-        curves = run_scaling_study(FIG9_MODELS, budget, seed=seed, size=size)
+    for budget, curves in curves_by_budget.items():
         figure = Figure(
             f"Fig. 9: Accuracy vs parallel scaling factor (O={budget})",
             "scale_factor", "accuracy",
@@ -68,12 +90,12 @@ def figure9(seed: int = 0, size: int = 3000,
     return figures[0], figures[1]
 
 
-def figure10(seed: int = 0, output_budget: int = 128,
+def figure10(curves: dict[str, list[ParallelScalingPoint]] | None = None,
+             seed: int = 0, output_budget: int = 128,
              ) -> tuple[Figure, Figure, Figure]:
     """Fig. 10: decode latency, energy/question, and power/utilization."""
-    curves = run_scaling_study(FIG10_MODELS, output_budget,
-                               scale_factors=SYSTEM_SCALE_FACTORS,
-                               seed=seed, size=256)
+    if curves is None:
+        curves = run_figure10_curves(seed=seed, output_budget=output_budget)
     latency_fig = Figure("Fig. 10a: Decode latency vs scaling factor",
                          "scale_factor", "decode_s")
     energy_fig = Figure("Fig. 10b: Energy per question vs scaling factor",

@@ -20,9 +20,16 @@ def run_planner_frontier(budgets: tuple[float, ...] = DEFAULT_BUDGETS,
                          prompt_tokens: int = 128,
                          seed: int = 0,
                          planner: DeploymentPlanner | None = None,
+                         characterizations: dict | None = None,
                          ) -> list[PlanDecision]:
-    """Plan the best configuration at each latency budget."""
-    planner = planner or build_planner(seed=seed)
+    """Plan the best configuration at each latency budget.
+
+    ``characterizations`` (model name -> CharacterizationResult) seeds
+    the planner with already-fitted models so the pipeline's shared
+    sweeps are not redone; ignored when ``planner`` is given.
+    """
+    planner = planner or build_planner(seed=seed,
+                                       characterizations=characterizations)
     return planner.frontier(list(budgets), prompt_tokens)
 
 

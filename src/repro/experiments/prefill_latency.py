@@ -13,11 +13,16 @@ DSR1_MODELS = ("dsr1-qwen-1.5b", "dsr1-llama-8b", "dsr1-qwen-14b")
 
 
 def run_characterizations(model_names: tuple[str, ...] = DSR1_MODELS,
-                          seed: int = 0,
+                          seed: int = 0, power_samples: int = 5,
                           ) -> dict[str, CharacterizationResult]:
-    """Characterize the DSR1 models (shared by Figs. 2-5, Tables IV-VIII)."""
+    """Characterize the DSR1 models (shared by Figs. 2-5, Tables IV-VIII).
+
+    ``power_samples`` trades power-sweep fidelity for speed; the smoke
+    pipeline profile runs with 1 sample per point.
+    """
     return {
-        name: characterize_model(get_model(name), seed=seed)
+        name: characterize_model(get_model(name), seed=seed,
+                                 power_samples=power_samples)
         for name in model_names
     }
 

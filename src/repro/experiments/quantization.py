@@ -25,10 +25,11 @@ AWQ_MODELS = ("dsr1-qwen-1.5b-awq-w4", "dsr1-llama-8b-awq-w4",
               "dsr1-qwen-14b-awq-w4")
 
 
-def run_quantized_characterizations(seed: int = 0,
+def run_quantized_characterizations(seed: int = 0, power_samples: int = 5,
                                     ) -> dict[str, CharacterizationResult]:
     """Characterize the AWQ-W4 variants (shared by Figs. 11-13)."""
-    return run_characterizations(AWQ_MODELS, seed=seed)
+    return run_characterizations(AWQ_MODELS, seed=seed,
+                                 power_samples=power_samples)
 
 
 def figure11(characterizations: dict[str, CharacterizationResult] | None = None,
@@ -165,10 +166,12 @@ def _sweep_averages(result: CharacterizationResult) -> tuple[float, float, float
             decode_time, decode_tps, decode_power)
 
 
-def table18_19(seed: int = 0) -> tuple[Table, Table]:
+def table18_19(base: dict[str, CharacterizationResult] | None = None,
+               quant: dict[str, CharacterizationResult] | None = None,
+               seed: int = 0) -> tuple[Table, Table]:
     """Tables XVIII/XIX: base vs quantized prefill/decode averages."""
-    base = run_characterizations(FP16_MODELS, seed=seed)
-    quant = run_quantized_characterizations(seed)
+    base = base or run_characterizations(FP16_MODELS, seed=seed)
+    quant = quant or run_quantized_characterizations(seed)
     prefill_table = Table(
         "Table XVIII: Prefill performance, base vs quantized "
         "(averaged over the input sweep)",

@@ -1,105 +1,46 @@
-"""Experiment registry: run any paper artifact by id.
+"""Experiment registry facade: run any paper artifact by id.
 
-Each entry maps an artifact id ("table2", "fig7", ...) to a zero-config
-callable returning printable output (a Table, Figure, or tuple of them).
-``run_experiment`` executes one; ``run_all`` sweeps the registry — the
-reproduce-everything entry point.
+The registry itself is declarative and lives in
+:mod:`repro.pipeline.registry`; each artifact names the shared
+intermediates (characterizations, the tradeoff grid, evaluator runs) it
+depends on.  This module keeps the historical entry points:
+
+* ``list_experiments()`` — all artifact ids;
+* ``run_experiment(id, **kwargs)`` — one artifact, deps resolved through
+  a memoizing :class:`~repro.pipeline.store.ArtifactStore`;
+* ``run_all(jobs=N)`` — every artifact through the DAG pipeline, shared
+  intermediates computed exactly once, independent artifacts scheduled
+  concurrently, deterministic output ordering at any job count;
+* ``run_all_timed`` — same, returning the per-artifact timing /
+  cache-instrumentation report alongside the outputs.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any
 
-from repro.experiments import (
-    batch_latency,
-    cpu_vs_gpu,
-    deadline_control,
-    decode_latency,
-    fidelity,
-    frameworks,
-    hybrid_scaling,
-    latency_validation,
-    mmlu_full,
-    motivation,
-    natural_plan,
-    optimizations,
-    parallel_scaling,
-    pd_ratio,
-    planner_study,
-    prefix_caching,
-    power_energy,
-    power_modes,
-    prefill_latency,
-    quantization,
-    resilience,
-    serving_study,
-    takeaways,
-    tradeoff_frontier,
-)
-
-_REGISTRY: dict[str, Callable[..., Any]] = {
-    "fig1": planner_study.figure1,
-    "table2": motivation.table2,
-    "table3": motivation.table3,
-    "fig2": prefill_latency.figure2,
-    "table4": prefill_latency.table4,
-    "fig3a": decode_latency.figure3a,
-    "fig3b": decode_latency.figure3b,
-    "table5": decode_latency.table5,
-    "table6": latency_validation.table6,
-    "table7": pd_ratio.table7,
-    "fig4": power_energy.figure4,
-    "fig5": power_energy.figure5,
-    "table8": power_energy.table8,
-    "fig6": tradeoff_frontier.figure6,
-    "fig7": tradeoff_frontier.figure7,
-    "fig8": tradeoff_frontier.figure8,
-    "fig9": parallel_scaling.figure9,
-    "fig10": parallel_scaling.figure10,
-    "fig11": quantization.figure11,
-    "fig12": quantization.figure12,
-    "fig13": quantization.figure13,
-    "fig14": quantization.figure14,
-    "table9": frameworks.table9,
-    "table10": tradeoff_frontier.table10,
-    "table11": tradeoff_frontier.table11,
-    "table12": mmlu_full.table12,
-    "table13": natural_plan.table13,
-    "table14": natural_plan.table14,
-    "table15": natural_plan.table15,
-    "table16": cpu_vs_gpu.table16,
-    "table17": cpu_vs_gpu.table17,
-    "table18_19": quantization.table18_19,
-    "table20": power_energy.table20,
-    "table21": power_energy.table21,
-    "table22_23": quantization.table22_23,
-    # Extension / ablation studies beyond the paper's artifact list.
-    "serving": serving_study.serving_table,
-    "optimizations": optimizations.optimizations_report,
-    "power-modes": power_modes.power_mode_table,
-    "hybrid-scaling": hybrid_scaling.hybrid_table,
-    "prefix-caching": prefix_caching.prefix_caching_table,
-    "fidelity": fidelity.fidelity_table,
-    "deadline-control": deadline_control.deadline_table,
-    "takeaways": takeaways.takeaways_table,
-    "batch-latency-model": batch_latency.batch_model_table,
-    "resilience": resilience.resilience_table,
-}
+from repro.pipeline.registry import ARTIFACTS, default_graph
+from repro.pipeline.runner import PipelineReport, run_pipeline
+from repro.pipeline.store import ArtifactStore
 
 
 def list_experiments() -> tuple[str, ...]:
     """All artifact ids in the registry."""
-    return tuple(sorted(_REGISTRY))
+    return tuple(sorted(ARTIFACTS))
 
 
-def run_experiment(artifact_id: str, **kwargs: Any) -> Any:
-    """Run one artifact by id."""
-    try:
-        runner = _REGISTRY[artifact_id]
-    except KeyError:
-        known = ", ".join(sorted(_REGISTRY))
-        raise KeyError(f"unknown artifact {artifact_id!r}; known: {known}") from None
-    return runner(**kwargs)
+def run_experiment(artifact_id: str, seed: int = 0,
+                   store: ArtifactStore | None = None,
+                   smoke: bool = False, **kwargs: Any) -> Any:
+    """Run one artifact by id.
+
+    Passing a ``store`` shares memoized intermediates across calls
+    (e.g. ``repro reproduce`` builds many artifacts against one store);
+    without one, each call uses a fresh in-memory store.
+    """
+    result = run_pipeline((artifact_id,), seed=seed, store=store,
+                          smoke=smoke, extra_kwargs=kwargs)
+    return result.outputs[artifact_id]
 
 
 def render(output: Any) -> str:
@@ -111,7 +52,26 @@ def render(output: Any) -> str:
     return str(output)
 
 
-def run_all(**kwargs: Any) -> dict[str, Any]:
-    """Run every artifact; returns id -> output."""
-    return {artifact: run_experiment(artifact, **kwargs)
-            for artifact in list_experiments()}
+def run_all(seed: int = 0, jobs: int = 1,
+            store: ArtifactStore | None = None,
+            smoke: bool = False, **kwargs: Any) -> dict[str, Any]:
+    """Run every artifact; returns id -> output in registry order.
+
+    Every registered callable must accept ``seed`` plus any extra
+    ``kwargs``; a mismatch raises :class:`TypeError` naming the artifact
+    before anything runs, instead of failing mid-sweep.
+    """
+    outputs, _ = run_all_timed(seed=seed, jobs=jobs, store=store,
+                               smoke=smoke, **kwargs)
+    return outputs
+
+
+def run_all_timed(seed: int = 0, jobs: int = 1,
+                  store: ArtifactStore | None = None,
+                  smoke: bool = False, **kwargs: Any,
+                  ) -> tuple[dict[str, Any], PipelineReport]:
+    """``run_all`` plus the pipeline's timing / cache report."""
+    result = run_pipeline(None, seed=seed, jobs=jobs, store=store,
+                          smoke=smoke, graph=default_graph(),
+                          extra_kwargs=kwargs)
+    return result.outputs, result.report

@@ -1,0 +1,36 @@
+"""Artifact pipeline: memoized intermediates + DAG-resolved experiments.
+
+See :mod:`repro.pipeline.store` (two-tier memoization),
+:mod:`repro.pipeline.graph` (declarative specs + DAG),
+:mod:`repro.pipeline.registry` (the full experiment registry), and
+:mod:`repro.pipeline.runner` (parallel run-all with timing).
+"""
+
+from repro.pipeline.graph import ArtifactSpec, DependencyGraph, ProducerSpec
+from repro.pipeline.registry import ARTIFACTS, PRODUCERS, default_graph
+from repro.pipeline.runner import (
+    ArtifactTiming,
+    PipelineReport,
+    PipelineResult,
+    run_pipeline,
+    validate_artifact_kwargs,
+)
+from repro.pipeline.store import ArtifactStore, CacheKey, StoreStats, params_hash
+
+__all__ = [
+    "ARTIFACTS",
+    "PRODUCERS",
+    "ArtifactSpec",
+    "ArtifactStore",
+    "ArtifactTiming",
+    "CacheKey",
+    "DependencyGraph",
+    "PipelineReport",
+    "PipelineResult",
+    "ProducerSpec",
+    "StoreStats",
+    "default_graph",
+    "params_hash",
+    "run_pipeline",
+    "validate_artifact_kwargs",
+]

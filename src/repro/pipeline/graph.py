@@ -1,0 +1,146 @@
+"""Declarative producer/artifact specs and dependency-DAG resolution.
+
+A *producer* is a shared, expensive intermediate (a characterization
+sweep, the Section V tradeoff grid, a serving sweep) memoized in an
+:class:`~repro.pipeline.store.ArtifactStore`.  An *artifact* is a paper
+table/figure built from producer outputs.  Both declare dependencies as
+``{kwarg_name: producer_id}`` so the runner injects resolved values
+instead of each module privately recomputing them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.pipeline.store import ArtifactStore
+
+
+@dataclass(frozen=True)
+class ProducerSpec:
+    """One memoized intermediate.
+
+    ``fn`` is called as ``fn(seed=seed, **deps, **params)`` where
+    ``deps`` maps each kwarg name to the resolved value of the producer
+    it names.  ``params`` are the full-scale defaults; ``smoke_params``
+    override them under the smoke profile (small sizes, fast CI).  Both
+    are part of the memoization key, so full and smoke results never
+    collide in the store.
+    """
+
+    id: str
+    fn: Callable[..., Any]
+    deps: Mapping[str, str] = field(default_factory=dict)
+    params: Mapping[str, Any] = field(default_factory=dict)
+    smoke_params: Mapping[str, Any] = field(default_factory=dict)
+
+    def effective_params(self, smoke: bool) -> dict[str, Any]:
+        """The params used at one scale (smoke overrides full)."""
+        merged = dict(self.params)
+        if smoke:
+            merged.update(self.smoke_params)
+        return merged
+
+
+@dataclass(frozen=True)
+class ArtifactSpec:
+    """One paper artifact: a formatting function plus its producer deps."""
+
+    id: str
+    fn: Callable[..., Any]
+    deps: Mapping[str, str] = field(default_factory=dict)
+
+
+class DependencyGraph:
+    """Validated producer/artifact DAG with store-backed resolution."""
+
+    def __init__(self, producers: Mapping[str, ProducerSpec],
+                 artifacts: Mapping[str, ArtifactSpec]):
+        self.producers = dict(producers)
+        self.artifacts = dict(artifacts)
+        self._validate()
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        for producer in self.producers.values():
+            for dep in producer.deps.values():
+                if dep not in self.producers:
+                    raise ValueError(
+                        f"producer {producer.id!r} depends on unknown "
+                        f"producer {dep!r}")
+        for artifact in self.artifacts.values():
+            for dep in artifact.deps.values():
+                if dep not in self.producers:
+                    raise ValueError(
+                        f"artifact {artifact.id!r} depends on unknown "
+                        f"producer {dep!r}")
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        state: dict[str, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(pid: str, chain: tuple[str, ...]) -> None:
+            mark = state.get(pid)
+            if mark == 1:
+                return
+            if mark == 0:
+                cycle = " -> ".join(chain + (pid,))
+                raise ValueError(f"producer dependency cycle: {cycle}")
+            state[pid] = 0
+            for dep in self.producers[pid].deps.values():
+                visit(dep, chain + (pid,))
+            state[pid] = 1
+
+        for pid in self.producers:
+            visit(pid, ())
+
+    # ------------------------------------------------------------------
+    def producer_closure(self, artifact_id: str) -> tuple[str, ...]:
+        """Every producer (transitively) needed by one artifact, topo order."""
+        order: list[str] = []
+        seen: set[str] = set()
+
+        def visit(pid: str) -> None:
+            if pid in seen:
+                return
+            seen.add(pid)
+            for dep in self.producers[pid].deps.values():
+                visit(dep)
+            order.append(pid)
+
+        for dep in self.artifacts[artifact_id].deps.values():
+            visit(dep)
+        return tuple(order)
+
+    # ------------------------------------------------------------------
+    def resolve_producer(self, producer_id: str, store: ArtifactStore,
+                         seed: int, smoke: bool = False) -> Any:
+        """Resolve one producer through the store (recursing into deps).
+
+        The store's single-flight locking guarantees each producer is
+        computed exactly once per ``(seed, params)`` even when parallel
+        artifact jobs request it concurrently.
+        """
+        spec = self.producers[producer_id]
+        params = spec.effective_params(smoke)
+
+        def compute() -> Any:
+            kwargs = {
+                kwarg: self.resolve_producer(dep, store, seed, smoke)
+                for kwarg, dep in spec.deps.items()
+            }
+            return spec.fn(seed=seed, **kwargs, **params)
+
+        return store.get_or_compute(producer_id, seed, params, compute)
+
+    def build_artifact(self, artifact_id: str, store: ArtifactStore,
+                       seed: int, smoke: bool = False,
+                       extra_kwargs: Mapping[str, Any] | None = None) -> Any:
+        """Resolve an artifact's deps and invoke its formatting function."""
+        spec = self.artifacts[artifact_id]
+        kwargs: dict[str, Any] = {
+            kwarg: self.resolve_producer(dep, store, seed, smoke)
+            for kwarg, dep in spec.deps.items()
+        }
+        kwargs.update(extra_kwargs or {})
+        return spec.fn(seed=seed, **kwargs)

@@ -1,0 +1,226 @@
+"""The declarative experiment registry: producers, artifacts, and deps.
+
+Every paper artifact (Figs. 1-14, Tables II-XXIII, plus the extension
+studies) is declared here as an :class:`ArtifactSpec` naming the shared
+intermediates it needs, instead of recomputing them inside
+``figureN()``/``tableN()``.  The expensive intermediates — the Section
+IV characterization sweeps, the Section V tradeoff grid, evaluator
+runs, serving sweeps — are :class:`ProducerSpec` entries memoized in the
+:class:`~repro.pipeline.store.ArtifactStore`, so a full ``run_all``
+computes each exactly once per seed.
+
+Producers carry ``smoke_params`` (small sizes) for the fast CI profile;
+the full/smoke parameter sets hash into different store keys.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    batch_latency,
+    cpu_vs_gpu,
+    deadline_control,
+    decode_latency,
+    fidelity,
+    frameworks,
+    hybrid_scaling,
+    latency_validation,
+    mmlu_full,
+    motivation,
+    natural_plan,
+    optimizations,
+    parallel_scaling,
+    pd_ratio,
+    planner_study,
+    prefix_caching,
+    power_energy,
+    power_modes,
+    prefill_latency,
+    quantization,
+    resilience,
+    serving_study,
+    takeaways,
+    tradeoff_frontier,
+)
+from repro.pipeline.graph import ArtifactSpec, DependencyGraph, ProducerSpec
+
+#: Shared memoized intermediates, by id.
+PRODUCERS: dict[str, ProducerSpec] = {
+    spec.id: spec for spec in (
+        # Section IV characterization sweeps (the dominant cost).
+        ProducerSpec(
+            "characterizations", prefill_latency.run_characterizations,
+            smoke_params={"power_samples": 1},
+        ),
+        ProducerSpec(
+            "quantized_characterizations",
+            quantization.run_quantized_characterizations,
+            smoke_params={"power_samples": 1},
+        ),
+        # The Section V configuration grid over MMLU-Redux.
+        ProducerSpec(
+            "tradeoff_grid", tradeoff_frontier.run_tradeoff_grid,
+            smoke_params={"size": 300},
+        ),
+        # Held-out validation rows reuse the fitted characterizations.
+        ProducerSpec(
+            "table6_rows", latency_validation.run_table6,
+            deps={"characterizations": "characterizations"},
+            smoke_params={"held_out": 10},
+        ),
+        ProducerSpec(
+            "table8_rows", power_energy.run_table8,
+            deps={"characterizations": "characterizations"},
+            smoke_params={"held_out": 10},
+        ),
+        # The planner shares the DSR1 trio's fitted models.
+        ProducerSpec(
+            "planner_frontier", planner_study.run_planner_frontier,
+            deps={"characterizations": "characterizations"},
+        ),
+        # Motivation / evaluator runs.
+        ProducerSpec("table2_rows", motivation.run_table2,
+                     smoke_params={"questions": 50}),
+        ProducerSpec("table3_rows", motivation.run_table3),
+        ProducerSpec("table7_rows", pd_ratio.run_table7,
+                     smoke_params={"size": 300}),
+        ProducerSpec("table9_rows", frameworks.run_table9),
+        ProducerSpec("table12_results", mmlu_full.run_table12,
+                     smoke_params={"size": 500}),
+        ProducerSpec("natural_plan_baseline", natural_plan.run_baseline),
+        ProducerSpec("natural_plan_budgeted", natural_plan.run_budgeted),
+        ProducerSpec("natural_plan_direct", natural_plan.run_direct),
+        ProducerSpec("table16_rows", cpu_vs_gpu.run_table16),
+        ProducerSpec("table17_rows", cpu_vs_gpu.run_table17),
+        ProducerSpec("figure14_rows", quantization.run_figure14,
+                     smoke_params={"size": 300}),
+        # Parallel-scaling sweeps.
+        ProducerSpec("fig9_curves", parallel_scaling.run_figure9_curves,
+                     smoke_params={"size": 300}),
+        ProducerSpec("fig10_curves", parallel_scaling.run_figure10_curves,
+                     smoke_params={"size": 128}),
+        # Serving / extension studies.
+        ProducerSpec("serving_points", serving_study.run_serving_study,
+                     smoke_params={"num_requests": 20,
+                                   "qps_levels": (0.1, 0.4)}),
+        ProducerSpec("power_mode_points", power_modes.run_power_mode_study),
+        ProducerSpec("hybrid_surface", hybrid_scaling.run_hybrid_surface,
+                     smoke_params={"size": 300}),
+        ProducerSpec("prefix_caching_rows",
+                     prefix_caching.run_prefix_caching_study),
+        ProducerSpec("deadline_rows", deadline_control.run_deadline_study,
+                     smoke_params={"population": 40}),
+        ProducerSpec("batch_model_rows", batch_latency.run_batch_model_study),
+        ProducerSpec("chaos_points", resilience.run_chaos_study,
+                     smoke_params={"num_requests": 12, "qps": 3.0}),
+        ProducerSpec("fidelity_entries", fidelity.run_fidelity_audit,
+                     smoke_params={"size": 300}),
+        ProducerSpec("takeaway_checks", takeaways.run_takeaway_checks,
+                     smoke_params={"size": 200}),
+    )
+}
+
+#: Paper artifacts and extension studies, by id.
+ARTIFACTS: dict[str, ArtifactSpec] = {
+    spec.id: spec for spec in (
+        ArtifactSpec("fig1", planner_study.figure1,
+                     deps={"decisions": "planner_frontier"}),
+        ArtifactSpec("table2", motivation.table2,
+                     deps={"rows": "table2_rows"}),
+        ArtifactSpec("table3", motivation.table3,
+                     deps={"rows": "table3_rows"}),
+        ArtifactSpec("fig2", prefill_latency.figure2,
+                     deps={"characterizations": "characterizations"}),
+        ArtifactSpec("table4", prefill_latency.table4,
+                     deps={"characterizations": "characterizations"}),
+        ArtifactSpec("fig3a", decode_latency.figure3a,
+                     deps={"characterizations": "characterizations"}),
+        ArtifactSpec("fig3b", decode_latency.figure3b,
+                     deps={"characterizations": "characterizations"}),
+        ArtifactSpec("table5", decode_latency.table5,
+                     deps={"characterizations": "characterizations"}),
+        ArtifactSpec("table6", latency_validation.table6,
+                     deps={"rows": "table6_rows"}),
+        ArtifactSpec("table7", pd_ratio.table7,
+                     deps={"rows": "table7_rows"}),
+        ArtifactSpec("fig4", power_energy.figure4,
+                     deps={"characterizations": "characterizations"}),
+        ArtifactSpec("fig5", power_energy.figure5,
+                     deps={"characterizations": "characterizations"}),
+        ArtifactSpec("table8", power_energy.table8,
+                     deps={"rows": "table8_rows"}),
+        ArtifactSpec("fig6", tradeoff_frontier.figure6,
+                     deps={"results": "tradeoff_grid"}),
+        ArtifactSpec("fig7", tradeoff_frontier.figure7,
+                     deps={"results": "tradeoff_grid"}),
+        ArtifactSpec("fig8", tradeoff_frontier.figure8,
+                     deps={"results": "tradeoff_grid"}),
+        ArtifactSpec("fig9", parallel_scaling.figure9,
+                     deps={"curves_by_budget": "fig9_curves"}),
+        ArtifactSpec("fig10", parallel_scaling.figure10,
+                     deps={"curves": "fig10_curves"}),
+        ArtifactSpec("fig11", quantization.figure11,
+                     deps={"characterizations":
+                           "quantized_characterizations"}),
+        ArtifactSpec("fig12", quantization.figure12,
+                     deps={"characterizations":
+                           "quantized_characterizations"}),
+        ArtifactSpec("fig13", quantization.figure13,
+                     deps={"characterizations":
+                           "quantized_characterizations"}),
+        ArtifactSpec("fig14", quantization.figure14,
+                     deps={"rows": "figure14_rows"}),
+        ArtifactSpec("table9", frameworks.table9,
+                     deps={"rows": "table9_rows"}),
+        ArtifactSpec("table10", tradeoff_frontier.table10,
+                     deps={"results": "tradeoff_grid"}),
+        ArtifactSpec("table11", tradeoff_frontier.table11,
+                     deps={"results": "tradeoff_grid"}),
+        ArtifactSpec("table12", mmlu_full.table12,
+                     deps={"results": "table12_results"}),
+        ArtifactSpec("table13", natural_plan.table13,
+                     deps={"results": "natural_plan_baseline"}),
+        ArtifactSpec("table14", natural_plan.table14,
+                     deps={"results": "natural_plan_budgeted"}),
+        ArtifactSpec("table15", natural_plan.table15,
+                     deps={"results": "natural_plan_direct"}),
+        ArtifactSpec("table16", cpu_vs_gpu.table16,
+                     deps={"rows": "table16_rows"}),
+        ArtifactSpec("table17", cpu_vs_gpu.table17,
+                     deps={"rows": "table17_rows"}),
+        ArtifactSpec("table18_19", quantization.table18_19,
+                     deps={"base": "characterizations",
+                           "quant": "quantized_characterizations"}),
+        ArtifactSpec("table20", power_energy.table20,
+                     deps={"characterizations": "characterizations"}),
+        ArtifactSpec("table21", power_energy.table21,
+                     deps={"characterizations": "characterizations"}),
+        ArtifactSpec("table22_23", quantization.table22_23,
+                     deps={"characterizations":
+                           "quantized_characterizations"}),
+        # Extension / ablation studies beyond the paper's artifact list.
+        ArtifactSpec("serving", serving_study.serving_table,
+                     deps={"points": "serving_points"}),
+        ArtifactSpec("optimizations", optimizations.optimizations_report),
+        ArtifactSpec("power-modes", power_modes.power_mode_table,
+                     deps={"points": "power_mode_points"}),
+        ArtifactSpec("hybrid-scaling", hybrid_scaling.hybrid_table,
+                     deps={"surface": "hybrid_surface"}),
+        ArtifactSpec("prefix-caching", prefix_caching.prefix_caching_table,
+                     deps={"rows": "prefix_caching_rows"}),
+        ArtifactSpec("fidelity", fidelity.fidelity_table,
+                     deps={"entries": "fidelity_entries"}),
+        ArtifactSpec("deadline-control", deadline_control.deadline_table,
+                     deps={"rows": "deadline_rows"}),
+        ArtifactSpec("takeaways", takeaways.takeaways_table,
+                     deps={"checks": "takeaway_checks"}),
+        ArtifactSpec("batch-latency-model", batch_latency.batch_model_table,
+                     deps={"rows": "batch_model_rows"}),
+        ArtifactSpec("resilience", resilience.resilience_table,
+                     deps={"points": "chaos_points"}),
+    )
+}
+
+
+def default_graph() -> DependencyGraph:
+    """The validated DAG over the full registry."""
+    return DependencyGraph(PRODUCERS, ARTIFACTS)

@@ -1,0 +1,186 @@
+"""DAG-resolving pipeline runner: compute shared intermediates once,
+schedule independent artifacts concurrently, and report timings.
+
+``run_pipeline`` executes any subset of the registry against one
+:class:`~repro.pipeline.store.ArtifactStore`.  Artifacts are submitted
+to a thread pool (``jobs``); each resolves its producer dependencies
+through the store, whose single-flight locking makes every producer
+compute exactly once per ``(seed, params)`` regardless of job count.
+Output ordering is deterministic (registry id order) at any job count,
+and per-artifact results are identical to serial execution because the
+artifacts share no mutable state beyond the memoized producer values.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.pipeline.graph import DependencyGraph
+from repro.pipeline.registry import default_graph
+from repro.pipeline.store import ArtifactStore, StoreStats
+
+
+@dataclass(frozen=True)
+class ArtifactTiming:
+    """Wall time and dependency list for one artifact build."""
+
+    artifact: str
+    seconds: float
+    producers: tuple[str, ...]
+
+
+@dataclass
+class PipelineReport:
+    """Machine-readable account of one pipeline run."""
+
+    seed: int
+    jobs: int
+    smoke: bool
+    wall_seconds: float = 0.0
+    timings: list[ArtifactTiming] = field(default_factory=list)
+    store_stats: StoreStats = field(default_factory=StoreStats)
+
+    def to_records(self) -> list[dict[str, Any]]:
+        """Flat per-artifact records plus per-producer cache records."""
+        records: list[dict[str, Any]] = []
+        for timing in self.timings:
+            records.append({
+                "kind": "artifact",
+                "artifact": timing.artifact,
+                "seconds": timing.seconds,
+                "producers": list(timing.producers),
+                "seed": self.seed,
+                "jobs": self.jobs,
+                "smoke": self.smoke,
+            })
+        stats = self.store_stats
+        producers = sorted(set(stats.misses_by_producer)
+                           | set(stats.hits_by_producer))
+        for producer in producers:
+            records.append({
+                "kind": "producer",
+                "producer": producer,
+                "cache_hits": stats.hits_by_producer.get(producer, 0),
+                "cache_misses": stats.misses_by_producer.get(producer, 0),
+                "compute_seconds": stats.compute_seconds.get(producer, 0.0),
+                "seed": self.seed,
+                "jobs": self.jobs,
+                "smoke": self.smoke,
+            })
+        records.append({
+            "kind": "run",
+            "wall_seconds": self.wall_seconds,
+            "cache_hits": stats.hits,
+            "cache_misses": stats.misses,
+            "disk_hits": stats.disk_hits,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "smoke": self.smoke,
+        })
+        return records
+
+
+@dataclass
+class PipelineResult:
+    """Outputs (in deterministic registry order) plus the run report."""
+
+    outputs: dict[str, Any]
+    report: PipelineReport
+
+
+def validate_artifact_kwargs(graph: DependencyGraph,
+                             artifact_ids: tuple[str, ...],
+                             kwargs: Mapping[str, Any]) -> None:
+    """Check every artifact's callable accepts the forwarded kwargs.
+
+    ``run_all`` used to forward ``**kwargs`` blindly and fail deep inside
+    an arbitrary module; this surfaces the mismatch upfront, naming the
+    artifact and the rejected keyword.
+    """
+    for artifact_id in artifact_ids:
+        spec = graph.artifacts[artifact_id]
+        try:
+            signature = inspect.signature(spec.fn)
+        except (TypeError, ValueError):  # builtins without signatures
+            continue
+        accepts_var_kw = any(
+            p.kind is inspect.Parameter.VAR_KEYWORD
+            for p in signature.parameters.values()
+        )
+        if accepts_var_kw:
+            continue
+        for name in ("seed", *kwargs):
+            if name not in signature.parameters:
+                raise TypeError(
+                    f"artifact {artifact_id!r} "
+                    f"({spec.fn.__module__}.{spec.fn.__qualname__}) does not "
+                    f"accept keyword {name!r}; registered experiment "
+                    f"callables must accept 'seed' and any kwargs passed "
+                    f"to run_all/run_experiment"
+                )
+
+
+def run_pipeline(artifact_ids: tuple[str, ...] | None = None,
+                 seed: int = 0,
+                 jobs: int = 1,
+                 smoke: bool = False,
+                 store: ArtifactStore | None = None,
+                 graph: DependencyGraph | None = None,
+                 extra_kwargs: Mapping[str, Any] | None = None,
+                 ) -> PipelineResult:
+    """Run artifacts through the memoizing DAG pipeline.
+
+    ``jobs > 1`` builds independent artifacts concurrently; results and
+    ordering are identical at any job count.  ``smoke`` switches every
+    producer to its small-size parameter set (separate cache keys).
+    """
+    graph = graph or default_graph()
+    if artifact_ids is None:
+        artifact_ids = tuple(sorted(graph.artifacts))
+    else:
+        unknown = [a for a in artifact_ids if a not in graph.artifacts]
+        if unknown:
+            known = ", ".join(sorted(graph.artifacts))
+            raise KeyError(
+                f"unknown artifact {unknown[0]!r}; known: {known}")
+    validate_artifact_kwargs(graph, artifact_ids, extra_kwargs or {})
+    store = store if store is not None else ArtifactStore()
+    jobs = max(1, int(jobs))
+
+    start = time.perf_counter()
+    timings: dict[str, ArtifactTiming] = {}
+
+    def build(artifact_id: str) -> Any:
+        t0 = time.perf_counter()
+        output = graph.build_artifact(artifact_id, store, seed, smoke,
+                                      extra_kwargs)
+        timings[artifact_id] = ArtifactTiming(
+            artifact=artifact_id,
+            seconds=time.perf_counter() - t0,
+            producers=graph.producer_closure(artifact_id),
+        )
+        return output
+
+    if jobs == 1:
+        outputs = {artifact: build(artifact) for artifact in artifact_ids}
+    else:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            futures = {artifact: pool.submit(build, artifact)
+                       for artifact in artifact_ids}
+            # dict insertion order == registry order: deterministic.
+            outputs = {artifact: futures[artifact].result()
+                       for artifact in artifact_ids}
+
+    report = PipelineReport(
+        seed=seed,
+        jobs=jobs,
+        smoke=smoke,
+        wall_seconds=time.perf_counter() - start,
+        timings=[timings[a] for a in artifact_ids],
+        store_stats=store.stats,
+    )
+    return PipelineResult(outputs=outputs, report=report)

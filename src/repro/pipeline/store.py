@@ -1,0 +1,171 @@
+"""Memoization store for expensive experiment intermediates.
+
+``ArtifactStore`` caches producer results keyed by
+``(producer_id, seed, params-hash)``.  Two tiers:
+
+* an in-memory dict, shared by every artifact of one ``run_all`` — this
+  is what makes the pipeline compute ``run_characterizations`` once
+  instead of four times;
+* an optional on-disk tier (``cache_dir``) built on
+  :mod:`repro.core.persistence`, which survives across processes and
+  makes warm ``repro run --all`` invocations fast.
+
+Lookups are single-flight: when parallel pipeline jobs request the same
+key, exactly one thread computes while the others block on the per-key
+lock and then read the memoized value.  Hit/miss/compute-time counters
+feed the ``--timing`` instrumentation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.core.persistence import load_cached_artifact, save_cached_artifact
+
+
+def params_hash(params: Mapping[str, Any] | None) -> str:
+    """Stable hash of a producer's keyword parameters.
+
+    Parameters must be JSON-representable (the registry only uses ints,
+    floats, strings, bools, and tuples/lists of them); tuples and lists
+    hash identically so specs may use either.
+    """
+    canonical = json.dumps(_jsonable(dict(params or {})), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(
+        f"producer params must be JSON-representable, got {type(value).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Identity of one memoized producer result."""
+
+    producer_id: str
+    seed: int
+    params_hash: str
+
+
+@dataclass
+class StoreStats:
+    """Aggregate and per-producer cache accounting."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    #: producer_id -> number of actual computations.
+    misses_by_producer: dict[str, int] = field(default_factory=dict)
+    #: producer_id -> number of memory/disk hits.
+    hits_by_producer: dict[str, int] = field(default_factory=dict)
+    #: producer_id -> total compute seconds (only for misses).
+    compute_seconds: dict[str, float] = field(default_factory=dict)
+
+
+class _Entry:
+    """Per-key slot with its single-flight lock."""
+
+    __slots__ = ("lock", "computed", "value")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.computed = False
+        self.value: Any = None
+
+
+class ArtifactStore:
+    """Two-tier, thread-safe memoization of producer results."""
+
+    def __init__(self, cache_dir: str | Path | None = None):
+        self.cache_dir = Path(cache_dir) if cache_dir else None
+        self._entries: dict[CacheKey, _Entry] = {}
+        self._master = threading.Lock()
+        self._stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    def get_or_compute(self, producer_id: str, seed: int,
+                       params: Mapping[str, Any] | None,
+                       compute: Callable[[], Any]) -> Any:
+        """Return the memoized value for the key, computing it at most once.
+
+        Repeated calls with the same ``(producer_id, seed, params)``
+        return the *identical* object from the in-memory tier.
+        """
+        key = CacheKey(producer_id, seed, params_hash(params))
+        with self._master:
+            entry = self._entries.get(key)
+            if entry is None:
+                entry = self._entries[key] = _Entry()
+        with entry.lock:
+            if entry.computed:
+                self._count_hit(producer_id)
+                return entry.value
+            if self.cache_dir is not None:
+                cached = load_cached_artifact(
+                    self.cache_dir, producer_id, seed, key.params_hash)
+                if cached is not None:
+                    entry.value = cached
+                    entry.computed = True
+                    self._count_hit(producer_id, disk=True)
+                    return cached
+            start = time.perf_counter()
+            value = compute()
+            elapsed = time.perf_counter() - start
+            entry.value = value
+            entry.computed = True
+            self._count_miss(producer_id, elapsed)
+            if self.cache_dir is not None:
+                save_cached_artifact(self.cache_dir, producer_id, seed,
+                                     key.params_hash, value)
+            return value
+
+    # ------------------------------------------------------------------
+    def _count_hit(self, producer_id: str, disk: bool = False) -> None:
+        with self._master:
+            self._stats.hits += 1
+            if disk:
+                self._stats.disk_hits += 1
+            by = self._stats.hits_by_producer
+            by[producer_id] = by.get(producer_id, 0) + 1
+
+    def _count_miss(self, producer_id: str, seconds: float) -> None:
+        with self._master:
+            self._stats.misses += 1
+            by = self._stats.misses_by_producer
+            by[producer_id] = by.get(producer_id, 0) + 1
+            times = self._stats.compute_seconds
+            times[producer_id] = times.get(producer_id, 0.0) + seconds
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> StoreStats:
+        """A snapshot of the counters (safe to read while running)."""
+        with self._master:
+            return StoreStats(
+                hits=self._stats.hits,
+                misses=self._stats.misses,
+                disk_hits=self._stats.disk_hits,
+                misses_by_producer=dict(self._stats.misses_by_producer),
+                hits_by_producer=dict(self._stats.hits_by_producer),
+                compute_seconds=dict(self._stats.compute_seconds),
+            )
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory tier (disk survives); counters keep counting."""
+        with self._master:
+            self._entries.clear()

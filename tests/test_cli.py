@@ -25,6 +25,20 @@ class TestParser:
         assert args.seed == 0
         assert args.deadline == 40.0
 
+    def test_run_pipeline_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--all", "--jobs", "4", "--timing", "--smoke",
+             "--cache-dir", "/tmp/cache"])
+        assert args.all and args.artifact is None
+        assert args.jobs == 4 and args.timing and args.smoke
+        assert args.cache_dir == "/tmp/cache"
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "table9"])
+        assert args.artifact == "table9"
+        assert not args.all and args.jobs == 1
+        assert not args.timing and args.timing_json is None
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -58,12 +72,71 @@ class TestCommands:
         with pytest.raises(KeyError):
             main(["run", "fig99"])
 
+    def test_run_without_artifact_or_all_errors(self, capsys):
+        assert main(["run"]) == 2
+        assert "artifact id or --all" in capsys.readouterr().err
+
+    def test_run_all_timing_and_json(self, capsys, monkeypatch, tmp_path):
+        # Shrink the registry so --all stays fast: three artifacts, two
+        # sharing the tradeoff grid.
+        import repro.experiments.runner as runner_mod
+        from repro.pipeline.graph import DependencyGraph
+        from repro.pipeline.registry import ARTIFACTS, PRODUCERS
+
+        subset = ("fig6", "fig7", "table9")
+        small = DependencyGraph(
+            PRODUCERS, {k: ARTIFACTS[k] for k in subset})
+        monkeypatch.setattr(runner_mod, "default_graph", lambda: small)
+
+        timing_json = tmp_path / "timing.json"
+        code = main(["run", "--all", "--jobs", "2", "--smoke", "--timing",
+                     "--timing-json", str(timing_json)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "=== fig6 ===" in out and "=== table9 ===" in out
+        assert "Table IX" in out
+        assert "Pipeline timing" in out and "wall time" in out
+        assert "tradeoff_grid" in out
+
+        from repro.evaluation.export import read_timing_json
+        records = read_timing_json(timing_json)
+        kinds = {record["kind"] for record in records}
+        assert kinds == {"artifact", "producer", "run"}
+
+    def test_run_cache_dir_persists_across_invocations(self, tmp_path,
+                                                       capsys):
+        argv = ["run", "table7", "--smoke", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert list(tmp_path.glob("*.pkl"))
+        # Second invocation hits the disk tier and reproduces the output.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_run_env_cache_dir(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["run", "table9"]) == 0
+        assert list(tmp_path.glob("*.pkl"))
+
     def test_reproduce_writes_artifacts(self, capsys, tmp_path):
         code = main(["reproduce", "--output", str(tmp_path),
                      "--only", "table9"])
         assert code == 0
         assert (tmp_path / "table9.txt").exists()
         assert "Table IX" in (tmp_path / "table9.txt").read_text()
+
+    def test_reproduce_jobs_match_serial(self, capsys, tmp_path):
+        names = ("fig6", "fig7", "table9")
+        serial_dir, parallel_dir = tmp_path / "serial", tmp_path / "parallel"
+        assert main(["reproduce", "--output", str(serial_dir),
+                     "--only", ",".join(names), "--smoke"]) == 0
+        assert main(["reproduce", "--output", str(parallel_dir),
+                     "--only", ",".join(names), "--jobs", "4",
+                     "--smoke", "--timing"]) == 0
+        for name in names:
+            assert ((serial_dir / f"{name}.txt").read_text()
+                    == (parallel_dir / f"{name}.txt").read_text())
+        assert "Pipeline timing" in capsys.readouterr().out
 
     def test_reproduce_charts_mode(self, capsys, tmp_path):
         code = main(["reproduce", "--output", str(tmp_path),

@@ -8,9 +8,11 @@ from repro.evaluation.evaluator import Evaluator
 from repro.evaluation.export import (
     QUESTION_COLUMNS,
     read_questions_csv,
+    read_timing_json,
     result_summary,
     write_questions_csv,
     write_summary_json,
+    write_timing_json,
 )
 from repro.generation.control import base_control, direct_control, standard_controls
 from repro.generation.length import LengthModel
@@ -58,6 +60,37 @@ class TestExport:
         assert isinstance(record["truncated"], bool)
         assert isinstance(record["output_tokens"], int)
         assert 0.0 <= record["success_probability"] <= 1.0
+
+
+class TestTimingExport:
+    def test_pipeline_report_round_trip(self, tmp_path):
+        from repro.pipeline.runner import run_pipeline
+        from repro.pipeline.store import ArtifactStore
+
+        result = run_pipeline(("table9", "fig6", "fig7"), seed=0, smoke=True,
+                              store=ArtifactStore())
+        path = write_timing_json(result.report, tmp_path / "timing.json")
+        records = read_timing_json(path)
+        assert records == result.report.to_records()
+        by_kind = {}
+        for record in records:
+            by_kind.setdefault(record["kind"], []).append(record)
+        assert [r["artifact"] for r in by_kind["artifact"]] == [
+            "table9", "fig6", "fig7"]
+        grid = {r["producer"]: r for r in by_kind["producer"]}["tradeoff_grid"]
+        assert grid["cache_misses"] == 1
+        assert grid["cache_hits"] == 1
+        (run_record,) = by_kind["run"]
+        assert run_record["wall_seconds"] > 0
+        assert run_record["seed"] == 0 and run_record["smoke"] is True
+
+    def test_duck_typed_report(self, tmp_path):
+        class FakeReport:
+            def to_records(self):
+                return [{"kind": "run", "wall_seconds": 1.5}]
+
+        path = write_timing_json(FakeReport(), tmp_path / "t.json")
+        assert read_timing_json(path) == [{"kind": "run", "wall_seconds": 1.5}]
 
 
 class TestRegistryConsistency:

@@ -1,0 +1,159 @@
+"""Registry surface, exactly-once producers, and parallel determinism."""
+
+import inspect
+
+import pytest
+
+from repro.experiments.runner import (
+    list_experiments,
+    render,
+    run_all,
+    run_all_timed,
+    run_experiment,
+)
+from repro.pipeline.graph import ArtifactSpec, DependencyGraph, ProducerSpec
+from repro.pipeline.registry import ARTIFACTS, PRODUCERS, default_graph
+from repro.pipeline.runner import run_pipeline, validate_artifact_kwargs
+from repro.pipeline.store import ArtifactStore
+
+# Artifacts sharing the tradeoff grid plus cheap independent ones —
+# small enough to rebuild twice for the jobs=1 vs jobs=4 comparison.
+SUBSET = ("fig6", "fig7", "fig8", "table10", "table11",
+          "table9", "table16", "optimizations", "power-modes")
+
+
+@pytest.fixture(scope="module")
+def full_run():
+    """One smoke-tier run of every artifact through the parallel pipeline."""
+    store = ArtifactStore()
+    outputs, report = run_all_timed(seed=0, jobs=4, smoke=True, store=store)
+    return outputs, report, store
+
+
+class TestRegistrySurface:
+    def test_every_experiment_runs_and_renders(self, full_run):
+        outputs, _, _ = full_run
+        assert tuple(outputs) == list_experiments()
+        for artifact_id, output in outputs.items():
+            text = render(output)
+            assert isinstance(text, str) and text.strip(), artifact_id
+
+    def test_shared_producers_computed_exactly_once(self, full_run):
+        _, report, _ = full_run
+        misses = report.store_stats.misses_by_producer
+        hits = report.store_stats.hits_by_producer
+        assert misses["characterizations"] == 1
+        assert misses["tradeoff_grid"] == 1
+        assert misses["quantized_characterizations"] == 1
+        # The whole point of the shared store: many artifacts reuse them.
+        assert hits["characterizations"] >= 5
+        assert hits["tradeoff_grid"] >= 3
+
+    def test_report_covers_every_artifact(self, full_run):
+        _, report, _ = full_run
+        assert tuple(t.artifact for t in report.timings) == list_experiments()
+        assert report.wall_seconds > 0
+        assert all(t.seconds >= 0 for t in report.timings)
+        kinds = {record["kind"] for record in report.to_records()}
+        assert kinds == {"artifact", "producer", "run"}
+
+    def test_run_experiment_matches_run_all(self, full_run):
+        outputs, _, _ = full_run
+        solo = run_experiment("table9", seed=0, smoke=True)
+        assert render(solo) == render(outputs["table9"])
+
+
+class TestDeterminism:
+    def test_jobs_do_not_change_rendered_output(self):
+        serial = run_pipeline(SUBSET, seed=0, jobs=1, smoke=True)
+        threaded = run_pipeline(SUBSET, seed=0, jobs=4, smoke=True)
+        assert tuple(serial.outputs) == tuple(threaded.outputs) == SUBSET
+        for artifact_id in SUBSET:
+            assert (render(serial.outputs[artifact_id])
+                    == render(threaded.outputs[artifact_id])), artifact_id
+
+    def test_parallel_run_still_computes_shared_producer_once(self):
+        store = ArtifactStore()
+        run_pipeline(("fig6", "fig7", "fig8", "table10"), seed=0, jobs=4,
+                     smoke=True, store=store)
+        assert store.stats.misses_by_producer["tradeoff_grid"] == 1
+        assert store.stats.hits_by_producer["tradeoff_grid"] == 3
+
+
+class TestKwargValidation:
+    def test_bogus_kwarg_fails_fast_naming_the_artifact(self):
+        store = ArtifactStore()
+        with pytest.raises(TypeError, match=r"artifact '.*' .* does not "
+                                            r"accept keyword 'bogus_kwarg'"):
+            run_all(seed=0, store=store, bogus_kwarg=1)
+        # Validation happens before any experiment runs.
+        assert store.stats.misses == 0
+
+    def test_every_registered_callable_accepts_seed(self):
+        graph = default_graph()
+        for spec in (*graph.artifacts.values(), *graph.producers.values()):
+            parameters = inspect.signature(spec.fn).parameters
+            assert "seed" in parameters or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD
+                for p in parameters.values()
+            ), spec.id
+
+    def test_validate_accepts_declared_kwargs(self):
+        graph = default_graph()
+        validate_artifact_kwargs(graph, ("fig6",), {})
+
+    def test_unknown_artifact_raises_keyerror(self):
+        with pytest.raises(KeyError, match="fig99"):
+            run_experiment("fig99")
+
+
+class TestGraph:
+    def test_registry_ids_match_facade(self):
+        assert tuple(sorted(ARTIFACTS)) == list_experiments()
+        graph = default_graph()
+        assert set(graph.producers) == set(PRODUCERS)
+
+    def test_producer_closure_topological(self):
+        graph = default_graph()
+        closure = graph.producer_closure("fig1")
+        assert closure == ("characterizations", "planner_frontier")
+        both = graph.producer_closure("table18_19")
+        assert set(both) == {"characterizations",
+                             "quantized_characterizations"}
+        assert graph.producer_closure("optimizations") == ()
+
+    def test_cycle_detection(self):
+        producers = {
+            "a": ProducerSpec("a", lambda seed, x: x, deps={"x": "b"}),
+            "b": ProducerSpec("b", lambda seed, x: x, deps={"x": "a"}),
+        }
+        with pytest.raises(ValueError, match="cycle"):
+            DependencyGraph(producers, {})
+
+    def test_unknown_dependency_rejected(self):
+        artifacts = {
+            "t": ArtifactSpec("t", lambda seed, x: x, deps={"x": "ghost"}),
+        }
+        with pytest.raises(ValueError, match="ghost"):
+            DependencyGraph({}, artifacts)
+
+    def test_smoke_and_full_use_distinct_cache_keys(self):
+        sizes = []
+        producers = {
+            "p": ProducerSpec("p", lambda seed, size: sizes.append(size),
+                              params={"size": 1000},
+                              smoke_params={"size": 10}),
+        }
+        graph = DependencyGraph(producers, {})
+        store = ArtifactStore()
+        graph.resolve_producer("p", store, seed=0, smoke=False)
+        graph.resolve_producer("p", store, seed=0, smoke=True)
+        assert sizes == [1000, 10]
+        assert store.stats.misses == 2
+
+    def test_run_experiment_shares_store_across_calls(self):
+        store = ArtifactStore()
+        run_experiment("fig6", seed=0, store=store, smoke=True)
+        run_experiment("fig7", seed=0, store=store, smoke=True)
+        assert store.stats.misses_by_producer["tradeoff_grid"] == 1
+        assert store.stats.hits_by_producer["tradeoff_grid"] == 1

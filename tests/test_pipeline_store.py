@@ -1,0 +1,145 @@
+"""Cache correctness of the pipeline's ArtifactStore."""
+
+import threading
+
+import pytest
+
+from repro.core.persistence import (
+    ARTIFACT_CACHE_VERSION,
+    artifact_cache_path,
+    load_cached_artifact,
+    save_cached_artifact,
+)
+from repro.pipeline.store import ArtifactStore, params_hash
+
+
+class TestParamsHash:
+    def test_stable_and_order_insensitive(self):
+        assert params_hash({"a": 1, "b": 2}) == params_hash({"b": 2, "a": 1})
+
+    def test_tuple_and_list_equivalent(self):
+        assert params_hash({"sizes": (1, 2)}) == params_hash({"sizes": [1, 2]})
+
+    def test_distinct_params_distinct_hash(self):
+        assert params_hash({"size": 300}) != params_hash({"size": 3000})
+
+    def test_empty_and_none_equal(self):
+        assert params_hash(None) == params_hash({})
+
+    def test_rejects_non_json_values(self):
+        with pytest.raises(TypeError):
+            params_hash({"fn": object()})
+
+
+class TestMemoryTier:
+    def test_same_key_returns_identical_object(self):
+        store = ArtifactStore()
+        first = store.get_or_compute("p", 0, {}, lambda: {"x": 1})
+        second = store.get_or_compute("p", 0, {}, lambda: {"x": 1})
+        assert first is second
+
+    def test_computes_exactly_once(self):
+        store = ArtifactStore()
+        calls = []
+        for _ in range(5):
+            store.get_or_compute("p", 0, {}, lambda: calls.append(1) or 41)
+        assert len(calls) == 1
+        assert store.stats.misses == 1
+        assert store.stats.hits == 4
+
+    def test_different_seed_misses(self):
+        store = ArtifactStore()
+        a = store.get_or_compute("p", 0, {}, lambda: object())
+        b = store.get_or_compute("p", 1, {}, lambda: object())
+        assert a is not b
+        assert store.stats.misses == 2
+        assert store.stats.misses_by_producer == {"p": 2}
+
+    def test_different_params_miss(self):
+        store = ArtifactStore()
+        a = store.get_or_compute("p", 0, {"size": 100}, lambda: object())
+        b = store.get_or_compute("p", 0, {"size": 200}, lambda: object())
+        assert a is not b
+        assert store.stats.misses == 2
+
+    def test_per_producer_counters(self):
+        store = ArtifactStore()
+        store.get_or_compute("a", 0, {}, lambda: 1)
+        store.get_or_compute("a", 0, {}, lambda: 1)
+        store.get_or_compute("b", 0, {}, lambda: 2)
+        stats = store.stats
+        assert stats.misses_by_producer == {"a": 1, "b": 1}
+        assert stats.hits_by_producer == {"a": 1}
+        assert stats.compute_seconds["a"] >= 0.0
+
+    def test_single_flight_under_concurrency(self):
+        store = ArtifactStore()
+        calls = []
+        gate = threading.Event()
+
+        def compute():
+            gate.wait(1.0)
+            calls.append(1)
+            return len(calls)
+
+        threads = [
+            threading.Thread(
+                target=lambda: store.get_or_compute("p", 0, {}, compute))
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        gate.set()
+        for thread in threads:
+            thread.join()
+        assert len(calls) == 1
+        assert store.stats.misses == 1
+        assert store.stats.hits == 7
+
+
+class TestDiskTier:
+    def test_round_trip_across_stores(self, tmp_path):
+        cold = ArtifactStore(cache_dir=tmp_path)
+        value = cold.get_or_compute("p", 3, {"size": 10}, lambda: [1, 2, 3])
+        warm = ArtifactStore(cache_dir=tmp_path)
+        loaded = warm.get_or_compute(
+            "p", 3, {"size": 10},
+            lambda: pytest.fail("disk hit should not recompute"))
+        assert loaded == value
+        assert warm.stats.disk_hits == 1
+        assert warm.stats.hits == 1
+        assert warm.stats.misses == 0
+
+    def test_key_mismatch_is_miss(self, tmp_path):
+        save_cached_artifact(tmp_path, "p", 0, params_hash({}), "payload")
+        assert load_cached_artifact(tmp_path, "p", 1, params_hash({})) is None
+        assert load_cached_artifact(tmp_path, "q", 0, params_hash({})) is None
+
+    def test_corrupt_file_is_miss(self, tmp_path):
+        path = save_cached_artifact(tmp_path, "p", 0, "h" * 16, 42)
+        path.write_bytes(b"not a pickle")
+        assert load_cached_artifact(tmp_path, "p", 0, "h" * 16) is None
+        store = ArtifactStore(cache_dir=tmp_path)
+        assert store.get_or_compute("p", 0, {}, lambda: 7) == 7
+        assert store.stats.misses == 1
+
+    def test_stale_schema_version_is_miss(self, tmp_path, monkeypatch):
+        import repro.core.persistence as persistence
+
+        save_cached_artifact(tmp_path, "p", 0, "h" * 16, 42)
+        monkeypatch.setattr(persistence, "ARTIFACT_CACHE_VERSION",
+                            ARTIFACT_CACHE_VERSION + 1)
+        assert load_cached_artifact(tmp_path, "p", 0, "h" * 16) is None
+
+    def test_producer_id_sanitized_in_path(self, tmp_path):
+        path = artifact_cache_path(tmp_path, "weird/id:with spaces", 0,
+                                   "a" * 16)
+        assert path.parent == tmp_path
+        assert "/" not in path.name and ":" not in path.name
+
+    def test_memory_tier_preferred_over_disk(self, tmp_path):
+        store = ArtifactStore(cache_dir=tmp_path)
+        first = store.get_or_compute("p", 0, {}, lambda: object())
+        again = store.get_or_compute("p", 0, {}, lambda: object())
+        assert first is again  # disk round-trip would break identity
+        assert store.stats.disk_hits == 0
