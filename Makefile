@@ -6,7 +6,7 @@
 PYTHON ?= python
 OUTPUT ?= outputs
 
-.PHONY: setup test bench chaos reproduce reproduce-fast examples fidelity takeaways clean
+.PHONY: setup test bench chaos chaos-pipeline reproduce reproduce-fast examples fidelity takeaways clean
 
 ## Install the package in editable mode (legacy path works offline).
 setup:
@@ -31,6 +31,13 @@ chaos:
 	    tests/test_engine_server_resilience.py \
 	    tests/test_engine_server_overload.py
 	$(PYTHON) -m repro chaos --seed 0
+
+## Chaos-test the artifact pipeline itself: every artifact at the smoke
+## tier under injected producer faults and cache corruption, then a
+## crash/resume cycle; exits nonzero unless everything recovered with
+## byte-identical outputs.
+chaos-pipeline:
+	PYTHONPATH=src $(PYTHON) -m repro chaos --pipeline --seed 0
 
 ## Write every artifact's text into $(OUTPUT)/.
 reproduce:

@@ -50,11 +50,15 @@ def _cmd_models(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_dir(args: argparse.Namespace) -> str | None:
+    """The configured disk-cache directory, if any."""
+    return getattr(args, "cache_dir", None) or os.environ.get(
+        "REPRO_CACHE_DIR")
+
+
 def _make_store(args: argparse.Namespace) -> ArtifactStore:
     """One shared store per CLI invocation (disk tier when configured)."""
-    cache_dir = getattr(args, "cache_dir", None) or os.environ.get(
-        "REPRO_CACHE_DIR")
-    return ArtifactStore(cache_dir=cache_dir)
+    return ArtifactStore(cache_dir=_cache_dir(args))
 
 
 def _print_timing(report) -> None:
@@ -64,30 +68,109 @@ def _print_timing(report) -> None:
     table = Table(
         f"Pipeline timing (jobs={report.jobs}, seed={report.seed}"
         f"{', smoke' if report.smoke else ''})",
-        ["Artifact", "Seconds", "Producers"],
+        ["Artifact", "Seconds", "Status", "Producers"],
     )
     for timing in sorted(report.timings, key=lambda t: -t.seconds):
-        table.add_row(timing.artifact, timing.seconds,
+        table.add_row(timing.artifact, timing.seconds, timing.status,
                       ", ".join(timing.producers) or "-")
     print(table.to_text())
     stats = report.store_stats
     print(f"\nwall time    {report.wall_seconds:.2f} s")
     print(f"cache        {stats.hits} hits / {stats.misses} misses "
-          f"({stats.disk_hits} from disk)")
+          f"({stats.disk_hits} from disk, "
+          f"{stats.disk_corruptions} corrupt entries recomputed)")
+    for producer, count in sorted(stats.corruptions_by_producer.items()):
+        print(f"corruption   {producer:28s} {count}x")
+    sup = report.supervisor_stats
+    if sup.retries or sup.timeouts or sup.failed_producers:
+        print(f"supervisor   {sup.retries} retries "
+              f"({sup.recovered} producers recovered), "
+              f"{sup.timeouts} watchdog timeouts, "
+              f"{sup.wasted_seconds:.2f} s wasted")
+    if report.resumed:
+        print(f"resumed      {len(report.resumed)} artifacts "
+              f"from journal (run {report.run_id})")
     slowest = sorted(stats.compute_seconds.items(), key=lambda kv: -kv[1])
     for producer, seconds in slowest[:5]:
         print(f"producer     {producer:28s} {seconds:7.2f} s "
               f"(computed {stats.misses_by_producer.get(producer, 0)}x)")
 
 
+def _print_failures(report) -> None:
+    """Quarantine summary of a ``--keep-going`` run."""
+    print(f"\n{len(report.failed)} artifact(s) quarantined:",
+          file=sys.stderr)
+    for failure in report.failed:
+        origin = (f"producer {failure.producer!r}" if failure.producer
+                  else "artifact function")
+        attempts = len(failure.attempts)
+        detail = f" after {attempts} attempts" if attempts > 1 else ""
+        print(f"  {failure.artifact:20s} {origin}{detail}: "
+              f"{failure.error_type}: {failure.error} "
+              f"[{failure.error_digest}]", file=sys.stderr)
+    completed = sum(1 for t in report.timings if t.status != "failed")
+    print(f"partial results: {completed} of "
+          f"{len(report.timings)} artifacts completed", file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    if not args.all and args.artifact is None:
-        print("error: provide an artifact id or --all", file=sys.stderr)
+    from repro.pipeline.journal import RunJournal
+    from repro.pipeline.runner import PipelineError
+
+    if not args.all and args.artifact is None and not args.resume:
+        print("error: provide an artifact id, --all, or --resume RUN_ID",
+              file=sys.stderr)
         return 2
+    cache_dir = _cache_dir(args)
     store = _make_store(args)
-    if args.all:
-        outputs, report = run_all_timed(seed=args.seed, jobs=args.jobs,
-                                        store=store, smoke=args.smoke)
+    seed, smoke = args.seed, args.smoke
+
+    journal = None
+    if args.resume:
+        if cache_dir is None:
+            print("error: --resume needs --cache-dir (or $REPRO_CACHE_DIR), "
+                  "the journal lives under the cache", file=sys.stderr)
+            return 2
+        try:
+            journal = RunJournal.open(cache_dir, args.resume)
+        except FileNotFoundError as exc:
+            known = ", ".join(RunJournal.list_runs(cache_dir)) or "(none)"
+            print(f"error: {exc}\nknown runs: {known}", file=sys.stderr)
+            return 2
+        # Resume under the interrupted run's parameters, not the flags.
+        meta = journal.meta
+        seed = meta.get("seed", seed)
+        smoke = bool(meta.get("smoke", smoke))
+        if journal.torn_tail:
+            print("journal had a torn tail (crash mid-append); "
+                  "recovered to the last complete event", file=sys.stderr)
+        print(f"resuming run {journal.run_id}: "
+              f"{len(journal.committed_artifacts)} committed, "
+              f"{len(journal.in_flight_artifacts)} in flight, "
+              f"{len(journal.failed_artifacts)} failed", file=sys.stderr)
+    elif args.all and cache_dir is not None:
+        journal = RunJournal.create(cache_dir, seed=seed, smoke=smoke)
+        print(f"run id: {journal.run_id} "
+              f"(resume with: repro run --resume {journal.run_id} "
+              f"--cache-dir {cache_dir})", file=sys.stderr)
+
+    if args.all or args.resume:
+        try:
+            outputs, report = run_all_timed(
+                seed=seed, jobs=args.jobs, store=store, smoke=smoke,
+                keep_going=args.keep_going, retries=args.retries,
+                timeout_s=args.timeout, journal=journal,
+                resume=bool(args.resume))
+        except PipelineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            if args.timing:
+                _print_timing(exc.report)
+            if args.timing_json:
+                from repro.evaluation.export import write_timing_json
+
+                path = write_timing_json(exc.report, args.timing_json)
+                print(f"partial timing records -> {path}", file=sys.stderr)
+            return 1
         for artifact, output in outputs.items():
             print(f"=== {artifact} ===")
             print(render(output))
@@ -99,9 +182,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
             path = write_timing_json(report, args.timing_json)
             print(f"timing records -> {path}", file=sys.stderr)
+        if report.failed:
+            _print_failures(report)
+            return 1
         return 0
-    output = run_experiment(args.artifact, seed=args.seed, store=store,
-                            smoke=args.smoke)
+    output = run_experiment(args.artifact, seed=seed, store=store,
+                            smoke=smoke)
     print(render(output))
     return 0
 
@@ -179,6 +265,8 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.pipeline:
+        return _cmd_chaos_pipeline(args)
     from repro.experiments.resilience import resilience_table, run_chaos_study
 
     points = run_chaos_study(
@@ -198,6 +286,28 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(f"hit rate            {off.deadline_hit_rate * 100:.1f}% -> "
           f"{on.deadline_hit_rate * 100:.1f}% with degradation")
     return 0 if on.deadline_hit_rate >= off.deadline_hit_rate else 1
+
+
+def _cmd_chaos_pipeline(args: argparse.Namespace) -> int:
+    """Chaos-test the artifact pipeline itself (``chaos --pipeline``)."""
+    from repro.experiments.resilience import (
+        pipeline_chaos_table,
+        run_pipeline_chaos_study,
+    )
+
+    result = run_pipeline_chaos_study(
+        fail_rate=args.fail_rate,
+        retries=args.retries,
+        seed=args.seed,
+    )
+    print(pipeline_chaos_table(result).to_text())
+    print()
+    if result.recovery_ok:
+        print("recovery gate: PASS (all artifacts recovered, outputs "
+              "byte-identical, resume recomputed only uncommitted work)")
+        return 0
+    print("recovery gate: FAIL", file=sys.stderr)
+    return 1
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
@@ -248,6 +358,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--cache-dir", default=None,
                      help="on-disk artifact cache (default: $REPRO_CACHE_DIR)")
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--keep-going", action="store_true",
+                     help="quarantine failing artifacts and finish the "
+                          "sweep (exit nonzero, partial summary)")
+    run.add_argument("--retries", type=int, default=0,
+                     help="extra supervised attempts per producer "
+                          "(seeded exponential backoff; default 0)")
+    run.add_argument("--timeout", type=float, default=None, metavar="S",
+                     help="wall-clock watchdog per producer attempt "
+                          "(default: none)")
+    run.add_argument("--resume", default=None, metavar="RUN_ID",
+                     help="resume an interrupted --all run from its "
+                          "journal (requires the same cache dir)")
     run.set_defaults(func=_cmd_run)
 
     simulate = sub.add_parser("simulate", help="simulate one generation")
@@ -286,13 +408,25 @@ def build_parser() -> argparse.ArgumentParser:
     characterize.set_defaults(func=_cmd_characterize)
 
     chaos = sub.add_parser(
-        "chaos", help="seeded fault-injection sweep of the serving path")
+        "chaos",
+        help="seeded fault-injection sweep of the serving path "
+             "(or, with --pipeline, of the artifact pipeline)")
     chaos.add_argument("--model", default="dsr1-qwen-1.5b")
     chaos.add_argument("--qps", type=float, default=4.0)
     chaos.add_argument("--requests", type=int, default=50)
     chaos.add_argument("--deadline", type=float, default=40.0,
                        help="per-request deadline in seconds")
     chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--pipeline", action="store_true",
+                       help="chaos-test the supervised artifact pipeline "
+                            "(transient producer faults, cache corruption, "
+                            "crash/resume) instead of the serving path")
+    chaos.add_argument("--fail-rate", type=float, default=0.3,
+                       help="per-attempt producer fault probability "
+                            "(--pipeline only; default 0.3)")
+    chaos.add_argument("--retries", type=int, default=3,
+                       help="supervised retries per producer "
+                            "(--pipeline only; default 3)")
     chaos.set_defaults(func=_cmd_chaos)
 
     plan = sub.add_parser("plan", help="pick a config for a latency budget")

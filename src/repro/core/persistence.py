@@ -9,8 +9,10 @@ models anywhere (including machines without the simulator's inputs).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
+import os
 import pickle
 import re
 from pathlib import Path
@@ -33,7 +35,21 @@ from repro.core.power_model import PiecewiseLogPowerModel
 SCHEMA_VERSION = 1
 
 #: Schema version of the generic artifact-cache envelope (pipeline tier).
-ARTIFACT_CACHE_VERSION = 1
+#: Version 2 added the sha256 payload checksum.
+ARTIFACT_CACHE_VERSION = 2
+
+
+class CacheCorruptionError(Exception):
+    """A persisted envelope exists but cannot be trusted.
+
+    Raised (by the ``*_checked`` loaders) instead of silently degrading
+    to a cache miss, so callers can count and report corruption.
+    """
+
+    def __init__(self, path: Path, reason: str):
+        super().__init__(f"{path}: {reason}")
+        self.path = path
+        self.reason = reason
 
 
 def _finite(value: float) -> float | str:
@@ -167,46 +183,158 @@ def artifact_cache_path(cache_dir: str | Path, producer_id: str,
     return Path(cache_dir) / f"{safe_id}-s{seed}-{params_hash[:16]}.pkl"
 
 
+def save_payload(path: str | Path, payload: Any,
+                 meta: dict[str, Any] | None = None) -> Path:
+    """Atomically persist a checksummed pickle envelope.
+
+    The payload is pickled separately and its sha256 stored alongside,
+    so :func:`load_payload` detects bit-rot and truncation instead of
+    deserializing garbage.  ``meta`` keys are merged into the envelope
+    (and verified by callers that care, e.g. the artifact cache).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload_pickle = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    envelope = {
+        "schema_version": ARTIFACT_CACHE_VERSION,
+        "checksum": hashlib.sha256(payload_pickle).hexdigest(),
+        "payload_pickle": payload_pickle,
+    }
+    envelope.update(meta or {})
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with tmp.open("wb") as handle:
+        pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        handle.flush()
+        os.fsync(handle.fileno())
+    tmp.replace(path)  # atomic publish: parallel jobs never see half a file
+    return path
+
+
+def load_payload(path: str | Path,
+                 expect_meta: dict[str, Any] | None = None) -> Any:
+    """Load a checksummed envelope; raise on any integrity violation.
+
+    Returns ``None`` only when the file does not exist (a plain miss).
+    An unreadable pickle, a stale ``schema_version``, a checksum
+    mismatch, or an ``expect_meta`` key that disagrees with the
+    envelope raises :class:`CacheCorruptionError` naming the reason.
+    """
+    path = Path(path)
+    if not path.is_file():
+        return None
+    try:
+        with path.open("rb") as handle:
+            envelope = pickle.load(handle)
+    except Exception as exc:
+        raise CacheCorruptionError(path, f"unreadable envelope ({exc})")
+    if not isinstance(envelope, dict):
+        raise CacheCorruptionError(path, "envelope is not a dict")
+    version = envelope.get("schema_version")
+    if version != ARTIFACT_CACHE_VERSION:
+        raise CacheCorruptionError(
+            path, f"schema version {version!r} != {ARTIFACT_CACHE_VERSION}")
+    for key, expected in (expect_meta or {}).items():
+        actual = envelope.get(key)
+        if actual != expected:
+            raise CacheCorruptionError(
+                path, f"{key} mismatch: {actual!r} != {expected!r}")
+    payload_pickle = envelope.get("payload_pickle")
+    if not isinstance(payload_pickle, bytes):
+        raise CacheCorruptionError(path, "missing payload bytes")
+    digest = hashlib.sha256(payload_pickle).hexdigest()
+    if digest != envelope.get("checksum"):
+        raise CacheCorruptionError(path, "payload checksum mismatch")
+    try:
+        return pickle.loads(payload_pickle)
+    except Exception as exc:
+        raise CacheCorruptionError(path, f"unreadable payload ({exc})")
+
+
 def save_cached_artifact(cache_dir: str | Path, producer_id: str, seed: int,
                          params_hash: str, payload: Any) -> Path:
     """Persist one producer result; returns the written path."""
     path = artifact_cache_path(cache_dir, producer_id, seed, params_hash)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    envelope = {
-        "schema_version": ARTIFACT_CACHE_VERSION,
+    return save_payload(path, payload, meta={
         "producer": producer_id,
         "seed": seed,
         "params_hash": params_hash,
-        "payload": payload,
-    }
-    tmp = path.with_suffix(".pkl.tmp")
-    with tmp.open("wb") as handle:
-        pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
-    tmp.replace(path)  # atomic publish: parallel jobs never see half a file
-    return path
+    })
+
+
+def load_cached_artifact_checked(cache_dir: str | Path, producer_id: str,
+                                 seed: int, params_hash: str) -> Any | None:
+    """Load a cached producer result, or ``None`` on a plain miss.
+
+    Unlike :func:`load_cached_artifact` this raises
+    :class:`CacheCorruptionError` on a corrupt pickle, a checksum or
+    key mismatch, or a stale schema version, so the store can count
+    and report the corruption instead of silently recomputing.
+    """
+    path = artifact_cache_path(cache_dir, producer_id, seed, params_hash)
+    return load_payload(path, expect_meta={
+        "producer": producer_id,
+        "seed": seed,
+        "params_hash": params_hash,
+    })
 
 
 def load_cached_artifact(cache_dir: str | Path, producer_id: str, seed: int,
                          params_hash: str) -> Any | None:
     """Load a cached producer result, or ``None`` on miss/corruption.
 
-    A stale schema version, a key mismatch, or an unreadable file all
+    Compatibility wrapper over :func:`load_cached_artifact_checked`: a
+    stale schema version, a key mismatch, or an unreadable file all
     degrade to a miss — the caller recomputes and overwrites.
     """
-    path = artifact_cache_path(cache_dir, producer_id, seed, params_hash)
-    if not path.is_file():
-        return None
     try:
-        with path.open("rb") as handle:
-            envelope = pickle.load(handle)
-    except Exception:
+        return load_cached_artifact_checked(cache_dir, producer_id, seed,
+                                            params_hash)
+    except CacheCorruptionError:
         return None
-    if not isinstance(envelope, dict):
-        return None
-    if envelope.get("schema_version") != ARTIFACT_CACHE_VERSION:
-        return None
-    if (envelope.get("producer") != producer_id
-            or envelope.get("seed") != seed
-            or envelope.get("params_hash") != params_hash):
-        return None
-    return envelope.get("payload")
+
+
+# ----------------------------------------------------------------------
+# append-only JSONL journal (WAL of repro.pipeline.journal.RunJournal)
+# ----------------------------------------------------------------------
+def append_jsonl_line(path: str | Path, record: dict[str, Any]) -> None:
+    """Durably append one JSON record as a single line.
+
+    The record is serialized first and written with one ``write`` call
+    in append mode followed by ``fsync``, so concurrent appenders never
+    interleave within a line and a crash can tear at most the final
+    line (which :func:`read_jsonl` detects and drops).
+    """
+    line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(line)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def read_jsonl(path: str | Path) -> tuple[list[dict[str, Any]], bool]:
+    """Read an append-only JSONL file, recovering from a torn tail.
+
+    Returns ``(records, torn)``.  Reading stops at the first
+    undecodable line: with append-only single-write records only the
+    final line can be torn (a crash mid-append), so everything before
+    it is trusted and the tail is dropped with ``torn=True``.
+    """
+    path = Path(path)
+    records: list[dict[str, Any]] = []
+    if not path.is_file():
+        return records, False
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                record = json.loads(stripped)
+            except json.JSONDecodeError:
+                return records, True
+            if not isinstance(record, dict):
+                return records, True
+            records.append(record)
+    return records, False

@@ -68,10 +68,24 @@ def run_all(seed: int = 0, jobs: int = 1,
 
 def run_all_timed(seed: int = 0, jobs: int = 1,
                   store: ArtifactStore | None = None,
-                  smoke: bool = False, **kwargs: Any,
+                  smoke: bool = False,
+                  keep_going: bool = False,
+                  retries: int = 0,
+                  timeout_s: float | None = None,
+                  faults: Any = None,
+                  journal: Any = None,
+                  resume: bool = False,
+                  **kwargs: Any,
                   ) -> tuple[dict[str, Any], PipelineReport]:
-    """``run_all`` plus the pipeline's timing / cache report."""
+    """``run_all`` plus the pipeline's timing / cache report.
+
+    The supervision knobs (``keep_going``, ``retries``, ``timeout_s``,
+    ``faults``, ``journal``, ``resume``) pass straight through to
+    :func:`repro.pipeline.runner.run_pipeline`.
+    """
     result = run_pipeline(None, seed=seed, jobs=jobs, store=store,
                           smoke=smoke, graph=default_graph(),
-                          extra_kwargs=kwargs)
+                          extra_kwargs=kwargs, keep_going=keep_going,
+                          retries=retries, timeout_s=timeout_s,
+                          faults=faults, journal=journal, resume=resume)
     return result.outputs, result.report

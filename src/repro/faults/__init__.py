@@ -16,6 +16,13 @@ pieces the resilient serving path composes:
 
 The endogenous thermal state machine lives with the rest of the hardware
 substrate in :mod:`repro.hardware.thermal`.
+
+Pipeline chaos: arm a :class:`FaultInjector` with a
+:class:`PipelineFaultConfig` and pass it to
+:func:`repro.pipeline.run_pipeline` (``faults=``) to inject
+deterministic per-producer transient exceptions, hangs, and
+corrupt-cache-entry faults into the artifact pipeline's supervisor and
+store seams.
 """
 
 from repro.engine.server import ResilienceReport
@@ -26,6 +33,7 @@ from repro.faults.injector import (
     FaultInjector,
     FaultKind,
     FaultScheduleConfig,
+    PipelineFaultConfig,
 )
 
 __all__ = [
@@ -35,6 +43,7 @@ __all__ = [
     "FaultKind",
     "FaultScheduleConfig",
     "MIN_SPEED_FACTOR",
+    "PipelineFaultConfig",
     "ResilienceReport",
     "SHED_MODES",
 ]

@@ -22,6 +22,13 @@ Four fault kinds are scheduled as timed episodes:
 Request aborts are not episodes: :meth:`should_abort` decides per
 (request, attempt) via a stable hash, mirroring the deterministic
 kernel-variant jitter in :mod:`repro.hardware.kernels`.
+
+Pipeline chaos (:class:`PipelineFaultConfig`) extends the injector to
+the artifact pipeline: per-producer transient exceptions,
+hang-until-timeout stalls, and corrupt-cache-entry faults, each
+decided by a stable hash of ``(seed, producer, attempt)`` so a chaos
+sweep replays bit-for-bit.  The pipeline supervisor and the artifact
+store query these at their execution/persistence seams.
 """
 
 from __future__ import annotations
@@ -108,16 +115,54 @@ class FaultScheduleConfig:
             raise ValueError("abort_rate must be in [0, 1]")
 
 
+@dataclass(frozen=True)
+class PipelineFaultConfig:
+    """Producer-level fault rates for artifact-pipeline chaos.
+
+    ``producer_fail_rate`` is the per-attempt probability of a
+    transient injected exception; only the first
+    ``producer_fail_attempts`` attempts of a producer can fail, so a
+    retry budget larger than that always recovers.  ``hang_rate``
+    stalls the first attempt for ``hang_seconds`` before computing
+    (tripping the supervisor's watchdog when one is armed), and
+    ``cache_corrupt_rate`` garbles a producer's freshly written disk
+    entry so the next cold load must detect it.
+    """
+
+    producer_fail_rate: float = 0.0
+    producer_fail_attempts: int = 1
+    hang_rate: float = 0.0
+    hang_seconds: float = 30.0
+    cache_corrupt_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("producer_fail_rate", "hang_rate",
+                     "cache_corrupt_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.producer_fail_attempts < 1:
+            raise ValueError("producer_fail_attempts must be >= 1")
+        if self.hang_seconds <= 0:
+            raise ValueError("hang_seconds must be positive")
+
+
 class FaultInjector:
     """Seeded fault schedule: query-only after construction.
 
     All methods are pure reads, so one injector can drive many serving
-    runs and every run sees the identical schedule.
+    runs and every run sees the identical schedule.  ``pipeline``
+    (a :class:`PipelineFaultConfig`) additionally arms the
+    producer-level chaos queried by the artifact pipeline; without it
+    every ``should_*_producer`` / ``should_corrupt_cache`` query is
+    ``False``.
     """
 
     def __init__(self, config: FaultScheduleConfig | None = None,
-                 seed: int = 0):
+                 seed: int = 0,
+                 pipeline: PipelineFaultConfig | None = None):
         self.config = config or FaultScheduleConfig()
+        self.pipeline = pipeline
         self.seed = seed
         rng = np.random.default_rng(seed)
         cfg = self.config
@@ -166,6 +211,11 @@ class FaultInjector:
                      if e.kind is FaultKind.KV_PRESSURE and e.active_at(t)]
         return min(max(fractions, default=0.0), 1.0)
 
+    def _unit(self, token: str) -> float:
+        """Stable hash of ``seed:token`` mapped into [0, 1)."""
+        digest = hashlib.sha256(f"{self.seed}:{token}".encode()).digest()
+        return int.from_bytes(digest[:8], "little") / 2**64
+
     def should_abort(self, request_id: int, attempt: int) -> bool:
         """Whether this (request, attempt) hits a transient abort.
 
@@ -176,10 +226,44 @@ class FaultInjector:
         """
         if attempt != 1 or self.config.abort_rate <= 0:
             return False
-        token = f"{self.seed}:abort:{request_id}".encode()
-        digest = hashlib.sha256(token).digest()
-        unit = int.from_bytes(digest[:8], "little") / 2**64
-        return unit < self.config.abort_rate
+        return self._unit(f"abort:{request_id}") < self.config.abort_rate
+
+    # ------------------------------------------------------------------
+    # pipeline chaos (producer-level fault specs)
+    # ------------------------------------------------------------------
+    def should_fail_producer(self, producer_id: str, attempt: int) -> bool:
+        """Whether this producer attempt hits an injected exception.
+
+        Transient by construction: attempts past
+        ``producer_fail_attempts`` never fail, so a supervisor retry
+        budget of at least that many extra attempts always recovers.
+        """
+        pipeline = self.pipeline
+        if pipeline is None or pipeline.producer_fail_rate <= 0:
+            return False
+        if attempt > pipeline.producer_fail_attempts:
+            return False
+        return (self._unit(f"pfail:{producer_id}:{attempt}")
+                < pipeline.producer_fail_rate)
+
+    def should_hang_producer(self, producer_id: str, attempt: int) -> bool:
+        """Whether this producer attempt stalls for ``hang_seconds``.
+
+        Only the first attempt can hang; the retry after the watchdog
+        fires computes cleanly.
+        """
+        pipeline = self.pipeline
+        if pipeline is None or pipeline.hang_rate <= 0 or attempt != 1:
+            return False
+        return self._unit(f"phang:{producer_id}") < pipeline.hang_rate
+
+    def should_corrupt_cache(self, producer_id: str) -> bool:
+        """Whether this producer's fresh disk entry gets garbled."""
+        pipeline = self.pipeline
+        if pipeline is None or pipeline.cache_corrupt_rate <= 0:
+            return False
+        return (self._unit(f"pcorrupt:{producer_id}")
+                < pipeline.cache_corrupt_rate)
 
     def next_boundary_after(self, t: float) -> float | None:
         """Next episode start/end strictly after ``t`` (None when past all).

@@ -1,21 +1,35 @@
 """Artifact pipeline: memoized intermediates + DAG-resolved experiments.
 
-See :mod:`repro.pipeline.store` (two-tier memoization),
-:mod:`repro.pipeline.graph` (declarative specs + DAG),
-:mod:`repro.pipeline.registry` (the full experiment registry), and
+See :mod:`repro.pipeline.store` (two-tier memoization with integrity
+checking), :mod:`repro.pipeline.graph` (declarative specs + DAG),
+:mod:`repro.pipeline.registry` (the full experiment registry),
+:mod:`repro.pipeline.supervisor` (retry/watchdog/quarantine),
+:mod:`repro.pipeline.journal` (durable run journal + resume), and
 :mod:`repro.pipeline.runner` (parallel run-all with timing).
 """
 
 from repro.pipeline.graph import ArtifactSpec, DependencyGraph, ProducerSpec
+from repro.pipeline.journal import RunJournal, new_run_id
 from repro.pipeline.registry import ARTIFACTS, PRODUCERS, default_graph
 from repro.pipeline.runner import (
     ArtifactTiming,
+    PipelineError,
     PipelineReport,
     PipelineResult,
     run_pipeline,
     validate_artifact_kwargs,
 )
 from repro.pipeline.store import ArtifactStore, CacheKey, StoreStats, params_hash
+from repro.pipeline.supervisor import (
+    AttemptRecord,
+    FailedArtifact,
+    InjectedProducerFault,
+    ProducerFailure,
+    Supervisor,
+    SupervisorPolicy,
+    SupervisorStats,
+    WatchdogTimeout,
+)
 
 __all__ = [
     "ARTIFACTS",
@@ -23,13 +37,24 @@ __all__ = [
     "ArtifactSpec",
     "ArtifactStore",
     "ArtifactTiming",
+    "AttemptRecord",
     "CacheKey",
     "DependencyGraph",
+    "FailedArtifact",
+    "InjectedProducerFault",
+    "PipelineError",
     "PipelineReport",
     "PipelineResult",
+    "ProducerFailure",
     "ProducerSpec",
+    "RunJournal",
     "StoreStats",
+    "Supervisor",
+    "SupervisorPolicy",
+    "SupervisorStats",
+    "WatchdogTimeout",
     "default_graph",
+    "new_run_id",
     "params_hash",
     "run_pipeline",
     "validate_artifact_kwargs",

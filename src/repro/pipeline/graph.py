@@ -114,32 +114,42 @@ class DependencyGraph:
 
     # ------------------------------------------------------------------
     def resolve_producer(self, producer_id: str, store: ArtifactStore,
-                         seed: int, smoke: bool = False) -> Any:
+                         seed: int, smoke: bool = False,
+                         supervisor: Any = None) -> Any:
         """Resolve one producer through the store (recursing into deps).
 
         The store's single-flight locking guarantees each producer is
         computed exactly once per ``(seed, params)`` even when parallel
-        artifact jobs request it concurrently.
+        artifact jobs request it concurrently.  When a
+        :class:`~repro.pipeline.supervisor.Supervisor` is passed, the
+        computation runs under its retry/watchdog/quarantine policy
+        (and its chaos injection, when configured).
         """
         spec = self.producers[producer_id]
         params = spec.effective_params(smoke)
 
         def compute() -> Any:
             kwargs = {
-                kwarg: self.resolve_producer(dep, store, seed, smoke)
+                kwarg: self.resolve_producer(dep, store, seed, smoke,
+                                             supervisor)
                 for kwarg, dep in spec.deps.items()
             }
             return spec.fn(seed=seed, **kwargs, **params)
 
-        return store.get_or_compute(producer_id, seed, params, compute)
+        if supervisor is None:
+            return store.get_or_compute(producer_id, seed, params, compute)
+        return store.get_or_compute(
+            producer_id, seed, params,
+            lambda: supervisor.run_producer(producer_id, compute))
 
     def build_artifact(self, artifact_id: str, store: ArtifactStore,
                        seed: int, smoke: bool = False,
-                       extra_kwargs: Mapping[str, Any] | None = None) -> Any:
+                       extra_kwargs: Mapping[str, Any] | None = None,
+                       supervisor: Any = None) -> Any:
         """Resolve an artifact's deps and invoke its formatting function."""
         spec = self.artifacts[artifact_id]
         kwargs: dict[str, Any] = {
-            kwarg: self.resolve_producer(dep, store, seed, smoke)
+            kwarg: self.resolve_producer(dep, store, seed, smoke, supervisor)
             for kwarg, dep in spec.deps.items()
         }
         kwargs.update(extra_kwargs or {})

@@ -1,0 +1,240 @@
+"""Durable run journal: an append-only JSONL WAL with ``--resume``.
+
+A full artifact sweep takes minutes; a crash at artifact 41 of 45 used
+to throw all of it away.  The :class:`RunJournal` makes runs
+resumable: every pipeline run with a disk cache appends
+``run_start`` / ``artifact_start`` / ``artifact_commit`` /
+``artifact_fail`` / ``run_end`` events to
+``<cache_dir>/journal/<run_id>.jsonl`` (atomic, fsynced appends via
+:func:`repro.core.persistence.append_jsonl_line`), and each commit
+persists the artifact's output as a checksummed pickle next to it.
+
+``repro run --resume RUN_ID`` replays the journal, loads the committed
+outputs (verifying checksums — a corrupt payload is recomputed, never
+trusted), and rebuilds only in-flight or failed artifacts.  Because
+producers are memoized on the same disk cache, the recomputation is
+incremental too, and the final outputs are byte-identical to an
+uninterrupted run.
+
+Torn tails are expected, not fatal: a crash mid-append leaves at most
+one truncated final line, which replay detects and drops
+(``torn_tail=True``), trusting everything before it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.core.persistence import (
+    CacheCorruptionError,
+    append_jsonl_line,
+    load_payload,
+    read_jsonl,
+    save_payload,
+)
+
+#: Journal event kinds, in lifecycle order.
+EVENT_KINDS = ("run_start", "artifact_start", "artifact_commit",
+               "artifact_fail", "run_end")
+
+
+def new_run_id() -> str:
+    """A fresh, filesystem-safe run id (sortable by start time)."""
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    return f"{stamp}-{uuid.uuid4().hex[:8]}"
+
+
+class RunJournal:
+    """Append-only WAL of one (possibly multi-invocation) pipeline run.
+
+    Create with :meth:`create` for a fresh run or :meth:`open` to
+    resume; both are cheap.  All ``record_*`` methods append durably
+    and update the in-memory replay state, so one instance can be
+    interrogated (``committed_artifacts``) while the run progresses.
+
+    ``on_commit`` (a callable taking the artifact id) fires after each
+    commit event reaches disk; chaos tests use it to simulate a crash
+    at a precise point in the sweep.
+    """
+
+    def __init__(self, cache_dir: str | Path, run_id: str):
+        self.cache_dir = Path(cache_dir)
+        self.run_id = run_id
+        self.path = self.cache_dir / "journal" / f"{run_id}.jsonl"
+        self.payload_dir = self.cache_dir / "journal" / run_id
+        self.torn_tail = False
+        self.corrupt_payloads: list[str] = []
+        self.on_commit: Callable[[str], None] | None = None
+        self._lock = threading.Lock()
+        self._committed: dict[str, str] = {}  # artifact -> payload filename
+        self._failed: set[str] = set()
+        self._started: set[str] = set()
+        self._meta: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, cache_dir: str | Path, run_id: str | None = None,
+               seed: int = 0, smoke: bool = False,
+               artifact_ids: tuple[str, ...] = ()) -> "RunJournal":
+        """Start a fresh journal and write its ``run_start`` event."""
+        journal = cls(cache_dir, run_id or new_run_id())
+        if journal.path.exists():
+            raise ValueError(
+                f"journal for run {journal.run_id!r} already exists; "
+                f"use RunJournal.open to resume it")
+        journal._meta = {"seed": seed, "smoke": smoke,
+                         "artifacts": list(artifact_ids)}
+        journal._append({"event": "run_start", **journal._meta})
+        return journal
+
+    @classmethod
+    def open(cls, cache_dir: str | Path, run_id: str) -> "RunJournal":
+        """Replay an existing journal (recovering a torn tail)."""
+        journal = cls(cache_dir, run_id)
+        if not journal.path.is_file():
+            raise FileNotFoundError(
+                f"no journal for run {run_id!r} under {journal.path.parent}")
+        events, torn = read_jsonl(journal.path)
+        journal.torn_tail = torn
+        for event in events:
+            kind = event.get("event")
+            artifact = event.get("artifact", "")
+            if kind == "run_start":
+                journal._meta = {k: event.get(k)
+                                 for k in ("seed", "smoke", "artifacts")}
+            elif kind == "artifact_start":
+                journal._started.add(artifact)
+            elif kind == "artifact_commit":
+                journal._committed[artifact] = event.get("payload", "")
+                journal._failed.discard(artifact)
+            elif kind == "artifact_fail":
+                journal._failed.add(artifact)
+        return journal
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def list_runs(cache_dir: str | Path) -> tuple[str, ...]:
+        """Run ids with a journal under ``cache_dir``, oldest first."""
+        journal_dir = Path(cache_dir) / "journal"
+        if not journal_dir.is_dir():
+            return ()
+        return tuple(sorted(p.stem for p in journal_dir.glob("*.jsonl")))
+
+    # ------------------------------------------------------------------
+    @property
+    def meta(self) -> dict[str, Any]:
+        """The ``run_start`` metadata (seed, smoke, artifact ids)."""
+        return dict(self._meta)
+
+    @property
+    def committed_artifacts(self) -> tuple[str, ...]:
+        """Artifacts with a durable commit, in commit order."""
+        with self._lock:
+            return tuple(self._committed)
+
+    @property
+    def failed_artifacts(self) -> tuple[str, ...]:
+        """Artifacts whose latest outcome was a failure."""
+        with self._lock:
+            return tuple(sorted(self._failed))
+
+    @property
+    def in_flight_artifacts(self) -> tuple[str, ...]:
+        """Artifacts started but neither committed nor failed.
+
+        After a crash these are the torn builds ``--resume`` recomputes.
+        """
+        with self._lock:
+            return tuple(sorted(self._started - set(self._committed)
+                                - self._failed))
+
+    # ------------------------------------------------------------------
+    def record_start(self, artifact_id: str) -> None:
+        """Journal the start of one artifact build."""
+        with self._lock:
+            self._started.add(artifact_id)
+        self._append({"event": "artifact_start", "artifact": artifact_id})
+
+    def record_commit(self, artifact_id: str, output: Any) -> None:
+        """Persist the output payload, then journal the commit.
+
+        Payload-before-event ordering makes the commit atomic: a crash
+        between the two leaves an orphan payload file (harmless) and an
+        uncommitted artifact the resume path recomputes.
+        """
+        filename = f"{_safe_name(artifact_id)}.pkl"
+        save_payload(self.payload_dir / filename, output,
+                     meta={"artifact": artifact_id, "run": self.run_id})
+        with self._lock:
+            self._committed[artifact_id] = filename
+            self._failed.discard(artifact_id)
+        self._append({"event": "artifact_commit", "artifact": artifact_id,
+                      "payload": filename})
+        if self.on_commit is not None:
+            self.on_commit(artifact_id)
+
+    def record_fail(self, artifact_id: str, error_type: str,
+                    error_digest: str) -> None:
+        """Journal a quarantined artifact (recomputed on resume)."""
+        with self._lock:
+            self._failed.add(artifact_id)
+        self._append({"event": "artifact_fail", "artifact": artifact_id,
+                      "error_type": error_type,
+                      "error_digest": error_digest})
+
+    def record_run_end(self, status: str) -> None:
+        """Journal the end of one invocation (``ok`` / ``failed``)."""
+        self._append({"event": "run_end", "status": status})
+
+    # ------------------------------------------------------------------
+    def load_committed_output(self, artifact_id: str) -> Any:
+        """Load one committed artifact's persisted output.
+
+        Raises :class:`KeyError` when the artifact was never committed
+        and :class:`CacheCorruptionError` when the payload fails its
+        checksum — the caller must then recompute, never trust it.
+        """
+        with self._lock:
+            filename = self._committed.get(artifact_id)
+        if filename is None:
+            raise KeyError(artifact_id)
+        payload = load_payload(
+            self.payload_dir / filename,
+            expect_meta={"artifact": artifact_id, "run": self.run_id})
+        if payload is None:
+            raise CacheCorruptionError(
+                self.payload_dir / filename, "committed payload missing")
+        return payload
+
+    def verified_committed(self) -> tuple[str, ...]:
+        """Committed artifacts whose payloads pass their checksums.
+
+        Artifacts with a missing or corrupt payload are dropped from
+        the committed set (and listed in ``corrupt_payloads``) so the
+        resume path recomputes them.
+        """
+        verified: list[str] = []
+        for artifact_id in self.committed_artifacts:
+            try:
+                self.load_committed_output(artifact_id)
+            except CacheCorruptionError:
+                with self._lock:
+                    self._committed.pop(artifact_id, None)
+                self.corrupt_payloads.append(artifact_id)
+            else:
+                verified.append(artifact_id)
+        return tuple(verified)
+
+    # ------------------------------------------------------------------
+    def _append(self, record: dict[str, Any]) -> None:
+        append_jsonl_line(self.path, {"run": self.run_id,
+                                      "t": time.time(), **record})
+
+
+def _safe_name(artifact_id: str) -> str:
+    return "".join(c if c.isalnum() or c in "._-" else "_"
+                   for c in artifact_id)

@@ -9,6 +9,24 @@ compute exactly once per ``(seed, params)`` regardless of job count.
 Output ordering is deterministic (registry id order) at any job count,
 and per-artifact results are identical to serial execution because the
 artifacts share no mutable state beyond the memoized producer values.
+
+The runner is crash-safe and self-healing:
+
+* every producer computes under a :class:`~repro.pipeline.supervisor.
+  Supervisor` (``retries``/``timeout_s``), with attempt counts and
+  exception digests recorded in the :class:`PipelineReport`;
+* ``keep_going=True`` quarantines a failing artifact — and everything
+  downstream of its failed producer — into structured
+  :class:`~repro.pipeline.supervisor.FailedArtifact` records instead
+  of aborting the sweep;
+* without ``keep_going``, failures raise :class:`PipelineError`, which
+  names the artifact and carries the partial report so completed
+  timings are never lost;
+* a :class:`~repro.pipeline.journal.RunJournal` (when provided)
+  records start/commit events durably; ``resume=True`` skips
+  journal-committed artifacts, loading their persisted outputs, and
+  recomputes only in-flight or failed ones — byte-identical final
+  outputs at any interruption point.
 """
 
 from __future__ import annotations
@@ -19,18 +37,47 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from repro.core.persistence import CacheCorruptionError
 from repro.pipeline.graph import DependencyGraph
+from repro.pipeline.journal import RunJournal
 from repro.pipeline.registry import default_graph
 from repro.pipeline.store import ArtifactStore, StoreStats
+from repro.pipeline.supervisor import (
+    FailedArtifact,
+    Supervisor,
+    SupervisorPolicy,
+    SupervisorStats,
+    failed_artifact_from,
+)
 
 
 @dataclass(frozen=True)
 class ArtifactTiming:
-    """Wall time and dependency list for one artifact build."""
+    """Wall time, dependency list, and outcome for one artifact build."""
 
     artifact: str
     seconds: float
     producers: tuple[str, ...]
+    #: "built" | "resumed" (loaded from the run journal) | "failed".
+    status: str = "built"
+
+
+class PipelineError(RuntimeError):
+    """A pipeline run aborted on a failing artifact (fail-fast mode).
+
+    Carries the artifact id and the partial :class:`PipelineReport`, so
+    completed work (timings, cache counters, other in-flight artifacts
+    that ran to completion) survives into ``--timing-json`` even when
+    the sweep dies.
+    """
+
+    def __init__(self, artifact: str, report: "PipelineReport",
+                 cause: BaseException):
+        super().__init__(
+            f"artifact {artifact!r} failed: "
+            f"{type(cause).__name__}: {cause}")
+        self.artifact = artifact
+        self.report = report
 
 
 @dataclass
@@ -41,8 +88,14 @@ class PipelineReport:
     jobs: int
     smoke: bool
     wall_seconds: float = 0.0
+    run_id: str | None = None
     timings: list[ArtifactTiming] = field(default_factory=list)
     store_stats: StoreStats = field(default_factory=StoreStats)
+    failed: list[FailedArtifact] = field(default_factory=list)
+    #: Artifacts skipped because the journal already committed them.
+    resumed: tuple[str, ...] = ()
+    supervisor_stats: SupervisorStats = field(
+        default_factory=SupervisorStats)
 
     def to_records(self) -> list[dict[str, Any]]:
         """Flat per-artifact records plus per-producer cache records."""
@@ -53,13 +106,15 @@ class PipelineReport:
                 "artifact": timing.artifact,
                 "seconds": timing.seconds,
                 "producers": list(timing.producers),
+                "status": timing.status,
                 "seed": self.seed,
                 "jobs": self.jobs,
                 "smoke": self.smoke,
             })
         stats = self.store_stats
         producers = sorted(set(stats.misses_by_producer)
-                           | set(stats.hits_by_producer))
+                           | set(stats.hits_by_producer)
+                           | set(stats.corruptions_by_producer))
         for producer in producers:
             records.append({
                 "kind": "producer",
@@ -67,16 +122,31 @@ class PipelineReport:
                 "cache_hits": stats.hits_by_producer.get(producer, 0),
                 "cache_misses": stats.misses_by_producer.get(producer, 0),
                 "compute_seconds": stats.compute_seconds.get(producer, 0.0),
+                "disk_corruptions": stats.corruptions_by_producer.get(
+                    producer, 0),
                 "seed": self.seed,
                 "jobs": self.jobs,
                 "smoke": self.smoke,
             })
+        for failure in self.failed:
+            records.append(failure.to_record())
+        sup = self.supervisor_stats
         records.append({
             "kind": "run",
             "wall_seconds": self.wall_seconds,
+            "run_id": self.run_id,
             "cache_hits": stats.hits,
             "cache_misses": stats.misses,
             "disk_hits": stats.disk_hits,
+            "disk_corruptions": stats.disk_corruptions,
+            "resumed_artifacts": len(self.resumed),
+            "failed_artifacts": len(self.failed),
+            "attempts": sup.attempts,
+            "retries": sup.retries,
+            "recovered_producers": sup.recovered,
+            "timeouts": sup.timeouts,
+            "injected_faults": sup.injected_faults,
+            "wasted_seconds": sup.wasted_seconds,
             "seed": self.seed,
             "jobs": self.jobs,
             "smoke": self.smoke,
@@ -131,12 +201,32 @@ def run_pipeline(artifact_ids: tuple[str, ...] | None = None,
                  store: ArtifactStore | None = None,
                  graph: DependencyGraph | None = None,
                  extra_kwargs: Mapping[str, Any] | None = None,
+                 keep_going: bool = False,
+                 retries: int = 0,
+                 timeout_s: float | None = None,
+                 backoff_base_s: float = 0.05,
+                 faults: Any = None,
+                 journal: RunJournal | None = None,
+                 resume: bool = False,
                  ) -> PipelineResult:
     """Run artifacts through the memoizing DAG pipeline.
 
     ``jobs > 1`` builds independent artifacts concurrently; results and
     ordering are identical at any job count.  ``smoke`` switches every
     producer to its small-size parameter set (separate cache keys).
+
+    Failure handling: each producer computes under a supervisor with
+    ``retries`` extra attempts (seeded exponential backoff) and an
+    optional per-attempt wall-clock ``timeout_s``.  With
+    ``keep_going=True`` a permanently failing artifact is quarantined
+    into ``report.failed`` and the sweep continues; otherwise the run
+    raises :class:`PipelineError` carrying the partial report.
+
+    Durability: pass a :class:`~repro.pipeline.journal.RunJournal` to
+    record start/commit events; with ``resume=True``, artifacts the
+    journal committed (with checksum-verified payloads) are loaded
+    from disk instead of recomputed.  ``faults`` accepts a
+    :class:`~repro.faults.FaultInjector` for chaos mode.
     """
     graph = graph or default_graph()
     if artifact_ids is None:
@@ -148,39 +238,119 @@ def run_pipeline(artifact_ids: tuple[str, ...] | None = None,
             raise KeyError(
                 f"unknown artifact {unknown[0]!r}; known: {known}")
     validate_artifact_kwargs(graph, artifact_ids, extra_kwargs or {})
-    store = store if store is not None else ArtifactStore()
+    if resume and journal is None:
+        raise ValueError("resume=True requires a journal")
+    store = store if store is not None else ArtifactStore(faults=faults)
+    if faults is not None and store.faults is None:
+        store.faults = faults
     jobs = max(1, int(jobs))
+
+    supervisor = Supervisor(
+        SupervisorPolicy(retries=retries, timeout_s=timeout_s,
+                         backoff_base_s=backoff_base_s),
+        seed=seed, faults=faults)
+
+    committed: frozenset[str] = frozenset()
+    if resume:
+        committed = frozenset(journal.verified_committed())
 
     start = time.perf_counter()
     timings: dict[str, ArtifactTiming] = {}
+    failures: dict[str, FailedArtifact] = {}
+    resumed: list[str] = []
+    results: dict[str, Any] = {}
 
     def build(artifact_id: str) -> Any:
         t0 = time.perf_counter()
-        output = graph.build_artifact(artifact_id, store, seed, smoke,
-                                      extra_kwargs)
+        if artifact_id in committed:
+            try:
+                output = journal.load_committed_output(artifact_id)
+            except CacheCorruptionError:
+                pass  # verified above, but lost since: fall through
+            else:
+                timings[artifact_id] = ArtifactTiming(
+                    artifact=artifact_id,
+                    seconds=time.perf_counter() - t0,
+                    producers=graph.producer_closure(artifact_id),
+                    status="resumed",
+                )
+                resumed.append(artifact_id)
+                return output
+        if journal is not None:
+            journal.record_start(artifact_id)
+        try:
+            output = graph.build_artifact(artifact_id, store, seed, smoke,
+                                          extra_kwargs, supervisor)
+        except Exception as exc:
+            failure = failed_artifact_from(artifact_id, exc)
+            timings[artifact_id] = ArtifactTiming(
+                artifact=artifact_id,
+                seconds=time.perf_counter() - t0,
+                producers=graph.producer_closure(artifact_id),
+                status="failed",
+            )
+            failures[artifact_id] = failure
+            if journal is not None:
+                journal.record_fail(artifact_id, failure.error_type,
+                                    failure.error_digest)
+            raise
         timings[artifact_id] = ArtifactTiming(
             artifact=artifact_id,
             seconds=time.perf_counter() - t0,
             producers=graph.producer_closure(artifact_id),
+            status="built",
         )
+        if journal is not None:
+            journal.record_commit(artifact_id, output)
         return output
 
+    def make_report() -> PipelineReport:
+        return PipelineReport(
+            seed=seed,
+            jobs=jobs,
+            smoke=smoke,
+            wall_seconds=time.perf_counter() - start,
+            run_id=journal.run_id if journal is not None else None,
+            timings=[timings[a] for a in artifact_ids if a in timings],
+            store_stats=store.stats,
+            failed=[failures[a] for a in artifact_ids if a in failures],
+            resumed=tuple(resumed),
+            supervisor_stats=supervisor.stats,
+        )
+
     if jobs == 1:
-        outputs = {artifact: build(artifact) for artifact in artifact_ids}
+        for artifact_id in artifact_ids:
+            try:
+                results[artifact_id] = build(artifact_id)
+            except Exception as exc:
+                if not keep_going:
+                    if journal is not None:
+                        journal.record_run_end("failed")
+                    raise PipelineError(artifact_id, make_report(),
+                                        exc) from exc
     else:
+        first_error: tuple[str, BaseException] | None = None
         with ThreadPoolExecutor(max_workers=jobs) as pool:
             futures = {artifact: pool.submit(build, artifact)
                        for artifact in artifact_ids}
-            # dict insertion order == registry order: deterministic.
-            outputs = {artifact: futures[artifact].result()
-                       for artifact in artifact_ids}
+            # Always drain every future: in-flight artifacts run to
+            # completion and keep their timings even when one fails.
+            for artifact_id in artifact_ids:
+                try:
+                    results[artifact_id] = (
+                        futures[artifact_id].result())
+                except Exception as exc:
+                    first_error = first_error or (artifact_id, exc)
+        if first_error is not None and not keep_going:
+            artifact_id, exc = first_error
+            if journal is not None:
+                journal.record_run_end("failed")
+            raise PipelineError(artifact_id, make_report(), exc) from exc
 
-    report = PipelineReport(
-        seed=seed,
-        jobs=jobs,
-        smoke=smoke,
-        wall_seconds=time.perf_counter() - start,
-        timings=[timings[a] for a in artifact_ids],
-        store_stats=store.stats,
-    )
+    # dict comprehension in registry order: deterministic output order.
+    outputs = {artifact: results[artifact]
+               for artifact in artifact_ids if artifact in results}
+    report = make_report()
+    if journal is not None:
+        journal.record_run_end("failed" if report.failed else "ok")
     return PipelineResult(outputs=outputs, report=report)

@@ -14,19 +14,37 @@ Lookups are single-flight: when parallel pipeline jobs request the same
 key, exactly one thread computes while the others block on the per-key
 lock and then read the memoized value.  Hit/miss/compute-time counters
 feed the ``--timing`` instrumentation.
+
+Disk entries are checksummed envelopes
+(:func:`repro.core.persistence.save_cached_artifact`): a corrupt
+pickle, checksum mismatch, or stale schema version is *counted*
+(``StoreStats.disk_corruptions``, per-producer breakdown) and logged
+once per key before recomputing, instead of silently degrading to a
+miss.  Chaos mode wires a
+:class:`~repro.faults.FaultInjector` into the ``faults`` seam to
+deliberately corrupt freshly written entries and prove that detection
+path works.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Mapping
 
-from repro.core.persistence import load_cached_artifact, save_cached_artifact
+from repro.core.persistence import (
+    CacheCorruptionError,
+    artifact_cache_path,
+    load_cached_artifact_checked,
+    save_cached_artifact,
+)
+
+logger = logging.getLogger(__name__)
 
 
 def params_hash(params: Mapping[str, Any] | None) -> str:
@@ -69,12 +87,16 @@ class StoreStats:
     hits: int = 0
     misses: int = 0
     disk_hits: int = 0
+    #: disk-tier entries that failed integrity checks (recomputed).
+    disk_corruptions: int = 0
     #: producer_id -> number of actual computations.
     misses_by_producer: dict[str, int] = field(default_factory=dict)
     #: producer_id -> number of memory/disk hits.
     hits_by_producer: dict[str, int] = field(default_factory=dict)
     #: producer_id -> total compute seconds (only for misses).
     compute_seconds: dict[str, float] = field(default_factory=dict)
+    #: producer_id -> number of corrupt disk entries detected.
+    corruptions_by_producer: dict[str, int] = field(default_factory=dict)
 
 
 class _Entry:
@@ -89,13 +111,22 @@ class _Entry:
 
 
 class ArtifactStore:
-    """Two-tier, thread-safe memoization of producer results."""
+    """Two-tier, thread-safe memoization of producer results.
 
-    def __init__(self, cache_dir: str | Path | None = None):
+    ``faults`` is the chaos seam: a
+    :class:`~repro.faults.FaultInjector` whose pipeline config enables
+    ``corrupt-cache-entry`` faults garbles freshly written disk
+    entries, exercising the integrity detection/recompute path.
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None,
+                 faults: Any = None):
         self.cache_dir = Path(cache_dir) if cache_dir else None
+        self.faults = faults
         self._entries: dict[CacheKey, _Entry] = {}
         self._master = threading.Lock()
         self._stats = StoreStats()
+        self._warned_corrupt: set[CacheKey] = set()
 
     # ------------------------------------------------------------------
     def get_or_compute(self, producer_id: str, seed: int,
@@ -116,13 +147,17 @@ class ArtifactStore:
                 self._count_hit(producer_id)
                 return entry.value
             if self.cache_dir is not None:
-                cached = load_cached_artifact(
-                    self.cache_dir, producer_id, seed, key.params_hash)
-                if cached is not None:
-                    entry.value = cached
-                    entry.computed = True
-                    self._count_hit(producer_id, disk=True)
-                    return cached
+                try:
+                    cached = load_cached_artifact_checked(
+                        self.cache_dir, producer_id, seed, key.params_hash)
+                except CacheCorruptionError as exc:
+                    self._count_corruption(key, exc)
+                else:
+                    if cached is not None:
+                        entry.value = cached
+                        entry.computed = True
+                        self._count_hit(producer_id, disk=True)
+                        return cached
             start = time.perf_counter()
             value = compute()
             elapsed = time.perf_counter() - start
@@ -132,6 +167,7 @@ class ArtifactStore:
             if self.cache_dir is not None:
                 save_cached_artifact(self.cache_dir, producer_id, seed,
                                      key.params_hash, value)
+                self._maybe_inject_corruption(key)
             return value
 
     # ------------------------------------------------------------------
@@ -151,6 +187,35 @@ class ArtifactStore:
             times = self._stats.compute_seconds
             times[producer_id] = times.get(producer_id, 0.0) + seconds
 
+    def _count_corruption(self, key: CacheKey,
+                          exc: CacheCorruptionError) -> None:
+        """Count a corrupt disk entry; warn once per key."""
+        with self._master:
+            self._stats.disk_corruptions += 1
+            by = self._stats.corruptions_by_producer
+            by[key.producer_id] = by.get(key.producer_id, 0) + 1
+            first = key not in self._warned_corrupt
+            self._warned_corrupt.add(key)
+        if first:
+            logger.warning(
+                "corrupt disk cache entry for producer %r (seed %d): %s "
+                "— recomputing", key.producer_id, key.seed, exc.reason)
+
+    def _maybe_inject_corruption(self, key: CacheKey) -> None:
+        """Chaos seam: garble the entry just written, when told to."""
+        faults = self.faults
+        if faults is None or not getattr(faults, "should_corrupt_cache",
+                                         None):
+            return
+        if not faults.should_corrupt_cache(key.producer_id):
+            return
+        path = artifact_cache_path(self.cache_dir, key.producer_id,
+                                   key.seed, key.params_hash)
+        if path.is_file():
+            # Keep the file present but unreadable: the next cold load
+            # must *detect* this, not see a plain miss.
+            path.write_bytes(b"\x00chaos-corrupted\x00")
+
     # ------------------------------------------------------------------
     @property
     def stats(self) -> StoreStats:
@@ -160,9 +225,12 @@ class ArtifactStore:
                 hits=self._stats.hits,
                 misses=self._stats.misses,
                 disk_hits=self._stats.disk_hits,
+                disk_corruptions=self._stats.disk_corruptions,
                 misses_by_producer=dict(self._stats.misses_by_producer),
                 hits_by_producer=dict(self._stats.hits_by_producer),
                 compute_seconds=dict(self._stats.compute_seconds),
+                corruptions_by_producer=dict(
+                    self._stats.corruptions_by_producer),
             )
 
     def clear_memory(self) -> None:

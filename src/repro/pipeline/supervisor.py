@@ -1,0 +1,374 @@
+"""Supervised producer execution: retries, watchdog, and quarantine.
+
+Long artifact sweeps die for boring reasons — a flaky producer raises
+once, a hung dependency never returns, a corrupted cache entry poisons
+a rebuild.  The :class:`Supervisor` wraps every producer computation
+with the containment policy the pipeline runner configures:
+
+* **retry with seeded exponential backoff + jitter** — transient
+  producer exceptions are retried up to ``policy.retries`` extra
+  attempts; the backoff sequence is derived from ``(seed, producer,
+  attempt)`` so chaos runs replay bit-for-bit;
+* **wall-clock watchdog** — each attempt runs under
+  ``policy.timeout_s``; a hung producer is abandoned (daemon thread)
+  and the attempt recorded as a timeout instead of wedging the sweep;
+* **failure quarantine** — a producer that exhausts its attempts is
+  marked failed once; every later artifact that (transitively) needs
+  it fails *immediately* with the original
+  :class:`ProducerFailure` instead of burning the retry budget again.
+
+Every attempt is recorded as an :class:`AttemptRecord` (outcome plus a
+stable exception digest) and failed artifacts surface as structured
+:class:`FailedArtifact` records in the
+:class:`~repro.pipeline.runner.PipelineReport`.
+
+The supervisor is also the chaos seam: when constructed with a
+:class:`~repro.faults.FaultInjector` carrying a
+:class:`~repro.faults.PipelineFaultConfig`, it injects deterministic
+transient exceptions and hangs *inside* the supervised attempt, so the
+retry/watchdog machinery is exercised exactly as a real fault would.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+#: Cap on the recorded exception message, so reports stay bounded.
+_MAX_ERROR_CHARS = 200
+
+
+def exception_digest(exc: BaseException) -> str:
+    """Stable 12-hex digest of an exception's type and message."""
+    token = f"{type(exc).__name__}:{exc}".encode(errors="replace")
+    return hashlib.sha256(token).hexdigest()[:12]
+
+
+class InjectedProducerFault(RuntimeError):
+    """A chaos-mode transient exception raised inside a producer."""
+
+
+class WatchdogTimeout(RuntimeError):
+    """An attempt exceeded the supervisor's wall-clock budget."""
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One supervised attempt at computing a producer."""
+
+    producer: str
+    attempt: int
+    seconds: float
+    outcome: str  # "ok" | "error" | "timeout"
+    error_type: str | None = None
+    error_digest: str | None = None
+
+    def to_record(self) -> dict[str, Any]:
+        """Flat dict for JSON export."""
+        return {
+            "producer": self.producer,
+            "attempt": self.attempt,
+            "seconds": self.seconds,
+            "outcome": self.outcome,
+            "error_type": self.error_type,
+            "error_digest": self.error_digest,
+        }
+
+
+class ProducerFailure(RuntimeError):
+    """A producer exhausted its retry budget (or was quarantined)."""
+
+    def __init__(self, producer_id: str, attempts: tuple[AttemptRecord, ...],
+                 error_type: str, error: str):
+        attempt_count = len(attempts)
+        super().__init__(
+            f"producer {producer_id!r} failed after {attempt_count} "
+            f"attempt{'s' if attempt_count != 1 else ''}: "
+            f"{error_type}: {error}")
+        self.producer_id = producer_id
+        self.attempts = attempts
+        self.error_type = error_type
+        self.error = error
+
+
+@dataclass(frozen=True)
+class FailedArtifact:
+    """One quarantined artifact in a ``keep_going`` run.
+
+    ``producer`` names the failed producer when the root cause was an
+    upstream computation (the artifact was isolated together with
+    everything downstream of that producer); ``None`` means the
+    artifact's own formatting function raised.
+    """
+
+    artifact: str
+    producer: str | None
+    error_type: str
+    error: str
+    error_digest: str
+    attempts: tuple[AttemptRecord, ...] = ()
+
+    def to_record(self) -> dict[str, Any]:
+        """Flat dict for JSON export."""
+        return {
+            "kind": "failure",
+            "artifact": self.artifact,
+            "producer": self.producer,
+            "error_type": self.error_type,
+            "error": self.error,
+            "error_digest": self.error_digest,
+            "attempts": [a.to_record() for a in self.attempts],
+        }
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Retry/backoff/watchdog knobs for supervised producers.
+
+    ``retries`` is the number of *extra* attempts after the first;
+    backoff before attempt ``n+1`` is ``backoff_base_s *
+    backoff_factor**(n-1)`` scaled by a seeded jitter in
+    ``[1 - jitter_frac, 1 + jitter_frac]``.  ``timeout_s=None``
+    disables the watchdog.
+    """
+
+    retries: int = 0
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    jitter_frac: float = 0.1
+    timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter_frac < 1.0:
+            raise ValueError("jitter_frac must be in [0, 1)")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive when set")
+
+
+@dataclass
+class SupervisorStats:
+    """Aggregate containment accounting for one run."""
+
+    attempts: int = 0
+    retries: int = 0
+    recovered: int = 0  # producers that failed at least once, then succeeded
+    timeouts: int = 0
+    injected_faults: int = 0
+    #: Seconds spent in attempts that did not produce a value.
+    wasted_seconds: float = 0.0
+    failed_producers: tuple[str, ...] = ()
+    attempt_log: list[AttemptRecord] = field(default_factory=list)
+
+
+class Supervisor:
+    """Retry/watchdog/quarantine wrapper around producer computations.
+
+    Thread-safe: parallel pipeline jobs share one supervisor.  The
+    store's single-flight locking already serializes attempts for one
+    key, so the supervisor only synchronizes its counters and the
+    quarantine map.
+    """
+
+    def __init__(self, policy: SupervisorPolicy | None = None,
+                 seed: int = 0, faults: Any = None,
+                 sleep: Callable[[float], None] = time.sleep):
+        self.policy = policy or SupervisorPolicy()
+        self.seed = seed
+        self.faults = faults
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._failed: dict[str, ProducerFailure] = {}
+        self._stats = SupervisorStats()
+
+    # ------------------------------------------------------------------
+    def backoff_seconds(self, producer_id: str, attempt: int) -> float:
+        """Seeded backoff before retrying ``attempt + 1``."""
+        policy = self.policy
+        base = policy.backoff_base_s * policy.backoff_factor ** (attempt - 1)
+        if policy.jitter_frac <= 0:
+            return base
+        rng = random.Random(f"{self.seed}:{producer_id}:{attempt}")
+        jitter = rng.uniform(-policy.jitter_frac, policy.jitter_frac)
+        return base * (1.0 + jitter)
+
+    # ------------------------------------------------------------------
+    def run_producer(self, producer_id: str,
+                     compute: Callable[[], Any]) -> Any:
+        """Compute one producer under the containment policy.
+
+        Raises :class:`ProducerFailure` when the budget is exhausted;
+        the same failure is re-raised instantly for any later request
+        (quarantine).  A :class:`ProducerFailure` raised *inside*
+        ``compute`` (a quarantined dependency) propagates untouched —
+        retrying this producer cannot fix its dependency.
+        """
+        with self._lock:
+            quarantined = self._failed.get(producer_id)
+        if quarantined is not None:
+            raise quarantined
+
+        max_attempts = self.policy.retries + 1
+        last_exc: BaseException | None = None
+        for attempt in range(1, max_attempts + 1):
+            start = time.perf_counter()
+            try:
+                value = self._attempt(producer_id, attempt, compute)
+            except ProducerFailure:
+                raise  # a dependency's quarantine: not this producer's fault
+            except BaseException as exc:
+                elapsed = time.perf_counter() - start
+                timed_out = isinstance(exc, WatchdogTimeout)
+                record = AttemptRecord(
+                    producer=producer_id, attempt=attempt, seconds=elapsed,
+                    outcome="timeout" if timed_out else "error",
+                    error_type=type(exc).__name__,
+                    error_digest=exception_digest(exc),
+                )
+                with self._lock:
+                    stats = self._stats
+                    stats.attempts += 1
+                    stats.wasted_seconds += elapsed
+                    stats.timeouts += timed_out
+                    stats.injected_faults += isinstance(
+                        exc, InjectedProducerFault)
+                    stats.attempt_log.append(record)
+                last_exc = exc
+                if attempt < max_attempts:
+                    with self._lock:
+                        self._stats.retries += 1
+                    self._sleep(self.backoff_seconds(producer_id, attempt))
+                    continue
+                with self._lock:
+                    attempts = tuple(r for r in self._stats.attempt_log
+                                     if r.producer == producer_id)
+                failure = ProducerFailure(
+                    producer_id, attempts,
+                    type(exc).__name__,
+                    str(exc)[:_MAX_ERROR_CHARS],
+                )
+                failure.__cause__ = exc
+                with self._lock:
+                    self._failed[producer_id] = failure
+                    self._stats.failed_producers = tuple(
+                        sorted(self._failed))
+                raise failure
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                stats = self._stats
+                stats.attempts += 1
+                stats.recovered += attempt > 1
+                stats.attempt_log.append(AttemptRecord(
+                    producer=producer_id, attempt=attempt,
+                    seconds=elapsed, outcome="ok"))
+            return value
+        raise AssertionError(f"unreachable: {last_exc!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def _attempt(self, producer_id: str, attempt: int,
+                 compute: Callable[[], Any]) -> Any:
+        """One attempt: chaos injection, then the watchdog-guarded call."""
+        fn = compute
+        faults = self.faults
+        if faults is not None:
+            if getattr(faults, "should_fail_producer", None) and \
+                    faults.should_fail_producer(producer_id, attempt):
+                raise InjectedProducerFault(
+                    f"injected transient fault in {producer_id!r} "
+                    f"(attempt {attempt})")
+            if getattr(faults, "should_hang_producer", None) and \
+                    faults.should_hang_producer(producer_id, attempt):
+                hang_s = faults.pipeline.hang_seconds
+
+                def fn() -> Any:
+                    time.sleep(hang_s)
+                    return compute()
+
+        return self._call_with_watchdog(producer_id, fn)
+
+    def _call_with_watchdog(self, producer_id: str,
+                            fn: Callable[[], Any]) -> Any:
+        timeout_s = self.policy.timeout_s
+        if timeout_s is None:
+            return fn()
+        box: dict[str, Any] = {}
+        done = threading.Event()
+
+        def target() -> None:
+            try:
+                box["value"] = fn()
+            except BaseException as exc:  # re-raised on the caller thread
+                box["error"] = exc
+            finally:
+                done.set()
+
+        worker = threading.Thread(
+            target=target, daemon=True,
+            name=f"supervised-{producer_id}")
+        worker.start()
+        if not done.wait(timeout_s):
+            # The worker is abandoned (daemon): a truly hung producer
+            # cannot be interrupted from Python, only contained.
+            raise WatchdogTimeout(
+                f"producer {producer_id!r} exceeded {timeout_s:.3g} s")
+        if "error" in box:
+            raise box["error"]
+        return box["value"]
+
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> SupervisorStats:
+        """A snapshot of the containment counters."""
+        with self._lock:
+            stats = self._stats
+            return SupervisorStats(
+                attempts=stats.attempts,
+                retries=stats.retries,
+                recovered=stats.recovered,
+                timeouts=stats.timeouts,
+                injected_faults=stats.injected_faults,
+                wasted_seconds=stats.wasted_seconds,
+                failed_producers=stats.failed_producers,
+                attempt_log=list(stats.attempt_log),
+            )
+
+    def failure_for(self, producer_id: str) -> ProducerFailure | None:
+        """The quarantined failure for a producer, if any."""
+        with self._lock:
+            return self._failed.get(producer_id)
+
+    def attempts_for(self, producer_id: str) -> tuple[AttemptRecord, ...]:
+        """Every recorded attempt for one producer, in order."""
+        with self._lock:
+            return tuple(r for r in self._stats.attempt_log
+                         if r.producer == producer_id)
+
+
+def failed_artifact_from(artifact_id: str,
+                         exc: BaseException) -> FailedArtifact:
+    """Build the quarantine record for one failed artifact build."""
+    if isinstance(exc, ProducerFailure):
+        return FailedArtifact(
+            artifact=artifact_id,
+            producer=exc.producer_id,
+            error_type=exc.error_type,
+            error=exc.error,
+            error_digest=exception_digest(exc),
+            attempts=exc.attempts,
+        )
+    return FailedArtifact(
+        artifact=artifact_id,
+        producer=None,
+        error_type=type(exc).__name__,
+        error=str(exc)[:_MAX_ERROR_CHARS],
+        error_digest=exception_digest(exc),
+    )

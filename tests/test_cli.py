@@ -38,6 +38,28 @@ class TestParser:
         assert args.artifact == "table9"
         assert not args.all and args.jobs == 1
         assert not args.timing and args.timing_json is None
+        assert not args.keep_going and args.retries == 0
+        assert args.timeout is None and args.resume is None
+
+    def test_run_supervision_flags(self):
+        args = build_parser().parse_args(
+            ["run", "--all", "--keep-going", "--retries", "2",
+             "--timeout", "30"])
+        assert args.keep_going and args.retries == 2
+        assert args.timeout == 30.0
+
+    def test_run_resume_flag(self):
+        args = build_parser().parse_args(
+            ["run", "--resume", "20260101-000000-abcd1234",
+             "--cache-dir", "/tmp/cache"])
+        assert args.resume == "20260101-000000-abcd1234"
+        assert not args.all and args.artifact is None
+
+    def test_chaos_pipeline_flags(self):
+        args = build_parser().parse_args(
+            ["chaos", "--pipeline", "--fail-rate", "0.5", "--retries", "4"])
+        assert args.pipeline
+        assert args.fail_rate == 0.5 and args.retries == 4
 
 
 class TestCommands:
@@ -74,7 +96,7 @@ class TestCommands:
 
     def test_run_without_artifact_or_all_errors(self, capsys):
         assert main(["run"]) == 2
-        assert "artifact id or --all" in capsys.readouterr().err
+        assert "artifact id, --all, or --resume" in capsys.readouterr().err
 
     def test_run_all_timing_and_json(self, capsys, monkeypatch, tmp_path):
         # Shrink the registry so --all stays fast: three artifacts, two
@@ -102,6 +124,78 @@ class TestCommands:
         records = read_timing_json(timing_json)
         kinds = {record["kind"] for record in records}
         assert kinds == {"artifact", "producer", "run"}
+
+    def test_run_all_journal_then_resume_round_trip(self, tmp_path, capsys,
+                                                    monkeypatch):
+        import repro.experiments.runner as runner_mod
+        from repro.pipeline.graph import DependencyGraph
+        from repro.pipeline.registry import ARTIFACTS, PRODUCERS
+
+        subset = ("fig6", "fig7")
+        small = DependencyGraph(
+            PRODUCERS, {k: ARTIFACTS[k] for k in subset})
+        monkeypatch.setattr(runner_mod, "default_graph", lambda: small)
+
+        assert main(["run", "--all", "--smoke",
+                     "--cache-dir", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert "run id: " in captured.err and "--resume" in captured.err
+        run_id = captured.err.split("run id: ")[1].split()[0]
+
+        assert main(["run", "--resume", run_id,
+                     "--cache-dir", str(tmp_path)]) == 0
+        resumed = capsys.readouterr()
+        assert f"resuming run {run_id}" in resumed.err
+        assert "2 committed" in resumed.err
+        # Byte-identical artifact sections on resume.
+        assert resumed.out == captured.out
+
+    def test_run_resume_unknown_id_lists_known_runs(self, tmp_path, capsys):
+        assert main(["run", "--resume", "ghost",
+                     "--cache-dir", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "ghost" in err and "known runs" in err
+
+    def test_run_resume_without_cache_dir_errors(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert main(["run", "--resume", "whatever"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_run_keep_going_quarantines_and_exits_nonzero(self, capsys,
+                                                          monkeypatch):
+        import repro.experiments.runner as runner_mod
+        from repro.pipeline.graph import (
+            ArtifactSpec,
+            DependencyGraph,
+        )
+        from repro.pipeline.registry import ARTIFACTS, PRODUCERS
+
+        def boom(seed):
+            raise ValueError("rigged")
+
+        artifacts = {"fig6": ARTIFACTS["fig6"],
+                     "boom": ArtifactSpec("boom", boom)}
+        broken = DependencyGraph(PRODUCERS, artifacts)
+        monkeypatch.setattr(runner_mod, "default_graph", lambda: broken)
+
+        assert main(["run", "--all", "--smoke", "--keep-going"]) == 1
+        captured = capsys.readouterr()
+        assert "1 artifact(s) quarantined" in captured.err
+        assert "partial results: 1 of 2" in captured.err
+        assert "=== fig6 ===" in captured.out  # the healthy one completed
+
+    def test_run_fail_fast_exits_nonzero_naming_artifact(self, capsys,
+                                                         monkeypatch):
+        import repro.experiments.runner as runner_mod
+        from repro.pipeline.graph import ArtifactSpec, DependencyGraph
+
+        def boom(seed):
+            raise ValueError("rigged")
+
+        broken = DependencyGraph({}, {"boom": ArtifactSpec("boom", boom)})
+        monkeypatch.setattr(runner_mod, "default_graph", lambda: broken)
+        assert main(["run", "--all", "--smoke"]) == 1
+        assert "'boom' failed" in capsys.readouterr().err
 
     def test_run_cache_dir_persists_across_invocations(self, tmp_path,
                                                        capsys):

@@ -1,0 +1,256 @@
+"""Run journal durability: WAL replay, torn tails, crash/resume."""
+
+import json
+
+import pytest
+
+from repro.core.persistence import append_jsonl_line, read_jsonl
+from repro.pipeline.graph import ArtifactSpec, DependencyGraph, ProducerSpec
+from repro.pipeline.journal import RunJournal, new_run_id
+from repro.pipeline.runner import PipelineError, run_pipeline
+from repro.pipeline.store import ArtifactStore
+
+ARTIFACTS = ("a1", "a2", "a3", "a4", "a5", "a6")
+
+
+def toy_graph() -> DependencyGraph:
+    """Six artifacts over two shared producers plus the seed itself."""
+    producers = {
+        "base": ProducerSpec("base", lambda seed: 7 + seed),
+        "grid": ProducerSpec(
+            "grid", lambda seed, base: [base * i for i in range(5)],
+            deps={"base": "base"}),
+    }
+    artifacts = {
+        "a1": ArtifactSpec("a1", lambda seed, grid: f"a1:{grid}",
+                           deps={"grid": "grid"}),
+        "a2": ArtifactSpec("a2", lambda seed, grid: f"a2:{sum(grid)}",
+                           deps={"grid": "grid"}),
+        "a3": ArtifactSpec("a3", lambda seed, base: f"a3:{base * 2}",
+                           deps={"base": "base"}),
+        "a4": ArtifactSpec("a4", lambda seed: f"a4:{seed}"),
+        "a5": ArtifactSpec("a5", lambda seed, grid: f"a5:{max(grid)}",
+                           deps={"grid": "grid"}),
+        "a6": ArtifactSpec("a6", lambda seed, base: f"a6:{base ** 2}",
+                           deps={"base": "base"}),
+    }
+    return DependencyGraph(producers, artifacts)
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised from the journal's on_commit hook to model a hard kill."""
+
+
+def crash_after(journal: RunJournal, commits: int) -> None:
+    """Arm the journal to die once ``commits`` commit events land."""
+    seen = []
+
+    def hook(artifact_id: str) -> None:
+        seen.append(artifact_id)
+        if len(seen) >= commits:
+            raise SimulatedCrash(f"killed after {artifact_id}")
+
+    journal.on_commit = hook
+
+
+class TestJsonlWal:
+    def test_append_and_read_round_trip(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        for i in range(3):
+            append_jsonl_line(path, {"i": i})
+        records, torn = read_jsonl(path)
+        assert [r["i"] for r in records] == [0, 1, 2]
+        assert not torn
+
+    def test_torn_tail_detected_and_dropped(self, tmp_path):
+        path = tmp_path / "wal.jsonl"
+        append_jsonl_line(path, {"i": 0})
+        append_jsonl_line(path, {"i": 1})
+        with path.open("ab") as fh:
+            fh.write(b'{"i": 2, "tr')  # crash mid-append
+        records, torn = read_jsonl(path)
+        assert [r["i"] for r in records] == [0, 1]
+        assert torn
+
+    def test_missing_file_is_empty_not_torn(self, tmp_path):
+        records, torn = read_jsonl(tmp_path / "absent.jsonl")
+        assert records == [] and not torn
+
+
+class TestJournalLifecycle:
+    def test_replay_recovers_state(self, tmp_path):
+        journal = RunJournal.create(tmp_path, seed=3, smoke=True,
+                                    artifact_ids=("x", "y", "z"))
+        journal.record_start("x")
+        journal.record_commit("x", {"value": 1})
+        journal.record_start("y")
+        journal.record_fail("y", "ValueError", "abc123def456")
+        journal.record_start("z")
+
+        replayed = RunJournal.open(tmp_path, journal.run_id)
+        assert replayed.meta == {"seed": 3, "smoke": True,
+                                 "artifacts": ["x", "y", "z"]}
+        assert replayed.committed_artifacts == ("x",)
+        assert replayed.failed_artifacts == ("y",)
+        assert replayed.in_flight_artifacts == ("z",)
+        assert not replayed.torn_tail
+        assert replayed.load_committed_output("x") == {"value": 1}
+
+    def test_commit_after_fail_clears_failure(self, tmp_path):
+        journal = RunJournal.create(tmp_path)
+        journal.record_fail("x", "ValueError", "abc123def456")
+        journal.record_commit("x", 1)
+        replayed = RunJournal.open(tmp_path, journal.run_id)
+        assert replayed.committed_artifacts == ("x",)
+        assert replayed.failed_artifacts == ()
+
+    def test_create_refuses_existing_run_id(self, tmp_path):
+        journal = RunJournal.create(tmp_path)
+        with pytest.raises(ValueError, match="already exists"):
+            RunJournal.create(tmp_path, run_id=journal.run_id)
+
+    def test_open_missing_run_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="ghost"):
+            RunJournal.open(tmp_path, "ghost")
+
+    def test_list_runs_sorted(self, tmp_path):
+        assert RunJournal.list_runs(tmp_path) == ()
+        ids = sorted(new_run_id() for _ in range(3))
+        for run_id in ids:
+            RunJournal.create(tmp_path, run_id=run_id)
+        assert RunJournal.list_runs(tmp_path) == tuple(ids)
+
+    def test_load_uncommitted_raises_keyerror(self, tmp_path):
+        journal = RunJournal.create(tmp_path)
+        with pytest.raises(KeyError):
+            journal.load_committed_output("never")
+
+    def test_corrupt_payload_dropped_by_verification(self, tmp_path):
+        journal = RunJournal.create(tmp_path)
+        journal.record_commit("x", [1, 2, 3])
+        journal.record_commit("y", [4, 5, 6])
+        payload = next(journal.payload_dir.glob("x.pkl"))
+        payload.write_bytes(b"\x00garbage\x00")
+        reopened = RunJournal.open(tmp_path, journal.run_id)
+        assert reopened.verified_committed() == ("y",)
+        assert reopened.corrupt_payloads == ["x"]
+        # The dropped artifact now reads as uncommitted.
+        assert "x" not in reopened.committed_artifacts
+
+    def test_events_carry_run_id_and_timestamps(self, tmp_path):
+        journal = RunJournal.create(tmp_path, seed=1)
+        journal.record_start("x")
+        lines = journal.path.read_text().splitlines()
+        for line in lines:
+            event = json.loads(line)
+            assert event["run"] == journal.run_id
+            assert event["t"] > 0
+
+
+class TestPipelineResume:
+    def test_full_run_then_resume_is_all_resumed(self, tmp_path):
+        graph = toy_graph()
+        journal = RunJournal.create(tmp_path, artifact_ids=ARTIFACTS)
+        first = run_pipeline(ARTIFACTS, graph=graph, journal=journal,
+                             store=ArtifactStore(cache_dir=tmp_path))
+        reopened = RunJournal.open(tmp_path, journal.run_id)
+        resumed = run_pipeline(ARTIFACTS, graph=graph, journal=reopened,
+                               resume=True,
+                               store=ArtifactStore(cache_dir=tmp_path))
+        assert resumed.outputs == first.outputs
+        assert set(resumed.report.resumed) == set(ARTIFACTS)
+        assert all(t.status == "resumed" for t in resumed.report.timings)
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(ValueError, match="journal"):
+            run_pipeline(("a1",), graph=toy_graph(), resume=True)
+
+    @pytest.mark.parametrize("jobs", [1, 4])
+    @pytest.mark.parametrize("kill_after", [1, 2, 4])
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_crash_then_resume_byte_identical(self, tmp_path, jobs,
+                                              kill_after, seed):
+        """Kill a journaled run after K commits; resume must finish it.
+
+        The resume run recomputes exactly the uncommitted artifacts and
+        the union of resumed + recomputed outputs matches an
+        uninterrupted run byte-for-byte — at any kill point, seed, and
+        job count.
+        """
+        graph = toy_graph()
+        reference = run_pipeline(ARTIFACTS, seed=seed, graph=graph)
+
+        journal = RunJournal.create(tmp_path, seed=seed,
+                                    artifact_ids=ARTIFACTS)
+        crash_after(journal, kill_after)
+        with pytest.raises(PipelineError):
+            run_pipeline(ARTIFACTS, seed=seed, jobs=jobs, graph=graph,
+                         journal=journal,
+                         store=ArtifactStore(cache_dir=tmp_path))
+
+        reopened = RunJournal.open(tmp_path, journal.run_id)
+        committed = set(reopened.verified_committed())
+        assert committed  # at least the artifact that tripped the kill
+        resumed = run_pipeline(ARTIFACTS, seed=seed, jobs=jobs, graph=graph,
+                               journal=reopened, resume=True,
+                               store=ArtifactStore(cache_dir=tmp_path))
+
+        assert resumed.outputs == reference.outputs
+        assert tuple(resumed.outputs) == ARTIFACTS  # registry order kept
+        statuses = {t.artifact: t.status for t in resumed.report.timings}
+        recomputed = {a for a, s in statuses.items() if s == "built"}
+        assert set(resumed.report.resumed) == committed
+        assert recomputed == set(ARTIFACTS) - committed
+
+    def test_torn_tail_resume_recomputes_torn_commit(self, tmp_path):
+        graph = toy_graph()
+        journal = RunJournal.create(tmp_path, artifact_ids=ARTIFACTS)
+        run_pipeline(ARTIFACTS, graph=graph, journal=journal,
+                     store=ArtifactStore(cache_dir=tmp_path))
+        # Tear the final commit's journal line mid-write.
+        raw = journal.path.read_bytes()
+        lines = raw.splitlines(keepends=True)
+        commit_lines = [i for i, line in enumerate(lines)
+                        if b"artifact_commit" in line]
+        torn = b"".join(lines[:commit_lines[-1]])
+        torn += lines[commit_lines[-1]][: len(lines[commit_lines[-1]]) // 2]
+        journal.path.write_bytes(torn)
+
+        reopened = RunJournal.open(tmp_path, journal.run_id)
+        assert reopened.torn_tail
+        torn_artifact = json.loads(
+            lines[commit_lines[-1]].decode())["artifact"]
+        assert torn_artifact not in reopened.committed_artifacts
+
+        reference = run_pipeline(ARTIFACTS, graph=graph)
+        resumed = run_pipeline(ARTIFACTS, graph=graph, journal=reopened,
+                               resume=True,
+                               store=ArtifactStore(cache_dir=tmp_path))
+        assert resumed.outputs == reference.outputs
+        statuses = {t.artifact: t.status for t in resumed.report.timings}
+        assert statuses[torn_artifact] == "built"
+
+    def test_corrupt_committed_payload_recomputed_on_resume(self, tmp_path):
+        graph = toy_graph()
+        journal = RunJournal.create(tmp_path, artifact_ids=ARTIFACTS)
+        reference = run_pipeline(ARTIFACTS, graph=graph, journal=journal,
+                                 store=ArtifactStore(cache_dir=tmp_path))
+        (journal.payload_dir / "a2.pkl").write_bytes(b"\x00rot\x00")
+
+        reopened = RunJournal.open(tmp_path, journal.run_id)
+        resumed = run_pipeline(ARTIFACTS, graph=graph, journal=reopened,
+                               resume=True,
+                               store=ArtifactStore(cache_dir=tmp_path))
+        assert resumed.outputs == reference.outputs
+        statuses = {t.artifact: t.status for t in resumed.report.timings}
+        assert statuses["a2"] == "built"  # never trusted, recomputed
+        assert sum(1 for s in statuses.values() if s == "resumed") == 5
+
+    def test_report_carries_run_id(self, tmp_path):
+        journal = RunJournal.create(tmp_path, artifact_ids=("a4",))
+        result = run_pipeline(("a4",), graph=toy_graph(), journal=journal,
+                              store=ArtifactStore(cache_dir=tmp_path))
+        assert result.report.run_id == journal.run_id
+        run_record = [r for r in result.report.to_records()
+                      if r["kind"] == "run"]
+        assert run_record[0]["run_id"] == journal.run_id

@@ -1,15 +1,19 @@
 """Cache correctness of the pipeline's ArtifactStore."""
 
+import logging
 import threading
 
 import pytest
 
 from repro.core.persistence import (
     ARTIFACT_CACHE_VERSION,
+    CacheCorruptionError,
     artifact_cache_path,
     load_cached_artifact,
+    load_cached_artifact_checked,
     save_cached_artifact,
 )
+from repro.faults.injector import FaultInjector, PipelineFaultConfig
 from repro.pipeline.store import ArtifactStore, params_hash
 
 
@@ -143,3 +147,79 @@ class TestDiskTier:
         again = store.get_or_compute("p", 0, {}, lambda: object())
         assert first is again  # disk round-trip would break identity
         assert store.stats.disk_hits == 0
+
+
+class TestIntegrity:
+    def test_checked_load_raises_on_garbled_bytes(self, tmp_path):
+        path = save_cached_artifact(tmp_path, "p", 0, "h" * 16, [1, 2])
+        path.write_bytes(b"\x00rot\x00")
+        with pytest.raises(CacheCorruptionError):
+            load_cached_artifact_checked(tmp_path, "p", 0, "h" * 16)
+
+    def test_checked_load_raises_on_flipped_payload_bit(self, tmp_path):
+        import pickle
+
+        path = save_cached_artifact(tmp_path, "p", 0, "h" * 16, [1, 2, 3])
+        envelope = pickle.loads(path.read_bytes())
+        payload = bytearray(envelope["payload_pickle"])
+        payload[len(payload) // 2] ^= 0xFF
+        envelope["payload_pickle"] = bytes(payload)
+        path.write_bytes(pickle.dumps(envelope))
+        with pytest.raises(CacheCorruptionError, match="checksum"):
+            load_cached_artifact_checked(tmp_path, "p", 0, "h" * 16)
+
+    def test_corrupt_entry_counted_and_recomputed(self, tmp_path, caplog):
+        path = save_cached_artifact(tmp_path, "p", 0, params_hash({}), 41)
+        path.write_bytes(b"\x00rot\x00")
+        store = ArtifactStore(cache_dir=tmp_path)
+        with caplog.at_level(logging.WARNING, logger="repro.pipeline.store"):
+            assert store.get_or_compute("p", 0, {}, lambda: 42) == 42
+        stats = store.stats
+        assert stats.disk_corruptions == 1
+        assert stats.corruptions_by_producer == {"p": 1}
+        assert stats.misses == 1
+        warnings = [r for r in caplog.records
+                    if "corrupt disk cache entry" in r.message]
+        assert len(warnings) == 1 and "'p'" in warnings[0].message
+
+    def test_corruption_warning_emitted_once_per_key(self, tmp_path, caplog):
+        from repro.pipeline.store import CacheKey
+
+        store = ArtifactStore(cache_dir=tmp_path)
+        exc = CacheCorruptionError(tmp_path / "x.pkl", "checksum mismatch")
+        key = CacheKey("p", 0, params_hash({}))
+        with caplog.at_level(logging.WARNING, logger="repro.pipeline.store"):
+            store._count_corruption(key, exc)
+            store._count_corruption(key, exc)
+        assert store.stats.disk_corruptions == 2
+        warnings = [r for r in caplog.records
+                    if "corrupt disk cache entry" in r.message]
+        assert len(warnings) == 1
+
+    def test_recompute_repairs_the_disk_entry(self, tmp_path):
+        path = save_cached_artifact(tmp_path, "p", 0, params_hash({}), 41)
+        path.write_bytes(b"\x00rot\x00")
+        store = ArtifactStore(cache_dir=tmp_path)
+        assert store.get_or_compute("p", 0, {}, lambda: 42) == 42
+        # The recomputed value was rewritten; a cold store now disk-hits.
+        cold = ArtifactStore(cache_dir=tmp_path)
+        assert cold.get_or_compute(
+            "p", 0, {},
+            lambda: pytest.fail("repaired entry should disk-hit")) == 42
+        assert cold.stats.disk_corruptions == 0
+
+    def test_fault_injected_corruption_round_trip(self, tmp_path):
+        faults = FaultInjector(seed=0, pipeline=PipelineFaultConfig(
+            cache_corrupt_rate=1.0))
+        chaotic = ArtifactStore(cache_dir=tmp_path, faults=faults)
+        assert chaotic.get_or_compute("p", 0, {}, lambda: 42) == 42
+        # The write was garbled after the fact; a cold load detects it.
+        cold = ArtifactStore(cache_dir=tmp_path)
+        assert cold.get_or_compute("p", 0, {}, lambda: 42) == 42
+        assert cold.stats.disk_corruptions == 1
+
+    def test_no_cache_dir_never_counts_corruption(self):
+        store = ArtifactStore()
+        store.get_or_compute("p", 0, {}, lambda: 1)
+        assert store.stats.disk_corruptions == 0
+        assert store.stats.corruptions_by_producer == {}
