@@ -6,7 +6,7 @@
 PYTHON ?= python
 OUTPUT ?= outputs
 
-.PHONY: setup test bench chaos chaos-pipeline reproduce reproduce-fast examples fidelity takeaways clean
+.PHONY: setup test bench chaos chaos-pipeline perf perf-baseline reproduce reproduce-fast examples fidelity takeaways clean
 
 ## Install the package in editable mode (legacy path works offline).
 setup:
@@ -38,6 +38,16 @@ chaos:
 ## byte-identical outputs.
 chaos-pipeline:
 	PYTHONPATH=src $(PYTHON) -m repro chaos --pipeline --seed 0
+
+## Perf-regression harness: time the representative workloads, write
+## BENCH_pipeline.json / BENCH_engine.json, and fail on >25% regression
+## against benchmarks/baselines/ (or the span-speedup ratio floor).
+perf:
+	PYTHONPATH=src $(PYTHON) -m repro perf --check --out $(OUTPUT)
+
+## Refresh the committed perf baselines (run on a quiet machine).
+perf-baseline:
+	PYTHONPATH=src $(PYTHON) -m repro perf --out benchmarks/baselines
 
 ## Write every artifact's text into $(OUTPUT)/.
 reproduce:

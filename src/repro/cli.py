@@ -160,7 +160,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 seed=seed, jobs=args.jobs, store=store, smoke=smoke,
                 keep_going=args.keep_going, retries=args.retries,
                 timeout_s=args.timeout, journal=journal,
-                resume=bool(args.resume))
+                resume=bool(args.resume), executor=args.executor)
         except PipelineError as exc:
             print(f"error: {exc}", file=sys.stderr)
             if args.timing:
@@ -237,7 +237,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     out_dir.mkdir(parents=True, exist_ok=True)
     store = _make_store(args)
     result = run_pipeline(selected, seed=args.seed, jobs=args.jobs,
-                          store=store, smoke=args.smoke)
+                          store=store, smoke=args.smoke,
+                          executor=args.executor)
     for artifact, output in result.outputs.items():
         target = out_dir / f"{artifact}.txt"
         target.write_text(_render_artifact(output, args.charts) + "\n")
@@ -299,6 +300,7 @@ def _cmd_chaos_pipeline(args: argparse.Namespace) -> int:
         fail_rate=args.fail_rate,
         retries=args.retries,
         seed=args.seed,
+        executor=args.executor,
     )
     print(pipeline_chaos_table(result).to_text())
     print()
@@ -308,6 +310,38 @@ def _cmd_chaos_pipeline(args: argparse.Namespace) -> int:
         return 0
     print("recovery gate: FAIL", file=sys.stderr)
     return 1
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    """Time the representative workloads; optionally gate on baselines."""
+    from repro.perf.harness import (
+        PIPELINE_ARTIFACTS,
+        compare_to_baseline,
+        run_benchmarks,
+        write_bench_files,
+    )
+
+    artifacts = (tuple(args.artifacts.split(","))
+                 if args.artifacts else PIPELINE_ARTIFACTS)
+    only = tuple(args.only.split(",")) if args.only else None
+    results = run_benchmarks(
+        repeats=args.repeats, artifacts=artifacts, jobs=args.jobs,
+        executor=args.executor, only=only,
+        log=lambda line: print(line, file=sys.stderr))
+    written = write_bench_files(results, args.out)
+    for group, path in sorted(written.items()):
+        print(f"{group} benchmarks -> {path}")
+    if args.check:
+        problems = compare_to_baseline(results, args.baseline,
+                                       threshold=args.threshold)
+        if problems:
+            print(f"\nperf gate: FAIL vs baseline {args.baseline}",
+                  file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print(f"perf gate: PASS vs baseline {args.baseline}")
+    return 0
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
@@ -349,6 +383,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="run every registered artifact")
     run.add_argument("--jobs", type=int, default=1,
                      help="parallel artifact jobs for --all (default 1)")
+    run.add_argument("--executor", choices=("thread", "process"),
+                     default="thread",
+                     help="concurrency substrate for --jobs > 1: threads "
+                          "share one in-memory store; processes sidestep "
+                          "the GIL, coordinating through the disk cache "
+                          "(default thread)")
     run.add_argument("--timing", action="store_true",
                      help="print per-artifact wall time and cache stats")
     run.add_argument("--timing-json", default=None, metavar="FILE",
@@ -390,6 +430,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="render figures as ASCII charts")
     reproduce.add_argument("--jobs", type=int, default=1,
                            help="parallel artifact jobs (default 1)")
+    reproduce.add_argument("--executor", choices=("thread", "process"),
+                           default="thread",
+                           help="thread or process pool for --jobs > 1")
     reproduce.add_argument("--timing", action="store_true",
                            help="print per-artifact wall time and cache stats")
     reproduce.add_argument("--smoke", action="store_true",
@@ -427,7 +470,43 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--retries", type=int, default=3,
                        help="supervised retries per producer "
                             "(--pipeline only; default 3)")
+    chaos.add_argument("--executor", choices=("thread", "process"),
+                       default="thread",
+                       help="pipeline executor under chaos "
+                            "(--pipeline only; default thread)")
     chaos.set_defaults(func=_cmd_chaos)
+
+    perf = sub.add_parser(
+        "perf",
+        help="time representative workloads; write BENCH_*.json and "
+             "optionally gate against committed baselines")
+    perf.add_argument("--repeats", type=int, default=3,
+                      help="timing repeats per workload; the median is "
+                           "recorded (default 3)")
+    perf.add_argument("--out", default=".",
+                      help="directory for BENCH_pipeline.json / "
+                           "BENCH_engine.json (default .)")
+    perf.add_argument("--baseline", default="benchmarks/baselines",
+                      help="committed baseline directory "
+                           "(default benchmarks/baselines)")
+    perf.add_argument("--check", action="store_true",
+                      help="fail (exit 1) on >threshold regressions vs "
+                           "the baseline, or on ratio floors broken")
+    perf.add_argument("--threshold", type=float, default=0.25,
+                      help="fractional regression tolerance for "
+                           "absolute-time workloads (default 0.25)")
+    perf.add_argument("--only", default=None,
+                      help="comma-separated workload names to run "
+                           "(default: all)")
+    perf.add_argument("--artifacts", default=None,
+                      help="comma-separated artifact ids for the pipeline "
+                           "workloads (default: characterization family)")
+    perf.add_argument("--jobs", type=int, default=1,
+                      help="pipeline jobs for the sweep workloads")
+    perf.add_argument("--executor", choices=("thread", "process"),
+                      default="thread",
+                      help="pipeline executor for the sweep workloads")
+    perf.set_defaults(func=_cmd_perf)
 
     plan = sub.add_parser("plan", help="pick a config for a latency budget")
     plan.add_argument("--budget", type=float, required=True,

@@ -169,10 +169,9 @@ def sample_decode_fit_points(engine: InferenceEngine, rng: np.random.Generator,
     outputs = np.clip(rng.lognormal(np.log(600), 0.7, count), 16, 4096).astype(int)
     latencies = np.zeros(count)
     for index in range(count):
-        steps = engine.kernels.decode_step_times(
+        latencies[index] = engine.kernels.decode_span_seconds(
             engine.profile, int(inputs[index]), int(outputs[index])
         )
-        latencies[index] = float(steps.sum())
     return inputs.astype(float), outputs.astype(float), latencies
 
 

@@ -109,10 +109,9 @@ class DeadlineController:
             elapsed += float(step_times[step])
             context += 1
             thinking += 1
-        # Emit the answer segment.
-        answer_steps = engine.kernels.decode_step_times(
+        # Emit the answer segment (closed-form span total).
+        elapsed += engine.kernels.decode_span_seconds(
             engine.profile, context, self.answer_tokens)
-        elapsed += float(answer_steps.sum())
         return ControlledGeneration(
             deadline_s=deadline_s,
             prompt_tokens=prompt_tokens,
@@ -160,11 +159,11 @@ def static_budget_baseline(engine: InferenceEngine,
     for prompt, natural in zip(prompts, np.asarray(natural_thinking_tokens)):
         thinking = int(min(natural, thinking_budget))
         prefill_s = engine.kernels.prefill(engine.profile, int(prompt)).seconds
-        think_s = (float(engine.kernels.decode_step_times(
-            engine.profile, int(prompt), thinking).sum())
+        think_s = (engine.kernels.decode_span_seconds(
+            engine.profile, int(prompt), thinking)
                    if thinking > 0 else 0.0)
-        answer_s = float(engine.kernels.decode_step_times(
-            engine.profile, int(prompt) + thinking, answer_tokens).sum())
+        answer_s = engine.kernels.decode_span_seconds(
+            engine.profile, int(prompt) + thinking, answer_tokens)
         results.append(ControlledGeneration(
             deadline_s=deadline_s,
             prompt_tokens=int(prompt),

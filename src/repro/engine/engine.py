@@ -261,11 +261,15 @@ class InferenceEngine:
         # Mean context across live sequences per step: prompts differ, so
         # the KV term uses the average live prompt plus the step index.
         steps = np.arange(num_steps, dtype=np.float64)
-        live_prompt_sum = np.zeros(num_steps)
-        for prompt, stop in zip(prompts, stops):
-            live_prompt_sum[:stop] += prompt
-        with np.errstate(invalid="ignore", divide="ignore"):
-            mean_prompt = np.where(active > 0, live_prompt_sum / np.maximum(active, 1), 0.0)
+        # Scatter each prompt's exit into a difference array, then prefix-
+        # sum: live_prompt_sum[i] = sum of prompts still live at step i,
+        # without a per-sequence Python loop.
+        delta = np.zeros(num_steps + 1)
+        delta[0] = prompts.sum()
+        np.add.at(delta, stops, -prompts)
+        live_prompt_sum = np.cumsum(delta[:-1])
+        mean_prompt = np.zeros(num_steps)
+        np.divide(live_prompt_sum, active, out=mean_prompt, where=active > 0)
         contexts = mean_prompt + steps
         step_seconds = self.kernels.decode_step_seconds(self.profile, contexts, active)
         step_seconds = step_seconds + self.framework.decode_step_overhead(

@@ -287,12 +287,15 @@ class ServingSimulator:
                  faults: "FaultInjector | None" = None,
                  thermal: "ThermalConfig | None" = None,
                  degradation: "DegradationPolicy | None" = None,
-                 kv_cache: PagedKVCache | None = None):
+                 kv_cache: PagedKVCache | None = None,
+                 max_span_steps: int | None = None):
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
         if policy not in SCHEDULING_POLICIES:
             raise ValueError(
                 f"unknown policy {policy!r}; choose from {SCHEDULING_POLICIES}")
+        if max_span_steps is not None and max_span_steps <= 0:
+            raise ValueError("max_span_steps must be positive")
         self.engine = engine
         self.max_batch_size = max_batch_size
         self.policy = policy
@@ -300,6 +303,9 @@ class ServingSimulator:
         self.thermal_config = thermal
         self.degradation = degradation
         self.kv_cache = kv_cache if kv_cache is not None else engine.kv_cache
+        #: Cap on multi-token span pricing (None = unbounded; 1 = the
+        #: original per-token stepping, kept for equivalence testing).
+        self.max_span_steps = max_span_steps
 
     # ------------------------------------------------------------------
     def run(self, requests: list[GenerationRequest],
@@ -659,6 +665,10 @@ class _ServingRun:
                                 allow_retry=policy.retry_on_timeout)
 
     def _decode_epoch(self) -> None:
+        span = self._span_limit()
+        if span > 1:
+            self._decode_span(span)
+            return
         batch = len(self.live)
         mean_context = float(np.mean([seq.context for seq in self.live]))
         base = float(self.engine.kernels.decode_step_seconds(
@@ -676,6 +686,102 @@ class _ServingRun:
                 continue  # could not fit even after evictions; requeued
             seq.remaining -= 1
             seq.context += 1
+            if seq.remaining <= 0:
+                self._finish(seq)
+
+    # -- multi-token span pricing --------------------------------------
+    def _span_limit(self) -> int:
+        """Longest run of decode steps with no possible event in between.
+
+        Events that can change the batch or the clock model mid-span
+        force per-token stepping: fault/thermal derating (time-varying
+        speed), an admission stalled on KV exhaustion (re-attempted — with
+        side effects — every epoch), a sequence finishing, or the KV pool
+        running out (preemption).  Arrival and timeout boundaries depend
+        on the priced step times, so they cut the span later, inside
+        :meth:`_decode_span`.
+        """
+        if self.faults is not None or self.thermal is not None:
+            return 1
+        if self.ready and len(self.live) < self.sim.max_batch_size:
+            return 1
+        span = min(seq.remaining for seq in self.live)
+        if self.sim.max_span_steps is not None:
+            span = min(span, self.sim.max_span_steps)
+        if span > 1:
+            span = max(self._kv_span_limit(span), 1)
+        return span
+
+    def _kv_span_limit(self, span: int) -> int:
+        """Largest ``j <= span`` where every live sequence can grow ``j``
+        tokens out of the free block pool (no mid-span preemption)."""
+        free = self.kv.free_blocks
+
+        def growth(j: int) -> int:
+            return sum(self.kv.blocks_for(seq.context + j)
+                       - self.kv.blocks_for(seq.context)
+                       for seq in self.live)
+
+        if growth(span) <= free:
+            return span
+        lo, hi = 0, span
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if growth(mid) <= free:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo
+
+    def _decode_span(self, span: int) -> None:
+        """Price up to ``span`` decode steps in one kernel call.
+
+        The batch is membership-stable for the whole span (guaranteed by
+        :meth:`_span_limit`), so the per-step mean context and mean
+        generated-token count each advance by exactly one per step — the
+        whole span prices as one vectorized kernel/power evaluation.  The
+        clock and energy integrate step-by-step in the same order as
+        per-token stepping (bit-identical event times), and the span is
+        cut at the first boundary where an arrival promotion or a
+        degradation timeout would have fired.
+        """
+        batch = len(self.live)
+        ctx_sum = sum(seq.context for seq in self.live)
+        gen_sum = sum(seq.context - seq.prompt_tokens + 1
+                      for seq in self.live)
+        steps = np.arange(span, dtype=np.float64)
+        mean_contexts = (ctx_sum + batch * steps) / batch
+        mean_generated = np.maximum((gen_sum + batch * steps) / batch, 1.0)
+        base = self.engine.kernels.decode_step_seconds(
+            self.engine.profile, mean_contexts, batch)
+        power = np.asarray(self.engine.power.decode_power(
+            mean_generated, batch), dtype=np.float64)
+
+        # An arrival can only trigger admission while a slot is free; a
+        # timeout sweep fires once the clock strictly passes the oldest
+        # live sequence's deadline.
+        next_ready = (self.pending[0][0]
+                      if self.pending and batch < self.sim.max_batch_size
+                      else None)
+        policy = self.degradation
+        timeout_at = (min(seq.start_s for seq in self.live) + policy.timeout_s
+                      if policy is not None and policy.timeout_s is not None
+                      else None)
+
+        taken = 0
+        for j in range(span):
+            if j > 0:
+                if next_ready is not None and self.now >= next_ready:
+                    break
+                if timeout_at is not None and self.now > timeout_at:
+                    break
+            self._spend(float(base[j]), float(power[j]))
+            taken += 1
+
+        for seq in list(self.live):
+            self.kv.extend(seq.kv_seq_id, taken)
+            seq.remaining -= taken
+            seq.context += taken
             if seq.remaining <= 0:
                 self._finish(seq)
 

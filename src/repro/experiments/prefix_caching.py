@@ -57,8 +57,8 @@ def run_prefix_caching_study(model_name: str = "dsr1-qwen-14b",
     for task, prompt, shared, output in SCENARIOS:
         cold = engine.kernels.prefill(engine.profile, prompt).seconds
         warm = prefill_with_prefix(engine, prompt, shared).seconds
-        decode = float(engine.kernels.decode_step_times(
-            engine.profile, prompt, output).sum())
+        decode = engine.kernels.decode_span_seconds(
+            engine.profile, prompt, output)
         rows.append(PrefixCachingRow(
             task=task,
             cold_prefill_s=cold,

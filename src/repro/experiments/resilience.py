@@ -209,6 +209,7 @@ def run_pipeline_chaos_study(artifact_ids: tuple[str, ...] | None = None,
                              smoke: bool = True,
                              jobs: int = 4,
                              cache_dir: str | Path | None = None,
+                             executor: str = "thread",
                              ) -> PipelineChaosResult:
     """Chaos-test the supervised pipeline, then a crash/resume cycle.
 
@@ -241,7 +242,7 @@ def run_pipeline_chaos_study(artifact_ids: tuple[str, ...] | None = None,
         root = Path(cache_dir) if cache_dir is not None else Path(scratch)
 
         baseline = run_pipeline(artifact_ids, seed=seed, smoke=smoke,
-                                jobs=jobs)
+                                jobs=jobs, executor=executor)
         reference = {a: render(o) for a, o in baseline.outputs.items()}
 
         # --- chaos run: transient producer faults + cache corruption.
@@ -254,7 +255,7 @@ def run_pipeline_chaos_study(artifact_ids: tuple[str, ...] | None = None,
         chaos_store = ArtifactStore(cache_dir=chaos_dir, faults=faults)
         chaos = run_pipeline(
             artifact_ids, seed=seed, smoke=smoke, jobs=jobs,
-            store=chaos_store,
+            store=chaos_store, executor=executor,
             keep_going=True, retries=retries, backoff_base_s=0.01,
             faults=faults,
             journal=RunJournal.create(chaos_dir, seed=seed, smoke=smoke,
@@ -269,7 +270,7 @@ def run_pipeline_chaos_study(artifact_ids: tuple[str, ...] | None = None,
         reread = ArtifactStore(cache_dir=chaos_dir)
         replay = run_pipeline(artifact_ids, seed=seed, smoke=smoke,
                               jobs=jobs, store=reread, retries=retries,
-                              backoff_base_s=0.01)
+                              backoff_base_s=0.01, executor=executor)
         chaos_identical = chaos_identical and all(
             render(replay.outputs[a]) == reference[a] for a in artifact_ids)
         disk_corruptions = reread.stats.disk_corruptions
@@ -302,7 +303,7 @@ def run_pipeline_chaos_study(artifact_ids: tuple[str, ...] | None = None,
         reopened = RunJournal.open(resume_dir, journal.run_id)
         committed = len(reopened.verified_committed())
         resumed = run_pipeline(artifact_ids, seed=seed, smoke=smoke,
-                               jobs=jobs,
+                               jobs=jobs, executor=executor,
                                store=ArtifactStore(cache_dir=resume_dir),
                                journal=reopened, resume=True)
         resume_identical = all(

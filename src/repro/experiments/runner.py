@@ -54,7 +54,8 @@ def render(output: Any) -> str:
 
 def run_all(seed: int = 0, jobs: int = 1,
             store: ArtifactStore | None = None,
-            smoke: bool = False, **kwargs: Any) -> dict[str, Any]:
+            smoke: bool = False, executor: str = "thread",
+            **kwargs: Any) -> dict[str, Any]:
     """Run every artifact; returns id -> output in registry order.
 
     Every registered callable must accept ``seed`` plus any extra
@@ -62,7 +63,7 @@ def run_all(seed: int = 0, jobs: int = 1,
     before anything runs, instead of failing mid-sweep.
     """
     outputs, _ = run_all_timed(seed=seed, jobs=jobs, store=store,
-                               smoke=smoke, **kwargs)
+                               smoke=smoke, executor=executor, **kwargs)
     return outputs
 
 
@@ -75,17 +76,20 @@ def run_all_timed(seed: int = 0, jobs: int = 1,
                   faults: Any = None,
                   journal: Any = None,
                   resume: bool = False,
+                  executor: str = "thread",
                   **kwargs: Any,
                   ) -> tuple[dict[str, Any], PipelineReport]:
     """``run_all`` plus the pipeline's timing / cache report.
 
     The supervision knobs (``keep_going``, ``retries``, ``timeout_s``,
-    ``faults``, ``journal``, ``resume``) pass straight through to
+    ``faults``, ``journal``, ``resume``) and the ``executor`` selection
+    pass straight through to
     :func:`repro.pipeline.runner.run_pipeline`.
     """
     result = run_pipeline(None, seed=seed, jobs=jobs, store=store,
                           smoke=smoke, graph=default_graph(),
                           extra_kwargs=kwargs, keep_going=keep_going,
                           retries=retries, timeout_s=timeout_s,
-                          faults=faults, journal=journal, resume=resume)
+                          faults=faults, journal=journal, resume=resume,
+                          executor=executor)
     return result.outputs, result.report

@@ -84,11 +84,19 @@ class ArmCpuCluster:
 
     def decode_seconds(self, profile: ModelExecutionProfile, input_len: int,
                        output_len: int) -> float:
-        """Full CPU decode latency for ``output_len`` tokens."""
+        """Full CPU decode latency for ``output_len`` tokens.
+
+        The CPU step time is affine in context (no compute roofline), so
+        the span total is a closed-form arithmetic series.
+        """
         if output_len <= 0:
             raise ValueError("output_len must be positive")
-        contexts = input_len + np.arange(output_len, dtype=np.float64)
-        return float(self.decode_step_seconds(profile, contexts).sum())
+        effective_bw = self.spec.memory_bandwidth * self.spec.bandwidth_efficiency
+        weight_time = profile.weight_bytes / effective_bw
+        kv_slope = profile.kv_bytes_per_token / effective_bw
+        n = int(output_len)
+        mean_ctx = input_len + (n - 1) / 2.0
+        return n * (weight_time + kv_slope * mean_ctx)
 
     def decode_energy_joules(self, profile: ModelExecutionProfile, input_len: int,
                              output_len: int) -> float:

@@ -209,15 +209,88 @@ class KernelEngine:
                 + weight_time + linear_time + attn_time + activation_time)
 
     def decode_context_slope(self, profile: ModelExecutionProfile,
-                             batch: int = 1) -> float:
-        """d(TBT)/d(context): the ``m`` of Eqn. 2 as the simulator sees it."""
-        lo = self.decode_step_seconds(profile, 1000, batch)
-        hi = self.decode_step_seconds(profile, 1001, batch)
-        return float(hi - lo)
+                             batch: int = 1,
+                             reference_context: int = 1000) -> float:
+        """d(TBT)/d(context): the ``m`` of Eqn. 2 as the simulator sees it.
+
+        Analytic: where the reference context is memory-bound the slope is
+        the KV-stream term ``kv_bytes_per_token * batch / (bw *
+        kv_stream_efficiency * stream_scale)``; where the step is
+        compute-bound the roofline flattens the context dependence away
+        and the slope is zero.
+        """
+        mem_const, kv_slope, compute_time, _ = self._decode_span_terms(
+            profile, batch)
+        if mem_const + kv_slope * reference_context < compute_time:
+            return 0.0
+        return kv_slope
 
     # ------------------------------------------------------------------
     # decode
     # ------------------------------------------------------------------
+    def _decode_span_terms(self, profile: ModelExecutionProfile,
+                           batch: float) -> tuple[float, float, float, float]:
+        """Affine decomposition of the decode roofline at fixed ``batch``.
+
+        Returns ``(memory_const, kv_slope, compute_time, overhead)`` such
+        that one decode step at context ``c`` costs
+        ``max(memory_const + kv_slope * c, compute_time) + overhead``.
+        This is the analytic backbone of both the closed-form span sum
+        and the Eqn. 2 slope ``m``.
+        """
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        calib = self.calibration
+        bw = self.soc.dram_bandwidth
+        stream_scale = self.soc.stream_efficiency_scale
+        weight_time = profile.weight_bytes / (
+            bw * calib.decode_weight_stream_efficiency * stream_scale
+        )
+        kv_slope = (profile.kv_bytes_per_token * batch) / (
+            bw * calib.kv_stream_efficiency * stream_scale
+        )
+        activation_time = (profile.activation_bytes_per_token * batch) / (
+            bw * self.memory.spec.streaming_efficiency
+        )
+        padded_batch = pad_to_tile(math.ceil(batch), BATCH_TILE)
+        compute_time = (profile.linear_flops_per_token * padded_batch) / (
+            self._peak_flops(profile) * calib.decode_gemm_efficiency
+        )
+        overhead = (calib.per_step_overhead_s
+                    + calib.per_sequence_overhead_s * batch
+                    ) * self.soc.host_overhead_scale
+        return weight_time + activation_time, kv_slope, compute_time, overhead
+
+    def decode_span_seconds(self, profile: ModelExecutionProfile,
+                            input_len: int, output_len: int,
+                            batch: float = 1) -> float:
+        """Closed-form total seconds of a decode span (the sum behind Eqn. 2).
+
+        Equivalent to ``decode_step_times(...).sum()`` but O(1) in
+        ``output_len``: each side of the ``max(memory, compute)`` roofline
+        is affine in context, and context grows by exactly one per step,
+        so the compute-bound steps form a prefix (the KV slope is
+        non-negative) whose length falls out of the crossover
+        ``ctx* = (compute - memory_const) / kv_slope``; the memory-bound
+        remainder is an arithmetic series.
+        """
+        if output_len <= 0:
+            raise ValueError("output_len must be positive")
+        mem_const, kv_slope, compute_time, overhead = self._decode_span_terms(
+            profile, batch)
+        n = int(output_len)
+        if kv_slope <= 0.0:
+            return n * (max(mem_const, compute_time) + overhead)
+        # Steps run at contexts input_len + i for i = 0..n-1; a step is
+        # compute-bound while mem_const + kv_slope * ctx <= compute_time
+        # (equality is regime-agnostic: both sides price identically).
+        crossover = (compute_time - mem_const) / kv_slope
+        k = min(max(math.floor(crossover - input_len) + 1, 0), n)
+        tail = n - k
+        memory_sum = tail * (
+            mem_const + kv_slope * (input_len + (k + n - 1) / 2.0))
+        return n * overhead + k * compute_time + memory_sum
+
     def decode_step_seconds(self, profile: ModelExecutionProfile,
                             context_len: np.ndarray | int,
                             batch: np.ndarray | int = 1) -> np.ndarray:
@@ -264,12 +337,13 @@ class KernelEngine:
         """Time a full autoregressive decode of ``output_len`` tokens.
 
         Total latency is the sum of per-step TBTs with the context growing
-        by one each step (the discrete sum behind Eqn. 2).
+        by one each step (the discrete sum behind Eqn. 2), evaluated in
+        closed form — no per-step array is materialized.
         """
         if output_len <= 0:
             raise ValueError("output_len must be positive")
-        step_times = self.decode_step_times(profile, input_len, output_len, batch)
-        seconds = float(step_times.sum())
+        seconds = self.decode_span_seconds(profile, input_len, output_len,
+                                           batch)
 
         read_per_step = profile.weight_bytes + profile.activation_bytes_per_token * batch
         kv_reads = profile.kv_bytes_per_token * batch * (

@@ -1,0 +1,20 @@
+"""Performance-regression harness: timed representative workloads.
+
+See :mod:`repro.perf.harness` for the workload definitions, the
+``BENCH_*.json`` writers, and the baseline-comparison gate behind
+``repro perf`` / ``make perf``.
+"""
+
+from repro.perf.harness import (
+    BenchResult,
+    compare_to_baseline,
+    run_benchmarks,
+    write_bench_files,
+)
+
+__all__ = [
+    "BenchResult",
+    "compare_to_baseline",
+    "run_benchmarks",
+    "write_bench_files",
+]

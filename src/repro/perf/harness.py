@@ -1,0 +1,320 @@
+"""Timed representative workloads + the perf-regression gate.
+
+The repo's north star is "as fast as the hardware allows", but nothing
+tracked the perf trajectory — a 10x pipeline slowdown would land
+silently as long as tests stayed green.  This module times the hot
+paths end to end:
+
+* **pipeline_cold_smoke** — a cold smoke-tier sweep over the
+  characterization artifact family (fresh store, no disk cache);
+* **pipeline_warm_smoke** — the same sweep against a pre-warmed
+  sha256-checksummed disk tier (measures cache/load overhead);
+* **serving_fixed_qps** — the event-driven serving study at a fixed
+  offered load (exercises multi-token span pricing);
+* **serving_span_speedup** — span pricing vs forced per-token stepping
+  on the identical workload: a *machine-independent ratio* gate
+  (must stay >= its recorded minimum, currently 3x);
+* **evaluator_mmlu_redux** — the vectorized evaluator on MMLU-Redux.
+
+``run_benchmarks`` reports medians over ``repeats``;
+``write_bench_files`` emits ``BENCH_pipeline.json`` /
+``BENCH_engine.json``; ``compare_to_baseline`` fails on >25%
+regressions against the committed baselines in
+``benchmarks/baselines/`` (absolute times) and on ratio workloads
+falling below their recorded floor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+#: Artifact subset for the pipeline workloads: the Section IV
+#: characterization family — one expensive shared producer plus four
+#: formatting artifacts, representative of the DAG shape without the
+#: full registry's multi-minute cold cost.
+PIPELINE_ARTIFACTS = ("table2", "fig2", "fig3a", "fig3b")
+
+#: Regression threshold for absolute-time workloads (fractional).
+DEFAULT_THRESHOLD = 0.25
+
+#: Absolute slack added on top of the fractional threshold so
+#: micro-workloads (sub-millisecond warm-cache loads) don't flap on
+#: scheduler jitter: limit = baseline * (1 + threshold) + slack.
+ABSOLUTE_SLACK_S = 0.05
+
+#: Floor for the serving span-pricing speedup ratio (the perf_opt
+#: acceptance gate; measured ~13x on a 1-core container).
+SPAN_SPEEDUP_MIN = 3.0
+
+BENCH_FILES = {
+    "pipeline": "BENCH_pipeline.json",
+    "engine": "BENCH_engine.json",
+}
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One timed (or ratio) workload outcome."""
+
+    name: str
+    #: Which BENCH file this belongs to: "pipeline" or "engine".
+    group: str
+    #: Median over repeats: seconds for unit "s", a ratio for unit "x".
+    value: float
+    repeats: tuple[float, ...]
+    #: "s" (lower is better) or "x" (higher is better).
+    unit: str = "s"
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "value": self.value,
+            "unit": self.unit,
+            "repeats": list(self.repeats),
+            "meta": dict(self.meta),
+        }
+
+
+def _median_time(fn: Callable[[], Any], repeats: int) -> tuple[float, tuple[float, ...]]:
+    times = []
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return float(statistics.median(times)), tuple(times)
+
+
+# ----------------------------------------------------------------------
+# workloads
+# ----------------------------------------------------------------------
+def bench_pipeline_cold(repeats: int, artifacts: tuple[str, ...],
+                        jobs: int = 1,
+                        executor: str = "thread") -> BenchResult:
+    """Cold smoke sweep: every producer computes from scratch."""
+    from repro.pipeline.runner import run_pipeline
+
+    def sweep() -> None:
+        run_pipeline(artifacts, seed=0, smoke=True, jobs=jobs,
+                     executor=executor)
+
+    median, times = _median_time(sweep, repeats)
+    return BenchResult("pipeline_cold_smoke", "pipeline", median, times,
+                       meta={"artifacts": list(artifacts), "jobs": jobs,
+                             "executor": executor})
+
+
+def bench_pipeline_warm(repeats: int, artifacts: tuple[str, ...],
+                        cache_dir: Path) -> BenchResult:
+    """Warm sweep: fresh in-memory store over a populated disk tier."""
+    from repro.pipeline.runner import run_pipeline
+    from repro.pipeline.store import ArtifactStore
+
+    # Populate the disk tier once, untimed.
+    run_pipeline(artifacts, seed=0, smoke=True,
+                 store=ArtifactStore(cache_dir=cache_dir))
+
+    def sweep() -> None:
+        run_pipeline(artifacts, seed=0, smoke=True,
+                     store=ArtifactStore(cache_dir=cache_dir))
+
+    median, times = _median_time(sweep, repeats)
+    return BenchResult("pipeline_warm_smoke", "pipeline", median, times,
+                       meta={"artifacts": list(artifacts)})
+
+
+def _serving_study(max_span_steps: int | None) -> None:
+    import numpy as np
+
+    from repro.engine.engine import InferenceEngine
+    from repro.engine.server import ServingSimulator
+    from repro.models.registry import get_model
+
+    engine = InferenceEngine(get_model("dsr1-qwen-1.5b"))
+    simulator = ServingSimulator(engine, max_batch_size=8,
+                                 max_span_steps=max_span_steps)
+    rng = np.random.default_rng(7)
+    simulator.run_poisson(rng, qps=1.0, num_requests=100,
+                          output_tokens=256)
+
+
+def bench_serving(repeats: int) -> BenchResult:
+    """Serving study at fixed QPS (span pricing on)."""
+    median, times = _median_time(lambda: _serving_study(None), repeats)
+    return BenchResult("serving_fixed_qps", "engine", median, times,
+                       meta={"model": "dsr1-qwen-1.5b", "qps": 1.0,
+                             "requests": 100, "output_tokens": 256})
+
+
+def bench_serving_span_speedup(repeats: int) -> BenchResult:
+    """Span pricing vs per-token stepping: a machine-independent ratio.
+
+    Absolute-time baselines drift across runner hardware; this ratio
+    pits the two code paths against each other on the same machine in
+    the same process, so a regression here means the optimization
+    itself degraded.
+    """
+    span, _ = _median_time(lambda: _serving_study(None), repeats)
+    per_step, _ = _median_time(lambda: _serving_study(1), repeats)
+    ratio = per_step / span if span > 0 else float("inf")
+    return BenchResult("serving_span_speedup", "engine", ratio, (ratio,),
+                       unit="x",
+                       meta={"min": SPAN_SPEEDUP_MIN,
+                             "span_s": span, "per_step_s": per_step})
+
+
+def bench_evaluator(repeats: int) -> BenchResult:
+    """Vectorized evaluator over MMLU-Redux (two configurations)."""
+    from repro.evaluation.evaluator import Evaluator
+    from repro.generation.control import base_control, hard_budget
+    from repro.models.registry import get_model
+    from repro.workloads.mmlu_redux import mmlu_redux
+
+    benchmark = mmlu_redux(seed=0)
+    model = get_model("dsr1-llama-8b")
+    controls = (base_control(), hard_budget(1024))
+
+    def evaluate() -> None:
+        evaluator = Evaluator(benchmark, seed=0)
+        for control in controls:
+            evaluator.evaluate(model, control)
+
+    median, times = _median_time(evaluate, repeats)
+    return BenchResult("evaluator_mmlu_redux", "engine", median, times,
+                       meta={"model": "dsr1-llama-8b",
+                             "benchmark": "mmlu-redux",
+                             "configs": len(controls)})
+
+
+# ----------------------------------------------------------------------
+# driver / files / gate
+# ----------------------------------------------------------------------
+def run_benchmarks(repeats: int = 3,
+                   artifacts: tuple[str, ...] = PIPELINE_ARTIFACTS,
+                   jobs: int = 1, executor: str = "thread",
+                   only: Iterable[str] | None = None,
+                   log: Callable[[str], None] | None = None,
+                   ) -> list[BenchResult]:
+    """Run the perf workload suite; ``only`` filters by workload name."""
+    import tempfile
+
+    known = ("pipeline_cold_smoke", "pipeline_warm_smoke",
+             "serving_fixed_qps", "serving_span_speedup",
+             "evaluator_mmlu_redux")
+    selected = set(only) if only else None
+    if selected is not None:
+        unknown = selected.difference(known)
+        if unknown:
+            raise ValueError(
+                f"unknown perf workload(s) {sorted(unknown)}; "
+                f"choose from {list(known)}")
+
+    def wanted(name: str) -> bool:
+        return selected is None or name in selected
+
+    results: list[BenchResult] = []
+
+    def record(result: BenchResult) -> None:
+        results.append(result)
+        if log is not None:
+            log(f"{result.name:28s} {result.value:10.4f} {result.unit}")
+
+    if wanted("pipeline_cold_smoke"):
+        record(bench_pipeline_cold(repeats, artifacts, jobs, executor))
+    if wanted("pipeline_warm_smoke"):
+        with tempfile.TemporaryDirectory(prefix="repro-perf-") as scratch:
+            record(bench_pipeline_warm(repeats, artifacts, Path(scratch)))
+    if wanted("serving_fixed_qps"):
+        record(bench_serving(repeats))
+    if wanted("serving_span_speedup"):
+        record(bench_serving_span_speedup(repeats))
+    if wanted("evaluator_mmlu_redux"):
+        record(bench_evaluator(repeats))
+    return results
+
+
+def _environment() -> dict[str, Any]:
+    return {
+        "python": sys.version.split()[0],
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def write_bench_files(results: list[BenchResult],
+                      out_dir: str | Path = ".") -> dict[str, Path]:
+    """Write ``BENCH_pipeline.json`` / ``BENCH_engine.json``.
+
+    Only groups with at least one result are written, so a filtered run
+    never clobbers the other group's file with an empty shell.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: dict[str, Path] = {}
+    for group, filename in BENCH_FILES.items():
+        grouped = {r.name: r.to_record() for r in results
+                   if r.group == group}
+        if not grouped:
+            continue
+        path = out_dir / filename
+        payload = {"schema": 1, "environment": _environment(),
+                   "workloads": grouped}
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        written[group] = path
+    return written
+
+
+def load_baseline(baseline_dir: str | Path) -> dict[str, dict[str, Any]]:
+    """Workload name -> record, merged across both committed files."""
+    merged: dict[str, dict[str, Any]] = {}
+    for filename in BENCH_FILES.values():
+        path = Path(baseline_dir) / filename
+        if not path.is_file():
+            continue
+        payload = json.loads(path.read_text())
+        merged.update(payload.get("workloads", {}))
+    return merged
+
+
+def compare_to_baseline(results: list[BenchResult],
+                        baseline_dir: str | Path,
+                        threshold: float = DEFAULT_THRESHOLD,
+                        ) -> list[str]:
+    """Regression messages (empty = gate passes).
+
+    Absolute-time workloads fail when the current median exceeds the
+    baseline by more than ``threshold``; ratio workloads fail when they
+    drop below their recorded ``meta.min`` floor (hardware-independent,
+    so the floor gates even when the absolute baseline machine differs
+    from the runner).
+    """
+    baseline = load_baseline(baseline_dir)
+    problems: list[str] = []
+    for result in results:
+        base = baseline.get(result.name)
+        if result.unit == "x":
+            floor = result.meta.get("min")
+            if base is not None:
+                floor = max(filter(None, (
+                    floor, base.get("meta", {}).get("min"))), default=floor)
+            if floor is not None and result.value < floor:
+                problems.append(
+                    f"{result.name}: ratio {result.value:.2f}x fell below "
+                    f"the {floor:.2f}x floor")
+            continue
+        if base is None:
+            continue
+        limit = base["value"] * (1.0 + threshold) + ABSOLUTE_SLACK_S
+        if result.value > limit:
+            problems.append(
+                f"{result.name}: {result.value:.3f}s exceeds baseline "
+                f"{base['value']:.3f}s by more than "
+                f"{threshold:.0%} (limit {limit:.3f}s)")
+    return problems

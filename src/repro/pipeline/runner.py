@@ -32,9 +32,13 @@ The runner is crash-safe and self-healing:
 from __future__ import annotations
 
 import inspect
+import pickle
+import tempfile
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
+    ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Mapping
 
 from repro.core.persistence import CacheCorruptionError
@@ -194,6 +198,113 @@ def validate_artifact_kwargs(graph: DependencyGraph,
                 )
 
 
+#: Executor kinds accepted by :func:`run_pipeline`.
+EXECUTORS = ("thread", "process")
+
+
+def _assert_picklable(graph: DependencyGraph,
+                      extra_kwargs: Mapping[str, Any] | None,
+                      faults: Any) -> None:
+    """Fail fast, with a named culprit, before forking workers.
+
+    The process executor ships the graph (producer/artifact callables by
+    qualified name), the forwarded kwargs, and the fault injector to
+    worker processes; a closure or lambda registered as a producer would
+    otherwise die with an opaque pool error.
+    """
+    for label, value in (("graph", graph), ("extra_kwargs", extra_kwargs),
+                         ("faults", faults)):
+        try:
+            pickle.dumps(value)
+        except Exception as exc:
+            raise TypeError(
+                f"executor='process' requires picklable {label}: {exc}; "
+                f"register module-level callables (no lambdas/closures) "
+                f"or use executor='thread'") from exc
+
+
+def _warm_producer(graph: DependencyGraph, producer_id: str, seed: int,
+                   smoke: bool, cache_dir: str, retries: int,
+                   timeout_s: float | None, backoff_base_s: float,
+                   faults: Any) -> tuple[str, str | None, StoreStats,
+                                         SupervisorStats]:
+    """Worker-process entry: compute one producer into the disk cache.
+
+    Dependencies resolved recursively hit the shared sha256-checksummed
+    disk tier (the parent schedules in topological order, so they are
+    already persisted).  Errors never cross the process boundary as
+    exceptions — custom exception signatures may not unpickle — only as
+    a string digest; the parent's serial assembly re-raises them with
+    full fidelity through the normal supervisor path.
+    """
+    store = ArtifactStore(cache_dir, faults=faults)
+    supervisor = Supervisor(
+        SupervisorPolicy(retries=retries, timeout_s=timeout_s,
+                         backoff_base_s=backoff_base_s),
+        seed=seed, faults=faults)
+    error: str | None = None
+    try:
+        graph.resolve_producer(producer_id, store, seed, smoke, supervisor)
+    except BaseException as exc:
+        error = f"{type(exc).__name__}: {exc}"
+    return producer_id, error, store.stats, supervisor.stats
+
+
+def _producer_prepass(graph: DependencyGraph,
+                      artifact_ids: tuple[str, ...], seed: int, smoke: bool,
+                      cache_dir: Path, jobs: int, retries: int,
+                      timeout_s: float | None, backoff_base_s: float,
+                      faults: Any, store: ArtifactStore,
+                      supervisor: Supervisor) -> None:
+    """Compute every needed producer exactly once across a process pool.
+
+    Producers are submitted dependency-first: one is dispatched only
+    when its deps have finished (and are therefore on disk), so each
+    worker's recursive resolution is all disk hits.  Worker cache and
+    containment counters merge into the parent's ``store`` and
+    ``supervisor`` so reports (and the chaos recovery gate) see the real
+    compute.  A producer that fails in a worker is simply left
+    unwarmed — the parent's serial assembly recomputes it and applies
+    the normal retry/quarantine/fail-fast semantics.
+    """
+    deps: dict[str, set[str]] = {}
+    for artifact_id in artifact_ids:
+        for pid in graph.producer_closure(artifact_id):
+            if pid not in deps:
+                deps[pid] = set(graph.producers[pid].deps.values())
+    dependents: dict[str, list[str]] = {pid: [] for pid in deps}
+    for pid, requires in deps.items():
+        for dep in requires:
+            dependents[dep].append(pid)
+    waiting = {pid: set(requires) for pid, requires in deps.items()}
+    ready = sorted(pid for pid, requires in waiting.items() if not requires)
+    for pid in ready:
+        del waiting[pid]
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        def submit(pid: str):
+            return pool.submit(_warm_producer, graph, pid, seed, smoke,
+                               str(cache_dir), retries, timeout_s,
+                               backoff_base_s, faults)
+
+        in_flight = {submit(pid) for pid in ready}
+        while in_flight:
+            done, in_flight = wait(in_flight, return_when=FIRST_COMPLETED)
+            for future in done:
+                producer_id, _error, worker_store, worker_sup = (
+                    future.result())
+                store.merge_stats(worker_store)
+                supervisor.merge_stats(worker_sup)
+                for dependent in dependents[producer_id]:
+                    pending = waiting.get(dependent)
+                    if pending is None:
+                        continue
+                    pending.discard(producer_id)
+                    if not pending:
+                        del waiting[dependent]
+                        in_flight.add(submit(dependent))
+
+
 def run_pipeline(artifact_ids: tuple[str, ...] | None = None,
                  seed: int = 0,
                  jobs: int = 1,
@@ -208,12 +319,21 @@ def run_pipeline(artifact_ids: tuple[str, ...] | None = None,
                  faults: Any = None,
                  journal: RunJournal | None = None,
                  resume: bool = False,
+                 executor: str = "thread",
                  ) -> PipelineResult:
     """Run artifacts through the memoizing DAG pipeline.
 
     ``jobs > 1`` builds independent artifacts concurrently; results and
     ordering are identical at any job count.  ``smoke`` switches every
     producer to its small-size parameter set (separate cache keys).
+
+    ``executor`` selects the concurrency substrate for ``jobs > 1``:
+    ``"thread"`` (the default) shares one in-memory store across a
+    thread pool; ``"process"`` sidesteps the GIL by warming every
+    needed producer exactly once across a :class:`ProcessPoolExecutor`
+    (dependency-first, coordinated through the sha256-checksummed disk
+    cache tier), then assembling artifacts serially in the parent from
+    the warm cache — outputs are byte-identical to serial execution.
 
     Failure handling: each producer computes under a supervisor with
     ``retries`` extra attempts (seeded exponential backoff) and an
@@ -238,6 +358,9 @@ def run_pipeline(artifact_ids: tuple[str, ...] | None = None,
             raise KeyError(
                 f"unknown artifact {unknown[0]!r}; known: {known}")
     validate_artifact_kwargs(graph, artifact_ids, extra_kwargs or {})
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; choose from {EXECUTORS}")
     if resume and journal is None:
         raise ValueError("resume=True requires a journal")
     store = store if store is not None else ArtifactStore(faults=faults)
@@ -318,7 +441,37 @@ def run_pipeline(artifact_ids: tuple[str, ...] | None = None,
             supervisor_stats=supervisor.stats,
         )
 
-    if jobs == 1:
+    if jobs > 1 and executor == "process":
+        _assert_picklable(graph, extra_kwargs, faults)
+        temp_cache = None
+        if store.cache_dir is None:
+            # Workers coordinate through the disk tier; a run without a
+            # configured cache dir gets an ephemeral shared one.
+            temp_cache = tempfile.TemporaryDirectory(prefix="repro-cache-")
+            store.cache_dir = Path(temp_cache.name)
+        try:
+            _producer_prepass(
+                graph,
+                tuple(a for a in artifact_ids if a not in committed),
+                seed, smoke, store.cache_dir, jobs, retries, timeout_s,
+                backoff_base_s, faults, store, supervisor)
+            # Assemble artifacts serially in the parent: producer
+            # resolution is all warm-cache hits, journal/resume/failure
+            # semantics are exactly the serial path's.
+            for artifact_id in artifact_ids:
+                try:
+                    results[artifact_id] = build(artifact_id)
+                except Exception as exc:
+                    if not keep_going:
+                        if journal is not None:
+                            journal.record_run_end("failed")
+                        raise PipelineError(artifact_id, make_report(),
+                                            exc) from exc
+        finally:
+            if temp_cache is not None:
+                store.cache_dir = None
+                temp_cache.cleanup()
+    elif jobs == 1:
         for artifact_id in artifact_ids:
             try:
                 results[artifact_id] = build(artifact_id)

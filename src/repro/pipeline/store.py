@@ -98,6 +98,22 @@ class StoreStats:
     #: producer_id -> number of corrupt disk entries detected.
     corruptions_by_producer: dict[str, int] = field(default_factory=dict)
 
+    def merge(self, other: "StoreStats") -> None:
+        """Fold another run's counters in (e.g. a worker process's)."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.disk_hits += other.disk_hits
+        self.disk_corruptions += other.disk_corruptions
+        for target, source in (
+                (self.misses_by_producer, other.misses_by_producer),
+                (self.hits_by_producer, other.hits_by_producer),
+                (self.corruptions_by_producer, other.corruptions_by_producer)):
+            for producer, count in source.items():
+                target[producer] = target.get(producer, 0) + count
+        for producer, seconds in other.compute_seconds.items():
+            self.compute_seconds[producer] = (
+                self.compute_seconds.get(producer, 0.0) + seconds)
+
 
 class _Entry:
     """Per-key slot with its single-flight lock."""
@@ -232,6 +248,11 @@ class ArtifactStore:
                 corruptions_by_producer=dict(
                     self._stats.corruptions_by_producer),
             )
+
+    def merge_stats(self, other: StoreStats) -> None:
+        """Fold a worker process's counters into this store's stats."""
+        with self._master:
+            self._stats.merge(other)
 
     def clear_memory(self) -> None:
         """Drop the in-memory tier (disk survives); counters keep counting."""

@@ -169,6 +169,19 @@ class SupervisorStats:
     failed_producers: tuple[str, ...] = ()
     attempt_log: list[AttemptRecord] = field(default_factory=list)
 
+    def merge(self, other: "SupervisorStats") -> None:
+        """Fold another supervisor's counters in (e.g. a worker
+        process's); attempt logs concatenate in merge order."""
+        self.attempts += other.attempts
+        self.retries += other.retries
+        self.recovered += other.recovered
+        self.timeouts += other.timeouts
+        self.injected_faults += other.injected_faults
+        self.wasted_seconds += other.wasted_seconds
+        self.failed_producers = tuple(dict.fromkeys(
+            self.failed_producers + other.failed_producers))
+        self.attempt_log.extend(other.attempt_log)
+
 
 class Supervisor:
     """Retry/watchdog/quarantine wrapper around producer computations.
@@ -340,6 +353,11 @@ class Supervisor:
                 failed_producers=stats.failed_producers,
                 attempt_log=list(stats.attempt_log),
             )
+
+    def merge_stats(self, other: SupervisorStats) -> None:
+        """Fold a worker process's counters into this supervisor."""
+        with self._lock:
+            self._stats.merge(other)
 
     def failure_for(self, producer_id: str) -> ProducerFailure | None:
         """The quarantined failure for a producer, if any."""

@@ -163,3 +163,59 @@ class TestEngineConstruction:
                  / vllm.generate(request).total_seconds)
         # Table IX: 1.11-1.13x.
         assert 1.05 < ratio < 1.25
+
+
+class TestScheduledBatchVectorization:
+    """The scatter/prefix-sum live-prompt accumulation in _run_scheduled.
+
+    Heterogeneous prompts and staggered stop lengths must price each
+    decode step with the mean prompt of the sequences still live — the
+    vectorized np.add.at path is pinned against a naive per-step loop.
+    """
+
+    def _reference_mean_prompt(self, prompts, stops):
+        num_steps = int(max(stops))
+        means = np.zeros(num_steps)
+        for step in range(num_steps):
+            live = [p for p, s in zip(prompts, stops) if s > step]
+            if live:
+                means[step] = sum(live) / len(live)
+        return means
+
+    def test_live_prompt_mean_matches_naive_loop(self):
+        rng = np.random.default_rng(5)
+        prompts = rng.integers(16, 900, size=12).astype(np.float64)
+        stops = rng.integers(1, 200, size=12)
+        num_steps = int(stops.max())
+        from repro.engine.sampler import active_sequences_per_step
+        active = active_sequences_per_step(stops, num_steps)
+        delta = np.zeros(num_steps + 1)
+        delta[0] = prompts.sum()
+        np.add.at(delta, stops, -prompts)
+        live_prompt_sum = np.cumsum(delta[:-1])
+        mean_prompt = np.zeros(num_steps)
+        np.divide(live_prompt_sum, active, out=mean_prompt, where=active > 0)
+        reference = self._reference_mean_prompt(prompts, stops)
+        np.testing.assert_allclose(mean_prompt, reference, rtol=1e-12)
+
+    def test_duplicate_stop_lengths_accumulate(self):
+        # Two sequences exiting at the same step must both leave the
+        # live-prompt sum (np.add.at, not fancy-index assignment).
+        prompts = np.array([100.0, 300.0, 500.0])
+        stops = np.array([4, 4, 8])
+        num_steps = 8
+        delta = np.zeros(num_steps + 1)
+        delta[0] = prompts.sum()
+        np.add.at(delta, stops, -prompts)
+        live = np.cumsum(delta[:-1])
+        assert live[3] == 900.0
+        assert live[4] == 500.0
+
+    def test_heterogeneous_batch_run_executes(self, engine_1p5b):
+        requests = [GenerationRequest(i, prompt, output)
+                    for i, (prompt, output) in enumerate(
+                        [(32, 40), (512, 5), (512, 5), (900, 120)])]
+        report = engine_1p5b.run_batch(requests)
+        assert len(report.results) == 4
+        assert report.wallclock_seconds > 0
+        assert np.isfinite(report.total_energy_joules)

@@ -1,0 +1,106 @@
+"""Span pricing in the serving simulator must be invisible to results.
+
+``ServingSimulator`` prices multi-token decode spans between events in
+one vectorized kernel call; ``max_span_steps=1`` forces the original
+per-token stepping.  Every served-request tuple — finish times, TTFT,
+energy, preemption counts — must be bit-identical between the two, for
+every scheduling policy, under degradation timeouts, and under a paged
+KV cache tight enough to force preemptions mid-span.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.engine import InferenceEngine
+from repro.engine.kv_cache import KVCacheConfig, PagedKVCache
+from repro.engine.request import GenerationRequest
+from repro.engine.server import ServingSimulator
+from repro.faults.degradation import DegradationPolicy
+from repro.models.registry import get_model
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return InferenceEngine(get_model("dsr1-qwen-1.5b"))
+
+
+def _requests(count, output=96, prompt=120):
+    return [GenerationRequest(i, prompt, output) for i in range(count)]
+
+
+def _served_key(report):
+    return [(r.request_id, r.arrival_s, r.start_s, r.finish_s,
+             r.prompt_tokens, r.output_tokens, r.deadline_s, r.prefill_s,
+             r.attempts, r.degraded) for r in report.served]
+
+
+def _run_pair(engine, requests, arrivals, deadlines=None, **kwargs):
+    spans = ServingSimulator(engine, **kwargs).run(
+        requests, arrivals, deadlines)
+    steps = ServingSimulator(engine, max_span_steps=1, **kwargs).run(
+        requests, arrivals, deadlines)
+    return spans, steps
+
+
+class TestSpanEquivalence:
+    @pytest.mark.parametrize("policy", ["fcfs", "edf"])
+    def test_poisson_stream_bit_identical(self, engine, policy):
+        rng = np.random.default_rng(3)
+        n = 40
+        arrivals = np.cumsum(rng.exponential(0.5, size=n))
+        deadlines = (np.full(n, 30.0) if policy == "edf" else None)
+        spans, steps = _run_pair(engine, _requests(n), arrivals, deadlines,
+                                 max_batch_size=8, policy=policy)
+        assert _served_key(spans) == _served_key(steps)
+        assert spans.energy_joules == steps.energy_joules
+        assert spans.wallclock_s == steps.wallclock_s
+
+    def test_timeout_sweeps_identical(self, engine):
+        rng = np.random.default_rng(11)
+        n = 24
+        arrivals = np.cumsum(rng.exponential(0.3, size=n))
+        policy = DegradationPolicy(timeout_s=40.0, retry_on_timeout=True,
+                                   max_retries=2)
+        spans, steps = _run_pair(engine, _requests(n, output=192), arrivals,
+                                 max_batch_size=4, degradation=policy)
+        assert _served_key(spans) == _served_key(steps)
+        assert spans.timeouts == steps.timeouts
+        assert spans.retries == steps.retries
+
+    def test_kv_preemption_identical(self, engine):
+        model = get_model("dsr1-qwen-1.5b")
+        n = 16
+        worst = 120 + 192
+
+        def tight_cache():
+            return PagedKVCache(KVCacheConfig(
+                bytes_per_token=model.kv_bytes_per_token,
+                capacity_bytes=model.kv_bytes_per_token * worst * 8 // 4))
+
+        arrivals = np.zeros(n)
+        spans = ServingSimulator(engine, max_batch_size=8,
+                                 kv_cache=tight_cache()).run(
+            _requests(n, output=192), arrivals)
+        steps = ServingSimulator(engine, max_batch_size=8, max_span_steps=1,
+                                 kv_cache=tight_cache()).run(
+            _requests(n, output=192), arrivals)
+        assert spans.preemptions == steps.preemptions
+        assert spans.preemptions > 0
+        assert _served_key(spans) == _served_key(steps)
+
+    def test_span_cap_respected(self, engine):
+        # An explicit cap between 1 and unbounded also matches exactly.
+        arrivals = np.zeros(6)
+        capped = ServingSimulator(engine, max_batch_size=4,
+                                  max_span_steps=7).run(
+            _requests(6), arrivals)
+        steps = ServingSimulator(engine, max_batch_size=4,
+                                 max_span_steps=1).run(
+            _requests(6), arrivals)
+        assert _served_key(capped) == _served_key(steps)
+
+    def test_rejects_bad_span_cap(self, engine):
+        with pytest.raises(ValueError):
+            ServingSimulator(engine, max_span_steps=0)

@@ -1,0 +1,132 @@
+"""Property tests: closed-form decode span vs the per-step roofline sum.
+
+``KernelEngine.decode_span_seconds`` evaluates an N-token decode span in
+O(1) by splitting the span at the analytic memory/compute crossover and
+summing the memory-bound arithmetic series in closed form.  These tests
+pin it against the reference ``decode_step_times(...).sum()`` across a
+grid of models, prompts, span lengths, batch sizes, and Orin power
+modes — including spans constructed to straddle the roofline crossover,
+where an off-by-one in the compute-bound prefix length would show up.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.hardware.calibration import calibration_for_model
+from repro.hardware.kernels import KernelEngine
+from repro.hardware.memory import MemorySpec, MemorySystem
+from repro.hardware.soc import PowerMode, jetson_orin_agx_64gb
+from repro.models.registry import get_model
+
+MODELS = ("dsr1-qwen-1.5b", "dsr1-llama-8b", "dsr1-qwen-14b")
+INPUTS = (1, 32, 700, 4096)
+OUTPUTS = (1, 7, 256, 2048)
+BATCHES = (1, 2, 8, 16, 33)
+
+
+def _engine_for(model_name: str,
+                mode: PowerMode = PowerMode.MAXN) -> tuple:
+    soc = jetson_orin_agx_64gb().at_mode(mode)
+    memory = MemorySystem(MemorySpec(soc.dram_bandwidth, soc.l2_cache))
+    model = get_model(model_name)
+    profile = model.execution_profile()
+    calib = calibration_for_model(profile.calibration_key)
+    return KernelEngine(soc, memory, calib), profile
+
+
+class TestClosedFormMatchesStepSum:
+    @pytest.mark.parametrize("model_name", MODELS)
+    def test_grid_exact(self, model_name):
+        engine, profile = _engine_for(model_name)
+        for input_len in INPUTS:
+            for output_len in OUTPUTS:
+                for batch in BATCHES:
+                    reference = float(engine.decode_step_times(
+                        profile, input_len, output_len, batch).sum())
+                    closed = engine.decode_span_seconds(
+                        profile, input_len, output_len, batch)
+                    assert closed == pytest.approx(reference, rel=1e-12), (
+                        model_name, input_len, output_len, batch)
+
+    @pytest.mark.parametrize("mode", list(PowerMode))
+    def test_power_modes_exact(self, mode):
+        engine, profile = _engine_for("dsr1-llama-8b", mode)
+        for batch in (1, 8, 33):
+            reference = float(engine.decode_step_times(
+                profile, 512, 300, batch).sum())
+            closed = engine.decode_span_seconds(profile, 512, 300, batch)
+            assert closed == pytest.approx(reference, rel=1e-12)
+
+    @pytest.mark.parametrize("model_name", MODELS)
+    @pytest.mark.parametrize("batch", (256, 512, 1024))
+    def test_crossover_straddling_span(self, model_name, batch):
+        """Spans that start compute-bound and end memory-bound.
+
+        Large batch tilts the first steps compute-bound; the span is
+        centered on the analytic crossover so both regimes contribute.
+        """
+        engine, profile = _engine_for(model_name)
+        mem_const, kv_slope, compute_time, _ = engine._decode_span_terms(
+            profile, batch)
+        assert kv_slope > 0
+        crossover = (compute_time - mem_const) / kv_slope
+        if crossover < 1:
+            pytest.skip("span never compute-bound at this batch")
+        start = max(1, int(math.floor(crossover)) - 40)
+        span = 80
+        reference = float(engine.decode_step_times(
+            profile, start, span, batch).sum())
+        closed = engine.decode_span_seconds(profile, start, span, batch)
+        assert closed == pytest.approx(reference, rel=1e-12)
+        # The straddle is real: the first and last steps sit on
+        # different sides of the roofline.
+        steps = engine.decode_step_times(profile, start, span, batch)
+        _, _, _, overhead = engine._decode_span_terms(profile, batch)
+        first_ctx = start
+        last_ctx = start + span - 1
+        assert mem_const + kv_slope * first_ctx <= compute_time
+        assert mem_const + kv_slope * last_ctx > compute_time
+        assert steps[0] == pytest.approx(compute_time + overhead)
+
+    def test_decode_uses_closed_form_total(self, kernels_8b):
+        engine, profile = kernels_8b
+        total = engine.decode(profile, 512, 64)
+        assert total.seconds == pytest.approx(
+            engine.decode_span_seconds(profile, 512, 64), rel=1e-12)
+
+    def test_rejects_nonpositive_output_len(self, kernels_8b):
+        engine, profile = kernels_8b
+        with pytest.raises(ValueError):
+            engine.decode_span_seconds(profile, 512, 0)
+
+
+class TestAnalyticContextSlope:
+    @pytest.mark.parametrize("model_name", MODELS)
+    def test_matches_finite_difference(self, model_name):
+        engine, profile = _engine_for(model_name)
+        analytic = engine.decode_context_slope(profile)
+        contexts = np.array([500.0, 1500.0])
+        times = engine.decode_step_seconds(profile, contexts)
+        finite = float(times[1] - times[0]) / 1000.0
+        assert analytic == pytest.approx(finite, rel=1e-9)
+
+    def test_zero_when_compute_bound(self):
+        engine, profile = _engine_for("dsr1-qwen-1.5b")
+        # At a huge batch the tile-padded GEMM dominates short contexts:
+        # the slope at the reference context must collapse to zero.
+        mem_const, kv_slope, compute_time, _ = engine._decode_span_terms(
+            profile, 1024)
+        reference = 100
+        expected = (0.0 if mem_const + kv_slope * reference < compute_time
+                    else kv_slope)
+        assert engine.decode_context_slope(
+            profile, batch=1024, reference_context=reference) == expected
+
+    def test_slope_is_kv_term(self, kernels_8b):
+        engine, profile = kernels_8b
+        _, kv_slope, _, _ = engine._decode_span_terms(profile, 1)
+        assert engine.decode_context_slope(profile) == kv_slope

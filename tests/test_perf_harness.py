@@ -1,0 +1,120 @@
+"""Tests for the perf-regression harness behind ``repro perf``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.harness import (
+    BENCH_FILES,
+    BenchResult,
+    compare_to_baseline,
+    load_baseline,
+    run_benchmarks,
+    write_bench_files,
+)
+
+
+def _result(name="serving_fixed_qps", group="engine", value=1.0,
+            unit="s", meta=None):
+    return BenchResult(name=name, group=group, value=value,
+                       repeats=(value,), unit=unit, meta=meta or {})
+
+
+class TestBenchFiles:
+    def test_round_trip(self, tmp_path):
+        results = [
+            _result("pipeline_cold_smoke", "pipeline", 2.5),
+            _result("serving_fixed_qps", "engine", 0.03),
+            _result("serving_span_speedup", "engine", 12.0, unit="x",
+                    meta={"min": 3.0}),
+        ]
+        written = write_bench_files(results, tmp_path)
+        assert set(written) == {"pipeline", "engine"}
+        merged = load_baseline(tmp_path)
+        assert merged["pipeline_cold_smoke"]["value"] == 2.5
+        assert merged["serving_span_speedup"]["unit"] == "x"
+        assert merged["serving_span_speedup"]["meta"]["min"] == 3.0
+
+    def test_filtered_run_keeps_other_group_file(self, tmp_path):
+        # A pipeline-only rerun must not clobber BENCH_engine.json.
+        write_bench_files([_result("serving_fixed_qps", "engine", 0.03)],
+                          tmp_path)
+        write_bench_files([_result("pipeline_cold_smoke", "pipeline", 2.0)],
+                          tmp_path)
+        assert (tmp_path / BENCH_FILES["engine"]).is_file()
+        assert (tmp_path / BENCH_FILES["pipeline"]).is_file()
+
+    def test_payload_schema(self, tmp_path):
+        write_bench_files([_result()], tmp_path)
+        payload = json.loads((tmp_path / BENCH_FILES["engine"]).read_text())
+        assert payload["schema"] == 1
+        assert "python" in payload["environment"]
+        assert "serving_fixed_qps" in payload["workloads"]
+
+
+class TestBaselineGate:
+    def test_passes_within_threshold(self, tmp_path):
+        write_bench_files([_result(value=1.0)], tmp_path)
+        assert compare_to_baseline([_result(value=1.2)], tmp_path,
+                                   threshold=0.25) == []
+
+    def test_fails_beyond_threshold(self, tmp_path):
+        write_bench_files([_result(value=1.0)], tmp_path)
+        problems = compare_to_baseline([_result(value=1.5)], tmp_path,
+                                       threshold=0.25)
+        assert len(problems) == 1
+        assert "serving_fixed_qps" in problems[0]
+
+    def test_micro_workload_jitter_tolerated(self, tmp_path):
+        # Sub-millisecond workloads get absolute slack on top of the
+        # fractional threshold, so scheduler noise cannot flap the gate.
+        write_bench_files([_result(value=0.0009)], tmp_path)
+        assert compare_to_baseline([_result(value=0.003)], tmp_path) == []
+
+    def test_missing_baseline_passes(self, tmp_path):
+        assert compare_to_baseline([_result(value=99.0)], tmp_path) == []
+
+    def test_ratio_floor_from_result_meta(self, tmp_path):
+        ratio = _result("serving_span_speedup", value=2.0, unit="x",
+                        meta={"min": 3.0})
+        problems = compare_to_baseline([ratio], tmp_path)
+        assert len(problems) == 1
+        assert "floor" in problems[0]
+
+    def test_ratio_floor_takes_max_with_baseline(self, tmp_path):
+        write_bench_files([_result("serving_span_speedup", value=12.0,
+                                   unit="x", meta={"min": 5.0})], tmp_path)
+        current = _result("serving_span_speedup", value=4.0, unit="x",
+                          meta={"min": 3.0})
+        problems = compare_to_baseline([current], tmp_path)
+        assert len(problems) == 1
+        assert "5.00x floor" in problems[0]
+
+    def test_ratio_above_floor_passes(self, tmp_path):
+        ratio = _result("serving_span_speedup", value=10.0, unit="x",
+                        meta={"min": 3.0})
+        assert compare_to_baseline([ratio], tmp_path) == []
+
+
+class TestRunBenchmarks:
+    def test_only_filter_runs_one_workload(self):
+        lines = []
+        results = run_benchmarks(repeats=1, only=("evaluator_mmlu_redux",),
+                                 log=lines.append)
+        assert [r.name for r in results] == ["evaluator_mmlu_redux"]
+        assert results[0].value > 0
+        assert len(lines) == 1
+
+    def test_unknown_workload_rejected(self):
+        # A typo'd --only must not pass the CI gate vacuously.
+        with pytest.raises(ValueError, match="unknown perf workload"):
+            run_benchmarks(repeats=1, only=("nonsense",))
+
+    def test_serving_speedup_meets_floor(self):
+        results = run_benchmarks(repeats=1, only=("serving_span_speedup",))
+        (ratio,) = results
+        assert ratio.unit == "x"
+        # The perf_opt acceptance gate: span pricing >= 3x per-token.
+        assert ratio.value >= ratio.meta["min"] == 3.0
