@@ -6,7 +6,7 @@
 PYTHON ?= python
 OUTPUT ?= outputs
 
-.PHONY: setup test bench chaos chaos-pipeline perf perf-baseline reproduce reproduce-fast examples fidelity takeaways clean
+.PHONY: setup test lint bench chaos chaos-pipeline chaos-fleet perf perf-baseline reproduce reproduce-fast examples fidelity takeaways clean
 
 ## Install the package in editable mode (legacy path works offline).
 setup:
@@ -15,6 +15,10 @@ setup:
 ## Run the full test suite.
 test:
 	$(PYTHON) -m pytest tests/
+
+## Static checks (style, imports, bugbear) over src/ and tests/.
+lint:
+	$(PYTHON) -m ruff check src tests
 
 ## Regenerate every paper table and figure, timed.
 bench:
@@ -38,6 +42,13 @@ chaos:
 ## byte-identical outputs.
 chaos-pipeline:
 	PYTHONPATH=src $(PYTHON) -m repro chaos --pipeline --seed 0
+
+## Fleet chaos: kill 2 of 4 devices mid-run under seeded faults; exits
+## nonzero unless every request reached a terminal outcome, the kills
+## actually fired, and a rerun reproduced the report byte-for-byte.
+chaos-fleet:
+	$(PYTHON) -m pytest tests/test_fleet_chaos.py
+	PYTHONPATH=src $(PYTHON) -m repro chaos --fleet --seed 0
 
 ## Perf-regression harness: time the representative workloads, write
 ## BENCH_pipeline.json / BENCH_engine.json, and fail on >25% regression

@@ -265,9 +265,51 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Run one fleet simulation and print the fleet report."""
+    import numpy as np
+
+    from repro.fleet import FleetGateway, build_fleet, poisson_stream
+
+    fleet = build_fleet(args.devices, mix=args.mix, model=args.model,
+                        prefix_cache_mb=args.prefix_cache_mb)
+    gateway = FleetGateway(fleet, policy=args.policy)
+    stream = poisson_stream(
+        np.random.default_rng(args.seed), args.qps, args.requests,
+        deadline_s=args.deadline, sessions=args.sessions,
+        prefix_tokens=args.prefix_tokens)
+    report = gateway.run(stream)
+    if args.json:
+        print(report.to_json())
+        return 0 if report.lost == 0 else 1
+    print(f"fleet      {args.devices}x {args.mix} ({args.model}), "
+          f"policy {args.policy}")
+    print(f"offered    {report.offered} requests at {args.qps:g} QPS "
+          f"(seed {args.seed})")
+    print(f"completed  {report.completed}  shed {report.shed}  "
+          f"failed {report.failed}  lost {report.lost}")
+    if args.deadline is not None:
+        print(f"SLO        {report.deadline_hit_rate * 100:.1f}% within "
+              f"{args.deadline:g} s")
+    print(f"latency    p50 {report.latency_percentile(50):.2f} s, "
+          f"p95 {report.latency_percentile(95):.2f} s")
+    print(f"throughput {report.tokens_per_second:.1f} tok/s over "
+          f"{report.wallclock_s:.1f} s makespan")
+    print(f"energy     {report.energy_joules:.0f} J "
+          f"({report.energy_per_request_j:.1f} J/request)")
+    print(f"cost       ${report.cost_per_mtok():.4f} / 1M tokens")
+    for device in report.devices:
+        print(f"  {device.name}  {device.power_mode:>4}  "
+              f"completed {device.report.completed:3d}  "
+              f"energy {device.report.energy_joules:7.1f} J")
+    return 0 if report.lost == 0 else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.pipeline:
         return _cmd_chaos_pipeline(args)
+    if args.fleet:
+        return _cmd_chaos_fleet(args)
     from repro.experiments.resilience import resilience_table, run_chaos_study
 
     points = run_chaos_study(
@@ -309,6 +351,31 @@ def _cmd_chaos_pipeline(args: argparse.Namespace) -> int:
               "byte-identical, resume recomputed only uncommitted work)")
         return 0
     print("recovery gate: FAIL", file=sys.stderr)
+    return 1
+
+
+def _cmd_chaos_fleet(args: argparse.Namespace) -> int:
+    """Kill K of N fleet devices mid-run (``chaos --fleet``)."""
+    from repro.experiments.resilience import (
+        fleet_chaos_table,
+        run_fleet_chaos_study,
+    )
+
+    result = run_fleet_chaos_study(
+        devices=args.devices,
+        kill=args.kill,
+        qps=args.qps,
+        num_requests=args.requests,
+        deadline_s=args.deadline,
+        seed=args.seed,
+    )
+    print(fleet_chaos_table(result).to_text())
+    print()
+    if result.recovery_ok:
+        print("fleet recovery gate: PASS (no lost requests, kills "
+              "delivered, rerun byte-identical)")
+        return 0
+    print("fleet recovery gate: FAIL", file=sys.stderr)
     return 1
 
 
@@ -474,7 +541,47 @@ def build_parser() -> argparse.ArgumentParser:
                        default="thread",
                        help="pipeline executor under chaos "
                             "(--pipeline only; default thread)")
+    chaos.add_argument("--fleet", action="store_true",
+                       help="kill --kill of --devices fleet devices "
+                            "mid-run and gate on zero lost requests and "
+                            "a byte-identical rerun")
+    chaos.add_argument("--devices", type=int, default=4,
+                       help="fleet size (--fleet only; default 4)")
+    chaos.add_argument("--kill", type=int, default=2,
+                       help="device crashes to schedule "
+                            "(--fleet only; default 2)")
     chaos.set_defaults(func=_cmd_chaos)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="simulate a multi-device fleet behind a routing gateway")
+    fleet.add_argument("--devices", type=int, default=4,
+                       help="number of edge devices (default 4)")
+    fleet.add_argument("--mix", default="balanced",
+                       help="power-mode mix: maxn, balanced, or "
+                            "efficiency (default balanced)")
+    fleet.add_argument("--model", default="dsr1-qwen-1.5b")
+    fleet.add_argument("--policy", default="latency-aware",
+                       help="routing policy: round-robin, "
+                            "least-outstanding, latency-aware, "
+                            "energy-aware, or prefix-affinity")
+    fleet.add_argument("--qps", type=float, default=8.0,
+                       help="offered Poisson load (default 8)")
+    fleet.add_argument("--requests", type=int, default=64,
+                       help="requests in the stream (default 64)")
+    fleet.add_argument("--deadline", type=float, default=None,
+                       help="per-request deadline in seconds")
+    fleet.add_argument("--prefix-cache-mb", type=float, default=0.0,
+                       help="per-device prefix cache capacity (MB)")
+    fleet.add_argument("--sessions", type=int, default=0,
+                       help="sticky sessions sharing prompt prefixes")
+    fleet.add_argument("--prefix-tokens", type=int, default=96,
+                       help="shared prefix length per session "
+                            "(with --sessions)")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--json", action="store_true",
+                       help="print the canonical FleetReport JSON")
+    fleet.set_defaults(func=_cmd_fleet)
 
     perf = sub.add_parser(
         "perf",

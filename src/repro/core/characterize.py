@@ -9,7 +9,7 @@ exactly as in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -26,11 +26,7 @@ from repro.core.fitting import (
     fit_piecewise_log_power,
     fit_prefill_latency,
 )
-from repro.core.latency_model import (
-    DecodeLatencyModel,
-    PrefillLatencyModel,
-    TotalLatencyModel,
-)
+from repro.core.latency_model import TotalLatencyModel
 from repro.core.power_model import PiecewiseLogPowerModel
 from repro.engine.engine import EngineConfig, InferenceEngine
 from repro.engine.request import GenerationRequest

@@ -22,7 +22,6 @@ import numpy as np
 
 from repro.core.latency_model import TotalLatencyModel
 from repro.engine.engine import InferenceEngine
-from repro.engine.request import GenerationRequest
 from repro.generation.reasoning import ANSWER_SEGMENT_TOKENS
 
 

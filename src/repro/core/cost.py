@@ -62,6 +62,23 @@ class CostModel:
         total = self.cost_usd(energy_joules, wallclock_seconds) / self.serving_batch
         return total / tokens * 1e6
 
+    def fleet_cost_per_million_tokens(self, energy_joules: float,
+                                      device_seconds: float,
+                                      tokens: float) -> float:
+        """$/1M tokens for a multi-device fleet run.
+
+        ``device_seconds`` is the *summed* per-device occupancy (N
+        devices running for T seconds cost N*T device-hours), and no
+        ``serving_batch`` discount applies — a fleet simulation's
+        measured concurrency already amortizes both energy and hardware
+        across the requests actually served.
+        """
+        if tokens <= 0:
+            raise ValueError("tokens must be positive")
+        total = (self.energy_cost_usd(energy_joules)
+                 + self.hardware_cost_usd(device_seconds))
+        return total / tokens * 1e6
+
 
 @dataclass(frozen=True)
 class CloudPricing:

@@ -340,3 +340,86 @@ def build_planner(model_names: tuple[str, ...] = DEFAULT_PLANNER_MODELS,
                 latency=characterization.latency,
             ))
     return DeploymentPlanner(candidates, budget_aware)
+
+
+# ----------------------------------------------------------------------
+# fleet planning: device count x mix x routing policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FleetPlanPoint:
+    """One simulated fleet configuration's operating point."""
+
+    devices: int
+    mix: str
+    policy: str
+    qps: float
+    offered: int
+    completed: int
+    attainment: float
+    p95_latency_s: float
+    tokens_per_second: float
+    energy_per_request_j: float
+    usd_per_mtok: float
+
+    @property
+    def label(self) -> str:
+        """Display label, e.g. ``4x balanced / latency-aware``."""
+        return f"{self.devices}x {self.mix} / {self.policy}"
+
+
+#: The default fleet planning sweep (kept small: each cell is one full
+#: fleet simulation).
+DEFAULT_FLEET_COUNTS = (2, 4)
+DEFAULT_FLEET_MIXES = ("maxn", "balanced", "efficiency")
+DEFAULT_FLEET_POLICIES = ("round-robin", "latency-aware", "energy-aware")
+
+
+def plan_fleet(device_counts: tuple[int, ...] = DEFAULT_FLEET_COUNTS,
+               mixes: tuple[str, ...] = DEFAULT_FLEET_MIXES,
+               policies: tuple[str, ...] = DEFAULT_FLEET_POLICIES,
+               qps: float = 6.0,
+               num_requests: int = 48,
+               deadline_s: float = 30.0,
+               model: str = "dsr1-qwen-1.5b",
+               seed: int = 0) -> list[FleetPlanPoint]:
+    """Sweep device count x mix x routing policy over one offered load.
+
+    Every cell serves the *identical* seeded Poisson stream through a
+    fresh fleet, so the points differ only in fleet configuration — the
+    fleet-level analogue of the Section V configuration grid.
+    """
+    from repro.fleet import FleetGateway, build_fleet, poisson_stream
+
+    points: list[FleetPlanPoint] = []
+    for count in device_counts:
+        for mix in mixes:
+            for policy in policies:
+                fleet = build_fleet(count, mix=mix, model=model)
+                gateway = FleetGateway(fleet, policy=policy)
+                stream = poisson_stream(
+                    np.random.default_rng(seed), qps, num_requests,
+                    deadline_s=deadline_s)
+                report = gateway.run(stream)
+                points.append(FleetPlanPoint(
+                    devices=count,
+                    mix=mix,
+                    policy=policy,
+                    qps=qps,
+                    offered=report.offered,
+                    completed=report.completed,
+                    attainment=report.deadline_hit_rate,
+                    p95_latency_s=report.latency_percentile(95),
+                    tokens_per_second=report.tokens_per_second,
+                    energy_per_request_j=report.energy_per_request_j,
+                    usd_per_mtok=report.cost_per_mtok(),
+                ))
+    return points
+
+
+def fleet_pareto(points: list[FleetPlanPoint]) -> list[FleetPlanPoint]:
+    """The cost/attainment Pareto frontier over fleet plan points."""
+    from repro.core.pareto import pareto_frontier
+
+    return pareto_frontier(points,
+                           cost=lambda p: p.usd_per_mtok,
+                           value=lambda p: p.attainment)

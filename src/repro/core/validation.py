@@ -86,7 +86,8 @@ def measure_held_out(engine: InferenceEngine, input_lens: np.ndarray,
             prompt_tokens=int(inputs[index]),
             natural_length=int(outputs[index]),
         ))
-        jitter = rng.normal(1.0, timing_noise_std, size=2) if timing_noise_std > 0 else (1.0, 1.0)
+        jitter = (rng.normal(1.0, timing_noise_std, size=2)
+                  if timing_noise_std > 0 else (1.0, 1.0))
         prefill_s[index] = result.energy.prefill_seconds * jitter[0]
         decode_s[index] = result.energy.decode_seconds * jitter[1]
         prefill_e[index] = result.energy.prefill_energy_joules * jitter[0]

@@ -14,14 +14,23 @@ from repro.engine.kv_cache import KVCacheConfig, PagedKVCache
 from repro.engine.request import GenerationRequest, GenerationResult, SequenceResult
 from repro.engine.sampler import SamplingParams
 from repro.engine.scheduler import BatchScheduler, ScheduledBatch
-from repro.engine.prefix_cache import PrefixCache, prefill_with_prefix, prefix_caching_speedup
+from repro.engine.prefix_cache import (
+    PrefixCache,
+    prefill_with_prefix,
+    prefix_caching_speedup,
+)
 from repro.engine.server import (
     ResilienceReport,
     ServedRequest,
     ServingReport,
     ServingSimulator,
 )
-from repro.engine.streaming import StreamingMetrics, TokenEvent, stream, streaming_metrics
+from repro.engine.streaming import (
+    StreamingMetrics,
+    TokenEvent,
+    stream,
+    streaming_metrics,
+)
 
 __all__ = [
     "BatchScheduler",

@@ -16,7 +16,7 @@ paper's measurement setup:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -30,7 +30,11 @@ from repro.hardware.kernels import KernelEngine
 from repro.hardware.memory import MemorySpec, MemorySystem
 from repro.hardware.power import PowerModel
 from repro.hardware.soc import SocSpec, jetson_orin_agx_64gb
-from repro.hardware.telemetry import TelemetryRecorder, UtilizationSample, CPU_BUSY_DURING_INFERENCE
+from repro.hardware.telemetry import (
+    CPU_BUSY_DURING_INFERENCE,
+    TelemetryRecorder,
+    UtilizationSample,
+)
 from repro.models.config import TransformerConfig
 
 
@@ -141,7 +145,8 @@ class InferenceEngine:
             for seq_id in seq_ids:
                 self.kv_cache.release_sequence(seq_id)
 
-        naturals = request.sample_natural_lengths or (request.natural_length,) * request.n
+        naturals = (request.sample_natural_lengths
+                    or (request.natural_length,) * request.n)
         sequences = tuple(
             SequenceResult(output_tokens=stop, truncated=stop < natural)
             for stop, natural in zip(stop_lengths, naturals)

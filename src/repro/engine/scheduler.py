@@ -11,7 +11,7 @@ finish (continuous batching) when enabled.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.engine.kv_cache import PagedKVCache
 from repro.engine.request import GenerationRequest

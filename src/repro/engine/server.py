@@ -34,6 +34,7 @@ faults configured the extra counters are simply zero.
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -134,14 +135,26 @@ class ServingReport:
         return self.total_output_tokens / self.wallclock_s
 
     def latency_percentile(self, q: float) -> float:
-        """End-to-end latency percentile (q in [0, 100])."""
+        """End-to-end latency percentile (q in [0, 100]).
+
+        ``nan`` when nothing completed: a run that shed every request
+        has no latency distribution, and a 0.0 placeholder would read as
+        an (impossibly good) measurement.
+        """
         if not self.served:
-            return 0.0
+            return float("nan")
         return float(np.percentile([r.latency_s for r in self.served], q))
 
     @property
     def deadline_hit_rate(self) -> float:
-        """Fraction of deadline-carrying requests served on time."""
+        """Fraction of deadline-carrying requests served on time.
+
+        Vacuously 1.0 when requests completed but none carried a
+        deadline; ``nan`` when nothing completed at all (an all-shed run
+        has no evidence either way).
+        """
+        if not self.served:
+            return float("nan")
         with_deadlines = [r for r in self.served if r.deadline_s is not None]
         if not with_deadlines:
             return 1.0
@@ -206,11 +219,17 @@ class ResilienceReport(ServingReport):
 
     @property
     def deadline_hit_rate(self) -> float:
-        """On-time completions over all offered deadline-carrying requests."""
+        """On-time completions over all offered deadline-carrying requests.
+
+        ``nan`` when the run completed nothing and no deadline-carrying
+        request was lost either — e.g. every request shed before
+        admission on a deadline-free stream — since there is no
+        population to score.
+        """
         with_deadlines = [r for r in self.served if r.deadline_s is not None]
         denominator = len(with_deadlines) + self.unserved_with_deadline
         if denominator == 0:
-            return 1.0
+            return 1.0 if self.served else float("nan")
         hits = sum(bool(r.met_deadline) for r in with_deadlines)
         return hits / denominator
 
@@ -364,20 +383,24 @@ class _ServingRun:
 
     Requests are promoted from ``pending`` to ``ready`` lazily as the
     clock passes their ready time.
+
+    A run can also be driven *incrementally* (the fleet gateway's mode):
+    construct with no requests, :meth:`inject` work as it is routed,
+    interleave :meth:`run_until` calls up to successive event horizons,
+    :meth:`evacuate` survivors on a device crash, and read
+    :meth:`report` at the end.  The batch :meth:`execute` path is the
+    same machinery with the horizon at infinity.
     """
 
     def __init__(self, sim: ServingSimulator,
-                 requests: list[GenerationRequest],
-                 arrival_times: np.ndarray,
-                 deadlines: np.ndarray | None):
+                 requests: list[GenerationRequest] | None = None,
+                 arrival_times: np.ndarray | None = None,
+                 deadlines: np.ndarray | None = None):
         self.sim = sim
         self.engine = sim.engine
         self.kv = sim.kv_cache
         self.faults = sim.faults
         self.degradation = sim.degradation
-        self.requests = requests
-        self.arrivals = arrival_times
-        self.deadlines = deadlines
         if sim.thermal_config is not None:
             from repro.hardware.thermal import ThermalModel
             self.thermal: "ThermalModel | None" = ThermalModel(sim.thermal_config)
@@ -390,22 +413,44 @@ class _ServingRun:
         self.live: list[_LiveSequence] = []
         self.served: list[ServedRequest] = []
         self.counters = _Counters()
-        self.states = {
-            i: _RequestState(
-                index=i,
-                first_arrival_s=float(arrival_times[i]),
-                deadline_s=(float(deadlines[i]) if deadlines is not None
-                            else None),
-            )
-            for i in range(len(requests))
-        }
+        self.requests: dict[int, GenerationRequest] = {}
+        self.states: dict[int, _RequestState] = {}
+        self._next_index = 0
         self._push_seq = 0
+        self._horizon = math.inf
         self.pending: list[tuple[float, int, int]] = []
         self.ready: list[tuple[float, int, int]] = []
-        for i in range(len(requests)):
-            self._push_pending(float(arrival_times[i]), i)
+        if requests is not None:
+            for i in range(len(requests)):
+                self.inject(
+                    requests[i], float(arrival_times[i]),
+                    deadline_s=(float(deadlines[i]) if deadlines is not None
+                                else None))
         self._pressure_blocks = 0
         self._my_kv_ids: set[int] = set()
+
+    # -- incremental driving (fleet gateway seam) ----------------------
+    def inject(self, request: GenerationRequest, arrival_s: float,
+               deadline_s: float | None = None,
+               ready_s: float | None = None) -> int:
+        """Hand one request to this run; returns its run-local index.
+
+        ``arrival_s`` is the request's *original* arrival (latency and
+        EDF urgency account from here); ``ready_s`` is when this run may
+        first admit it — later than the arrival for work re-routed after
+        a device crash (re-route time plus any backoff).
+        """
+        index = self._next_index
+        self._next_index += 1
+        self.requests[index] = request
+        self.states[index] = _RequestState(
+            index=index,
+            first_arrival_s=float(arrival_s),
+            deadline_s=deadline_s,
+        )
+        self._push_pending(float(arrival_s if ready_s is None else ready_s),
+                           index)
+        return index
 
     # -- scheduling ----------------------------------------------------
     def _push_pending(self, ready_s: float, index: int) -> None:
@@ -415,6 +460,10 @@ class _ServingRun:
     def _ready_key(self, index: int) -> float:
         state = self.states[index]
         if self.sim.policy == "edf":
+            # Injected streams may mix deadline-free work into an EDF
+            # queue; no deadline means no urgency (sorts last).
+            if state.deadline_s is None:
+                return math.inf
             return state.first_arrival_s + float(state.deadline_s)
         return state.first_arrival_s
 
@@ -620,11 +669,9 @@ class _ServingRun:
             self.counters.resumes += 1
 
         # Batch-1 prefill: stalls the live decode batch (attributed).
-        stats = self.engine.kernels.prefill(self.engine.profile,
-                                            request.prompt_tokens)
-        power = self.engine.power.prefill_power(request.prompt_tokens)
+        base_seconds, power = self._prefill_cost(request)
         start_s = self.now
-        effective = self._spend(stats.seconds, power)
+        effective = self._spend(base_seconds, power)
         self.prefill_stall_s += effective * len(self.live)
 
         # Transient engine failure on this attempt (fault schedule).
@@ -650,6 +697,17 @@ class _ServingRun:
             attempt=state.attempts,
         ))
         return True
+
+    def _prefill_cost(self, request: GenerationRequest) -> tuple[float, float]:
+        """(base seconds, watts) of this request's batch-1 prefill.
+
+        The seam subclasses override for prefix-cache-aware admission:
+        a warm prefix prefills only the unshared suffix.
+        """
+        stats = self.engine.kernels.prefill(self.engine.profile,
+                                            request.prompt_tokens)
+        power = self.engine.power.prefill_power(request.prompt_tokens)
+        return stats.seconds, power
 
     # -- epochs --------------------------------------------------------
     def _sweep_timeouts(self) -> None:
@@ -759,7 +817,9 @@ class _ServingRun:
 
         # An arrival can only trigger admission while a slot is free; a
         # timeout sweep fires once the clock strictly passes the oldest
-        # live sequence's deadline.
+        # live sequence's deadline.  An incremental run additionally
+        # stops at its horizon: events past it (gateway injections,
+        # crashes) are not known yet.
         next_ready = (self.pending[0][0]
                       if self.pending and batch < self.sim.max_batch_size
                       else None)
@@ -774,6 +834,8 @@ class _ServingRun:
                 if next_ready is not None and self.now >= next_ready:
                     break
                 if timeout_at is not None and self.now > timeout_at:
+                    break
+                if self.now >= self._horizon:
                     break
             self._spend(float(base[j]), float(power[j]))
             taken += 1
@@ -807,11 +869,14 @@ class _ServingRun:
                     return False
                 self._preempt(victim)
 
-    def _advance_idle(self) -> bool:
+    def _advance_idle(self) -> str:
         """No live batch: jump to the next arrival or fault boundary.
 
-        Returns False when nothing can ever unblock the head request, in
-        which case the caller must shed it to guarantee progress.
+        Returns ``"advanced"`` after moving the clock, ``"parked"`` when
+        the next unblocking event lies at or beyond the run's horizon
+        (an incremental run waits for its driver there), and ``"stuck"``
+        when nothing can ever unblock the head request — the caller must
+        shed it to guarantee progress.
         """
         targets = []
         if self.pending:
@@ -821,9 +886,12 @@ class _ServingRun:
             if boundary is not None:
                 targets.append(boundary)
         if targets:
-            self.now = max(self.now, min(targets))
-            return True
-        return not self.ready
+            target = min(targets)
+            if target >= self._horizon:
+                return "parked"
+            self.now = max(self.now, target)
+            return "advanced"
+        return "stuck" if self.ready else "parked"
 
     def _shed_unservable_head(self) -> None:
         """Drop a request that cannot fit the KV cache even when idle."""
@@ -834,36 +902,92 @@ class _ServingRun:
         self._record_unserved(self.states[index])
 
     # -- main loop -----------------------------------------------------
-    def execute(self) -> ResilienceReport:
+    def run_until(self, horizon: float) -> None:
+        """Advance the run until ``horizon`` (or until out of work).
+
+        Events strictly before the horizon are processed; an epoch
+        started before it may finish past it (epochs are atomic), but no
+        *new* work starts at or after the horizon, and an idle run never
+        jumps its clock across it — the driver may still inject earlier
+        work.
+        """
+        self._horizon = horizon
         try:
             while self.pending or self.ready or self.live:
+                if self.now >= horizon:
+                    break
                 self._apply_kv_pressure()
                 self._promote()
                 while (len(self.live) < self.sim.max_batch_size
                        and self._try_admit_one()):
                     pass
                 if not self.live:
-                    if self.pending or self.ready:
-                        if not self._advance_idle():
-                            self._shed_unservable_head()
+                    if not (self.pending or self.ready):
+                        break
+                    status = self._advance_idle()
+                    if status == "stuck":
+                        self._shed_unservable_head()
+                    elif status == "parked":
+                        break
                     continue
                 self._sweep_timeouts()
                 if not self.live:
                     continue
                 self._decode_epoch()
+        finally:
+            self._horizon = math.inf
+
+    def drain(self) -> None:
+        """Run every remaining event to completion."""
+        self.run_until(math.inf)
+
+    def release(self) -> None:
+        """Return every held KV resource (shared caches come back clean)."""
+        for kv_id in list(self._my_kv_ids):
+            self.kv.release_sequence(kv_id)
+        self._my_kv_ids.clear()
+        if self._pressure_blocks:
+            self.kv.release_reserved(self._pressure_blocks)
+            self._pressure_blocks = 0
+
+    def evacuate(self) -> list[tuple[GenerationRequest, _RequestState]]:
+        """Crash this run: strip all in-flight and queued work.
+
+        Live sequences lose their KV and partial decode; queued requests
+        are dequeued.  Everything comes back as (request, state) pairs in
+        run-injection order so a fleet gateway can re-route them with
+        their original arrival and deadline accounting intact.  Served
+        requests and counters stay — the device's report remains honest
+        about what it did before dying.
+        """
+        survivors: list[int] = []
+        for seq in list(self.live):
+            self.live.remove(seq)
+            self._release_kv(seq)
+            survivors.append(seq.index)
+        for heap in (self.ready, self.pending):
+            while heap:
+                survivors.append(heapq.heappop(heap)[2])
+        return [(self.requests[index], self.states[index])
+                for index in sorted(survivors)]
+
+    def execute(self) -> ResilienceReport:
+        try:
+            self.drain()
             return self._report()
         finally:
             # A shared engine cache must come back clean, even on error.
-            for kv_id in list(self._my_kv_ids):
-                self.kv.release_sequence(kv_id)
-            self._my_kv_ids.clear()
-            if self._pressure_blocks:
-                self.kv.release_reserved(self._pressure_blocks)
-                self._pressure_blocks = 0
+            self.release()
+
+    def report(self) -> ResilienceReport:
+        """The run's report so far (an incremental driver reads this
+        after draining; :meth:`execute` wraps it with cleanup)."""
+        return self._report()
 
     def _report(self) -> ResilienceReport:
-        n = len(self.requests)
-        span = float(self.arrivals.max()) if n else 0.0
+        n = len(self.states)
+        span = (max(s.first_arrival_s for s in self.states.values())
+                if n else 0.0)
         if span > 0:
             offered_qps = n / span
         elif self.now > 0:

@@ -12,7 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
-import numpy as np
 
 from repro.engine.engine import InferenceEngine
 from repro.engine.request import GenerationRequest

@@ -19,7 +19,7 @@ Pipeline per configuration (fully vectorized over questions):
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 from scipy.stats import norm

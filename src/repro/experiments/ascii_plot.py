@@ -8,11 +8,10 @@ per-series glyph, log-scaling axes whose data spans decades.
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 
-from repro.experiments.report import Figure, Series
+from repro.experiments.report import Figure
 
 #: Glyphs assigned to series in order.
 GLYPHS = "ox+*#@%&"

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.batch_model import BatchedDecodeLatencyModel, fit_batched_decode_model
+from repro.core.batch_model import fit_batched_decode_model
 from repro.engine.engine import InferenceEngine
 from repro.evaluation.metrics import mape
 from repro.experiments.report import Table

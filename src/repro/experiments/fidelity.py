@@ -14,7 +14,12 @@ from typing import Callable
 from repro.core.characterize import CharacterizationResult, characterize_model
 from repro.evaluation.evaluator import Evaluator
 from repro.experiments.report import Table
-from repro.generation.control import base_control, direct_control, hard_budget, nr_control
+from repro.generation.control import (
+    base_control,
+    direct_control,
+    hard_budget,
+    nr_control,
+)
 from repro.models.registry import get_model
 from repro.workloads.mmlu_redux import mmlu_redux
 

@@ -1,0 +1,134 @@
+"""Extension study: routing policies and fleet-level Pareto planning.
+
+The paper characterizes a single Jetson; its Section III-B cost
+analysis prices one device.  This study asks the deployment question
+that follows: given N heterogeneous edge boxes behind a gateway, which
+routing policy and fleet shape deliver the best SLO attainment per
+dollar?  Two sweeps feed two artifacts:
+
+* ``fleet_points`` — every routing policy serves the identical seeded
+  Poisson stream through the same heterogeneous fleet, exposing the
+  latency/energy/affinity tension between policies (the ``fleet``
+  table);
+* ``fleet_plan_points`` — the planner's device-count x mix x policy
+  grid, reduced to its cost/attainment Pareto frontier (the
+  ``fleet-pareto`` table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.planner import FleetPlanPoint, fleet_pareto, plan_fleet
+from repro.experiments.report import Table
+from repro.fleet import ROUTING_POLICIES, FleetGateway, build_fleet, poisson_stream
+
+
+@dataclass(frozen=True)
+class FleetPolicyPoint:
+    """One routing policy's outcome on the shared fleet and stream."""
+
+    policy: str
+    completed: int
+    lost: int
+    deadline_hit_rate: float
+    p50_latency_s: float
+    p95_latency_s: float
+    tokens_per_second: float
+    energy_per_request_j: float
+    prefix_hits: int
+    usd_per_mtok: float
+
+
+def run_fleet_study(devices: int = 4, mix: str = "balanced",
+                    model_name: str = "dsr1-qwen-1.5b",
+                    qps: float = 6.0, num_requests: int = 48,
+                    deadline_s: float = 30.0,
+                    prefix_cache_mb: float = 256.0,
+                    sessions: int = 6, prefix_tokens: int = 96,
+                    seed: int = 0) -> list[FleetPolicyPoint]:
+    """Serve one seeded stream through every routing policy.
+
+    Each policy gets a *fresh* fleet (device state is not shared) but
+    the identical arrival stream, so the points isolate the routing
+    decision itself.
+    """
+    points = []
+    for policy in ROUTING_POLICIES:
+        fleet = build_fleet(devices, mix=mix, model=model_name,
+                            prefix_cache_mb=prefix_cache_mb)
+        gateway = FleetGateway(fleet, policy=policy)
+        stream = poisson_stream(
+            np.random.default_rng(seed), qps, num_requests,
+            deadline_s=deadline_s, sessions=sessions,
+            prefix_tokens=prefix_tokens)
+        report = gateway.run(stream)
+        points.append(FleetPolicyPoint(
+            policy=policy,
+            completed=report.completed,
+            lost=report.lost,
+            deadline_hit_rate=report.deadline_hit_rate,
+            p50_latency_s=report.latency_percentile(50),
+            p95_latency_s=report.latency_percentile(95),
+            tokens_per_second=report.tokens_per_second,
+            energy_per_request_j=report.energy_per_request_j,
+            prefix_hits=sum(d.prefix_hits for d in report.devices),
+            usd_per_mtok=report.cost_per_mtok(),
+        ))
+    return points
+
+
+def run_fleet_plan(device_counts: tuple[int, ...] = (2, 4),
+                   mixes: tuple[str, ...] = ("maxn", "balanced",
+                                             "efficiency"),
+                   policies: tuple[str, ...] = ("round-robin",
+                                                "latency-aware",
+                                                "energy-aware"),
+                   qps: float = 6.0, num_requests: int = 48,
+                   deadline_s: float = 30.0,
+                   seed: int = 0) -> list[FleetPlanPoint]:
+    """The planner's fleet grid (thin wrapper for the pipeline)."""
+    return plan_fleet(device_counts=device_counts, mixes=mixes,
+                      policies=policies, qps=qps,
+                      num_requests=num_requests, deadline_s=deadline_s,
+                      seed=seed)
+
+
+def fleet_table(points: list[FleetPolicyPoint] | None = None,
+                seed: int = 0) -> Table:
+    """Format the routing-policy comparison."""
+    points = points if points is not None else run_fleet_study(seed=seed)
+    table = Table(
+        "Fleet routing policies: identical stream, 4 heterogeneous "
+        "devices (DSR1-Qwen-1.5B)",
+        ["Policy", "Completed", "Lost", "SLO hit", "p50 (s)", "p95 (s)",
+         "Tok/s", "J/req", "Prefix hits", "$ / 1M toks"],
+    )
+    for point in points:
+        table.add_row(point.policy, point.completed, point.lost,
+                      point.deadline_hit_rate, point.p50_latency_s,
+                      point.p95_latency_s, point.tokens_per_second,
+                      point.energy_per_request_j, point.prefix_hits,
+                      point.usd_per_mtok)
+    return table
+
+
+def fleet_pareto_table(points: list[FleetPlanPoint] | None = None,
+                       seed: int = 0) -> Table:
+    """Format the fleet plan grid, flagging the Pareto frontier."""
+    points = points if points is not None else run_fleet_plan(seed=seed)
+    frontier = set(id(p) for p in fleet_pareto(points))
+    table = Table(
+        "Fleet planning: cost/attainment Pareto over device count x "
+        "mix x routing policy",
+        ["Fleet", "SLO hit", "p95 (s)", "Tok/s", "J/req",
+         "$ / 1M toks", "Pareto"],
+    )
+    for point in sorted(points, key=lambda p: p.usd_per_mtok):
+        table.add_row(point.label, point.attainment, point.p95_latency_s,
+                      point.tokens_per_second, point.energy_per_request_j,
+                      point.usd_per_mtok,
+                      "*" if id(point) in frontier else "")
+    return table

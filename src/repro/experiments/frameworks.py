@@ -5,7 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.engine.engine import EngineConfig, InferenceEngine
-from repro.engine.frameworks import available_frameworks
 from repro.engine.request import GenerationRequest
 from repro.experiments.report import Table
 from repro.models.registry import get_model

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from repro.core.cost import CostModel, o1_preview_pricing
 from repro.engine.engine import InferenceEngine
 from repro.engine.request import GenerationRequest
-from repro.evaluation.evaluator import EvaluationResult, Evaluator
+from repro.evaluation.evaluator import Evaluator
 from repro.experiments.report import Table
 from repro.generation.control import base_control, direct_control
 from repro.generation.length import LengthModel

@@ -13,7 +13,7 @@ from repro.experiments.report import Table
 from repro.extensions.fusion import fused_decode_report, fusion_sweep
 from repro.extensions.heterogeneous import cpu_offload_speedup, dla_offload_sweep
 from repro.extensions.prefetch import prefetch_decode_report, prefetch_sweep
-from repro.extensions.speculative import SpeculativeConfig, best_gamma, gamma_sweep
+from repro.extensions.speculative import gamma_sweep
 from repro.models.registry import get_model
 
 TARGETS = ("dsr1-llama-8b", "dsr1-qwen-14b")

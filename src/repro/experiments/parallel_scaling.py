@@ -9,7 +9,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.engine.engine import InferenceEngine
 from repro.evaluation.evaluator import Evaluator
 from repro.experiments.report import Figure, Series
 from repro.generation.control import hard_budget

@@ -8,7 +8,6 @@ pick the best configuration for *any* task deadline.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.core.planner import DeploymentPlanner, PlanDecision, build_planner
 from repro.experiments.report import Figure, Series, Table

@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 from repro.core.characterize import CharacterizationResult, characterize_model
 from repro.core.latency_model import PAPER_PREFILL_COEFFICIENTS
 from repro.experiments.report import Figure, Series, Table
-from repro.models.registry import get_model, reasoning_models
+from repro.models.registry import get_model
 
 DSR1_MODELS = ("dsr1-qwen-1.5b", "dsr1-llama-8b", "dsr1-qwen-14b")
 

@@ -10,10 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.core.characterize import CharacterizationResult
-from repro.evaluation.evaluator import EvaluationResult, Evaluator
+from repro.evaluation.evaluator import Evaluator
 from repro.experiments.prefill_latency import run_characterizations
 from repro.experiments.report import Figure, Series, Table
 from repro.generation.control import base_control

@@ -8,7 +8,7 @@ print the same rows/series the paper reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any
 
 
 @dataclass
@@ -77,7 +77,8 @@ class Series:
         """Render the series as aligned columns."""
         lines = [f"series: {self.label}"]
         for xv, yv in zip(self.x, self.y):
-            lines.append(f"  {x_name}={_fmt(float(xv)):>10s}  {y_name}={_fmt(float(yv))}")
+            lines.append(f"  {x_name}={_fmt(float(xv)):>10s}  "
+                         f"{y_name}={_fmt(float(yv))}")
         return "\n".join(lines)
 
 

@@ -383,3 +383,114 @@ def resilience_table(points: list[ChaosPoint] | None = None,
             report.tokens_saved,
         )
     return table
+
+
+# ----------------------------------------------------------------------
+# Fleet chaos (``repro chaos --fleet``): kill K of N devices mid-run.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FleetChaosResult:
+    """Outcome of one fleet kill-and-recover exercise."""
+
+    devices: int
+    kill: int
+    offered: int
+    completed: int
+    shed: int
+    failed: int
+    lost: int
+    #: Crash events actually delivered (gate non-vacuity).
+    killed: int
+    evacuated: int
+    rerouted: int
+    deadline_hit_rate: float
+    p95_latency_s: float
+    #: Two independent runs rendered byte-identical canonical JSON.
+    rerun_identical: bool
+
+    @property
+    def recovery_ok(self) -> bool:
+        """The pass/fail gate ``make chaos-fleet`` enforces.
+
+        Every offered request must reach a terminal outcome despite the
+        crashes (``lost == 0``), at least one scheduled kill must have
+        actually fired (a chaos run without chaos proves nothing), and
+        an independent rerun must reproduce the fleet report
+        byte-for-byte.
+        """
+        return (self.lost == 0 and self.killed >= 1
+                and self.rerun_identical)
+
+
+def run_fleet_chaos_study(devices: int = 4, kill: int = 2,
+                          policy: str = "latency-aware",
+                          qps: float = 8.0, num_requests: int = 60,
+                          deadline_s: float = 30.0,
+                          seed: int = 0) -> FleetChaosResult:
+    """Kill ``kill`` of ``devices`` devices mid-run; verify recovery.
+
+    A seeded :class:`~repro.faults.FleetFaultSchedule` crashes devices
+    in the middle of the offered stream (outages long enough that
+    evacuation and re-routing must actually happen); the run is then
+    repeated from scratch and the two canonical fleet reports compared
+    byte-for-byte.
+    """
+    from repro.faults.injector import FleetFaultConfig, FleetFaultSchedule
+    from repro.fleet import FleetGateway, build_fleet, poisson_stream
+
+    def one_run() -> "object":
+        fleet = build_fleet(devices, mix="balanced")
+        schedule = FleetFaultSchedule(
+            [device.name for device in fleet],
+            FleetFaultConfig(horizon_s=12.0, device_crashes=kill,
+                             crash_duration_s=(8.0, 15.0)),
+            seed=seed)
+        gateway = FleetGateway(fleet, policy=policy, faults=schedule)
+        stream = poisson_stream(np.random.default_rng(seed), qps,
+                                num_requests, deadline_s=deadline_s)
+        return gateway.run(stream)
+
+    first = one_run()
+    second = one_run()
+    return FleetChaosResult(
+        devices=devices,
+        kill=kill,
+        offered=first.offered,
+        completed=first.completed,
+        shed=first.shed,
+        failed=first.failed,
+        lost=first.lost,
+        killed=first.device_crashes,
+        evacuated=first.evacuated,
+        rerouted=first.rerouted,
+        deadline_hit_rate=first.deadline_hit_rate,
+        p95_latency_s=first.latency_percentile(95),
+        rerun_identical=first.to_json() == second.to_json(),
+    )
+
+
+def fleet_chaos_table(result: FleetChaosResult | None = None,
+                      seed: int = 0) -> Table:
+    """Format the fleet kill-and-recover exercise."""
+    result = (result if result is not None
+              else run_fleet_chaos_study(seed=seed))
+    table = Table(
+        "Fleet chaos: seeded mid-run device kills with evacuation and "
+        "gateway re-routing",
+        ["Metric", "Value"],
+    )
+    table.add_row("devices", result.devices)
+    table.add_row("kills scheduled", result.kill)
+    table.add_row("kills delivered", result.killed)
+    table.add_row("offered", result.offered)
+    table.add_row("completed", result.completed)
+    table.add_row("shed / failed", f"{result.shed} / {result.failed}")
+    table.add_row("lost", result.lost)
+    table.add_row("evacuated", result.evacuated)
+    table.add_row("rerouted", result.rerouted)
+    table.add_row("deadline hit rate (%)",
+                  result.deadline_hit_rate * 100.0)
+    table.add_row("p95 latency (s)", result.p95_latency_s)
+    table.add_row("rerun byte-identical",
+                  "yes" if result.rerun_identical else "NO")
+    return table

@@ -18,7 +18,6 @@ from repro.generation.control import (
     direct_control,
     standard_controls,
 )
-from repro.models.config import ModelFamily
 from repro.models.registry import get_model
 from repro.workloads.mmlu_redux import mmlu_redux
 

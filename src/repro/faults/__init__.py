@@ -29,19 +29,25 @@ from repro.engine.server import ResilienceReport
 from repro.faults.degradation import SHED_MODES, DegradationPolicy
 from repro.faults.injector import (
     MIN_SPEED_FACTOR,
+    DeviceFault,
     FaultEvent,
     FaultInjector,
     FaultKind,
     FaultScheduleConfig,
+    FleetFaultConfig,
+    FleetFaultSchedule,
     PipelineFaultConfig,
 )
 
 __all__ = [
     "DegradationPolicy",
+    "DeviceFault",
     "FaultEvent",
     "FaultInjector",
     "FaultKind",
     "FaultScheduleConfig",
+    "FleetFaultConfig",
+    "FleetFaultSchedule",
     "MIN_SPEED_FACTOR",
     "PipelineFaultConfig",
     "ResilienceReport",

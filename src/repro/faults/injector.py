@@ -29,6 +29,15 @@ hang-until-timeout stalls, and corrupt-cache-entry faults, each
 decided by a stable hash of ``(seed, producer, attempt)`` so a chaos
 sweep replays bit-for-bit.  The pipeline supervisor and the artifact
 store query these at their execution/persistence seams.
+
+Fleet chaos (:class:`FleetFaultConfig` + :class:`FleetFaultSchedule`)
+lifts the same determinism to *device-level* failures: whole-device
+crashes (the gateway must evacuate and re-route in-flight work) and
+brownouts (a device-local clock derate, delivered to that device's
+simulator as a per-device :class:`FaultInjector` built with
+:meth:`FaultInjector.from_events`).  The schedule is drawn once from
+``(sorted device names, seed)``, so it is invariant to device
+construction order — a requirement of the fleet determinism gate.
 """
 
 from __future__ import annotations
@@ -147,6 +156,127 @@ class PipelineFaultConfig:
             raise ValueError("hang_seconds must be positive")
 
 
+@dataclass(frozen=True)
+class DeviceFault:
+    """One timed device-level fault in a fleet schedule."""
+
+    device: str
+    #: ``"crash"`` (device down, in-flight work orphaned) or
+    #: ``"brownout"`` (device-local clock derate).
+    kind: str
+    start_s: float
+    duration_s: float
+    #: Clock-speed multiplier for brownouts; unused for crashes.
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("crash", "brownout"):
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; "
+                f"choose 'crash' or 'brownout'")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+
+    @property
+    def end_s(self) -> float:
+        """When the device recovers."""
+        return self.start_s + self.duration_s
+
+
+@dataclass(frozen=True)
+class FleetFaultConfig:
+    """Device-level fault counts and windows for one fleet schedule.
+
+    Crash start times are drawn uniformly inside ``crash_window`` (as
+    fractions of ``horizon_s``), defaulting to the middle of the run so
+    a crash reliably lands while devices hold in-flight work — the
+    non-vacuity requirement of the fleet chaos gate.  Brownouts are
+    drawn over the whole horizon.
+    """
+
+    horizon_s: float = 60.0
+    device_crashes: int = 1
+    crash_duration_s: tuple[float, float] = (10.0, 30.0)
+    crash_window: tuple[float, float] = (0.2, 0.6)
+    brownouts: int = 0
+    brownout_speed: float = 0.5
+    brownout_duration_s: tuple[float, float] = (5.0, 20.0)
+
+    def __post_init__(self) -> None:
+        if self.horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if self.device_crashes < 0 or self.brownouts < 0:
+            raise ValueError("fault counts must be non-negative")
+        if not 0.0 < self.brownout_speed <= 1.0:
+            raise ValueError("brownout_speed must be in (0, 1]")
+        lo, hi = self.crash_window
+        if not 0.0 <= lo <= hi <= 1.0:
+            raise ValueError("crash_window must satisfy 0 <= lo <= hi <= 1")
+
+
+class FleetFaultSchedule:
+    """Seeded schedule of device crashes and brownouts for a fleet.
+
+    The draw depends only on the *sorted* device names and the seed, so
+    two fleets built from the same devices in different construction
+    orders see the identical schedule (the device-order-invariance
+    property the fleet gate enforces).  Like :class:`FaultInjector`,
+    the schedule is read-only after construction.
+    """
+
+    def __init__(self, device_names: "list[str] | tuple[str, ...]",
+                 config: FleetFaultConfig | None = None, seed: int = 0):
+        names = tuple(sorted(device_names))
+        if not names:
+            raise ValueError("a fleet fault schedule needs device names")
+        if len(set(names)) != len(names):
+            raise ValueError("device names must be unique")
+        self.device_names = names
+        self.config = config or FleetFaultConfig()
+        self.seed = seed
+        cfg = self.config
+        rng = np.random.default_rng(seed)
+        events: list[DeviceFault] = []
+        lo, hi = cfg.crash_window
+        for _ in range(cfg.device_crashes):
+            device = names[int(rng.integers(len(names)))]
+            start = float(rng.uniform(lo * cfg.horizon_s, hi * cfg.horizon_s))
+            duration = float(rng.uniform(*cfg.crash_duration_s))
+            events.append(DeviceFault(device, "crash", start, duration))
+        for _ in range(cfg.brownouts):
+            device = names[int(rng.integers(len(names)))]
+            start = float(rng.uniform(0.0, cfg.horizon_s))
+            duration = float(rng.uniform(*cfg.brownout_duration_s))
+            events.append(DeviceFault(device, "brownout", start, duration,
+                                      magnitude=cfg.brownout_speed))
+        self.events: tuple[DeviceFault, ...] = tuple(
+            sorted(events, key=lambda e: (e.start_s, e.device, e.kind)))
+
+    # ------------------------------------------------------------------
+    def crashes(self) -> tuple[DeviceFault, ...]:
+        """All crash events, in start order."""
+        return tuple(e for e in self.events if e.kind == "crash")
+
+    def brownouts_for(self, device: str) -> tuple[DeviceFault, ...]:
+        """One device's brownout episodes."""
+        return tuple(e for e in self.events
+                     if e.kind == "brownout" and e.device == device)
+
+    def injector_for(self, device: str) -> "FaultInjector | None":
+        """A per-device injector carrying this device's brownouts.
+
+        None when the device has no brownouts, so fault-free devices
+        keep the fast (span-priced) serving path.
+        """
+        episodes = self.brownouts_for(device)
+        if not episodes:
+            return None
+        events = tuple(FaultEvent(FaultKind.TRANSIENT, e.start_s,
+                                  e.duration_s, e.magnitude)
+                       for e in episodes)
+        return FaultInjector.from_events(events, seed=self.seed)
+
+
 class FaultInjector:
     """Seeded fault schedule: query-only after construction.
 
@@ -186,6 +316,31 @@ class FaultInjector:
         boundaries = sorted({e.start_s for e in self.events}
                             | {e.end_s for e in self.events})
         self._boundaries: tuple[float, ...] = tuple(boundaries)
+
+    @classmethod
+    def from_events(cls, events: "tuple[FaultEvent, ...] | list[FaultEvent]",
+                    seed: int = 0,
+                    pipeline: PipelineFaultConfig | None = None,
+                    ) -> "FaultInjector":
+        """Build an injector around an explicit episode list.
+
+        Bypasses the seeded draw: the given episodes *are* the schedule
+        (a fleet schedule uses this to hand each device exactly its own
+        brownouts).  ``seed`` still feeds the stable per-request hashes;
+        the config is all-zeros, so no extra episodes or aborts appear.
+        """
+        injector = cls.__new__(cls)
+        injector.config = FaultScheduleConfig(
+            thermal_episodes=0, dvfs_drops=0, transient_slowdowns=0,
+            kv_pressure_spikes=0)
+        injector.pipeline = pipeline
+        injector.seed = seed
+        injector.events = tuple(
+            sorted(events, key=lambda e: (e.start_s, e.kind.value)))
+        boundaries = sorted({e.start_s for e in injector.events}
+                            | {e.end_s for e in injector.events})
+        injector._boundaries = tuple(boundaries)
+        return injector
 
     # ------------------------------------------------------------------
     def active(self, t: float) -> tuple[FaultEvent, ...]:

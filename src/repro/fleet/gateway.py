@@ -1,0 +1,192 @@
+"""The fleet gateway: global event loop plus pluggable routing.
+
+The gateway co-simulates N :class:`~repro.fleet.device.FleetDevice`
+instances against one merged event timeline.  Global events — request
+arrivals and scheduled device crashes — are processed in time order;
+before each event every device is advanced to the event time through
+the incremental serving seam (``run_until``), then the event either
+routes a request or crashes a device (evacuating its in-flight work for
+immediate re-routing, with the original arrival time and deadline
+preserved and a small re-dispatch backoff added).  After the last
+event, every device drains to completion.
+
+Determinism: devices are iterated in sorted-name order everywhere, every
+policy breaks ties on the device name, prefix affinity uses rendezvous
+hashing over ``sha256(session:name)``, and nothing reads a wall clock or
+unseeded RNG — so the same stream, fleet, and fault schedule reproduce a
+byte-identical :class:`~repro.fleet.report.FleetReport` regardless of
+device construction order.
+
+Epoch granularity: a device decoding an atomic multi-token epoch may
+overshoot an event time slightly; a crash then takes effect at that
+epoch boundary.  This is deterministic and mirrors real engines, which
+cannot abort mid-kernel.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.engine.request import GenerationRequest
+from repro.faults.injector import FleetFaultSchedule
+from repro.fleet.device import FleetDevice
+from repro.fleet.report import DeviceOutcome, FleetReport
+
+#: The pluggable routing policies.
+ROUTING_POLICIES = ("round-robin", "least-outstanding", "latency-aware",
+                    "energy-aware", "prefix-affinity")
+
+
+@dataclass(frozen=True)
+class FleetRequest:
+    """One request offered to the gateway."""
+
+    request: GenerationRequest
+    arrival_s: float
+    deadline_s: float | None = None
+    #: Sticky-session key for prefix affinity (None = stateless).
+    session: str | None = None
+    #: Tokens of the session's shared prompt prefix.
+    prefix_tokens: int = 0
+
+
+class FleetGateway:
+    """Routes a request stream across a fleet of edge devices."""
+
+    def __init__(self, devices: "list[FleetDevice] | tuple[FleetDevice, ...]",
+                 policy: str = "round-robin", *,
+                 faults: FleetFaultSchedule | None = None,
+                 reroute_backoff_s: float = 0.05):
+        if not devices:
+            raise ValueError("a fleet needs at least one device")
+        if policy not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown policy {policy!r}; choose from {ROUTING_POLICIES}")
+        if reroute_backoff_s < 0:
+            raise ValueError("reroute_backoff_s must be non-negative")
+        self.devices = tuple(sorted(devices, key=lambda d: d.name))
+        names = [d.name for d in self.devices]
+        if len(set(names)) != len(names):
+            raise ValueError("device names must be unique")
+        self._by_name = {d.name: d for d in self.devices}
+        self.policy = policy
+        self.faults = faults
+        self.reroute_backoff_s = reroute_backoff_s
+        self.rerouted = 0
+        self._rr_next = 0
+        self._session_of: dict[int, tuple[str | None, int]] = {}
+
+    # -- routing --------------------------------------------------------
+    def _up(self, t: float) -> list[FleetDevice]:
+        return [d for d in self.devices if not d.is_down(t)]
+
+    @staticmethod
+    def _rendezvous_weight(session: str, name: str) -> int:
+        digest = hashlib.sha256(f"{session}:{name}".encode()).digest()
+        return int.from_bytes(digest[:8], "little")
+
+    def _pick(self, freq: FleetRequest, t: float) -> FleetDevice:
+        """The policy's choice of device for one request at time ``t``."""
+        up = self._up(t)
+        if not up:
+            # Whole fleet down: park on the earliest-recovering device.
+            return min(self.devices, key=lambda d: (d.down_until(), d.name))
+        if self.policy == "round-robin":
+            device = up[self._rr_next % len(up)]
+            self._rr_next += 1
+            return device
+        if self.policy == "least-outstanding":
+            return min(up, key=lambda d: (d.outstanding_requests,
+                                          d.outstanding_decode_tokens(),
+                                          d.name))
+        if self.policy == "latency-aware":
+            return min(up, key=lambda d: (
+                d.predicted_completion_s(freq.request, t), d.name))
+        if self.policy == "energy-aware":
+            return min(up, key=lambda d: (
+                d.predicted_energy_j(freq.request, t), d.name))
+        # prefix-affinity: rendezvous hash pins a session to one device
+        # (stable under fleet changes); stateless requests balance.
+        if freq.session is not None:
+            return max(up, key=lambda d: (
+                self._rendezvous_weight(freq.session, d.name), d.name))
+        return min(up, key=lambda d: (d.outstanding_requests, d.name))
+
+    def _route(self, freq: FleetRequest, t: float,
+               ready_s: float | None = None) -> FleetDevice:
+        device = self._pick(freq, t)
+        ready = ready_s
+        if device.is_down(t):
+            # Queued behind the outage; admission starts at recovery.
+            ready = max(ready if ready is not None else t, device.down_until())
+        device.inject(freq.request, freq.arrival_s,
+                      deadline_s=freq.deadline_s, ready_s=ready,
+                      session=freq.session, prefix_tokens=freq.prefix_tokens)
+        return device
+
+    # -- the event loop -------------------------------------------------
+    def run(self, stream: "list[FleetRequest] | tuple[FleetRequest, ...]"
+            ) -> FleetReport:
+        """Serve one request stream to completion across the fleet."""
+        arrivals = sorted(enumerate(stream),
+                          key=lambda pair: (pair[1].arrival_s, pair[0]))
+        # Merge arrivals with scheduled crashes; at equal times a crash
+        # fires first so an arrival never routes to a device dying at
+        # that same instant.
+        events: list[tuple[float, int, int, object]] = []
+        for order, (_, freq) in enumerate(arrivals):
+            self._session_of[freq.request.request_id] = (
+                freq.session, freq.prefix_tokens)
+            events.append((freq.arrival_s, 1, order, freq))
+        if self.faults is not None:
+            for order, fault in enumerate(self.faults.crashes()):
+                events.append((fault.start_s, 0, order, fault))
+        events.sort(key=lambda e: (e[0], e[1], e[2]))
+
+        for t, priority, _, payload in events:
+            for device in self.devices:
+                device.advance_to(t)
+            if priority == 0:
+                device = self._by_name.get(payload.device)
+                if device is None:
+                    continue  # schedule names a device not in this fleet
+                orphans = device.crash(t, payload.end_s)
+                for request, state in orphans:
+                    session, prefix = self._session_of.get(
+                        request.request_id, (None, 0))
+                    self.rerouted += 1
+                    self._route(
+                        FleetRequest(
+                            request=request,
+                            arrival_s=state.first_arrival_s,
+                            deadline_s=state.deadline_s,
+                            session=session,
+                            prefix_tokens=prefix,
+                        ),
+                        t, ready_s=t + self.reroute_backoff_s)
+            else:
+                self._route(payload, t)
+
+        for device in self.devices:
+            device.drain()
+        outcomes = []
+        for device in self.devices:
+            report = device.report()
+            device.release()
+            outcomes.append(DeviceOutcome(
+                name=device.name,
+                model=device.spec.model,
+                power_mode=device.spec.power_mode,
+                report=report,
+                crashes=device.crashes,
+                evacuated=device.evacuated,
+                prefix_hits=device.run.prefix_hits,
+                prefix_misses=device.run.prefix_misses,
+            ))
+        return FleetReport(
+            policy=self.policy,
+            offered=len(stream),
+            rerouted=self.rerouted,
+            devices=tuple(outcomes),
+        )

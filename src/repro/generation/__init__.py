@@ -25,7 +25,11 @@ from repro.generation.control import (
     standard_controls,
 )
 from repro.generation.length import LengthModel
-from repro.generation.reasoning import TraceStructure, prompt_overhead_tokens, split_trace
+from repro.generation.reasoning import (
+    TraceStructure,
+    prompt_overhead_tokens,
+    split_trace,
+)
 
 __all__ = [
     "ControlMode",

@@ -214,7 +214,9 @@ _CALIBRATIONS: dict[str, KernelCalibration] = {
 }
 
 
-def calibration_for_model(key: str, param_count: float | None = None) -> KernelCalibration:
+def calibration_for_model(key: str,
+                          param_count: float | None = None
+                          ) -> KernelCalibration:
     """Look up the calibration for a model.
 
     ``key`` is the model config's ``calibration_key``.  Unknown keys fall

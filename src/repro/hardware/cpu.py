@@ -101,4 +101,5 @@ class ArmCpuCluster:
     def decode_energy_joules(self, profile: ModelExecutionProfile, input_len: int,
                              output_len: int) -> float:
         """Energy of a CPU decode at the cluster's active power draw."""
-        return self.decode_seconds(profile, input_len, output_len) * self.spec.active_power_w
+        return (self.decode_seconds(profile, input_len, output_len)
+                * self.spec.active_power_w)

@@ -154,7 +154,8 @@ class KernelEngine:
         attn_time = attn_flops / (peak_flops * calib.attention_efficiency)
 
         activation_bytes = profile.activation_bytes_per_token * input_len * batch
-        activation_time = activation_bytes / (bw * self.memory.spec.streaming_efficiency)
+        activation_time = activation_bytes / (
+            bw * self.memory.spec.streaming_efficiency)
 
         kv_write_bytes = profile.kv_bytes_per_token * input_len * batch
 
@@ -175,7 +176,8 @@ class KernelEngine:
             dram_read_bytes=read_bytes,
             dram_write_bytes=kv_write_bytes,
             compute_utilization=min(1.0, flops / (seconds * peak_flops)),
-            bandwidth_utilization=min(1.0, (read_bytes + kv_write_bytes) / (seconds * bw)),
+            bandwidth_utilization=min(
+                1.0, (read_bytes + kv_write_bytes) / (seconds * bw)),
         )
 
     def prefill_seconds_vector(self, profile: ModelExecutionProfile,
@@ -190,11 +192,13 @@ class KernelEngine:
         lens = np.asarray(input_lens, dtype=np.float64)
         if np.any(lens <= 0):
             raise ValueError("input lengths must be positive")
-        padded = pad_array_to_tile(lens.astype(np.int64), SEQUENCE_TILE).astype(np.float64)
+        padded = pad_array_to_tile(
+            lens.astype(np.int64), SEQUENCE_TILE).astype(np.float64)
         peak_flops = self._peak_flops(profile)
         bw = self.soc.dram_bandwidth
         weight_time = profile.weight_bytes / (
-            bw * calib.prefill_weight_stream_efficiency * self.soc.stream_efficiency_scale
+            bw * calib.prefill_weight_stream_efficiency
+            * self.soc.stream_efficiency_scale
         )
         linear_time = profile.linear_flops_per_token * padded / (
             peak_flops * calib.gemm_efficiency
@@ -321,7 +325,8 @@ class KernelEngine:
         )
         memory_time = weight_time + kv_time + activation_time
 
-        padded_batch = pad_array_to_tile(np.ceil(batch_arr).astype(np.int64), BATCH_TILE)
+        padded_batch = pad_array_to_tile(
+            np.ceil(batch_arr).astype(np.int64), BATCH_TILE)
         compute_flops = profile.linear_flops_per_token * padded_batch
         peak = self._peak_flops(profile)
         compute_time = compute_flops / (peak * calib.decode_gemm_efficiency)
@@ -345,7 +350,8 @@ class KernelEngine:
         seconds = self.decode_span_seconds(profile, input_len, output_len,
                                            batch)
 
-        read_per_step = profile.weight_bytes + profile.activation_bytes_per_token * batch
+        read_per_step = (profile.weight_bytes
+                         + profile.activation_bytes_per_token * batch)
         kv_reads = profile.kv_bytes_per_token * batch * (
             input_len * output_len + output_len * (output_len - 1) / 2.0
         )

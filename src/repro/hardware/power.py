@@ -63,7 +63,8 @@ class PowerModel:
             effective = max(input_len, 1) * max(batch, 1)
             threshold = calib.prefill_threshold
             clamped = max(effective, threshold)
-            raw = calib.prefill_base_w + calib.prefill_log_slope * math.log(clamped / 1024.0)
+            raw = (calib.prefill_base_w
+                   + calib.prefill_log_slope * math.log(clamped / 1024.0))
         return self._finalize(raw)
 
     def prefill_power_vector(self, input_lens: np.ndarray,
@@ -75,7 +76,8 @@ class PowerModel:
             raw = np.full_like(lens, calib.prefill_base_w)
         else:
             clamped = np.maximum(lens, calib.prefill_threshold)
-            raw = calib.prefill_base_w + calib.prefill_log_slope * np.log(clamped / 1024.0)
+            raw = (calib.prefill_base_w
+                   + calib.prefill_log_slope * np.log(clamped / 1024.0))
         return self._finalize_array(raw)
 
     def decode_power(self, generated: np.ndarray | float,

@@ -21,7 +21,12 @@ from repro.models.capability import (
 )
 from repro.models.config import ModelFamily, TransformerConfig
 from repro.models.quantization import awq_w4_quantize
-from repro.models.registry import get_model, list_models, reasoning_models, direct_models
+from repro.models.registry import (
+    direct_models,
+    get_model,
+    list_models,
+    reasoning_models,
+)
 
 __all__ = [
     "AccuracyCurve",

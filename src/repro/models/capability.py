@@ -30,7 +30,7 @@ Fig. 9, including the degradation voting causes for small models.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 from scipy.interpolate import PchipInterpolator
@@ -166,7 +166,8 @@ class CapabilityProfile:
             return self.nr.accuracy
         if mode == "direct":
             if self.direct is None:
-                raise ValueError(f"{self.model} has no direct anchor on {self.benchmark}")
+                raise ValueError(
+                    f"{self.model} has no direct anchor on {self.benchmark}")
             return self.direct.accuracy
         raise ValueError(f"unknown mode {mode!r}")
 
@@ -210,7 +211,8 @@ def question_success_probability(mean_accuracy: float, difficulties: np.ndarray,
     with the population mean preserved at ``mean_accuracy``.
     """
     difficulties = np.asarray(difficulties, dtype=np.float64)
-    delta = solve_mean_offset(mean_accuracy, difficulties, beta) if calibrate_mean else 0.0
+    delta = (solve_mean_offset(mean_accuracy, difficulties, beta)
+             if calibrate_mean else 0.0)
     return _sigmoid(_logit(mean_accuracy) + beta * (0.5 - difficulties) + delta)
 
 
@@ -272,7 +274,8 @@ def _build_profiles() -> dict[tuple[str, str], CapabilityProfile]:
         _profile(
             "dsr1-llama-8b", mmlu_redux,
             # NC128 437 -> 60.4%; Base 811 -> 61.7%; NC256 933 -> 64.3%.
-            completed=_curve((150, 0.52), (437, 0.604), (811, 0.617), (933, 0.643), (1500, 0.648)),
+            completed=_curve((150, 0.52), (437, 0.604), (811, 0.617),
+                             (933, 0.643), (1500, 0.648)),
             hard=_curve((128, 0.379), (256, 0.412), (512, 0.50), (811, 0.617)),
             nr=(182.9, 0.510),
             parse_failure_severity=0.20,
@@ -293,8 +296,10 @@ def _build_profiles() -> dict[tuple[str, str], CapabilityProfile]:
             "l1-max", mmlu_redux,
             # L1 adheres to budgets, so its hard and completed behaviour
             # coincide; it is excessively conservative at small budgets.
-            completed=_curve((40.7, 0.162), (48.9, 0.183), (62.3, 0.171), (312.6, 0.438), (600, 0.45)),
-            hard=_curve((40.7, 0.162), (48.9, 0.183), (62.3, 0.171), (312.6, 0.438), (600, 0.45)),
+            completed=_curve((40.7, 0.162), (48.9, 0.183), (62.3, 0.171),
+                             (312.6, 0.438), (600, 0.45)),
+            hard=_curve((40.7, 0.162), (48.9, 0.183), (62.3, 0.171),
+                        (312.6, 0.438), (600, 0.45)),
             parse_failure_severity=0.03,
             distractor_base=0.45,
             distractor_slope=0.50,

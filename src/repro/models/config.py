@@ -11,7 +11,7 @@ FLOPs, and KV-cache bytes per position.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.hardware.kernels import ModelExecutionProfile
 

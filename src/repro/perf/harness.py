@@ -14,7 +14,9 @@ paths end to end:
 * **serving_span_speedup** — span pricing vs forced per-token stepping
   on the identical workload: a *machine-independent ratio* gate
   (must stay >= its recorded minimum, currently 3x);
-* **evaluator_mmlu_redux** — the vectorized evaluator on MMLU-Redux.
+* **evaluator_mmlu_redux** — the vectorized evaluator on MMLU-Redux;
+* **fleet_fixed_qps** — the multi-device fleet gateway at a fixed
+  offered load (exercises the incremental co-simulation seam).
 
 ``run_benchmarks`` reports medians over ``repeats``;
 ``write_bench_files`` emits ``BENCH_pipeline.json`` /
@@ -57,6 +59,7 @@ SPAN_SPEEDUP_MIN = 3.0
 BENCH_FILES = {
     "pipeline": "BENCH_pipeline.json",
     "engine": "BENCH_engine.json",
+    "fleet": "BENCH_fleet.json",
 }
 
 
@@ -83,7 +86,8 @@ class BenchResult:
         }
 
 
-def _median_time(fn: Callable[[], Any], repeats: int) -> tuple[float, tuple[float, ...]]:
+def _median_time(fn: Callable[[], Any], repeats: int
+                 ) -> tuple[float, tuple[float, ...]]:
     times = []
     for _ in range(max(1, repeats)):
         start = time.perf_counter()
@@ -193,6 +197,26 @@ def bench_evaluator(repeats: int) -> BenchResult:
                              "configs": len(controls)})
 
 
+def bench_fleet(repeats: int) -> BenchResult:
+    """Fleet gateway at fixed QPS: 4 devices, latency-aware routing."""
+    import numpy as np
+
+    from repro.fleet import FleetGateway, build_fleet, poisson_stream
+
+    def fleet_run() -> None:
+        fleet = build_fleet(4, mix="balanced")
+        gateway = FleetGateway(fleet, policy="latency-aware")
+        stream = poisson_stream(np.random.default_rng(7), qps=8.0,
+                                num_requests=64, deadline_s=30.0)
+        gateway.run(stream)
+
+    median, times = _median_time(fleet_run, repeats)
+    return BenchResult("fleet_fixed_qps", "fleet", median, times,
+                       meta={"devices": 4, "mix": "balanced",
+                             "policy": "latency-aware", "qps": 8.0,
+                             "requests": 64})
+
+
 # ----------------------------------------------------------------------
 # driver / files / gate
 # ----------------------------------------------------------------------
@@ -207,7 +231,7 @@ def run_benchmarks(repeats: int = 3,
 
     known = ("pipeline_cold_smoke", "pipeline_warm_smoke",
              "serving_fixed_qps", "serving_span_speedup",
-             "evaluator_mmlu_redux")
+             "evaluator_mmlu_redux", "fleet_fixed_qps")
     selected = set(only) if only else None
     if selected is not None:
         unknown = selected.difference(known)
@@ -237,6 +261,8 @@ def run_benchmarks(repeats: int = 3,
         record(bench_serving_span_speedup(repeats))
     if wanted("evaluator_mmlu_redux"):
         record(bench_evaluator(repeats))
+    if wanted("fleet_fixed_qps"):
+        record(bench_fleet(repeats))
     return results
 
 

@@ -21,6 +21,7 @@ from repro.experiments import (
     deadline_control,
     decode_latency,
     fidelity,
+    fleet_study,
     frameworks,
     hybrid_scaling,
     latency_validation,
@@ -112,6 +113,15 @@ PRODUCERS: dict[str, ProducerSpec] = {
         ProducerSpec("batch_model_rows", batch_latency.run_batch_model_study),
         ProducerSpec("chaos_points", resilience.run_chaos_study,
                      smoke_params={"num_requests": 12, "qps": 3.0}),
+        ProducerSpec("fleet_points", fleet_study.run_fleet_study,
+                     smoke_params={"num_requests": 12, "qps": 4.0,
+                                   "devices": 2}),
+        ProducerSpec("fleet_plan_points", fleet_study.run_fleet_plan,
+                     smoke_params={"num_requests": 8, "qps": 4.0,
+                                   "device_counts": (2,),
+                                   "mixes": ("maxn", "balanced"),
+                                   "policies": ("round-robin",
+                                                "latency-aware")}),
         ProducerSpec("fidelity_entries", fidelity.run_fidelity_audit,
                      smoke_params={"size": 300}),
         ProducerSpec("takeaway_checks", takeaways.run_takeaway_checks,
@@ -217,6 +227,10 @@ ARTIFACTS: dict[str, ArtifactSpec] = {
                      deps={"rows": "batch_model_rows"}),
         ArtifactSpec("resilience", resilience.resilience_table,
                      deps={"points": "chaos_points"}),
+        ArtifactSpec("fleet", fleet_study.fleet_table,
+                     deps={"points": "fleet_points"}),
+        ArtifactSpec("fleet-pareto", fleet_study.fleet_pareto_table,
+                     deps={"points": "fleet_plan_points"}),
     )
 }
 

@@ -24,7 +24,8 @@ def natural_plan(task: str, seed: int = 0, size: int | None = None) -> Benchmark
     """Build one synthetic Natural-Plan task suite."""
     key = task.lower()
     if key not in TASKS:
-        raise KeyError(f"unknown Natural-Plan task {task!r}; choose from {sorted(TASKS)}")
+        raise KeyError(f"unknown Natural-Plan task {task!r}; "
+                       f"choose from {sorted(TASKS)}")
     (alpha, beta), prompt_mean, default_size = TASKS[key]
     rng = np.random.default_rng(seed + 503 + len(key))
     questions = make_questions(

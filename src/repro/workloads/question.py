@@ -8,7 +8,7 @@ mix, prompt-length distribution, and answer format.  A synthetic
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -106,7 +106,8 @@ def make_questions(rng: np.random.Generator, size: int,
                    subjects: dict[str, tuple[float, float]],
                    prompt_mean: float, prompt_sigma: float,
                    num_choices: int,
-                   prompt_min: int = 24, prompt_max: int = 4096) -> tuple[Question, ...]:
+                   prompt_min: int = 24, prompt_max: int = 4096
+                   ) -> tuple[Question, ...]:
     """Generate questions with per-subject Beta difficulty distributions.
 
     ``subjects`` maps a subject name to the (alpha, beta) parameters of

@@ -7,7 +7,7 @@ import warnings
 import numpy as np
 import pytest
 
-from repro.engine.engine import EngineConfig, InferenceEngine
+from repro.engine.engine import InferenceEngine
 from repro.hardware.calibration import calibration_for_model
 from repro.hardware.kernels import KernelEngine
 from repro.hardware.memory import MemorySpec, MemorySystem

@@ -1,6 +1,5 @@
 """Tests for characterization: simulate -> fit -> paper coefficients."""
 
-import numpy as np
 import pytest
 
 from repro.core.characterize import (
@@ -14,7 +13,6 @@ from repro.core.latency_model import (
     PAPER_DECODE_COEFFICIENTS,
     PAPER_PREFILL_COEFFICIENTS,
 )
-from repro.engine.engine import InferenceEngine
 
 
 @pytest.fixture(scope="module")

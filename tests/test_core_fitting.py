@@ -11,11 +11,7 @@ from repro.core.fitting import (
     fit_piecewise_log_power,
     fit_prefill_latency,
 )
-from repro.core.latency_model import (
-    DecodeLatencyModel,
-    PrefillLatencyModel,
-    pad_input_length,
-)
+from repro.core.latency_model import DecodeLatencyModel, PrefillLatencyModel
 from repro.core.power_model import PiecewiseLogPowerModel
 
 

@@ -14,7 +14,7 @@ from repro.core.planner import (
     DeploymentPlanner,
     build_planner,
 )
-from repro.generation.control import base_control, direct_control, hard_budget
+from repro.generation.control import base_control
 from repro.generation.length import LengthModel
 from repro.models.capability import capability_profile
 from repro.models.registry import get_model

@@ -10,7 +10,7 @@ from repro.core.validation import (
     validate_energy_model,
     validate_latency_model,
 )
-from repro.engine.engine import EngineConfig, InferenceEngine
+from repro.engine.engine import InferenceEngine
 from repro.models.registry import get_model
 
 

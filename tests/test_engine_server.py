@@ -1,5 +1,7 @@
 """Tests for the event-driven serving simulator."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -108,4 +110,7 @@ class TestBatchingEconomics:
         report = simulator.run([], np.zeros(0))
         assert report.completed == 0
         assert report.achieved_qps == 0.0
-        assert report.latency_percentile(95) == 0.0
+        # No completions -> no latency distribution: nan, not a
+        # too-good-to-be-true 0.0.
+        assert math.isnan(report.latency_percentile(95))
+        assert math.isnan(report.deadline_hit_rate)

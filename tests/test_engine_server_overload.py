@@ -152,3 +152,31 @@ class TestHeapScheduler:
         report = sim.run(_requests(2), np.zeros(2), np.array([60.0, 60.0]))
         assert report.completed == 0
         assert report.deadline_hit_rate == 0.0
+
+
+class TestAllShedRun:
+    def test_all_shed_run_reports_nan_latency(self, engine):
+        # Every request expires in queue before admission (drop_expired
+        # sheds them all); the empty completed set must yield nan
+        # percentiles instead of crashing, and the deadline hit rate
+        # must still score the shed population as misses.
+        import math
+
+        from repro.engine.server import _ServingRun
+        from repro.faults.degradation import DegradationPolicy
+
+        sim = ServingSimulator(
+            engine, max_batch_size=2,
+            degradation=DegradationPolicy(drop_expired=True))
+        run = _ServingRun(sim)
+        for i in range(4):
+            # Admittable only from t=2.0, but dead at t=0.5.
+            run.inject(GenerationRequest(i, 64, 32), arrival_s=0.0,
+                       deadline_s=0.5, ready_s=2.0)
+        run.drain()
+        report = run.report()
+        run.release()
+        assert report.completed == 0
+        assert report.shed == 4
+        assert math.isnan(report.latency_percentile(95))
+        assert report.deadline_hit_rate == 0.0

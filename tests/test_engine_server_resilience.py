@@ -1,6 +1,5 @@
 """Tests for fault injection and graceful degradation in the server."""
 
-import dataclasses
 
 import numpy as np
 import pytest

@@ -62,6 +62,7 @@ class TestLatencyConsistency:
         exact = engine.generate(GenerationRequest(
             0, int(data.prompt_tokens[index]),
             int(data.output_tokens[index])))
-        closed_form_share = 1 - result.mean_prefill_seconds / result.mean_latency_seconds
+        closed_form_share = (1 - result.mean_prefill_seconds
+                             / result.mean_latency_seconds)
         exact_share = exact.decode_seconds / exact.total_seconds
         assert closed_form_share == pytest.approx(exact_share, abs=0.02)

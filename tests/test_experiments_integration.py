@@ -71,7 +71,8 @@ class TestMotivation:
         assert rows[1].price_usd_per_mtok < rows[0].price_usd_per_mtok / 3
 
     def test_tables_render(self):
-        assert "Table II" in motivation.table2(motivation.run_table2(questions=50)).to_text()
+        rows = motivation.run_table2(questions=50)
+        assert "Table II" in motivation.table2(rows).to_text()
 
 
 class TestLatencyCharacterization:

@@ -1,6 +1,5 @@
 """Unit tests for the remaining experiment modules and the runner."""
 
-import pytest
 
 from repro.core.latency_model import (
     DecodeLatencyModel,

@@ -32,7 +32,8 @@ class TestFusion:
         assert fused_decode_report(engine_8b).speedup >= 1.0
 
     def test_fused_efficiency_far_above_baseline(self, engine_8b):
-        assert FUSED_ATTENTION_EFFICIENCY > 10 * engine_8b.calibration.attention_efficiency
+        assert (FUSED_ATTENTION_EFFICIENCY
+                > 10 * engine_8b.calibration.attention_efficiency)
 
     def test_rejects_bad_input(self, engine_8b):
         with pytest.raises(ValueError):

@@ -1,6 +1,5 @@
 """Tests for the seeded fault-event scheduler."""
 
-import dataclasses
 
 import pytest
 

@@ -1,0 +1,104 @@
+"""Fleet chaos: seeded device kills, evacuation, and the recovery gate."""
+
+import pytest
+
+from repro.experiments.resilience import (
+    FleetChaosResult,
+    fleet_chaos_table,
+    run_fleet_chaos_study,
+)
+from repro.faults import DeviceFault, FleetFaultConfig, FleetFaultSchedule
+
+
+class TestFleetFaultSchedule:
+    def test_same_seed_reproduces_the_schedule(self):
+        names = ["edge-00", "edge-01", "edge-02"]
+        a = FleetFaultSchedule(names, seed=3)
+        b = FleetFaultSchedule(names, seed=3)
+        assert a.events == b.events
+
+    def test_schedule_ignores_name_order(self):
+        names = ["edge-00", "edge-01", "edge-02"]
+        a = FleetFaultSchedule(names, seed=3)
+        b = FleetFaultSchedule(list(reversed(names)), seed=3)
+        assert a.events == b.events
+
+    def test_crashes_land_inside_the_window(self):
+        config = FleetFaultConfig(horizon_s=100.0, device_crashes=5,
+                                  crash_window=(0.2, 0.6))
+        schedule = FleetFaultSchedule(["a", "b"], config, seed=0)
+        crashes = schedule.crashes()
+        assert len(crashes) == 5
+        for fault in crashes:
+            assert 20.0 <= fault.start_s <= 60.0
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            FleetFaultSchedule(["a", "a"])
+
+    def test_injector_only_for_browned_out_devices(self):
+        config = FleetFaultConfig(device_crashes=0, brownouts=1)
+        schedule = FleetFaultSchedule(["a"], config, seed=0)
+        assert schedule.injector_for("a") is not None
+        clean = FleetFaultSchedule(["a"], FleetFaultConfig(), seed=0)
+        assert clean.injector_for("a") is None
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FleetFaultConfig(horizon_s=0.0)
+        with pytest.raises(ValueError):
+            FleetFaultConfig(crash_window=(0.8, 0.2))
+        with pytest.raises(ValueError):
+            DeviceFault(device="a", kind="meteor", start_s=0.0,
+                        duration_s=1.0)
+
+
+class TestRecoveryGate:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fleet_chaos_study(devices=4, kill=2, seed=0)
+
+    def test_kills_are_actually_delivered(self, result):
+        assert result.killed == 2
+
+    def test_crashes_orphan_and_reroute_work(self, result):
+        assert result.evacuated > 0
+        assert result.rerouted == result.evacuated
+
+    def test_no_request_is_lost(self, result):
+        assert result.lost == 0
+        assert result.completed == result.offered == 60
+
+    def test_rerun_is_byte_identical(self, result):
+        assert result.rerun_identical
+
+    def test_gate_passes(self, result):
+        assert result.recovery_ok
+
+    def test_gate_rejects_vacuous_runs(self, result):
+        vacuous = FleetChaosResult(
+            devices=4, kill=0, offered=10, completed=10, shed=0,
+            failed=0, lost=0, killed=0, evacuated=0, rerouted=0,
+            deadline_hit_rate=1.0, p95_latency_s=1.0,
+            rerun_identical=True)
+        assert not vacuous.recovery_ok
+
+    def test_gate_rejects_lost_requests(self, result):
+        lossy = FleetChaosResult(
+            devices=4, kill=2, offered=10, completed=9, shed=0,
+            failed=0, lost=1, killed=2, evacuated=3, rerouted=3,
+            deadline_hit_rate=1.0, p95_latency_s=1.0,
+            rerun_identical=True)
+        assert not lossy.recovery_ok
+
+    def test_table_renders(self, result):
+        text = fleet_chaos_table(result).to_text()
+        assert "rerun byte-identical" in text
+        assert "yes" in text
+
+
+class TestSeedSensitivity:
+    def test_another_seed_also_recovers(self):
+        result = run_fleet_chaos_study(devices=4, kill=2, seed=1)
+        assert result.recovery_ok
+        assert result.killed == 2

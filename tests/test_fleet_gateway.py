@@ -1,0 +1,179 @@
+"""Gateway routing policies, conservation, and fleet planning."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.planner import fleet_pareto, plan_fleet
+from repro.engine.request import GenerationRequest
+from repro.fleet import (
+    ROUTING_POLICIES,
+    FleetGateway,
+    FleetRequest,
+    build_fleet,
+    poisson_stream,
+)
+
+
+def _stream(seed=0, qps=6.0, count=24, **kwargs):
+    return poisson_stream(np.random.default_rng(seed), qps, count, **kwargs)
+
+
+def _run(policy, seed=0, count=24, devices=4, mix="balanced", **kwargs):
+    gateway = FleetGateway(build_fleet(devices, mix=mix), policy=policy)
+    return gateway.run(_stream(seed=seed, count=count, **kwargs))
+
+
+class TestValidation:
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ValueError):
+            FleetGateway([])
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ValueError):
+            FleetGateway(build_fleet(2), policy="random")
+
+    def test_rejects_duplicate_names(self):
+        fleet = build_fleet(1) + build_fleet(1)
+        with pytest.raises(ValueError):
+            FleetGateway(fleet)
+
+    def test_stream_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            poisson_stream(rng, qps=0.0, num_requests=4)
+        with pytest.raises(ValueError):
+            poisson_stream(rng, qps=1.0, num_requests=-1)
+
+
+class TestConservation:
+    @pytest.mark.parametrize("policy", ROUTING_POLICIES)
+    def test_every_request_reaches_a_terminal_outcome(self, policy):
+        report = _run(policy)
+        assert report.completed == report.offered == 24
+        assert report.lost == 0
+
+    def test_empty_stream_is_well_formed(self):
+        gateway = FleetGateway(build_fleet(2))
+        report = gateway.run([])
+        assert report.offered == report.completed == 0
+        assert math.isnan(report.latency_percentile(95))
+        assert math.isnan(report.deadline_hit_rate)
+
+
+class TestPolicies:
+    def test_round_robin_spreads_work_evenly(self):
+        report = _run("round-robin", devices=4, count=24)
+        offered = [d.report.offered for d in report.devices]
+        assert offered == [6, 6, 6, 6]
+
+    def test_latency_aware_beats_round_robin_tail(self):
+        # On a heterogeneous mix, blind rotation queues work on the slow
+        # boxes; prediction-aware routing shifts it and wins the tail.
+        heterogeneous = dict(devices=4, mix="balanced", count=32)
+        rr = _run("round-robin", **heterogeneous)
+        aware = _run("latency-aware", **heterogeneous)
+        assert aware.latency_percentile(95) < rr.latency_percentile(95)
+
+    def test_energy_aware_routes_to_cheapest_prediction(self):
+        fleet = build_fleet(4, mix="balanced")
+        gateway = FleetGateway(fleet, policy="energy-aware")
+        probe = GenerationRequest(0, 150, 192)
+        cheapest = min(gateway.devices,
+                       key=lambda d: (d.predicted_energy_j(probe, 0.0),
+                                      d.name))
+        report = gateway.run([FleetRequest(probe, arrival_s=0.0)])
+        (winner,) = [d for d in report.devices if d.report.offered]
+        assert winner.name == cheapest.name
+
+    def test_energy_aware_saves_energy_vs_latency_aware(self):
+        kwargs = dict(devices=4, mix="balanced", count=24)
+        aware = _run("energy-aware", **kwargs)
+        fast = _run("latency-aware", **kwargs)
+        assert aware.energy_per_request_j < fast.energy_per_request_j
+
+    def test_prefix_affinity_pins_sessions(self):
+        fleet = build_fleet(4, prefix_cache_mb=64.0)
+        gateway = FleetGateway(fleet, policy="prefix-affinity")
+        report = gateway.run(_stream(count=24, sessions=3,
+                                     prefix_tokens=64))
+        # 3 sessions -> at most 3 devices ever see work.
+        assert sum(d.report.offered > 0 for d in report.devices) <= 3
+
+    def test_prefix_affinity_earns_cache_hits(self):
+        def hits(policy):
+            fleet = build_fleet(4, prefix_cache_mb=64.0)
+            gateway = FleetGateway(fleet, policy=policy)
+            report = gateway.run(_stream(count=24, sessions=3,
+                                         prefix_tokens=64))
+            return sum(d.prefix_hits for d in report.devices)
+
+        assert hits("prefix-affinity") > hits("round-robin")
+
+    def test_stateless_requests_still_route_under_affinity(self):
+        report = _run("prefix-affinity", count=12)
+        assert report.completed == 12
+
+
+class TestDeterminism:
+    def test_rerun_is_byte_identical(self):
+        assert (_run("latency-aware").to_json()
+                == _run("latency-aware").to_json())
+
+    def test_construction_order_is_irrelevant(self):
+        stream = _stream(count=16)
+        reference = FleetGateway(build_fleet(4), "latency-aware").run(stream)
+        shuffled = list(reversed(build_fleet(4)))
+        report = FleetGateway(shuffled, "latency-aware").run(stream)
+        assert report.to_json() == reference.to_json()
+
+    def test_json_is_canonical(self):
+        report = _run("round-robin", count=8)
+        payload = json.loads(report.to_json())
+        assert payload["lost"] == 0
+        assert len(payload["served"]) == 8
+        assert len(payload["devices"]) == 4
+
+
+class TestFleetCost:
+    def test_device_seconds_sum_across_fleet(self):
+        report = _run("round-robin", count=16)
+        assert report.device_seconds > report.wallclock_s
+        assert report.cost_per_mtok() > 0
+
+    def test_deadline_attainment_counts_whole_population(self):
+        report = _run("latency-aware", count=16, deadline_s=30.0)
+        assert 0.0 <= report.deadline_hit_rate <= 1.0
+
+
+class TestFleetPlanning:
+    def test_plan_covers_the_grid(self):
+        points = plan_fleet(device_counts=(2,), mixes=("maxn", "balanced"),
+                            policies=("round-robin",), qps=4.0,
+                            num_requests=8)
+        assert len(points) == 2
+        assert {p.label for p in points} == {
+            "2x maxn / round-robin", "2x balanced / round-robin"}
+
+    def test_frontier_is_nonempty_subset(self):
+        points = plan_fleet(device_counts=(2,), mixes=("maxn", "balanced"),
+                            policies=("round-robin", "latency-aware"),
+                            qps=4.0, num_requests=8)
+        frontier = fleet_pareto(points)
+        assert frontier and set(map(id, frontier)) <= set(map(id, points))
+
+
+class TestWholeFleetDown:
+    def test_arrival_during_total_outage_is_parked_not_lost(self):
+        fleet = build_fleet(2)
+        gateway = FleetGateway(fleet, policy="round-robin")
+        for device in gateway.devices:
+            device.crash(0.0, until=5.0)
+        stream = [FleetRequest(GenerationRequest(0, 100, 32),
+                               arrival_s=1.0)]
+        report = gateway.run(stream)
+        assert report.completed == 1 and report.lost == 0
+        (served,) = report.served
+        assert served.start_s >= 5.0

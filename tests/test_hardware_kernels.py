@@ -4,13 +4,7 @@ import numpy as np
 import pytest
 
 from repro.hardware.calibration import calibration_for_model
-from repro.hardware.kernels import (
-    BATCH_TILE,
-    KernelEngine,
-    SEQUENCE_TILE,
-    pad_array_to_tile,
-    pad_to_tile,
-)
+from repro.hardware.kernels import KernelEngine, pad_array_to_tile, pad_to_tile
 from repro.hardware.memory import MemorySpec, MemorySystem
 from repro.hardware.soc import h100_like_server
 

@@ -7,7 +7,6 @@ from repro.hardware.soc import (
     PowerMode,
     SocState,
     h100_like_server,
-    jetson_orin_agx_64gb,
     nvidia_h100_sxm,
 )
 

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.models.quantization import AWQ_BITS_PER_WEIGHT, awq_w4_quantize, compression_ratio
+from repro.models.quantization import (
+    AWQ_BITS_PER_WEIGHT,
+    awq_w4_quantize,
+    compression_ratio,
+)
 from repro.models.registry import get_model
 
 

@@ -1,7 +1,6 @@
 """Property-based tests (hypothesis) on core invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.latency_model import (

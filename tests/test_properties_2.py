@@ -1,7 +1,6 @@
 """Second batch of property-based tests: lengths, caching, serving."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.batch_model import BatchedDecodeLatencyModel

@@ -4,7 +4,12 @@ the synthetic benchmark's random draw."""
 import pytest
 
 from repro.evaluation.evaluator import Evaluator
-from repro.generation.control import base_control, direct_control, hard_budget, nr_control
+from repro.generation.control import (
+    base_control,
+    direct_control,
+    hard_budget,
+    nr_control,
+)
 from repro.models.registry import get_model
 from repro.workloads.mmlu_redux import mmlu_redux
 
