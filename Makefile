@@ -6,7 +6,7 @@
 PYTHON ?= python
 OUTPUT ?= outputs
 
-.PHONY: setup test lint bench chaos chaos-pipeline chaos-fleet perf perf-baseline reproduce reproduce-fast examples fidelity takeaways clean
+.PHONY: setup test lint bench chaos chaos-pipeline chaos-fleet chaos-overload perf perf-baseline reproduce reproduce-fast examples fidelity takeaways clean
 
 ## Install the package in editable mode (legacy path works offline).
 setup:
@@ -49,6 +49,14 @@ chaos-pipeline:
 chaos-fleet:
 	$(PYTHON) -m pytest tests/test_fleet_chaos.py
 	PYTHONPATH=src $(PYTHON) -m repro chaos --fleet --seed 0
+
+## Overload survival: 3x-capacity flash crowd into a flapping,
+## thermally throttled fleet; exits nonzero unless conservation holds
+## exactly, a brownout tier engaged and recovered, and same-seed reruns
+## are byte-identical under both thread and process executors.
+chaos-overload:
+	$(PYTHON) -m pytest tests/test_fleet_overload.py tests/test_fleet_health.py
+	PYTHONPATH=src $(PYTHON) -m repro chaos --overload --seed 0
 
 ## Perf-regression harness: time the representative workloads, write
 ## BENCH_pipeline.json / BENCH_engine.json, and fail on >25% regression

@@ -305,11 +305,24 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0 if report.lost == 0 else 1
 
 
+def _chaos_verdict(variant: str, ok: bool, detail: str) -> int:
+    """The one-line PASS/FAIL summary every chaos variant ends with.
+
+    PASS goes to stdout with exit 0; FAIL goes to stderr with exit 1,
+    so CI jobs fail loudly and uniformly across variants.
+    """
+    line = f"chaos gate ({variant}): {'PASS' if ok else 'FAIL'} ({detail})"
+    print(line, file=sys.stdout if ok else sys.stderr)
+    return 0 if ok else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     if args.pipeline:
         return _cmd_chaos_pipeline(args)
     if args.fleet:
         return _cmd_chaos_fleet(args)
+    if args.overload:
+        return _cmd_chaos_overload(args)
     from repro.experiments.resilience import resilience_table, run_chaos_study
 
     points = run_chaos_study(
@@ -326,9 +339,11 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
           f"({on.throttle_residency_frac * 100:.0f}% of wallclock)")
     print(f"preempt/resume      {on.preemptions}/{on.resumes}")
     print(f"retries recovered   {on.successful_retries}/{on.retries}")
-    print(f"hit rate            {off.deadline_hit_rate * 100:.1f}% -> "
-          f"{on.deadline_hit_rate * 100:.1f}% with degradation")
-    return 0 if on.deadline_hit_rate >= off.deadline_hit_rate else 1
+    return _chaos_verdict(
+        "serving",
+        on.deadline_hit_rate >= off.deadline_hit_rate,
+        f"hit rate {off.deadline_hit_rate * 100:.1f}% -> "
+        f"{on.deadline_hit_rate * 100:.1f}% with degradation")
 
 
 def _cmd_chaos_pipeline(args: argparse.Namespace) -> int:
@@ -346,12 +361,13 @@ def _cmd_chaos_pipeline(args: argparse.Namespace) -> int:
     )
     print(pipeline_chaos_table(result).to_text())
     print()
-    if result.recovery_ok:
-        print("recovery gate: PASS (all artifacts recovered, outputs "
-              "byte-identical, resume recomputed only uncommitted work)")
-        return 0
-    print("recovery gate: FAIL", file=sys.stderr)
-    return 1
+    return _chaos_verdict(
+        "pipeline", result.recovery_ok,
+        "all artifacts recovered, outputs byte-identical, resume "
+        "recomputed only uncommitted work" if result.recovery_ok
+        else f"{result.failed} quarantined, "
+             f"identical={result.chaos_identical}, "
+             f"resume_identical={result.resume_identical}")
 
 
 def _cmd_chaos_fleet(args: argparse.Namespace) -> int:
@@ -371,12 +387,38 @@ def _cmd_chaos_fleet(args: argparse.Namespace) -> int:
     )
     print(fleet_chaos_table(result).to_text())
     print()
-    if result.recovery_ok:
-        print("fleet recovery gate: PASS (no lost requests, kills "
-              "delivered, rerun byte-identical)")
-        return 0
-    print("fleet recovery gate: FAIL", file=sys.stderr)
-    return 1
+    return _chaos_verdict(
+        "fleet", result.recovery_ok,
+        "no lost requests, kills delivered, rerun byte-identical"
+        if result.recovery_ok
+        else f"lost={result.lost}, killed={result.killed}, "
+             f"rerun_identical={result.rerun_identical}")
+
+
+def _cmd_chaos_overload(args: argparse.Namespace) -> int:
+    """3x flash crowd into a flapping fleet (``chaos --overload``)."""
+    from repro.experiments.resilience import (
+        overload_chaos_table,
+        run_overload_chaos_study,
+    )
+
+    result = run_overload_chaos_study(
+        devices=args.devices,
+        overload_factor=args.overload_factor,
+        seed=args.seed,
+    )
+    print(overload_chaos_table(result).to_text())
+    print()
+    recovery = result.time_to_slo_recovery_s
+    return _chaos_verdict(
+        "overload", result.survival_ok,
+        f"conservation exact, tier {result.max_brownout_tier} engaged, "
+        f"SLO recovery {recovery:.1f}s after storm, "
+        "reruns byte-identical" if result.survival_ok
+        else f"lost={result.lost}, tier={result.max_brownout_tier}, "
+             f"recovered={result.recovered_s}, "
+             f"rerun_identical={result.rerun_identical}, "
+             f"executor_identical={result.executor_identical}")
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
@@ -550,6 +592,14 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--kill", type=int, default=2,
                        help="device crashes to schedule "
                             "(--fleet only; default 2)")
+    chaos.add_argument("--overload", action="store_true",
+                       help="drive a 3x-capacity flash crowd into a "
+                            "flapping, thermally throttled fleet and "
+                            "gate on conservation, brownout recovery, "
+                            "and byte-identical reruns")
+    chaos.add_argument("--overload-factor", type=float, default=3.2,
+                       help="storm rate as a multiple of fleet "
+                            "capacity (--overload only; default 3.2)")
     chaos.set_defaults(func=_cmd_chaos)
 
     fleet = sub.add_parser(

@@ -381,21 +381,46 @@ def plan_fleet(device_counts: tuple[int, ...] = DEFAULT_FLEET_COUNTS,
                num_requests: int = 48,
                deadline_s: float = 30.0,
                model: str = "dsr1-qwen-1.5b",
+               faults: "object | None" = None,
+               self_healing: bool = False,
                seed: int = 0) -> list[FleetPlanPoint]:
     """Sweep device count x mix x routing policy over one offered load.
 
     Every cell serves the *identical* seeded Poisson stream through a
     fresh fleet, so the points differ only in fleet configuration — the
     fleet-level analogue of the Section V configuration grid.
+
+    ``faults`` (a :class:`~repro.faults.FleetFaultConfig`) plans under
+    a seeded per-cell fault schedule instead of fault-free optimism;
+    ``self_healing`` additionally arms the gateway's brownout admission
+    and hedging, so the planner ranks configurations by what they
+    deliver *through* partial failure — the health-aware knob ROADMAP
+    item 1 asks for.
     """
-    from repro.fleet import FleetGateway, build_fleet, poisson_stream
+    from repro.faults.injector import FleetFaultSchedule
+    from repro.fleet import (
+        BrownoutConfig,
+        FleetGateway,
+        HedgeConfig,
+        build_fleet,
+        poisson_stream,
+    )
 
     points: list[FleetPlanPoint] = []
     for count in device_counts:
         for mix in mixes:
             for policy in policies:
-                fleet = build_fleet(count, mix=mix, model=model)
-                gateway = FleetGateway(fleet, policy=policy)
+                schedule = None
+                if faults is not None:
+                    names = [f"edge-{i:02d}" for i in range(count)]
+                    schedule = FleetFaultSchedule(names, faults, seed=seed)
+                fleet = build_fleet(count, mix=mix, model=model,
+                                    faults=schedule)
+                gateway = FleetGateway(
+                    fleet, policy=policy, faults=schedule,
+                    brownout=BrownoutConfig() if self_healing else None,
+                    hedge=HedgeConfig() if self_healing else None,
+                    seed=seed)
                 stream = poisson_stream(
                     np.random.default_rng(seed), qps, num_requests,
                     deadline_s=deadline_s)

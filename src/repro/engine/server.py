@@ -412,6 +412,11 @@ class _ServingRun:
         self.prefill_stall_s = 0.0
         self.live: list[_LiveSequence] = []
         self.served: list[ServedRequest] = []
+        #: Terminal drops in chronological order: ``(index, kind)`` with
+        #: kind ``"shed"`` or ``"failed"``.  An incremental driver (the
+        #: fleet gateway) reads this with a cursor to attribute each
+        #: drop to a specific request; batch runs only need the counters.
+        self.dropped: list[tuple[int, str]] = []
         self.counters = _Counters()
         self.requests: dict[int, GenerationRequest] = {}
         self.states: dict[int, _RequestState] = {}
@@ -502,6 +507,7 @@ class _ServingRun:
         self.ready.remove(worst)
         heapq.heapify(self.ready)
         self.counters.shed += 1
+        self.dropped.append((worst[2], "shed"))
         self._record_unserved(self.states[worst[2]])
 
     # -- fault plumbing ------------------------------------------------
@@ -557,6 +563,7 @@ class _ServingRun:
                                state.index)
         else:
             self.counters.failed += 1
+            self.dropped.append((state.index, "failed"))
             self._record_unserved(state)
 
     def _release_kv(self, seq: _LiveSequence) -> None:
@@ -642,6 +649,7 @@ class _ServingRun:
                 and state.deadline_s is not None
                 and self.now > state.first_arrival_s + state.deadline_s):
             self.counters.shed += 1
+            self.dropped.append((index, "shed"))
             self._record_unserved(state)
             return True
 
@@ -863,6 +871,7 @@ class _ServingRun:
                         self.live.remove(seq)
                         self._release_kv(seq)
                         self.counters.failed += 1
+                        self.dropped.append((seq.index, "failed"))
                         self._record_unserved(self.states[seq.index])
                         return False
                     self._preempt(seq)
@@ -899,6 +908,7 @@ class _ServingRun:
         if index is None:
             return
         self.counters.failed += 1
+        self.dropped.append((index, "failed"))
         self._record_unserved(self.states[index])
 
     # -- main loop -----------------------------------------------------
@@ -949,6 +959,36 @@ class _ServingRun:
         if self._pressure_blocks:
             self.kv.release_reserved(self._pressure_blocks)
             self._pressure_blocks = 0
+
+    def cancel(self, request_id: int) -> bool:
+        """Withdraw an unfinished request from this run (hedging seam).
+
+        Removes every queued or live copy of ``request_id`` — KV is
+        released, pending/ready entries are dequeued — without touching
+        the shed/failed counters: a cancelled request is not a service
+        failure, its outcome is owned by whoever duplicated it (the
+        gateway's first-wins hedge).  Decode tokens already produced
+        stay priced in the run's clock and energy — hedging's true cost.
+        Returns True when an unfinished copy was withdrawn, False when
+        the request already reached a terminal outcome here (or was
+        never injected).
+        """
+        indices = {index for index, request in self.requests.items()
+                   if request.request_id == request_id}
+        if not indices:
+            return False
+        cancelled = False
+        for seq in [s for s in self.live if s.index in indices]:
+            self.live.remove(seq)
+            self._release_kv(seq)
+            cancelled = True
+        for heap in (self.ready, self.pending):
+            keep = [entry for entry in heap if entry[2] not in indices]
+            if len(keep) != len(heap):
+                heap[:] = keep
+                heapq.heapify(heap)
+                cancelled = True
+        return cancelled
 
     def evacuate(self) -> list[tuple[GenerationRequest, _RequestState]]:
         """Crash this run: strip all in-flight and queued work.

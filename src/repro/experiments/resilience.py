@@ -469,6 +469,350 @@ def run_fleet_chaos_study(devices: int = 4, kill: int = 2,
     )
 
 
+# ----------------------------------------------------------------------
+# Overload survival (``repro chaos --overload``): 3x flash crowd into a
+# flapping, thermally throttled fleet with brownout admission + hedging.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OverloadChaosResult:
+    """Outcome of one overload-survival exercise."""
+
+    devices: int
+    #: Closed-form aggregate service capacity of the fleet (req/s).
+    capacity_qps: float
+    storm_qps: float
+    overload_factor: float
+    offered: int
+    completed: int
+    shed: int
+    failed: int
+    lost: int
+    #: Devices with at least one flap cycle in the schedule.
+    flapping_devices: int
+    #: Thermal power-mode-cap episodes whose device actually ran
+    #: through them (delivery, not just scheduling).
+    thermal_delivered: int
+    #: Fleet wallclock spent at derated clocks (s).
+    throttle_residency_s: float
+    breaker_opens: int
+    max_brownout_tier: int
+    budget_trims: int
+    hedged: int
+    hedge_wins: int
+    #: Deepest per-request evacuation count observed.
+    max_attempts: int
+    max_reroutes: int
+    #: Last storm arrival (the flash crowd's end).
+    storm_end_s: float
+    #: Brownout controller's last return to tier 0 (None: never
+    #: degraded or never recovered).
+    recovered_s: float | None
+    #: Two independent same-seed runs rendered identical JSON.
+    rerun_identical: bool
+    #: Thread- and process-executor pipeline runs agreed on the sha.
+    executor_identical: bool
+    #: sha256 of the canonical fleet report.
+    report_sha: str
+
+    @property
+    def time_to_slo_recovery_s(self) -> float | None:
+        """Seconds after the storm until service returned to tier 0."""
+        if self.recovered_s is None:
+            return None
+        return max(self.recovered_s - self.storm_end_s, 0.0)
+
+    @property
+    def survival_ok(self) -> bool:
+        """The pass/fail gate ``repro chaos --overload`` enforces.
+
+        Conservation must hold exactly (``lost == 0``) with ``failed``
+        bounded by the re-route retry cap; the chaos must be
+        non-vacuous (a true >=3x storm, >=2 flapping devices, >=1
+        thermal throttle *delivered*); at least one brownout tier must
+        have engaged and later recovered; and the run must be
+        byte-reproducible across reruns and pipeline executors.
+        """
+        return (self.lost == 0
+                and self.offered == (self.completed + self.shed
+                                     + self.failed)
+                and self.max_attempts <= self.max_reroutes + 1
+                and self.overload_factor >= 3.0
+                and self.flapping_devices >= 2
+                and self.thermal_delivered >= 1
+                and self.throttle_residency_s > 0.0
+                and self.max_brownout_tier >= 1
+                and self.recovered_s is not None
+                and self.rerun_identical
+                and self.executor_identical)
+
+
+def _fleet_capacity_qps(fleet, prompt_tokens: int,
+                        output_tokens: int) -> float:
+    """Closed-form aggregate request rate the fleet can sustain.
+
+    Per device: a full batch of B requests turns around in one batched
+    decode span plus B serialized prefills, so the sustained rate is
+    ``B / (span + B * prefill)``.  Power-mode derating is inherent —
+    each device's kernels price its own scaled SoC.
+    """
+    total = 0.0
+    for device in fleet:
+        profile = device.engine.profile
+        kernels = device.engine.kernels
+        batch = device.spec.max_batch_size
+        span = kernels.decode_span_seconds(
+            profile, prompt_tokens, output_tokens, batch=float(batch))
+        prefill = kernels.prefill(profile, prompt_tokens).seconds
+        total += batch / (span + batch * prefill)
+    return total
+
+
+def _overload_run(devices: int, overload_factor: float,
+                  storm_requests: int, tail_requests: int,
+                  prompt_tokens: int, output_tokens: int,
+                  deadline_s: float, max_reroutes: int, seed: int):
+    """One seeded overload run; returns (report, schedule, storm_end)."""
+    from repro.faults.injector import FleetFaultConfig, FleetFaultSchedule
+    from repro.fleet import (
+        BrownoutConfig,
+        FleetGateway,
+        FleetRequest,
+        HedgeConfig,
+        build_fleet,
+    )
+
+    # Heterogeneous fleet with quantized downgrade replicas so brownout
+    # tier 2 has somewhere cheaper to steer.
+    models = ("dsr1-qwen-1.5b", "dsr1-qwen-1.5b-awq-w4")
+    capacity = _fleet_capacity_qps(
+        build_fleet(devices, mix="balanced", models=models),
+        prompt_tokens, output_tokens)
+    storm_qps = overload_factor * capacity
+    tail_qps = 0.25 * capacity
+
+    rng = np.random.default_rng(seed)
+    storm = np.cumsum(rng.exponential(1.0 / storm_qps,
+                                      size=storm_requests))
+    storm_end = float(storm[-1])
+    tail = storm_end + np.cumsum(rng.exponential(1.0 / tail_qps,
+                                                 size=tail_requests))
+    arrivals = np.concatenate([storm, tail])
+
+    names = [f"edge-{i:02d}" for i in range(devices)]
+    schedule = FleetFaultSchedule(names, FleetFaultConfig(
+        horizon_s=storm_end,
+        device_crashes=0,
+        brownouts=0,
+        flapping_devices=2,
+        flap_cycles=2,
+        flap_down_s=(1.0, 2.5),
+        flap_up_s=(2.0, 5.0),
+        flap_window=(0.15, 0.5),
+        thermal_throttles=1,
+        thermal_mode="15W",
+        thermal_duration_s=(0.5 * storm_end, 0.8 * storm_end),
+    ), seed=seed)
+
+    fleet = build_fleet(devices, mix="balanced", models=models,
+                        faults=schedule)
+    gateway = FleetGateway(
+        fleet, policy="least-outstanding", faults=schedule,
+        max_reroutes=max_reroutes,
+        brownout=BrownoutConfig(
+            downgrade_models=("dsr1-qwen-1.5b-awq-w4",)),
+        hedge=HedgeConfig(min_age_s=0.4 * deadline_s, age_factor=1.3),
+        seed=seed)
+    stream = [
+        FleetRequest(
+            request=GenerationRequest(i, prompt_tokens, output_tokens),
+            arrival_s=float(arrivals[i]),
+            deadline_s=deadline_s,
+        )
+        for i in range(len(arrivals))
+    ]
+    report = gateway.run(stream)
+    max_attempts = max(gateway._attempts.values(), default=0)
+    return report, schedule, storm_end, capacity, storm_qps, max_attempts
+
+
+def run_overload_chaos_study(devices: int = 4,
+                             overload_factor: float = 3.2,
+                             storm_requests: int = 140,
+                             tail_requests: int = 30,
+                             prompt_tokens: int = 96,
+                             output_tokens: int = 128,
+                             deadline_s: float = 20.0,
+                             max_reroutes: int = 3,
+                             seed: int = 0,
+                             check_executors: bool = True,
+                             ) -> OverloadChaosResult:
+    """Drive a 3x-capacity flash crowd into a flapping, throttled fleet.
+
+    The storm phase offers ``overload_factor`` times the fleet's
+    closed-form capacity while two devices flap through down/up cycles
+    and one device is pinned to a 15W thermal cap; a post-storm trickle
+    at a quarter of capacity lets the brownout controller walk back
+    down the tier ladder so time-to-SLO-recovery is observable.  The
+    run is repeated from scratch for byte-identity, and (unless
+    ``check_executors=False``) re-executed through the artifact
+    pipeline under both thread and process executors, which must agree
+    on the report sha.
+    """
+    import hashlib
+
+    args = (devices, overload_factor, storm_requests, tail_requests,
+            prompt_tokens, output_tokens, deadline_s, max_reroutes, seed)
+    report, schedule, storm_end, capacity, storm_qps, max_attempts = (
+        _overload_run(*args))
+    report2 = _overload_run(*args)[0]
+    sha = hashlib.sha256(report.to_json().encode()).hexdigest()
+    rerun_identical = report2.to_json() == report.to_json()
+
+    executor_identical = True
+    if check_executors:
+        # Function-level imports: the registry imports this module.
+        from repro.experiments.runner import render
+        from repro.pipeline.runner import run_pipeline
+
+        rendered = []
+        for executor in ("thread", "process"):
+            run = run_pipeline(["fleet-overload"], seed=seed, smoke=True,
+                               jobs=2, executor=executor)
+            rendered.append(render(run.outputs["fleet-overload"]))
+        # The artifact embeds the full report sha, so byte-equal text
+        # means byte-equal fleet reports across executors.
+        executor_identical = rendered[0] == rendered[1]
+
+    by_name = {d.name: d for d in report.devices}
+    thermal_delivered = sum(
+        1 for event in schedule.thermal_events()
+        if event.device in by_name
+        and by_name[event.device].report.wallclock_s > event.start_s)
+    return OverloadChaosResult(
+        devices=devices,
+        capacity_qps=capacity,
+        storm_qps=storm_qps,
+        overload_factor=overload_factor,
+        offered=report.offered,
+        completed=report.completed,
+        shed=report.shed,
+        failed=report.failed,
+        lost=report.lost,
+        flapping_devices=len(schedule.flapping()),
+        thermal_delivered=thermal_delivered,
+        throttle_residency_s=sum(
+            d.report.throttle_residency_s for d in report.devices),
+        breaker_opens=report.breaker_opens,
+        max_brownout_tier=report.max_brownout_tier,
+        budget_trims=report.budget_trims,
+        hedged=report.hedged,
+        hedge_wins=report.hedge_wins,
+        max_attempts=max_attempts,
+        max_reroutes=max_reroutes,
+        storm_end_s=storm_end,
+        recovered_s=report.recovered_s,
+        rerun_identical=rerun_identical,
+        executor_identical=executor_identical,
+        report_sha=sha,
+    )
+
+
+def run_overload_points(seed: int = 0, devices: int = 4,
+                        overload_factor: float = 3.2,
+                        storm_requests: int = 140,
+                        tail_requests: int = 30,
+                        prompt_tokens: int = 96,
+                        output_tokens: int = 128,
+                        deadline_s: float = 20.0,
+                        max_reroutes: int = 3) -> dict:
+    """Pipeline producer: one overload run as a plain (picklable) dict.
+
+    This is the executor-identity probe the overload gate runs under
+    both thread and process pipelines — it must stay a pure function of
+    its arguments, returning only plain data.
+    """
+    import hashlib
+
+    report, schedule, storm_end, capacity, storm_qps, max_attempts = (
+        _overload_run(devices, overload_factor, storm_requests,
+                      tail_requests, prompt_tokens, output_tokens,
+                      deadline_s, max_reroutes, seed))
+    return {
+        "devices": devices,
+        "capacity_qps": capacity,
+        "storm_qps": storm_qps,
+        "offered": report.offered,
+        "completed": report.completed,
+        "shed": report.shed,
+        "failed": report.failed,
+        "lost": report.lost,
+        "flapping_devices": len(schedule.flapping()),
+        "breaker_opens": report.breaker_opens,
+        "max_brownout_tier": report.max_brownout_tier,
+        "budget_trims": report.budget_trims,
+        "hedged": report.hedged,
+        "recovered_s": report.recovered_s,
+        "storm_end_s": storm_end,
+        "report_sha": hashlib.sha256(
+            report.to_json().encode()).hexdigest(),
+    }
+
+
+def fleet_overload_table(points: dict | None = None, seed: int = 0) -> Table:
+    """Format the overload producer's summary (the pipeline artifact)."""
+    points = points if points is not None else run_overload_points(seed=seed)
+    table = Table(
+        "Fleet overload: flash crowd served through brownout admission, "
+        "circuit breakers, and hedging",
+        ["Metric", "Value"],
+    )
+    for key in ("devices", "capacity_qps", "storm_qps", "offered",
+                "completed", "shed", "failed", "lost", "flapping_devices",
+                "breaker_opens", "max_brownout_tier", "budget_trims",
+                "hedged", "recovered_s", "storm_end_s", "report_sha"):
+        value = points[key]
+        table.add_row(key, value if value is not None else "never")
+    return table
+
+
+def overload_chaos_table(result: OverloadChaosResult | None = None,
+                         seed: int = 0) -> Table:
+    """Format the overload-survival exercise."""
+    result = (result if result is not None
+              else run_overload_chaos_study(seed=seed))
+    table = Table(
+        "Overload survival: 3x flash crowd into a flapping fleet with "
+        "brownout admission, breakers, and hedging",
+        ["Metric", "Value"],
+    )
+    table.add_row("devices", result.devices)
+    table.add_row("fleet capacity (req/s)", result.capacity_qps)
+    table.add_row("storm rate (req/s)", result.storm_qps)
+    table.add_row("overload factor", result.overload_factor)
+    table.add_row("offered", result.offered)
+    table.add_row("completed", result.completed)
+    table.add_row("shed / failed", f"{result.shed} / {result.failed}")
+    table.add_row("lost", result.lost)
+    table.add_row("flapping devices", result.flapping_devices)
+    table.add_row("thermal throttles delivered", result.thermal_delivered)
+    table.add_row("throttle residency (s)", result.throttle_residency_s)
+    table.add_row("breaker opens", result.breaker_opens)
+    table.add_row("max brownout tier", result.max_brownout_tier)
+    table.add_row("budget trims", result.budget_trims)
+    table.add_row("hedged / wins", f"{result.hedged} / {result.hedge_wins}")
+    table.add_row("max evacuations per request",
+                  f"{result.max_attempts} (cap {result.max_reroutes})")
+    recovery = result.time_to_slo_recovery_s
+    table.add_row("time to SLO recovery (s)",
+                  recovery if recovery is not None else "never")
+    table.add_row("rerun byte-identical",
+                  "yes" if result.rerun_identical else "NO")
+    table.add_row("thread/process sha identical",
+                  "yes" if result.executor_identical else "NO")
+    table.add_row("report sha", result.report_sha[:16])
+    return table
+
+
 def fleet_chaos_table(result: FleetChaosResult | None = None,
                       seed: int = 0) -> Table:
     """Format the fleet kill-and-recover exercise."""

@@ -28,6 +28,8 @@ store seams.
 from repro.engine.server import ResilienceReport
 from repro.faults.degradation import SHED_MODES, DegradationPolicy
 from repro.faults.injector import (
+    DEVICE_FAULT_KINDS,
+    DOWN_KINDS,
     MIN_SPEED_FACTOR,
     DeviceFault,
     FaultEvent,
@@ -40,6 +42,8 @@ from repro.faults.injector import (
 )
 
 __all__ = [
+    "DEVICE_FAULT_KINDS",
+    "DOWN_KINDS",
     "DegradationPolicy",
     "DeviceFault",
     "FaultEvent",

@@ -156,24 +156,36 @@ class PipelineFaultConfig:
             raise ValueError("hang_seconds must be positive")
 
 
+#: Device-fault kinds.  ``crash`` and ``flap`` take the device *down*
+#: (in-flight work orphaned; a flap is one window of a down/up cycle);
+#: ``brownout`` is a transient slowdown (device-local latency
+#: multiplier) and ``thermal`` a temporary power-mode cap (clock derate
+#: via :func:`repro.hardware.thermal.power_mode_speed_factor`).
+DEVICE_FAULT_KINDS = ("crash", "flap", "brownout", "thermal")
+
+#: Kinds that take the device offline (the gateway evacuates work).
+DOWN_KINDS = ("crash", "flap")
+
+
 @dataclass(frozen=True)
 class DeviceFault:
     """One timed device-level fault in a fleet schedule."""
 
     device: str
-    #: ``"crash"`` (device down, in-flight work orphaned) or
-    #: ``"brownout"`` (device-local clock derate).
+    #: One of :data:`DEVICE_FAULT_KINDS`.
     kind: str
     start_s: float
+    #: Outage/episode length; ``math.inf`` models a device that never
+    #: recovers (the gateway must shed, not park, behind it).
     duration_s: float
-    #: Clock-speed multiplier for brownouts; unused for crashes.
+    #: Clock-speed multiplier for brownout/thermal; unused for downs.
     magnitude: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.kind not in ("crash", "brownout"):
+        if self.kind not in DEVICE_FAULT_KINDS:
             raise ValueError(
                 f"unknown fault kind {self.kind!r}; "
-                f"choose 'crash' or 'brownout'")
+                f"choose from {DEVICE_FAULT_KINDS}")
         if self.duration_s <= 0:
             raise ValueError("duration_s must be positive")
 
@@ -198,20 +210,43 @@ class FleetFaultConfig:
     device_crashes: int = 1
     crash_duration_s: tuple[float, float] = (10.0, 30.0)
     crash_window: tuple[float, float] = (0.2, 0.6)
+    #: Transient device-local slowdowns (latency multiplier episodes).
     brownouts: int = 0
     brownout_speed: float = 0.5
     brownout_duration_s: tuple[float, float] = (5.0, 20.0)
+    #: Devices that *flap*: repeated down/up cycles instead of one
+    #: clean crash.  Each flapping device goes down ``flap_cycles``
+    #: times, each outage drawn from ``flap_down_s`` and separated by
+    #: an up interval drawn from ``flap_up_s``.
+    flapping_devices: int = 0
+    flap_cycles: int = 3
+    flap_down_s: tuple[float, float] = (1.0, 3.0)
+    flap_up_s: tuple[float, float] = (1.0, 4.0)
+    flap_window: tuple[float, float] = (0.1, 0.5)
+    #: Thermal-throttle episodes: the firmware pins a device to a lower
+    #: power mode until the junction cools (a temporary power-mode cap
+    #: derating clocks via ``hardware.thermal.power_mode_speed_factor``).
+    thermal_throttles: int = 0
+    thermal_mode: str = "15W"
+    thermal_duration_s: tuple[float, float] = (4.0, 12.0)
 
     def __post_init__(self) -> None:
         if self.horizon_s <= 0:
             raise ValueError("horizon_s must be positive")
-        if self.device_crashes < 0 or self.brownouts < 0:
+        if min(self.device_crashes, self.brownouts, self.flapping_devices,
+               self.thermal_throttles) < 0:
             raise ValueError("fault counts must be non-negative")
         if not 0.0 < self.brownout_speed <= 1.0:
             raise ValueError("brownout_speed must be in (0, 1]")
-        lo, hi = self.crash_window
-        if not 0.0 <= lo <= hi <= 1.0:
-            raise ValueError("crash_window must satisfy 0 <= lo <= hi <= 1")
+        if self.flap_cycles < 1:
+            raise ValueError("flap_cycles must be >= 1")
+        for name in ("crash_window", "flap_window"):
+            lo, hi = getattr(self, name)
+            if not 0.0 <= lo <= hi <= 1.0:
+                raise ValueError(f"{name} must satisfy 0 <= lo <= hi <= 1")
+        from repro.hardware.soc import PowerMode
+
+        PowerMode(self.thermal_mode)  # raises ValueError on unknown modes
 
 
 class FleetFaultSchedule:
@@ -249,13 +284,48 @@ class FleetFaultSchedule:
             duration = float(rng.uniform(*cfg.brownout_duration_s))
             events.append(DeviceFault(device, "brownout", start, duration,
                                       magnitude=cfg.brownout_speed))
+        # Flapping devices are drawn *distinct* so "2 flapping devices"
+        # means two different boards cycling, not one twice as noisy.
+        flappers = min(cfg.flapping_devices, len(names))
+        flap_lo, flap_hi = cfg.flap_window
+        for device_index in rng.permutation(len(names))[:flappers]:
+            device = names[int(device_index)]
+            t = float(rng.uniform(flap_lo * cfg.horizon_s,
+                                  flap_hi * cfg.horizon_s))
+            for _ in range(cfg.flap_cycles):
+                down = float(rng.uniform(*cfg.flap_down_s))
+                events.append(DeviceFault(device, "flap", t, down))
+                t += down + float(rng.uniform(*cfg.flap_up_s))
+        if cfg.thermal_throttles:
+            from repro.hardware.thermal import power_mode_speed_factor
+
+            derate = power_mode_speed_factor(cfg.thermal_mode)
+            for _ in range(cfg.thermal_throttles):
+                device = names[int(rng.integers(len(names)))]
+                start = float(rng.uniform(0.0, cfg.horizon_s))
+                duration = float(rng.uniform(*cfg.thermal_duration_s))
+                events.append(DeviceFault(device, "thermal", start, duration,
+                                          magnitude=derate))
         self.events: tuple[DeviceFault, ...] = tuple(
             sorted(events, key=lambda e: (e.start_s, e.device, e.kind)))
 
     # ------------------------------------------------------------------
     def crashes(self) -> tuple[DeviceFault, ...]:
-        """All crash events, in start order."""
+        """All single-crash events, in start order."""
         return tuple(e for e in self.events if e.kind == "crash")
+
+    def downs(self) -> tuple[DeviceFault, ...]:
+        """Every event that takes a device offline (crashes + flaps)."""
+        return tuple(e for e in self.events if e.kind in DOWN_KINDS)
+
+    def flapping(self) -> tuple[str, ...]:
+        """Sorted names of devices with at least one flap cycle."""
+        return tuple(sorted({e.device for e in self.events
+                             if e.kind == "flap"}))
+
+    def thermal_events(self) -> tuple[DeviceFault, ...]:
+        """All thermal power-mode-cap episodes, in start order."""
+        return tuple(e for e in self.events if e.kind == "thermal")
 
     def brownouts_for(self, device: str) -> tuple[DeviceFault, ...]:
         """One device's brownout episodes."""
@@ -263,18 +333,22 @@ class FleetFaultSchedule:
                      if e.kind == "brownout" and e.device == device)
 
     def injector_for(self, device: str) -> "FaultInjector | None":
-        """A per-device injector carrying this device's brownouts.
+        """A per-device injector carrying this device's derate episodes.
 
-        None when the device has no brownouts, so fault-free devices
-        keep the fast (span-priced) serving path.
+        Brownouts become ``TRANSIENT`` slowdowns and thermal caps become
+        ``THERMAL`` episodes at the capped mode's compute scale.  None
+        when the device has neither, so fault-free devices keep the
+        fast (span-priced) serving path.
         """
-        episodes = self.brownouts_for(device)
-        if not episodes:
+        events = [FaultEvent(FaultKind.TRANSIENT, e.start_s,
+                             e.duration_s, e.magnitude)
+                  for e in self.brownouts_for(device)]
+        events.extend(FaultEvent(FaultKind.THERMAL, e.start_s,
+                                 e.duration_s, e.magnitude)
+                      for e in self.thermal_events() if e.device == device)
+        if not events:
             return None
-        events = tuple(FaultEvent(FaultKind.TRANSIENT, e.start_s,
-                                  e.duration_s, e.magnitude)
-                       for e in episodes)
-        return FaultInjector.from_events(events, seed=self.seed)
+        return FaultInjector.from_events(tuple(events), seed=self.seed)
 
 
 class FaultInjector:

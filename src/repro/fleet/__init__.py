@@ -23,8 +23,20 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engine.request import GenerationRequest
+from repro.fleet.brownout import BrownoutConfig, BrownoutController
 from repro.fleet.device import DeviceSpec, FleetDevice
-from repro.fleet.gateway import ROUTING_POLICIES, FleetGateway, FleetRequest
+from repro.fleet.gateway import (
+    ROUTING_POLICIES,
+    FleetGateway,
+    FleetRequest,
+    HedgeConfig,
+)
+from repro.fleet.health import (
+    BreakerState,
+    CircuitBreaker,
+    DeviceHealth,
+    HealthConfig,
+)
 from repro.fleet.report import DeviceOutcome, FleetReport
 
 #: Power-mode cycles for the named fleet mixes.
@@ -40,17 +52,24 @@ def build_fleet(count: int, mix: str = "balanced",
                 max_batch_size: int = 8,
                 prefix_cache_mb: float = 0.0,
                 faults: "object | None" = None,
-                name_prefix: str = "edge") -> list[FleetDevice]:
+                name_prefix: str = "edge",
+                models: "tuple[str, ...] | None" = None
+                ) -> list[FleetDevice]:
     """Construct ``count`` devices cycling the mix's power modes.
 
     ``faults`` is an optional
     :class:`~repro.faults.FleetFaultSchedule`; each device receives its
-    own brownout injector from it.  Device names are ``prefix-NN`` so
-    sorted order equals construction order here, but nothing downstream
-    relies on that.
+    own derate injector (brownouts + thermal caps) from it.  ``models``
+    cycles heterogeneous registry models across the fleet (overriding
+    ``model``) — the overload studies use this to include quantized
+    downgrade-variant replicas for brownout tier 2.  Device names are
+    ``prefix-NN`` so sorted order equals construction order here, but
+    nothing downstream relies on that.
     """
     if count <= 0:
         raise ValueError("count must be positive")
+    if models is not None and not models:
+        raise ValueError("models must be non-empty when given")
     try:
         modes = FLEET_MIXES[mix]
     except KeyError:
@@ -60,7 +79,7 @@ def build_fleet(count: int, mix: str = "balanced",
     for i in range(count):
         spec = DeviceSpec(
             name=f"{name_prefix}-{i:02d}",
-            model=model,
+            model=models[i % len(models)] if models is not None else model,
             power_mode=modes[i % len(modes)],
             max_batch_size=max_batch_size,
             prefix_cache_mb=prefix_cache_mb,
@@ -103,6 +122,11 @@ def poisson_stream(rng: np.random.Generator, qps: float, num_requests: int,
 
 
 __all__ = [
+    "BreakerState",
+    "BrownoutConfig",
+    "BrownoutController",
+    "CircuitBreaker",
+    "DeviceHealth",
     "DeviceOutcome",
     "DeviceSpec",
     "FLEET_MIXES",
@@ -110,6 +134,8 @@ __all__ = [
     "FleetGateway",
     "FleetReport",
     "FleetRequest",
+    "HealthConfig",
+    "HedgeConfig",
     "ROUTING_POLICIES",
     "build_fleet",
     "poisson_stream",

@@ -182,15 +182,29 @@ class FleetDevice:
         self.crashes += 1
         if self.is_down(t):
             self._down_until = max(self.down_until(), until)
-            if self.run.now < self._down_until:
+            if (math.isfinite(self._down_until)
+                    and self.run.now < self._down_until):
                 self.run.now = self._down_until
             return []
         orphans = self.run.evacuate()
         self.evacuated += len(orphans)
         self._down_until = until
-        if self.run.now < until:
+        # A permanent outage (until=inf) must not poison the device
+        # clock; the device simply stays down forever.
+        if math.isfinite(until) and self.run.now < until:
             self.run.now = until
         return orphans
+
+    def cancel(self, request_id: int) -> bool:
+        """Withdraw an unfinished hedge copy of ``request_id``.
+
+        Delegates to the serving run's cancellation seam: live decode
+        state is released, queued copies are removed, and no terminal
+        counter moves — the other copy's completion is the request's
+        one outcome.  Decode tokens already produced here stay priced
+        in this device's clock and energy (hedging's honest cost).
+        """
+        return self.run.cancel(request_id)
 
     def drain(self) -> None:
         """Run every remaining injected request to completion."""

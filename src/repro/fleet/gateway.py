@@ -2,35 +2,69 @@
 
 The gateway co-simulates N :class:`~repro.fleet.device.FleetDevice`
 instances against one merged event timeline.  Global events — request
-arrivals and scheduled device crashes — are processed in time order;
-before each event every device is advanced to the event time through
-the incremental serving seam (``run_until``), then the event either
-routes a request or crashes a device (evacuating its in-flight work for
-immediate re-routing, with the original arrival time and deadline
-preserved and a small re-dispatch backoff added).  After the last
-event, every device drains to completion.
+arrivals and scheduled device outages (crashes and flap cycles) — are
+processed in time order; before each event every device is advanced to
+the event time through the incremental serving seam (``run_until``),
+then the event either routes a request or downs a device (evacuating
+its in-flight work for immediate re-routing, with the original arrival
+time and deadline preserved and a small re-dispatch backoff added).
+After the last event, every device drains to completion.
+
+Self-healing (this layer's additions over plain routing):
+
+* **Health model** — a :class:`~repro.fleet.health.DeviceHealth` per
+  device folds heartbeats, completion-latency EWMAs, and failures into
+  a per-device circuit breaker; routing skips devices whose breaker is
+  open.  Breakers *shift* load — if every breaker rejects, routing
+  falls back to all up devices rather than manufacturing an outage.
+* **Brownout admission** — when constructed with a
+  :class:`~repro.fleet.brownout.BrownoutConfig`, arrivals pass the
+  tier ladder: token-budget trims, preference for quantized downgrade
+  models, then explicit gateway shed.
+* **Hedging** — with a :class:`HedgeConfig`, in-flight requests older
+  than a multiple of the fleet latency EWMA are duplicated onto the
+  healthiest other replica; the first copy to finish wins and the
+  others are cancelled through the serving run's cancellation seam.
+  Decode tokens burned by losing copies stay in the device energy
+  totals, so hedging is priced honestly.
+* **Bounded retries** — each request survives at most ``max_reroutes``
+  crash evacuations; past the cap it is recorded as ``failed`` rather
+  than retried forever.
+
+Accounting: the gateway assigns every offered request exactly one
+terminal *disposition* — served, shed, or failed — so the conservation
+invariant ``offered == completed + shed + failed`` holds even with
+hedged duplicates in flight (duplicate completions are deduplicated by
+request id in :class:`~repro.fleet.report.FleetReport`).  A permanent
+whole-fleet outage (every device down with no finite recovery) sheds
+instead of parking, so kill-all schedules terminate cleanly.
 
 Determinism: devices are iterated in sorted-name order everywhere, every
 policy breaks ties on the device name, prefix affinity uses rendezvous
-hashing over ``sha256(session:name)``, and nothing reads a wall clock or
-unseeded RNG — so the same stream, fleet, and fault schedule reproduce a
-byte-identical :class:`~repro.fleet.report.FleetReport` regardless of
-device construction order.
+hashing over ``sha256(session:name)``, breaker probe jitter comes from
+per-device seeded RNGs, and nothing reads a wall clock or unseeded RNG —
+so the same stream, fleet, and fault schedule reproduce a byte-identical
+:class:`~repro.fleet.report.FleetReport` regardless of device
+construction order or process boundaries.
 
 Epoch granularity: a device decoding an atomic multi-token epoch may
-overshoot an event time slightly; a crash then takes effect at that
-epoch boundary.  This is deterministic and mirrors real engines, which
-cannot abort mid-kernel.
+overshoot an event time slightly; an outage or cancellation then takes
+effect at that epoch boundary.  This is deterministic and mirrors real
+engines, which cannot abort mid-kernel.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
+import math
 from dataclasses import dataclass
 
 from repro.engine.request import GenerationRequest
 from repro.faults.injector import FleetFaultSchedule
+from repro.fleet.brownout import BrownoutConfig, BrownoutController
 from repro.fleet.device import FleetDevice
+from repro.fleet.health import BreakerState, DeviceHealth, HealthConfig
 from repro.fleet.report import DeviceOutcome, FleetReport
 
 #: The pluggable routing policies.
@@ -51,13 +85,44 @@ class FleetRequest:
     prefix_tokens: int = 0
 
 
+@dataclass(frozen=True)
+class HedgeConfig:
+    """Knobs for tail-latency request hedging."""
+
+    #: Minimum in-flight age before a request may be hedged (s).
+    min_age_s: float = 8.0
+    #: Hedge when age exceeds this multiple of the latency EWMA.
+    age_factor: float = 3.0
+    #: Duplicates allowed per request.
+    max_hedges: int = 1
+    #: EWMA smoothing for the gateway's fleet latency estimate.
+    ewma_alpha: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.min_age_s <= 0:
+            raise ValueError("min_age_s must be positive")
+        if self.age_factor < 1.0:
+            raise ValueError("age_factor must be at least 1")
+        if self.max_hedges < 1:
+            raise ValueError("max_hedges must be at least 1")
+        if not 0 < self.ewma_alpha <= 1:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+
+
 class FleetGateway:
     """Routes a request stream across a fleet of edge devices."""
 
     def __init__(self, devices: "list[FleetDevice] | tuple[FleetDevice, ...]",
                  policy: str = "round-robin", *,
                  faults: FleetFaultSchedule | None = None,
-                 reroute_backoff_s: float = 0.05):
+                 reroute_backoff_s: float = 0.05,
+                 max_reroutes: int = 3,
+                 health: HealthConfig | None = None,
+                 brownout: BrownoutConfig | None = None,
+                 hedge: HedgeConfig | None = None,
+                 drain_tick_s: float = 0.5,
+                 drain_limit_s: float = 600.0,
+                 seed: int = 0):
         if not devices:
             raise ValueError("a fleet needs at least one device")
         if policy not in ROUTING_POLICIES:
@@ -65,6 +130,12 @@ class FleetGateway:
                 f"unknown policy {policy!r}; choose from {ROUTING_POLICIES}")
         if reroute_backoff_s < 0:
             raise ValueError("reroute_backoff_s must be non-negative")
+        if max_reroutes < 0:
+            raise ValueError("max_reroutes must be non-negative")
+        if drain_tick_s <= 0:
+            raise ValueError("drain_tick_s must be positive")
+        if drain_limit_s <= 0:
+            raise ValueError("drain_limit_s must be positive")
         self.devices = tuple(sorted(devices, key=lambda d: d.name))
         names = [d.name for d in self.devices]
         if len(set(names)) != len(names):
@@ -73,25 +144,75 @@ class FleetGateway:
         self.policy = policy
         self.faults = faults
         self.reroute_backoff_s = reroute_backoff_s
+        self.max_reroutes = max_reroutes
+        self.hedge = hedge
+        self.drain_tick_s = drain_tick_s
+        self.drain_limit_s = drain_limit_s
+        self.health = {d.name: DeviceHealth(d.name, health, seed=seed)
+                       for d in self.devices}
+        self.brownout = (BrownoutController(brownout)
+                         if brownout is not None else None)
         self.rerouted = 0
+        self.gateway_shed = 0
+        self.gateway_failed = 0
+        self.hedged = 0
+        self.hedge_wins = 0
         self._rr_next = 0
         self._session_of: dict[int, tuple[str | None, int]] = {}
+        #: request id -> terminal disposition ("served"/"shed"/"failed").
+        self._disposition: dict[int, str] = {}
+        #: request id -> device names currently holding a live copy.
+        self._copies: dict[int, set[str]] = {}
+        self._hedge_count: dict[int, int] = {}
+        self._hedge_target: dict[int, str] = {}
+        self._attempts: dict[int, int] = {}
+        self._arrival: dict[int, float] = {}
+        self._deadline: dict[int, float | None] = {}
+        self._request_of: dict[int, GenerationRequest] = {}
+        self._latency_ewma: float | None = None
+        self._served_cursor = {name: 0 for name in names}
+        self._dropped_cursor = {name: 0 for name in names}
 
     # -- routing --------------------------------------------------------
     def _up(self, t: float) -> list[FleetDevice]:
         return [d for d in self.devices if not d.is_down(t)]
+
+    def _routable(self, t: float) -> list[FleetDevice]:
+        """Up devices the breakers admit, with brownout steering.
+
+        Breakers shift load, never black out the fleet: when every up
+        device's breaker rejects, routing falls back to all up devices.
+        """
+        up = self._up(t)
+        fit = [d for d in up if self.health[d.name].routable(t)]
+        pool = fit or up
+        if self.brownout is not None and self.brownout.prefers_downgrade():
+            downgrade = [d for d in pool if d.spec.model
+                         in self.brownout.config.downgrade_models]
+            if downgrade:
+                return downgrade
+        return pool
 
     @staticmethod
     def _rendezvous_weight(session: str, name: str) -> int:
         digest = hashlib.sha256(f"{session}:{name}".encode()).digest()
         return int.from_bytes(digest[:8], "little")
 
-    def _pick(self, freq: FleetRequest, t: float) -> FleetDevice:
-        """The policy's choice of device for one request at time ``t``."""
-        up = self._up(t)
-        if not up:
+    def _pick(self, freq: FleetRequest, t: float) -> FleetDevice | None:
+        """The policy's choice of device for one request at time ``t``.
+
+        Returns None only when every device is down with no finite
+        recovery time (a permanent whole-fleet outage): the caller must
+        shed with an explicit disposition instead of parking forever.
+        """
+        if not self._up(t):
+            recovering = [d for d in self.devices
+                          if math.isfinite(d.down_until())]
+            if not recovering:
+                return None
             # Whole fleet down: park on the earliest-recovering device.
-            return min(self.devices, key=lambda d: (d.down_until(), d.name))
+            return min(recovering, key=lambda d: (d.down_until(), d.name))
+        up = self._routable(t)
         if self.policy == "round-robin":
             device = up[self._rr_next % len(up)]
             self._rr_next += 1
@@ -114,8 +235,13 @@ class FleetGateway:
         return min(up, key=lambda d: (d.outstanding_requests, d.name))
 
     def _route(self, freq: FleetRequest, t: float,
-               ready_s: float | None = None) -> FleetDevice:
+               ready_s: float | None = None) -> FleetDevice | None:
         device = self._pick(freq, t)
+        rid = freq.request.request_id
+        if device is None:
+            self._finish(rid, "shed")
+            return None
+        self.health[device.name].breaker.allow(t)  # consume a probe slot
         ready = ready_s
         if device.is_down(t):
             # Queued behind the outage; admission starts at recovery.
@@ -123,7 +249,201 @@ class FleetGateway:
         device.inject(freq.request, freq.arrival_s,
                       deadline_s=freq.deadline_s, ready_s=ready,
                       session=freq.session, prefix_tokens=freq.prefix_tokens)
+        self._arrival.setdefault(rid, freq.arrival_s)
+        self._deadline.setdefault(rid, freq.deadline_s)
+        self._request_of[rid] = freq.request
+        self._copies.setdefault(rid, set()).add(device.name)
         return device
+
+    # -- disposition accounting -----------------------------------------
+    def _finish(self, rid: int, kind: str) -> None:
+        """Record a request's gateway-level terminal disposition."""
+        if rid in self._disposition:
+            return
+        self._disposition[rid] = kind
+        if kind == "shed":
+            self.gateway_shed += 1
+        elif kind == "failed":
+            self.gateway_failed += 1
+
+    def _on_served(self, device: FleetDevice, record) -> None:
+        rid = record.request_id
+        self.health[device.name].observe_completion(
+            record.finish_s, record.latency_s)
+        alpha = self.hedge.ewma_alpha if self.hedge is not None else 0.2
+        if self._latency_ewma is None:
+            self._latency_ewma = record.latency_s
+        else:
+            self._latency_ewma = (alpha * record.latency_s
+                                  + (1 - alpha) * self._latency_ewma)
+        if self._disposition.get(rid) == "served":
+            # The losing copy finished inside the same advance window
+            # before it could be cancelled; dedup in FleetReport keeps
+            # the first finish.
+            self._copies.get(rid, set()).discard(device.name)
+            return
+        self._disposition[rid] = "served"
+        if self._hedge_target.get(rid) == device.name:
+            self.hedge_wins += 1
+        copies = self._copies.pop(rid, set())
+        copies.discard(device.name)
+        for name in sorted(copies):
+            self._by_name[name].cancel(rid)
+
+    def _on_dropped(self, device: FleetDevice, rid: int, kind: str,
+                    t: float) -> None:
+        self.health[device.name].observe_failure(t)
+        copies = self._copies.get(rid)
+        if copies is not None:
+            copies.discard(device.name)
+            if copies:
+                return  # another copy is still in flight
+        if rid not in self._disposition:
+            # Terminal drop counted by the device's own report; record
+            # the disposition without moving the gateway counters.
+            self._disposition[rid] = "shed" if kind == "shed" else "failed"
+
+    def _poll(self, t: float) -> None:
+        """Fold new per-device outcomes into health and dispositions."""
+        for device in self.devices:
+            run = device.run
+            name = device.name
+            start = self._served_cursor[name]
+            if len(run.served) > start:
+                for record in run.served[start:]:
+                    self._on_served(device, record)
+                self._served_cursor[name] = len(run.served)
+            start = self._dropped_cursor[name]
+            if len(run.dropped) > start:
+                for index, kind in run.dropped[start:]:
+                    self._on_dropped(device, run.requests[index].request_id,
+                                     kind, t)
+                self._dropped_cursor[name] = len(run.dropped)
+            if not device.is_down(t):
+                self.health[name].heartbeat(t)
+
+    # -- brownout & hedging ---------------------------------------------
+    def _pressure(self, t: float) -> float:
+        """Outstanding work per unit of up-capacity (fleet batches)."""
+        up = self._up(t)
+        if not up:
+            return math.inf
+        capacity = sum(d.spec.max_batch_size for d in up)
+        outstanding = sum(d.outstanding_requests for d in up)
+        return outstanding / capacity
+
+    def _maybe_hedge(self, t: float) -> None:
+        if self.hedge is None:
+            return
+        threshold = self.hedge.min_age_s
+        if self._latency_ewma is not None:
+            threshold = max(threshold,
+                            self.hedge.age_factor * self._latency_ewma)
+        for rid in sorted(self._copies):
+            copies = self._copies[rid]
+            if rid in self._disposition or not copies:
+                continue
+            if self._hedge_count.get(rid, 0) >= self.hedge.max_hedges:
+                continue
+            if t - self._arrival.get(rid, t) < threshold:
+                continue
+            candidates = [d for d in self._routable(t)
+                          if d.name not in copies and not d.is_down(t)]
+            if not candidates:
+                continue
+            device = min(candidates,
+                         key=lambda d: (d.outstanding_requests, d.name))
+            session, prefix = self._session_of.get(rid, (None, 0))
+            device.inject(self._request_of[rid], self._arrival[rid],
+                          deadline_s=self._deadline.get(rid), ready_s=t,
+                          session=session, prefix_tokens=prefix)
+            self.health[device.name].breaker.allow(t)
+            copies.add(device.name)
+            self._hedge_count[rid] = self._hedge_count.get(rid, 0) + 1
+            self._hedge_target[rid] = device.name
+            self.hedged += 1
+
+    # -- event handlers --------------------------------------------------
+    def _on_down_event(self, fault, t: float) -> None:
+        device = self._by_name.get(fault.device)
+        if device is None:
+            return  # schedule names a device not in this fleet
+        self.health[device.name].observe_failure(t)
+        orphans = device.crash(t, fault.end_s)
+        for request, state in orphans:
+            rid = request.request_id
+            self.health[device.name].observe_failure(t)
+            copies = self._copies.get(rid)
+            if copies is not None:
+                copies.discard(device.name)
+                if copies:
+                    continue  # a hedge copy survives elsewhere
+            if rid in self._disposition:
+                continue
+            attempts = self._attempts.get(rid, 0) + 1
+            self._attempts[rid] = attempts
+            if attempts > self.max_reroutes:
+                self._finish(rid, "failed")
+                continue
+            session, prefix = self._session_of.get(rid, (None, 0))
+            self.rerouted += 1
+            self._route(
+                FleetRequest(
+                    request=request,
+                    arrival_s=state.first_arrival_s,
+                    deadline_s=state.deadline_s,
+                    session=session,
+                    prefix_tokens=prefix,
+                ),
+                t, ready_s=t + self.reroute_backoff_s)
+
+    def _on_arrival(self, freq: FleetRequest, t: float) -> None:
+        rid = freq.request.request_id
+        self._arrival[rid] = freq.arrival_s
+        self._deadline[rid] = freq.deadline_s
+        if self.brownout is not None:
+            self.brownout.observe(t, self._pressure(t))
+            if self.brownout.should_shed():
+                self.brownout.shed += 1
+                self._finish(rid, "shed")
+                return
+            trimmed = self.brownout.admit(freq.request)
+            if trimmed is not freq.request:
+                freq = dataclasses.replace(freq, request=trimmed)
+        device = self._route(freq, t)
+        if (device is not None and self.brownout is not None
+                and self.brownout.prefers_downgrade()
+                and device.spec.model
+                in self.brownout.config.downgrade_models):
+            self.brownout.downgraded += 1
+
+    def _drain_all(self, t: float) -> float:
+        """Run every device to completion after the last event.
+
+        With brownout or hedging active the drain advances in fixed
+        ticks so the controller observes the backlog clearing (tier
+        recovery) and late hedges still fire; the loop is hard-bounded
+        by ``drain_limit_s`` and then force-drains, so a sick fleet
+        ends the run instead of deadlocking.
+        """
+        if self.brownout is None and self.hedge is None:
+            for device in self.devices:
+                device.drain()
+            return max((d.run.now for d in self.devices), default=t)
+        deadline = t + self.drain_limit_s
+        while any(d.outstanding_requests for d in self.devices):
+            if t >= deadline:
+                for device in self.devices:
+                    device.drain()
+                break
+            t += self.drain_tick_s
+            for device in self.devices:
+                device.advance_to(t)
+            self._poll(t)
+            self._maybe_hedge(t)
+            if self.brownout is not None:
+                self.brownout.observe(t, self._pressure(t))
+        return max((d.run.now for d in self.devices), default=t)
 
     # -- the event loop -------------------------------------------------
     def run(self, stream: "list[FleetRequest] | tuple[FleetRequest, ...]"
@@ -131,45 +451,32 @@ class FleetGateway:
         """Serve one request stream to completion across the fleet."""
         arrivals = sorted(enumerate(stream),
                           key=lambda pair: (pair[1].arrival_s, pair[0]))
-        # Merge arrivals with scheduled crashes; at equal times a crash
-        # fires first so an arrival never routes to a device dying at
-        # that same instant.
+        # Merge arrivals with scheduled outages (crashes and flap
+        # cycles); at equal times an outage fires first so an arrival
+        # never routes to a device dying at that same instant.
         events: list[tuple[float, int, int, object]] = []
         for order, (_, freq) in enumerate(arrivals):
             self._session_of[freq.request.request_id] = (
                 freq.session, freq.prefix_tokens)
             events.append((freq.arrival_s, 1, order, freq))
         if self.faults is not None:
-            for order, fault in enumerate(self.faults.crashes()):
+            for order, fault in enumerate(self.faults.downs()):
                 events.append((fault.start_s, 0, order, fault))
         events.sort(key=lambda e: (e[0], e[1], e[2]))
 
+        t = 0.0
         for t, priority, _, payload in events:
             for device in self.devices:
                 device.advance_to(t)
+            self._poll(t)
+            self._maybe_hedge(t)
             if priority == 0:
-                device = self._by_name.get(payload.device)
-                if device is None:
-                    continue  # schedule names a device not in this fleet
-                orphans = device.crash(t, payload.end_s)
-                for request, state in orphans:
-                    session, prefix = self._session_of.get(
-                        request.request_id, (None, 0))
-                    self.rerouted += 1
-                    self._route(
-                        FleetRequest(
-                            request=request,
-                            arrival_s=state.first_arrival_s,
-                            deadline_s=state.deadline_s,
-                            session=session,
-                            prefix_tokens=prefix,
-                        ),
-                        t, ready_s=t + self.reroute_backoff_s)
+                self._on_down_event(payload, t)
             else:
-                self._route(payload, t)
+                self._on_arrival(payload, t)
 
-        for device in self.devices:
-            device.drain()
+        t = self._drain_all(t)
+        self._poll(t)
         outcomes = []
         for device in self.devices:
             report = device.report()
@@ -184,9 +491,24 @@ class FleetGateway:
                 prefix_hits=device.run.prefix_hits,
                 prefix_misses=device.run.prefix_misses,
             ))
+        breaker_opens = sum(
+            1 for h in self.health.values()
+            for _, _, to in h.breaker.transitions
+            if to is BreakerState.OPEN)
+        brownout = self.brownout
+        recovered = brownout.recovered_at() if brownout is not None else None
         return FleetReport(
             policy=self.policy,
             offered=len(stream),
             rerouted=self.rerouted,
             devices=tuple(outcomes),
+            gateway_shed=self.gateway_shed,
+            gateway_failed=self.gateway_failed,
+            hedged=self.hedged,
+            hedge_wins=self.hedge_wins,
+            breaker_opens=breaker_opens,
+            max_brownout_tier=(brownout.max_tier_reached()
+                               if brownout is not None else 0),
+            budget_trims=brownout.trimmed if brownout is not None else 0,
+            recovered_s=recovered,
         )

@@ -1,0 +1,246 @@
+"""Per-device health scores and circuit breakers for the gateway.
+
+Routing a flash crowd by queue depth alone piles work onto the sickest
+device: a flapping or thermally capped box reports a short queue exactly
+because it is failing to make progress.  The gateway therefore keeps a
+:class:`DeviceHealth` observer per device — a heartbeat (last time the
+device was seen up) plus a latency EWMA over its completions — feeding a
+:class:`CircuitBreaker` per device.
+
+The breaker is the classic three-state machine, made deterministic for
+the simulator:
+
+* ``CLOSED`` — traffic flows.  Consecutive failures (evacuations,
+  timeouts) or consecutive latency-spike completions trip it ``OPEN``.
+* ``OPEN`` — the device is skipped by routing.  After a cool-down whose
+  jitter is drawn from a seeded per-device RNG (so reruns are
+  byte-identical but devices don't probe in lockstep), the first
+  ``allow`` transitions to ``HALF_OPEN``.
+* ``HALF_OPEN`` — a bounded number of probe requests are admitted.
+  ``probe_successes`` consecutive good completions close the breaker;
+  any failure re-opens it and restarts the cool-down.
+
+Legal transitions are exactly ``CLOSED→OPEN``, ``OPEN→HALF_OPEN``,
+``HALF_OPEN→CLOSED`` and ``HALF_OPEN→OPEN``; every transition is
+appended to :attr:`CircuitBreaker.transitions` so property tests can
+verify the machine never takes an illegal edge.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class BreakerState(enum.Enum):
+    """Circuit-breaker state."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+#: The only edges the breaker state machine may take.
+LEGAL_TRANSITIONS = frozenset({
+    (BreakerState.CLOSED, BreakerState.OPEN),
+    (BreakerState.OPEN, BreakerState.HALF_OPEN),
+    (BreakerState.HALF_OPEN, BreakerState.CLOSED),
+    (BreakerState.HALF_OPEN, BreakerState.OPEN),
+})
+
+
+@dataclass(frozen=True)
+class HealthConfig:
+    """Thresholds for the health model and its circuit breakers."""
+
+    #: Consecutive failures (evacuation/timeout) that trip the breaker.
+    failure_threshold: int = 3
+    #: Completion latency (s) counted as a spike against the device.
+    latency_spike_s: float = 30.0
+    #: Consecutive latency spikes that trip the breaker.
+    spike_threshold: int = 5
+    #: Base cool-down before an open breaker admits probes (s).
+    cooldown_s: float = 2.0
+    #: Max fractional seeded jitter added to each cool-down.
+    cooldown_jitter: float = 0.25
+    #: Probes admitted while half-open.
+    max_probes: int = 2
+    #: Consecutive probe successes that close the breaker.
+    probe_successes: int = 2
+    #: EWMA smoothing factor for the latency estimate.
+    ewma_alpha: float = 0.3
+    #: Heartbeat age (s) beyond which the health score decays to zero.
+    heartbeat_timeout_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if self.latency_spike_s <= 0:
+            raise ValueError("latency_spike_s must be positive")
+        if self.spike_threshold < 1:
+            raise ValueError("spike_threshold must be at least 1")
+        if self.cooldown_s <= 0:
+            raise ValueError("cooldown_s must be positive")
+        if self.cooldown_jitter < 0:
+            raise ValueError("cooldown_jitter must be non-negative")
+        if self.max_probes < 1:
+            raise ValueError("max_probes must be at least 1")
+        if not 1 <= self.probe_successes <= self.max_probes:
+            raise ValueError(
+                "probe_successes must be in [1, max_probes]")
+        if not 0 < self.ewma_alpha <= 1:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.heartbeat_timeout_s <= 0:
+            raise ValueError("heartbeat_timeout_s must be positive")
+
+
+class CircuitBreaker:
+    """Deterministic three-state breaker for one device.
+
+    The seed is derived by the health model from ``(seed, device
+    name)`` so a fleet of breakers probes deterministically but not in
+    lockstep, and reruns reproduce byte-identical probe schedules.
+    """
+
+    def __init__(self, config: HealthConfig | None = None, *, seed: int = 0):
+        self.config = config or HealthConfig()
+        self.state = BreakerState.CLOSED
+        self.transitions: list[tuple[float, BreakerState, BreakerState]] = []
+        self._rng = np.random.default_rng(seed)
+        self._consecutive_failures = 0
+        self._consecutive_spikes = 0
+        self._probe_until = 0.0  # end of the current cool-down
+        self._probes_admitted = 0
+        self._probe_wins = 0
+
+    # ------------------------------------------------------------------
+    def _move(self, t: float, new: BreakerState) -> None:
+        if (self.state, new) not in LEGAL_TRANSITIONS:
+            raise RuntimeError(
+                f"illegal breaker transition {self.state} -> {new}")
+        self.transitions.append((t, self.state, new))
+        self.state = new
+
+    def _open(self, t: float) -> None:
+        jitter = 1.0 + float(self._rng.uniform(0.0, self.config.cooldown_jitter))
+        self._probe_until = t + self.config.cooldown_s * jitter
+        self._consecutive_failures = 0
+        self._consecutive_spikes = 0
+        self._move(t, BreakerState.OPEN)
+
+    # ------------------------------------------------------------------
+    def admits(self, t: float) -> bool:
+        """Whether this device is a routing candidate at ``t``.
+
+        Non-consuming: performs the cool-down-expiry ``OPEN →
+        HALF_OPEN`` transition but does not burn a probe slot, so the
+        gateway can check many candidates per event without depleting
+        the probe budget.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if t < self._probe_until:
+                return False
+            self._probes_admitted = 0
+            self._probe_wins = 0
+            self._move(t, BreakerState.HALF_OPEN)
+        return self._probes_admitted < self.config.max_probes
+
+    def allow(self, t: float) -> bool:
+        """Consuming admission: :meth:`admits` plus probe accounting.
+
+        Call exactly once per request actually routed to the device.
+        """
+        if not self.admits(t):
+            return False
+        if self.state is BreakerState.HALF_OPEN:
+            self._probes_admitted += 1
+        return True
+
+    def record_success(self, t: float, latency_s: float) -> None:
+        """One completion on this device, with its end-to-end latency."""
+        self._consecutive_failures = 0
+        spike = latency_s >= self.config.latency_spike_s
+        self._consecutive_spikes = self._consecutive_spikes + 1 if spike else 0
+        if self.state is BreakerState.HALF_OPEN:
+            if spike:
+                self._open(t)
+                return
+            self._probe_wins += 1
+            if self._probe_wins >= self.config.probe_successes:
+                self._move(t, BreakerState.CLOSED)
+        elif (self.state is BreakerState.CLOSED
+              and self._consecutive_spikes >= self.config.spike_threshold):
+            self._open(t)
+
+    def record_failure(self, t: float) -> None:
+        """One failure (evacuation, timeout, probe loss) on this device."""
+        self._consecutive_spikes = 0
+        if self.state is BreakerState.HALF_OPEN:
+            self._open(t)
+            return
+        self._consecutive_failures += 1
+        if (self.state is BreakerState.CLOSED
+                and self._consecutive_failures
+                >= self.config.failure_threshold):
+            self._open(t)
+
+
+class DeviceHealth:
+    """Heartbeat + latency-EWMA health observer for one device."""
+
+    def __init__(self, name: str, config: HealthConfig | None = None, *,
+                 seed: int = 0):
+        self.name = name
+        self.config = config or HealthConfig()
+        # Derive the breaker seed from (seed, name) so fleets of
+        # breakers are decorrelated yet independent of device order.
+        digest = int.from_bytes(
+            name.encode("utf-8")[-8:].rjust(8, b"\0"), "big")
+        self.breaker = CircuitBreaker(self.config,
+                                      seed=(seed * 1_000_003 + digest)
+                                      % (2 ** 63))
+        self.latency_ewma_s: float | None = None
+        self.last_seen_s = 0.0
+        self.completions = 0
+        self.failures = 0
+
+    # ------------------------------------------------------------------
+    def heartbeat(self, t: float) -> None:
+        """The device was observed up at ``t``."""
+        self.last_seen_s = max(self.last_seen_s, t)
+
+    def observe_completion(self, t: float, latency_s: float) -> None:
+        """Fold one served request into the EWMA and the breaker."""
+        alpha = self.config.ewma_alpha
+        if self.latency_ewma_s is None:
+            self.latency_ewma_s = latency_s
+        else:
+            self.latency_ewma_s = (alpha * latency_s
+                                   + (1 - alpha) * self.latency_ewma_s)
+        self.completions += 1
+        self.heartbeat(t)
+        self.breaker.record_success(t, latency_s)
+
+    def observe_failure(self, t: float) -> None:
+        """Fold one failure (evacuation/timeout) into the breaker."""
+        self.failures += 1
+        self.breaker.record_failure(t)
+
+    # ------------------------------------------------------------------
+    def score(self, t: float) -> float:
+        """Health in [0, 1]: heartbeat freshness times latency quality."""
+        age = max(t - self.last_seen_s, 0.0)
+        freshness = max(1.0 - age / self.config.heartbeat_timeout_s, 0.0)
+        if self.latency_ewma_s is None:
+            return freshness
+        quality = min(self.config.latency_spike_s
+                      / max(self.latency_ewma_s, 1e-9), 1.0)
+        return freshness * quality
+
+    def routable(self, t: float) -> bool:
+        """Whether the breaker admits traffic at ``t`` (non-consuming)."""
+        return self.breaker.admits(t)

@@ -50,13 +50,42 @@ class FleetReport:
     #: Re-route injections after device crashes.
     rerouted: int
     devices: tuple[DeviceOutcome, ...]
+    #: Requests the gateway refused admission (brownout tier 3 or a
+    #: permanent whole-fleet outage) — never injected anywhere.
+    gateway_shed: int = 0
+    #: Requests whose re-route retry budget was exhausted.
+    gateway_failed: int = 0
+    #: Hedge copies injected / hedge copies that won the race.
+    hedged: int = 0
+    hedge_wins: int = 0
+    #: Circuit-breaker trips across the fleet.
+    breaker_opens: int = 0
+    #: Deepest brownout tier the admission controller engaged.
+    max_brownout_tier: int = 0
+    #: Requests admitted with a trimmed token budget.
+    budget_trims: int = 0
+    #: Time the controller last returned to tier 0 (None: never
+    #: degraded, or still degraded at end of run).
+    recovered_s: float | None = None
 
     # -- fleet-level aggregates ----------------------------------------
     @cached_property
     def served(self) -> tuple[ServedRequest, ...]:
-        """Every completed request across the fleet, by request id."""
-        merged = [r for d in self.devices for r in d.report.served]
-        return tuple(sorted(merged, key=lambda r: r.request_id))
+        """Every completed request across the fleet, by request id.
+
+        Deduplicated on request id keeping the earliest finish: with
+        hedging, both copies of a request can complete inside the same
+        advance window before the loser is cancelled, and only the
+        winner is the request's outcome (the loser's decode work stays
+        priced in its device's clock and energy).
+        """
+        merged: dict[int, ServedRequest] = {}
+        for d in self.devices:
+            for r in d.report.served:
+                prev = merged.get(r.request_id)
+                if prev is None or r.finish_s < prev.finish_s:
+                    merged[r.request_id] = r
+        return tuple(sorted(merged.values(), key=lambda r: r.request_id))
 
     @property
     def completed(self) -> int:
@@ -65,13 +94,14 @@ class FleetReport:
 
     @property
     def shed(self) -> int:
-        """Requests rejected/dropped by device admission controllers."""
-        return sum(d.report.shed for d in self.devices)
+        """Requests refused: device admission plus gateway brownouts."""
+        return sum(d.report.shed for d in self.devices) + self.gateway_shed
 
     @property
     def failed(self) -> int:
-        """Requests permanently failed on a device."""
-        return sum(d.report.failed for d in self.devices)
+        """Requests permanently failed on a device or retry-exhausted."""
+        return (sum(d.report.failed for d in self.devices)
+                + self.gateway_failed)
 
     @property
     def lost(self) -> int:
@@ -187,6 +217,14 @@ class FleetReport:
             "failed": self.failed,
             "lost": self.lost,
             "rerouted": self.rerouted,
+            "gateway_shed": self.gateway_shed,
+            "gateway_failed": self.gateway_failed,
+            "hedged": self.hedged,
+            "hedge_wins": self.hedge_wins,
+            "breaker_opens": self.breaker_opens,
+            "max_brownout_tier": self.max_brownout_tier,
+            "budget_trims": self.budget_trims,
+            "recovered_s": self.recovered_s,
             "device_crashes": self.device_crashes,
             "evacuated": self.evacuated,
             "wallclock_s": self.wallclock_s,

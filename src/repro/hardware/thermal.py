@@ -71,6 +71,20 @@ class ThermalConfig:
         return self.ambient_c + power_w / self.conductance_w_per_c
 
 
+def power_mode_speed_factor(power_mode: str) -> float:
+    """Clock-speed multiplier of a temporary power-mode cap.
+
+    A thermal-throttle fault episode ("firmware pinned the board to
+    15W until the junction cools") derates clocks to the capped mode's
+    compute scale — the same derating :meth:`SocSpec.at_mode` applies
+    statically, expressed as the time-varying speed factor the fault
+    injector composes.  Raises ``ValueError`` on unknown modes.
+    """
+    from repro.hardware.soc import _MODE_COMPUTE_SCALE, PowerMode
+
+    return float(_MODE_COMPUTE_SCALE[PowerMode(power_mode)])
+
+
 class ThermalModel:
     """Integrates power into temperature and drives the throttle machine."""
 

@@ -16,7 +16,9 @@ paths end to end:
   (must stay >= its recorded minimum, currently 3x);
 * **evaluator_mmlu_redux** — the vectorized evaluator on MMLU-Redux;
 * **fleet_fixed_qps** — the multi-device fleet gateway at a fixed
-  offered load (exercises the incremental co-simulation seam).
+  offered load (exercises the incremental co-simulation seam);
+* **fleet_overload** — one overload-survival run (3x storm through
+  brownout admission, circuit breakers, and hedging).
 
 ``run_benchmarks`` reports medians over ``repeats``;
 ``write_bench_files`` emits ``BENCH_pipeline.json`` /
@@ -60,6 +62,7 @@ BENCH_FILES = {
     "pipeline": "BENCH_pipeline.json",
     "engine": "BENCH_engine.json",
     "fleet": "BENCH_fleet.json",
+    "overload": "BENCH_overload.json",
 }
 
 
@@ -217,6 +220,24 @@ def bench_fleet(repeats: int) -> BenchResult:
                              "requests": 64})
 
 
+def bench_fleet_overload(repeats: int) -> BenchResult:
+    """One overload-survival run: 3x storm, brownouts, breakers, hedges.
+
+    Times the self-healing gateway's full hot path — health polling,
+    brownout admission, hedging, and the tick-drain — so a slowdown in
+    the resilience layer shows up here rather than only in CI wallclock.
+    """
+    from repro.experiments.resilience import _overload_run
+
+    def overload_run() -> None:
+        _overload_run(4, 3.2, 140, 30, 96, 128, 20.0, 3, 0)
+
+    median, times = _median_time(overload_run, repeats)
+    return BenchResult("fleet_overload", "overload", median, times,
+                       meta={"devices": 4, "overload_factor": 3.2,
+                             "storm_requests": 140, "tail_requests": 30})
+
+
 # ----------------------------------------------------------------------
 # driver / files / gate
 # ----------------------------------------------------------------------
@@ -231,7 +252,8 @@ def run_benchmarks(repeats: int = 3,
 
     known = ("pipeline_cold_smoke", "pipeline_warm_smoke",
              "serving_fixed_qps", "serving_span_speedup",
-             "evaluator_mmlu_redux", "fleet_fixed_qps")
+             "evaluator_mmlu_redux", "fleet_fixed_qps",
+             "fleet_overload")
     selected = set(only) if only else None
     if selected is not None:
         unknown = selected.difference(known)
@@ -263,6 +285,8 @@ def run_benchmarks(repeats: int = 3,
         record(bench_evaluator(repeats))
     if wanted("fleet_fixed_qps"):
         record(bench_fleet(repeats))
+    if wanted("fleet_overload"):
+        record(bench_fleet_overload(repeats))
     return results
 
 

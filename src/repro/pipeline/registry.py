@@ -113,6 +113,9 @@ PRODUCERS: dict[str, ProducerSpec] = {
         ProducerSpec("batch_model_rows", batch_latency.run_batch_model_study),
         ProducerSpec("chaos_points", resilience.run_chaos_study,
                      smoke_params={"num_requests": 12, "qps": 3.0}),
+        ProducerSpec("overload_points", resilience.run_overload_points,
+                     smoke_params={"devices": 3, "storm_requests": 60,
+                                   "tail_requests": 16}),
         ProducerSpec("fleet_points", fleet_study.run_fleet_study,
                      smoke_params={"num_requests": 12, "qps": 4.0,
                                    "devices": 2}),
@@ -229,6 +232,8 @@ ARTIFACTS: dict[str, ArtifactSpec] = {
                      deps={"points": "chaos_points"}),
         ArtifactSpec("fleet", fleet_study.fleet_table,
                      deps={"points": "fleet_points"}),
+        ArtifactSpec("fleet-overload", resilience.fleet_overload_table,
+                     deps={"points": "overload_points"}),
         ArtifactSpec("fleet-pareto", fleet_study.fleet_pareto_table,
                      deps={"points": "fleet_plan_points"}),
     )
