@@ -6,7 +6,7 @@
 PYTHON ?= python
 OUTPUT ?= outputs
 
-.PHONY: setup test lint bench chaos chaos-pipeline chaos-fleet chaos-overload perf perf-baseline reproduce reproduce-fast examples fidelity takeaways clean
+.PHONY: setup test lint bench chaos chaos-pipeline chaos-fleet chaos-overload perf perf-100k perf-baseline reproduce reproduce-fast examples fidelity takeaways clean
 
 ## Install the package in editable mode (legacy path works offline).
 setup:
@@ -63,6 +63,13 @@ chaos-overload:
 ## against benchmarks/baselines/ (or the span-speedup ratio floor).
 perf:
 	PYTHONPATH=src $(PYTHON) -m repro perf --check --out $(OUTPUT)
+
+## 100k-scale vector event-loop gates only: the scalar/vector speedup
+## ratio floor (>=10x, machine-independent) and the 100k-request,
+## 64-device run's hard wall-clock budget.
+perf-100k:
+	PYTHONPATH=src $(PYTHON) -m repro perf --check \
+	    --only fleet_vector_speedup,fleet_100k --out $(OUTPUT)
 
 ## Refresh the committed perf baselines (run on a quiet machine).
 perf-baseline:

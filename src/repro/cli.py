@@ -426,17 +426,27 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     from repro.perf.harness import (
         PIPELINE_ARTIFACTS,
         compare_to_baseline,
+        list_workloads,
         run_benchmarks,
         write_bench_files,
     )
 
+    if args.list:
+        for name, group, unit in list_workloads():
+            kind = "ratio" if unit == "x" else "time"
+            print(f"{name:28s} {kind:5s} -> BENCH_{group}.json")
+        return 0
     artifacts = (tuple(args.artifacts.split(","))
                  if args.artifacts else PIPELINE_ARTIFACTS)
     only = tuple(args.only.split(",")) if args.only else None
-    results = run_benchmarks(
-        repeats=args.repeats, artifacts=artifacts, jobs=args.jobs,
-        executor=args.executor, only=only,
-        log=lambda line: print(line, file=sys.stderr))
+    try:
+        results = run_benchmarks(
+            repeats=args.repeats, artifacts=artifacts, jobs=args.jobs,
+            executor=args.executor, only=only,
+            log=lambda line: print(line, file=sys.stderr))
+    except ValueError as exc:
+        print(f"perf: {exc}", file=sys.stderr)
+        return 2
     written = write_bench_files(results, args.out)
     for group, path in sorted(written.items()):
         print(f"{group} benchmarks -> {path}")
@@ -655,6 +665,9 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--only", default=None,
                       help="comma-separated workload names to run "
                            "(default: all)")
+    perf.add_argument("--list", action="store_true",
+                      help="print the workload catalog (name, kind, "
+                           "bench file) without running anything")
     perf.add_argument("--artifacts", default=None,
                       help="comma-separated artifact ids for the pipeline "
                            "workloads (default: characterization family)")

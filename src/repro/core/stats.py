@@ -1,0 +1,31 @@
+"""Small shared statistics helpers for report aggregation.
+
+Every report class (:class:`~repro.engine.server.ServingReport`,
+:class:`~repro.engine.server.ResilienceReport`,
+:class:`~repro.fleet.report.FleetReport`) needs the same nan-guarded
+percentile: a run that served nothing has *no* latency distribution,
+and a 0.0 placeholder would read as an impossibly good measurement.
+Keeping the guard in one place means the all-shed / zero-served edge
+case cannot drift between report types.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+
+def nan_percentile(values: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` (q in [0, 100]).
+
+    Returns ``nan`` for an empty sample instead of raising or
+    fabricating 0.0 — an empty distribution has no percentiles.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    data = values if isinstance(values, (list, tuple, np.ndarray)) \
+        else list(values)
+    if len(data) == 0:
+        return float("nan")
+    return float(np.percentile(data, q))

@@ -34,15 +34,19 @@ faults configured the extra counters are simply zero.
 from __future__ import annotations
 
 import heapq
+import json
 import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.stats import nan_percentile
 from repro.engine.engine import InferenceEngine
 from repro.engine.kv_cache import KVCacheExhausted, PagedKVCache
 from repro.engine.request import GenerationRequest
+from repro.engine.state import LiveSequence, RequestState, RunCounters
+from repro.workloads.arrivals import poisson_arrivals
 
 if TYPE_CHECKING:  # imported lazily to keep repro.faults decoupled
     from repro.faults.degradation import DegradationPolicy
@@ -141,9 +145,7 @@ class ServingReport:
         has no latency distribution, and a 0.0 placeholder would read as
         an (impossibly good) measurement.
         """
-        if not self.served:
-            return float("nan")
-        return float(np.percentile([r.latency_s for r in self.served], q))
+        return nan_percentile([r.latency_s for r in self.served], q)
 
     @property
     def deadline_hit_rate(self) -> float:
@@ -167,6 +169,50 @@ class ServingReport:
             return 0.0
         busy = sum(r.finish_s - r.start_s for r in self.served)
         return busy / self.wallclock_s
+
+    # -- canonical serialization ---------------------------------------
+    def to_dict(self) -> dict:
+        """A plain-data rendering with every per-request outcome.
+
+        The scalar/vector equivalence gates compare this byte-for-byte
+        (via :meth:`to_json`), so it includes full per-request detail,
+        not just aggregates.
+        """
+
+        def num(value: float | None) -> float | str | None:
+            return "nan" if isinstance(value, float) and math.isnan(
+                value) else value
+
+        return {
+            "completed": self.completed,
+            "wallclock_s": self.wallclock_s,
+            "energy_joules": self.energy_joules,
+            "offered_qps": self.offered_qps,
+            "prefill_stall_s": self.prefill_stall_s,
+            "deadline_hit_rate": num(self.deadline_hit_rate),
+            "p50_latency_s": num(self.latency_percentile(50)),
+            "p95_latency_s": num(self.latency_percentile(95)),
+            "served": [
+                {
+                    "request_id": r.request_id,
+                    "arrival_s": r.arrival_s,
+                    "start_s": r.start_s,
+                    "finish_s": r.finish_s,
+                    "prompt_tokens": r.prompt_tokens,
+                    "output_tokens": r.output_tokens,
+                    "deadline_s": num(r.deadline_s),
+                    "prefill_s": r.prefill_s,
+                    "attempts": r.attempts,
+                    "degraded": r.degraded,
+                }
+                for r in self.served
+            ],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: byte-identical for identical runs."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
 
 
 @dataclass
@@ -233,61 +279,42 @@ class ResilienceReport(ServingReport):
         hits = sum(bool(r.met_deadline) for r in with_deadlines)
         return hits / denominator
 
-
-@dataclass(eq=False)
-class _LiveSequence:
-    """One sequence currently holding a decode slot."""
-
-    request_id: int
-    index: int
-    arrival_s: float
-    start_s: float
-    prefill_s: float
-    prompt_tokens: int
-    remaining: int
-    context: int
-    deadline_s: float | None
-    kv_seq_id: int | None
-    attempt: int
-
-
-@dataclass
-class _RequestState:
-    """Cross-attempt bookkeeping for one offered request."""
-
-    index: int
-    first_arrival_s: float
-    deadline_s: float | None
-    attempts: int = 0
-    #: Sticky degraded token cap (set once by the admission controller).
-    budget_tokens: int | None = None
-    degraded: bool = False
-    preempted: bool = False
-    #: A retry (not a preemption resume) was scheduled for this request.
-    retried: bool = False
+    def to_dict(self) -> dict:
+        """The serving rendering extended with resilience counters."""
+        data = super().to_dict()
+        data.update({
+            "offered": self.offered,
+            "throttle_residency_s": self.throttle_residency_s,
+            "thermal_throttle_events": self.thermal_throttle_events,
+            "fault_slowdown_s": self.fault_slowdown_s,
+            "preemptions": self.preemptions,
+            "resumes": self.resumes,
+            "retries": self.retries,
+            "successful_retries": self.successful_retries,
+            "timeouts": self.timeouts,
+            "injected_aborts": self.injected_aborts,
+            "failed": self.failed,
+            "shed": self.shed,
+            "degraded_requests": self.degraded_requests,
+            "tokens_saved": self.tokens_saved,
+            "unserved_with_deadline": self.unserved_with_deadline,
+        })
+        return data
 
 
-@dataclass
-class _Counters:
-    """Mutable fault/degradation tallies for one run."""
-
-    throttle_residency_s: float = 0.0
-    fault_slowdown_s: float = 0.0
-    preemptions: int = 0
-    resumes: int = 0
-    retries: int = 0
-    successful_retries: int = 0
-    timeouts: int = 0
-    injected_aborts: int = 0
-    failed: int = 0
-    shed: int = 0
-    degraded_requests: int = 0
-    tokens_saved: int = 0
-    unserved_with_deadline: int = 0
+# The event-loop state types live in repro.engine.state (shared with the
+# vector fast path); the old private names remain as aliases.
+_LiveSequence = LiveSequence
+_RequestState = RequestState
+_Counters = RunCounters
 
 
 #: Admission policies: first-come-first-served or earliest-deadline-first.
 SCHEDULING_POLICIES = ("fcfs", "edf")
+
+#: Execution modes: the scalar oracle, the batched numpy fast path, or
+#: automatic selection (vector whenever the configuration is eligible).
+SERVING_MODES = ("auto", "scalar", "vector")
 
 
 class ServingSimulator:
@@ -299,6 +326,14 @@ class ServingSimulator:
     small one to study memory pressure); admissions and per-token appends
     are accounted against it, and exhaustion triggers preemption with
     recompute-on-resume, mirroring vLLM's fallback.
+
+    ``mode`` selects the event-loop core: ``"scalar"`` is the oracle,
+    ``"vector"`` the batched numpy fast path (only legal for eligible
+    configurations — no faults, thermal, degradation, or power noise),
+    and ``"auto"`` (default) picks vector whenever eligible.  Both cores
+    produce byte-identical reports; :attr:`last_mode` records which one
+    actually ran (a vector run that hits KV exhaustion falls back to a
+    deterministic scalar rerun).
     """
 
     def __init__(self, engine: InferenceEngine, max_batch_size: int = 8,
@@ -307,7 +342,8 @@ class ServingSimulator:
                  thermal: "ThermalConfig | None" = None,
                  degradation: "DegradationPolicy | None" = None,
                  kv_cache: PagedKVCache | None = None,
-                 max_span_steps: int | None = None):
+                 max_span_steps: int | None = None,
+                 mode: str = "auto"):
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
         if policy not in SCHEDULING_POLICIES:
@@ -315,6 +351,9 @@ class ServingSimulator:
                 f"unknown policy {policy!r}; choose from {SCHEDULING_POLICIES}")
         if max_span_steps is not None and max_span_steps <= 0:
             raise ValueError("max_span_steps must be positive")
+        if mode not in SERVING_MODES:
+            raise ValueError(
+                f"unknown mode {mode!r}; choose from {SERVING_MODES}")
         self.engine = engine
         self.max_batch_size = max_batch_size
         self.policy = policy
@@ -325,8 +364,17 @@ class ServingSimulator:
         #: Cap on multi-token span pricing (None = unbounded; 1 = the
         #: original per-token stepping, kept for equivalence testing).
         self.max_span_steps = max_span_steps
+        self.mode = mode
+        #: Core that executed the most recent :meth:`run` ("scalar" or
+        #: "vector"); None before the first run.
+        self.last_mode: str | None = None
 
     # ------------------------------------------------------------------
+    def vector_eligible(self) -> bool:
+        """Whether this configuration admits the vector fast path."""
+        from repro.engine.vector_run import serving_vector_eligible
+        return serving_vector_eligible(self)
+
     def run(self, requests: list[GenerationRequest],
             arrival_times: np.ndarray,
             deadlines: np.ndarray | None = None) -> ResilienceReport:
@@ -335,7 +383,7 @@ class ServingSimulator:
         ``deadlines`` (seconds after each arrival) enables the EDF policy
         and the report's deadline hit rate.  The run is deterministic:
         the same inputs, seed, and fault schedule reproduce the report
-        exactly.
+        exactly — in either mode.
         """
         if len(requests) != len(arrival_times):
             raise ValueError("requests and arrival_times must align")
@@ -343,9 +391,27 @@ class ServingSimulator:
             raise ValueError("deadlines must align with requests")
         if self.policy == "edf" and deadlines is None:
             raise ValueError("the edf policy requires deadlines")
-        return _ServingRun(self, requests,
-                           np.asarray(arrival_times, dtype=np.float64),
-                           deadlines).execute()
+        arrivals = np.asarray(arrival_times, dtype=np.float64)
+        if self.mode != "scalar":
+            from repro.engine.vector_run import (
+                VectorFallback,
+                VectorServingRun,
+            )
+            if not self.vector_eligible():
+                if self.mode == "vector":
+                    raise ValueError(
+                        "mode='vector' requires an eligible configuration "
+                        "(no faults, thermal, degradation, or power noise)")
+            else:
+                try:
+                    report = VectorServingRun(
+                        self, requests, arrivals, deadlines).execute()
+                    self.last_mode = "vector"
+                    return report
+                except VectorFallback:
+                    pass  # KV pressure: rerun on the scalar oracle
+        self.last_mode = "scalar"
+        return _ServingRun(self, requests, arrivals, deadlines).execute()
 
     # ------------------------------------------------------------------
     def run_poisson(self, rng: np.random.Generator, qps: float,
@@ -357,10 +423,7 @@ class ServingSimulator:
         ``deadline_s`` attaches a uniform per-request deadline, enabling
         deadline metrics (and the EDF policy) on synthetic streams.
         """
-        if qps <= 0:
-            raise ValueError("qps must be positive")
-        gaps = rng.exponential(1.0 / qps, size=num_requests)
-        arrivals = np.cumsum(gaps)
+        arrivals = poisson_arrivals(rng, qps, num_requests)
         requests = [
             GenerationRequest(i, prompt_tokens, output_tokens)
             for i in range(num_requests)

@@ -41,6 +41,7 @@ from repro.faults.injector import FaultInjector, FaultScheduleConfig
 from repro.generation.control import hard_budget
 from repro.hardware.thermal import ThermalConfig
 from repro.models.registry import get_model
+from repro.workloads.arrivals import poisson_arrivals
 
 
 @dataclass(frozen=True)
@@ -135,7 +136,7 @@ def run_chaos_study(model_name: str = "dsr1-qwen-1.5b",
     ))
     faults = chaos_schedule(seed=seed)
     rng = np.random.default_rng(seed + 17)
-    arrivals = np.cumsum(rng.exponential(1.0 / qps, size=num_requests))
+    arrivals = poisson_arrivals(rng, qps, num_requests)
     requests = [GenerationRequest(i, prompt_tokens, output_tokens)
                 for i in range(num_requests)]
     deadlines = np.full(num_requests, deadline_s)
@@ -433,25 +434,28 @@ def run_fleet_chaos_study(devices: int = 4, kill: int = 2,
     in the middle of the offered stream (outages long enough that
     evacuation and re-routing must actually happen); the run is then
     repeated from scratch and the two canonical fleet reports compared
-    byte-for-byte.
+    byte-for-byte.  The first run uses ``mode="auto"`` and the rerun
+    pins ``mode="scalar"``, so the byte-identity check doubles as the
+    scalar/vector mode-equivalence gate at no extra runtime.
     """
     from repro.faults.injector import FleetFaultConfig, FleetFaultSchedule
     from repro.fleet import FleetGateway, build_fleet, poisson_stream
 
-    def one_run() -> "object":
+    def one_run(mode: str) -> "object":
         fleet = build_fleet(devices, mix="balanced")
         schedule = FleetFaultSchedule(
             [device.name for device in fleet],
             FleetFaultConfig(horizon_s=12.0, device_crashes=kill,
                              crash_duration_s=(8.0, 15.0)),
             seed=seed)
-        gateway = FleetGateway(fleet, policy=policy, faults=schedule)
+        gateway = FleetGateway(fleet, policy=policy, faults=schedule,
+                               mode=mode)
         stream = poisson_stream(np.random.default_rng(seed), qps,
                                 num_requests, deadline_s=deadline_s)
         return gateway.run(stream)
 
-    first = one_run()
-    second = one_run()
+    first = one_run("auto")
+    second = one_run("scalar")
     return FleetChaosResult(
         devices=devices,
         kill=kill,
@@ -570,7 +574,8 @@ def _fleet_capacity_qps(fleet, prompt_tokens: int,
 def _overload_run(devices: int, overload_factor: float,
                   storm_requests: int, tail_requests: int,
                   prompt_tokens: int, output_tokens: int,
-                  deadline_s: float, max_reroutes: int, seed: int):
+                  deadline_s: float, max_reroutes: int, seed: int,
+                  mode: str = "auto"):
     """One seeded overload run; returns (report, schedule, storm_end)."""
     from repro.faults.injector import FleetFaultConfig, FleetFaultSchedule
     from repro.fleet import (
@@ -591,11 +596,10 @@ def _overload_run(devices: int, overload_factor: float,
     tail_qps = 0.25 * capacity
 
     rng = np.random.default_rng(seed)
-    storm = np.cumsum(rng.exponential(1.0 / storm_qps,
-                                      size=storm_requests))
+    storm = poisson_arrivals(rng, storm_qps, storm_requests)
     storm_end = float(storm[-1])
-    tail = storm_end + np.cumsum(rng.exponential(1.0 / tail_qps,
-                                                 size=tail_requests))
+    tail = poisson_arrivals(rng, tail_qps, tail_requests,
+                            start_s=storm_end)
     arrivals = np.concatenate([storm, tail])
 
     names = [f"edge-{i:02d}" for i in range(devices)]
@@ -616,7 +620,7 @@ def _overload_run(devices: int, overload_factor: float,
     fleet = build_fleet(devices, mix="balanced", models=models,
                         faults=schedule)
     gateway = FleetGateway(
-        fleet, policy="least-outstanding", faults=schedule,
+        fleet, policy="least-outstanding", faults=schedule, mode=mode,
         max_reroutes=max_reroutes,
         brownout=BrownoutConfig(
             downgrade_models=("dsr1-qwen-1.5b-awq-w4",)),
@@ -653,7 +657,9 @@ def run_overload_chaos_study(devices: int = 4,
     and one device is pinned to a 15W thermal cap; a post-storm trickle
     at a quarter of capacity lets the brownout controller walk back
     down the tier ladder so time-to-SLO-recovery is observable.  The
-    run is repeated from scratch for byte-identity, and (unless
+    run is repeated from scratch for byte-identity (the first run in
+    ``mode="auto"``, the rerun pinned to ``mode="scalar"`` so the check
+    doubles as the scalar/vector mode-equivalence gate), and (unless
     ``check_executors=False``) re-executed through the artifact
     pipeline under both thread and process executors, which must agree
     on the report sha.
@@ -663,8 +669,8 @@ def run_overload_chaos_study(devices: int = 4,
     args = (devices, overload_factor, storm_requests, tail_requests,
             prompt_tokens, output_tokens, deadline_s, max_reroutes, seed)
     report, schedule, storm_end, capacity, storm_qps, max_attempts = (
-        _overload_run(*args))
-    report2 = _overload_run(*args)[0]
+        _overload_run(*args, mode="auto"))
+    report2 = _overload_run(*args, mode="scalar")[0]
     sha = hashlib.sha256(report.to_json().encode()).hexdigest()
     rerun_identical = report2.to_json() == report.to_json()
 
@@ -772,6 +778,79 @@ def fleet_overload_table(points: dict | None = None, seed: int = 0) -> Table:
                 "hedged", "recovered_s", "storm_end_s", "report_sha"):
         value = points[key]
         table.add_row(key, value if value is not None else "never")
+    return table
+
+
+def run_vector_equivalence_points(seed: int = 0, devices: int = 6,
+                                  requests: int = 600,
+                                  utilization: float = 0.6) -> dict:
+    """Pipeline producer: scalar-vs-vector fleet byte-identity probe.
+
+    The same paced single-stream round-robin fleet workload runs twice
+    — once pinned to the scalar oracle, once under ``mode="auto"``
+    (which must select the vector fast path) — and the canonical
+    reports are compared byte-for-byte.  Pacing below closed-form
+    capacity keeps every latency under the breaker spike threshold, so
+    the auto run genuinely exercises the merged-partition vector drain
+    rather than passing vacuously through a fallback.  Returns only
+    plain data, so the probe runs under both thread and process
+    pipelines.
+    """
+    import hashlib
+    import time
+
+    from repro.fleet import FleetGateway, build_fleet, poisson_stream
+
+    def one_run(mode: str):
+        fleet = build_fleet(devices, mix="balanced", max_batch_size=1)
+        qps = utilization * _fleet_capacity_qps(fleet, 150, 192)
+        gateway = FleetGateway(fleet, policy="round-robin", mode=mode)
+        stream = poisson_stream(np.random.default_rng(seed), qps=qps,
+                                num_requests=requests)
+        start = time.perf_counter()
+        report = gateway.run(stream)
+        return report, gateway.last_mode, time.perf_counter() - start, qps
+
+    scalar_report, _, scalar_s, qps = one_run("scalar")
+    auto_report, auto_mode, vector_s, _ = one_run("auto")
+    scalar_json = scalar_report.to_json()
+    return {
+        "devices": devices,
+        "requests": requests,
+        "qps": qps,
+        "identical": scalar_json == auto_report.to_json(),
+        "auto_mode": auto_mode,
+        "completed": auto_report.completed,
+        "lost": auto_report.lost,
+        "scalar_s": scalar_s,
+        "vector_s": vector_s,
+        "speedup_x": scalar_s / vector_s if vector_s > 0 else float("inf"),
+        "report_sha": hashlib.sha256(scalar_json.encode()).hexdigest(),
+    }
+
+
+def vector_equivalence_table(points: dict | None = None,
+                             seed: int = 0) -> Table:
+    """Format the scalar/vector equivalence probe (pipeline artifact)."""
+    points = (points if points is not None
+              else run_vector_equivalence_points(seed=seed))
+    table = Table(
+        "Vector event-loop equivalence: paced round-robin fleet, scalar "
+        "oracle vs batched-numpy fast path",
+        ["Metric", "Value"],
+    )
+    table.add_row("devices", points["devices"])
+    table.add_row("requests", points["requests"])
+    table.add_row("offered rate (req/s)", points["qps"])
+    table.add_row("auto picked mode", points["auto_mode"])
+    table.add_row("reports byte-identical",
+                  "yes" if points["identical"] else "NO")
+    table.add_row("completed", points["completed"])
+    table.add_row("lost", points["lost"])
+    table.add_row("scalar wall (s)", points["scalar_s"])
+    table.add_row("vector wall (s)", points["vector_s"])
+    table.add_row("speedup (x)", points["speedup_x"])
+    table.add_row("report sha", points["report_sha"][:16])
     return table
 
 

@@ -38,6 +38,7 @@ from repro.fleet.health import (
     HealthConfig,
 )
 from repro.fleet.report import DeviceOutcome, FleetReport
+from repro.workloads.arrivals import poisson_arrivals
 
 #: Power-mode cycles for the named fleet mixes.
 FLEET_MIXES: dict[str, tuple[str, ...]] = {
@@ -101,11 +102,7 @@ def poisson_stream(rng: np.random.Generator, qps: float, num_requests: int,
     from that many sticky sessions (for prefix-affinity studies), each
     sharing a ``prefix_tokens``-token prompt prefix.
     """
-    if qps <= 0:
-        raise ValueError("qps must be positive")
-    if num_requests < 0:
-        raise ValueError("num_requests must be non-negative")
-    arrivals = np.cumsum(rng.exponential(1.0 / qps, size=num_requests))
+    arrivals = poisson_arrivals(rng, qps, num_requests)
     session_ids = (rng.integers(sessions, size=num_requests)
                    if sessions > 0 else None)
     stream = []

@@ -144,6 +144,20 @@ class FleetDevice:
         self.evacuated = 0
         self._down_until: float | None = None
 
+    @property
+    def vector_eligible(self) -> bool:
+        """Whether this device can run on the vector fast path.
+
+        Requires an eligible simulator configuration (no faults,
+        thermal, or power noise), no prefix cache (prefix-aware prefill
+        is stateful), and a fresh run (nothing injected or executed yet
+        through the incremental seam).
+        """
+        return (self.simulator.vector_eligible()
+                and self.run._prefix_cache is None
+                and self.run._next_index == 0
+                and self.run.now == 0.0)
+
     # -- availability ---------------------------------------------------
     def is_down(self, t: float) -> bool:
         """Whether the device is crashed at time ``t``."""

@@ -60,7 +60,11 @@ import hashlib
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.engine.request import GenerationRequest
+from repro.engine.server import SERVING_MODES
+from repro.engine.vector_run import VectorFallback, VectorServingRun
 from repro.faults.injector import FleetFaultSchedule
 from repro.fleet.brownout import BrownoutConfig, BrownoutController
 from repro.fleet.device import FleetDevice
@@ -122,12 +126,16 @@ class FleetGateway:
                  hedge: HedgeConfig | None = None,
                  drain_tick_s: float = 0.5,
                  drain_limit_s: float = 600.0,
-                 seed: int = 0):
+                 seed: int = 0,
+                 mode: str = "auto"):
         if not devices:
             raise ValueError("a fleet needs at least one device")
         if policy not in ROUTING_POLICIES:
             raise ValueError(
                 f"unknown policy {policy!r}; choose from {ROUTING_POLICIES}")
+        if mode not in SERVING_MODES:
+            raise ValueError(
+                f"unknown mode {mode!r}; choose from {SERVING_MODES}")
         if reroute_backoff_s < 0:
             raise ValueError("reroute_backoff_s must be non-negative")
         if max_reroutes < 0:
@@ -146,6 +154,11 @@ class FleetGateway:
         self.reroute_backoff_s = reroute_backoff_s
         self.max_reroutes = max_reroutes
         self.hedge = hedge
+        self.mode = mode
+        #: Core that executed the most recent :meth:`run` ("scalar" or
+        #: "vector"); None before the first run.
+        self.last_mode: str | None = None
+        self._health_config = health
         self.drain_tick_s = drain_tick_s
         self.drain_limit_s = drain_limit_s
         self.health = {d.name: DeviceHealth(d.name, health, seed=seed)
@@ -445,10 +458,116 @@ class FleetGateway:
                 self.brownout.observe(t, self._pressure(t))
         return max((d.run.now for d in self.devices), default=t)
 
+    # -- the vector fast path --------------------------------------------
+    def vector_eligible(self) -> bool:
+        """Whether this gateway configuration admits the vector path.
+
+        Round-robin routing is the one state-independent policy (every
+        other policy reads live device state per arrival, which is
+        inherently sequential), and no mid-stream event source may be
+        armed: faults, brownout, and hedging all inject events the
+        merged epoch loop cannot batch.  Every device must itself be
+        vector-eligible.  Health breakers are allowed *statically* —
+        with no failure source they can only trip on completion-latency
+        spikes, which :meth:`_run_vector` detects dynamically and
+        answers with a scalar fallback.
+        """
+        return (self.policy == "round-robin"
+                and self.faults is None
+                and self.brownout is None
+                and self.hedge is None
+                and all(d.vector_eligible for d in self.devices))
+
+    def _run_vector(self, stream: "list[FleetRequest] | tuple[FleetRequest, ...]"
+                    ) -> FleetReport:
+        """Batched fleet run: partition up front, drain per device.
+
+        With round-robin routing and no faults the scalar event loop is
+        exactly equivalent to assigning the k-th arrival (in arrival
+        order, ties by stream position — the scalar sort) to the k-th
+        device modulo the fleet, then letting each device drain its
+        share independently: ``run_until`` segments compose bitwise when
+        nothing is injected between them, so the per-arrival ping-pong
+        of the scalar loop prices the very same epochs.  Each device
+        then runs on the array-backed vector core.  Raises
+        :class:`~repro.engine.vector_run.VectorFallback` (before any
+        state is mutated — the vector core never touches the real
+        allocator) if any device hits KV exhaustion, or if any served
+        latency reaches the health model's spike threshold: past it the
+        scalar loop's circuit breakers could leave CLOSED and start
+        shifting load, so only the oracle is authoritative.  Below it
+        the breakers provably never transition (there is no failure
+        source), making the partition equivalence exact.
+        """
+        arrivals = sorted(enumerate(stream),
+                          key=lambda pair: (pair[1].arrival_s, pair[0]))
+        shares: list[list[FleetRequest]] = [[] for _ in self.devices]
+        for k, (_, freq) in enumerate(arrivals):
+            shares[k % len(self.devices)].append(freq)
+        outcomes = []
+        for device, share in zip(self.devices, shares):
+            requests = [f.request for f in share]
+            arrival_s = np.array([f.arrival_s for f in share],
+                                 dtype=np.float64)
+            deadlines = np.array(
+                [f.deadline_s if f.deadline_s is not None else np.nan
+                 for f in share], dtype=np.float64)
+            mask = np.array([f.deadline_s is not None for f in share],
+                            dtype=bool)
+            report = VectorServingRun(device.simulator, requests,
+                                      arrival_s, deadlines, mask).execute()
+            spike_s = (self._health_config or HealthConfig()).latency_spike_s
+            if any(r.latency_s >= spike_s for r in report.served):
+                raise VectorFallback(
+                    "completion latency reached the breaker spike "
+                    "threshold; the scalar oracle owns breaker dynamics")
+            outcomes.append(DeviceOutcome(
+                name=device.name,
+                model=device.spec.model,
+                power_mode=device.spec.power_mode,
+                report=report,
+                crashes=0,
+                evacuated=0,
+                prefix_hits=0,
+                prefix_misses=0,
+            ))
+        return FleetReport(
+            policy=self.policy,
+            offered=len(stream),
+            rerouted=0,
+            devices=tuple(outcomes),
+        )
+
     # -- the event loop -------------------------------------------------
     def run(self, stream: "list[FleetRequest] | tuple[FleetRequest, ...]"
             ) -> FleetReport:
-        """Serve one request stream to completion across the fleet."""
+        """Serve one request stream to completion across the fleet.
+
+        Dispatches to the vector fast path when ``mode`` allows and the
+        configuration is eligible (see :meth:`vector_eligible`); both
+        cores produce byte-identical reports, and :attr:`last_mode`
+        records which one ran.
+        """
+        if self.mode != "scalar":
+            eligible = self.vector_eligible()
+            if self.mode == "vector" and not eligible:
+                raise ValueError(
+                    "mode='vector' requires round-robin routing with no "
+                    "faults, health, brownout, hedging, or ineligible "
+                    "devices")
+            if eligible:
+                try:
+                    report = self._run_vector(stream)
+                    self.last_mode = "vector"
+                    return report
+                except VectorFallback:
+                    pass  # KV pressure somewhere: scalar oracle rerun
+        self.last_mode = "scalar"
+        return self._run_scalar(stream)
+
+    def _run_scalar(self, stream: "list[FleetRequest] | tuple[FleetRequest, ...]"
+                    ) -> FleetReport:
+        """The scalar oracle: the merged per-event co-simulation loop."""
         arrivals = sorted(enumerate(stream),
                           key=lambda pair: (pair[1].arrival_s, pair[0]))
         # Merge arrivals with scheduled outages (crashes and flap

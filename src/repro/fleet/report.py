@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from functools import cached_property
 
 from repro.core.cost import CostModel
+from repro.core.stats import nan_percentile
 from repro.engine.server import ResilienceReport, ServedRequest
 
 
@@ -166,11 +167,7 @@ class FleetReport:
 
     def latency_percentile(self, q: float) -> float:
         """Fleet end-to-end latency percentile (nan when none served)."""
-        if not self.served:
-            return float("nan")
-        import numpy as np
-
-        return float(np.percentile([r.latency_s for r in self.served], q))
+        return nan_percentile([r.latency_s for r in self.served], q)
 
     @property
     def deadline_hit_rate(self) -> float:

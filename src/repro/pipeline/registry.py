@@ -116,6 +116,9 @@ PRODUCERS: dict[str, ProducerSpec] = {
         ProducerSpec("overload_points", resilience.run_overload_points,
                      smoke_params={"devices": 3, "storm_requests": 60,
                                    "tail_requests": 16}),
+        ProducerSpec("vector_equivalence_points",
+                     resilience.run_vector_equivalence_points,
+                     smoke_params={"devices": 2, "requests": 40}),
         ProducerSpec("fleet_points", fleet_study.run_fleet_study,
                      smoke_params={"num_requests": 12, "qps": 4.0,
                                    "devices": 2}),
@@ -234,6 +237,9 @@ ARTIFACTS: dict[str, ArtifactSpec] = {
                      deps={"points": "fleet_points"}),
         ArtifactSpec("fleet-overload", resilience.fleet_overload_table,
                      deps={"points": "overload_points"}),
+        ArtifactSpec("vector-equivalence",
+                     resilience.vector_equivalence_table,
+                     deps={"points": "vector_equivalence_points"}),
         ArtifactSpec("fleet-pareto", fleet_study.fleet_pareto_table,
                      deps={"points": "fleet_plan_points"}),
     )

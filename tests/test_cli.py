@@ -250,6 +250,23 @@ class TestCommands:
         assert "degradation on" in out
         assert "hit rate" in out
 
+    def test_perf_list_prints_catalog_without_running(self, capsys):
+        code = main(["perf", "--list"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet_100k" in out
+        assert "serving_span_speedup" in out
+        assert "ratio" in out and "time" in out
+        # Listing must not write any bench file.
+        assert "benchmarks ->" not in out
+
+    def test_perf_unknown_only_fails_fast_with_available_set(self, capsys):
+        code = main(["perf", "--only", "no_such_workload"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "no_such_workload" in err
+        assert "fleet_100k" in err  # the available set is printed
+
     def test_characterize_writes_json(self, capsys, tmp_path):
         out = tmp_path / "models.json"
         code = main(["characterize", "--model", "dsr1-qwen-1.5b",

@@ -8,8 +8,10 @@ import pytest
 
 from repro.perf.harness import (
     BENCH_FILES,
+    WORKLOAD_CATALOG,
     BenchResult,
     compare_to_baseline,
+    list_workloads,
     load_baseline,
     run_benchmarks,
     write_bench_files,
@@ -118,3 +120,43 @@ class TestRunBenchmarks:
         assert ratio.unit == "x"
         # The perf_opt acceptance gate: span pricing >= 3x per-token.
         assert ratio.value >= ratio.meta["min"] == 3.0
+
+    def test_fleet_vector_speedup_meets_floor(self):
+        # Two repeats: the bench takes best-of, so one scheduler stall
+        # inside the short vector window cannot flap the gate.
+        results = run_benchmarks(repeats=2, only=("fleet_vector_speedup",))
+        (ratio,) = results
+        assert ratio.unit == "x"
+        assert ratio.group == "fleet100k"
+        # The vectorized event-loop acceptance gate: >= 10x scalar.
+        assert ratio.value >= ratio.meta["min"] == 10.0
+
+
+class TestWorkloadCatalog:
+    def test_catalog_groups_have_bench_files(self):
+        for _, group, _ in WORKLOAD_CATALOG:
+            assert group in BENCH_FILES
+
+    def test_list_workloads_matches_dispatch(self):
+        names = [name for name, _, _ in list_workloads()]
+        assert names == sorted(set(names), key=names.index)
+        assert "fleet_100k" in names
+        assert "fleet_vector_speedup" in names
+        # The unknown-name error advertises exactly this set.
+        with pytest.raises(ValueError) as err:
+            run_benchmarks(repeats=1, only=("bogus",))
+        for name in names:
+            assert name in str(err.value)
+
+
+class TestBudgetGate:
+    def test_budget_blown_fails_without_baseline(self, tmp_path):
+        over = _result("fleet_100k", "fleet100k", 99.0,
+                       meta={"budget_s": 30.0})
+        problems = compare_to_baseline([over], tmp_path)
+        assert problems and "budget" in problems[0]
+
+    def test_budget_respected_passes(self, tmp_path):
+        under = _result("fleet_100k", "fleet100k", 6.0,
+                        meta={"budget_s": 30.0})
+        assert compare_to_baseline([under], tmp_path) == []
