@@ -6,7 +6,7 @@
 PYTHON ?= python
 OUTPUT ?= outputs
 
-.PHONY: setup test lint bench chaos chaos-pipeline chaos-fleet chaos-overload perf perf-100k perf-baseline reproduce reproduce-fast examples fidelity takeaways clean
+.PHONY: setup test lint bench chaos chaos-pipeline chaos-fleet chaos-overload chaos-autoscale perf perf-100k perf-baseline reproduce reproduce-fast examples fidelity takeaways clean
 
 ## Install the package in editable mode (legacy path works offline).
 setup:
@@ -57,6 +57,16 @@ chaos-fleet:
 chaos-overload:
 	$(PYTHON) -m pytest tests/test_fleet_overload.py tests/test_fleet_health.py
 	PYTHONPATH=src $(PYTHON) -m repro chaos --overload --seed 0
+
+## Autoscale lifecycle survival drill: a diurnal cycle plus flash crowd
+## into an autoscaled fleet with crashes delivered mid-drain and
+## mid-wake; exits nonzero unless no request is lost, flapping stays
+## within the hysteresis bound, autoscaled energy beats always-on at
+## equal-or-better attainment, and same-seed reruns are byte-identical
+## under both thread and process executors.
+chaos-autoscale:
+	$(PYTHON) -m pytest tests/test_fleet_autoscale.py
+	PYTHONPATH=src $(PYTHON) -m repro chaos --autoscale --seed 0
 
 ## Perf-regression harness: time the representative workloads, write
 ## BENCH_pipeline.json / BENCH_engine.json, and fail on >25% regression

@@ -271,6 +271,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
     from repro.fleet import FleetGateway, build_fleet, poisson_stream
 
+    from repro.fleet import ROUTING_POLICIES
+
+    if args.policy not in ROUTING_POLICIES:
+        print(f"repro fleet: unknown routing policy {args.policy!r}; "
+              f"choose from {', '.join(sorted(ROUTING_POLICIES))}",
+              file=sys.stderr)
+        return 2
     fleet = build_fleet(args.devices, mix=args.mix, model=args.model,
                         prefix_cache_mb=args.prefix_cache_mb)
     gateway = FleetGateway(fleet, policy=args.policy)
@@ -323,6 +330,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return _cmd_chaos_fleet(args)
     if args.overload:
         return _cmd_chaos_overload(args)
+    if args.autoscale:
+        return _cmd_chaos_autoscale(args)
     from repro.experiments.resilience import resilience_table, run_chaos_study
 
     points = run_chaos_study(
@@ -417,6 +426,33 @@ def _cmd_chaos_overload(args: argparse.Namespace) -> int:
         "reruns byte-identical" if result.survival_ok
         else f"lost={result.lost}, tier={result.max_brownout_tier}, "
              f"recovered={result.recovered_s}, "
+             f"rerun_identical={result.rerun_identical}, "
+             f"executor_identical={result.executor_identical}")
+
+
+def _cmd_chaos_autoscale(args: argparse.Namespace) -> int:
+    """Diurnal load + flash crowd against the autoscaler with crashes
+    delivered mid-drain and mid-wake (``chaos --autoscale``)."""
+    from repro.experiments.resilience import (
+        autoscale_chaos_table,
+        run_autoscale_chaos_study,
+    )
+
+    result = run_autoscale_chaos_study(seed=args.seed)
+    print(autoscale_chaos_table(result, args.seed).to_text())
+    print()
+    saved = result.always_on_energy_j - result.autoscaled_energy_j
+    return _chaos_verdict(
+        "autoscale", result.autoscale_ok,
+        f"lost=0, {result.drains_completed} drains, "
+        f"{result.wakes} wakes, crashes landed mid-drain and mid-wake, "
+        f"{saved:.0f} J saved vs always-on, reruns byte-identical"
+        if result.autoscale_ok
+        else f"lost={result.lost}, drains={result.drains_completed}, "
+             f"wakes={result.wakes}, "
+             f"crashes={result.crashes_draining}/{result.crashes_waking}, "
+             f"energy {result.autoscaled_energy_j:.0f} J vs "
+             f"{result.always_on_energy_j:.0f} J, "
              f"rerun_identical={result.rerun_identical}, "
              f"executor_identical={result.executor_identical}")
 
@@ -610,6 +646,12 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--overload-factor", type=float, default=3.2,
                        help="storm rate as a multiple of fleet "
                             "capacity (--overload only; default 3.2)")
+    chaos.add_argument("--autoscale", action="store_true",
+                       help="drive a diurnal cycle plus flash crowd "
+                            "into an autoscaled fleet, crash devices "
+                            "mid-drain and mid-wake, and gate on zero "
+                            "loss, bounded flapping, energy below "
+                            "always-on, and byte-identical reruns")
     chaos.set_defaults(func=_cmd_chaos)
 
     fleet = sub.add_parser(

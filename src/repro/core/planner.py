@@ -383,6 +383,7 @@ def plan_fleet(device_counts: tuple[int, ...] = DEFAULT_FLEET_COUNTS,
                model: str = "dsr1-qwen-1.5b",
                faults: "object | None" = None,
                self_healing: bool = False,
+               autoscale: "object | None" = None,
                seed: int = 0) -> list[FleetPlanPoint]:
     """Sweep device count x mix x routing policy over one offered load.
 
@@ -395,10 +396,14 @@ def plan_fleet(device_counts: tuple[int, ...] = DEFAULT_FLEET_COUNTS,
     ``self_healing`` additionally arms the gateway's brownout admission
     and hedging, so the planner ranks configurations by what they
     deliver *through* partial failure — the health-aware knob ROADMAP
-    item 1 asks for.
+    item 1 asks for.  ``autoscale`` (an
+    :class:`~repro.fleet.AutoscaleConfig`) plans with the device
+    lifecycle controller armed, pricing wake/sleep/DVFS decisions into
+    every cell.
     """
     from repro.faults.injector import FleetFaultSchedule
     from repro.fleet import (
+        ROUTING_POLICIES,
         BrownoutConfig,
         FleetGateway,
         HedgeConfig,
@@ -406,6 +411,11 @@ def plan_fleet(device_counts: tuple[int, ...] = DEFAULT_FLEET_COUNTS,
         poisson_stream,
     )
 
+    unknown = [p for p in policies if p not in ROUTING_POLICIES]
+    if unknown:
+        raise ValueError(
+            f"unknown routing policy {unknown[0]!r}; "
+            f"choose from {ROUTING_POLICIES}")
     points: list[FleetPlanPoint] = []
     for count in device_counts:
         for mix in mixes:
@@ -420,6 +430,7 @@ def plan_fleet(device_counts: tuple[int, ...] = DEFAULT_FLEET_COUNTS,
                     fleet, policy=policy, faults=schedule,
                     brownout=BrownoutConfig() if self_healing else None,
                     hedge=HedgeConfig() if self_healing else None,
+                    autoscale=autoscale,
                     seed=seed)
                 stream = poisson_stream(
                     np.random.default_rng(seed), qps, num_requests,

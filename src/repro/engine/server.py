@@ -994,6 +994,14 @@ class _ServingRun:
                 while (len(self.live) < self.sim.max_batch_size
                        and self._try_admit_one()):
                     pass
+                if self.now >= horizon:
+                    # An admission prefill crossed the horizon.  The
+                    # driver may still inject arrivals earlier than the
+                    # clock now stands; starting a decode epoch here
+                    # would price them out of the batch and diverge from
+                    # the batch oracle (which already holds them in
+                    # ``pending`` and admits them first).
+                    break
                 if not self.live:
                     if not (self.pending or self.ready):
                         break

@@ -917,3 +917,438 @@ def fleet_chaos_table(result: FleetChaosResult | None = None,
     table.add_row("rerun byte-identical",
                   "yes" if result.rerun_identical else "NO")
     return table
+
+
+# ---------------------------------------------------------------------------
+# Autoscale chaos: diurnal curve + flash crowd + crashes mid-drain/mid-wake
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AutoscaleChaosResult:
+    """Outcome of one autoscale lifecycle chaos exercise."""
+
+    devices: int
+    capacity_qps: float
+    base_qps: float
+    peak_qps: float
+    crowd_qps: float
+    crowd_start_s: float
+    offered: int
+    completed: int
+    shed: int
+    failed: int
+    lost: int
+    wakes: int
+    #: Wakes completing after the flash crowd started (the absorption
+    #: evidence the gate requires).
+    wakes_after_crowd: int
+    sleeps: int
+    drains_completed: int
+    drain_evacuations: int
+    dvfs_switches: int
+    crashes_draining: int
+    crashes_waking: int
+    #: Deepest per-device sleep/wake cycle count vs the hysteresis
+    #: bound the controller's holds guarantee.
+    max_wake_cycles: int
+    cycle_bound: int
+    max_brownout_tier: int
+    attainment: float
+    always_on_attainment: float
+    #: Serving energy + idle/sleep/wake/DVFS floor, autoscaled.
+    autoscaled_energy_j: float
+    #: Serving energy + always-on idle floor for the identical stream.
+    always_on_energy_j: float
+    energy_saved_j: float
+    #: Two independent same-seed runs rendered identical JSON.
+    rerun_identical: bool
+    #: Thread- and process-executor pipeline runs agreed on the sha.
+    executor_identical: bool
+    #: sha256 of the canonical autoscaled fleet report.
+    report_sha: str
+
+    @property
+    def autoscale_ok(self) -> bool:
+        """The pass/fail gate ``repro chaos --autoscale`` enforces.
+
+        Conservation must hold exactly through every lifecycle edge
+        (``lost == 0``); the chaos must be non-vacuous (>=1 wake
+        absorbing the flash crowd, >=2 graceful drains, >=1 crash
+        delivered against a DRAINING or WAKING device); flapping stays
+        within the hysteresis bound; the autoscaled fleet spends
+        strictly less energy than always-on at equal-or-better SLO
+        attainment; and the run is byte-reproducible across reruns and
+        pipeline executors.
+        """
+        return (self.lost == 0
+                and self.offered == (self.completed + self.shed
+                                     + self.failed)
+                and self.wakes >= 1
+                and self.wakes_after_crowd >= 1
+                and self.drains_completed >= 2
+                and (self.crashes_draining + self.crashes_waking) >= 1
+                and self.max_wake_cycles <= self.cycle_bound
+                and self.autoscaled_energy_j < self.always_on_energy_j
+                and self.attainment >= self.always_on_attainment
+                and self.rerun_identical
+                and self.executor_identical)
+
+
+def _diurnal_crowd_stream(seed: int, base_qps: float, peak_qps: float,
+                          period_s: float, diurnal_requests: int,
+                          crowd_start_s: float, crowd_qps: float,
+                          crowd_requests: int, prompt_tokens: int,
+                          output_tokens: int, deadline_s: float):
+    """The study's seeded arrival stream: a diurnal curve with a flash
+    crowd burst superposed at its second trough."""
+    from repro.fleet import FleetRequest
+    from repro.workloads.arrivals import diurnal_arrivals
+
+    rng = np.random.default_rng(seed)
+    diurnal = diurnal_arrivals(rng, base_qps, peak_qps, period_s,
+                               diurnal_requests)
+    crowd = poisson_arrivals(rng, crowd_qps, crowd_requests,
+                             start_s=crowd_start_s)
+    arrivals = np.sort(np.concatenate([diurnal, crowd]), kind="stable")
+    return [
+        FleetRequest(
+            request=GenerationRequest(i, prompt_tokens, output_tokens),
+            arrival_s=float(arrivals[i]),
+            deadline_s=deadline_s,
+        )
+        for i in range(len(arrivals))
+    ]
+
+
+def _lifecycle_window(transitions, state, after_s: float):
+    """First completed interval a device spends in ``state`` entered
+    strictly after ``after_s``: returns (device, enter_s, exit_s) or
+    None.  ``transitions`` is the controller's chronological log."""
+    open_since: dict[str, float] = {}
+    for t, name, src, dst in transitions:
+        if dst is state and t > after_s:
+            open_since[name] = t
+        elif src is state and name in open_since:
+            return name, open_since[name], t
+    return None
+
+
+def _autoscale_run(devices: int, base_frac: float, peak_frac: float,
+                   period_s: float, diurnal_requests: int,
+                   crowd_factor: float, crowd_requests: int,
+                   prompt_tokens: int, output_tokens: int,
+                   deadline_s: float, seed: int, *,
+                   crash_events=(), autoscaled: bool = True):
+    """One seeded diurnal+crowd fleet run; autoscaled or always-on.
+
+    Returns ``(report, gateway, params)`` where ``params`` carries the
+    derived rates.  ``crash_events`` are explicit ``(device, start_s,
+    duration_s)`` crashes delivered through a
+    :class:`~repro.faults.injector.FleetFaultSchedule` built with zero
+    seeded draws, so the chaos is exactly the named events.
+    """
+    from repro.faults.injector import (
+        DeviceFault,
+        FleetFaultConfig,
+        FleetFaultSchedule,
+    )
+    from repro.fleet import (
+        AutoscaleConfig,
+        BrownoutConfig,
+        FleetGateway,
+        build_fleet,
+    )
+
+    capacity = _fleet_capacity_qps(
+        build_fleet(devices, mix="balanced", max_batch_size=4),
+        prompt_tokens, output_tokens)
+    base_qps = base_frac * capacity
+    peak_qps = peak_frac * capacity
+    crowd_qps = crowd_factor * capacity
+    crowd_start_s = period_s  # the second trough: the fleet is asleep
+    stream = _diurnal_crowd_stream(
+        seed, base_qps, peak_qps, period_s, diurnal_requests,
+        crowd_start_s, crowd_qps, crowd_requests, prompt_tokens,
+        output_tokens, deadline_s)
+
+    names = [f"edge-{i:02d}" for i in range(devices)]
+    schedule = None
+    if crash_events:
+        schedule = FleetFaultSchedule(
+            names,
+            FleetFaultConfig(horizon_s=max(2 * period_s, 1.0),
+                             device_crashes=0),
+            seed=seed,
+            events=[DeviceFault(device, "crash", start, duration)
+                    for device, start, duration in crash_events])
+    fleet = build_fleet(devices, mix="balanced", max_batch_size=4,
+                        faults=schedule)
+    # Brownout engages later than in the overload study: with the
+    # autoscaler armed, transient pressure during a cold-start window is
+    # expected and sheds would double-count what a wake already absorbs.
+    # The always-on baseline uses the identical ladder for a fair
+    # attainment comparison.
+    gateway = FleetGateway(
+        fleet, policy="least-outstanding", faults=schedule,
+        brownout=BrownoutConfig(enter_pressure=(4.0, 8.0, 12.0),
+                                exit_pressure=(3.0, 6.0, 9.0)),
+        autoscale=AutoscaleConfig() if autoscaled else None,
+        seed=seed)
+    report = gateway.run(stream)
+    params = {
+        "capacity_qps": capacity,
+        "base_qps": base_qps,
+        "peak_qps": peak_qps,
+        "crowd_qps": crowd_qps,
+        "crowd_start_s": crowd_start_s,
+    }
+    return report, gateway, params
+
+
+def _autoscale_crash_plan(run_args, seed: int):
+    """Find crash times targeting a DRAINING and a WAKING device.
+
+    Deterministic multi-pass targeting: a fault-free pass locates the
+    first drain window (crash one lands at its midpoint); a second
+    pass *with* that crash locates the first wake window after it
+    (crash two).  Because every pass shares the dynamics up to the
+    next injected crash, the windows found are exactly where the final
+    run's devices will be — the crashes land mid-DRAINING and
+    mid-WAKING by construction, not by luck.
+    """
+    from repro.fleet import LifecycleState
+
+    crash_duration_s = 15.0
+    events = []
+    _, gateway, _ = _autoscale_run(*run_args, seed, crash_events=())
+    drain = _lifecycle_window(gateway.autoscale.transitions,
+                              LifecycleState.DRAINING, after_s=0.0)
+    if drain is not None:
+        name, enter, exit_ = drain
+        events.append((name, enter + 0.5 * (exit_ - enter),
+                       crash_duration_s))
+        _, gateway, _ = _autoscale_run(*run_args, seed,
+                                       crash_events=tuple(events))
+    wake = _lifecycle_window(gateway.autoscale.transitions,
+                             LifecycleState.WAKING,
+                             after_s=events[-1][1] if events else 0.0)
+    if wake is not None:
+        name, enter, exit_ = wake
+        events.append((name, enter + 0.5 * (exit_ - enter),
+                       crash_duration_s))
+    return tuple(events)
+
+
+#: The committed study shape: 6 balanced devices riding two diurnal
+#: periods with a flash crowd at the second trough.
+_AUTOSCALE_ARGS = dict(devices=6, base_frac=0.08, peak_frac=0.55,
+                       period_s=100.0, diurnal_requests=320,
+                       crowd_factor=1.8, crowd_requests=70,
+                       prompt_tokens=96, output_tokens=96,
+                       deadline_s=45.0)
+
+
+def run_autoscale_points(seed: int = 0, **overrides) -> dict:
+    """Pipeline producer: one targeted autoscale run as a plain dict.
+
+    This is the executor-identity probe the autoscale gate runs under
+    both thread and process pipelines — a pure function of its
+    arguments returning only plain data (the report sha embeds the
+    full canonical fleet report).
+    """
+    import hashlib
+
+    from repro.fleet import LifecycleState
+
+    args = {**_AUTOSCALE_ARGS, **overrides}
+    run_args = (args["devices"], args["base_frac"], args["peak_frac"],
+                args["period_s"], args["diurnal_requests"],
+                args["crowd_factor"], args["crowd_requests"],
+                args["prompt_tokens"], args["output_tokens"],
+                args["deadline_s"])
+    events = _autoscale_crash_plan(run_args, seed)
+    report, gateway, params = _autoscale_run(*run_args, seed,
+                                             crash_events=events)
+    ctrl = gateway.autoscale
+    end_s = report.wallclock_s
+    scale = report.autoscale
+    wakes_after_crowd = sum(
+        1 for t, _, src, dst in ctrl.transitions
+        if src is LifecycleState.WAKING and dst is LifecycleState.ACTIVE
+        and t >= params["crowd_start_s"])
+    return {
+        "devices": args["devices"],
+        "offered": report.offered,
+        "completed": report.completed,
+        "shed": report.shed,
+        "failed": report.failed,
+        "lost": report.lost,
+        "wakes": scale.wakes,
+        "wakes_after_crowd": wakes_after_crowd,
+        "sleeps": scale.sleeps,
+        "drains_completed": scale.drains_completed,
+        "drain_evacuations": scale.drain_evacuations,
+        "dvfs_switches": scale.dvfs_switches,
+        "crashes_draining": scale.crashes_draining,
+        "crashes_waking": scale.crashes_waking,
+        "max_wake_cycles": max(
+            (ctrl.wake_cycles(n) for n in ctrl.names), default=0),
+        "cycle_bound": ctrl.max_cycles_bound(end_s),
+        "max_brownout_tier": report.max_brownout_tier,
+        "crash_events": [list(e) for e in events],
+        "report_sha": hashlib.sha256(
+            report.to_json().encode()).hexdigest(),
+        **params,
+    }
+
+
+def run_autoscale_chaos_study(seed: int = 0, check_executors: bool = True,
+                              **overrides) -> AutoscaleChaosResult:
+    """Ride a diurnal curve and flash crowd on an autoscaled fleet.
+
+    The fleet sleeps through the opening trough (graceful drains), the
+    flash crowd at the second trough forces cold wakes, and two
+    targeted crashes land mid-DRAINING and mid-WAKING (see
+    :func:`_autoscale_crash_plan`).  The identical stream and crash
+    schedule are then served always-on for the energy comparison, the
+    autoscaled run is repeated from scratch for byte-identity, and
+    (unless ``check_executors=False``) the run is re-executed through
+    the artifact pipeline under thread and process executors, which
+    must agree on the report sha.
+    """
+    import hashlib
+
+    points = run_autoscale_points(seed=seed, **overrides)
+    args = {**_AUTOSCALE_ARGS, **overrides}
+    run_args = (args["devices"], args["base_frac"], args["peak_frac"],
+                args["period_s"], args["diurnal_requests"],
+                args["crowd_factor"], args["crowd_requests"],
+                args["prompt_tokens"], args["output_tokens"],
+                args["deadline_s"])
+    events = tuple(tuple(e) for e in points["crash_events"])
+    report, gateway, _ = _autoscale_run(*run_args, seed,
+                                        crash_events=events)
+    rerun_identical = (hashlib.sha256(report.to_json().encode())
+                       .hexdigest() == points["report_sha"])
+
+    always_report, always_gateway, _ = _autoscale_run(
+        *run_args, seed, crash_events=events, autoscaled=False)
+    scale = report.autoscale
+    autoscaled_energy = (report.energy_joules + scale.idle_energy_j
+                         + scale.sleep_energy_j + scale.wake_energy_j
+                         + scale.dvfs_energy_j)
+    idle_w = {d.name: float(d.engine.power.idle_power())
+              for d in always_gateway.devices}
+    always_energy = (always_report.energy_joules
+                     + sum(idle_w.values()) * always_report.wallclock_s)
+
+    executor_identical = True
+    if check_executors:
+        # Function-level imports: the registry imports this module.
+        from repro.experiments.runner import render
+        from repro.pipeline.runner import run_pipeline
+
+        rendered = []
+        for executor in ("thread", "process"):
+            run = run_pipeline(["fleet-autoscale"], seed=seed, smoke=True,
+                               jobs=2, executor=executor)
+            rendered.append(render(run.outputs["fleet-autoscale"]))
+        executor_identical = rendered[0] == rendered[1]
+
+    return AutoscaleChaosResult(
+        devices=points["devices"],
+        capacity_qps=points["capacity_qps"],
+        base_qps=points["base_qps"],
+        peak_qps=points["peak_qps"],
+        crowd_qps=points["crowd_qps"],
+        crowd_start_s=points["crowd_start_s"],
+        offered=points["offered"],
+        completed=points["completed"],
+        shed=points["shed"],
+        failed=points["failed"],
+        lost=points["lost"],
+        wakes=points["wakes"],
+        wakes_after_crowd=points["wakes_after_crowd"],
+        sleeps=points["sleeps"],
+        drains_completed=points["drains_completed"],
+        drain_evacuations=points["drain_evacuations"],
+        dvfs_switches=points["dvfs_switches"],
+        crashes_draining=points["crashes_draining"],
+        crashes_waking=points["crashes_waking"],
+        max_wake_cycles=points["max_wake_cycles"],
+        cycle_bound=points["cycle_bound"],
+        max_brownout_tier=points["max_brownout_tier"],
+        attainment=report.deadline_hit_rate,
+        always_on_attainment=always_report.deadline_hit_rate,
+        autoscaled_energy_j=autoscaled_energy,
+        always_on_energy_j=always_energy,
+        energy_saved_j=always_energy - autoscaled_energy,
+        rerun_identical=rerun_identical,
+        executor_identical=executor_identical,
+        report_sha=points["report_sha"],
+    )
+
+
+def fleet_autoscale_table(points: dict | None = None,
+                          seed: int = 0) -> Table:
+    """Format the autoscale producer's summary (the pipeline artifact)."""
+    points = points if points is not None else run_autoscale_points(seed=seed)
+    table = Table(
+        "Fleet autoscale: diurnal curve and flash crowd served through "
+        "the device lifecycle controller",
+        ["Metric", "Value"],
+    )
+    for key in ("devices", "capacity_qps", "base_qps", "peak_qps",
+                "crowd_qps", "crowd_start_s", "offered", "completed",
+                "shed", "failed", "lost", "wakes", "wakes_after_crowd",
+                "sleeps", "drains_completed", "drain_evacuations",
+                "dvfs_switches", "crashes_draining", "crashes_waking",
+                "max_wake_cycles", "cycle_bound", "max_brownout_tier",
+                "report_sha"):
+        table.add_row(key, points[key])
+    return table
+
+
+def autoscale_chaos_table(result: AutoscaleChaosResult | None = None,
+                          seed: int = 0) -> Table:
+    """Format the autoscale lifecycle chaos exercise."""
+    result = (result if result is not None
+              else run_autoscale_chaos_study(seed=seed))
+    table = Table(
+        "Autoscale chaos: diurnal + flash crowd with crashes landed "
+        "mid-drain and mid-wake",
+        ["Metric", "Value"],
+    )
+    table.add_row("devices", result.devices)
+    table.add_row("fleet capacity (req/s)", result.capacity_qps)
+    table.add_row("base / peak rate (req/s)",
+                  f"{result.base_qps:.2f} / {result.peak_qps:.2f}")
+    table.add_row("crowd rate (req/s)", result.crowd_qps)
+    table.add_row("crowd start (s)", result.crowd_start_s)
+    table.add_row("offered", result.offered)
+    table.add_row("completed", result.completed)
+    table.add_row("shed / failed", f"{result.shed} / {result.failed}")
+    table.add_row("lost", result.lost)
+    table.add_row("wakes (after crowd)",
+                  f"{result.wakes} ({result.wakes_after_crowd})")
+    table.add_row("sleeps", result.sleeps)
+    table.add_row("graceful drains", result.drains_completed)
+    table.add_row("drain evacuations", result.drain_evacuations)
+    table.add_row("DVFS switches", result.dvfs_switches)
+    table.add_row("crashes mid-drain / mid-wake",
+                  f"{result.crashes_draining} / {result.crashes_waking}")
+    table.add_row("max wake cycles (bound)",
+                  f"{result.max_wake_cycles} ({result.cycle_bound})")
+    table.add_row("max brownout tier", result.max_brownout_tier)
+    table.add_row("attainment vs always-on (%)",
+                  f"{result.attainment * 100.0:.2f} vs "
+                  f"{result.always_on_attainment * 100.0:.2f}")
+    table.add_row("autoscaled energy (J)", result.autoscaled_energy_j)
+    table.add_row("always-on energy (J)", result.always_on_energy_j)
+    table.add_row("energy saved (J)", result.energy_saved_j)
+    table.add_row("rerun byte-identical",
+                  "yes" if result.rerun_identical else "NO")
+    table.add_row("thread/process sha identical",
+                  "yes" if result.executor_identical else "NO")
+    table.add_row("report sha", result.report_sha[:16])
+    return table

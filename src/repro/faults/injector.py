@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import enum
 import hashlib
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -186,7 +187,14 @@ class DeviceFault:
             raise ValueError(
                 f"unknown fault kind {self.kind!r}; "
                 f"choose from {DEVICE_FAULT_KINDS}")
-        if self.duration_s <= 0:
+        # A NaN or negative start would silently never fire (event
+        # sorting and time comparisons both reject it); fail loudly at
+        # construction instead.  duration_s may be math.inf (a device
+        # that never recovers) but not NaN.
+        if math.isnan(self.start_s) or math.isinf(self.start_s) \
+                or self.start_s < 0:
+            raise ValueError("start_s must be finite and non-negative")
+        if math.isnan(self.duration_s) or self.duration_s <= 0:
             raise ValueError("duration_s must be positive")
 
     @property
@@ -260,7 +268,9 @@ class FleetFaultSchedule:
     """
 
     def __init__(self, device_names: "list[str] | tuple[str, ...]",
-                 config: FleetFaultConfig | None = None, seed: int = 0):
+                 config: FleetFaultConfig | None = None, seed: int = 0,
+                 events: "list[DeviceFault] | tuple[DeviceFault, ...] | None"
+                 = None):
         names = tuple(sorted(device_names))
         if not names:
             raise ValueError("a fleet fault schedule needs device names")
@@ -271,7 +281,17 @@ class FleetFaultSchedule:
         self.seed = seed
         cfg = self.config
         rng = np.random.default_rng(seed)
-        events: list[DeviceFault] = []
+        # Explicit events (targeted chaos: e.g. a crash aimed at a
+        # device mid-drain) join the seeded draw; an event naming a
+        # device outside the fleet would silently never fire, so it is
+        # rejected here (time validity is DeviceFault's own contract).
+        explicit = tuple(events) if events is not None else ()
+        for event in explicit:
+            if event.device not in names:
+                raise ValueError(
+                    f"fault event names unknown device {event.device!r}; "
+                    f"fleet devices are {names}")
+        events: list[DeviceFault] = list(explicit)
         lo, hi = cfg.crash_window
         for _ in range(cfg.device_crashes):
             device = names[int(rng.integers(len(names)))]

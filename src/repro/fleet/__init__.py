@@ -23,6 +23,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.engine.request import GenerationRequest
+from repro.fleet.autoscale import (
+    LEGAL_TRANSITIONS,
+    AutoscaleConfig,
+    AutoscaleController,
+    AutoscaleReport,
+    LifecycleState,
+)
 from repro.fleet.brownout import BrownoutConfig, BrownoutController
 from repro.fleet.device import DeviceSpec, FleetDevice
 from repro.fleet.gateway import (
@@ -119,6 +126,9 @@ def poisson_stream(rng: np.random.Generator, qps: float, num_requests: int,
 
 
 __all__ = [
+    "AutoscaleConfig",
+    "AutoscaleController",
+    "AutoscaleReport",
     "BreakerState",
     "BrownoutConfig",
     "BrownoutController",
@@ -133,6 +143,8 @@ __all__ = [
     "FleetRequest",
     "HealthConfig",
     "HedgeConfig",
+    "LEGAL_TRANSITIONS",
+    "LifecycleState",
     "ROUTING_POLICIES",
     "build_fleet",
     "poisson_stream",

@@ -19,6 +19,7 @@ so a 15W box is honestly slower and honestly cheaper per joule.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
@@ -125,6 +126,7 @@ class FleetDevice:
                  faults: "FaultInjector | None" = None):
         self.spec = spec
         self.name = spec.name
+        self._faults = faults
         mode = PowerMode(spec.power_mode)
         soc = jetson_orin_agx_64gb()
         if mode is not PowerMode.MAXN:
@@ -142,7 +144,40 @@ class FleetDevice:
         self.run = _DeviceRun(self.simulator, prefix_cache=prefix_cache)
         self.crashes = 0
         self.evacuated = 0
+        self.dvfs_switches = 0
         self._down_until: float | None = None
+
+    def set_power_mode(self, power_mode: str) -> None:
+        """DVFS: rebuild the engine at ``power_mode`` on an idle device.
+
+        Mid-batch frequency switching would corrupt span pricing, so
+        the switch is only legal with zero outstanding work — the
+        autoscale controller guarantees that by only downshifting idle
+        actives and upshifting before routing resumes.  Served history,
+        the device clock, energy, and the prefix cache all survive the
+        swap; only the pricing kernels change.
+        """
+        if self.outstanding_requests:
+            raise RuntimeError(
+                f"device {self.name!r} holds outstanding work; "
+                "a DVFS switch requires an idle device")
+        if power_mode == self.spec.power_mode:
+            return
+        mode = PowerMode(power_mode)  # raises ValueError on unknown modes
+        soc = jetson_orin_agx_64gb()
+        if mode is not PowerMode.MAXN:
+            soc = soc.at_mode(mode)
+        self.engine = InferenceEngine(get_model(self.spec.model), soc=soc)
+        self.simulator = ServingSimulator(
+            self.engine, max_batch_size=self.spec.max_batch_size,
+            policy=self.spec.policy, faults=self._faults,
+            thermal=self.spec.thermal)
+        run = self.run
+        run.sim = self.simulator
+        run.engine = self.engine
+        run.kv = self.simulator.kv_cache
+        self.spec = dataclasses.replace(self.spec, power_mode=power_mode)
+        self.dvfs_switches += 1
 
     @property
     def vector_eligible(self) -> bool:

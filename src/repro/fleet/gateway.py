@@ -30,6 +30,14 @@ Self-healing (this layer's additions over plain routing):
 * **Bounded retries** — each request survives at most ``max_reroutes``
   crash evacuations; past the cap it is recorded as ``failed`` rather
   than retried forever.
+* **Autoscaling** — with an
+  :class:`~repro.fleet.autoscale.AutoscaleConfig`, a lifecycle
+  controller evaluates on synthetic tick events merged into the
+  timeline: it drains and sleeps idle devices (cordoned devices accept
+  no new routes; leftovers past the drain grace are evacuated and
+  re-routed), cold-wakes sleepers before the brownout ladder engages,
+  and DVFS-switches idle actives — pricing the idle/sleep/wake floor
+  against the always-on fleet in ``FleetReport.autoscale``.
 
 Accounting: the gateway assigns every offered request exactly one
 terminal *disposition* — served, shed, or failed — so the conservation
@@ -66,6 +74,11 @@ from repro.engine.request import GenerationRequest
 from repro.engine.server import SERVING_MODES
 from repro.engine.vector_run import VectorFallback, VectorServingRun
 from repro.faults.injector import FleetFaultSchedule
+from repro.fleet.autoscale import (
+    AutoscaleConfig,
+    AutoscaleController,
+    LifecycleState,
+)
 from repro.fleet.brownout import BrownoutConfig, BrownoutController
 from repro.fleet.device import FleetDevice
 from repro.fleet.health import BreakerState, DeviceHealth, HealthConfig
@@ -124,6 +137,7 @@ class FleetGateway:
                  health: HealthConfig | None = None,
                  brownout: BrownoutConfig | None = None,
                  hedge: HedgeConfig | None = None,
+                 autoscale: AutoscaleConfig | None = None,
                  drain_tick_s: float = 0.5,
                  drain_limit_s: float = 600.0,
                  seed: int = 0,
@@ -165,6 +179,16 @@ class FleetGateway:
                        for d in self.devices}
         self.brownout = (BrownoutController(brownout)
                          if brownout is not None else None)
+        #: The lifecycle controller (None keeps every legacy code path
+        #: untouched — reports stay byte-identical without it).
+        self.autoscale = (AutoscaleController(
+            names, autoscale,
+            idle_power_w={d.name: float(d.engine.power.idle_power())
+                          for d in self.devices},
+            power_modes={d.name: d.spec.power_mode for d in self.devices},
+            capacity={d.name: float(d.spec.max_batch_size)
+                      for d in self.devices})
+            if autoscale is not None else None)
         self.rerouted = 0
         self.gateway_shed = 0
         self.gateway_failed = 0
@@ -197,6 +221,11 @@ class FleetGateway:
         device's breaker rejects, routing falls back to all up devices.
         """
         up = self._up(t)
+        if self.autoscale is not None:
+            # Lifecycle filter: cordoned/draining/asleep/waking devices
+            # accept no new routes (the emergency paths in _pick wake
+            # or reactivate capacity when this empties the pool).
+            up = [d for d in up if self.autoscale.accepts_routes(d.name)]
         fit = [d for d in up if self.health[d.name].routable(t)]
         pool = fit or up
         if self.brownout is not None and self.brownout.prefers_downgrade():
@@ -226,6 +255,15 @@ class FleetGateway:
             # Whole fleet down: park on the earliest-recovering device.
             return min(recovering, key=lambda d: (d.down_until(), d.name))
         up = self._routable(t)
+        if self.autoscale is not None and not up:
+            device = self._autoscale_emergency(t)
+            if device is not None:
+                return device
+            recovering = [d for d in self.devices
+                          if math.isfinite(d.down_until())]
+            if not recovering:
+                return None
+            return min(recovering, key=lambda d: (d.down_until(), d.name))
         if self.policy == "round-robin":
             device = up[self._rr_next % len(up)]
             self._rr_next += 1
@@ -247,6 +285,31 @@ class FleetGateway:
                 self._rendezvous_weight(freq.session, d.name), d.name))
         return min(up, key=lambda d: (d.outstanding_requests, d.name))
 
+    def _autoscale_emergency(self, t: float) -> FleetDevice | None:
+        """Produce capacity when no ACTIVE device is up.
+
+        The ladder is cheapest-first: reactivate a cordoned/draining
+        device, queue on an already-waking one, then cold-wake a
+        sleeper (bypassing the hysteresis holds — an outage is not a
+        flap).  Returns None only when every non-asleep device is down
+        and no healthy sleeper exists.
+        """
+        ctrl = self.autoscale
+        down = frozenset(d.name for d in self.devices if d.is_down(t))
+        name = ctrl.emergency_activate(t, down)
+        if name is not None:
+            return self._by_name[name]
+        waking = [d for d in self.devices
+                  if d.name not in down
+                  and ctrl.state(d.name) is LifecycleState.WAKING]
+        if waking:
+            return min(waking, key=lambda d: (ctrl.wake_ready_s(d.name),
+                                              d.name))
+        name = ctrl.emergency_wake(t, down)
+        if name is not None:
+            return self._by_name[name]
+        return None
+
     def _route(self, freq: FleetRequest, t: float,
                ready_s: float | None = None) -> FleetDevice | None:
         device = self._pick(freq, t)
@@ -259,6 +322,12 @@ class FleetGateway:
         if device.is_down(t):
             # Queued behind the outage; admission starts at recovery.
             ready = max(ready if ready is not None else t, device.down_until())
+        if (self.autoscale is not None
+                and self.autoscale.state(device.name)
+                is LifecycleState.WAKING):
+            # Queued behind the cold start; admission at wake-ready.
+            ready = max(ready if ready is not None else t,
+                        self.autoscale.wake_ready_s(device.name))
         device.inject(freq.request, freq.arrival_s,
                       deadline_s=freq.deadline_s, ready_s=ready,
                       session=freq.session, prefix_tokens=freq.prefix_tokens)
@@ -337,10 +406,25 @@ class FleetGateway:
 
     # -- brownout & hedging ---------------------------------------------
     def _pressure(self, t: float) -> float:
-        """Outstanding work per unit of up-capacity (fleet batches)."""
+        """Outstanding work per unit of up-capacity (fleet batches).
+
+        With autoscaling armed the capacity base is the *routable*
+        (ACTIVE, up) devices only: sleeping capacity must not dilute
+        the signal, or the controller would never wake it.  Outstanding
+        work anywhere — including draining and waking devices — still
+        counts as load.
+        """
         up = self._up(t)
         if not up:
             return math.inf
+        if self.autoscale is not None:
+            active = [d for d in up
+                      if self.autoscale.accepts_routes(d.name)]
+            if not active:
+                return math.inf
+            capacity = sum(d.spec.max_batch_size for d in active)
+            outstanding = sum(d.outstanding_requests for d in self.devices)
+            return outstanding / capacity
         capacity = sum(d.spec.max_batch_size for d in up)
         outstanding = sum(d.outstanding_requests for d in up)
         return outstanding / capacity
@@ -376,6 +460,54 @@ class FleetGateway:
             self._hedge_target[rid] = device.name
             self.hedged += 1
 
+    # -- autoscaling ------------------------------------------------------
+    def _autoscale_tick(self, t: float) -> None:
+        """One controller evaluation plus application of its actions."""
+        ctrl = self.autoscale
+        down = frozenset(d.name for d in self.devices if d.is_down(t))
+        outstanding = {d.name: d.outstanding_requests
+                       for d in self.devices}
+        for action in ctrl.tick(t, self._pressure(t), down=down,
+                                outstanding=outstanding):
+            if action[0] == "evacuate":
+                self._evacuate_drain(action[1], t)
+            elif action[0] == "set_mode":
+                _, name, mode = action
+                self._by_name[name].set_power_mode(mode)
+                ctrl.note_mode(t, name, mode)
+
+    def _evacuate_drain(self, name: str, t: float) -> None:
+        """Move an expired drain's leftovers to the rest of the fleet.
+
+        Unlike a crash evacuation this is *planned*: no health failure
+        is recorded and no re-route attempt is consumed — the request
+        did nothing wrong.  Dispositions are conserved because every
+        orphan is re-injected through the normal routing path.
+        """
+        device = self._by_name[name]
+        orphans = device.run.evacuate()
+        device.evacuated += len(orphans)
+        self.autoscale.drain_evacuated(len(orphans))
+        for request, state in orphans:
+            rid = request.request_id
+            copies = self._copies.get(rid)
+            if copies is not None:
+                copies.discard(name)
+                if copies:
+                    continue  # a hedge copy survives elsewhere
+            if rid in self._disposition:
+                continue
+            session, prefix = self._session_of.get(rid, (None, 0))
+            self._route(
+                FleetRequest(
+                    request=request,
+                    arrival_s=state.first_arrival_s,
+                    deadline_s=state.deadline_s,
+                    session=session,
+                    prefix_tokens=prefix,
+                ),
+                t, ready_s=t + self.reroute_backoff_s)
+
     # -- event handlers --------------------------------------------------
     def _on_down_event(self, fault, t: float) -> None:
         device = self._by_name.get(fault.device)
@@ -383,6 +515,11 @@ class FleetGateway:
             return  # schedule names a device not in this fleet
         self.health[device.name].observe_failure(t)
         orphans = device.crash(t, fault.end_s)
+        if self.autoscale is not None:
+            # A crash during DRAINING ends the drain (its orphans are
+            # re-routed below through PR 5's evacuation path); a crash
+            # during WAKING aborts the wake.
+            self.autoscale.on_crash(t, device.name)
         for request, state in orphans:
             rid = request.request_id
             self.health[device.name].observe_failure(t)
@@ -439,7 +576,8 @@ class FleetGateway:
         by ``drain_limit_s`` and then force-drains, so a sick fleet
         ends the run instead of deadlocking.
         """
-        if self.brownout is None and self.hedge is None:
+        if (self.brownout is None and self.hedge is None
+                and self.autoscale is None):
             for device in self.devices:
                 device.drain()
             return max((d.run.now for d in self.devices), default=t)
@@ -456,6 +594,8 @@ class FleetGateway:
             self._maybe_hedge(t)
             if self.brownout is not None:
                 self.brownout.observe(t, self._pressure(t))
+            if self.autoscale is not None:
+                self._autoscale_tick(t)
         return max((d.run.now for d in self.devices), default=t)
 
     # -- the vector fast path --------------------------------------------
@@ -476,6 +616,7 @@ class FleetGateway:
                 and self.faults is None
                 and self.brownout is None
                 and self.hedge is None
+                and self.autoscale is None
                 and all(d.vector_eligible for d in self.devices))
 
     def _run_vector(self, stream: "list[FleetRequest] | tuple[FleetRequest, ...]"
@@ -553,8 +694,8 @@ class FleetGateway:
             if self.mode == "vector" and not eligible:
                 raise ValueError(
                     "mode='vector' requires round-robin routing with no "
-                    "faults, health, brownout, hedging, or ineligible "
-                    "devices")
+                    "faults, health, brownout, hedging, autoscaling, or "
+                    "ineligible devices")
             if eligible:
                 try:
                     report = self._run_vector(stream)
@@ -581,6 +722,14 @@ class FleetGateway:
         if self.faults is not None:
             for order, fault in enumerate(self.faults.downs()):
                 events.append((fault.start_s, 0, order, fault))
+        if self.autoscale is not None and events:
+            # Synthetic controller ticks over the whole event span —
+            # deterministic because every event time is known up front
+            # (the drain loop keeps ticking past the last one).
+            step = self.autoscale.config.evaluate_every_s
+            last = max(e[0] for e in events)
+            for k in range(1, int(last / step) + 2):
+                events.append((k * step, 2, k, None))
         events.sort(key=lambda e: (e[0], e[1], e[2]))
 
         t = 0.0
@@ -591,8 +740,10 @@ class FleetGateway:
             self._maybe_hedge(t)
             if priority == 0:
                 self._on_down_event(payload, t)
-            else:
+            elif priority == 1:
                 self._on_arrival(payload, t)
+            else:
+                self._autoscale_tick(t)
 
         t = self._drain_all(t)
         self._poll(t)
@@ -616,6 +767,8 @@ class FleetGateway:
             if to is BreakerState.OPEN)
         brownout = self.brownout
         recovered = brownout.recovered_at() if brownout is not None else None
+        autoscale = (self.autoscale.report(t)
+                     if self.autoscale is not None else None)
         return FleetReport(
             policy=self.policy,
             offered=len(stream),
@@ -630,4 +783,5 @@ class FleetGateway:
                                if brownout is not None else 0),
             budget_trims=brownout.trimmed if brownout is not None else 0,
             recovered_s=recovered,
+            autoscale=autoscale,
         )

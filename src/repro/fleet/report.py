@@ -25,6 +25,7 @@ from functools import cached_property
 from repro.core.cost import CostModel
 from repro.core.stats import nan_percentile
 from repro.engine.server import ResilienceReport, ServedRequest
+from repro.fleet.autoscale import AutoscaleReport
 
 
 @dataclass(frozen=True)
@@ -68,6 +69,9 @@ class FleetReport:
     #: Time the controller last returned to tier 0 (None: never
     #: degraded, or still degraded at end of run).
     recovered_s: float | None = None
+    #: Lifecycle counters and energy ledger when the run was
+    #: autoscaled (None keeps legacy reports byte-identical).
+    autoscale: AutoscaleReport | None = None
 
     # -- fleet-level aggregates ----------------------------------------
     @cached_property
@@ -206,7 +210,7 @@ class FleetReport:
             return "nan" if isinstance(value, float) and math.isnan(
                 value) else value
 
-        return {
+        payload = {
             "policy": self.policy,
             "offered": self.offered,
             "completed": self.completed,
@@ -260,6 +264,9 @@ class FleetReport:
                 for r in self.served
             ],
         }
+        if self.autoscale is not None:
+            payload["autoscale"] = self.autoscale.to_dict()
+        return payload
 
     def to_json(self) -> str:
         """Canonical JSON: byte-identical for identical runs."""

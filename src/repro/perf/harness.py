@@ -19,6 +19,8 @@ paths end to end:
   offered load (exercises the incremental co-simulation seam);
 * **fleet_overload** — one overload-survival run (3x storm through
   brownout admission, circuit breakers, and hedging);
+* **fleet_diurnal** — one diurnal+flash-crowd autoscaled run (drains,
+  sleeps, cold wakes, and pressure ticks on the lifecycle hot path);
 * **fleet_vector_speedup** — scalar vs vector gateway on the identical
   paced stream: a *machine-independent ratio* gate (floor 10x);
 * **fleet_100k** — the population-scale flagship: 100k requests over a
@@ -77,6 +79,7 @@ BENCH_FILES = {
     "fleet": "BENCH_fleet.json",
     "overload": "BENCH_overload.json",
     "fleet100k": "BENCH_fleet100k.json",
+    "diurnal": "BENCH_diurnal.json",
 }
 
 #: ``(name, group, unit)`` for every workload, in execution order — the
@@ -89,6 +92,7 @@ WORKLOAD_CATALOG = (
     ("evaluator_mmlu_redux", "engine", "s"),
     ("fleet_fixed_qps", "fleet", "s"),
     ("fleet_overload", "overload", "s"),
+    ("fleet_diurnal", "diurnal", "s"),
     ("fleet_vector_speedup", "fleet100k", "x"),
     ("fleet_100k", "fleet100k", "s"),
 )
@@ -276,6 +280,31 @@ def bench_fleet_overload(repeats: int) -> BenchResult:
                              "storm_requests": 140, "tail_requests": 30})
 
 
+def bench_fleet_diurnal(repeats: int) -> BenchResult:
+    """One diurnal+crowd autoscaled run: drains, sleeps, and cold wakes.
+
+    Times the autoscaler's full hot path — pressure ticks, lifecycle
+    transitions, drain evacuation checks, and cold-start routing — on
+    the same shape the ``chaos --autoscale`` gate uses, so a slowdown
+    in the lifecycle layer surfaces here before it surfaces in CI.
+    """
+    from repro.experiments.resilience import _autoscale_run
+
+    def diurnal_run() -> None:
+        report, _, _ = _autoscale_run(6, 0.08, 0.55, 100.0, 320, 1.8, 70,
+                                      96, 96, 45.0, 0)
+        if report.lost:
+            raise RuntimeError(
+                f"fleet_diurnal lost {report.lost} requests; the timing "
+                "would cover a broken run")
+
+    median, times = _median_time(diurnal_run, repeats)
+    return BenchResult("fleet_diurnal", "diurnal", median, times,
+                       meta={"devices": 6, "period_s": 100.0,
+                             "diurnal_requests": 320,
+                             "crowd_requests": 70, "crowd_factor": 1.8})
+
+
 def _paced_fleet_run(mode: str, devices: int, requests: int,
                      utilization: float = 0.6, seed: int = 7):
     """One single-stream fleet run paced below closed-form capacity.
@@ -409,6 +438,8 @@ def run_benchmarks(repeats: int = 3,
         record(bench_fleet(repeats))
     if wanted("fleet_overload"):
         record(bench_fleet_overload(repeats))
+    if wanted("fleet_diurnal"):
+        record(bench_fleet_diurnal(repeats))
     if wanted("fleet_vector_speedup"):
         record(bench_fleet_vector_speedup(repeats))
     if wanted("fleet_100k"):

@@ -116,6 +116,9 @@ PRODUCERS: dict[str, ProducerSpec] = {
         ProducerSpec("overload_points", resilience.run_overload_points,
                      smoke_params={"devices": 3, "storm_requests": 60,
                                    "tail_requests": 16}),
+        ProducerSpec("autoscale_points", resilience.run_autoscale_points,
+                     smoke_params={"devices": 4, "diurnal_requests": 120,
+                                   "crowd_requests": 30, "period_s": 60.0}),
         ProducerSpec("vector_equivalence_points",
                      resilience.run_vector_equivalence_points,
                      smoke_params={"devices": 2, "requests": 40}),
@@ -237,6 +240,8 @@ ARTIFACTS: dict[str, ArtifactSpec] = {
                      deps={"points": "fleet_points"}),
         ArtifactSpec("fleet-overload", resilience.fleet_overload_table,
                      deps={"points": "overload_points"}),
+        ArtifactSpec("fleet-autoscale", resilience.fleet_autoscale_table,
+                     deps={"points": "autoscale_points"}),
         ArtifactSpec("vector-equivalence",
                      resilience.vector_equivalence_table,
                      deps={"points": "vector_equivalence_points"}),

@@ -7,6 +7,14 @@ overload chaos study, each hand-rolling
 function now, so every workload layer consumes the generator state
 identically — a stream built here with the same seed is byte-stable no
 matter which layer asked for it.
+
+Population-scale curves layer on top: :func:`diurnal_arrivals` renders
+a sinusoidal day/night load swing and :func:`flash_crowd_arrivals`
+embeds a sudden burst in a steady baseline.  Both are inhomogeneous
+Poisson processes built by *time-rescaling* the homogeneous generator —
+draw a unit-rate stream, then invert the cumulative rate function
+Λ(t) = ∫λ — so they consume RNG state exactly like a plain
+``poisson_arrivals`` call of the same size.
 """
 
 from __future__ import annotations
@@ -29,3 +37,59 @@ def poisson_arrivals(rng: np.random.Generator, qps: float,
         raise ValueError("num_requests must be non-negative")
     gaps = rng.exponential(1.0 / qps, size=num_requests)
     return start_s + np.cumsum(gaps)
+
+
+def diurnal_arrivals(rng: np.random.Generator, base_qps: float,
+                     peak_qps: float, period_s: float,
+                     num_requests: int, start_s: float = 0.0) -> np.ndarray:
+    """Arrival times of a sinusoidal diurnal inhomogeneous Poisson.
+
+    The instantaneous rate swings between ``base_qps`` (the trough, at
+    t = 0) and ``peak_qps`` (the peak, half a period later)::
+
+        λ(t) = base + (peak - base) · (1 - cos(2πt / period)) / 2
+
+    Implemented by time-rescaling: a unit-rate Poisson stream is mapped
+    through the inverse of the cumulative rate Λ(t) (piecewise-linear
+    interpolation on a fine grid — 512 points per period — which keeps
+    the mapping deterministic and monotone).
+    """
+    if base_qps <= 0:
+        raise ValueError("base_qps must be positive")
+    if peak_qps < base_qps:
+        raise ValueError("peak_qps must be at least base_qps")
+    if period_s <= 0:
+        raise ValueError("period_s must be positive")
+    unit = poisson_arrivals(rng, 1.0, num_requests)
+    if num_requests == 0:
+        return unit + start_s
+    # Grid long enough that Λ(grid[-1]) covers the last unit arrival
+    # even if every draw landed in troughs (λ >= base everywhere).
+    horizon = float(unit[-1]) / base_qps + period_s
+    grid = np.linspace(0.0, horizon,
+                       max(int(512 * horizon / period_s), 512) + 1)
+    swing = (peak_qps - base_qps) / 2.0
+    cumulative = (base_qps + swing) * grid - swing * (
+        period_s / (2.0 * np.pi)) * np.sin(2.0 * np.pi * grid / period_s)
+    return start_s + np.interp(unit, cumulative, grid)
+
+
+def flash_crowd_arrivals(rng: np.random.Generator, base_qps: float,
+                         num_requests: int, crowd_start_s: float,
+                         crowd_qps: float, crowd_requests: int,
+                         start_s: float = 0.0) -> np.ndarray:
+    """A steady Poisson baseline with an embedded flash-crowd burst.
+
+    The baseline runs at ``base_qps``; from ``crowd_start_s`` an extra
+    Poisson component at ``crowd_qps`` contributes ``crowd_requests``
+    arrivals (the superposition of independent Poisson processes is
+    Poisson at the summed rate, so the merged stream is the
+    piecewise-constant inhomogeneous process).  The two components
+    consume RNG state in a fixed order, so the stream is seed-stable.
+    """
+    if crowd_start_s < 0 or not np.isfinite(crowd_start_s):
+        raise ValueError("crowd_start_s must be finite and non-negative")
+    base = poisson_arrivals(rng, base_qps, num_requests)
+    crowd = poisson_arrivals(rng, crowd_qps, crowd_requests,
+                             start_s=crowd_start_s)
+    return start_s + np.sort(np.concatenate([base, crowd]), kind="stable")

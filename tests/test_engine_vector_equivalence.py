@@ -134,6 +134,18 @@ class TestFleetEquivalence:
         assert scalar == auto
         assert last == "vector"
 
+    @pytest.mark.parametrize("seed", [31, 116, 65535])
+    def test_admission_crossing_event_horizon_seeds(self, seed):
+        """Regression: an admission prefill crossing a gateway event
+        horizon must not let the scalar loop start a decode epoch
+        before the next arrival is injected — these seeds diverged
+        from the batch oracle (and the vector drain) before the
+        ``run_until`` horizon re-check landed."""
+        scalar, _ = _fleet_json("scalar", seed=seed)
+        auto, last = _fleet_json("auto", seed=seed)
+        assert scalar == auto
+        assert last == "vector"
+
     def test_overload_trips_breaker_spike_fallback(self):
         """Latencies past the spike threshold belong to the oracle."""
         scalar, _ = _fleet_json("scalar", qps=40.0, requests=400,

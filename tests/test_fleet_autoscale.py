@@ -1,0 +1,378 @@
+"""Autoscale lifecycle state machine, arrivals, and the chaos drill.
+
+The hypothesis suite drives :class:`AutoscaleController` through
+arbitrary tick/crash/emergency sequences and asserts the machine only
+ever takes edges in :data:`LEGAL_TRANSITIONS` — the invariant the
+zero-loss scale-safety gate rests on.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.request import GenerationRequest
+from repro.faults.injector import (
+    DeviceFault,
+    FleetFaultConfig,
+    FleetFaultSchedule,
+)
+from repro.fleet import (
+    LEGAL_TRANSITIONS,
+    AutoscaleConfig,
+    AutoscaleController,
+    FleetGateway,
+    LifecycleState,
+    build_fleet,
+    poisson_stream,
+)
+from repro.fleet.autoscale import AWAKE_STATES, IllegalTransition
+from repro.workloads.arrivals import (
+    diurnal_arrivals,
+    flash_crowd_arrivals,
+    poisson_arrivals,
+)
+
+_NAMES = ("edge-00", "edge-01", "edge-02", "edge-03")
+
+# Short holds so random drives actually reach every lifecycle state.
+_FAST = AutoscaleConfig(hold_up_s=0.0, hold_down_s=2.0,
+                        wake_latency_s=1.5, drain_grace_s=3.0)
+
+# One controller operation: a tick at some pressure/backlog, a crash
+# delivered to one device, or an emergency wake/activate.
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("tick"), st.floats(0.0, 8.0),
+                  st.integers(0, 6)),
+        st.tuples(st.just("crash"), st.integers(0, 3), st.just(0)),
+        st.tuples(st.just("ewake"), st.just(0), st.just(0)),
+        st.tuples(st.just("eact"), st.just(0), st.just(0)),
+    ),
+    min_size=1, max_size=60)
+
+
+def _drive(ctrl, ops, dt=1.0):
+    """Replay an op sequence at fixed time steps; returns final time."""
+    t = 0.0
+    for op, a, b in ops:
+        t += dt
+        if op == "tick":
+            ctrl.tick(t, a, outstanding={n: b for n in ctrl.names})
+        elif op == "crash":
+            ctrl.on_crash(t, ctrl.names[a % len(ctrl.names)])
+        elif op == "ewake":
+            ctrl.emergency_wake(t)
+        else:
+            ctrl.emergency_activate(t)
+    return t
+
+
+class TestLifecycleStateMachine:
+    @given(ops=_ops)
+    @settings(max_examples=200, deadline=None)
+    def test_only_legal_transitions(self, ops):
+        ctrl = AutoscaleController(_NAMES, _FAST)
+        _drive(ctrl, ops)
+        for _, _, src, dst in ctrl.transitions:
+            assert (src, dst) in LEGAL_TRANSITIONS
+
+    @given(ops=_ops)
+    @settings(max_examples=200, deadline=None)
+    def test_transitions_chain_per_device(self, ops):
+        ctrl = AutoscaleController(_NAMES, _FAST)
+        _drive(ctrl, ops)
+        state = {name: LifecycleState.ACTIVE for name in ctrl.names}
+        last_t = -math.inf
+        for t, name, src, dst in ctrl.transitions:
+            assert t >= last_t      # chronological log
+            assert src == state[name]
+            state[name] = dst
+            last_t = t
+        for name in ctrl.names:
+            assert ctrl.state(name) == state[name]
+
+    @given(ops=_ops)
+    @settings(max_examples=100, deadline=None)
+    def test_same_ops_replay_identically(self, ops):
+        a = AutoscaleController(_NAMES, _FAST)
+        b = AutoscaleController(_NAMES, _FAST)
+        _drive(a, ops)
+        _drive(b, ops)
+        assert a.transitions == b.transitions
+        assert [a.state(n) for n in a.names] == \
+               [b.state(n) for n in b.names]
+
+    @given(ops=_ops)
+    @settings(max_examples=100, deadline=None)
+    def test_ledger_covers_the_whole_run(self, ops):
+        ctrl = AutoscaleController(_NAMES, _FAST)
+        end = _drive(ctrl, ops) + 1.0
+        report = ctrl.report(end)
+        total = report.active_device_s + report.asleep_device_s
+        assert total == pytest.approx(len(_NAMES) * end)
+        assert report.energy_saved_j == pytest.approx(
+            report.always_on_idle_energy_j
+            - (report.idle_energy_j + report.sleep_energy_j
+               + report.wake_energy_j + report.dvfs_energy_j))
+
+    def test_illegal_edge_raises(self):
+        ctrl = AutoscaleController(_NAMES)
+        with pytest.raises(IllegalTransition):
+            ctrl._move(0.0, "edge-00", LifecycleState.ASLEEP)
+
+    def test_awake_states_cover_everything_but_asleep(self):
+        assert AWAKE_STATES == frozenset(LifecycleState) - {
+            LifecycleState.ASLEEP}
+
+
+def _cordon_and_drain(ctrl, victim_outstanding=1):
+    """Drive one device of a fresh default-config controller into
+    DRAINING; returns (draining_name, time)."""
+    out = {n: 3 for n in ctrl.names}
+    out[ctrl.names[0]] = victim_outstanding
+    ctrl.tick(10.0, 0.0, outstanding=out)       # dwell met -> cordon
+    assert ctrl.state(ctrl.names[0]) is LifecycleState.CORDONED
+    ctrl.tick(11.0, 0.0, outstanding=out)       # still calm -> drain
+    assert ctrl.state(ctrl.names[0]) is LifecycleState.DRAINING
+    return ctrl.names[0], 11.0
+
+
+class TestCrashDuringTransitions:
+    def test_crash_mid_drain_sleeps_and_counts(self):
+        ctrl = AutoscaleController(_NAMES)
+        name, t = _cordon_and_drain(ctrl)
+        ctrl.on_crash(t + 0.5, name)
+        assert ctrl.state(name) is LifecycleState.ASLEEP
+        assert ctrl.crashes_draining == 1
+        assert ctrl.sleeps == 1
+
+    def test_crash_mid_wake_aborts_the_wake(self):
+        ctrl = AutoscaleController(_NAMES)
+        name, t = _cordon_and_drain(ctrl, victim_outstanding=0)
+        # Empty drain completes on the next tick -> ASLEEP.
+        ctrl.tick(t + 1.0, 0.0, outstanding={n: 0 for n in ctrl.names})
+        assert ctrl.state(name) is LifecycleState.ASLEEP
+        woken = ctrl.emergency_wake(t + 2.0)
+        assert woken == name
+        ctrl.on_crash(t + 2.5, name)            # before wake_latency_s
+        assert ctrl.state(name) is LifecycleState.ASLEEP
+        assert ctrl.crashes_waking == 1
+        assert ctrl.wakes == 0                  # the wake never completed
+
+    def test_crash_on_active_leaves_lifecycle_alone(self):
+        ctrl = AutoscaleController(_NAMES)
+        ctrl.on_crash(1.0, "edge-00")
+        assert ctrl.state("edge-00") is LifecycleState.ACTIVE
+        assert ctrl.transitions == []
+
+
+class TestControllerPolicy:
+    def test_proportional_wake_covers_the_backlog(self):
+        ctrl = AutoscaleController(_NAMES, _FAST, capacity=4.0)
+        out0 = {n: 0 for n in ctrl.names}
+        # Scale three devices down to sleep (one cordon per tick).
+        for t in (3.0, 6.0, 9.0):
+            ctrl.tick(t, 0.0, outstanding=out0)
+            ctrl.tick(t + 1.0, 0.0, outstanding=out0)
+            ctrl.tick(t + 2.0, 0.0, outstanding=out0)
+        assert len([n for n in ctrl.names
+                    if ctrl.state(n) is LifecycleState.ASLEEP]) == 3
+        # A flash crowd lands: one tick must start every wake needed.
+        active = [n for n in ctrl.names
+                  if ctrl.state(n) is LifecycleState.ACTIVE]
+        crowd = {n: 0 for n in ctrl.names}
+        crowd[active[0]] = 40                   # 40 / 1.2 >> 4 per box
+        ctrl.tick(20.0, 10.0, outstanding=crowd)
+        waking = [n for n in ctrl.names
+                  if ctrl.state(n) is LifecycleState.WAKING]
+        assert len(waking) == 3
+
+    def test_hold_down_blocks_immediate_cordon_after_wake(self):
+        ctrl = AutoscaleController(_NAMES)
+        ctrl.emergency_wake(5.0)
+        ctrl.tick(9.0, 0.0, outstanding={n: 0 for n in ctrl.names})
+        assert all(ctrl.state(n) is not LifecycleState.CORDONED
+                   for n in ctrl.names)
+
+    def test_min_active_is_never_drained(self):
+        ctrl = AutoscaleController(_NAMES, _FAST)
+        out = {n: 0 for n in ctrl.names}
+        for k in range(40):
+            ctrl.tick(3.0 + k, 0.0, outstanding=out)
+        assert ctrl.active_count() >= ctrl.config.min_active
+
+    def test_expired_drain_emits_evacuate(self):
+        ctrl = AutoscaleController(_NAMES)
+        name, t = _cordon_and_drain(ctrl)
+        out = {n: 0 for n in ctrl.names}
+        out[name] = 2                           # never empties
+        actions = ctrl.tick(t + ctrl.config.drain_grace_s, 0.0,
+                            outstanding=out)
+        assert ("evacuate", name) in actions
+        assert ctrl.state(name) is LifecycleState.ASLEEP
+
+    def test_max_cycles_bound_grows_with_duration(self):
+        ctrl = AutoscaleController(_NAMES)
+        assert ctrl.max_cycles_bound(0.0) == 1
+        period = ctrl.config.hold_down_s + ctrl.config.hold_up_s
+        assert ctrl.max_cycles_bound(10 * period) == 11
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AutoscaleConfig(scale_up_pressure=0.0)
+        with pytest.raises(ValueError):
+            AutoscaleConfig(scale_down_pressure=2.0)  # >= scale_up
+        with pytest.raises(ValueError):
+            AutoscaleConfig(min_active=0)
+        with pytest.raises(ValueError):
+            AutoscaleConfig(economy_mode="9000W")
+        with pytest.raises(ValueError):
+            AutoscaleController(("a",), AutoscaleConfig(min_active=2))
+
+
+class TestArrivalGenerators:
+    def test_diurnal_is_sorted_and_sized(self):
+        rng = np.random.default_rng(0)
+        arrivals = diurnal_arrivals(rng, 1.0, 5.0, 60.0, 200)
+        assert len(arrivals) == 200
+        assert np.all(np.diff(arrivals) >= 0)
+        assert arrivals[0] >= 0
+
+    def test_diurnal_peak_is_denser_than_trough(self):
+        rng = np.random.default_rng(3)
+        period = 100.0
+        arrivals = diurnal_arrivals(rng, 0.5, 8.0, period, 400)
+        phase = np.mod(arrivals, period) / period
+        trough = np.sum((phase < 0.125) | (phase > 0.875))
+        peak = np.sum((phase > 0.375) & (phase < 0.625))
+        assert peak > 2 * trough
+
+    def test_diurnal_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(rng, 0.0, 5.0, 60.0, 10)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(rng, 2.0, 1.0, 60.0, 10)  # peak < base
+        with pytest.raises(ValueError):
+            diurnal_arrivals(rng, 1.0, 5.0, 0.0, 10)
+        with pytest.raises(ValueError):
+            diurnal_arrivals(rng, 1.0, 5.0, 60.0, -1)
+
+    def test_flash_crowd_superposes_and_sorts(self):
+        rng = np.random.default_rng(1)
+        arrivals = flash_crowd_arrivals(rng, 1.0, 50, 30.0, 20.0, 40)
+        assert len(arrivals) == 90
+        assert np.all(np.diff(arrivals) >= 0)
+        assert np.sum(arrivals >= 30.0) >= 40   # the burst is there
+
+    def test_flash_crowd_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            flash_crowd_arrivals(rng, 1.0, 10, -1.0, 5.0, 5)
+        with pytest.raises(ValueError):
+            flash_crowd_arrivals(rng, 1.0, 10, math.nan, 5.0, 5)
+        with pytest.raises(ValueError):
+            flash_crowd_arrivals(rng, 1.0, 10, 5.0, 0.0, 5)
+
+    def test_same_seed_reproduces(self):
+        a = diurnal_arrivals(np.random.default_rng(7), 1.0, 4.0, 50.0, 64)
+        b = diurnal_arrivals(np.random.default_rng(7), 1.0, 4.0, 50.0, 64)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestFaultScheduleEvents:
+    def test_explicit_events_join_the_schedule(self):
+        crash = DeviceFault("edge-01", "crash", 5.0, 10.0)
+        schedule = FleetFaultSchedule(
+            ("edge-00", "edge-01"),
+            FleetFaultConfig(device_crashes=0, brownouts=0,
+                             flapping_devices=0, thermal_throttles=0),
+            events=[crash])
+        assert schedule.crashes() == (crash,)
+
+    def test_unknown_device_in_event_rejected(self):
+        with pytest.raises(ValueError, match="unknown device"):
+            FleetFaultSchedule(
+                ("edge-00",),
+                events=[DeviceFault("edge-99", "crash", 5.0, 10.0)])
+
+    def test_device_fault_time_validation(self):
+        with pytest.raises(ValueError):
+            DeviceFault("d", "crash", -1.0, 5.0)
+        with pytest.raises(ValueError):
+            DeviceFault("d", "crash", math.nan, 5.0)
+        with pytest.raises(ValueError):
+            DeviceFault("d", "crash", math.inf, 5.0)
+        with pytest.raises(ValueError):
+            DeviceFault("d", "crash", 1.0, math.nan)
+        # A device that never recovers stays expressible.
+        DeviceFault("d", "crash", 1.0, math.inf)
+
+
+class TestUnknownPolicyFailsFast:
+    def test_plan_fleet_rejects_unknown_policy(self):
+        from repro.core.planner import plan_fleet
+
+        with pytest.raises(ValueError, match="unknown routing policy"):
+            plan_fleet(device_counts=(2,), mixes=("balanced",),
+                       policies=("round-robin", "bogus"), num_requests=2)
+
+    def test_cli_fleet_rejects_unknown_policy(self, capsys):
+        from repro.cli import main
+
+        code = main(["fleet", "--policy", "bogus", "--requests", "2"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown routing policy" in err
+        assert "round-robin" in err
+
+
+def _tiny_run(autoscale):
+    fleet = build_fleet(3, mix="balanced", max_batch_size=4)
+    gateway = FleetGateway(fleet, policy="least-outstanding",
+                           autoscale=autoscale, seed=0)
+    stream = poisson_stream(np.random.default_rng(0), qps=2.0,
+                            num_requests=24, prompt_tokens=64,
+                            deadline_s=None)
+    return gateway.run(stream)
+
+
+class TestGatewayIntegration:
+    def test_autoscaled_run_conserves_requests(self):
+        report = _tiny_run(AutoscaleConfig())
+        assert report.lost == 0
+        assert report.offered == (report.completed + report.shed
+                                  + report.failed)
+        assert report.autoscale is not None
+        payload = json.loads(report.to_json())
+        assert "autoscale" in payload
+
+    def test_legacy_report_has_no_autoscale_key(self):
+        report = _tiny_run(None)
+        assert report.autoscale is None
+        assert "autoscale" not in json.loads(report.to_json())
+
+    def test_autoscaled_rerun_is_byte_identical(self):
+        assert _tiny_run(AutoscaleConfig()).to_json() == \
+               _tiny_run(AutoscaleConfig()).to_json()
+
+    def test_set_power_mode_requires_idle_device(self):
+        fleet = build_fleet(2, mix="maxn", max_batch_size=4)
+        device = fleet[0]
+        device.inject(GenerationRequest(0, 64, 32), 0.0)
+        with pytest.raises(RuntimeError, match="outstanding"):
+            device.set_power_mode("30W")
+
+    def test_set_power_mode_switches_and_counts(self):
+        device = build_fleet(2, mix="maxn", max_batch_size=4)[0]
+        assert device.spec.power_mode == "MAXN"
+        device.set_power_mode("30W")
+        assert device.spec.power_mode == "30W"
+        assert device.dvfs_switches == 1
+        device.set_power_mode("30W")            # no-op
+        assert device.dvfs_switches == 1
+        with pytest.raises(ValueError):
+            device.set_power_mode("9000W")
