@@ -101,10 +101,13 @@ class AutoscaleConfig:
     #: Minimum dwell after a wake before any device may be cordoned,
     #: and minimum spacing between consecutive sleep decisions.
     hold_down_s: float = 10.0
-    #: Cold-start latency: a WAKING device accepts routes immediately
-    #: (they queue) but starts serving this many seconds after the wake.
+    #: Cold-start latency: a woken device starts serving this many
+    #: seconds after the wake begins.  A WAKING device accepts no new
+    #: routes; only the gateway's emergency ladder may queue work on it
+    #: (admission then starts at wake-ready).
     wake_latency_s: float = 3.0
-    #: Energy of one cold start (J), charged per wake.
+    #: Energy of one cold start (J), charged when the wake *starts* —
+    #: a crash that aborts the wake has still burned the boot power.
     wake_energy_j: float = 25.0
     #: Power draw while ASLEEP (W); 0 models full suspend-to-ram.
     sleep_power_w: float = 0.0
@@ -200,6 +203,14 @@ class _DeviceLedger:
     wake_ready_s: float = 0.0
     mode: str = "MAXN"
     spec_mode: str = "MAXN"
+    #: Idle watts charged while awake at the *current* DVFS mode; the
+    #: gateway refreshes it through :meth:`AutoscaleController.note_mode`
+    #: so an economy downshift prices its own (possibly lower) floor.
+    idle_w_now: float = 0.0
+    #: Energy checkpoint: the accumulators below are settled up to here.
+    energy_since_s: float = 0.0
+    idle_j: float = 0.0
+    sleep_j: float = 0.0
     in_state_s: dict[LifecycleState, float] = field(
         default_factory=lambda: {s: 0.0 for s in LifecycleState})
 
@@ -246,12 +257,16 @@ class AutoscaleController:
         modes = power_modes or {}
         self._ledgers = {
             name: _DeviceLedger(mode=modes.get(name, "MAXN"),
-                                spec_mode=modes.get(name, "MAXN"))
+                                spec_mode=modes.get(name, "MAXN"),
+                                idle_w_now=self._idle_w[name])
             for name in names}
         #: Transition log: (time, device, from-state, to-state).
         self.transitions: list[tuple[
             float, str, LifecycleState, LifecycleState]] = []
         self.wakes = 0
+        #: Wakes *started* (>= wakes: some may be crash-aborted); the
+        #: cold-boot energy is charged per start, not per completion.
+        self.wake_starts = 0
         self.sleeps = 0
         self.drains_completed = 0
         self.drain_evacuations = 0
@@ -311,6 +326,21 @@ class AutoscaleController:
                    and dst is LifecycleState.WAKING)
 
     # -- transitions ------------------------------------------------------
+    def _settle_energy(self, t: float, name: str) -> None:
+        """Charge the open idle/sleep interval up to ``t``.
+
+        Called before every state or mode change so the accumulators
+        always price each segment at the floor that was actually in
+        effect while it ran.
+        """
+        led = self._ledgers[name]
+        dt = max(t - led.energy_since_s, 0.0)
+        if led.state in AWAKE_STATES:
+            led.idle_j += led.idle_w_now * dt
+        else:
+            led.sleep_j += self.config.sleep_power_w * dt
+        led.energy_since_s = max(led.energy_since_s, t)
+
     def _move(self, t: float, name: str, to: LifecycleState) -> None:
         led = self._ledgers[name]
         src = led.state
@@ -318,6 +348,7 @@ class AutoscaleController:
             raise IllegalTransition(
                 f"illegal lifecycle transition {src.name} -> {to.name} "
                 f"for {name!r} at t={t:.3f}")
+        self._settle_energy(t, name)
         led.in_state_s[src] += max(t - led.since_s, 0.0)
         led.state = to
         led.since_s = t
@@ -380,6 +411,7 @@ class AutoscaleController:
         self._move(t, name, LifecycleState.WAKING)
         led.wake_ready_s = t + self.config.wake_latency_s
         self._last_wake_s = t
+        self.wake_starts += 1
 
     # -- the tick ---------------------------------------------------------
     def tick(self, t: float, pressure: float, *,
@@ -432,7 +464,7 @@ class AutoscaleController:
         if pressure >= cfg.scale_up_pressure:
             actions.extend(self._scale_up(t, down, outstanding))
         elif pressure <= cfg.scale_down_pressure:
-            actions.extend(self._scale_down(t, pressure, outstanding))
+            actions.extend(self._scale_down(t, down, outstanding))
         return actions
 
     def _scale_up(self, t: float, down: "frozenset[str] | set[str]",
@@ -444,11 +476,16 @@ class AutoscaleController:
             if name not in down:
                 self._move(t, name, LifecycleState.ACTIVE)
                 return actions
-        # Then upshift economy-mode actives back to their spec mode
-        # (a DVFS switch is far cheaper than a cold wake).
+        # Then upshift *idle* economy-mode actives back to their spec
+        # mode (a DVFS switch is far cheaper than a cold wake).  A busy
+        # device cannot switch — mid-batch DVFS would corrupt span
+        # pricing and FleetDevice.set_power_mode refuses it — so its
+        # upshift retries on a later tick and sleepers are woken below
+        # in the meantime.
         for name in self._in_state(LifecycleState.ACTIVE):
             led = self._ledgers[name]
-            if led.mode != led.spec_mode and name not in down:
+            if (led.mode != led.spec_mode and name not in down
+                    and outstanding.get(name, 0) == 0):
                 actions.append(("set_mode", name, led.spec_mode))
                 return actions
         # Finally wake sleepers, respecting the up-hold.  The wake is
@@ -473,7 +510,7 @@ class AutoscaleController:
             deficit -= self._capacity[name]
         return actions
 
-    def _scale_down(self, t: float, pressure: float,
+    def _scale_down(self, t: float, down: "frozenset[str] | set[str]",
                     outstanding: "Mapping[str, int]") -> list[tuple]:
         cfg = self.config
         actions: list[tuple] = []
@@ -481,7 +518,12 @@ class AutoscaleController:
             return actions
         if t - self._last_sleep_s < cfg.hold_down_s:
             return actions
-        active = self._in_state(LifecycleState.ACTIVE)
+        # Crashed-but-ACTIVE devices are invisible to scale-down: their
+        # zero outstanding is evacuation, not idleness, so they must
+        # not be cordoned — and they cannot carry the min_active floor,
+        # or the fleet's only *healthy* capacity could be put to sleep.
+        active = [name for name in self._in_state(LifecycleState.ACTIVE)
+                  if name not in down]
         if len(active) > cfg.min_active:
             # Cordon the emptiest active (ties by name); it drains next
             # tick if pressure stays low.  Devices must have dwelled
@@ -505,26 +547,44 @@ class AutoscaleController:
                 break
         return actions
 
-    def note_mode(self, t: float, name: str, mode: str) -> None:
-        """Record a DVFS switch the gateway actually applied."""
+    def note_mode(self, t: float, name: str, mode: str,
+                  idle_power_w: float | None = None) -> None:
+        """Record a DVFS switch the gateway actually applied.
+
+        ``idle_power_w`` is the device's idle floor *at the new mode*
+        (the gateway reads it off the rebuilt engine); passing it keeps
+        the idle ledger priced at the mode actually in effect, so a
+        mode with a lower floor genuinely saves idle energy.  Omitted,
+        the previous floor keeps being charged.
+        """
         led = self._ledgers[name]
         if led.mode == mode:
+            if idle_power_w is not None:
+                led.idle_w_now = float(idle_power_w)
             return
+        self._settle_energy(t, name)
+        # The transition pause is priced at the floor being left.
+        self._dvfs_energy_j += led.idle_w_now * self.config.dvfs_transition_s
         led.mode = mode
+        if idle_power_w is not None:
+            led.idle_w_now = float(idle_power_w)
         self.dvfs_switches += 1
-        self._dvfs_energy_j += (self._idle_w[name]
-                                * self.config.dvfs_transition_s)
 
     # -- the energy ledger ------------------------------------------------
     def report(self, end_s: float) -> AutoscaleReport:
         """Close the ledger at ``end_s`` and price the run.
 
         Idle-floor accounting: awake states draw the device's idle
-        power (the serving engine prices only *busy* energy, so the
-        floor is additive), ASLEEP draws ``sleep_power_w``, each wake
-        costs ``wake_energy_j``, and each DVFS switch a
-        ``dvfs_transition_s`` pause at idle power.  The always-on
-        baseline is every device's idle floor over the whole run.
+        power *at its mode in effect* (the serving engine prices only
+        busy energy, so the floor is additive; :meth:`note_mode`
+        re-prices the floor on every DVFS switch), ASLEEP draws
+        ``sleep_power_w``, each *started* wake costs ``wake_energy_j``
+        (a crash-aborted wake has still burned its boot power), and
+        each DVFS switch a ``dvfs_transition_s`` pause at the floor
+        being left.  The always-on baseline is every device's
+        spec-mode idle floor over the whole run.  Non-mutating: the
+        open tail past each device's last settlement is priced without
+        closing it, so the ledger may be re-read.
         """
         idle_j = sleep_j = active_s = asleep_s = 0.0
         always_on_j = 0.0
@@ -535,12 +595,17 @@ class AutoscaleController:
                                    + max(end_s - led.since_s, 0.0))
             awake_s = sum(in_state[s] for s in AWAKE_STATES)
             slept_s = in_state[LifecycleState.ASLEEP]
-            idle_j += self._idle_w[name] * awake_s
-            sleep_j += self.config.sleep_power_w * slept_s
+            tail_s = max(end_s - led.energy_since_s, 0.0)
+            idle_j += led.idle_j
+            sleep_j += led.sleep_j
+            if led.state in AWAKE_STATES:
+                idle_j += led.idle_w_now * tail_s
+            else:
+                sleep_j += self.config.sleep_power_w * tail_s
             active_s += awake_s
             asleep_s += slept_s
             always_on_j += self._idle_w[name] * end_s
-        wake_j = self.wakes * self.config.wake_energy_j
+        wake_j = self.wake_starts * self.config.wake_energy_j
         saved = always_on_j - (idle_j + sleep_j + wake_j
                                + self._dvfs_energy_j)
         return AutoscaleReport(

@@ -152,8 +152,8 @@ class FleetDevice:
 
         Mid-batch frequency switching would corrupt span pricing, so
         the switch is only legal with zero outstanding work — the
-        autoscale controller guarantees that by only downshifting idle
-        actives and upshifting before routing resumes.  Served history,
+        autoscale controller honors that by only emitting switches
+        (downshift or upshift) for idle actives.  Served history,
         the device clock, energy, and the prefix cache all survive the
         swap; only the pricing kernels change.
         """

@@ -473,8 +473,17 @@ class FleetGateway:
                 self._evacuate_drain(action[1], t)
             elif action[0] == "set_mode":
                 _, name, mode = action
-                self._by_name[name].set_power_mode(mode)
-                ctrl.note_mode(t, name, mode)
+                device = self._by_name[name]
+                if device.outstanding_requests:
+                    # The controller only targets idle devices, but if
+                    # its snapshot ever drifts from live state, defer:
+                    # it re-emits on a later tick once the device
+                    # drains rather than tripping set_power_mode's
+                    # busy guard and killing the run.
+                    continue
+                device.set_power_mode(mode)
+                ctrl.note_mode(t, name, mode, idle_power_w=float(
+                    device.engine.power.idle_power()))
 
     def _evacuate_drain(self, name: str, t: float) -> None:
         """Move an expired drain's leftovers to the rest of the fleet.

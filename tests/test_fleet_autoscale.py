@@ -24,6 +24,7 @@ from repro.fleet import (
     AutoscaleConfig,
     AutoscaleController,
     FleetGateway,
+    FleetRequest,
     LifecycleState,
     build_fleet,
     poisson_stream,
@@ -214,11 +215,99 @@ class TestControllerPolicy:
         assert ("evacuate", name) in actions
         assert ctrl.state(name) is LifecycleState.ASLEEP
 
+    def test_scale_up_defers_upshift_on_busy_device(self):
+        ctrl = AutoscaleController(_NAMES, _FAST)
+        out0 = {n: 0 for n in ctrl.names}
+        ctrl.tick(3.0, 0.0, outstanding=out0)   # cordon one device
+        ctrl.tick(4.0, 0.0, outstanding=out0)   # -> DRAINING
+        ctrl.tick(5.0, 0.0, outstanding=out0)   # -> ASLEEP
+        sleeper = next(n for n in ctrl.names
+                       if ctrl.state(n) is LifecycleState.ASLEEP)
+        economy = next(n for n in ctrl.names
+                       if ctrl.state(n) is LifecycleState.ACTIVE)
+        ctrl.note_mode(5.0, economy, "30W")
+        # Flash crowd with the economy device busy: no upshift may be
+        # emitted (set_power_mode would raise on outstanding work);
+        # capacity must come from waking the sleeper instead.
+        busy = {n: 8 for n in ctrl.names}
+        actions = ctrl.tick(8.0, 5.0, outstanding=busy)
+        assert not [a for a in actions if a[0] == "set_mode"]
+        assert ctrl.state(sleeper) is LifecycleState.WAKING
+        # Once the economy device is idle again the upshift goes out.
+        idle = dict(busy)
+        idle[economy] = 0
+        actions = ctrl.tick(9.0, 5.0, outstanding=idle)
+        assert ("set_mode", economy, "MAXN") in actions
+
+    @given(ops=st.lists(
+        st.tuples(st.floats(0.0, 8.0),
+                  st.tuples(*[st.integers(0, 6)] * len(_NAMES))),
+        min_size=1, max_size=60))
+    @settings(max_examples=100, deadline=None)
+    def test_set_mode_only_targets_idle_devices(self, ops):
+        """The controller must never ask the gateway to DVFS-switch a
+        device holding outstanding work (the switch would raise)."""
+        ctrl = AutoscaleController(_NAMES, _FAST)
+        t = 0.0
+        for pressure, outs in ops:
+            t += 1.0
+            out = dict(zip(ctrl.names, outs))
+            for action in ctrl.tick(t, pressure, outstanding=out):
+                if action[0] == "set_mode":
+                    assert out[action[1]] == 0
+                    ctrl.note_mode(t, action[1], action[2])
+
+    def test_scale_down_never_cordons_a_down_device(self):
+        ctrl = AutoscaleController(_NAMES, _FAST)
+        down = frozenset({"edge-00", "edge-01"})
+        out = {n: 0 for n in ctrl.names}
+        out["edge-03"] = 1
+        # The crashed devices sort emptiest, but the cordon victim must
+        # be an *up* active.
+        ctrl.tick(3.0, 0.0, down=down, outstanding=out)
+        assert ctrl.state("edge-02") is LifecycleState.CORDONED
+        assert ctrl.state("edge-00") is LifecycleState.ACTIVE
+        assert ctrl.state("edge-01") is LifecycleState.ACTIVE
+
+    def test_down_devices_cannot_carry_min_active(self):
+        ctrl = AutoscaleController(_NAMES, _FAST)
+        down = frozenset({"edge-00", "edge-01", "edge-02"})
+        out = {n: 0 for n in ctrl.names}
+        for k in range(10):
+            ctrl.tick(3.0 + k, 0.0, down=down, outstanding=out)
+        # The only healthy device is the min_active floor: it must not
+        # be drained away while crashed actives satisfy the quota.
+        assert ctrl.state("edge-03") is LifecycleState.ACTIVE
+
     def test_max_cycles_bound_grows_with_duration(self):
         ctrl = AutoscaleController(_NAMES)
         assert ctrl.max_cycles_bound(0.0) == 1
         period = ctrl.config.hold_down_s + ctrl.config.hold_up_s
         assert ctrl.max_cycles_bound(10 * period) == 11
+
+    def test_aborted_wake_still_charges_boot_energy(self):
+        ctrl = AutoscaleController(_NAMES)
+        name, t = _cordon_and_drain(ctrl, victim_outstanding=0)
+        ctrl.tick(t + 1.0, 0.0, outstanding={n: 0 for n in ctrl.names})
+        assert ctrl.state(name) is LifecycleState.ASLEEP
+        ctrl.emergency_wake(t + 2.0)
+        ctrl.on_crash(t + 2.5, name)            # abort mid-wake
+        report = ctrl.report(t + 3.0)
+        # The cold boot burned real power even though it never finished.
+        assert report.wakes == 0
+        assert report.wake_energy_j == pytest.approx(
+            ctrl.config.wake_energy_j)
+
+    def test_note_mode_reprices_idle_floor(self):
+        cfg = AutoscaleConfig(dvfs_transition_s=0.0)
+        ctrl = AutoscaleController(("a", "b"), cfg, idle_power_w=4.0)
+        ctrl.note_mode(10.0, "a", "30W", idle_power_w=1.0)
+        report = ctrl.report(20.0)
+        # a: 10 s at 4 W then 10 s at 1 W; b: 20 s at 4 W.
+        assert report.idle_energy_j == pytest.approx(40.0 + 10.0 + 80.0)
+        assert report.dvfs_switches == 1
+        # A floor below the always-on baseline means DVFS can *save*.
+        assert report.energy_saved_j == pytest.approx(160.0 - 130.0)
 
     def test_config_validation(self):
         with pytest.raises(ValueError):
@@ -358,6 +447,32 @@ class TestGatewayIntegration:
     def test_autoscaled_rerun_is_byte_identical(self):
         assert _tiny_run(AutoscaleConfig()).to_json() == \
                _tiny_run(AutoscaleConfig()).to_json()
+
+    def test_burst_after_economy_downshift_survives(self):
+        """Review regression: a burst landing while a min_active
+        survivor sits in economy mode must queue behind the drained
+        upshift instead of tripping set_power_mode's busy guard."""
+        fleet = build_fleet(3, mix="balanced", max_batch_size=4)
+        gateway = FleetGateway(fleet, policy="least-outstanding",
+                               autoscale=AutoscaleConfig(), seed=0)
+        stream, rid = [], 0
+        # A sparse trickle through a two-minute trough: the fleet
+        # scales down to min_active and DVFS-downshifts the survivor.
+        for i in range(8):
+            stream.append(FleetRequest(GenerationRequest(rid, 64, 32),
+                                       arrival_s=2.0 + 15.0 * i))
+            rid += 1
+        # Then a 20-request flash crowd.
+        for i in range(20):
+            stream.append(FleetRequest(GenerationRequest(rid, 64, 64),
+                                       arrival_s=130.0 + 0.05 * i))
+            rid += 1
+        report = gateway.run(stream)
+        assert report.lost == 0
+        assert report.offered == (report.completed + report.shed
+                                  + report.failed)
+        # The scenario actually armed: the survivor was downshifted.
+        assert report.autoscale.dvfs_switches >= 1
 
     def test_set_power_mode_requires_idle_device(self):
         fleet = build_fleet(2, mix="maxn", max_batch_size=4)
