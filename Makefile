@@ -6,7 +6,7 @@
 PYTHON ?= python
 OUTPUT ?= outputs
 
-.PHONY: setup test lint bench chaos chaos-pipeline chaos-fleet chaos-overload chaos-autoscale perf perf-100k perf-baseline reproduce reproduce-fast examples fidelity takeaways clean
+.PHONY: setup test lint bench chaos chaos-pipeline chaos-fleet chaos-overload chaos-autoscale perf perf-100k perf-1m perf-baseline reproduce reproduce-fast examples fidelity takeaways clean
 
 ## Install the package in editable mode (legacy path works offline).
 setup:
@@ -80,6 +80,13 @@ perf:
 perf-100k:
 	PYTHONPATH=src $(PYTHON) -m repro perf --check \
 	    --only fleet_vector_speedup,fleet_100k --out $(OUTPUT)
+
+## Population-scale gates only: the streaming-trace vs pre-PR-gateway
+## routing speedup floor (>=3x, per-request normalized) and the
+## 1M-request, 32-device diurnal run's hard wall-clock budget (<=60s).
+perf-1m:
+	PYTHONPATH=src $(PYTHON) -m repro perf --check \
+	    --only fleet_routing_speedup,fleet_diurnal_1m --out $(OUTPUT)
 
 ## Refresh the committed perf baselines (run on a quiet machine).
 perf-baseline:

@@ -475,6 +475,31 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     artifacts = (tuple(args.artifacts.split(","))
                  if args.artifacts else PIPELINE_ARTIFACTS)
     only = tuple(args.only.split(",")) if args.only else None
+    if args.profile is not None:
+        if only is None or len(only) != 1:
+            print("perf: --profile requires exactly one workload via "
+                  "--only <name>", file=sys.stderr)
+            return 2
+        if args.profile < 1:
+            print("perf: --profile must be positive", file=sys.stderr)
+            return 2
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            run_benchmarks(repeats=args.repeats, artifacts=artifacts,
+                           jobs=args.jobs, executor=args.executor,
+                           only=only)
+        except ValueError as exc:
+            print(f"perf: {exc}", file=sys.stderr)
+            return 2
+        finally:
+            profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(args.profile)
+        return 0
     try:
         results = run_benchmarks(
             repeats=args.repeats, artifacts=artifacts, jobs=args.jobs,
@@ -718,6 +743,10 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--executor", choices=("thread", "process"),
                       default="thread",
                       help="pipeline executor for the sweep workloads")
+    perf.add_argument("--profile", type=int, default=None, metavar="N",
+                      help="run one workload (--only <name>) under "
+                           "cProfile and print the top-N cumulative "
+                           "functions instead of recording timings")
     perf.set_defaults(func=_cmd_perf)
 
     plan = sub.add_parser("plan", help="pick a config for a latency budget")

@@ -41,11 +41,17 @@ class PrefixCache:
         self.capacity_bytes = capacity_bytes
         self.kv_bytes_per_token = kv_bytes_per_token
         self._entries: OrderedDict[str, PrefixEntry] = OrderedDict()
+        self._used = 0.0
 
     @property
     def used_bytes(self) -> float:
-        """KV bytes held by cached prefixes."""
-        return sum(entry.kv_bytes for entry in self._entries.values())
+        """KV bytes held by cached prefixes.
+
+        Maintained incrementally: a full re-sum per eviction probe made
+        ``insert`` quadratic in residency, which dominates admission at
+        population scale.
+        """
+        return self._used
 
     def __contains__(self, key: str) -> bool:
         return key in self._entries
@@ -67,17 +73,23 @@ class PrefixCache:
                 f"prefix of {token_count} tokens ({kv_bytes:.0f} B) exceeds "
                 f"the cache capacity ({self.capacity_bytes:.0f} B)"
             )
-        while self.used_bytes + kv_bytes > self.capacity_bytes:
-            self._entries.popitem(last=False)
+        while self._used + kv_bytes > self.capacity_bytes:
+            _, evicted = self._entries.popitem(last=False)
+            self._used -= evicted.kv_bytes
+        previous = self._entries.pop(key, None)
+        if previous is not None:
+            self._used -= previous.kv_bytes
         entry = PrefixEntry(key=key, token_count=token_count,
                             kv_bytes=kv_bytes)
         self._entries[key] = entry
-        self._entries.move_to_end(key)
+        self._used += kv_bytes
         return entry
 
     def evict(self, key: str) -> None:
         """Drop one prefix."""
-        self._entries.pop(key, None)
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._used -= entry.kv_bytes
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -486,6 +486,16 @@ class _ServingRun:
         self._next_index = 0
         self._push_seq = 0
         self._horizon = math.inf
+        # With no fault injector, thermal model, degradation policy, or
+        # power noise, prefill cost is a pure function of the prompt
+        # length (the kernel jitter is a stateless hash), so admissions
+        # may memoize it — the same legality condition as the vector
+        # core's ``_prefill_memo``, now shared by the scalar hot path.
+        self._pure_prefill = (sim.faults is None
+                              and sim.thermal_config is None
+                              and sim.degradation is None
+                              and sim.engine.power.noise_std == 0)
+        self._prefill_memo: dict[int, tuple[float, float]] = {}
         self.pending: list[tuple[float, int, int]] = []
         self.ready: list[tuple[float, int, int]] = []
         if requests is not None:
@@ -775,10 +785,17 @@ class _ServingRun:
         The seam subclasses override for prefix-cache-aware admission:
         a warm prefix prefills only the unshared suffix.
         """
+        if self._pure_prefill:
+            hit = self._prefill_memo.get(request.prompt_tokens)
+            if hit is not None:
+                return hit
         stats = self.engine.kernels.prefill(self.engine.profile,
                                             request.prompt_tokens)
         power = self.engine.power.prefill_power(request.prompt_tokens)
-        return stats.seconds, power
+        cost = (stats.seconds, power)
+        if self._pure_prefill:
+            self._prefill_memo[request.prompt_tokens] = cost
+        return cost
 
     # -- epochs --------------------------------------------------------
     def _sweep_timeouts(self) -> None:

@@ -134,6 +134,58 @@ class RequestArrays:
         self.context = np.zeros(n, dtype=np.int64)
         self.remaining = np.zeros(n, dtype=np.int64)
 
+    @classmethod
+    def from_columns(cls, request_id: np.ndarray, prompt_tokens: np.ndarray,
+                     stop_tokens: np.ndarray, arrival_s: np.ndarray,
+                     deadlines: np.ndarray | None = None,
+                     deadline_mask: np.ndarray | None = None
+                     ) -> "RequestArrays":
+        """Build directly from columns, skipping per-request objects.
+
+        The population-scale path: a trace generator already holds the
+        request population as parallel arrays, and round-tripping a
+        million rows through :class:`GenerationRequest` instances just
+        to tear them back apart would dominate the run.  Semantics are
+        identical to ``__init__`` with ``stop_tokens`` standing in for
+        ``max(r.stop_lengths())``.
+        """
+        self = cls.__new__(cls)
+        request_id = np.asarray(request_id, dtype=np.int64)
+        n = request_id.shape[0]
+        self.n = n
+        self.request_id = request_id.copy()
+        self.prompt_tokens = np.asarray(prompt_tokens,
+                                        dtype=np.int64).copy()
+        self.stop_tokens = np.asarray(stop_tokens, dtype=np.int64).copy()
+        if (self.prompt_tokens.shape != (n,)
+                or self.stop_tokens.shape != (n,)):
+            raise ValueError("token columns must align with request_id")
+        self.arrival_s = np.asarray(arrival_s, dtype=np.float64).copy()
+        if self.arrival_s.shape != (n,):
+            raise ValueError("arrival_s must align with request_id")
+        self.ready_s = self.arrival_s.copy()
+        if deadlines is None:
+            self.deadline_s = np.full(n, np.nan)
+            self.deadline_mask = np.zeros(n, dtype=bool)
+        else:
+            self.deadline_s = np.asarray(deadlines, dtype=np.float64).copy()
+            if self.deadline_s.shape != (n,):
+                raise ValueError("deadlines must align with request_id")
+            if deadline_mask is None:
+                self.deadline_mask = np.ones(n, dtype=bool)
+            else:
+                self.deadline_mask = np.asarray(
+                    deadline_mask, dtype=bool).copy()
+                if self.deadline_mask.shape != (n,):
+                    raise ValueError(
+                        "deadline_mask must align with request_id")
+        self.start_s = np.full(n, np.nan)
+        self.prefill_s = np.zeros(n)
+        self.finish_s = np.full(n, np.nan)
+        self.context = np.zeros(n, dtype=np.int64)
+        self.remaining = np.zeros(n, dtype=np.int64)
+        return self
+
     def deadline_of(self, i: int) -> float | None:
         """Request ``i``'s deadline in the scalar core's convention."""
         return float(self.deadline_s[i]) if self.deadline_mask[i] else None

@@ -69,6 +69,12 @@ if TYPE_CHECKING:
 #: contexts would otherwise allocate huge tables for no reuse).
 _TABLE_KEY_LIMIT = 1 << 22
 
+# ndarray.sum() routes through two Python wrapper frames before landing
+# on this very reduction; at one call per pricing lookup (millions per
+# population-scale run) the frames are measurable.  Bit-exact: the
+# method is defined as np.add.reduce.
+_sum = np.add.reduce
+
 
 class VectorFallback(Exception):
     """The vector run met a condition only the scalar oracle can model.
@@ -116,17 +122,46 @@ class VectorServingRun:
     """One batch serving run on the array-backed fast path."""
 
     def __init__(self, sim: "ServingSimulator",
-                 requests: "list[GenerationRequest]",
-                 arrival_times: np.ndarray,
+                 requests: "list[GenerationRequest] | None" = None,
+                 arrival_times: np.ndarray | None = None,
                  deadlines: np.ndarray | None = None,
-                 deadline_mask: np.ndarray | None = None):
+                 deadline_mask: np.ndarray | None = None, *,
+                 arrays: RequestArrays | None = None,
+                 session_ids: np.ndarray | None = None,
+                 prefix_tokens: np.ndarray | None = None,
+                 prefix_cache=None,
+                 record_objects: bool = True):
         if not serving_vector_eligible(sim):
             raise VectorFallback("configuration requires the scalar oracle")
         self.sim = sim
         self.engine = sim.engine
         self.kv = sim.kv_cache
-        self.arrays = RequestArrays(requests, arrival_times,
-                                    deadlines, deadline_mask)
+        if arrays is not None:
+            self.arrays = arrays
+        else:
+            self.arrays = RequestArrays(requests, arrival_times,
+                                        deadlines, deadline_mask)
+        # Prefix-cache-aware admission (the trace fast path): replicates
+        # ``_DeviceRun._prefill_cost`` bit-for-bit — same LRU lookup /
+        # insert call sequence in admission order — against a real
+        # :class:`~repro.engine.prefix_cache.PrefixCache`, with the warm
+        # suffix kernel memoized per (prompt, prefix) pair (pure under
+        # the eligibility guarantees, exactly like ``_prefill_cost``).
+        self._session_ids = session_ids
+        self._prefix_tokens = prefix_tokens
+        self._prefix_cache = prefix_cache
+        if prefix_cache is not None and (session_ids is None
+                                         or prefix_tokens is None):
+            raise ValueError("prefix_cache requires session_ids and "
+                             "prefix_tokens columns")
+        self._suffix_memo: dict[tuple[int, int], tuple[float, float]] = {}
+        self.prefix_hits = 0
+        self.prefix_misses = 0
+        #: When False, outcomes land in the arrays' outcome columns and
+        #: no per-request :class:`ServedRequest` objects are built (the
+        #: bounded-memory population-scale sink).
+        self._record_objects = record_objects
+        self.completed = 0
         self.now = 0.0
         self.energy = 0.0
         self.prefill_stall_s = 0.0
@@ -147,8 +182,11 @@ class VectorServingRun:
         self._single_power_memo: dict[tuple[int, int], float] = {}
         self._idx = np.arange(256, dtype=np.int64)
         # Admission order: stable sort on (ready time, injection order)
-        # — exactly the scalar pending-heap pop order.
+        # — exactly the scalar pending-heap pop order.  Ready times are
+        # pre-gathered in that order so the per-admission peek is one
+        # flat index instead of two.
         self._order = self.arrays.admission_order()
+        self._ready_sorted = self.arrays.ready_s[self._order]
         self._p = 0  # next unpromoted position in ``_order``
         self._edf = sim.policy == "edf"
         # EDF keeps a promoted heap keyed like the scalar ready heap:
@@ -161,7 +199,7 @@ class VectorServingRun:
         """Ready time of the earliest not-yet-promoted request."""
         if self._p >= self.arrays.n:
             return None
-        return float(self.arrays.ready_s[self._order[self._p]])
+        return float(self._ready_sorted[self._p])
 
     def _edf_key(self, i: int) -> float:
         if not self.arrays.deadline_mask[i]:
@@ -174,12 +212,12 @@ class VectorServingRun:
         arrays = self.arrays
         if not self._edf:
             p = self._p
-            if p < arrays.n and arrays.ready_s[self._order[p]] <= self.now:
+            if p < arrays.n and self._ready_sorted[p] <= self.now:
                 self._p = p + 1
                 return int(self._order[p])
             return None
         while (self._p < arrays.n
-               and arrays.ready_s[self._order[self._p]] <= self.now):
+               and self._ready_sorted[self._p] <= self.now):
             i = int(self._order[self._p])
             self._p += 1
             self._promote_seq += 1
@@ -210,6 +248,42 @@ class VectorServingRun:
         self._prefill_memo[prompt_tokens] = cost
         return cost
 
+    def _admission_cost(self, i: int, prompt: int) -> tuple[float, float]:
+        """Request ``i``'s prefill cost, prefix cache consulted.
+
+        Mirrors ``_DeviceRun._prefill_cost`` exactly: the LRU lookup
+        refreshes recency even on a token-count mismatch, a hit prices
+        only the unshared suffix, and a miss inserts the prefix (evicting
+        LRU entries) before paying the full prefill.  Keys are session
+        ids — a bijective relabeling of the scalar path's session
+        strings, so the LRU sequence is identical.
+        """
+        cache = self._prefix_cache
+        if cache is None:
+            return self._prefill_cost(prompt)
+        prefix = min(int(self._prefix_tokens[i]), prompt - 1)
+        if prefix <= 0:
+            return self._prefill_cost(prompt)
+        session = int(self._session_ids[i])
+        entry = cache.lookup(session)
+        if entry is not None and entry.token_count == prefix:
+            self.prefix_hits += 1
+            key = (prompt, prefix)
+            hit = self._suffix_memo.get(key)
+            if hit is None:
+                from repro.engine.prefix_cache import prefill_with_prefix
+                stats = prefill_with_prefix(self.engine, prompt, prefix)
+                power = self.engine.power.prefill_power(prompt - prefix)
+                hit = (stats.seconds, power)
+                self._suffix_memo[key] = hit
+            return hit
+        self.prefix_misses += 1
+        try:
+            cache.insert(session, prefix)
+        except ValueError:
+            pass  # prefix exceeds the whole cache: serve uncached
+        return self._prefill_cost(prompt)
+
     def _admit(self, i: int) -> None:
         arrays = self.arrays
         prompt = int(arrays.prompt_tokens[i])
@@ -217,7 +291,7 @@ class VectorServingRun:
         if blocks > self._free:
             raise VectorFallback("KV exhaustion at admission")
         self._free -= blocks
-        base, power = self._prefill_cost(prompt)
+        base, power = self._admission_cost(i, prompt)
         start_s = self.now
         # Scalar ``_spend`` at speed 1.0: /1.0 and *1.0 are exact
         # identities, so the plain accumulation is bit-identical.
@@ -264,6 +338,15 @@ class VectorServingRun:
     def _finish(self, seq: _VecSeq) -> None:
         self.live.remove(seq)
         self._free += self.kv.blocks_for(seq.context)
+        self.completed += 1
+        if not self._record_objects:
+            arrays = self.arrays
+            i = seq.index
+            arrays.start_s[i] = seq.start_s
+            arrays.prefill_s[i] = seq.prefill_s
+            arrays.finish_s[i] = self.now
+            arrays.context[i] = seq.context
+            return
         from repro.engine.server import ServedRequest
         self.served.append(ServedRequest(
             request_id=seq.request_id,
@@ -300,7 +383,7 @@ class VectorServingRun:
                 grown[:tbl.shape[0]] = tbl
             table[batch] = tbl = grown
         vals = tbl[keys]
-        total = vals.sum()  # nan probe: one reduction beats isnan+any
+        total = _sum(vals)  # nan probe: one reduction beats isnan+any
         if total != total:
             miss = np.isnan(vals)
             miss_keys = keys[miss]
@@ -322,7 +405,10 @@ class VectorServingRun:
         gen_sum = ctx_sum - prompt_sum + batch
         if span > self._idx.shape[0]:
             self._idx = np.arange(2 * span, dtype=np.int64)
-        strided = self._idx[:span] * batch
+        # batch == 1 strides by the identity; skipping the multiply is
+        # exact and saves a temporary on every single-slot epoch.
+        strided = (self._idx[:span] if batch == 1
+                   else self._idx[:span] * batch)
         # mean context at step j is (ctx_sum + batch*j)/batch — integer
         # numerators, so the dense tables resolve most steps.  Clamping
         # the generated key at ``batch`` reproduces max(mean, 1.0).
@@ -342,7 +428,7 @@ class VectorServingRun:
         now_path = np.empty(span + 1)
         now_path[0] = self.now
         now_path[1:] = base
-        np.cumsum(now_path, out=now_path)
+        now_path.cumsum(out=now_path)
         next_ready = (self._peek_pending()
                       if batch < self.sim.max_batch_size else None)
         taken = span
@@ -357,7 +443,7 @@ class VectorServingRun:
         energy_path = np.empty(taken + 1)
         energy_path[0] = self.energy
         np.multiply(base[:taken], power[:taken], out=energy_path[1:])
-        np.cumsum(energy_path, out=energy_path)
+        energy_path.cumsum(out=energy_path)
         self.now = float(now_path[taken])
         self.energy = float(energy_path[taken])
 
@@ -420,7 +506,9 @@ class VectorServingRun:
                 self._finish(seq)
 
     def _epoch(self) -> None:
-        span = min(seq.remaining for seq in self.live)
+        live = self.live
+        span = (live[0].remaining if len(live) == 1
+                else min(seq.remaining for seq in live))
         if self.sim.max_span_steps is not None:
             span = min(span, self.sim.max_span_steps)
         if span > 1:
@@ -437,7 +525,7 @@ class VectorServingRun:
             self._decode_single()
 
     # -- main loop -----------------------------------------------------
-    def execute(self) -> "ResilienceReport":
+    def _run_loop(self) -> None:
         max_batch = self.sim.max_batch_size
         while self.live or self._has_waiting():
             while len(self.live) < max_batch:
@@ -452,7 +540,29 @@ class VectorServingRun:
                 self.now = max(self.now, nxt)
                 continue
             self._epoch()
+
+    def execute(self) -> "ResilienceReport":
+        self._run_loop()
         return self._report()
+
+    def execute_arrays(self) -> RequestArrays:
+        """Run to completion with outcomes in the array columns only.
+
+        The population-scale sink: requires ``record_objects=False`` at
+        construction, serves every request (the vector core has no drop
+        path — KV pressure raises :class:`VectorFallback` instead), and
+        returns the filled :class:`RequestArrays` without building a
+        single per-request object.
+        """
+        if self._record_objects:
+            raise RuntimeError("execute_arrays requires "
+                               "record_objects=False")
+        self._run_loop()
+        if self.completed != self.arrays.n:
+            raise RuntimeError(
+                f"vector trace run finished {self.completed} of "
+                f"{self.arrays.n} requests")
+        return self.arrays
 
     def _report(self) -> "ResilienceReport":
         from repro.engine.server import ResilienceReport

@@ -45,6 +45,11 @@ from repro.fleet.health import (
     HealthConfig,
 )
 from repro.fleet.report import DeviceOutcome, FleetReport
+from repro.fleet.trace import (
+    FleetTraceReport,
+    TraceDeviceSummary,
+    trace_report_from_fleet,
+)
 from repro.workloads.arrivals import poisson_arrivals
 
 #: Power-mode cycles for the named fleet mixes.
@@ -141,11 +146,14 @@ __all__ = [
     "FleetGateway",
     "FleetReport",
     "FleetRequest",
+    "FleetTraceReport",
     "HealthConfig",
     "HedgeConfig",
     "LEGAL_TRANSITIONS",
     "LifecycleState",
     "ROUTING_POLICIES",
+    "TraceDeviceSummary",
     "build_fleet",
     "poisson_stream",
+    "trace_report_from_fleet",
 ]

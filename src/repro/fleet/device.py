@@ -84,6 +84,9 @@ class _DeviceRun(_ServingRun):
         super().__init__(sim)
         self._prefix_cache = prefix_cache
         self._prefix_info: dict[int, tuple[str, int]] = {}
+        #: Warm-suffix kernel memo keyed (prompt, prefix) — pure under
+        #: the same conditions as the base ``_prefill_memo``.
+        self._suffix_memo: dict[tuple[int, int], tuple[float, float]] = {}
         self.prefix_hits = 0
         self.prefix_misses = 0
 
@@ -106,11 +109,19 @@ class _DeviceRun(_ServingRun):
         entry = self._prefix_cache.lookup(session)
         if entry is not None and entry.token_count == prefix:
             self.prefix_hits += 1
+            if self._pure_prefill:
+                key = (request.prompt_tokens, prefix)
+                cached = self._suffix_memo.get(key)
+                if cached is not None:
+                    return cached
             stats = prefill_with_prefix(self.engine, request.prompt_tokens,
                                         prefix)
             power = self.engine.power.prefill_power(
                 request.prompt_tokens - prefix)
-            return stats.seconds, power
+            cost = (stats.seconds, power)
+            if self._pure_prefill:
+                self._suffix_memo[key] = cost
+            return cost
         self.prefix_misses += 1
         try:
             self._prefix_cache.insert(session, prefix)
@@ -176,6 +187,13 @@ class FleetDevice:
         run.sim = self.simulator
         run.engine = self.engine
         run.kv = self.simulator.kv_cache
+        # The pricing kernels changed: cached prefill costs are stale.
+        run._prefill_memo.clear()
+        run._suffix_memo.clear()
+        run._pure_prefill = (self.simulator.faults is None
+                             and self.simulator.thermal_config is None
+                             and self.simulator.degradation is None
+                             and self.engine.power.noise_std == 0)
         self.spec = dataclasses.replace(self.spec, power_mode=power_mode)
         self.dvfs_switches += 1
 
@@ -190,6 +208,20 @@ class FleetDevice:
         """
         return (self.simulator.vector_eligible()
                 and self.run._prefix_cache is None
+                and self.run._next_index == 0
+                and self.run.now == 0.0)
+
+    @property
+    def trace_eligible(self) -> bool:
+        """Vector eligibility for the streaming trace fast path.
+
+        Unlike :attr:`vector_eligible`, a prefix cache is allowed: the
+        trace path's :class:`~repro.engine.vector_run.VectorServingRun`
+        replicates prefix-aware admission against the device's own
+        cache, so only the simulator configuration and run freshness
+        matter.
+        """
+        return (self.simulator.vector_eligible()
                 and self.run._next_index == 0
                 and self.run.now == 0.0)
 

@@ -59,10 +59,28 @@ Epoch granularity: a device decoding an atomic multi-token epoch may
 overshoot an event time slightly; an outage or cancellation then takes
 effect at that epoch boundary.  This is deterministic and mirrors real
 engines, which cannot abort mid-kernel.
+
+Hot path: the scalar event loop memoizes everything that only changes
+on *topology events* — the up/routable device views and the
+prefix-affinity session winners are cached behind a monotone topology
+version (bumped on crashes, breaker transitions, and probe-slot
+consumption, with a time-based expiry for outage recoveries and breaker
+cool-downs), rendezvous digests are cached per (session, device), a
+gateway-maintained outstanding counter replaces the full-fleet pressure
+scan, and the per-event advance/poll sweep skips idle devices (exact:
+``run_until`` is a no-op without work, and new outcome records require
+the device to have run).  ``legacy_routing=True`` restores the
+uncached per-event scans — the honest baseline for the routing-speedup
+benchmark.  Population-scale streams bypass the per-event loop
+entirely: :meth:`FleetGateway.run_trace` partitions a chunked
+column trace (round-robin or prefix-affinity) and drains each share on
+the array-backed vector core, reporting through the column-native
+:class:`~repro.fleet.trace.FleetTraceReport`.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
 import hashlib
 import math
@@ -72,6 +90,7 @@ import numpy as np
 
 from repro.engine.request import GenerationRequest
 from repro.engine.server import SERVING_MODES
+from repro.engine.state import RequestArrays
 from repro.engine.vector_run import VectorFallback, VectorServingRun
 from repro.faults.injector import FleetFaultSchedule
 from repro.fleet.autoscale import (
@@ -83,6 +102,12 @@ from repro.fleet.brownout import BrownoutConfig, BrownoutController
 from repro.fleet.device import FleetDevice
 from repro.fleet.health import BreakerState, DeviceHealth, HealthConfig
 from repro.fleet.report import DeviceOutcome, FleetReport
+from repro.fleet.trace import (
+    FleetTraceReport,
+    TraceDeviceData,
+    assemble_trace_report,
+    trace_report_from_fleet,
+)
 
 #: The pluggable routing policies.
 ROUTING_POLICIES = ("round-robin", "least-outstanding", "latency-aware",
@@ -141,7 +166,9 @@ class FleetGateway:
                  drain_tick_s: float = 0.5,
                  drain_limit_s: float = 600.0,
                  seed: int = 0,
-                 mode: str = "auto"):
+                 mode: str = "auto",
+                 legacy_routing: bool = False,
+                 verify_routing: bool = False):
         if not devices:
             raise ValueError("a fleet needs at least one device")
         if policy not in ROUTING_POLICIES:
@@ -209,18 +236,67 @@ class FleetGateway:
         self._latency_ewma: float | None = None
         self._served_cursor = {name: 0 for name in names}
         self._dropped_cursor = {name: 0 for name in names}
+        #: ``True`` restores the uncached per-event scans everywhere —
+        #: the pre-optimization routing semantics at pre-optimization
+        #: cost, kept as the honest speedup-benchmark baseline.
+        self.legacy_routing = legacy_routing
+        #: Debug cross-check: assert the cached views against fresh
+        #: scans on every use (tests only; defeats the speedup).
+        self.verify_routing = verify_routing
+        # Monotone topology stamp: any availability, breaker, or
+        # probe-budget change bumps it, invalidating the cached
+        # up/routable views.  Time-driven flips (outage recovery,
+        # breaker cool-down expiry) are handled by each cache's expiry.
+        self._topo_version = 0
+        self._up_cache: tuple[int, float, list[FleetDevice]] | None = None
+        self._pool_cache: tuple[int, float, list[FleetDevice]] | None = None
+        #: sha256 rendezvous digests per (session, device name).
+        self._rdv_cache: dict[tuple[str, str], int] = {}
+        #: Per-session rendezvous winners over the *current* routable
+        #: pool; cleared whenever the pool's membership changes.
+        self._affinity_winner: dict[str, FleetDevice] = {}
+        self._affinity_pool: tuple[str, ...] | None = None
+        # Gateway-maintained outstanding-work counters (inject/terminal
+        # record/cancel/evacuate deltas) replacing the full-fleet
+        # pressure scan; ``_maybe_down`` tracks devices that were handed
+        # work while down (parked arrivals), whose holdings must not
+        # count toward up-capacity pressure.
+        self._outstanding = {name: 0 for name in names}
+        self._outstanding_total = 0
+        self._maybe_down: set[str] = set()
+        self._full_capacity = sum(d.spec.max_batch_size
+                                  for d in self.devices)
+        self._name_bytes = tuple(d.name.encode() for d in self.devices)
 
     # -- routing --------------------------------------------------------
+    def _topo_bump(self) -> None:
+        """Invalidate the cached topology views (membership changed)."""
+        self._topo_version += 1
+
     def _up(self, t: float) -> list[FleetDevice]:
-        return [d for d in self.devices if not d.is_down(t)]
+        if self.legacy_routing:
+            return [d for d in self.devices if not d.is_down(t)]
+        cache = self._up_cache
+        if (cache is not None and cache[0] == self._topo_version
+                and t < cache[1]):
+            return cache[2]
+        up = [d for d in self.devices if not d.is_down(t)]
+        expiry = math.inf
+        if len(up) != len(self.devices):
+            # A down device rejoins at its recovery time; the cached
+            # view must expire there (is_down is strict: up at
+            # t == down_until, hence the strict t < expiry validity).
+            for d in self.devices:
+                if d.is_down(t):
+                    until = d.down_until()
+                    if math.isfinite(until):
+                        expiry = min(expiry, until)
+        self._up_cache = (self._topo_version, expiry, up)
+        return up
 
-    def _routable(self, t: float) -> list[FleetDevice]:
-        """Up devices the breakers admit, with brownout steering.
-
-        Breakers shift load, never black out the fleet: when every up
-        device's breaker rejects, routing falls back to all up devices.
-        """
-        up = self._up(t)
+    def _routable_scan(self, t: float, up: "list[FleetDevice]"
+                       ) -> list[FleetDevice]:
+        """One uncached routable computation (the pre-cache semantics)."""
         if self.autoscale is not None:
             # Lifecycle filter: cordoned/draining/asleep/waking devices
             # accept no new routes (the emergency paths in _pick wake
@@ -235,10 +311,71 @@ class FleetGateway:
                 return downgrade
         return pool
 
+    def _routable(self, t: float) -> list[FleetDevice]:
+        """Up devices the breakers admit, with brownout steering.
+
+        Breakers shift load, never black out the fleet: when every up
+        device's breaker rejects, routing falls back to all up devices.
+
+        The pool is cached behind the topology version: breaker
+        admission only changes on transitions or probe-slot consumption
+        (both bump the version) or when an OPEN cool-down expires (a
+        time expiry).  Brownout steering and the autoscale lifecycle
+        filter read controller state that moves without topology
+        events, so those configurations keep the per-call scan.
+        """
+        if (self.legacy_routing or self.brownout is not None
+                or self.autoscale is not None):
+            return self._routable_scan(t, self._up(t))
+        cache = self._pool_cache
+        if (cache is not None and cache[0] == self._topo_version
+                and t < cache[1]):
+            return cache[2]
+        up = self._up(t)
+        expiry = self._up_cache[1]
+        fit = []
+        for d in up:
+            breaker = self.health[d.name].breaker
+            if breaker.admits(t):
+                fit.append(d)
+            elif breaker.state is BreakerState.OPEN:
+                # The cool-down's expiry re-admits this device; the
+                # rebuild at that first post-expiry event performs the
+                # OPEN -> HALF_OPEN transition exactly where the
+                # uncached scan would have.
+                expiry = min(expiry, breaker._probe_until)
+        pool = fit or up
+        names = tuple(d.name for d in pool)
+        if names != self._affinity_pool:
+            self._affinity_pool = names
+            self._affinity_winner.clear()
+        self._pool_cache = (self._topo_version, expiry, pool)
+        if self.verify_routing:
+            fresh = self._routable_scan(
+                t, [d for d in self.devices if not d.is_down(t)])
+            assert [d.name for d in fresh] == list(names)
+        return pool
+
     @staticmethod
-    def _rendezvous_weight(session: str, name: str) -> int:
+    def _rendezvous_digest(session: str, name: str) -> int:
         digest = hashlib.sha256(f"{session}:{name}".encode()).digest()
         return int.from_bytes(digest[:8], "little")
+
+    def _rendezvous_weight(self, session: str, name: str) -> int:
+        """Rendezvous weight with per-(session, device) digest caching.
+
+        A sticky session re-presents the same (session, name) pairs on
+        every turn; the digest is a pure function of the pair, so
+        repeat turns cost a dict hit instead of a sha256.
+        """
+        if self.legacy_routing:
+            return self._rendezvous_digest(session, name)
+        key = (session, name)
+        weight = self._rdv_cache.get(key)
+        if weight is None:
+            weight = self._rendezvous_digest(session, name)
+            self._rdv_cache[key] = weight
+        return weight
 
     def _pick(self, freq: FleetRequest, t: float) -> FleetDevice | None:
         """The policy's choice of device for one request at time ``t``.
@@ -281,8 +418,19 @@ class FleetGateway:
         # prefix-affinity: rendezvous hash pins a session to one device
         # (stable under fleet changes); stateless requests balance.
         if freq.session is not None:
-            return max(up, key=lambda d: (
-                self._rendezvous_weight(freq.session, d.name), d.name))
+            if (self.legacy_routing or self.brownout is not None
+                    or self.autoscale is not None):
+                return max(up, key=lambda d: (
+                    self._rendezvous_weight(freq.session, d.name), d.name))
+            # The winner over a given pool is a pure function of the
+            # session; the memo is cleared whenever the cached pool's
+            # membership changes, so hits are exact.
+            device = self._affinity_winner.get(freq.session)
+            if device is None:
+                device = max(up, key=lambda d: (
+                    self._rendezvous_weight(freq.session, d.name), d.name))
+                self._affinity_winner[freq.session] = device
+            return device
         return min(up, key=lambda d: (d.outstanding_requests, d.name))
 
     def _autoscale_emergency(self, t: float) -> FleetDevice | None:
@@ -317,10 +465,19 @@ class FleetGateway:
         if device is None:
             self._finish(rid, "shed")
             return None
-        self.health[device.name].breaker.allow(t)  # consume a probe slot
+        breaker = self.health[device.name].breaker
+        before = breaker.state
+        breaker.allow(t)  # consume a probe slot
+        if before is not BreakerState.CLOSED or breaker.state is not before:
+            # A probe slot was consumed or the breaker transitioned:
+            # the cached routable pool may no longer admit this device.
+            self._topo_bump()
         ready = ready_s
         if device.is_down(t):
             # Queued behind the outage; admission starts at recovery.
+            # The parked work must not count toward up-capacity
+            # pressure while the device stays down.
+            self._maybe_down.add(device.name)
             ready = max(ready if ready is not None else t, device.down_until())
         if (self.autoscale is not None
                 and self.autoscale.state(device.name)
@@ -331,6 +488,8 @@ class FleetGateway:
         device.inject(freq.request, freq.arrival_s,
                       deadline_s=freq.deadline_s, ready_s=ready,
                       session=freq.session, prefix_tokens=freq.prefix_tokens)
+        self._outstanding[device.name] += 1
+        self._outstanding_total += 1
         self._arrival.setdefault(rid, freq.arrival_s)
         self._deadline.setdefault(rid, freq.deadline_s)
         self._request_of[rid] = freq.request
@@ -350,8 +509,13 @@ class FleetGateway:
 
     def _on_served(self, device: FleetDevice, record) -> None:
         rid = record.request_id
-        self.health[device.name].observe_completion(
-            record.finish_s, record.latency_s)
+        self._outstanding[device.name] -= 1
+        self._outstanding_total -= 1
+        health = self.health[device.name]
+        before = health.breaker.state
+        health.observe_completion(record.finish_s, record.latency_s)
+        if health.breaker.state is not before:
+            self._topo_bump()
         alpha = self.hedge.ewma_alpha if self.hedge is not None else 0.2
         if self._latency_ewma is None:
             self._latency_ewma = record.latency_s
@@ -369,12 +533,20 @@ class FleetGateway:
             self.hedge_wins += 1
         copies = self._copies.pop(rid, set())
         copies.discard(device.name)
-        for name in sorted(copies):
-            self._by_name[name].cancel(rid)
+        for other in sorted(copies):
+            if self._by_name[other].cancel(rid):
+                self._outstanding[other] -= 1
+                self._outstanding_total -= 1
 
     def _on_dropped(self, device: FleetDevice, rid: int, kind: str,
                     t: float) -> None:
-        self.health[device.name].observe_failure(t)
+        self._outstanding[device.name] -= 1
+        self._outstanding_total -= 1
+        health = self.health[device.name]
+        before = health.breaker.state
+        health.observe_failure(t)
+        if health.breaker.state is not before:
+            self._topo_bump()
         copies = self._copies.get(rid)
         if copies is not None:
             copies.discard(device.name)
@@ -404,6 +576,30 @@ class FleetGateway:
             if not device.is_down(t):
                 self.health[name].heartbeat(t)
 
+    def _advance_poll(self, device: FleetDevice, t: float) -> None:
+        """Advance one device and fold its new outcome records.
+
+        The fused per-device form of advance + :meth:`_poll`, minus the
+        heartbeat (only :meth:`DeviceHealth.score` reads heartbeats and
+        nothing in routing or reports reads the score).  The fused loop
+        is reserved for hedge-free runs: hedging orders cancellations
+        against the all-device advance, which this form interleaves.
+        """
+        device.advance_to(t)
+        run = device.run
+        name = device.name
+        start = self._served_cursor[name]
+        if len(run.served) > start:
+            for record in run.served[start:]:
+                self._on_served(device, record)
+            self._served_cursor[name] = len(run.served)
+        start = self._dropped_cursor[name]
+        if len(run.dropped) > start:
+            for index, kind in run.dropped[start:]:
+                self._on_dropped(device, run.requests[index].request_id,
+                                 kind, t)
+            self._dropped_cursor[name] = len(run.dropped)
+
     # -- brownout & hedging ---------------------------------------------
     def _pressure(self, t: float) -> float:
         """Outstanding work per unit of up-capacity (fleet batches).
@@ -425,8 +621,25 @@ class FleetGateway:
             capacity = sum(d.spec.max_batch_size for d in active)
             outstanding = sum(d.outstanding_requests for d in self.devices)
             return outstanding / capacity
-        capacity = sum(d.spec.max_batch_size for d in up)
-        outstanding = sum(d.outstanding_requests for d in up)
+        if self.legacy_routing:
+            capacity = sum(d.spec.max_batch_size for d in up)
+            outstanding = sum(d.outstanding_requests for d in up)
+            return outstanding / capacity
+        # Counter path: every inject/terminal-record/cancel/evacuate
+        # moves the totals, and every call site runs post-poll, so the
+        # counter equals the live per-device scan exactly.  Work parked
+        # on still-down devices is excluded (the legacy scan only sums
+        # up devices); recovered parkees rejoin the total lazily.
+        outstanding = self._outstanding_total
+        for name in sorted(self._maybe_down):
+            if self._by_name[name].is_down(t):
+                outstanding -= self._outstanding[name]
+            else:
+                self._maybe_down.discard(name)
+        capacity = (self._full_capacity if len(up) == len(self.devices)
+                    else sum(d.spec.max_batch_size for d in up))
+        if self.verify_routing:
+            assert outstanding == sum(d.outstanding_requests for d in up)
         return outstanding / capacity
 
     def _maybe_hedge(self, t: float) -> None:
@@ -454,7 +667,14 @@ class FleetGateway:
             device.inject(self._request_of[rid], self._arrival[rid],
                           deadline_s=self._deadline.get(rid), ready_s=t,
                           session=session, prefix_tokens=prefix)
-            self.health[device.name].breaker.allow(t)
+            self._outstanding[device.name] += 1
+            self._outstanding_total += 1
+            breaker = self.health[device.name].breaker
+            before = breaker.state
+            breaker.allow(t)
+            if (before is not BreakerState.CLOSED
+                    or breaker.state is not before):
+                self._topo_bump()
             copies.add(device.name)
             self._hedge_count[rid] = self._hedge_count.get(rid, 0) + 1
             self._hedge_target[rid] = device.name
@@ -495,6 +715,8 @@ class FleetGateway:
         """
         device = self._by_name[name]
         orphans = device.run.evacuate()
+        self._outstanding[name] -= len(orphans)
+        self._outstanding_total -= len(orphans)
         device.evacuated += len(orphans)
         self.autoscale.drain_evacuated(len(orphans))
         for request, state in orphans:
@@ -524,6 +746,13 @@ class FleetGateway:
             return  # schedule names a device not in this fleet
         self.health[device.name].observe_failure(t)
         orphans = device.crash(t, fault.end_s)
+        self._outstanding[device.name] -= len(orphans)
+        self._outstanding_total -= len(orphans)
+        # Availability changed (and possibly breaker state, via the
+        # per-orphan failure observations below, which run after this
+        # bump — safe, because a down device is excluded from the pool
+        # regardless of its breaker).
+        self._topo_bump()
         if self.autoscale is not None:
             # A crash during DRAINING ends the drain (its orphans are
             # re-routed below through PR 5's evacuation path); a crash
@@ -688,6 +917,290 @@ class FleetGateway:
             devices=tuple(outcomes),
         )
 
+    # -- the population-scale trace driver -------------------------------
+    def trace_eligible(self) -> bool:
+        """Whether this configuration admits the vector trace driver.
+
+        Wider than :meth:`vector_eligible` in one direction (the trace
+        partition equivalence also covers ``prefix-affinity`` — the
+        rendezvous winner is a pure function of the session, so the
+        per-session partition is known up front) and narrower in none
+        that matter at population scale: no mid-stream event source may
+        be armed, and every device must be trace-eligible (fresh run,
+        eligible simulator; a prefix cache is fine — the vector core
+        replicates prefix-aware admission against it).
+        """
+        return (self.policy in ("round-robin", "prefix-affinity")
+                and self.faults is None
+                and self.brownout is None
+                and self.hedge is None
+                and self.autoscale is None
+                and all(d.trace_eligible for d in self.devices))
+
+    def run_trace(self, trace, chunk_size: int = 65536, *,
+                  jobs: int = 1,
+                  executor: str = "thread") -> FleetTraceReport:
+        """Serve a population-scale column trace across the fleet.
+
+        ``trace`` is a :class:`~repro.workloads.population.
+        PopulationTrace` (chunked internally at ``chunk_size`` rows) or
+        any iterable of :class:`~repro.workloads.population.TraceChunk`
+        column slices with nondecreasing arrivals.  The driver holds
+        only column arrays — bounded memory at any request count — and
+        returns the column-native :class:`~repro.fleet.trace.
+        FleetTraceReport`.  Chunking is a view decision: chunked and
+        unchunked streams collect byte-identical columns, hence
+        byte-identical reports.
+
+        ``jobs`` > 1 drains the per-device partition shares
+        concurrently on a ``"thread"`` or ``"process"`` ``executor``.
+        Every share runs as a pure task on a fresh clone of its device
+        (construction is deterministic), so serial, threaded, and
+        multiprocess executions perform identical float work and
+        render byte-identical reports — the executor choice is purely
+        a wall-clock decision.
+
+        Dispatch mirrors :meth:`run`: the vector partition path when
+        ``mode`` allows and :meth:`trace_eligible` holds, with a scalar
+        rerun (through :meth:`_run_scalar` on materialized requests —
+        small traces only) on :class:`~repro.engine.vector_run.
+        VectorFallback`; ``mode="scalar"`` forces the oracle and
+        ``mode="vector"`` raises on ineligibility.  The clone-based
+        shares leave this gateway's own devices untouched, so the
+        fallback rerun starts from pristine state.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        if jobs < 1:
+            raise ValueError("jobs must be positive")
+        if executor not in ("thread", "process"):
+            raise ValueError("executor must be 'thread' or 'process'")
+        chunks = (trace.chunks(chunk_size)
+                  if hasattr(trace, "chunks") else trace)
+        columns = self._collect_trace(chunks)
+        if self.mode != "scalar":
+            eligible = self.trace_eligible()
+            if self.mode == "vector" and not eligible:
+                raise ValueError(
+                    "mode='vector' requires round-robin or "
+                    "prefix-affinity routing with no faults, brownout, "
+                    "hedging, autoscaling, or ineligible devices")
+            if eligible:
+                try:
+                    report = self._run_trace_vector(columns, jobs,
+                                                    executor)
+                    self.last_mode = "vector"
+                    return report
+                except VectorFallback:
+                    pass
+        self.last_mode = "scalar"
+        return trace_report_from_fleet(
+            self._run_scalar(self._trace_stream(columns)))
+
+    def _collect_trace(self, chunks) -> dict:
+        """Fold a chunk stream into assignment-ready columns.
+
+        One pass: validates ordering (arrivals nondecreasing within and
+        across chunks) and deadline uniformity, and computes the
+        per-request device assignment incrementally — round-robin is
+        position mod fleet, prefix-affinity memoizes one rendezvous
+        winner per distinct session id seen so far (``np.unique`` folds
+        each chunk to its distinct sessions first, so sha256 work scales
+        with sessions, not requests).
+        """
+        n_dev = len(self.devices)
+        affinity = self.policy == "prefix-affinity"
+        parts: list[list[np.ndarray]] = [[] for _ in range(7)]
+        deadline: float | None = None
+        first = True
+        prev_last = -math.inf
+        cursor = 0
+        winners: dict[int, int] = {}
+        for chunk in chunks:
+            n = int(chunk.n)
+            if n == 0:
+                continue
+            arrival = np.ascontiguousarray(chunk.arrival_s,
+                                           dtype=np.float64)
+            if float(arrival[0]) < prev_last or (
+                    n > 1 and bool(np.any(np.diff(arrival) < 0))):
+                raise ValueError(
+                    "trace arrivals must be nondecreasing")
+            prev_last = float(arrival[-1])
+            if first:
+                deadline = chunk.deadline_s
+                first = False
+            elif chunk.deadline_s != deadline:
+                raise ValueError("all chunks must share one deadline_s")
+            session = np.ascontiguousarray(chunk.session, dtype=np.int64)
+            if affinity:
+                uniq, inverse = np.unique(session, return_inverse=True)
+                lut = np.empty(uniq.shape[0], dtype=np.int64)
+                for j, sid in enumerate(uniq.tolist()):
+                    winner = winners.get(sid)
+                    if winner is None:
+                        winner = self._trace_winner(sid)
+                        winners[sid] = winner
+                    lut[j] = winner
+                assign = lut[inverse]
+            else:
+                assign = (cursor + np.arange(n, dtype=np.int64)) % n_dev
+            cursor += n
+            for bucket, column in zip(parts, (
+                    np.ascontiguousarray(chunk.request_id, dtype=np.int64),
+                    arrival,
+                    np.ascontiguousarray(chunk.prompt_tokens,
+                                         dtype=np.int64),
+                    np.ascontiguousarray(chunk.output_tokens,
+                                         dtype=np.int64),
+                    session,
+                    np.ascontiguousarray(chunk.prefix_tokens,
+                                         dtype=np.int64),
+                    assign)):
+                bucket.append(column)
+        if not parts[0]:
+            raise ValueError("the trace is empty")
+        names = ("request_id", "arrival_s", "prompt_tokens",
+                 "output_tokens", "session", "prefix_tokens", "assign")
+        columns = {name: np.concatenate(bucket)
+                   for name, bucket in zip(names, parts)}
+        columns["deadline_s"] = deadline
+        return columns
+
+    def _trace_winner(self, session: int) -> int:
+        """Rendezvous winner index for one session over the whole fleet.
+
+        Reproduces the scalar ``max(up, key=(weight, name))`` exactly:
+        devices iterate in ascending name order, so keeping ties with
+        ``>=`` leaves the largest name holding the best weight — and
+        with no failure source the scalar pool provably stays the full
+        fleet, making the whole-fleet winner the partition.
+
+        This loop hashes (sessions x devices) digests per collection
+        pass, so it stays lean: ``b"s%d:" % session`` is
+        :func:`~repro.workloads.population.session_key` plus the
+        rendezvous separator, inlined (the oracle-equivalence tests pin
+        the agreement), and the hash constructor and byte decoder are
+        bound locally.
+        """
+        head = b"s%d:" % session
+        sha256 = hashlib.sha256
+        from_bytes = int.from_bytes
+        best = 0
+        best_weight = -1
+        index = 0
+        for name in self._name_bytes:
+            weight = from_bytes(sha256(head + name).digest()[:8], "little")
+            if weight >= best_weight:
+                best = index
+                best_weight = weight
+            index += 1
+        return best
+
+    def _run_trace_vector(self, columns: dict, jobs: int = 1,
+                          executor: str = "thread") -> FleetTraceReport:
+        """Drain each device's partition share on the vector core.
+
+        The same partition-equivalence argument as :meth:`_run_vector`,
+        with the assignment already computed per column row; each share
+        runs through :func:`_trace_device_share` — a pure task over a
+        fresh clone of the device — so outcomes land in array columns,
+        no per-request object ever exists, and shares may execute on
+        any executor in any order without changing a byte.  Raises
+        :class:`~repro.engine.vector_run.VectorFallback` on KV
+        exhaustion or any served latency at the breaker spike threshold
+        (past it the scalar oracle's breakers could shift load).
+        """
+        assign = columns["assign"]
+        order = np.argsort(assign, kind="stable")
+        counts = np.bincount(assign, minlength=len(self.devices))
+        spike_s = (self._health_config or HealthConfig()).latency_spike_s
+        deadline = columns["deadline_s"]
+        shares = []
+        start = 0
+        for index, device in enumerate(self.devices):
+            n_d = int(counts[index])
+            idx = order[start:start + n_d]
+            start += n_d
+            shares.append((device.spec, spike_s,
+                           columns["request_id"][idx],
+                           columns["prompt_tokens"][idx],
+                           columns["output_tokens"][idx],
+                           columns["arrival_s"][idx],
+                           deadline,
+                           columns["session"][idx],
+                           columns["prefix_tokens"][idx]))
+        if jobs == 1:
+            outcomes = [_trace_device_share(*share) for share in shares]
+        else:
+            pool_cls = (concurrent.futures.ThreadPoolExecutor
+                        if executor == "thread"
+                        else concurrent.futures.ProcessPoolExecutor)
+            with pool_cls(max_workers=jobs) as pool:
+                futures = [pool.submit(_trace_device_share, *share)
+                           for share in shares]
+                # Collected in device order regardless of completion
+                # order; a fallback in any share propagates here.
+                outcomes = [future.result() for future in futures]
+        rows = []
+        for device, share, outcome in zip(self.devices, shares, outcomes):
+            rid, prompts, arrival = share[2], share[3], share[5]
+            start_s, finish_s, context, now, energy, hits, misses = outcome
+            n_d = rid.shape[0]
+            if deadline is not None:
+                deadline_col = np.full(n_d, float(deadline))
+                mask = np.ones(n_d, dtype=bool)
+            else:
+                deadline_col = np.full(n_d, np.nan)
+                mask = np.zeros(n_d, dtype=bool)
+            rows.append(TraceDeviceData(
+                device.name, device.spec.model, device.spec.power_mode,
+                offered=n_d,
+                wallclock_s=now,
+                energy_joules=energy,
+                prefix_hits=hits,
+                prefix_misses=misses,
+                unserved_with_deadline=0,
+                request_id=rid,
+                arrival_s=arrival,
+                start_s=start_s,
+                finish_s=finish_s,
+                prompt_tokens=prompts,
+                output_tokens=context - prompts,
+                deadline_s=deadline_col,
+                deadline_mask=mask,
+            ))
+        return assemble_trace_report(self.policy, int(assign.shape[0]),
+                                     0, 0, rows)
+
+    def _trace_stream(self, columns: dict) -> "list[FleetRequest]":
+        """Materialize collected columns for the scalar oracle.
+
+        The one object-building path of the trace driver — the fallback
+        and the equivalence spot checks only; at full population scale
+        the vector path never calls it.
+        """
+        from repro.workloads.population import session_key
+
+        deadline = columns["deadline_s"]
+        rid = columns["request_id"]
+        arrival = columns["arrival_s"]
+        prompt = columns["prompt_tokens"]
+        output = columns["output_tokens"]
+        session = columns["session"]
+        prefix = columns["prefix_tokens"]
+        return [
+            FleetRequest(
+                request=GenerationRequest(int(rid[i]), int(prompt[i]),
+                                          int(output[i])),
+                arrival_s=float(arrival[i]),
+                deadline_s=deadline,
+                session=session_key(int(session[i])),
+                prefix_tokens=int(prefix[i]),
+            )
+            for i in range(rid.shape[0])
+        ]
+
     # -- the event loop -------------------------------------------------
     def run(self, stream: "list[FleetRequest] | tuple[FleetRequest, ...]"
             ) -> FleetReport:
@@ -742,17 +1255,36 @@ class FleetGateway:
         events.sort(key=lambda e: (e[0], e[1], e[2]))
 
         t = 0.0
-        for t, priority, _, payload in events:
-            for device in self.devices:
-                device.advance_to(t)
-            self._poll(t)
-            self._maybe_hedge(t)
-            if priority == 0:
-                self._on_down_event(payload, t)
-            elif priority == 1:
-                self._on_arrival(payload, t)
-            else:
-                self._autoscale_tick(t)
+        if self.legacy_routing or self.hedge is not None:
+            for t, priority, _, payload in events:
+                for device in self.devices:
+                    device.advance_to(t)
+                self._poll(t)
+                self._maybe_hedge(t)
+                if priority == 0:
+                    self._on_down_event(payload, t)
+                elif priority == 1:
+                    self._on_arrival(payload, t)
+                else:
+                    self._autoscale_tick(t)
+        else:
+            # Fused sweep: one pass advancing and polling each busy
+            # device.  Skipping idle devices is exact — ``run_until``
+            # never moves the clock of a run with no work, and outcome
+            # records only appear on devices that ran.  Heartbeats are
+            # dropped here (see :meth:`_advance_poll`).
+            outstanding = self._outstanding
+            devices = self.devices
+            for t, priority, _, payload in events:
+                for device in devices:
+                    if outstanding[device.name]:
+                        self._advance_poll(device, t)
+                if priority == 1:
+                    self._on_arrival(payload, t)
+                elif priority == 0:
+                    self._on_down_event(payload, t)
+                else:
+                    self._autoscale_tick(t)
 
         t = self._drain_all(t)
         self._poll(t)
@@ -794,3 +1326,39 @@ class FleetGateway:
             recovered_s=recovered,
             autoscale=autoscale,
         )
+
+
+# -- the per-device trace task (module level: process-executor picklable)
+def _trace_device_share(spec, spike_s, request_id, prompt_tokens,
+                        output_tokens, arrival_s, deadline_s,
+                        session, prefix_tokens):
+    """Serve one device's partition share on a fresh clone.
+
+    A pure task: it builds its own :class:`~repro.fleet.device.
+    FleetDevice` from the (picklable) spec — construction is
+    deterministic — so serial, thread-pool, and process-pool executions
+    perform identical float work on identical fresh state, and the
+    gateway's own devices stay untouched for a scalar fallback.
+    Returns the share's outcome columns plus the run scalars, or raises
+    :class:`~repro.engine.vector_run.VectorFallback` (picklable across
+    a process boundary) on KV exhaustion or a served latency at the
+    breaker spike threshold.
+    """
+    device = FleetDevice(spec)
+    n_d = request_id.shape[0]
+    arrays = RequestArrays.from_columns(
+        request_id, prompt_tokens, output_tokens, arrival_s,
+        deadlines=(np.full(n_d, float(deadline_s))
+                   if deadline_s is not None else None))
+    vrun = VectorServingRun(
+        device.simulator, arrays=arrays,
+        session_ids=session, prefix_tokens=prefix_tokens,
+        prefix_cache=device.run._prefix_cache,
+        record_objects=False)
+    vrun.execute_arrays()
+    if n_d and float(np.max(arrays.finish_s - arrays.arrival_s)) >= spike_s:
+        raise VectorFallback(
+            "completion latency reached the breaker spike threshold; "
+            "the scalar oracle owns breaker dynamics")
+    return (arrays.start_s, arrays.finish_s, arrays.context,
+            vrun.now, vrun.energy, vrun.prefix_hits, vrun.prefix_misses)

@@ -10,6 +10,15 @@ from repro.workloads.math500 import math500
 from repro.workloads.mmlu import mmlu
 from repro.workloads.mmlu_redux import mmlu_redux
 from repro.workloads.natural_plan import natural_plan
+from repro.workloads.population import (
+    DEFAULT_REGIONS,
+    PopulationConfig,
+    PopulationTrace,
+    RegionTier,
+    TraceChunk,
+    population_trace,
+    session_key,
+)
 from repro.workloads.question import Benchmark, Question
 from repro.workloads.traces import (
     ArrivalTrace,
@@ -47,10 +56,17 @@ def list_benchmarks() -> tuple[str, ...]:
 __all__ = [
     "ArrivalTrace",
     "Benchmark",
+    "DEFAULT_REGIONS",
+    "PopulationConfig",
+    "PopulationTrace",
     "Question",
+    "RegionTier",
+    "TraceChunk",
     "bursty_trace",
     "diurnal_trace",
     "poisson_trace",
+    "population_trace",
+    "session_key",
     "aime2024",
     "get_benchmark",
     "list_benchmarks",

@@ -1,0 +1,371 @@
+"""Population-scale session traffic: a vectorized 1M-request generator.
+
+The paper's serving sections characterize *sustained* reasoning traffic;
+the fleet layer needs the matching demand side — millions of requests
+from a heavy-tailed user population, not i.i.d. Poisson singletons.
+This module renders that population as pure struct-of-arrays columns:
+
+* **users** follow a Zipf popularity law (a tiny head of power users
+  owns a configurable share of all traffic — `top_user_share` measures
+  it for the shape gates);
+* **sessions** are multi-turn: each session's turn count is geometric
+  (clipped to ``max_turns``) and its turns are spaced by exponential
+  think-time gaps, so a session is a correlated arrival burst rather
+  than independent samples;
+* **regions** tier the gateway: each session belongs to one regional
+  tier whose shared system prompt contributes ``prefix_tokens`` —
+  sized to feed :mod:`repro.engine.prefix_cache` and the gateway's
+  ``prefix-affinity`` policy (every turn of a session re-presents the
+  same prefix);
+* **arrival curves** compose with :mod:`repro.workloads.arrivals`:
+  session *starts* follow any curve (diurnal by default), turns follow
+  their session.
+
+Nothing here materializes a per-request Python object.  The trace is a
+set of parallel numpy columns built by a fixed sequence of vectorized
+draws, and :meth:`PopulationTrace.chunks` yields zero-copy column
+slices (:class:`TraceChunk`) for streaming consumers.  Chunking is a
+*view* decision made after generation, so chunked and unchunked
+consumers see byte-identical columns, and RNG consumption depends only
+on ``(config, seed)`` — never on chunk size or downstream use.
+
+Draw order (frozen; reordering would silently re-seed every study):
+
+1. per-session turn counts — ``rng.geometric`` of size ``requests``
+   (an upper bound, so consumption is independent of the realized
+   session count), clipped to ``[1, max_turns]``;
+2. session owners — inverse-CDF over Zipf user weights;
+3. session regions — inverse-CDF over region weights;
+4. session start times — ``session_starts`` (default diurnal);
+5. think-time gaps — ``rng.exponential`` of size ``requests``;
+6. per-request prompt-suffix tokens — clipped lognormal;
+7. per-request output tokens — clipped lognormal.
+
+The scalar-oracle escape hatch :meth:`PopulationTrace.materialize`
+builds real :class:`~repro.fleet.gateway.FleetRequest` objects for
+small-scale equivalence spot checks; it is deliberately the only
+object-building path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.workloads.arrivals import diurnal_arrivals
+
+
+@dataclass(frozen=True)
+class RegionTier:
+    """One regional gateway tier with its shared system prompt."""
+
+    name: str
+    #: Share of sessions homed in this region (weights are normalized).
+    weight: float
+    #: Tokens of the region's shared system-prompt prefix.
+    prefix_tokens: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("region name must be non-empty")
+        if self.weight <= 0:
+            raise ValueError("region weight must be positive")
+        if self.prefix_tokens < 0:
+            raise ValueError("prefix_tokens must be non-negative")
+
+
+#: Default three-tier topology; prefixes are sized so a handful of hot
+#: sessions fit a small per-device prefix cache but a cold fleet churns.
+DEFAULT_REGIONS = (
+    RegionTier("us-edge", 0.5, 512),
+    RegionTier("eu-edge", 0.3, 384),
+    RegionTier("ap-edge", 0.2, 256),
+)
+
+
+@dataclass(frozen=True)
+class PopulationConfig:
+    """Shape of one synthetic population trace."""
+
+    requests: int = 100_000
+    users: int = 10_000
+    #: Zipf popularity exponent over users (larger = heavier head).
+    zipf_exponent: float = 1.1
+    #: Mean turns per session (geometric, clipped to ``max_turns``).
+    mean_turns: float = 4.0
+    max_turns: int = 64
+    #: Mean think time between a session's turns (exponential, s).
+    think_time_s: float = 30.0
+    #: Lognormal prompt-suffix tokens (the unshared, per-turn part).
+    suffix_log_mean: float = math.log(96.0)
+    suffix_log_sigma: float = 0.5
+    suffix_min_tokens: int = 16
+    suffix_max_tokens: int = 1536
+    #: Lognormal output (decode) tokens.
+    output_log_mean: float = math.log(192.0)
+    output_log_sigma: float = 0.5
+    output_min_tokens: int = 16
+    output_max_tokens: int = 768
+    regions: tuple[RegionTier, ...] = DEFAULT_REGIONS
+    #: Session-start arrival curve (sessions per second), rendered with
+    #: :func:`~repro.workloads.arrivals.diurnal_arrivals` by default.
+    base_sessions_per_s: float = 1.0
+    peak_sessions_per_s: float = 2.0
+    period_s: float = 3600.0
+    #: Relative deadline applied to every request (None = no deadline).
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError("requests must be positive")
+        if self.users < 1:
+            raise ValueError("users must be positive")
+        if self.zipf_exponent < 0:
+            raise ValueError("zipf_exponent must be non-negative")
+        if self.mean_turns < 1.0:
+            raise ValueError("mean_turns must be at least 1")
+        if self.max_turns < 1:
+            raise ValueError("max_turns must be at least 1")
+        if self.think_time_s <= 0:
+            raise ValueError("think_time_s must be positive")
+        if not self.regions:
+            raise ValueError("at least one region tier is required")
+        if not 0 < self.suffix_min_tokens <= self.suffix_max_tokens:
+            raise ValueError("suffix token bounds must satisfy "
+                             "0 < min <= max")
+        if not 0 < self.output_min_tokens <= self.output_max_tokens:
+            raise ValueError("output token bounds must satisfy "
+                             "0 < min <= max")
+        if self.base_sessions_per_s <= 0:
+            raise ValueError("base_sessions_per_s must be positive")
+        if self.peak_sessions_per_s < self.base_sessions_per_s:
+            raise ValueError("peak_sessions_per_s must be at least "
+                             "base_sessions_per_s")
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive when given")
+
+
+def session_key(session: int) -> str:
+    """The gateway-visible sticky-session key for session ``session``.
+
+    One bijective mapping shared by every consumer: the scalar oracle's
+    :class:`~repro.fleet.gateway.FleetRequest.session` strings and the
+    streaming driver's rendezvous hashing must agree on the exact bytes
+    or prefix-affinity partitions diverge.
+    """
+    return f"s{session}"
+
+
+class TraceChunk:
+    """A zero-copy column slice of one :class:`PopulationTrace`.
+
+    All columns are views into the parent trace's arrays; ``start`` is
+    the chunk's offset in the global (arrival-sorted) request order.
+    """
+
+    __slots__ = ("start", "n", "request_id", "arrival_s", "prompt_tokens",
+                 "output_tokens", "prefix_tokens", "session", "user",
+                 "region", "deadline_s")
+
+    def __init__(self, trace: "PopulationTrace", start: int, stop: int):
+        self.start = start
+        self.n = stop - start
+        self.request_id = trace.request_id[start:stop]
+        self.arrival_s = trace.arrival_s[start:stop]
+        self.prompt_tokens = trace.prompt_tokens[start:stop]
+        self.output_tokens = trace.output_tokens[start:stop]
+        self.prefix_tokens = trace.prefix_tokens[start:stop]
+        self.session = trace.session[start:stop]
+        self.user = trace.user[start:stop]
+        self.region = trace.region[start:stop]
+        self.deadline_s = trace.deadline_s
+
+
+@dataclass(frozen=True)
+class PopulationTrace:
+    """One generated population, held as parallel columns.
+
+    Rows are sorted by ``(arrival_s, pre-sort order)``; ``request_id``
+    is the post-sort row number, so ids are dense and arrival-ordered.
+    Memory: nine int64/float64 columns, ~72 bytes per request — a 1M
+    trace holds ~72 MB of columns and zero per-request objects.
+    """
+
+    config: PopulationConfig
+    n: int
+    num_sessions: int
+    request_id: np.ndarray
+    arrival_s: np.ndarray
+    prompt_tokens: np.ndarray
+    output_tokens: np.ndarray
+    prefix_tokens: np.ndarray
+    session: np.ndarray
+    user: np.ndarray
+    region: np.ndarray
+    #: Per-session turn index of each request (0 = session opener).
+    turn: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def deadline_s(self) -> float | None:
+        """The uniform relative deadline (None = no deadlines)."""
+        return self.config.deadline_s
+
+    # -- streaming ------------------------------------------------------
+    def chunks(self, chunk_size: int) -> "list[TraceChunk]":
+        """Column slices of at most ``chunk_size`` rows, in order.
+
+        Views, not copies: concatenating the chunks reproduces the
+        trace columns byte-for-byte by construction.
+        """
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be positive")
+        return [TraceChunk(self, start, min(start + chunk_size, self.n))
+                for start in range(0, self.n, chunk_size)]
+
+    # -- the scalar-oracle escape hatch ---------------------------------
+    def materialize(self, start: int = 0, stop: int | None = None):
+        """Rows as :class:`~repro.fleet.gateway.FleetRequest` objects.
+
+        For small-scale equivalence spot checks only — this is the one
+        path that builds per-request Python objects, and it costs ~1 KB
+        per request.
+        """
+        from repro.engine.request import GenerationRequest
+        from repro.fleet.gateway import FleetRequest
+
+        stop = self.n if stop is None else min(stop, self.n)
+        deadline = self.config.deadline_s
+        out = []
+        for i in range(start, stop):
+            out.append(FleetRequest(
+                request=GenerationRequest(
+                    int(self.request_id[i]),
+                    int(self.prompt_tokens[i]),
+                    int(self.output_tokens[i])),
+                arrival_s=float(self.arrival_s[i]),
+                deadline_s=deadline,
+                session=session_key(int(self.session[i])),
+                prefix_tokens=int(self.prefix_tokens[i]),
+            ))
+        return out
+
+    # -- shape diagnostics ----------------------------------------------
+    def requests_per_user(self) -> np.ndarray:
+        """Request counts per user id (length ``config.users``)."""
+        return np.bincount(self.user, minlength=self.config.users)
+
+    def top_user_share(self, fraction: float = 0.01) -> float:
+        """Traffic share of the busiest ``fraction`` of users.
+
+        The heavy-tail gate: with a Zipf head, the top 1% of users
+        should own far more than 1% of requests.
+        """
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        counts = np.sort(self.requests_per_user())[::-1]
+        top = max(int(math.ceil(fraction * counts.shape[0])), 1)
+        return float(counts[:top].sum()) / float(self.n)
+
+
+def population_trace(rng: np.random.Generator, config: PopulationConfig,
+                     session_starts=None) -> PopulationTrace:
+    """Generate one population trace (see the module draw-order contract).
+
+    ``session_starts`` overrides the session-start curve: a callable
+    ``(rng, n_sessions) -> ndarray`` of start times — pass a
+    :func:`~repro.workloads.arrivals.flash_crowd_arrivals` closure to
+    compose a flash crowd, or omit it for the config's diurnal curve.
+    """
+    n = config.requests
+
+    # 1. Turn counts for ``requests`` candidate sessions (upper bound:
+    #    every session has >= 1 turn), so RNG consumption never depends
+    #    on the realized session count.
+    turns = rng.geometric(1.0 / config.mean_turns, size=n)
+    turns = np.minimum(turns.astype(np.int64), config.max_turns)
+    ends = np.cumsum(turns)
+    num_sessions = int(np.searchsorted(ends, n, side="left")) + 1
+    turns = turns[:num_sessions].copy()
+    # Truncate the last session so the totals land exactly on ``n``.
+    turns[-1] -= int(ends[num_sessions - 1]) - n
+
+    # 2. Session owners: inverse-CDF over Zipf weights w_u ∝ (u+1)^-a.
+    weights = np.arange(1, config.users + 1,
+                        dtype=np.float64) ** -config.zipf_exponent
+    user_cdf = np.cumsum(weights)
+    user_cdf /= user_cdf[-1]
+    owners = np.searchsorted(user_cdf, rng.random(num_sessions),
+                             side="right").astype(np.int64)
+
+    # 3. Session regions: inverse-CDF over tier weights.
+    region_weights = np.array([r.weight for r in config.regions],
+                              dtype=np.float64)
+    region_cdf = np.cumsum(region_weights)
+    region_cdf /= region_cdf[-1]
+    regions = np.searchsorted(region_cdf, rng.random(num_sessions),
+                              side="right").astype(np.int64)
+
+    # 4. Session starts: the composable arrival curve.
+    if session_starts is not None:
+        starts = np.asarray(session_starts(rng, num_sessions),
+                            dtype=np.float64)
+        if starts.shape != (num_sessions,):
+            raise ValueError("session_starts must return one start time "
+                             "per session")
+    else:
+        starts = diurnal_arrivals(rng, config.base_sessions_per_s,
+                                  config.peak_sessions_per_s,
+                                  config.period_s, num_sessions)
+
+    # 5. Think-time gaps (fixed-size draw; openers are zeroed below).
+    gaps = rng.exponential(config.think_time_s, size=n)
+
+    # 6./7. Token columns: clipped lognormals.
+    suffix = np.clip(
+        np.rint(rng.lognormal(config.suffix_log_mean,
+                              config.suffix_log_sigma, size=n)),
+        config.suffix_min_tokens, config.suffix_max_tokens,
+    ).astype(np.int64)
+    output = np.clip(
+        np.rint(rng.lognormal(config.output_log_mean,
+                              config.output_log_sigma, size=n)),
+        config.output_min_tokens, config.output_max_tokens,
+    ).astype(np.int64)
+
+    # Session-major request layout: request j belongs to session
+    # ``session_of[j]`` at turn ``turn_of[j]``; arrivals are the
+    # session start plus the within-session prefix sum of think gaps
+    # (segmented cumsum — the opener's gap is forced to zero).
+    session_of = np.repeat(np.arange(num_sessions, dtype=np.int64), turns)
+    firsts = np.zeros(num_sessions, dtype=np.int64)
+    firsts[1:] = np.cumsum(turns)[:-1]
+    turn_of = np.arange(n, dtype=np.int64) - firsts[session_of]
+    gaps[firsts] = 0.0
+    gap_sum = np.cumsum(gaps)
+    offsets = gap_sum - gap_sum[firsts][session_of]
+    arrival = starts[session_of] + offsets
+
+    region_prefix = np.array([r.prefix_tokens for r in config.regions],
+                             dtype=np.int64)
+    prefix = region_prefix[regions[session_of]]
+    prompt = prefix + suffix
+
+    order = np.argsort(arrival, kind="stable")
+    return PopulationTrace(
+        config=config,
+        n=n,
+        num_sessions=num_sessions,
+        request_id=np.arange(n, dtype=np.int64),
+        arrival_s=arrival[order],
+        prompt_tokens=prompt[order],
+        output_tokens=output[order],
+        prefix_tokens=prefix[order],
+        session=session_of[order],
+        user=owners[session_of][order],
+        region=regions[session_of][order],
+        turn=turn_of[order],
+    )

@@ -267,6 +267,23 @@ class TestCommands:
         assert "no_such_workload" in err
         assert "fleet_100k" in err  # the available set is printed
 
+    def test_perf_profile_prints_top_functions(self, capsys):
+        code = main(["perf", "--profile", "5", "--only",
+                     "serving_span_speedup", "--repeats", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out
+        assert "ncalls" in out
+
+    def test_perf_profile_requires_exactly_one_workload(self, capsys):
+        assert main(["perf", "--profile", "5"]) == 2
+        assert main(["perf", "--profile", "5", "--only",
+                     "serving_span_speedup,fleet_fixed_qps"]) == 2
+        assert main(["perf", "--profile", "0", "--only",
+                     "serving_span_speedup"]) == 2
+        err = capsys.readouterr().err
+        assert "--profile" in err
+
     def test_characterize_writes_json(self, capsys, tmp_path):
         out = tmp_path / "models.json"
         code = main(["characterize", "--model", "dsr1-qwen-1.5b",

@@ -1,0 +1,217 @@
+"""Population trace generator: determinism, chunking, and shape gates."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import (
+    PopulationConfig,
+    RegionTier,
+    TraceChunk,
+    population_trace,
+    session_key,
+)
+
+COLUMNS = ("request_id", "arrival_s", "prompt_tokens", "output_tokens",
+           "prefix_tokens", "session", "user", "region", "turn")
+
+
+def _config(**overrides):
+    base = dict(requests=400, users=120, mean_turns=4.0,
+                base_sessions_per_s=0.5, peak_sessions_per_s=0.8,
+                period_s=600.0)
+    base.update(overrides)
+    return PopulationConfig(**base)
+
+
+def _trace(seed=7, **overrides):
+    return population_trace(np.random.default_rng(seed), _config(**overrides))
+
+
+def _column_bytes(trace):
+    return tuple(getattr(trace, name).tobytes() for name in COLUMNS)
+
+
+class TestDeterminism:
+    def test_same_seed_is_byte_identical(self):
+        assert _column_bytes(_trace(seed=7)) == _column_bytes(_trace(seed=7))
+
+    def test_different_seeds_differ(self):
+        assert _column_bytes(_trace(seed=7)) != _column_bytes(_trace(seed=8))
+
+    def test_rng_consumption_is_independent_of_chunking(self):
+        # Draw order is frozen: after generation, the generator must sit
+        # at the same state no matter how (or whether) the trace is
+        # later chunked, so follow-on draws stay reproducible.
+        rng_a = np.random.default_rng(7)
+        trace_a = population_trace(rng_a, _config())
+        rng_b = np.random.default_rng(7)
+        trace_b = population_trace(rng_b, _config())
+        trace_b.chunks(17)  # chunking is a view decision, not a draw
+        trace_b.materialize(stop=5)
+        assert rng_a.random() == rng_b.random()
+        assert _column_bytes(trace_a) == _column_bytes(trace_b)
+
+
+class TestChunking:
+    @pytest.mark.parametrize("chunk_size", [1, 7, 64, 400, 1000])
+    def test_chunks_reassemble_byte_identically(self, chunk_size):
+        trace = _trace()
+        chunks = trace.chunks(chunk_size)
+        assert sum(c.n for c in chunks) == trace.n
+        assert chunks[0].start == 0
+        for name in COLUMNS[:-1]:  # TraceChunk carries all but ``turn``
+            if not hasattr(chunks[0], name):
+                continue
+            joined = np.concatenate([getattr(c, name) for c in chunks])
+            assert joined.tobytes() == getattr(trace, name).tobytes()
+
+    def test_chunks_are_views_not_copies(self):
+        trace = _trace()
+        chunk = trace.chunks(64)[0]
+        assert isinstance(chunk, TraceChunk)
+        assert chunk.arrival_s.base is trace.arrival_s
+        assert chunk.deadline_s is trace.config.deadline_s
+
+    def test_chunk_size_validation(self):
+        with pytest.raises(ValueError):
+            _trace().chunks(0)
+
+
+class TestInvariants:
+    def test_arrivals_sorted_and_ids_dense(self):
+        trace = _trace()
+        assert np.all(np.diff(trace.arrival_s) >= 0.0)
+        assert np.array_equal(trace.request_id, np.arange(trace.n))
+
+    def test_prompt_is_prefix_plus_bounded_suffix(self):
+        trace = _trace()
+        config = trace.config
+        suffix = trace.prompt_tokens - trace.prefix_tokens
+        assert np.all(suffix >= config.suffix_min_tokens)
+        assert np.all(suffix <= config.suffix_max_tokens)
+        assert np.all(trace.output_tokens >= config.output_min_tokens)
+        assert np.all(trace.output_tokens <= config.output_max_tokens)
+        prefixes = {r.prefix_tokens for r in config.regions}
+        assert set(np.unique(trace.prefix_tokens)) <= prefixes
+
+    def test_sessions_partition_the_requests(self):
+        trace = _trace()
+        sizes = np.bincount(trace.session, minlength=trace.num_sessions)
+        assert int(sizes.sum()) == trace.n
+        assert np.all(sizes[:-1] >= 1)
+        assert int(sizes.max()) <= trace.config.max_turns
+        assert np.all(trace.turn >= 0)
+        # Each session's region (and owner) is constant across turns.
+        for column in (trace.region, trace.user):
+            spans = {}
+            for s, v in zip(trace.session, column):
+                spans.setdefault(int(s), set()).add(int(v))
+            assert all(len(vals) == 1 for vals in spans.values())
+
+    def test_session_key_is_the_shared_mapping(self):
+        assert session_key(0) == "s0"
+        assert session_key(1234) == "s1234"
+
+    def test_materialize_prefix_matches_full(self):
+        trace = _trace()
+        head = trace.materialize(stop=10)
+        full = trace.materialize()
+        assert len(head) == 10
+        assert len(full) == trace.n
+        for a, b in zip(head, full[:10]):
+            assert a.request.request_id == b.request.request_id
+            assert a.arrival_s == b.arrival_s
+            assert a.session == b.session
+            assert a.prefix_tokens == b.prefix_tokens
+
+
+class TestHeavyTail:
+    def test_top_one_percent_owns_an_outsized_share(self):
+        trace = _trace(requests=4000, users=2000, zipf_exponent=1.1)
+        share = trace.top_user_share(0.01)
+        # 1% of a uniform population would own ~1%; the Zipf head must
+        # own far more for the gateway studies to be population-shaped.
+        assert share > 0.05
+        assert trace.top_user_share(1.0) == pytest.approx(1.0)
+
+    def test_share_is_monotone_in_fraction(self):
+        trace = _trace(requests=2000, users=500)
+        assert (trace.top_user_share(0.01) <= trace.top_user_share(0.1)
+                <= trace.top_user_share(1.0))
+
+    def test_fraction_validation(self):
+        trace = _trace()
+        for bad in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                trace.top_user_share(bad)
+
+    def test_requests_per_user_covers_population(self):
+        trace = _trace()
+        counts = trace.requests_per_user()
+        assert counts.shape == (trace.config.users,)
+        assert int(counts.sum()) == trace.n
+
+
+class TestValidation:
+    @pytest.mark.parametrize("overrides", [
+        {"requests": 0},
+        {"users": 0},
+        {"zipf_exponent": -0.1},
+        {"mean_turns": 0.5},
+        {"max_turns": 0},
+        {"think_time_s": 0.0},
+        {"regions": ()},
+        {"suffix_min_tokens": 0},
+        {"suffix_min_tokens": 64, "suffix_max_tokens": 32},
+        {"output_min_tokens": 0},
+        {"output_min_tokens": 64, "output_max_tokens": 32},
+        {"base_sessions_per_s": 0.0},
+        {"peak_sessions_per_s": 0.1},  # below base
+        {"period_s": 0.0},
+        {"deadline_s": 0.0},
+    ])
+    def test_config_rejects_bad_shapes(self, overrides):
+        with pytest.raises(ValueError):
+            _config(**overrides)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"name": ""},
+        {"weight": 0.0},
+        {"prefix_tokens": -1},
+    ])
+    def test_region_tier_rejects_bad_shapes(self, kwargs):
+        base = dict(name="tier", weight=1.0, prefix_tokens=128)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            RegionTier(**base)
+
+    def test_session_starts_shape_is_checked(self):
+        with pytest.raises(ValueError):
+            population_trace(np.random.default_rng(0), _config(),
+                             session_starts=lambda rng, n: np.zeros(n + 1))
+
+
+class TestProperties:
+    @given(seed=st.integers(0, 2**32 - 1),
+           requests=st.integers(1, 300),
+           users=st.integers(1, 60),
+           mean_turns=st.floats(1.0, 8.0),
+           chunk_size=st.integers(1, 128))
+    @settings(max_examples=20, deadline=None)
+    def test_generation_is_seeded_and_chunk_stable(self, seed, requests,
+                                                   users, mean_turns,
+                                                   chunk_size):
+        config = _config(requests=requests, users=users,
+                         mean_turns=mean_turns)
+        one = population_trace(np.random.default_rng(seed), config)
+        two = population_trace(np.random.default_rng(seed), config)
+        assert _column_bytes(one) == _column_bytes(two)
+        assert one.n == requests
+        assert np.all(np.diff(one.arrival_s) >= 0.0)
+        joined = np.concatenate(
+            [c.arrival_s for c in two.chunks(chunk_size)])
+        assert joined.tobytes() == one.arrival_s.tobytes()
+        assert math.isfinite(one.top_user_share(0.01))
