@@ -6,7 +6,7 @@
 PYTHON ?= python
 OUTPUT ?= outputs
 
-.PHONY: setup test lint bench chaos chaos-pipeline chaos-fleet chaos-overload chaos-autoscale perf perf-100k perf-1m perf-baseline reproduce reproduce-fast examples fidelity takeaways clean
+.PHONY: setup test lint bench chaos chaos-pipeline chaos-fleet chaos-overload chaos-autoscale chaos-tiering perf perf-100k perf-1m perf-tiering perf-baseline reproduce reproduce-fast examples fidelity takeaways clean
 
 ## Install the package in editable mode (legacy path works offline).
 setup:
@@ -68,6 +68,17 @@ chaos-autoscale:
 	$(PYTHON) -m pytest tests/test_fleet_autoscale.py
 	PYTHONPATH=src $(PYTHON) -m repro chaos --autoscale --seed 0
 
+## Tiering gate: budget-aware Fast/Deep/Verify routing of the agentic
+## DAG suite; exits nonzero unless the budget-aware frontier strictly
+## dominates at least one fixed single-tier assignment on accuracy per
+## joule at equal attainment, conservation is exact over DAG children,
+## and same-seed reruns are byte-identical under both thread and
+## process pipeline executors.
+chaos-tiering:
+	$(PYTHON) -m pytest tests/test_tiering_policy.py \
+	    tests/test_tiering_dag.py tests/test_tiering_gateway.py
+	PYTHONPATH=src $(PYTHON) -m repro chaos --tiering --seed 0
+
 ## Perf-regression harness: time the representative workloads, write
 ## BENCH_pipeline.json / BENCH_engine.json, and fail on >25% regression
 ## against benchmarks/baselines/ (or the span-speedup ratio floor).
@@ -87,6 +98,12 @@ perf-100k:
 perf-1m:
 	PYTHONPATH=src $(PYTHON) -m repro perf --check \
 	    --only fleet_routing_speedup,fleet_diurnal_1m --out $(OUTPUT)
+
+## Tiered-DAG gate only: one budget-aware agentic suite run through
+## the gateway against its committed absolute-time baseline.
+perf-tiering:
+	PYTHONPATH=src $(PYTHON) -m repro perf --check \
+	    --only fleet_tiered_dag --out $(OUTPUT)
 
 ## Refresh the committed perf baselines (run on a quiet machine).
 perf-baseline:

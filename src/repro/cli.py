@@ -17,6 +17,7 @@ environment variable) to also persist them on disk across invocations.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 
@@ -273,11 +274,18 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
     from repro.fleet import ROUTING_POLICIES
 
+    if args.policy is None:
+        # Traces carry sticky sessions, so prefix-affinity is the
+        # natural default there; interactive streams keep latency-aware.
+        args.policy = ("prefix-affinity" if args.trace is not None
+                       else "latency-aware")
     if args.policy not in ROUTING_POLICIES:
         print(f"repro fleet: unknown routing policy {args.policy!r}; "
               f"choose from {', '.join(sorted(ROUTING_POLICIES))}",
               file=sys.stderr)
         return 2
+    if args.trace is not None:
+        return _cmd_fleet_trace(args)
     fleet = build_fleet(args.devices, mix=args.mix, model=args.model,
                         prefix_cache_mb=args.prefix_cache_mb)
     gateway = FleetGateway(fleet, policy=args.policy)
@@ -312,6 +320,95 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     return 0 if report.lost == 0 else 1
 
 
+def _cmd_fleet_trace(args: argparse.Namespace) -> int:
+    """Drive a population-scale trace through the streaming gateway
+    (``fleet --trace population``)."""
+    import numpy as np
+
+    from repro.fleet import FleetGateway, build_fleet
+    from repro.workloads.population import PopulationConfig, population_trace
+
+    if args.trace != "population":
+        print(f"repro fleet: unknown trace {args.trace!r}; "
+              "the only generator is 'population'", file=sys.stderr)
+        return 2
+    if args.requests < 1:
+        print("repro fleet: --requests must be positive", file=sys.stderr)
+        return 2
+    if args.chunk_size < 1:
+        print("repro fleet: --chunk-size must be positive", file=sys.stderr)
+        return 2
+    try:
+        config = PopulationConfig(requests=args.requests,
+                                  deadline_s=args.deadline)
+    except ValueError as exc:
+        print(f"repro fleet: {exc}", file=sys.stderr)
+        return 2
+    trace = population_trace(np.random.default_rng(args.seed), config)
+    fleet = build_fleet(args.devices, mix=args.mix, model=args.model,
+                        prefix_cache_mb=args.prefix_cache_mb)
+    gateway = FleetGateway(fleet, policy=args.policy)
+    report = gateway.run_trace(trace, chunk_size=args.chunk_size)
+    if args.json:
+        print(report.to_json())
+        return 0 if report.lost == 0 else 1
+    print(f"trace      population: {args.requests} requests over "
+          f"{trace.num_sessions} sessions (seed {args.seed}, "
+          f"chunk {args.chunk_size})")
+    print(f"fleet      {args.devices}x {args.mix} ({args.model}), "
+          f"policy {args.policy} [{gateway.last_mode}]")
+    print(f"completed  {report.completed}  shed {report.shed}  "
+          f"failed {report.failed}  lost {report.lost}")
+    if args.deadline is not None:
+        print(f"SLO        {report.deadline_hit_rate * 100:.1f}% within "
+              f"{args.deadline:g} s")
+    print(f"latency    p50 {report.p50_latency_s:.2f} s, "
+          f"p95 {report.p95_latency_s:.2f} s, "
+          f"p99 {report.p99_latency_s:.2f} s")
+    print(f"throughput {report.tokens_per_second:.1f} tok/s over "
+          f"{report.wallclock_s:.1f} s makespan")
+    print(f"energy     {report.energy_joules:.0f} J "
+          f"({report.energy_per_request_j:.2f} J/request)")
+    return 0 if report.lost == 0 else 1
+
+
+def _cmd_tier(args: argparse.Namespace) -> int:
+    """Run the tiering frontier study (``repro tier``)."""
+    if args.devices < 1:
+        print("repro tier: --devices must be positive", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("repro tier: --jobs must be positive", file=sys.stderr)
+        return 2
+    if args.qps <= 0:
+        print("repro tier: --qps must be positive", file=sys.stderr)
+        return 2
+    if args.budget < 1:
+        print("repro tier: --budget must be positive", file=sys.stderr)
+        return 2
+    from repro.experiments.tiering_study import (
+        run_tiering_frontier_points,
+        tiering_frontier_table,
+    )
+
+    points = run_tiering_frontier_points(
+        seed=args.seed, devices=args.devices, jobs=args.jobs,
+        qps=args.qps, session_token_budget=args.budget)
+    if args.json:
+        print(json.dumps(points, sort_keys=True, separators=(",", ":")))
+        return 0 if (points["domination_ok"]
+                     and points["conservation_ok"]) else 1
+    print(tiering_frontier_table(points).to_text())
+    print()
+    ok = points["domination_ok"] and points["conservation_ok"]
+    dominated = ", ".join(points["dominated"]) or "none"
+    line = (f"tier frontier: {'PASS' if ok else 'FAIL'} "
+            f"(dominates {dominated}, "
+            f"conservation {'exact' if points['conservation_ok'] else 'LOST'})")
+    print(line, file=sys.stdout if ok else sys.stderr)
+    return 0 if ok else 1
+
+
 def _chaos_verdict(variant: str, ok: bool, detail: str) -> int:
     """The one-line PASS/FAIL summary every chaos variant ends with.
 
@@ -332,6 +429,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         return _cmd_chaos_overload(args)
     if args.autoscale:
         return _cmd_chaos_autoscale(args)
+    if args.tiering:
+        return _cmd_chaos_tiering(args)
     from repro.experiments.resilience import resilience_table, run_chaos_study
 
     points = run_chaos_study(
@@ -453,6 +552,34 @@ def _cmd_chaos_autoscale(args: argparse.Namespace) -> int:
              f"crashes={result.crashes_draining}/{result.crashes_waking}, "
              f"energy {result.autoscaled_energy_j:.0f} J vs "
              f"{result.always_on_energy_j:.0f} J, "
+             f"rerun_identical={result.rerun_identical}, "
+             f"executor_identical={result.executor_identical}")
+
+
+def _cmd_chaos_tiering(args: argparse.Namespace) -> int:
+    """Budget-aware tier routing vs fixed tiers, plus determinism
+    (``chaos --tiering``)."""
+    from repro.experiments.tiering_study import (
+        run_tiering_chaos_study,
+        tiering_frontier_table,
+    )
+
+    result = run_tiering_chaos_study(seed=args.seed)
+    points = {
+        "points": list(result.points),
+        "dominated": list(result.dominated),
+        "conservation_ok": result.conservation_ok,
+    }
+    print(tiering_frontier_table(points).to_text())
+    print()
+    dominated = ", ".join(result.dominated) or "none"
+    return _chaos_verdict(
+        "tiering", result.tiering_ok,
+        f"budget-aware dominates {dominated} on accuracy/kJ, "
+        "conservation exact over DAG children, reruns and "
+        "thread/process executors byte-identical" if result.tiering_ok
+        else f"dominated={dominated}, "
+             f"conservation_ok={result.conservation_ok}, "
              f"rerun_identical={result.rerun_identical}, "
              f"executor_identical={result.executor_identical}")
 
@@ -677,6 +804,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "mid-drain and mid-wake, and gate on zero "
                             "loss, bounded flapping, energy below "
                             "always-on, and byte-identical reruns")
+    chaos.add_argument("--tiering", action="store_true",
+                       help="serve the agentic DAG suite under "
+                            "budget-aware tier routing and gate on "
+                            "frontier domination, exact conservation "
+                            "over DAG children, and byte-identical "
+                            "reruns across pipeline executors")
     chaos.set_defaults(func=_cmd_chaos)
 
     fleet = sub.add_parser(
@@ -688,10 +821,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="power-mode mix: maxn, balanced, or "
                             "efficiency (default balanced)")
     fleet.add_argument("--model", default="dsr1-qwen-1.5b")
-    fleet.add_argument("--policy", default="latency-aware",
+    fleet.add_argument("--policy", default=None,
                        help="routing policy: round-robin, "
                             "least-outstanding, latency-aware, "
-                            "energy-aware, or prefix-affinity")
+                            "energy-aware, or prefix-affinity "
+                            "(default latency-aware; prefix-affinity "
+                            "with --trace)")
+    fleet.add_argument("--trace", default=None, metavar="NAME",
+                       help="drive a generated column trace through the "
+                            "streaming gateway instead of a Poisson "
+                            "stream; the only generator is 'population'")
+    fleet.add_argument("--chunk-size", type=int, default=65536,
+                       help="trace rows per column chunk "
+                            "(--trace only; default 65536)")
     fleet.add_argument("--qps", type=float, default=8.0,
                        help="offered Poisson load (default 8)")
     fleet.add_argument("--requests", type=int, default=64,
@@ -755,6 +897,24 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--prompt", type=int, default=128)
     plan.add_argument("--seed", type=int, default=0)
     plan.set_defaults(func=_cmd_plan)
+
+    tier = sub.add_parser(
+        "tier",
+        help="serve the agentic DAG suite under budget-aware "
+             "Fast/Deep/Verify tier routing and print the "
+             "accuracy-per-joule frontier vs fixed tiers")
+    tier.add_argument("--seed", type=int, default=0)
+    tier.add_argument("--devices", type=int, default=4,
+                      help="fleet size (default 4)")
+    tier.add_argument("--jobs", type=int, default=48,
+                      help="agentic DAG jobs in the suite (default 48)")
+    tier.add_argument("--qps", type=float, default=1.5,
+                      help="offered job arrival rate (default 1.5)")
+    tier.add_argument("--budget", type=int, default=6000,
+                      help="per-session token budget (default 6000)")
+    tier.add_argument("--json", action="store_true",
+                      help="print the frontier points as canonical JSON")
+    tier.set_defaults(func=_cmd_tier)
     return parser
 
 

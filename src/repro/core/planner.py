@@ -360,6 +360,9 @@ class FleetPlanPoint:
     tokens_per_second: float
     energy_per_request_j: float
     usd_per_mtok: float
+    #: End-to-end voted answer accuracy (NaN unless the cell was
+    #: planned with ``tiering=`` — the new frontier axis).
+    accuracy: float = float("nan")
 
     @property
     def label(self) -> str:
@@ -384,6 +387,7 @@ def plan_fleet(device_counts: tuple[int, ...] = DEFAULT_FLEET_COUNTS,
                faults: "object | None" = None,
                self_healing: bool = False,
                autoscale: "object | None" = None,
+               tiering: "object | None" = None,
                seed: int = 0) -> list[FleetPlanPoint]:
     """Sweep device count x mix x routing policy over one offered load.
 
@@ -400,6 +404,14 @@ def plan_fleet(device_counts: tuple[int, ...] = DEFAULT_FLEET_COUNTS,
     :class:`~repro.fleet.AutoscaleConfig`) plans with the device
     lifecycle controller armed, pricing wake/sleep/DVFS decisions into
     every cell.
+
+    ``tiering`` (a :class:`~repro.tiering.TieringConfig`) plans each
+    cell against a seeded agentic DAG suite served through the tier
+    policy on a heterogeneous fleet cycling the config's model pools:
+    ``num_requests`` becomes the job count, ``model`` is ignored, and
+    every point gains the ``accuracy`` axis from the voted end-to-end
+    answer accuracy — the Pareto frontier can then trade cost against
+    accuracy, not just attainment.
     """
     from repro.faults.injector import FleetFaultSchedule
     from repro.fleet import (
@@ -424,18 +436,37 @@ def plan_fleet(device_counts: tuple[int, ...] = DEFAULT_FLEET_COUNTS,
                 if faults is not None:
                     names = [f"edge-{i:02d}" for i in range(count)]
                     schedule = FleetFaultSchedule(names, faults, seed=seed)
-                fleet = build_fleet(count, mix=mix, model=model,
-                                    faults=schedule)
+                if tiering is not None:
+                    tier_models = tuple(dict.fromkeys(
+                        tiering.fast_models + tiering.deep_models
+                        + tiering.verify_models))
+                    fleet = build_fleet(count, mix=mix, models=tier_models,
+                                        faults=schedule)
+                else:
+                    fleet = build_fleet(count, mix=mix, model=model,
+                                        faults=schedule)
                 gateway = FleetGateway(
                     fleet, policy=policy, faults=schedule,
-                    brownout=BrownoutConfig() if self_healing else None,
-                    hedge=HedgeConfig() if self_healing else None,
-                    autoscale=autoscale,
+                    brownout=(BrownoutConfig()
+                              if self_healing and tiering is None else None),
+                    hedge=(HedgeConfig()
+                           if self_healing and tiering is None else None),
+                    autoscale=autoscale if tiering is None else None,
                     seed=seed)
-                stream = poisson_stream(
-                    np.random.default_rng(seed), qps, num_requests,
-                    deadline_s=deadline_s)
-                report = gateway.run(stream)
+                accuracy = float("nan")
+                if tiering is not None:
+                    from repro.workloads.agentic import agentic_suite
+
+                    jobs = agentic_suite(
+                        np.random.default_rng(seed), qps, num_requests,
+                        deadline_s=deadline_s)
+                    report = gateway.run(jobs, tiering=tiering)
+                    accuracy = report.tiering.answer_accuracy
+                else:
+                    stream = poisson_stream(
+                        np.random.default_rng(seed), qps, num_requests,
+                        deadline_s=deadline_s)
+                    report = gateway.run(stream)
                 points.append(FleetPlanPoint(
                     devices=count,
                     mix=mix,
@@ -448,14 +479,25 @@ def plan_fleet(device_counts: tuple[int, ...] = DEFAULT_FLEET_COUNTS,
                     tokens_per_second=report.tokens_per_second,
                     energy_per_request_j=report.energy_per_request_j,
                     usd_per_mtok=report.cost_per_mtok(),
+                    accuracy=accuracy,
                 ))
     return points
 
 
-def fleet_pareto(points: list[FleetPlanPoint]) -> list[FleetPlanPoint]:
-    """The cost/attainment Pareto frontier over fleet plan points."""
+def fleet_pareto(points: list[FleetPlanPoint],
+                 value_axis: str = "attainment") -> list[FleetPlanPoint]:
+    """The cost/value Pareto frontier over fleet plan points.
+
+    ``value_axis`` is ``"attainment"`` (default, unchanged behaviour)
+    or ``"accuracy"`` — the end-to-end answer-accuracy axis tiered
+    planning adds.
+    """
     from repro.core.pareto import pareto_frontier
 
+    if value_axis not in ("attainment", "accuracy"):
+        raise ValueError(
+            "value_axis must be 'attainment' or 'accuracy', "
+            f"got {value_axis!r}")
     return pareto_frontier(points,
                            cost=lambda p: p.usd_per_mtok,
-                           value=lambda p: p.attainment)
+                           value=lambda p: getattr(p, value_axis))

@@ -83,6 +83,7 @@ from __future__ import annotations
 import concurrent.futures
 import dataclasses
 import hashlib
+import heapq
 import math
 from dataclasses import dataclass
 
@@ -267,6 +268,14 @@ class FleetGateway:
         self._full_capacity = sum(d.spec.max_batch_size
                                   for d in self.devices)
         self._name_bytes = tuple(d.name.encode() for d in self.devices)
+        # Tiered-DAG state: empty/False on every untiered run, so the
+        # hot paths below stay byte-identical to the pre-tiering
+        # gateway.  ``_tier_pref`` maps a child request id to its
+        # stage's preferred model pool; ``_tier_out_tokens`` feeds
+        # budget refunds.
+        self._tiering_active = False
+        self._tier_pref: dict[int, tuple[str, ...]] = {}
+        self._tier_out_tokens: dict[int, int] = {}
 
     # -- routing --------------------------------------------------------
     def _topo_bump(self) -> None:
@@ -401,6 +410,16 @@ class FleetGateway:
             if not recovering:
                 return None
             return min(recovering, key=lambda d: (d.down_until(), d.name))
+        if self._tier_pref:
+            # Tiered stage steering: Deep stages prefer the big-model
+            # devices, Fast stages the quantized replicas.  A soft
+            # preference — when no preferred device is routable the
+            # whole pool serves, so availability beats affinity.
+            pref = self._tier_pref.get(freq.request.request_id)
+            if pref:
+                preferred = [d for d in up if d.spec.model in pref]
+                if preferred:
+                    up = preferred
         if self.policy == "round-robin":
             device = up[self._rr_next % len(up)]
             self._rr_next += 1
@@ -419,7 +438,7 @@ class FleetGateway:
         # (stable under fleet changes); stateless requests balance.
         if freq.session is not None:
             if (self.legacy_routing or self.brownout is not None
-                    or self.autoscale is not None):
+                    or self.autoscale is not None or self._tiering_active):
                 return max(up, key=lambda d: (
                     self._rendezvous_weight(freq.session, d.name), d.name))
             # The winner over a given pool is a pure function of the
@@ -529,6 +548,8 @@ class FleetGateway:
             self._copies.get(rid, set()).discard(device.name)
             return
         self._disposition[rid] = "served"
+        if self._tiering_active:
+            self._tier_out_tokens[rid] = int(record.output_tokens)
         if self._hedge_target.get(rid) == device.name:
             self.hedge_wins += 1
         copies = self._copies.pop(rid, set())
@@ -855,6 +876,7 @@ class FleetGateway:
                 and self.brownout is None
                 and self.hedge is None
                 and self.autoscale is None
+                and not self._tiering_active
                 and all(d.vector_eligible for d in self.devices))
 
     def _run_vector(self, stream: "list[FleetRequest] | tuple[FleetRequest, ...]"
@@ -935,6 +957,7 @@ class FleetGateway:
                 and self.brownout is None
                 and self.hedge is None
                 and self.autoscale is None
+                and not self._tiering_active
                 and all(d.trace_eligible for d in self.devices))
 
     def run_trace(self, trace, chunk_size: int = 65536, *,
@@ -1202,15 +1225,25 @@ class FleetGateway:
         ]
 
     # -- the event loop -------------------------------------------------
-    def run(self, stream: "list[FleetRequest] | tuple[FleetRequest, ...]"
-            ) -> FleetReport:
+    def run(self, stream: "list[FleetRequest] | tuple[FleetRequest, ...]",
+            *, tiering=None) -> FleetReport:
         """Serve one request stream to completion across the fleet.
 
         Dispatches to the vector fast path when ``mode`` allows and the
         configuration is eligible (see :meth:`vector_eligible`); both
         cores produce byte-identical reports, and :attr:`last_mode`
         records which one ran.
+
+        With ``tiering`` (a :class:`~repro.tiering.policy.
+        TieringConfig`), ``stream`` must instead be a sequence of
+        :class:`~repro.workloads.agentic.DagJob` items: each job is
+        expanded into a plan → branches → verify request DAG served
+        through this same routing/disposition machinery (see
+        :meth:`_run_tiered`).  ``tiering=None`` leaves every untiered
+        code path — and its reports — byte-identical.
         """
+        if tiering is not None:
+            return self._run_tiered(stream, tiering)
         if self.mode != "scalar":
             eligible = self.vector_eligible()
             if self.mode == "vector" and not eligible:
@@ -1326,6 +1359,151 @@ class FleetGateway:
             recovered_s=recovered,
             autoscale=autoscale,
         )
+
+    # -- tiered DAG serving ----------------------------------------------
+    def _tier_energy_quote(self, models: tuple[str, ...], prompt_tokens: int,
+                           budget_tokens: int) -> float:
+        """Closed-form energy quote for one stage on its tier pool.
+
+        Prices the stage on the cheapest device currently carrying a
+        preferred model (falling back to the whole fleet), using the
+        same per-request kernel pricing routing itself uses — so the
+        budget manager's energy ledger and the energy-aware policy
+        agree on what a branch fan-out costs.
+        """
+        request = GenerationRequest(
+            request_id=0, prompt_tokens=max(int(prompt_tokens), 1),
+            natural_length=max(int(budget_tokens), 1),
+            max_new_tokens=max(int(budget_tokens), 1))
+        pool = [d for d in self.devices if d.spec.model in models]
+        if not pool:
+            pool = list(self.devices)
+        return min(d.predicted_energy_j(request, 0.0) for d in pool)
+
+    def _tier_inject(self, freq: FleetRequest, models: tuple[str, ...],
+                     t: float) -> None:
+        rid = freq.request.request_id
+        self._session_of[rid] = (freq.session, freq.prefix_tokens)
+        self._tier_pref[rid] = models
+        self._route(freq, t)
+
+    def _run_tiered(self, jobs, tiering) -> FleetReport:
+        """Serve agentic DAG jobs under a tier policy.
+
+        A dedicated scalar event loop: job arrivals admit through the
+        tier policy/budget manager (the hysteretic ladder observes
+        gateway pressure exactly where brownout would), root stages
+        inject immediately, and dependent stages release when every
+        dependency has a terminal disposition — detected on arrival,
+        fault, and ``tiering.tick_s`` tick events, so release times are
+        deterministic.  Conservation counts DAG children: ``offered``
+        is the total child count and jobs shed whole at admission
+        dispose each planned child as a gateway shed.
+        """
+        from repro.tiering.dag import DagRun
+
+        if (self.brownout is not None or self.hedge is not None
+                or self.autoscale is not None):
+            raise ValueError(
+                "tiered serving brings its own load ladder; construct "
+                "the gateway with brownout=None, hedge=None, "
+                "autoscale=None")
+        coordinator = DagRun(tiering, energy_quote=self._tier_energy_quote)
+        self._tiering_active = True
+        self._tier_pref = {}
+        self._tier_out_tokens = {}
+        try:
+            events: list[tuple[float, int, int, object]] = []
+            seq = 0
+            ordered = sorted(jobs, key=lambda j: (j.arrival_s, j.job_id))
+            for job in ordered:
+                events.append((job.arrival_s, 1, seq, job))
+                seq += 1
+            if self.faults is not None:
+                for fault in self.faults.downs():
+                    events.append((fault.start_s, 0, seq, fault))
+                    seq += 1
+            heapq.heapify(events)
+            limit = (max((j.arrival_s for j in ordered), default=0.0)
+                     + self.drain_limit_s)
+            t = 0.0
+            while events:
+                t, priority, _, payload = heapq.heappop(events)
+                for device in self.devices:
+                    if self._outstanding[device.name]:
+                        self._advance_poll(device, t)
+                if priority == 0:
+                    self._on_down_event(payload, t)
+                elif priority == 1:
+                    verdict, out = coordinator.admit(
+                        payload, t, self._pressure(t))
+                    if verdict == "shed":
+                        for rid in out:
+                            self._finish(rid, "shed")
+                    else:
+                        for freq, models in out:
+                            self._tier_inject(freq, models, t)
+                for freq, models in coordinator.ready_children(
+                        self._disposition, self._tier_out_tokens, t):
+                    self._tier_inject(freq, models, t)
+                if coordinator.done() and not self._outstanding_total:
+                    continue
+                if t > limit:
+                    # Safety valve: a sick fleet must end the run, not
+                    # deadlock.  Unreleased stages shed explicitly so
+                    # conservation stays exact.
+                    for rid in coordinator.force_shed_remaining():
+                        self._finish(rid, "shed")
+                    for device in self.devices:
+                        device.drain()
+                    t = max((d.run.now for d in self.devices), default=t)
+                    self._poll(t)
+                    coordinator.ready_children(
+                        self._disposition, self._tier_out_tokens, t)
+                    break
+                if not events or events[0][0] > t + tiering.tick_s:
+                    events_entry = (t + tiering.tick_s, 2, seq, None)
+                    heapq.heappush(events, events_entry)
+                    seq += 1
+
+            t = self._drain_all(0.0 if not ordered else t)
+            self._poll(t)
+            coordinator.ready_children(
+                self._disposition, self._tier_out_tokens, t)
+            self.last_mode = "scalar"
+            outcomes = []
+            for device in self.devices:
+                report = device.report()
+                device.release()
+                outcomes.append(DeviceOutcome(
+                    name=device.name,
+                    model=device.spec.model,
+                    power_mode=device.spec.power_mode,
+                    report=report,
+                    crashes=device.crashes,
+                    evacuated=device.evacuated,
+                    prefix_hits=device.run.prefix_hits,
+                    prefix_misses=device.run.prefix_misses,
+                ))
+            breaker_opens = sum(
+                1 for h in self.health.values()
+                for _, _, to in h.breaker.transitions
+                if to is BreakerState.OPEN)
+            interim = FleetReport(
+                policy=self.policy,
+                offered=coordinator.children_offered,
+                rerouted=self.rerouted,
+                devices=tuple(outcomes),
+                gateway_shed=self.gateway_shed,
+                gateway_failed=self.gateway_failed,
+                breaker_opens=breaker_opens,
+            )
+            return dataclasses.replace(
+                interim, tiering=coordinator.aggregate(interim))
+        finally:
+            self._tiering_active = False
+            self._tier_pref = {}
+            self._tier_out_tokens = {}
 
 
 # -- the per-device trace task (module level: process-executor picklable)

@@ -72,6 +72,11 @@ class FleetReport:
     #: Lifecycle counters and energy ledger when the run was
     #: autoscaled (None keeps legacy reports byte-identical).
     autoscale: AutoscaleReport | None = None
+    #: Tier/budget/accuracy accounting when the run served a DAG
+    #: workload under a tier policy (a
+    #: :class:`~repro.tiering.report.TieringReport`; None keeps
+    #: untiered reports byte-identical).
+    tiering: object | None = None
 
     # -- fleet-level aggregates ----------------------------------------
     @cached_property
@@ -266,6 +271,8 @@ class FleetReport:
         }
         if self.autoscale is not None:
             payload["autoscale"] = self.autoscale.to_dict()
+        if self.tiering is not None:
+            payload["tiering"] = self.tiering.to_dict()
         return payload
 
     def to_json(self) -> str:

@@ -33,7 +33,10 @@ paths end to end:
 * **fleet_diurnal_1m** — the population flagship: 1M session requests
   (diurnal arrivals, heavy-tailed users, shared prefixes) streamed
   through :meth:`~repro.fleet.gateway.FleetGateway.run_trace` over 32
-  devices, with a wall-clock budget.
+  devices, with a wall-clock budget;
+* **fleet_tiered_dag** — one budget-aware tiered run of the agentic
+  DAG suite (plan / branch / verify children, dependency-gated
+  release, budget ladder, vote aggregation) through the gateway.
 
 ``run_benchmarks`` reports medians over ``repeats``;
 ``write_bench_files`` emits ``BENCH_pipeline.json`` /
@@ -99,6 +102,7 @@ BENCH_FILES = {
     "fleet100k": "BENCH_fleet100k.json",
     "diurnal": "BENCH_diurnal.json",
     "diurnal1m": "BENCH_diurnal1m.json",
+    "tiering": "BENCH_tiering.json",
 }
 
 #: ``(name, group, unit)`` for every workload, in execution order — the
@@ -116,6 +120,7 @@ WORKLOAD_CATALOG = (
     ("fleet_100k", "fleet100k", "s"),
     ("fleet_routing_speedup", "diurnal1m", "x"),
     ("fleet_diurnal_1m", "diurnal1m", "s"),
+    ("fleet_tiered_dag", "tiering", "s"),
 )
 
 
@@ -560,6 +565,33 @@ def bench_fleet_diurnal_1m(repeats: int) -> BenchResult:
                              "budget_s": FLEET_DIURNAL_1M_BUDGET_S})
 
 
+def bench_fleet_tiered_dag(repeats: int) -> BenchResult:
+    """One budget-aware tiered run of the agentic DAG suite.
+
+    Times the tiering hot path end to end — difficulty prediction,
+    budget fitting, DAG expansion, dependency-gated child release,
+    refunds/top-ups, and the closing vote/verify aggregation — at the
+    same shape the ``chaos --tiering`` gate serves, so a slowdown in
+    the tier scheduler surfaces here before it surfaces in CI.
+    """
+    from repro.experiments.tiering_study import _tiered_run
+
+    devices, jobs = 4, 48
+
+    def tiered_run() -> None:
+        report, _ = _tiered_run(0, devices, jobs, 1.5, 60.0, None, 6000)
+        if report.lost:
+            raise RuntimeError(
+                f"fleet_tiered_dag lost {report.lost} DAG children; the "
+                "timing would cover a broken run")
+
+    median, times = _median_time(tiered_run, repeats)
+    return BenchResult("fleet_tiered_dag", "tiering", median, times,
+                       meta={"devices": devices, "dag_jobs": jobs,
+                             "qps": 1.5, "deadline_s": 60.0,
+                             "session_token_budget": 6000})
+
+
 # ----------------------------------------------------------------------
 # driver / files / gate
 # ----------------------------------------------------------------------
@@ -616,6 +648,8 @@ def run_benchmarks(repeats: int = 3,
         record(bench_fleet_routing_speedup(repeats))
     if wanted("fleet_diurnal_1m"):
         record(bench_fleet_diurnal_1m(repeats))
+    if wanted("fleet_tiered_dag"):
+        record(bench_fleet_tiered_dag(repeats))
     return results
 
 

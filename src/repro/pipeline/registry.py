@@ -40,6 +40,7 @@ from repro.experiments import (
     resilience,
     serving_study,
     takeaways,
+    tiering_study,
     tradeoff_frontier,
 )
 from repro.pipeline.graph import ArtifactSpec, DependencyGraph, ProducerSpec
@@ -122,6 +123,9 @@ PRODUCERS: dict[str, ProducerSpec] = {
         ProducerSpec("vector_equivalence_points",
                      resilience.run_vector_equivalence_points,
                      smoke_params={"devices": 2, "requests": 40}),
+        ProducerSpec("tiering_frontier_points",
+                     tiering_study.run_tiering_frontier_points,
+                     smoke_params={"devices": 3, "jobs": 20}),
         ProducerSpec("fleet_points", fleet_study.run_fleet_study,
                      smoke_params={"num_requests": 12, "qps": 4.0,
                                    "devices": 2}),
@@ -245,6 +249,9 @@ ARTIFACTS: dict[str, ArtifactSpec] = {
         ArtifactSpec("vector-equivalence",
                      resilience.vector_equivalence_table,
                      deps={"points": "vector_equivalence_points"}),
+        ArtifactSpec("tiering-frontier",
+                     tiering_study.tiering_frontier_table,
+                     deps={"points": "tiering_frontier_points"}),
         ArtifactSpec("fleet-pareto", fleet_study.fleet_pareto_table,
                      deps={"points": "fleet_plan_points"}),
     )

@@ -50,15 +50,32 @@ def hybrid_scaling_surface(stats_fn: StatsFn, latency_fn: LatencyFn,
                            scale_factors: Sequence[int],
                            rng: np.random.Generator,
                            vote_trials: int = 2) -> list[HybridPoint]:
-    """Evaluate the full (budget, width) grid."""
+    """Evaluate the full (budget, width) grid.
+
+    All inputs are validated up front — a bad cell deep in the grid
+    would otherwise waste the whole sweep before failing.
+    """
+    bad_budgets = [b for b in token_budgets if b <= 0]
+    if bad_budgets:
+        raise ValueError(
+            f"token budgets must be positive, got {bad_budgets}")
+    bad_factors = [s for s in scale_factors if s <= 0]
+    if bad_factors:
+        raise ValueError(
+            f"scale factors must be positive, got {bad_factors}")
+    if vote_trials <= 0:
+        raise ValueError(
+            f"vote_trials must be positive, got {vote_trials}")
     points = []
     for budget in token_budgets:
-        if budget <= 0:
-            raise ValueError("token budgets must be positive")
-        p, w, g, det = stats_fn(int(budget))
+        stats = stats_fn(int(budget))
+        if len(stats) != 4:
+            raise ValueError(
+                f"stats_fn must return (p, distractor, garbage, "
+                f"determinism); got {len(stats)} values for budget "
+                f"{budget}")
+        p, w, g, det = stats
         for scale_factor in scale_factors:
-            if scale_factor <= 0:
-                raise ValueError("scale factors must be positive")
             accuracy = voting_accuracy(
                 p, w, num_choices, int(scale_factor), rng,
                 trials=vote_trials, garbage_share=g, determinism=det,

@@ -24,6 +24,44 @@ from __future__ import annotations
 import numpy as np
 
 
+def _validated_stats(p_correct, distractor_share, garbage_share,
+                     determinism) -> tuple[np.ndarray, np.ndarray,
+                                           np.ndarray, np.ndarray]:
+    """Validate the per-question stat arrays shared by every voter.
+
+    Returns ``(p, w, g, det)`` as float64 arrays broadcast to ``p``'s
+    shape, rejecting out-of-range probabilities and shape mismatches
+    with messages that name the offending argument (a raw numpy
+    broadcast error names neither).
+    """
+    p = np.asarray(p_correct, dtype=np.float64)
+    w = np.asarray(distractor_share, dtype=np.float64)
+    if p.ndim != 1:
+        raise ValueError(
+            f"p_correct must be a 1-d per-question array, got shape "
+            f"{p.shape}")
+    if p.shape != w.shape:
+        raise ValueError(
+            f"p_correct and distractor_share must align: got shapes "
+            f"{p.shape} vs {w.shape}")
+    broadcast = {}
+    for name, value in (("garbage_share", garbage_share),
+                        ("determinism", determinism)):
+        arr = np.asarray(value, dtype=np.float64)
+        try:
+            broadcast[name] = np.broadcast_to(arr, p.shape)
+        except ValueError:
+            raise ValueError(
+                f"{name} must be a scalar or match p_correct's shape "
+                f"{p.shape}, got shape {arr.shape}") from None
+    g, det = broadcast["garbage_share"], broadcast["determinism"]
+    for name, arr in (("p_correct", p), ("distractor_share", w),
+                      ("garbage_share", g), ("determinism", det)):
+        if np.any((arr < 0) | (arr > 1)):
+            raise ValueError(f"{name} must lie in [0, 1]")
+    return p, w, g, det
+
+
 def sample_answer_matrix(p_correct: np.ndarray, distractor_share: np.ndarray,
                          num_choices: int, k: int,
                          rng: np.random.Generator,
@@ -45,18 +83,13 @@ def sample_answer_matrix(p_correct: np.ndarray, distractor_share: np.ndarray,
     can average out.  This is what makes parallel-scaling gains plateau
     at generous token budgets (Fig. 9b).
     """
-    p = np.asarray(p_correct, dtype=np.float64)
-    w = np.asarray(distractor_share, dtype=np.float64)
-    g = np.broadcast_to(np.asarray(garbage_share, dtype=np.float64), p.shape)
-    det = np.broadcast_to(np.asarray(determinism, dtype=np.float64), p.shape)
-    if p.shape != w.shape:
-        raise ValueError("p_correct and distractor_share must align")
-    if np.any((p < 0) | (p > 1)):
-        raise ValueError("p_correct must lie in [0, 1]")
-    if np.any((g < 0) | (g > 1)):
-        raise ValueError("garbage_share must lie in [0, 1]")
-    if np.any((det < 0) | (det > 1)):
-        raise ValueError("determinism must lie in [0, 1]")
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    if num_choices < 0:
+        raise ValueError(f"num_choices must be non-negative, got "
+                         f"{num_choices}")
+    p, w, g, det = _validated_stats(p_correct, distractor_share,
+                                    garbage_share, determinism)
     num_questions = p.shape[0]
     u = rng.random((num_questions, k))
     # Deterministic questions reuse the first sample's draw for all k.
@@ -117,7 +150,9 @@ def voting_accuracy(p_correct: np.ndarray, distractor_share: np.ndarray,
                     determinism: np.ndarray | float = 0.0) -> float:
     """Monte-Carlo accuracy of k-way majority voting."""
     if k <= 0:
-        raise ValueError("k must be positive")
+        raise ValueError(f"k must be positive, got {k}")
+    if trials <= 0:
+        raise ValueError(f"trials must be positive, got {trials}")
     total = 0.0
     for _ in range(trials):
         answers = sample_answer_matrix(p_correct, distractor_share,
@@ -143,10 +178,8 @@ def asymptotic_voting_accuracy(p_correct: np.ndarray,
     wins in the limit — so the limit is the fraction of questions the
     model can ever answer.
     """
-    p = np.asarray(p_correct, dtype=np.float64)
-    w = np.asarray(distractor_share, dtype=np.float64)
-    g = np.broadcast_to(np.asarray(garbage_share, dtype=np.float64), p.shape)
-    det = np.broadcast_to(np.asarray(determinism, dtype=np.float64), p.shape)
+    p, w, g, det = _validated_stats(p_correct, distractor_share,
+                                    garbage_share, determinism)
     if num_choices == 0:
         independent = (p > 0.0).astype(np.float64)
     else:

@@ -5,6 +5,7 @@ questions carry latent difficulty, prompt-length, and answer-format
 structure — the statistical skeleton of the real dataset.
 """
 
+from repro.workloads.agentic import AGENTIC_KINDS, DagJob, agentic_suite
 from repro.workloads.aime import aime2024
 from repro.workloads.math500 import math500
 from repro.workloads.mmlu import mmlu
@@ -54,8 +55,10 @@ def list_benchmarks() -> tuple[str, ...]:
 
 
 __all__ = [
+    "AGENTIC_KINDS",
     "ArrivalTrace",
     "Benchmark",
+    "DagJob",
     "DEFAULT_REGIONS",
     "PopulationConfig",
     "PopulationTrace",
@@ -67,6 +70,7 @@ __all__ = [
     "poisson_trace",
     "population_trace",
     "session_key",
+    "agentic_suite",
     "aime2024",
     "get_benchmark",
     "list_benchmarks",

@@ -1,0 +1,101 @@
+"""Seeded agentic DAG job suites (GameOf24 / BigBenchHard shapes).
+
+Each :class:`DagJob` is one *task* that the tiering scheduler expands
+into a plan → N parallel reasoning branches → vote/verify request DAG.
+The two shapes mirror the multi-step prompting benchmarks the related
+orchestrator repos template on:
+
+* ``game24`` — short arithmetic-search prompts (four numbers, target
+  24) whose difficulty skews hard: most instances need deep search, so
+  fan-out pays.
+* ``bbh`` — BigBench-Hard style tasks with longer instruction prompts
+  and a broad difficulty mix, where a fast single chain often suffices.
+
+Difficulty is the latent per-question hardness consumed by the
+capability-profile heterogeneity model; the tier policy only sees a
+noisy prediction of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.arrivals import poisson_arrivals
+
+AGENTIC_KINDS = ("game24", "bbh")
+
+#: (prompt mean tokens, prompt spread, difficulty beta a/b) per kind.
+_KIND_SHAPES = {
+    "game24": (60, 12, 5.0, 2.2),
+    "bbh": (180, 40, 2.2, 2.6),
+}
+
+
+@dataclass(frozen=True)
+class DagJob:
+    """One agentic task to be served as a request DAG."""
+
+    job_id: int
+    arrival_s: float
+    session: str
+    #: Latent difficulty in [0, 1] (1 = hardest).
+    difficulty: float
+    kind: str
+    prompt_tokens: int
+    #: End-to-end deadline measured from ``arrival_s``; None = no SLO.
+    deadline_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.job_id < 0:
+            raise ValueError("job_id must be non-negative")
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be non-negative")
+        if not (0.0 <= self.difficulty <= 1.0):
+            raise ValueError("difficulty must lie in [0, 1]")
+        if self.kind not in AGENTIC_KINDS:
+            raise ValueError(
+                f"kind must be one of {AGENTIC_KINDS}, got {self.kind!r}")
+        if self.prompt_tokens <= 0:
+            raise ValueError("prompt_tokens must be positive")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive when given")
+
+
+def agentic_suite(rng: np.random.Generator, qps: float, jobs: int,
+                  kind: str = "mixed", sessions: int = 8,
+                  deadline_s: float | None = None) -> list[DagJob]:
+    """Seeded Poisson stream of DAG jobs.
+
+    ``kind`` is ``"game24"``, ``"bbh"``, or ``"mixed"`` (alternating
+    draw).  Jobs are grouped into ``sessions`` user sessions so the
+    per-session budget manager has multi-job sessions to meter.
+    """
+    if jobs <= 0:
+        raise ValueError("jobs must be positive")
+    if sessions <= 0:
+        raise ValueError("sessions must be positive")
+    if kind != "mixed" and kind not in AGENTIC_KINDS:
+        raise ValueError(
+            f"kind must be 'mixed' or one of {AGENTIC_KINDS}, got {kind!r}")
+    arrivals = poisson_arrivals(rng, qps, jobs)
+    out: list[DagJob] = []
+    for job_id, arrival in enumerate(arrivals):
+        job_kind = kind
+        if kind == "mixed":
+            job_kind = AGENTIC_KINDS[int(rng.integers(0, len(AGENTIC_KINDS)))]
+        prompt_mean, prompt_spread, beta_a, beta_b = _KIND_SHAPES[job_kind]
+        prompt = int(max(8, round(rng.normal(prompt_mean, prompt_spread))))
+        difficulty = float(rng.beta(beta_a, beta_b))
+        session = f"user-{int(rng.integers(0, sessions)):03d}"
+        out.append(DagJob(
+            job_id=job_id,
+            arrival_s=float(arrival),
+            session=session,
+            difficulty=difficulty,
+            kind=job_kind,
+            prompt_tokens=prompt,
+            deadline_s=deadline_s,
+        ))
+    return out

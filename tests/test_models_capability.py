@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.models.capability import (
     AccuracyCurve,
@@ -185,3 +186,48 @@ class TestQuestionProbabilities:
         profile = capability_profile("dsr1-llama-8b", "mmlu-redux")
         shares = distractor_shares(profile, np.array([0.1, 0.9]))
         assert shares[1] > shares[0]
+
+
+class TestCurveEdges:
+    def test_zero_tokens_clamp_to_low_anchor(self):
+        curve = AccuracyCurve([AnchorPoint(100, 0.3), AnchorPoint(1000, 0.6)])
+        assert curve(0) == pytest.approx(0.3)
+
+    def test_negative_tokens_clamp_to_low_anchor(self):
+        curve = AccuracyCurve([AnchorPoint(100, 0.3), AnchorPoint(1000, 0.6)])
+        assert curve(-64) == pytest.approx(0.3)
+        vec = curve(np.array([-1.0, 0.0, 99.9]))
+        assert np.allclose(vec, 0.3)
+
+    def test_mode_dispatch_at_zero_tokens(self):
+        # A fully truncated chain (0 granted tokens) must price as the
+        # curve's low anchor, not blow up in the log-token interpolator.
+        profile = capability_profile("dsr1-llama-8b", "mmlu-redux")
+        assert profile.accuracy_for_mode("hard", 0) == pytest.approx(
+            profile.hard.anchors[0].accuracy)
+        assert 0.0 <= profile.accuracy_for_mode("completed", 0) <= 1.0
+
+
+class TestCurveMonotonicityProperty:
+    """PCHIP on log-tokens must preserve each segment's direction."""
+
+    @given(accs=st.lists(st.floats(0.0, 1.0), min_size=3, max_size=3),
+           frac_a=st.floats(0.0, 1.0), frac_b=st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_between_adjacent_anchors(self, accs, frac_a, frac_b):
+        tokens = (100.0, 400.0, 1600.0)
+        curve = AccuracyCurve(
+            [AnchorPoint(t, a) for t, a in zip(tokens, accs)])
+        lo, hi = sorted((frac_a, frac_b))
+        for (t0, a0), (t1, a1) in zip(
+                zip(tokens, accs), zip(tokens[1:], accs[1:])):
+            # Two probe points inside this segment, log-spaced like the
+            # interpolator itself, with x0 <= x1.
+            x0 = t0 * (t1 / t0) ** lo
+            x1 = t0 * (t1 / t0) ** hi
+            y0, y1 = curve(x0), curve(x1)
+            if a0 <= a1:
+                assert y1 >= y0 - 1e-9
+            else:
+                assert y1 <= y0 + 1e-9
+            assert min(a0, a1) - 1e-9 <= y0 <= max(a0, a1) + 1e-9

@@ -98,3 +98,43 @@ class TestSelection:
         crossover = crossover_budget(surface)
         assert crossover is not None
         assert crossover <= 256
+
+
+class TestSurfaceValidation:
+    """Bad grids fail before the sweep starts, naming the bad values."""
+
+    def _stats(self, budget):
+        p = np.full(8, min(0.9, budget / 1000.0))
+        return p, np.full(8, 0.2), np.zeros(8), np.zeros(8)
+
+    def test_non_positive_budget_listed(self, rng):
+        with pytest.raises(ValueError, match=r"token budgets.*\[0\]"):
+            hybrid_scaling_surface(self._stats, lambda b, s: 1.0, 4,
+                                   [0, 128], [1, 2], rng)
+
+    def test_non_positive_factor_listed(self, rng):
+        with pytest.raises(ValueError, match=r"scale factors.*\[-1\]"):
+            hybrid_scaling_surface(self._stats, lambda b, s: 1.0, 4,
+                                   [128], [-1, 2], rng)
+
+    def test_non_positive_vote_trials_rejected(self, rng):
+        with pytest.raises(ValueError, match="vote_trials"):
+            hybrid_scaling_surface(self._stats, lambda b, s: 1.0, 4,
+                                   [128], [1], rng, vote_trials=0)
+
+    def test_malformed_stats_fn_rejected(self, rng):
+        def bad_stats(budget):
+            return np.full(4, 0.5), np.full(4, 0.2)
+
+        with pytest.raises(ValueError, match="stats_fn"):
+            hybrid_scaling_surface(bad_stats, lambda b, s: 1.0, 4,
+                                   [128], [1], rng)
+
+    def test_stats_shape_mismatch_surfaces_clearly(self, rng):
+        def ragged_stats(budget):
+            return (np.full(4, 0.5), np.full(3, 0.2), np.zeros(4),
+                    np.zeros(4))
+
+        with pytest.raises(ValueError, match="must align"):
+            hybrid_scaling_surface(ragged_stats, lambda b, s: 1.0, 4,
+                                   [128], [1], rng)

@@ -150,3 +150,61 @@ class TestAsymptote:
         no_det = asymptotic_voting_accuracy(p, w, 4, determinism=0.0)
         assert full_det == pytest.approx(0.4)
         assert no_det == pytest.approx(1.0)
+
+
+class TestInputValidation:
+    """Garbage inputs must fail loudly, naming the offending argument."""
+
+    def test_distractor_share_range_rejected(self, rng):
+        with pytest.raises(ValueError, match="distractor_share"):
+            sample_answer_matrix(np.full(3, 0.5), np.full(3, 1.2), 4, 3, rng)
+        with pytest.raises(ValueError, match="distractor_share"):
+            sample_answer_matrix(np.full(3, 0.5), np.full(3, -0.1), 4, 3, rng)
+
+    def test_garbage_share_range_rejected(self, rng):
+        with pytest.raises(ValueError, match="garbage_share"):
+            sample_answer_matrix(np.full(3, 0.5), np.full(3, 0.3), 4, 3, rng,
+                                 garbage_share=1.5)
+
+    def test_determinism_range_rejected(self, rng):
+        with pytest.raises(ValueError, match="determinism"):
+            sample_answer_matrix(np.full(3, 0.5), np.full(3, 0.3), 4, 3, rng,
+                                 determinism=-0.5)
+
+    def test_non_positive_k_rejected(self, rng):
+        with pytest.raises(ValueError, match="k must be positive"):
+            sample_answer_matrix(np.full(3, 0.5), np.full(3, 0.3), 4, 0, rng)
+        with pytest.raises(ValueError, match="k must be positive"):
+            voting_accuracy(np.full(3, 0.5), np.full(3, 0.3), 4, -2, rng)
+
+    def test_non_positive_trials_rejected(self, rng):
+        with pytest.raises(ValueError, match="trials must be positive"):
+            voting_accuracy(np.full(3, 0.5), np.full(3, 0.3), 4, 3, rng,
+                            trials=0)
+
+    def test_shape_mismatch_names_both_shapes(self, rng):
+        with pytest.raises(ValueError, match=r"\(3,\) vs \(2,\)"):
+            sample_answer_matrix(np.full(3, 0.5), np.full(2, 0.3), 4, 3, rng)
+
+    def test_broadcast_mismatch_names_argument(self, rng):
+        with pytest.raises(ValueError, match="garbage_share"):
+            sample_answer_matrix(np.full(3, 0.5), np.full(3, 0.3), 4, 3, rng,
+                                 garbage_share=np.full(5, 0.1))
+        with pytest.raises(ValueError, match="determinism"):
+            sample_answer_matrix(np.full(3, 0.5), np.full(3, 0.3), 4, 3, rng,
+                                 determinism=np.full(7, 0.1))
+
+    def test_non_1d_p_rejected(self, rng):
+        with pytest.raises(ValueError, match="1-d"):
+            sample_answer_matrix(np.full((2, 2), 0.5), np.full((2, 2), 0.3),
+                                 4, 3, rng)
+
+    def test_asymptote_validates_too(self):
+        with pytest.raises(ValueError, match="p_correct"):
+            asymptotic_voting_accuracy(np.full(3, 1.4), np.full(3, 0.3), 4)
+        with pytest.raises(ValueError, match="distractor_share"):
+            asymptotic_voting_accuracy(np.full(3, 0.5), np.full(3, 2.0), 4)
+
+    def test_negative_num_choices_rejected(self, rng):
+        with pytest.raises(ValueError, match="num_choices"):
+            sample_answer_matrix(np.full(3, 0.5), np.full(3, 0.3), -1, 3, rng)

@@ -1,0 +1,178 @@
+"""DAG expansion, rid scheme, dependency gating, and the coordinator."""
+
+import pytest
+
+from repro.tiering import (
+    MAX_STAGES,
+    STAGE_BRANCH,
+    STAGE_PLAN,
+    STAGE_VERIFY,
+    TIER_DEEP,
+    DagRun,
+    TierAssignment,
+    TieringConfig,
+    build_dag,
+)
+from repro.workloads.agentic import AGENTIC_KINDS, DagJob, agentic_suite
+
+
+def job(job_id=0, difficulty=0.5, session="user-000", deadline_s=None):
+    return DagJob(job_id=job_id, arrival_s=0.0, session=session,
+                  difficulty=difficulty, kind="game24", prompt_tokens=80,
+                  deadline_s=deadline_s)
+
+
+class TestAgenticSuite:
+    def test_shapes_and_determinism(self):
+        import numpy as np
+
+        a = agentic_suite(np.random.default_rng(3), qps=2.0, jobs=20)
+        b = agentic_suite(np.random.default_rng(3), qps=2.0, jobs=20)
+        assert a == b
+        assert len(a) == 20
+        assert all(j.kind in AGENTIC_KINDS for j in a)
+        assert all(0.0 <= j.difficulty <= 1.0 for j in a)
+        arrivals = [j.arrival_s for j in a]
+        assert arrivals == sorted(arrivals)
+
+    def test_bad_job_rejected(self):
+        with pytest.raises(ValueError):
+            DagJob(job_id=0, arrival_s=0.0, session="s", difficulty=1.5,
+                   kind="game24", prompt_tokens=80)
+        with pytest.raises(ValueError):
+            DagJob(job_id=0, arrival_s=0.0, session="s", difficulty=0.5,
+                   kind="no-such-kind", prompt_tokens=80)
+
+
+class TestBuildDag:
+    def assignment(self, branches=3, verify=True):
+        return TierAssignment(TIER_DEEP, branches, verify, 0.7, False)
+
+    def test_plan_branches_verify_shape(self):
+        config = TieringConfig()
+        dag = build_dag(job(), self.assignment(), 640, config)
+        kinds = [s.kind for s in dag.stages]
+        assert kinds == [STAGE_PLAN, STAGE_BRANCH, STAGE_BRANCH,
+                         STAGE_BRANCH, STAGE_VERIFY]
+
+    def test_rid_scheme_unique_and_job_scoped(self):
+        config = TieringConfig()
+        dag = build_dag(job(job_id=5), self.assignment(), 640, config)
+        rids = [s.rid for s in dag.stages]
+        assert len(set(rids)) == len(rids)
+        assert all(5 * MAX_STAGES <= rid < 6 * MAX_STAGES for rid in rids)
+
+    def test_dependency_edges(self):
+        config = TieringConfig()
+        dag = build_dag(job(), self.assignment(), 640, config)
+        plan = dag.stages[0]
+        assert plan.deps == ()
+        for branch in dag.stages[1:-1]:
+            assert branch.deps == (plan.rid,)
+        verify = dag.stages[-1]
+        assert verify.deps == dag.branch_rids
+
+    def test_deterministic_rebuild(self):
+        config = TieringConfig(seed=4)
+        a = build_dag(job(job_id=9), self.assignment(), 640, config)
+        b = build_dag(job(job_id=9), self.assignment(), 640, config)
+        assert a == b
+
+    def test_no_verify_shape(self):
+        config = TieringConfig()
+        dag = build_dag(job(), self.assignment(branches=1, verify=False),
+                        256, config)
+        assert [s.kind for s in dag.stages] == [STAGE_PLAN, STAGE_BRANCH]
+
+    def test_too_many_branches_rejected(self):
+        config = TieringConfig()
+        with pytest.raises(ValueError):
+            build_dag(job(), self.assignment(branches=MAX_STAGES), 640,
+                      config)
+
+
+class TestDagRunCoordinator:
+    def test_admit_releases_only_roots(self):
+        run = DagRun(TieringConfig(predict_noise=0.0))
+        verdict, released = run.admit(job(difficulty=0.9), 0.0, 0.0)
+        assert verdict == "go"
+        assert len(released) == 1  # the plan stage
+        assert run.children_offered == 5  # plan + 3 branches + verify
+        assert not run.done()
+
+    def test_dependency_gated_release_order(self):
+        run = DagRun(TieringConfig(predict_noise=0.0))
+        _, released = run.admit(job(difficulty=0.9), 0.0, 0.0)
+        plan_rid = released[0][0].request.request_id
+        # Nothing releases while the plan is in flight.
+        assert run.ready_children({}, {}, 1.0) == []
+        branches = run.ready_children({plan_rid: "served"},
+                                      {plan_rid: 64}, 1.0)
+        assert len(branches) == 3
+        branch_rids = [r.request.request_id for r, _ in branches]
+        # Verify waits for every branch, not just one.
+        partial = {plan_rid: "served", branch_rids[0]: "served"}
+        assert run.ready_children(partial, {}, 2.0) == []
+        terminal = {plan_rid: "served"}
+        terminal.update({rid: "served" for rid in branch_rids})
+        verify = run.ready_children(terminal, {}, 3.0)
+        assert len(verify) == 1
+        verify_rid = verify[0][0].request.request_id
+        terminal[verify_rid] = "served"
+        run.ready_children(terminal, {}, 4.0)
+        assert run.done()
+
+    def test_ladder_shed_returns_all_rids(self):
+        config = TieringConfig(enter_pressure=(0.1, 0.2, 0.3),
+                               exit_pressure=(0.05, 0.1, 0.15))
+        run = DagRun(config)
+        # One step per observation: levels 1 and 2 still admit.
+        for n in range(2):
+            verdict, _ = run.admit(job(job_id=n, session=f"u{n}"),
+                                   float(n), 99.0)
+            assert verdict == "go"
+        verdict, rids = run.admit(job(job_id=2, session="u2"), 2.0, 99.0)
+        assert verdict == "shed"
+        assert len(rids) >= 2  # the whole planned DAG is disposed
+        assert run.jobs_shed == 1
+        assert run.ladder.max_level_reached() == 3
+
+    def test_budget_shed_registers_children(self):
+        run = DagRun(TieringConfig(session_token_budget=100))
+        verdict, rids = run.admit(job(), 0.0, 0.0)
+        assert verdict == "shed"
+        # Shed children still count toward offered so conservation
+        # stays exact at the fleet level.
+        assert run.children_offered == len(rids) == 2
+
+    def test_force_shed_remaining_empties_waiting(self):
+        run = DagRun(TieringConfig(predict_noise=0.0))
+        run.admit(job(difficulty=0.9), 0.0, 0.0)
+        rids = run.force_shed_remaining()
+        assert len(rids) == 4  # 3 branches + verify were dep-gated
+        assert run.ready_children({}, {}, 1.0) == []
+
+    def test_deadline_shrinks_with_release_time(self):
+        run = DagRun(TieringConfig(predict_noise=0.0))
+        _, released = run.admit(job(difficulty=0.9, deadline_s=30.0),
+                                0.0, 0.0)
+        plan_req = released[0][0]
+        assert plan_req.deadline_s == pytest.approx(30.0)
+        plan_rid = plan_req.request.request_id
+        branches = run.ready_children({plan_rid: "served"},
+                                      {plan_rid: 64}, 12.0)
+        assert branches[0][0].deadline_s == pytest.approx(18.0)
+
+    def test_refund_on_settle_tops_up_later_branch(self):
+        # A tight session budget admits the first job trimmed; its
+        # underspend refund then funds the branch's top-up at release.
+        config = TieringConfig(session_token_budget=500, predict_noise=0.0)
+        run = DagRun(config)
+        _, released = run.admit(job(difficulty=0.1), 0.0, 0.0)
+        plan_rid = released[0][0].request.request_id
+        before = run.budget.tokens_redistributed
+        branches = run.ready_children({plan_rid: "served"},
+                                      {plan_rid: 8}, 1.0)
+        assert branches
+        assert run.budget.tokens_refunded > 0
+        assert run.budget.tokens_redistributed >= before
